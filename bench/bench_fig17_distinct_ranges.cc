@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 17: maximum number of distinct tainted ranges over the
+ * NI x NT grid, LGRoot trace. The paper's point: fewer than ~100
+ * distinct ranges for NI <= 10 — small enough that the on-chip range
+ * cache needs no secondary storage.
+ */
+
+#include "bench/common.hh"
+#include "stats/render.hh"
+
+#include <iostream>
+
+using namespace pift;
+
+int
+main()
+{
+    benchx::banner("Figure 17 — max distinct tainted ranges",
+                   "Section 5.2, Figure 17 (LGRoot trace)");
+
+    const auto &trace = benchx::lgrootTrace();
+    stats::HeatMap map("NT", 1, 10, "NI", 1, 20);
+    double max_small_ni = 0;
+    for (int nt = 1; nt <= 10; ++nt) {
+        for (int ni = 1; ni <= 20; ++ni) {
+            core::PiftParams p;
+            p.ni = static_cast<unsigned>(ni);
+            p.nt = static_cast<unsigned>(nt);
+            auto o = analysis::measureOverhead(trace, p);
+            map.set(nt, ni, static_cast<double>(o.max_ranges));
+            if (ni <= 10)
+                max_small_ni = std::max(
+                    max_small_ni, static_cast<double>(o.max_ranges));
+        }
+    }
+    stats::renderHeatMap(std::cout, "max distinct ranges", map,
+                         "%8.0f");
+    std::printf("\nmax ranges for NI <= 10: %.0f (paper: < 100, so a "
+                "small on-chip memory suffices)\n", max_small_ni);
+    std::printf("max cell overall: %.0f (paper: ~3000)\n", map.max());
+    std::printf("\nCSV:\n");
+    stats::renderHeatMapCsv(std::cout, map);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 2: probability/cumulative distributions of memory-operation
+ * metrics over the LGRoot malware execution trace.
+ *
+ *  (a) distance from a store to the most recent load — the paper
+ *      finds the bulk in 0-5 and 99% of mass within ~10;
+ *  (b) number of stores between consecutive loads — small;
+ *  (c) distance between consecutive loads — fairly uniform spread.
+ */
+
+#include "analysis/profiler.hh"
+#include "bench/common.hh"
+#include "stats/render.hh"
+
+#include <iostream>
+
+using namespace pift;
+
+int
+main()
+{
+    benchx::banner("Figure 2 — load/store stream structure",
+                   "Section 2, Figure 2 (LGRoot trace)");
+
+    analysis::DistanceProfiler profiler;
+    profiler.consume(benchx::lgrootTrace());
+
+    std::printf("trace: %llu instructions, %llu loads, %llu stores\n",
+                static_cast<unsigned long long>(
+                    profiler.instructionCount()),
+                static_cast<unsigned long long>(profiler.loadCount()),
+                static_cast<unsigned long long>(profiler.storeCount()));
+    std::printf("(paper trace: 2.2M loads, 768K stores)\n\n");
+
+    stats::renderDistribution(
+        std::cout, "Figure 2a: distance from a store to the last load",
+        profiler.storeToLastLoad(), 30);
+    std::printf("paper: bulk in 0-5; CDF(10) ~ 0.99 — measured "
+                "CDF(10) = %.4f\n\n",
+                profiler.storeToLastLoad().cdf(10));
+
+    stats::renderDistribution(
+        std::cout, "Figure 2b: number of stores between two loads",
+        profiler.storesBetweenLoads(), 10);
+    std::printf("paper: small counts dominate — measured CDF(3) = "
+                "%.4f\n\n",
+                profiler.storesBetweenLoads().cdf(3));
+
+    stats::renderDistribution(
+        std::cout, "Figure 2c: distance between two loads",
+        profiler.loadToLoad(), 30);
+    std::printf("paper: loads fairly uniformly spread — measured "
+                "mean = %.2f\n",
+                profiler.loadToLoad().mean());
+    return 0;
+}

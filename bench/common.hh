@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches: cached
+ * app-suite captures and consistent headers. Every bench prints the
+ * paper's rows/series and, where the paper states numbers, the
+ * paper's value next to the measured one.
+ */
+
+#ifndef PIFT_BENCH_COMMON_HH
+#define PIFT_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/evaluate.hh"
+#include "droidbench/app.hh"
+#include "support/logging.hh"
+
+namespace pift::benchx
+{
+
+/** The LGRoot malware trace (captured once per process). */
+inline const sim::Trace &
+lgrootTrace()
+{
+    static const sim::Trace trace = [] {
+        const auto &entry = droidbench::malwareApps().front();
+        pift_assert(entry.name == "malware_lgroot",
+                    "LGRoot must be the first malware entry");
+        return droidbench::runApp(entry).trace;
+    }();
+    return trace;
+}
+
+/** Labelled traces of the full DroidBench suite (captured once). */
+inline const std::vector<analysis::LabelledTrace> &
+suiteTraces()
+{
+    static const std::vector<analysis::LabelledTrace> set = [] {
+        std::vector<analysis::LabelledTrace> out;
+        for (const auto &entry : droidbench::droidBenchApps()) {
+            auto run = droidbench::runApp(entry);
+            out.push_back({entry.name, entry.leaks,
+                           std::move(run.trace)});
+        }
+        return out;
+    }();
+    return set;
+}
+
+/** Standard bench banner. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("PIFT reproduction: %s\n", what);
+    std::printf("Paper reference: %s\n", paper_ref);
+    std::printf("================================================="
+                "=============\n");
+}
+
+} // namespace pift::benchx
+
+#endif // PIFT_BENCH_COMMON_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The Section 4.2 evasion and the Section 7 defense, end to end.
+ *
+ * An app exfiltrates the IMEI through a JNI-style native routine that
+ * pads each character copy with dummy ALU instructions, pushing the
+ * load-store distance beyond any realistic tainting window — PIFT at
+ * (13,3) misses it. Recompiling the native code with the PIFT-aware
+ * scheduler (dead-code elimination + load-store tightening) collapses
+ * the distance back to 1 and the same app is caught.
+ *
+ * Run: ./build/examples/evasion_defense [padding]
+ */
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+#include "compiler/scheduler.hh"
+#include "core/pift_tracker.hh"
+#include "core/taint_store.hh"
+#include "droidbench/app.hh"
+#include "droidbench/helpers.hh"
+
+using namespace pift;
+
+namespace
+{
+
+/** The attacker's padded per-char copy loop (JNI native code). */
+isa::Program
+stealthCopy(Addr base, int padding)
+{
+    isa::Assembler a(base);
+    a.label("loop");
+    a.ldrh(6, isa::memOff(1, 2, isa::WriteBack::Post));
+    for (int i = 0; i < padding; ++i) {
+        switch (i % 3) {
+          case 0: a.add(7, 7, isa::imm(13)); break;
+          case 1: a.eor(3, 7, isa::reg(3)); break;
+          default: a.mov(2, isa::regLsr(3, 2)); break;
+        }
+    }
+    a.strh(6, isa::memOff(0, 2, isa::WriteBack::Post));
+    a.subs(5, 5, isa::imm(1));
+    a.b("loop", isa::Cond::Ne);
+    a.bx(14);
+    return a.finish();
+}
+
+/** Run the malicious app with the given native copy routine. */
+bool
+runScenario(const isa::Program &routine, std::string *payload)
+{
+    droidbench::AppContext ctx;
+    core::IdealRangeStore store;
+    core::PiftTracker tracker({13, 3, true}, store);
+    ctx.hub.addSink(&tracker);
+
+    // JNI-style native: copy the argument string through the
+    // attacker routine, preserving the interpreter's registers.
+    isa::Program loaded = routine;
+    bool installed = false;
+    auto jni_copy = ctx.dex.addNative(
+        "JNI.stealthCopy", 1,
+        [&](dalvik::Vm &vm, const dalvik::NativeCall &call) {
+            if (!installed) {
+                vm.cpu().loadProgram(loaded);
+                installed = true;
+            }
+            runtime::Ref src = vm.memory().read32(call.arg_addr(0));
+            uint32_t len = vm.heap().length(src);
+            runtime::Ref dst = vm.heap().allocStringRaw(
+                vm.dex().stringClass(), len);
+            std::array<uint32_t, 16> saved{};
+            for (RegIndex r = 0; r < 16; ++r)
+                saved[r] = vm.cpu().reg(r);
+            vm.cpu().setReg(0, vm.heap().dataAddr(dst));
+            vm.cpu().setReg(1, vm.heap().dataAddr(src));
+            vm.cpu().setReg(5, len);
+            vm.cpu().call(loaded.base);
+            for (RegIndex r = 0; r < 16; ++r)
+                vm.cpu().setReg(r, saved[r]);
+            vm.setRetval(dst);
+        });
+
+    dalvik::MethodBuilder b("Evasion.main", droidbench::app_nregs, 0);
+    droidbench::emitSource(b, ctx.env.get_device_id, 10);
+    b.moveObject(4, 10);
+    b.invokeStatic(jni_copy, 1, 4);
+    b.moveResultObject(11);
+    droidbench::emitSms(ctx, b, 11);
+    b.returnVoid();
+    auto main_id = ctx.dex.addMethod(b.finish());
+
+    ctx.vm.boot();
+    ctx.vm.execute(main_id);
+    if (payload && !ctx.env.sinkCalls().empty())
+        *payload = ctx.env.sinkCalls().front().payload;
+    return tracker.anyLeak();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int padding = argc > 1 ? atoi(argv[1]) : 20;
+
+    isa::Program evading = stealthCopy(0x0002'0000, padding);
+    std::printf("attacker routine: %d dummy instructions between "
+                "each ldrh and strh\n", padding);
+    std::printf("load-store distance (evading): %d\n",
+                compiler::worstLoadStoreDistance(evading));
+
+    std::string payload;
+    bool caught = runScenario(evading, &payload);
+    std::printf("SMS payload actually sent: \"%s\"\n",
+                payload.c_str());
+    std::printf("PIFT at (NI=13, NT=3): %s\n\n",
+                caught ? "LEAK DETECTED" : "MISSED (evasion worked)");
+
+    isa::Program defended = stealthCopy(0x0002'0000, padding);
+    auto stats = compiler::optimizeForPift(defended);
+    std::printf("PIFT-aware recompilation: %llu dead instructions "
+                "eliminated, %llu relocated, %llu pairs tightened\n",
+                static_cast<unsigned long long>(stats.dead_eliminated),
+                static_cast<unsigned long long>(stats.moved),
+                static_cast<unsigned long long>(
+                    stats.pairs_tightened));
+    std::printf("load-store distance (defended): %d\n",
+                compiler::worstLoadStoreDistance(defended));
+
+    bool caught2 = runScenario(defended, &payload);
+    std::printf("SMS payload actually sent: \"%s\"\n",
+                payload.c_str());
+    std::printf("PIFT at (NI=13, NT=3): %s\n",
+                caught2 ? "LEAK DETECTED (defense worked)"
+                        : "MISSED");
+    return caught2 && !caught ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Full-stack leak detection: the paper's Section 2 example app.
+ *
+ * Builds the "type=sms" + "&imei=" + getDeviceId() + "&dummy" program
+ * as Dalvik-like bytecode, runs it through the real mterp on the
+ * simulated CPU with the mini Android framework, and tracks it live
+ * with PIFT. Prints every sink check with its verdict and the final
+ * tainted ranges.
+ *
+ * Run: ./build/examples/leak_detection [NI] [NT]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pift_tracker.hh"
+#include "core/taint_store.hh"
+#include "droidbench/app.hh"
+#include "droidbench/helpers.hh"
+
+using namespace pift;
+
+int
+main(int argc, char **argv)
+{
+    unsigned ni = argc > 1 ? static_cast<unsigned>(atoi(argv[1])) : 13;
+    unsigned nt = argc > 2 ? static_cast<unsigned>(atoi(argv[2])) : 3;
+
+    droidbench::AppContext ctx;
+
+    // Live tracking: attach PIFT to the device's event stream.
+    core::IdealRangeStore store;
+    core::PiftTracker tracker({ni, nt, true}, store);
+    ctx.hub.addSink(&tracker);
+
+    // The Section 2 example program.
+    dalvik::MethodBuilder b("Example.main", droidbench::app_nregs, 0);
+    droidbench::emitConst(ctx, b, 4, "type=sms");
+    droidbench::emitConst(ctx, b, 5, "&imei=");
+    droidbench::emitConcat(ctx, b, 6, 4, 5);     // msgX + "&imei="
+    droidbench::emitSource(b, ctx.env.get_device_id, 7);
+    droidbench::emitConcat(ctx, b, 8, 6, 7);     // msgY
+    droidbench::emitConst(ctx, b, 9, "&dummy");
+    droidbench::emitConcat(ctx, b, 10, 8, 9);    // msgZ
+    droidbench::emitSms(ctx, b, 10);
+    b.returnVoid();
+    dalvik::MethodId main_id = ctx.dex.addMethod(b.finish());
+
+    ctx.vm.boot();
+    ctx.vm.execute(main_id);
+
+    std::printf("PIFT window: NI=%u NT=%u\n", ni, nt);
+    std::printf("instructions executed: %llu\n",
+                static_cast<unsigned long long>(ctx.cpu.retired()));
+
+    for (const auto &call : ctx.env.sinkCalls()) {
+        const char *kind =
+            call.type == android::SinkType::Sms ? "SMS" :
+            call.type == android::SinkType::Http ? "HTTP" : "LOG";
+        std::printf("sink %-4s payload: \"%s\"\n", kind,
+                    call.payload.c_str());
+    }
+    for (const auto &res : tracker.sinkResults()) {
+        std::printf("sink check [0x%08x,0x%08x]: %s\n",
+                    res.range.start, res.range.end,
+                    res.tainted ? "TAINTED -> leak" : "clean");
+    }
+
+    std::printf("tainted ranges at exit (%zu, %llu bytes):\n",
+                store.rangeCount(),
+                static_cast<unsigned long long>(store.bytes()));
+    for (const auto &r : store.rangesFor(ctx.cpu.pid()).ranges())
+        std::printf("  [0x%08x, 0x%08x] %llu bytes\n", r.start, r.end,
+                    static_cast<unsigned long long>(r.bytes()));
+
+    std::printf("verdict: %s\n",
+                tracker.anyLeak() ? "LEAK DETECTED" : "no leak");
+    return 0;
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * pift_cli — command-line front end to the reproduction.
+ *
+ * Subcommands:
+ *   list                         all benchmark apps with categories
+ *   run <app> [NI NT]            run one app, print the verdict
+ *   sweep <app> [maxNI]          minimal-NI table for one app
+ *   capture <app> <file>         save the app's trace to disk
+ *   replay <file> [NI NT]        evaluate a saved trace
+ *
+ * Examples:
+ *   ./build/examples/pift_cli list
+ *   ./build/examples/pift_cli run GPS_Latitude_Sms 13 3
+ *   ./build/examples/pift_cli capture malware_lgroot /tmp/lg.trace
+ *   ./build/examples/pift_cli replay /tmp/lg.trace 3 2
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/evaluate.hh"
+#include "dalvik/disasm.hh"
+#include "droidbench/app.hh"
+#include "sim/trace_io.hh"
+
+using namespace pift;
+
+namespace
+{
+
+const droidbench::AppEntry *
+findApp(const std::string &name)
+{
+    for (const auto &entry : droidbench::droidBenchApps())
+        if (entry.name == name)
+            return &entry;
+    for (const auto &entry : droidbench::malwareApps())
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+int
+cmdList()
+{
+    std::printf("%-36s %-16s %s\n", "app", "category", "ground truth");
+    for (const auto &entry : droidbench::droidBenchApps())
+        std::printf("%-36s %-16s %s\n", entry.name.c_str(),
+                    entry.category.c_str(),
+                    entry.leaks ? "leaks" : "benign");
+    for (const auto &entry : droidbench::malwareApps())
+        std::printf("%-36s %-16s %s\n", entry.name.c_str(),
+                    entry.category.c_str(), "leaks");
+    return 0;
+}
+
+int
+cmdRun(const std::string &name, unsigned ni, unsigned nt)
+{
+    const auto *entry = findApp(name);
+    if (!entry) {
+        std::fprintf(stderr, "unknown app '%s' (try 'list')\n",
+                     name.c_str());
+        return 2;
+    }
+    auto run = droidbench::runApp(*entry);
+    core::PiftParams p{ni, nt, true};
+    bool pift = analysis::piftDetectsLeak(run.trace, p);
+    bool full = analysis::baselineDetectsLeak(run.trace);
+
+    std::printf("app: %s (%s, ground truth: %s)\n",
+                entry->name.c_str(), entry->category.c_str(),
+                entry->leaks ? "leaks" : "benign");
+    std::printf("trace: %zu records, %zu source/sink events\n",
+                run.trace.records.size(), run.trace.controls.size());
+    for (const auto &call : run.sink_calls)
+        std::printf("sink payload: \"%s\"\n", call.payload.c_str());
+    std::printf("PIFT (NI=%u, NT=%u): %s\n", ni, nt,
+                pift ? "LEAK DETECTED" : "clean");
+    std::printf("full DIFT baseline: %s\n",
+                full ? "LEAK DETECTED" : "clean");
+    return 0;
+}
+
+int
+cmdSweep(const std::string &name, unsigned max_ni)
+{
+    const auto *entry = findApp(name);
+    if (!entry) {
+        std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+        return 2;
+    }
+    auto run = droidbench::runApp(*entry);
+    std::printf("%-4s %s\n", "NT", "minimal NI");
+    for (unsigned nt = 1; nt <= 5; ++nt) {
+        unsigned min_ni = analysis::minimalNi(run.trace, nt, max_ni);
+        if (min_ni > max_ni)
+            std::printf("%-4u never (<= %u)\n", nt, max_ni);
+        else
+            std::printf("%-4u %u\n", nt, min_ni);
+    }
+    return 0;
+}
+
+int
+cmdDump(const std::string &name)
+{
+    const auto *entry = findApp(name);
+    if (!entry) {
+        std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+        return 2;
+    }
+    droidbench::AppContext ctx;
+    size_t preinstalled = ctx.dex.methodCount();
+    dalvik::MethodId main_id = entry->declare(ctx);
+    // Print the app's own methods (everything it registered), main
+    // last for readability.
+    for (dalvik::MethodId id = static_cast<dalvik::MethodId>(
+             preinstalled);
+         id < ctx.dex.methodCount(); ++id) {
+        if (id == main_id)
+            continue;
+        std::printf("%s\n", dalvik::disassemble(
+            ctx.dex.method(id)).c_str());
+    }
+    std::printf("%s\n",
+                dalvik::disassemble(ctx.dex.method(main_id)).c_str());
+    return 0;
+}
+
+int
+cmdCapture(const std::string &name, const std::string &path)
+{
+    const auto *entry = findApp(name);
+    if (!entry) {
+        std::fprintf(stderr, "unknown app '%s'\n", name.c_str());
+        return 2;
+    }
+    auto run = droidbench::runApp(*entry);
+    sim::saveTrace(path, run.trace);
+    std::printf("wrote %zu records to %s\n", run.trace.records.size(),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const std::string &path, unsigned ni, unsigned nt)
+{
+    sim::Trace trace;
+    if (!sim::loadTrace(path, trace)) {
+        std::fprintf(stderr, "cannot load trace '%s'\n", path.c_str());
+        return 2;
+    }
+    core::PiftParams p{ni, nt, true};
+    bool pift = analysis::piftDetectsLeak(trace, p);
+    std::printf("%zu records; PIFT (NI=%u, NT=%u): %s\n",
+                trace.records.size(), ni, nt,
+                pift ? "LEAK DETECTED" : "clean");
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: pift_cli list\n"
+                 "       pift_cli run <app> [NI NT]\n"
+                 "       pift_cli sweep <app> [maxNI]\n"
+                 "       pift_cli dump <app>\n"
+                 "       pift_cli capture <app> <file>\n"
+                 "       pift_cli replay <file> [NI NT]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    auto num = [&](int idx, unsigned def) {
+        return idx < argc ? static_cast<unsigned>(atoi(argv[idx]))
+                          : def;
+    };
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run" && argc >= 3)
+        return cmdRun(argv[2], num(3, 13), num(4, 3));
+    if (cmd == "sweep" && argc >= 3)
+        return cmdSweep(argv[2], num(3, 25));
+    if (cmd == "dump" && argc >= 3)
+        return cmdDump(argv[2]);
+    if (cmd == "capture" && argc >= 4)
+        return cmdCapture(argv[2], argv[3]);
+    if (cmd == "replay" && argc >= 3)
+        return cmdReplay(argv[2], num(3, 13), num(4, 3));
+    usage();
+    return 2;
+}

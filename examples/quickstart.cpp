@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: the PIFT core on a bare simulated CPU.
+ *
+ * Builds a tiny ARM-like program that copies a "secret" buffer byte
+ * pair by byte pair (the paper's Figure 1 pattern), attaches the PIFT
+ * tracker to the CPU's retired-instruction stream, registers the
+ * secret's address range as a source, and checks the copy destination
+ * as a sink — no Dalvik, no Android, just the tracking engine.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/pift_tracker.hh"
+#include "core/taint_store.hh"
+#include "isa/assembler.hh"
+#include "mem/memory.hh"
+#include "sim/cpu.hh"
+
+using namespace pift;
+
+int
+main()
+{
+    // A device: memory, an event hub, a CPU publishing into it.
+    mem::Memory memory;
+    sim::EventHub hub;
+    sim::Cpu cpu(memory, hub);
+
+    // PIFT: the tracking heuristic over an ideal (unbounded) range
+    // store, with the paper's recommended window NI=13, NT=3.
+    core::IdealRangeStore store;
+    core::PiftTracker tracker({13, 3, true}, store);
+    hub.addSink(&tracker);
+
+    // The secret lives at 0x4000'1000 (16 bytes).
+    const Addr secret = 0x4000'1000;
+    const Addr copy = 0x4000'2000;
+    memory.writeString16(secret, "IMEI-356");
+
+    // Register the source range, as the PIFT Manager would.
+    sim::ControlEvent src;
+    src.seq = hub.recordCount();
+    src.pid = cpu.pid();
+    src.kind = sim::ControlKind::RegisterSource;
+    src.start = secret;
+    src.end = secret + 15;
+    hub.publish(src);
+
+    // The Figure 1 copy loop: ldrh/strh, two bytes per iteration.
+    isa::Assembler a(0x0000'8000);
+    a.movi(0, static_cast<int32_t>(copy));    // dst
+    a.movi(1, static_cast<int32_t>(secret));  // src
+    a.movi(5, 8);                             // char count
+    a.label("loop");
+    a.ldrh(6, isa::memOff(1, 2, isa::WriteBack::Post));
+    a.strh(6, isa::memOff(0, 2, isa::WriteBack::Post));
+    a.subs(5, 5, isa::imm(1));
+    a.b("loop", isa::Cond::Ne);
+    a.halt();
+    cpu.loadProgram(a.finish());
+
+    cpu.setPc(0x0000'8000);
+    uint64_t steps = cpu.run();
+
+    // Check the copy destination, as a sink would.
+    sim::ControlEvent sink;
+    sink.seq = hub.recordCount();
+    sink.pid = cpu.pid();
+    sink.kind = sim::ControlKind::CheckSink;
+    sink.start = copy;
+    sink.end = copy + 15;
+    sink.id = 1;
+    hub.publish(sink);
+
+    std::printf("executed %llu instructions\n",
+                static_cast<unsigned long long>(steps));
+    std::printf("copy content: \"%s\"\n",
+                memory.readString16(copy, 8).c_str());
+    std::printf("tainted bytes: %llu in %zu ranges\n",
+                static_cast<unsigned long long>(store.bytes()),
+                store.rangeCount());
+    std::printf("sink verdict: %s\n",
+                tracker.anyLeak() ? "LEAK DETECTED" : "clean");
+    std::printf("(the copy loop's load-store distance is 1, well "
+                "inside the NI=13 tainting window)\n");
+    return tracker.anyLeak() ? 0 : 1;
+}

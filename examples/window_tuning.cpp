@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Window tuning: capture-once, replay-many parameter exploration.
+ *
+ * Captures the traces of a handful of benchmark apps once, then
+ * replays them under every NI to find each app's minimal detectable
+ * window — the workflow behind Figure 11 and the knob a deployment
+ * would tune against its accuracy/overhead budget.
+ *
+ * Run: ./build/examples/window_tuning
+ */
+
+#include <cstdio>
+
+#include "analysis/evaluate.hh"
+#include "droidbench/app.hh"
+
+using namespace pift;
+
+int
+main()
+{
+    const char *names[] = {
+        "DirectLeak_Sms_IMEI",        // no transformation
+        "PaperExample_ConcatChain_Sms", // string concatenation
+        "FieldChar_Leak_Sms",         // chars through object fields
+        "IntToChar_Leak_Http",        // conversion bytecodes
+        "GPS_Latitude_Sms",           // float-to-string (ABI helper)
+        "ImplicitFlow1_Sms",          // control-dependent copy
+        "ImplicitFlow2_Http",         // deeper implicit flow
+        "Benign_ConstMessage_Sms",    // no leak at all
+    };
+
+    std::printf("%-30s %10s %12s %12s\n", "app", "records",
+                "minNI(NT=1)", "minNI(NT=3)");
+    for (const char *name : names) {
+        for (const auto &entry : droidbench::droidBenchApps()) {
+            if (entry.name != name)
+                continue;
+            auto run = droidbench::runApp(entry);
+            unsigned n1 = analysis::minimalNi(run.trace, 1, 25);
+            unsigned n3 = analysis::minimalNi(run.trace, 3, 25);
+            char b1[16], b3[16];
+            std::snprintf(b1, sizeof(b1), n1 > 25 ? "never" : "%u",
+                          n1);
+            std::snprintf(b3, sizeof(b3), n3 > 25 ? "never" : "%u",
+                          n3);
+            std::printf("%-30s %10zu %12s %12s\n", name,
+                        run.trace.records.size(), b1, b3);
+        }
+    }
+
+    std::printf("\nAt the paper's operating point (NI=13, NT=3) every "
+                "app above except ImplicitFlow2 is caught;\n"
+                "the benign app is never flagged at any setting.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+#include "analysis/census.hh"
+
+#include <algorithm>
+
+#include "dalvik/handlers.hh"
+#include "support/logging.hh"
+
+namespace pift::analysis
+{
+
+void
+accumulateCensus(const dalvik::Dex &dex, dalvik::MethodOrigin origin,
+                 CensusMap &counts)
+{
+    for (dalvik::MethodId id = 0; id < dex.methodCount(); ++id) {
+        const dalvik::Method &m = dex.method(id);
+        if (m.is_native || m.origin != origin)
+            continue;
+        size_t unit = 0;
+        while (unit < m.code.size()) {
+            auto bc = static_cast<dalvik::Bc>(m.code[unit] & 0xff);
+            pift_assert(static_cast<unsigned>(bc) <
+                        dalvik::num_bytecodes,
+                        "bad opcode in method '%s'", m.name.c_str());
+            ++counts[bc];
+            unit += dalvik::unitCount(bc);
+        }
+        pift_assert(unit == m.code.size(),
+                    "method '%s' decodes past its end",
+                    m.name.c_str());
+    }
+}
+
+std::vector<OpcodeCount>
+rankCensus(const CensusMap &counts, size_t top)
+{
+    uint64_t total = 0;
+    for (const auto &[bc, count] : counts)
+        total += count;
+
+    std::vector<OpcodeCount> ranked;
+    ranked.reserve(counts.size());
+    for (const auto &[bc, count] : counts) {
+        OpcodeCount oc;
+        oc.bc = bc;
+        oc.count = count;
+        oc.percent = total
+            ? 100.0 * static_cast<double>(count) /
+                static_cast<double>(total)
+            : 0.0;
+        ranked.push_back(oc);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const OpcodeCount &a, const OpcodeCount &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.bc < b.bc;
+              });
+    if (top && ranked.size() > top)
+        ranked.resize(top);
+    return ranked;
+}
+
+std::vector<DistanceRow>
+bytecodeDistanceTable()
+{
+    dalvik::HandlerSet set = dalvik::emitHandlers();
+    std::vector<DistanceRow> rows;
+    rows.reserve(dalvik::num_bytecodes);
+    for (unsigned op = 0; op < dalvik::num_bytecodes; ++op) {
+        auto bc = static_cast<dalvik::Bc>(op);
+        DistanceRow row;
+        row.bc = bc;
+        row.expected = dalvik::expectedDistance(bc);
+        const auto &info = set.info[op];
+        if (row.expected == -2) {
+            // ABI-helper path: the distance depends on the helper
+            // body, not the template ("unknown" in Table 1).
+            row.measured = -2;
+        } else if (info.data_load_pcs.empty() ||
+                   info.data_store_pcs.empty()) {
+            row.measured = -1;
+        } else {
+            Addr first_load = *std::min_element(
+                info.data_load_pcs.begin(), info.data_load_pcs.end());
+            Addr last_store = *std::max_element(
+                info.data_store_pcs.begin(),
+                info.data_store_pcs.end());
+            row.measured = static_cast<int>(
+                (last_store - first_load) / isa::inst_bytes);
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace pift::analysis

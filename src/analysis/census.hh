@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Static bytecode analyses: the Figure 10 opcode census and the
+ * Table 1 load-store distance table.
+ *
+ * Figure 10 counts opcode appearances in dex code, split between
+ * application code and the system libraries. Table 1 reports, per
+ * data-moving bytecode, the longest native distance from a load of
+ * moved program data to the data store inside the handler template;
+ * it is computed from the emitted handlers' annotations (and pinned
+ * against dynamic measurements by the test suite).
+ */
+
+#ifndef PIFT_ANALYSIS_CENSUS_HH
+#define PIFT_ANALYSIS_CENSUS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dalvik/bytecode.hh"
+#include "dalvik/method.hh"
+
+namespace pift::analysis
+{
+
+/** Count of one opcode in a census. */
+struct OpcodeCount
+{
+    dalvik::Bc bc;
+    uint64_t count = 0;
+    double percent = 0.0;
+};
+
+/** Accumulator for opcode appearance counts. */
+using CensusMap = std::map<dalvik::Bc, uint64_t>;
+
+/**
+ * Walk every bytecode method of @p origin in @p dex and add its
+ * opcode appearances into @p counts.
+ */
+void accumulateCensus(const dalvik::Dex &dex,
+                      dalvik::MethodOrigin origin, CensusMap &counts);
+
+/**
+ * Sort a census into Figure 10 form: descending by count, with
+ * percentages of the total.
+ *
+ * @param top keep only the most frequent @p top opcodes (0 = all)
+ */
+std::vector<OpcodeCount> rankCensus(const CensusMap &counts,
+                                    size_t top = 30);
+
+/** One Table 1 row. */
+struct DistanceRow
+{
+    dalvik::Bc bc;
+    int expected;   //!< Table 1 value (-1 non-moving, -2 unknown)
+    int measured;   //!< from the emitted handler (-1/-2 likewise)
+};
+
+/**
+ * The Table 1 data: per bytecode, the expected (paper) and measured
+ * (emitted-template) longest data-load-to-store distance.
+ */
+std::vector<DistanceRow> bytecodeDistanceTable();
+
+} // namespace pift::analysis
+
+#endif // PIFT_ANALYSIS_CENSUS_HH

@@ -1,0 +1,100 @@
+#include "analysis/evaluate.hh"
+
+#include "baseline/full_tracker.hh"
+#include "core/taint_store.hh"
+
+namespace pift::analysis
+{
+
+bool
+piftDetectsLeak(const sim::Trace &trace, const core::PiftParams &params)
+{
+    core::IdealRangeStore store;
+    core::PiftTracker tracker(params, store);
+    sim::replay(trace, tracker);
+    return tracker.anyLeak();
+}
+
+bool
+baselineDetectsLeak(const sim::Trace &trace)
+{
+    baseline::FullTracker tracker;
+    sim::replay(trace, tracker);
+    return tracker.anyLeak();
+}
+
+unsigned
+minimalNi(const sim::Trace &trace, unsigned nt, unsigned max_ni)
+{
+    for (unsigned ni = 1; ni <= max_ni; ++ni) {
+        core::PiftParams params;
+        params.ni = ni;
+        params.nt = nt;
+        if (piftDetectsLeak(trace, params))
+            return ni;
+    }
+    return max_ni + 1;
+}
+
+Accuracy
+evaluateAccuracy(const std::vector<LabelledTrace> &set,
+                 const core::PiftParams &params)
+{
+    Accuracy acc;
+    for (const auto &item : set) {
+        bool detected = piftDetectsLeak(item.trace, params);
+        if (item.leaks && detected)
+            ++acc.tp;
+        else if (item.leaks && !detected)
+            ++acc.fn;
+        else if (!item.leaks && detected)
+            ++acc.fp;
+        else
+            ++acc.tn;
+    }
+    return acc;
+}
+
+stats::HeatMap
+accuracySweep(const std::vector<LabelledTrace> &set, int ni_hi,
+              int nt_hi, bool untaint)
+{
+    stats::HeatMap map("NT", 1, nt_hi, "NI", 1, ni_hi);
+    for (int nt = 1; nt <= nt_hi; ++nt) {
+        for (int ni = 1; ni <= ni_hi; ++ni) {
+            core::PiftParams params;
+            params.ni = static_cast<unsigned>(ni);
+            params.nt = static_cast<unsigned>(nt);
+            params.untaint = untaint;
+            map.set(nt, ni,
+                    100.0 * evaluateAccuracy(set, params).accuracy());
+        }
+    }
+    return map;
+}
+
+OverheadResult
+measureOverhead(const sim::Trace &trace, const core::PiftParams &params)
+{
+    OverheadResult result;
+    core::IdealRangeStore store;
+    core::PiftTracker tracker(params, store);
+    tracker.setOpObserver(
+        [&result](SeqNum records, const core::TrackerStats &stats,
+                  const core::TaintStore &st) {
+            result.tainted_bytes.record(records,
+                                        static_cast<double>(st.bytes()));
+            result.cumulative_ops.record(
+                records, static_cast<double>(stats.taint_ops +
+                                             stats.untaint_ops));
+        });
+    sim::replay(trace, tracker);
+    result.max_tainted_bytes = tracker.stats().max_tainted_bytes;
+    result.max_ranges = tracker.stats().max_ranges;
+    result.taint_ops = tracker.stats().taint_ops;
+    result.untaint_ops = tracker.stats().untaint_ops;
+    result.horizon = trace.records.size();
+    return result;
+}
+
+} // namespace pift::analysis

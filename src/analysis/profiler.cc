@@ -1,0 +1,82 @@
+#include "analysis/profiler.hh"
+
+#include <algorithm>
+
+namespace pift::analysis
+{
+
+namespace
+{
+
+/** Domain cap for the Figure 2 histograms (values above overflow). */
+constexpr uint64_t distance_cap = 512;
+
+} // anonymous namespace
+
+DistanceProfiler::DistanceProfiler()
+    : fig2a(distance_cap), fig2b(distance_cap), fig2c(distance_cap)
+{}
+
+void
+DistanceProfiler::consume(const sim::Trace &trace)
+{
+    for (const auto &rec : trace.records) {
+        SeqNum at = instructions++;
+        if (rec.mem_kind == sim::MemKind::Load) {
+            if (have_load) {
+                fig2c.add(at - last_load);
+                fig2b.add(stores_since_load);
+            }
+            have_load = true;
+            last_load = at;
+            stores_since_load = 0;
+            loads.push_back(at);
+        } else if (rec.mem_kind == sim::MemKind::Store) {
+            if (have_load)
+                fig2a.add(at - last_load);
+            ++stores_since_load;
+            stores.push_back(at);
+        }
+    }
+}
+
+stats::Histogram
+DistanceProfiler::storesInWindow(unsigned ni) const
+{
+    stats::Histogram hist(256);
+    size_t si = 0;
+    for (SeqNum load : loads) {
+        // First store strictly after the load.
+        while (si < stores.size() && stores[si] <= load)
+            ++si;
+        size_t k = si;
+        uint64_t count = 0;
+        while (k < stores.size() && stores[k] <= load + ni) {
+            ++count;
+            ++k;
+        }
+        hist.add(count);
+    }
+    return hist;
+}
+
+double
+DistanceProfiler::meanDistanceToStore(unsigned ni, unsigned rank) const
+{
+    uint64_t total = 0;
+    uint64_t samples = 0;
+    size_t si = 0;
+    for (SeqNum load : loads) {
+        while (si < stores.size() && stores[si] <= load)
+            ++si;
+        size_t idx = si + rank - 1;
+        if (idx < stores.size() && stores[idx] <= load + ni) {
+            total += stores[idx] - load;
+            ++samples;
+        }
+    }
+    return samples ? static_cast<double>(total) /
+        static_cast<double>(samples) : 0.0;
+}
+
+} // namespace pift::analysis

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Load/store stream statistics (Figures 2, 12 and 13).
+ *
+ * The profiler consumes a retired-instruction trace and produces the
+ * paper's three Section 2 metrics — distance from each store to the
+ * most recent load, number of stores between consecutive loads,
+ * distance between consecutive loads — plus the Section 5.1
+ * micro-benchmarks: the distribution of store counts inside a window
+ * of NI instructions after each load (Figure 12) and the mean
+ * distance to the 1st/2nd/3rd store inside the window (Figure 13).
+ */
+
+#ifndef PIFT_ANALYSIS_PROFILER_HH
+#define PIFT_ANALYSIS_PROFILER_HH
+
+#include <vector>
+
+#include "sim/trace.hh"
+#include "stats/histogram.hh"
+
+namespace pift::analysis
+{
+
+/** One-pass collector over a trace. */
+class DistanceProfiler
+{
+  public:
+    DistanceProfiler();
+
+    /** Feed every record of @p trace (may be called repeatedly). */
+    void consume(const sim::Trace &trace);
+
+    /** Figure 2a: distance from a store to the most recent load. */
+    const stats::Histogram &storeToLastLoad() const { return fig2a; }
+
+    /** Figure 2b: number of stores between consecutive loads. */
+    const stats::Histogram &storesBetweenLoads() const { return fig2b; }
+
+    /** Figure 2c: distance between consecutive loads. */
+    const stats::Histogram &loadToLoad() const { return fig2c; }
+
+    /**
+     * Figure 12: distribution of the number of stores within the NI
+     * instructions following each load.
+     */
+    stats::Histogram storesInWindow(unsigned ni) const;
+
+    /**
+     * Figure 13: mean distance from a load to the rank-th store
+     * (1-based) inside a window of @p ni instructions; 0 when no
+     * window contains that many stores.
+     */
+    double meanDistanceToStore(unsigned ni, unsigned rank) const;
+
+    uint64_t loadCount() const { return loads.size(); }
+    uint64_t storeCount() const { return stores.size(); }
+    uint64_t instructionCount() const { return instructions; }
+
+  private:
+    stats::Histogram fig2a;
+    stats::Histogram fig2b;
+    stats::Histogram fig2c;
+    std::vector<SeqNum> loads;   //!< retired indices of loads
+    std::vector<SeqNum> stores;  //!< retired indices of stores
+    uint64_t instructions = 0;
+    bool have_load = false;
+    SeqNum last_load = 0;
+    uint64_t stores_since_load = 0;
+};
+
+} // namespace pift::analysis
+
+#endif // PIFT_ANALYSIS_PROFILER_HH

@@ -1,0 +1,200 @@
+#include "android/framework.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace pift::android
+{
+
+using dalvik::Dex;
+using dalvik::MethodBuilder;
+using dalvik::MethodOrigin;
+using dalvik::NativeCall;
+using dalvik::Vm;
+
+namespace
+{
+
+uint32_t
+floatBits(float f)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits;
+}
+
+} // anonymous namespace
+
+AndroidEnv::AndroidEnv(sim::EventHub &hub, sim::Cpu &cpu,
+                       runtime::Heap &heap)
+    : native_(heap), module_(hub, cpu), manager_(native_, module_)
+{}
+
+void
+AndroidEnv::install(dalvik::Dex &dex, runtime::JavaLib &lib)
+{
+    (void)lib;
+    location_cls = dex.addClass({"android/location/Location", 2, 0,
+                                 {}});
+    intent_cls = dex.addClass({"android/content/Intent", 4, 0, {}});
+
+    // ---- Sources --------------------------------------------------
+
+    auto string_source = [this](const std::string &value,
+                                SourceType type) {
+        return [this, value, type](Vm &vm, const NativeCall &) {
+            runtime::Ref s = vm.newString(value);
+            manager_.registerString(s, type);
+            vm.setRetval(s);
+        };
+    };
+
+    get_device_id = dex.addNative(
+        "TelephonyManager.getDeviceId", 0,
+        string_source(profile.imei, SourceType::DeviceId));
+    get_line1_number = dex.addNative(
+        "TelephonyManager.getLine1Number", 0,
+        string_source(profile.phone_number, SourceType::PhoneNumber));
+    get_serial = dex.addNative(
+        "Build.getSerial", 0,
+        string_source(profile.serial, SourceType::SerialNumber));
+    get_sim_id = dex.addNative(
+        "TelephonyManager.getSimSerialNumber", 0,
+        string_source(profile.sim_id, SourceType::SimId));
+
+    {
+        char text[64];
+        std::snprintf(text, sizeof(text), "%.4f,%.4f",
+                      static_cast<double>(profile.latitude),
+                      static_cast<double>(profile.longitude));
+        get_location_string = dex.addNative(
+            "LocationManager.getLocationString", 0,
+            string_source(text, SourceType::Location));
+    }
+
+    get_location = dex.addNative(
+        "LocationManager.getLastKnownLocation", 0,
+        [this](Vm &vm, const NativeCall &) {
+            runtime::Heap &heap = vm.heap();
+            runtime::Ref loc = heap.allocObject(location_cls, 2);
+            vm.memory().write32(heap.fieldAddr(loc, 0),
+                                floatBits(profile.latitude));
+            vm.memory().write32(heap.fieldAddr(loc, 1),
+                                floatBits(profile.longitude));
+            manager_.registerField(loc, 0, SourceType::Location);
+            manager_.registerField(loc, 1, SourceType::Location);
+            vm.setRetval(loc);
+        });
+
+    // Location getters are plain bytecode field reads.
+    {
+        MethodBuilder b("Location.getLatitude", 4, 1);
+        b.origin(MethodOrigin::SystemLib)
+            .iget(0, 3, 0)
+            .returnValue(0);
+        location_get_latitude = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("Location.getLongitude", 4, 1);
+        b.origin(MethodOrigin::SystemLib)
+            .iget(0, 3, 4)
+            .returnValue(0);
+        location_get_longitude = dex.addMethod(b.finish());
+    }
+
+    // ---- Sinks ----------------------------------------------------
+
+    send_text_message = dex.addNative(
+        "SmsManager.sendTextMessage", 2,
+        [this](Vm &vm, const NativeCall &call) {
+            runtime::Ref msg = vm.memory().read32(call.arg_addr(1));
+            bool tainted = manager_.checkString(msg, SinkType::Sms);
+            bool block = tainted &&
+                sink_policy == SinkPolicy::Prevent;
+            calls.push_back({SinkType::Sms,
+                             block ? std::string("<blocked>")
+                                   : vm.readString(msg),
+                             block});
+            vm.setRetval(0);
+        });
+
+    http_post = dex.addNative(
+        "HttpURLConnection.post", 2,
+        [this](Vm &vm, const NativeCall &call) {
+            runtime::Ref url = vm.memory().read32(call.arg_addr(0));
+            runtime::Ref body = vm.memory().read32(call.arg_addr(1));
+            bool tainted = manager_.checkString(url, SinkType::Http);
+            tainted |= manager_.checkString(body, SinkType::Http);
+            bool block = tainted &&
+                sink_policy == SinkPolicy::Prevent;
+            calls.push_back({SinkType::Http,
+                             block ? std::string("<blocked>")
+                                   : vm.readString(url) + " " +
+                                       vm.readString(body),
+                             block});
+            vm.setRetval(0);
+        });
+
+    log_d = dex.addNative(
+        "Log.d", 2,
+        [this](Vm &vm, const NativeCall &call) {
+            runtime::Ref msg = vm.memory().read32(call.arg_addr(1));
+            bool tainted = manager_.checkString(msg, SinkType::Log);
+            bool block = tainted &&
+                sink_policy == SinkPolicy::Prevent;
+            calls.push_back({SinkType::Log,
+                             block ? std::string("<blocked>")
+                                   : vm.readString(msg),
+                             block});
+            vm.setRetval(0);
+        });
+
+    // ---- Intents and callbacks -------------------------------------
+
+    intent_init = dex.addNative(
+        "Intent.<init>", 0,
+        [this](Vm &vm, const NativeCall &) {
+            vm.setRetval(vm.heap().allocObject(intent_cls, 4));
+        });
+
+    intent_put_extra = dex.addNative(
+        "Intent.putExtra", 3,
+        [](Vm &vm, const NativeCall &call) {
+            runtime::Ref intent = vm.memory().read32(call.arg_addr(0));
+            uint32_t slot = vm.memory().read32(call.arg_addr(1));
+            runtime::Ref value = vm.memory().read32(call.arg_addr(2));
+            pift_assert(slot < 4, "intent extra slot out of range");
+            vm.memory().write32(vm.heap().fieldAddr(intent, slot),
+                                value);
+            vm.setRetval(0);
+        });
+
+    intent_get_extra = dex.addNative(
+        "Intent.getExtra", 2,
+        [](Vm &vm, const NativeCall &call) {
+            runtime::Ref intent = vm.memory().read32(call.arg_addr(0));
+            uint32_t slot = vm.memory().read32(call.arg_addr(1));
+            pift_assert(slot < 4, "intent extra slot out of range");
+            vm.setRetval(vm.memory().read32(
+                vm.heap().fieldAddr(intent, slot)));
+        });
+
+    handler_post = dex.addNative(
+        "Handler.post", 1,
+        [](Vm &vm, const NativeCall &call) {
+            // Synchronously dispatch the callback object's vtable
+            // slot 0 (Runnable.run) through virtual dispatch.
+            runtime::Ref cb = vm.memory().read32(call.arg_addr(0));
+            pift_assert(cb != 0, "posting a null callback");
+            dalvik::ClassId cls = vm.heap().classOf(cb);
+            const auto &vtable = vm.dex().classInfo(cls).vtable;
+            pift_assert(!vtable.empty(),
+                        "callback class has no vtable");
+            vm.execute(vtable[0], {cb});
+            vm.setRetval(0);
+        });
+}
+
+} // namespace pift::android

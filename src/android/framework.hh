@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The mini Android framework the benchmark apps program against.
+ *
+ * Exposes the DroidBench source/sink surface as native methods app
+ * bytecode can invoke:
+ *
+ *   sources — TelephonyManager.getDeviceId / getLine1Number /
+ *             getSimSerialNumber, Build.SERIAL, LocationManager
+ *             .getLastKnownLocation (a Location object with float
+ *             latitude/longitude fields);
+ *   sinks   — SmsManager.sendTextMessage, HTTP url/body, Log.d.
+ *
+ * Every source registers the fetched data with the PIFT stack before
+ * returning it; every sink checks the outgoing buffer — exactly the
+ * PiftManager instrumentation of Figure 3. Sink calls are also
+ * recorded host-side (payload text) so tests can assert app
+ * behaviour independently of taint verdicts.
+ */
+
+#ifndef PIFT_ANDROID_FRAMEWORK_HH
+#define PIFT_ANDROID_FRAMEWORK_HH
+
+#include <string>
+#include <vector>
+
+#include "android/pift_stack.hh"
+#include "dalvik/method.hh"
+#include "dalvik/vm.hh"
+#include "runtime/library.hh"
+
+namespace pift::android
+{
+
+/** The device's sensitive data (defaults mirror the paper's IMEI). */
+struct DeviceProfile
+{
+    std::string imei = "356938035643809";
+    std::string phone_number = "+15551234567";
+    std::string serial = "R58M12ABCDE";
+    std::string sim_id = "8901260123456789012";
+    float latitude = 37.4220f;
+    float longitude = -122.0841f;
+};
+
+/** What sinks do when live tracking flags the outgoing data. */
+enum class SinkPolicy
+{
+    Detect,  //!< record the verdict, let the data through (default)
+    Prevent  //!< block delivery of tainted payloads
+};
+
+/** One observed sink invocation (host-side ground-truth record). */
+struct SinkCall
+{
+    SinkType type;
+    std::string payload;
+    bool blocked = false; //!< suppressed by the Prevent policy
+};
+
+/** Framework facade: classes, native methods, and the PIFT stack. */
+class AndroidEnv
+{
+  public:
+    /**
+     * @param hub event stream (control events are published here)
+     * @param cpu the device CPU
+     * @param heap the object heap
+     */
+    AndroidEnv(sim::EventHub &hub, sim::Cpu &cpu, runtime::Heap &heap);
+
+    /**
+     * Register framework classes and native methods into @p dex.
+     * Must run before Vm::boot(); the env must outlive execution.
+     */
+    void install(dalvik::Dex &dex, runtime::JavaLib &lib);
+
+    /// @name Framework method ids (invoked from app bytecode)
+    /// @{
+    dalvik::MethodId get_device_id = dalvik::no_method;
+    dalvik::MethodId get_line1_number = dalvik::no_method;
+    dalvik::MethodId get_serial = dalvik::no_method;
+    dalvik::MethodId get_sim_id = dalvik::no_method;
+    dalvik::MethodId get_location = dalvik::no_method;
+    dalvik::MethodId get_location_string = dalvik::no_method;
+    dalvik::MethodId location_get_latitude = dalvik::no_method;
+    dalvik::MethodId location_get_longitude = dalvik::no_method;
+    dalvik::MethodId send_text_message = dalvik::no_method;
+    dalvik::MethodId http_post = dalvik::no_method;
+    dalvik::MethodId log_d = dalvik::no_method;
+    dalvik::MethodId intent_init = dalvik::no_method;
+    dalvik::MethodId intent_put_extra = dalvik::no_method;
+    dalvik::MethodId intent_get_extra = dalvik::no_method;
+    dalvik::MethodId handler_post = dalvik::no_method;
+    /// @}
+
+    /** Location: fields 0 = latitude bits, 1 = longitude bits. */
+    dalvik::ClassId location_cls = 0;
+    /** Intent: four opaque extra slots. */
+    dalvik::ClassId intent_cls = 0;
+
+    DeviceProfile profile;
+
+    /** Sink invocations observed so far (host ground truth). */
+    const std::vector<SinkCall> &sinkCalls() const { return calls; }
+    void clearSinkCalls() { calls.clear(); }
+
+    /**
+     * Select what sinks do on a live-tainted verdict. Prevention
+     * requires a hardware module attached to the PIFT module
+     * (module().attachHw), since only a synchronous check can block
+     * before delivery — the paper's prevention-vs-detection trade
+     * (Section 1).
+     */
+    void setSinkPolicy(SinkPolicy policy) { sink_policy = policy; }
+    SinkPolicy sinkPolicy() const { return sink_policy; }
+
+    PiftManager &manager() { return manager_; }
+    PiftModule &module() { return module_; }
+
+  private:
+    PiftNative native_;
+    PiftModule module_;
+    PiftManager manager_;
+    std::vector<SinkCall> calls;
+    SinkPolicy sink_policy = SinkPolicy::Detect;
+};
+
+} // namespace pift::android
+
+#endif // PIFT_ANDROID_FRAMEWORK_HH

@@ -1,0 +1,58 @@
+#include "android/pift_stack.hh"
+
+namespace pift::android
+{
+
+sim::ControlEvent
+PiftModule::makeEvent(const taint::AddrRange &range, uint32_t id) const
+{
+    sim::ControlEvent ev;
+    ev.seq = hub_ref.recordCount();
+    ev.pid = cpu_ref.pid();
+    ev.start = range.start;
+    ev.end = range.end;
+    ev.id = id;
+    return ev;
+}
+
+void
+PiftModule::registerRange(const taint::AddrRange &range, uint32_t id)
+{
+    sim::ControlEvent ev = makeEvent(range, id);
+    ev.kind = sim::ControlKind::RegisterSource;
+    hub_ref.publish(ev);
+}
+
+bool
+PiftModule::checkRange(const taint::AddrRange &range, uint32_t id)
+{
+    sim::ControlEvent ev = makeEvent(range, id);
+    ev.kind = sim::ControlKind::CheckSink;
+    hub_ref.publish(ev);
+
+    if (!hw_module)
+        return false;
+
+    // Drive the memory-mapped command ports for a synchronous
+    // verdict (Figure 3's Check path through the kernel module).
+    hw_module->writePort(core::hw_ports::pid, cpu_ref.pid());
+    hw_module->writePort(core::hw_ports::start, range.start);
+    hw_module->writePort(core::hw_ports::end, range.end);
+    hw_module->writePort(
+        core::hw_ports::command,
+        static_cast<uint32_t>(core::HwCommand::CheckRange));
+    bool tainted = hw_module->readPort(core::hw_ports::result) != 0;
+    if (tainted && on_leak)
+        on_leak(range, id);
+    return tainted;
+}
+
+void
+PiftModule::clearAll()
+{
+    sim::ControlEvent ev = makeEvent(taint::AddrRange(0, 0), 0);
+    ev.kind = sim::ControlKind::ClearAll;
+    hub_ref.publish(ev);
+}
+
+} // namespace pift::android

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The three-layer PIFT software stack of Figure 3.
+ *
+ * PiftManager (Android framework): instruments sources and sinks; at
+ * a source the fetched data is registered, at a sink the outgoing
+ * data is checked.
+ *
+ * PiftNative (Android runtime): address translation. For object data
+ * (a String) it obtains the pointer to the character array; for a
+ * primitive field it computes the field's byte offset inside the
+ * owning instance.
+ *
+ * PiftModule (Linux kernel): forwards register/check commands to the
+ * tracking backend. In this reproduction it publishes ControlEvents
+ * into the same stream the CPU front-end feeds, so captured traces
+ * carry the exact software/hardware interleaving; core::HwModule
+ * models the equivalent memory-mapped command ports.
+ */
+
+#ifndef PIFT_ANDROID_PIFT_STACK_HH
+#define PIFT_ANDROID_PIFT_STACK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "core/hw_module.hh"
+#include "runtime/heap.hh"
+#include "sim/cpu.hh"
+#include "sim/trace.hh"
+#include "taint/addr_range.hh"
+
+namespace pift::android
+{
+
+/** Kinds of sensitive data sources (the DroidBench set). */
+enum class SourceType : uint32_t
+{
+    DeviceId = 1,    //!< TelephonyManager.getDeviceId (IMEI)
+    PhoneNumber = 2, //!< TelephonyManager.getLine1Number
+    SerialNumber = 3,
+    Location = 4,    //!< LocationManager (GPS latitude/longitude)
+    SimId = 5
+};
+
+/** Kinds of data sinks. */
+enum class SinkType : uint32_t
+{
+    Sms = 1,  //!< SmsManager.sendTextMessage
+    Http = 2, //!< HTTP connection body/URL
+    Log = 3   //!< android.util.Log
+};
+
+/** Runtime-level address translation (JNI). */
+class PiftNative
+{
+  public:
+    explicit PiftNative(runtime::Heap &heap) : heap_ref(heap) {}
+
+    /** Character-array range of a String/char[] object. */
+    taint::AddrRange
+    translateString(runtime::Ref ref) const
+    {
+        return heap_ref.charRange(ref);
+    }
+
+    /** Byte range of primitive field @p index of @p ref. */
+    taint::AddrRange
+    translateField(runtime::Ref ref, uint32_t index) const
+    {
+        return taint::AddrRange::fromSize(
+            heap_ref.fieldAddr(ref, index), 4);
+    }
+
+  private:
+    runtime::Heap &heap_ref;
+};
+
+/** Kernel-level gateway to the tracking backend. */
+class PiftModule
+{
+  public:
+    /**
+     * Invoked when a live check finds taint ("it may generate an
+     * event to the upper layer to inform of the potential leakage",
+     * Section 3.1).
+     */
+    using LeakAlert = std::function<void(const taint::AddrRange &,
+                                         uint32_t sink_id)>;
+
+    /**
+     * @param hub event stream shared with the CPU front-end
+     * @param cpu used for the current process id and stream position
+     */
+    PiftModule(sim::EventHub &hub, sim::Cpu &cpu)
+        : hub_ref(hub), cpu_ref(cpu)
+    {}
+
+    /**
+     * Attach the memory-mapped hardware module for synchronous
+     * verdicts (live prevention). Without one, checks are recorded in
+     * the stream for offline analysis and return "unknown" (false).
+     */
+    void attachHw(core::HwModule *hw) { hw_module = hw; }
+
+    /** Install the leak-event callback. */
+    void setLeakAlert(LeakAlert alert) { on_leak = std::move(alert); }
+
+    /** Register a sensitive range (source). */
+    void registerRange(const taint::AddrRange &range, uint32_t id);
+
+    /**
+     * Query a range at a sink. The event is always published into the
+     * stream; when a hardware module is attached the live verdict is
+     * also returned (and the leak alert fired on taint).
+     *
+     * @return true when attached hardware reports taint now
+     */
+    bool checkRange(const taint::AddrRange &range, uint32_t id);
+
+    /** Drop all taint state (app teardown). */
+    void clearAll();
+
+  private:
+    sim::ControlEvent makeEvent(const taint::AddrRange &range,
+                                uint32_t id) const;
+
+    sim::EventHub &hub_ref;
+    sim::Cpu &cpu_ref;
+    core::HwModule *hw_module = nullptr;
+    LeakAlert on_leak;
+};
+
+/** Framework-level source/sink instrumentation. */
+class PiftManager
+{
+  public:
+    PiftManager(PiftNative &native, PiftModule &module)
+        : native_ref(native), module_ref(module)
+    {}
+
+    /** Register a String source's character data. */
+    void
+    registerString(runtime::Ref ref, SourceType type)
+    {
+        module_ref.registerRange(native_ref.translateString(ref),
+                                 static_cast<uint32_t>(type));
+    }
+
+    /** Register a primitive field source. */
+    void
+    registerField(runtime::Ref ref, uint32_t field, SourceType type)
+    {
+        module_ref.registerRange(native_ref.translateField(ref, field),
+                                 static_cast<uint32_t>(type));
+    }
+
+    /**
+     * Check a String at a sink.
+     * @return true when live hardware reports the data tainted
+     */
+    bool
+    checkString(runtime::Ref ref, SinkType type)
+    {
+        return module_ref.checkRange(native_ref.translateString(ref),
+                                     static_cast<uint32_t>(type));
+    }
+
+  private:
+    PiftNative &native_ref;
+    PiftModule &module_ref;
+};
+
+} // namespace pift::android
+
+#endif // PIFT_ANDROID_PIFT_STACK_HH

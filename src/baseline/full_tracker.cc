@@ -1,0 +1,193 @@
+#include "baseline/full_tracker.hh"
+
+#include <algorithm>
+
+#include "isa/inst.hh"
+#include "support/logging.hh"
+
+namespace pift::baseline
+{
+
+using isa::Op;
+
+void
+FullTracker::trackMaxima(const ProcState &ps)
+{
+    stat.max_tainted_bytes = std::max(stat.max_tainted_bytes,
+                                      ps.mem.bytes());
+    stat.max_ranges = std::max<uint64_t>(stat.max_ranges,
+                                         ps.mem.rangeCount());
+}
+
+void
+FullTracker::onRecord(const sim::TraceRecord &rec)
+{
+    ++records_seen;
+    ++stat.instructions;
+    ProcState &ps = state(rec.pid);
+
+    switch (rec.mem_kind) {
+      case sim::MemKind::Load: {
+        // Register taint <- memory taint of the accessed bytes.
+        // Records synthesized outside the CPU may omit the register
+        // operands; such loads have no register-file effect here.
+        ++stat.propagations;
+        ++stat.reg_ops;
+        if (rec.op == Op::Ldrd && rec.dst < 15) {
+            ps.regs[rec.dst] = ps.mem.overlaps(
+                taint::AddrRange(rec.mem_start, rec.mem_start + 3));
+            ps.regs[rec.dst2] = ps.mem.overlaps(
+                taint::AddrRange(rec.mem_start + 4, rec.mem_end));
+        } else if (rec.op == Op::Ldm && rec.dst < 16) {
+            for (uint8_t i = 0; i < rec.reg_count; ++i) {
+                Addr lo = rec.mem_start + 4u * i;
+                ps.regs[rec.dst + i] =
+                    ps.mem.overlaps(taint::AddrRange(lo, lo + 3));
+            }
+        } else if (rec.dst < 16) {
+            ps.regs[rec.dst] = ps.mem.overlaps(
+                taint::AddrRange(rec.mem_start, rec.mem_end));
+        }
+        return;
+      }
+      case sim::MemKind::Store: {
+        // Memory taint <- stored register taint, byte exact.
+        ++stat.propagations;
+        ++stat.mem_ops;
+        if (rec.src[0] >= 16) {
+            // Synthetic store with no register operand: treat the
+            // stored data as clean.
+            ps.mem.remove(taint::AddrRange(rec.mem_start, rec.mem_end));
+            trackMaxima(ps);
+            return;
+        }
+        if (rec.op == Op::Strd) {
+            taint::AddrRange lo(rec.mem_start, rec.mem_start + 3);
+            taint::AddrRange hi(rec.mem_start + 4, rec.mem_end);
+            if (ps.regs[rec.src[0]])
+                ps.mem.insert(lo);
+            else
+                ps.mem.remove(lo);
+            if (ps.regs[rec.src[1]])
+                ps.mem.insert(hi);
+            else
+                ps.mem.remove(hi);
+        } else if (rec.op == Op::Stm) {
+            for (uint8_t i = 0; i < rec.reg_count; ++i) {
+                Addr lo = rec.mem_start + 4u * i;
+                taint::AddrRange word(lo, lo + 3);
+                if (ps.regs[rec.src[0] + i])
+                    ps.mem.insert(word);
+                else
+                    ps.mem.remove(word);
+            }
+        } else {
+            taint::AddrRange r(rec.mem_start, rec.mem_end);
+            if (ps.regs[rec.src[0]])
+                ps.mem.insert(r);
+            else
+                ps.mem.remove(r);
+        }
+        trackMaxima(ps);
+        return;
+      }
+      case sim::MemKind::None:
+        break;
+    }
+
+    // Non-memory instruction: register-to-register propagation.
+    switch (rec.op) {
+      case Op::Mov: case Op::Mvn: case Op::Add: case Op::Sub:
+      case Op::Rsb: case Op::Mul: case Op::And: case Op::Orr:
+      case Op::Eor: case Op::Bic: case Op::Lsl: case Op::Lsr:
+      case Op::Asr: case Op::Ubfx: case Op::Sbfx: case Op::Sxth:
+      case Op::Uxth: case Op::Uxtb: {
+        if (rec.dst == no_reg || rec.dst >= 15)
+            return;
+        bool t = false;
+        for (RegIndex s : rec.src)
+            if (s != no_reg && s < 16)
+                t = t || ps.regs[s];
+        ps.regs[rec.dst] = t;
+        ++stat.propagations;
+        ++stat.reg_ops;
+        return;
+      }
+      case Op::Svc: {
+        // ABI-helper taint summary: the __aeabi_* helpers compute
+        // r0 <- f(r0[, r1]); propagate argument taint to the result,
+        // the same summary TaintDroid applies to native code.
+        if (rec.aux >= 16 && rec.aux <= 22) {
+            bool two_args = rec.aux != 21 && rec.aux != 22;
+            if (two_args)
+                ps.regs[0] = ps.regs[0] || ps.regs[1];
+            ++stat.propagations;
+            ++stat.reg_ops;
+        }
+        return;
+      }
+
+      default:
+        // Compares, branches, nop: no taint effect.
+        return;
+    }
+}
+
+void
+FullTracker::onControl(const sim::ControlEvent &ev)
+{
+    ProcState &ps = state(ev.pid);
+    taint::AddrRange range(ev.start, ev.end);
+    switch (ev.kind) {
+      case sim::ControlKind::RegisterSource:
+        ps.mem.insert(range);
+        trackMaxima(ps);
+        break;
+      case sim::ControlKind::CheckSink: {
+        core::SinkResult res;
+        res.sink_id = ev.id;
+        res.pid = ev.pid;
+        res.range = range;
+        res.tainted = ps.mem.overlaps(range);
+        res.at_records = records_seen;
+        sinks.push_back(res);
+        break;
+      }
+      case sim::ControlKind::ClearAll:
+        procs.clear();
+        break;
+    }
+}
+
+bool
+FullTracker::anyLeak() const
+{
+    return std::any_of(sinks.begin(), sinks.end(),
+                       [](const core::SinkResult &s) {
+                           return s.tainted;
+                       });
+}
+
+bool
+FullTracker::regTainted(ProcId pid, RegIndex r) const
+{
+    auto it = procs.find(pid);
+    return it != procs.end() && r < 16 && it->second.regs[r];
+}
+
+const taint::RangeSet &
+FullTracker::memTaint(ProcId pid)
+{
+    return state(pid).mem;
+}
+
+void
+FullTracker::reset()
+{
+    procs.clear();
+    stat = FullTrackerStats{};
+    sinks.clear();
+    records_seen = 0;
+}
+
+} // namespace pift::baseline

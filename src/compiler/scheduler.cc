@@ -1,0 +1,351 @@
+#include "compiler/scheduler.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace pift::compiler
+{
+
+namespace
+{
+
+using isa::Inst;
+using isa::Op;
+
+/** Architectural side effects of one instruction. */
+struct Effects
+{
+    uint32_t reads = 0;   //!< register read mask
+    uint32_t writes = 0;  //!< register write mask
+    uint32_t data_in = 0; //!< registers whose *value* is stored
+    bool reads_flags = false;
+    bool writes_flags = false;
+    bool memory = false;
+    bool control = false;
+};
+
+void
+addReg(uint32_t &mask, RegIndex r)
+{
+    if (r < 16)
+        mask |= 1u << r;
+}
+
+Effects
+effectsOf(const Inst &inst)
+{
+    Effects e;
+    if (inst.cond != isa::Cond::Al)
+        e.reads_flags = true;
+    if (inst.set_flags)
+        e.writes_flags = true;
+
+    switch (inst.op) {
+      case Op::Nop:
+        return e;
+
+      case Op::Mov:
+      case Op::Mvn:
+        if (!inst.op2.is_imm)
+            addReg(e.reads, inst.op2.reg);
+        addReg(e.writes, inst.rd);
+        break;
+
+      case Op::Add: case Op::Sub: case Op::Rsb: case Op::Mul:
+      case Op::And: case Op::Orr: case Op::Eor: case Op::Bic:
+      case Op::Lsl: case Op::Lsr: case Op::Asr:
+        addReg(e.reads, inst.rn);
+        if (!inst.op2.is_imm)
+            addReg(e.reads, inst.op2.reg);
+        addReg(e.writes, inst.rd);
+        break;
+
+      case Op::Ubfx: case Op::Sbfx: case Op::Sxth: case Op::Uxth:
+      case Op::Uxtb:
+        addReg(e.reads, inst.rn);
+        addReg(e.writes, inst.rd);
+        break;
+
+      case Op::Cmp: case Op::Cmn: case Op::Tst:
+        addReg(e.reads, inst.rn);
+        if (!inst.op2.is_imm)
+            addReg(e.reads, inst.op2.reg);
+        e.writes_flags = true;
+        break;
+
+      case Op::B:
+        e.control = true;
+        break;
+      case Op::Bl:
+        e.control = true;
+        addReg(e.writes, 14);
+        break;
+      case Op::Bx:
+        e.control = true;
+        addReg(e.reads, inst.op2.reg);
+        break;
+
+      case Op::Ldr: case Op::Ldrh: case Op::Ldrb:
+        e.memory = true;
+        addReg(e.reads, inst.mem.base);
+        addReg(e.reads, inst.mem.index);
+        addReg(e.writes, inst.rd);
+        if (inst.mem.writeback != isa::WriteBack::None)
+            addReg(e.writes, inst.mem.base);
+        break;
+      case Op::Ldrd:
+        e.memory = true;
+        addReg(e.reads, inst.mem.base);
+        addReg(e.reads, inst.mem.index);
+        addReg(e.writes, inst.rd);
+        addReg(e.writes, static_cast<RegIndex>(inst.rd + 1));
+        if (inst.mem.writeback != isa::WriteBack::None)
+            addReg(e.writes, inst.mem.base);
+        break;
+      case Op::Ldm:
+        e.memory = true;
+        addReg(e.reads, inst.rn);
+        for (uint8_t i = 0; i < inst.reg_count; ++i)
+            addReg(e.writes, static_cast<RegIndex>(inst.rd + i));
+        addReg(e.writes, inst.rn);
+        break;
+
+      case Op::Str: case Op::Strh: case Op::Strb:
+        e.memory = true;
+        addReg(e.reads, inst.mem.base);
+        addReg(e.reads, inst.mem.index);
+        addReg(e.reads, inst.rd);
+        addReg(e.data_in, inst.rd);
+        if (inst.mem.writeback != isa::WriteBack::None)
+            addReg(e.writes, inst.mem.base);
+        break;
+      case Op::Strd:
+        e.memory = true;
+        addReg(e.reads, inst.mem.base);
+        addReg(e.reads, inst.mem.index);
+        addReg(e.reads, inst.rd);
+        addReg(e.reads, static_cast<RegIndex>(inst.rd + 1));
+        addReg(e.data_in, inst.rd);
+        addReg(e.data_in, static_cast<RegIndex>(inst.rd + 1));
+        if (inst.mem.writeback != isa::WriteBack::None)
+            addReg(e.writes, inst.mem.base);
+        break;
+      case Op::Stm:
+        e.memory = true;
+        addReg(e.reads, inst.rn);
+        for (uint8_t i = 0; i < inst.reg_count; ++i) {
+            addReg(e.reads, static_cast<RegIndex>(inst.rd + i));
+            addReg(e.data_in, static_cast<RegIndex>(inst.rd + i));
+        }
+        addReg(e.writes, inst.rn);
+        break;
+
+      case Op::Svc:
+      case Op::Halt:
+        e.control = true;
+        break;
+
+      default:
+        e.control = true; // unknown: maximally constrained
+        break;
+    }
+
+    // A write to pc is a control transfer.
+    if (e.writes & (1u << 15)) {
+        e.control = true;
+        e.writes &= ~(1u << 15);
+    }
+    return e;
+}
+
+bool
+isPlainAlu(const Inst &inst, const Effects &e)
+{
+    return !e.memory && !e.control && !e.reads_flags &&
+        !e.writes_flags && inst.cond == isa::Cond::Al;
+}
+
+/** First dependent store after load @p li inside [begin, end). */
+int
+dependentStore(const std::vector<Inst> &insts,
+               const std::vector<Effects> &fx, size_t li, size_t end)
+{
+    uint32_t carrying = fx[li].writes;
+    for (size_t k = li + 1; k < end && carrying; ++k) {
+        const Effects &e = fx[k];
+        if (isa::isStore(insts[k].op) && (e.data_in & carrying))
+            return static_cast<int>(k);
+        if (e.reads & carrying)
+            carrying |= e.writes;  // value flows onward
+        else
+            carrying &= ~e.writes; // overwritten with unrelated data
+    }
+    return -1;
+}
+
+} // anonymous namespace
+
+std::vector<size_t>
+blockLeaders(const isa::Program &prog)
+{
+    std::set<size_t> leaders;
+    leaders.insert(0);
+    for (const auto &[name, addr] : prog.labels)
+        if (prog.contains(addr))
+            leaders.insert((addr - prog.base) / isa::inst_bytes);
+    for (size_t i = 0; i < prog.insts.size(); ++i) {
+        const Inst &inst = prog.insts[i];
+        Effects e = effectsOf(inst);
+        if ((inst.op == Op::B || inst.op == Op::Bl) &&
+            prog.contains(inst.target)) {
+            leaders.insert((inst.target - prog.base) /
+                           isa::inst_bytes);
+        }
+        if (e.control && i + 1 < prog.insts.size())
+            leaders.insert(i + 1);
+    }
+    return {leaders.begin(), leaders.end()};
+}
+
+int
+worstLoadStoreDistance(const isa::Program &prog)
+{
+    std::vector<Effects> fx;
+    fx.reserve(prog.insts.size());
+    for (const auto &inst : prog.insts)
+        fx.push_back(effectsOf(inst));
+
+    auto leaders = blockLeaders(prog);
+    int worst = -1;
+    for (size_t b = 0; b < leaders.size(); ++b) {
+        size_t begin = leaders[b];
+        size_t end = b + 1 < leaders.size() ? leaders[b + 1]
+            : prog.insts.size();
+        for (size_t i = begin; i < end; ++i) {
+            if (!isa::isLoad(prog.insts[i].op))
+                continue;
+            int s = dependentStore(prog.insts, fx, i, end);
+            if (s >= 0)
+                worst = std::max(worst, s - static_cast<int>(i));
+        }
+    }
+    return worst;
+}
+
+ScheduleStats
+optimizeForPift(isa::Program &prog)
+{
+    ScheduleStats stats;
+    auto leaders = blockLeaders(prog);
+    stats.blocks = leaders.size();
+
+    auto effects_of_all = [&prog]() {
+        std::vector<Effects> fx;
+        fx.reserve(prog.insts.size());
+        for (const auto &inst : prog.insts)
+            fx.push_back(effectsOf(inst));
+        return fx;
+    };
+
+    // ---- Pass 1: dead-code elimination -----------------------------
+    {
+        std::vector<Effects> fx = effects_of_all();
+        for (size_t b = 0; b < leaders.size(); ++b) {
+            size_t begin = leaders[b];
+            size_t end = b + 1 < leaders.size() ? leaders[b + 1]
+                : prog.insts.size();
+            for (size_t i = begin; i < end; ++i) {
+                const Inst &inst = prog.insts[i];
+                if (inst.op == Op::Nop || !isPlainAlu(inst, fx[i]) ||
+                    fx[i].writes == 0) {
+                    continue;
+                }
+                uint32_t defs = fx[i].writes;
+                bool dead = false;
+                for (size_t k = i + 1; k < end; ++k) {
+                    if (fx[k].reads & defs)
+                        break; // used: live
+                    if ((fx[k].writes & defs) == defs) {
+                        dead = true; // fully overwritten before use
+                        break;
+                    }
+                    defs &= ~fx[k].writes;
+                    if (!defs)
+                        break;
+                }
+                if (dead) {
+                    prog.insts[i] = Inst{}; // nop
+                    fx[i] = Effects{};
+                    ++stats.dead_eliminated;
+                }
+            }
+        }
+    }
+
+    // ---- Pass 2: load-store tightening ------------------------------
+    bool changed = true;
+    unsigned rounds = 0;
+    while (changed && rounds++ < 64) {
+        changed = false;
+        std::vector<Effects> fx = effects_of_all();
+        for (size_t b = 0; b < leaders.size(); ++b) {
+            size_t begin = leaders[b];
+            size_t end = b + 1 < leaders.size() ? leaders[b + 1]
+                : prog.insts.size();
+            for (size_t i = begin; i < end; ++i) {
+                if (!isa::isLoad(prog.insts[i].op))
+                    continue;
+                int s = dependentStore(prog.insts, fx, i, end);
+                if (s < 0 || static_cast<size_t>(s) <= i + 1)
+                    continue;
+                size_t j = static_cast<size_t>(s);
+                bool tightened = false;
+
+                // Try to relocate each instruction in (i, j) to just
+                // after the store. Scan from the store backwards so a
+                // single round can drain a whole run of padding.
+                for (size_t k = j; k-- > i + 1;) {
+                    const Inst &m = prog.insts[k];
+                    Effects me = effectsOf(m);
+                    if (m.op != Op::Nop && !isPlainAlu(m, me))
+                        continue;
+                    // m must commute with every instruction it jumps
+                    // over: (k, j].
+                    bool independent = true;
+                    for (size_t n = k + 1; n <= j && independent;
+                         ++n) {
+                        const Effects &ne =
+                            n < fx.size() ? fx[n] : effectsOf(
+                                prog.insts[n]);
+                        if ((me.writes & (ne.reads | ne.writes)) ||
+                            (me.reads & ne.writes)) {
+                            independent = false;
+                        }
+                    }
+                    if (!independent)
+                        continue;
+                    // Rotate m from position k to position j.
+                    Inst moved_inst = prog.insts[k];
+                    prog.insts.erase(prog.insts.begin() +
+                                     static_cast<long>(k));
+                    prog.insts.insert(prog.insts.begin() +
+                                      static_cast<long>(j),
+                                      moved_inst);
+                    fx = effects_of_all();
+                    ++stats.moved;
+                    tightened = true;
+                    changed = true;
+                    --j; // the store moved one slot earlier
+                }
+                if (tightened)
+                    ++stats.pairs_tightened;
+            }
+        }
+    }
+
+    return stats;
+}
+
+} // namespace pift::compiler

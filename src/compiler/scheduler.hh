@@ -1,0 +1,68 @@
+/**
+ * @file
+ * PIFT-aware native code optimization (the paper's Section 7
+ * follow-up): defeat the Section 4.2 evasion, where an attacker
+ * inserts an arbitrarily long block of dummy native instructions
+ * between a load of sensitive data and the store of its copy so the
+ * store falls outside any realistic tainting window.
+ *
+ * "A compiler support for PIFT could address such attacks. For
+ *  example, the compiler could eliminate dummy code inserted between
+ *  related load/store instructions and could relocate such
+ *  instructions to be closer to each other."
+ *
+ * Two passes over each basic block:
+ *
+ *  1. dead-code elimination — a side-effect-free data-processing
+ *     instruction whose result is overwritten before any use is
+ *     replaced with a nop (the classic shape of dummy padding);
+ *  2. load-store tightening — for every load whose value feeds a
+ *     later store in the same block, independent instructions between
+ *     the pair (including the nops pass 1 left behind) are relocated
+ *     after the store when the reordering provably commutes.
+ *
+ * Both passes preserve program semantics (checked by differential
+ * execution in the tests) and program geometry: blocks keep their
+ * boundaries, so branch targets and labels stay valid.
+ */
+
+#ifndef PIFT_COMPILER_SCHEDULER_HH
+#define PIFT_COMPILER_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/assembler.hh"
+
+namespace pift::compiler
+{
+
+/** What the optimizer did to a program. */
+struct ScheduleStats
+{
+    uint64_t dead_eliminated = 0;  //!< instructions nop'ed by DCE
+    uint64_t moved = 0;            //!< instructions relocated
+    uint64_t pairs_tightened = 0;  //!< load-store pairs brought closer
+    uint64_t blocks = 0;           //!< basic blocks processed
+};
+
+/**
+ * The longest data-dependent load->store distance in @p prog,
+ * assuming straight-line execution within basic blocks (the metric
+ * the tainting window must cover). Returns -1 when the program has
+ * no dependent pair.
+ */
+int worstLoadStoreDistance(const isa::Program &prog);
+
+/**
+ * Run the PIFT-aware optimization in place.
+ * @return statistics about the transformation
+ */
+ScheduleStats optimizeForPift(isa::Program &prog);
+
+/** Basic-block boundaries of @p prog (instruction indices). */
+std::vector<size_t> blockLeaders(const isa::Program &prog);
+
+} // namespace pift::compiler
+
+#endif // PIFT_COMPILER_SCHEDULER_HH

@@ -1,0 +1,95 @@
+#include "core/hw_module.hh"
+
+#include "support/logging.hh"
+
+namespace pift::core
+{
+
+void
+HwModule::writePort(Addr offset, uint32_t value)
+{
+    switch (offset) {
+      case hw_ports::start:
+        reg_start = value;
+        break;
+      case hw_ports::end:
+        reg_end = value;
+        break;
+      case hw_ports::pid:
+        reg_pid = value;
+        break;
+      case hw_ports::ni:
+        reg_ni = value;
+        break;
+      case hw_ports::nt:
+        reg_nt = value;
+        break;
+      case hw_ports::untaint:
+        reg_untaint = value;
+        break;
+      case hw_ports::command:
+        execute(static_cast<HwCommand>(value));
+        break;
+      default:
+        pift_warn("write to unknown PIFT port offset 0x%x", offset);
+        break;
+    }
+}
+
+uint32_t
+HwModule::readPort(Addr offset) const
+{
+    switch (offset) {
+      case hw_ports::command: return 0;
+      case hw_ports::start:   return reg_start;
+      case hw_ports::end:     return reg_end;
+      case hw_ports::pid:     return reg_pid;
+      case hw_ports::ni:      return reg_ni;
+      case hw_ports::nt:      return reg_nt;
+      case hw_ports::untaint: return reg_untaint;
+      case hw_ports::result:  return reg_result;
+      default:
+        pift_warn("read from unknown PIFT port offset 0x%x", offset);
+        return 0;
+    }
+}
+
+void
+HwModule::execute(HwCommand cmd)
+{
+    sim::ControlEvent ev;
+    ev.pid = reg_pid;
+    ev.start = reg_start;
+    ev.end = reg_end;
+    switch (cmd) {
+      case HwCommand::RegisterRange:
+        ev.kind = sim::ControlKind::RegisterSource;
+        tracker_.onControl(ev);
+        reg_result = 1;
+        break;
+      case HwCommand::CheckRange: {
+        ev.kind = sim::ControlKind::CheckSink;
+        tracker_.onControl(ev);
+        reg_result = tracker_.sinkResults().back().tainted ? 1 : 0;
+        break;
+      }
+      case HwCommand::Configure: {
+        PiftParams p;
+        p.ni = reg_ni;
+        p.nt = reg_nt;
+        p.untaint = reg_untaint != 0;
+        tracker_.setParams(p);
+        reg_result = 1;
+        break;
+      }
+      case HwCommand::ClearAll:
+        ev.kind = sim::ControlKind::ClearAll;
+        tracker_.onControl(ev);
+        reg_result = 1;
+        break;
+      case HwCommand::None:
+        break;
+    }
+}
+
+} // namespace pift::core

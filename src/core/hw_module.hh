@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The PIFT hardware module programming model (Figures 3 and 5).
+ *
+ * Software (the kernel-level PIFT Module) talks to the on-chip PIFT
+ * hardware through an array of memory-mapped ports: it writes the
+ * operand registers (address range, pid, parameters), then writes a
+ * command code to the command port; the module latches the result
+ * into the result port. Taint lookup/propagation from the CPU
+ * front-end never goes through these ports — it is driven by the
+ * retired-instruction event stream (PiftTracker::onRecord), exactly
+ * as the paper notes: "the SW module does not interact with the HW
+ * module most of the time".
+ */
+
+#ifndef PIFT_CORE_HW_MODULE_HH
+#define PIFT_CORE_HW_MODULE_HH
+
+#include <cstdint>
+
+#include "core/pift_tracker.hh"
+#include "support/types.hh"
+
+namespace pift::core
+{
+
+/** Command codes accepted through the command port. */
+enum class HwCommand : uint32_t
+{
+    None = 0,
+    RegisterRange = 1, //!< taint [start,end] for pid (source)
+    CheckRange = 2,    //!< result <- overlap of [start,end] for pid
+    Configure = 3,     //!< set NI/NT (and untaint enable) parameters
+    ClearAll = 4       //!< drop all taint state
+};
+
+/** Byte offsets of the memory-mapped ports. */
+namespace hw_ports
+{
+inline constexpr Addr command = 0x00;
+inline constexpr Addr start = 0x04;
+inline constexpr Addr end = 0x08;
+inline constexpr Addr pid = 0x0c;
+inline constexpr Addr ni = 0x10;
+inline constexpr Addr nt = 0x14;
+inline constexpr Addr untaint = 0x18;
+inline constexpr Addr result = 0x1c;
+inline constexpr Addr size = 0x20;
+} // namespace hw_ports
+
+/**
+ * Register-level model of the PIFT hardware module. Wraps the tracker
+ * and its taint store behind the MMIO command protocol.
+ */
+class HwModule
+{
+  public:
+    /** @param tracker the tracking engine this module fronts. */
+    explicit HwModule(PiftTracker &tracker) : tracker_(tracker) {}
+
+    /** MMIO write at @p offset (one of hw_ports). */
+    void writePort(Addr offset, uint32_t value);
+
+    /** MMIO read at @p offset (result port; operands read back). */
+    uint32_t readPort(Addr offset) const;
+
+    /** The tracker behind the ports (for tests). */
+    PiftTracker &tracker() { return tracker_; }
+
+  private:
+    void execute(HwCommand cmd);
+
+    PiftTracker &tracker_;
+    uint32_t reg_start = 0;
+    uint32_t reg_end = 0;
+    uint32_t reg_pid = 0;
+    uint32_t reg_ni = 13;
+    uint32_t reg_nt = 3;
+    uint32_t reg_untaint = 1;
+    uint32_t reg_result = 0;
+};
+
+} // namespace pift::core
+
+#endif // PIFT_CORE_HW_MODULE_HH

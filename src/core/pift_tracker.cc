@@ -1,0 +1,128 @@
+#include "core/pift_tracker.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace pift::core
+{
+
+PiftTracker::PiftTracker(const PiftParams &params, TaintStore &store_)
+    : cfg(params), store(store_)
+{
+    pift_assert(cfg.ni >= 1, "NI must be at least 1");
+    pift_assert(cfg.nt >= 1, "NT must be at least 1");
+}
+
+void
+PiftTracker::afterOp(SeqNum records)
+{
+    stat.max_tainted_bytes = std::max(stat.max_tainted_bytes,
+                                      store.bytes());
+    stat.max_ranges = std::max<uint64_t>(stat.max_ranges,
+                                         store.rangeCount());
+    if (observer)
+        observer(records, stat, store);
+}
+
+void
+PiftTracker::onRecord(const sim::TraceRecord &rec)
+{
+    ++records_seen;
+    if (rec.mem_kind == sim::MemKind::None)
+        return;
+
+    taint::AddrRange range(rec.mem_start, rec.mem_end);
+
+    if (rec.mem_kind == sim::MemKind::Load) {
+        ++stat.loads;
+        // [Algorithm 1, lines 10-15] A load overlapping a tainted
+        // range starts (or restarts) the tainting window.
+        if (store.query(rec.pid, range)) {
+            Window &w = windows[rec.pid];
+            bool open = w.active && rec.local_seq <= w.ltlt + cfg.ni;
+            if (cfg.restart || !open) {
+                w.active = true;
+                w.ltlt = rec.local_seq;
+                w.used = 0;
+            }
+            ++stat.tainted_loads;
+        }
+        return;
+    }
+
+    // Store.
+    ++stat.stores;
+    Window &w = windows[rec.pid];
+    bool in_window = w.active && rec.local_seq <= w.ltlt + cfg.ni;
+    if (in_window && w.used < cfg.nt) {
+        // [Lines 17-19] Taint the target range.
+        ++w.used;
+        if (store.insert(rec.pid, range)) {
+            ++stat.taint_ops;
+            afterOp(records_seen);
+        }
+    } else if (cfg.untaint) {
+        // [Lines 20-22] Outside the window (or budget exhausted):
+        // the target is likely overwritten with non-sensitive data.
+        if (store.remove(rec.pid, range)) {
+            ++stat.untaint_ops;
+            afterOp(records_seen);
+        }
+    }
+}
+
+void
+PiftTracker::onControl(const sim::ControlEvent &ev)
+{
+    taint::AddrRange range(ev.start, ev.end);
+    switch (ev.kind) {
+      case sim::ControlKind::RegisterSource:
+        if (store.insert(ev.pid, range)) {
+            ++stat.taint_ops;
+            afterOp(records_seen);
+        }
+        break;
+      case sim::ControlKind::CheckSink: {
+        SinkResult res;
+        res.sink_id = ev.id;
+        res.pid = ev.pid;
+        res.range = range;
+        res.tainted = store.query(ev.pid, range);
+        res.at_records = records_seen;
+        sinks.push_back(res);
+        break;
+      }
+      case sim::ControlKind::ClearAll:
+        store.clear();
+        windows.clear();
+        break;
+    }
+}
+
+bool
+PiftTracker::anyLeak() const
+{
+    return std::any_of(sinks.begin(), sinks.end(),
+                       [](const SinkResult &s) { return s.tainted; });
+}
+
+void
+PiftTracker::setParams(const PiftParams &params)
+{
+    pift_assert(params.ni >= 1, "NI must be at least 1");
+    pift_assert(params.nt >= 1, "NT must be at least 1");
+    cfg = params;
+    windows.clear();
+}
+
+void
+PiftTracker::reset()
+{
+    windows.clear();
+    stat = TrackerStats{};
+    sinks.clear();
+    records_seen = 0;
+}
+
+} // namespace pift::core

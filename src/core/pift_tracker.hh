@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The PIFT taint-propagation heuristic (Algorithm 1).
+ *
+ * The tracker consumes the retired-instruction stream and maintains
+ * the tainted range set R through a per-process Tainting Window (TW):
+ *
+ *  - on a memory load whose source range overlaps R, (re)start the TW:
+ *    remember the per-process instruction index LTLT and zero the
+ *    propagation budget;
+ *  - on a memory store at instruction k: if k <= LTLT + NI and fewer
+ *    than NT propagations have been used in this window, taint the
+ *    store's target range; otherwise untaint it (when untainting is
+ *    enabled).
+ *
+ * Everything between the loads and stores — the "process step" that
+ * full DIFT instruments — is deliberately ignored; that is the
+ * paper's core trade.
+ *
+ * Control events implement the software stack of Figure 3: source
+ * registration taints a range, a sink check queries the outgoing
+ * buffer and records a SinkResult.
+ */
+
+#ifndef PIFT_CORE_PIFT_TRACKER_HH
+#define PIFT_CORE_PIFT_TRACKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/taint_store.hh"
+#include "sim/trace.hh"
+#include "support/types.hh"
+#include "taint/addr_range.hh"
+
+namespace pift::core
+{
+
+/** Tainting-window configuration (the paper's NI and NT). */
+struct PiftParams
+{
+    /** Tainting window size NI, in per-process instructions. */
+    unsigned ni = 13;
+    /** Maximum taint propagations NT per window. */
+    unsigned nt = 3;
+    /** Untaint stores that fall outside every window (Section 3.2). */
+    bool untaint = true;
+    /**
+     * Restart the window on every tainted load (Algorithm 1 / Figure
+     * 4 semantics). When false — an ablation variant — a tainted load
+     * only opens a window if none is active, and never refreshes one.
+     */
+    bool restart = true;
+};
+
+/** Outcome of one sink check. */
+struct SinkResult
+{
+    uint32_t sink_id = 0;        //!< app-assigned sink identifier
+    ProcId pid = 0;
+    taint::AddrRange range;      //!< buffer that was checked
+    bool tainted = false;        //!< true = leak detected
+    SeqNum at_records = 0;       //!< records preceding the check
+};
+
+/** Running counters of the tracker (drives Figures 14-19). */
+struct TrackerStats
+{
+    uint64_t loads = 0;            //!< load events observed
+    uint64_t stores = 0;           //!< store events observed
+    uint64_t tainted_loads = 0;    //!< loads that opened/renewed a TW
+    uint64_t taint_ops = 0;        //!< effective taint propagations
+    uint64_t untaint_ops = 0;      //!< effective untaint operations
+    uint64_t max_tainted_bytes = 0;
+    uint64_t max_ranges = 0;
+};
+
+/** Online implementation of Algorithm 1 over a TaintStore backend. */
+class PiftTracker : public sim::TraceSink
+{
+  public:
+    /**
+     * Called after every effective taint/untaint operation with the
+     * record count so far; benches sample tainted-bytes/op-count
+     * time series through this hook.
+     */
+    using OpObserver = std::function<void(SeqNum records,
+                                          const TrackerStats &,
+                                          const TaintStore &)>;
+
+    /**
+     * @param params window configuration
+     * @param store taint-state backend (not owned)
+     */
+    PiftTracker(const PiftParams &params, TaintStore &store);
+
+    void onRecord(const sim::TraceRecord &rec) override;
+    void onControl(const sim::ControlEvent &ev) override;
+
+    const TrackerStats &stats() const { return stat; }
+    const std::vector<SinkResult> &sinkResults() const { return sinks; }
+
+    /** True when any sink check so far saw tainted data. */
+    bool anyLeak() const;
+
+    /** Install the per-operation observer (may be empty). */
+    void setOpObserver(OpObserver obs) { observer = std::move(obs); }
+
+    /** Reset window state, statistics and sink results (not store). */
+    void reset();
+
+    const PiftParams &params() const { return cfg; }
+
+    /**
+     * Reconfigure NI/NT/untainting (the hardware Configure command).
+     * Open windows are discarded; taint state is kept.
+     */
+    void setParams(const PiftParams &params);
+
+  private:
+    /** Per-process tainting-window state. */
+    struct Window
+    {
+        bool active = false;  //!< a tainted load has been seen
+        SeqNum ltlt = 0;      //!< last tainted-load time (local seq)
+        unsigned used = 0;    //!< propagations consumed in this TW
+    };
+
+    void afterOp(SeqNum records);
+
+    PiftParams cfg;
+    TaintStore &store;
+    std::unordered_map<ProcId, Window> windows;
+    TrackerStats stat;
+    std::vector<SinkResult> sinks;
+    SeqNum records_seen = 0;
+    OpObserver observer;
+};
+
+} // namespace pift::core
+
+#endif // PIFT_CORE_PIFT_TRACKER_HH

@@ -1,0 +1,319 @@
+#include "core/taint_storage.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace pift::core
+{
+
+TaintStorage::TaintStorage(const TaintStorageParams &p)
+    : params(p), entries(p.entries)
+{
+    pift_assert(p.entries > 0, "taint storage needs at least one entry");
+}
+
+size_t
+TaintStorage::validEntries() const
+{
+    size_t n = 0;
+    for (const auto &e : entries)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+size_t
+TaintStorage::spilledRanges() const
+{
+    size_t n = 0;
+    for (const auto &[pid, set] : spill_sets)
+        n += set.rangeCount();
+    return n;
+}
+
+bool
+TaintStorage::query(ProcId pid, const taint::AddrRange &r)
+{
+    ++stat.lookups;
+    stat.entry_compares += entries.size();
+    bool hit = false;
+    for (auto &e : entries) {
+        if (e.valid && e.pid == pid && e.range.overlaps(r)) {
+            e.last_use = ++clock;
+            hit = true;
+            // In hardware all comparators fire at once; keep scanning
+            // only to refresh LRU state of every hitting entry.
+        }
+    }
+    if (hit) {
+        ++stat.lookup_hits;
+        return true;
+    }
+    if (params.policy == EvictPolicy::LruSpill) {
+        auto it = spill_sets.find(pid);
+        if (it != spill_sets.end() && it->second.overlaps(r)) {
+            ++stat.lookup_hits;
+            ++stat.spill_hits;
+            return true;
+        }
+    }
+    return false;
+}
+
+size_t
+TaintStorage::allocEntry(ProcId pid)
+{
+    (void)pid;
+    size_t victim = npos;
+    uint64_t oldest = ~0ull;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].valid)
+            return i;
+        if (entries[i].last_use < oldest) {
+            oldest = entries[i].last_use;
+            victim = i;
+        }
+    }
+    switch (params.policy) {
+      case EvictPolicy::LruSpill:
+        ++stat.evictions;
+        spill_sets[entries[victim].pid].insert(entries[victim].range);
+        entries[victim].valid = false;
+        return victim;
+      case EvictPolicy::LruDrop:
+        ++stat.evictions;
+        ++stat.dropped;
+        entries[victim].valid = false;
+        return victim;
+      case EvictPolicy::DropNew:
+        ++stat.dropped;
+        return npos;
+    }
+    return npos;
+}
+
+bool
+TaintStorage::insert(ProcId pid, const taint::AddrRange &r)
+{
+    if (!r.valid())
+        return false;
+    ++stat.inserts;
+
+    taint::AddrRange merged = r;
+    uint64_t absorbed = 0;
+    size_t slot = npos;
+
+    if (params.coalesce) {
+        // Absorb every same-process entry that overlaps or touches.
+        // Hardware does this with the same comparator array the
+        // lookup uses.
+        stat.entry_compares += entries.size();
+        for (size_t i = 0; i < entries.size(); ++i) {
+            Entry &e = entries[i];
+            if (!e.valid || e.pid != pid || !e.range.touches(merged))
+                continue;
+            merged.start = std::min(merged.start, e.range.start);
+            merged.end = std::max(merged.end, e.range.end);
+            absorbed += e.range.bytes();
+            e.valid = false;
+            if (slot == npos)
+                slot = i;
+            else
+                ++stat.coalesces;
+        }
+        // Growing the merged range may newly touch other entries;
+        // repeat until stable (rare, bounded by entry count).
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (size_t i = 0; i < entries.size(); ++i) {
+                Entry &e = entries[i];
+                if (!e.valid || e.pid != pid ||
+                    !e.range.touches(merged)) {
+                    continue;
+                }
+                merged.start = std::min(merged.start, e.range.start);
+                merged.end = std::max(merged.end, e.range.end);
+                absorbed += e.range.bytes();
+                e.valid = false;
+                ++stat.coalesces;
+                grew = true;
+            }
+        }
+    }
+
+    if (slot == npos)
+        slot = allocEntry(pid);
+    if (slot == npos) {
+        // DropNew with a full cache: the taint is lost.
+        return false;
+    }
+
+    entries[slot] = {pid, merged, true, ++clock};
+    stat.max_entries_used = std::max(stat.max_entries_used,
+                                     validEntries());
+    if (!params.coalesce)
+        return true;
+    return merged.bytes() > absorbed;
+}
+
+bool
+TaintStorage::remove(ProcId pid, const taint::AddrRange &r)
+{
+    if (!r.valid())
+        return false;
+    ++stat.removes;
+    stat.entry_compares += entries.size();
+
+    bool changed = false;
+    for (size_t i = 0; i < entries.size(); ++i) {
+        Entry &e = entries[i];
+        if (!e.valid || e.pid != pid || !e.range.overlaps(r))
+            continue;
+        changed = true;
+        taint::AddrRange cur = e.range;
+        bool keep_left = cur.start < r.start;
+        bool keep_right = cur.end > r.end;
+        if (keep_left && keep_right) {
+            // Split: shrink in place to the left part, allocate a new
+            // entry for the right part.
+            e.range = taint::AddrRange(cur.start, r.start - 1);
+            size_t extra = allocEntry(pid);
+            if (extra != npos) {
+                entries[extra] = {pid,
+                                  taint::AddrRange(r.end + 1, cur.end),
+                                  true, ++clock};
+            } else {
+                ++stat.dropped;
+            }
+        } else if (keep_left) {
+            e.range = taint::AddrRange(cur.start, r.start - 1);
+        } else if (keep_right) {
+            e.range = taint::AddrRange(r.end + 1, cur.end);
+        } else {
+            e.valid = false;
+        }
+    }
+
+    if (params.policy == EvictPolicy::LruSpill) {
+        auto it = spill_sets.find(pid);
+        if (it != spill_sets.end() && it->second.remove(r))
+            changed = true;
+    }
+    return changed;
+}
+
+void
+TaintStorage::clear()
+{
+    for (auto &e : entries)
+        e.valid = false;
+    spill_sets.clear();
+}
+
+uint64_t
+TaintStorage::bytes() const
+{
+    uint64_t total = 0;
+    for (const auto &e : entries)
+        if (e.valid)
+            total += e.range.bytes();
+    for (const auto &[pid, set] : spill_sets)
+        total += set.bytes();
+    return total;
+}
+
+size_t
+TaintStorage::rangeCount() const
+{
+    return validEntries() + spilledRanges();
+}
+
+WordTaintStorage::WordTaintStorage(unsigned granularity_log2)
+    : gran(granularity_log2)
+{
+    pift_assert(granularity_log2 < 31, "granularity too coarse");
+}
+
+uint64_t
+WordTaintStorage::key(ProcId pid, Addr block) const
+{
+    return (static_cast<uint64_t>(pid) << 32) | block;
+}
+
+bool
+WordTaintStorage::query(ProcId pid, const taint::AddrRange &r)
+{
+    if (!r.valid())
+        return false;
+    Addr first = r.start >> gran;
+    Addr last = r.end >> gran;
+    for (Addr b = first; b <= last; ++b) {
+        if (blocks.count(key(pid, b)))
+            return true;
+        if (b == last)
+            break;
+    }
+    return false;
+}
+
+bool
+WordTaintStorage::insert(ProcId pid, const taint::AddrRange &r)
+{
+    if (!r.valid())
+        return false;
+    bool changed = false;
+    Addr first = r.start >> gran;
+    Addr last = r.end >> gran;
+    for (Addr b = first; b <= last; ++b) {
+        changed |= blocks.insert(key(pid, b)).second;
+        if (b == last)
+            break;
+    }
+    return changed;
+}
+
+bool
+WordTaintStorage::remove(ProcId pid, const taint::AddrRange &r)
+{
+    if (!r.valid())
+        return false;
+    // Conservative untainting: only drop blocks fully covered by the
+    // removal, so the store stays a strict over-approximation of the
+    // exact range set (partial overwrites keep the block tainted —
+    // the overtainting cost of fixed granularity, Section 3.3).
+    bool changed = false;
+    Addr first = r.start >> gran;
+    Addr last = r.end >> gran;
+    for (Addr b = first; b <= last; ++b) {
+        Addr block_start = b << gran;
+        Addr block_end = block_start + static_cast<Addr>(blockBytes())
+            - 1;
+        if (r.start <= block_start && block_end <= r.end)
+            changed |= blocks.erase(key(pid, b)) > 0;
+        if (b == last)
+            break;
+    }
+    return changed;
+}
+
+void
+WordTaintStorage::clear()
+{
+    blocks.clear();
+}
+
+uint64_t
+WordTaintStorage::bytes() const
+{
+    return blocks.size() * blockBytes();
+}
+
+size_t
+WordTaintStorage::rangeCount() const
+{
+    return blocks.size();
+}
+
+} // namespace pift::core

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Hardware taint-storage models (Section 3.3, Figure 6).
+ *
+ * TaintStorage models the on-chip cache of arbitrary-length ranges:
+ * a fixed number of entries, each holding {process id, start, end,
+ * valid}; a lookup compares all entries in parallel (constant time in
+ * hardware — we count comparisons for the microbench). When the cache
+ * fills, the paper offers two options: evict with LRU to a secondary
+ * storage in main memory (costing a miss-style delay), or simply drop
+ * the entry (no delay, possible false negatives). Both are modeled,
+ * plus coalescing of overlapping/adjacent same-process entries, which
+ * keeps entry pressure at the Figure 17 levels.
+ *
+ * WordTaintStorage models the fixed-granularity alternative: taint a
+ * whole 2^r-byte block when any byte in it is tainted, storing only
+ * the (32-r)-bit block numbers. Cheaper entries and faster compare,
+ * but overtaints (measured by the ablation bench).
+ */
+
+#ifndef PIFT_CORE_TAINT_STORAGE_HH
+#define PIFT_CORE_TAINT_STORAGE_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/taint_store.hh"
+#include "support/types.hh"
+#include "taint/range_set.hh"
+
+namespace pift::core
+{
+
+/** What to do when a new range finds no free entry. */
+enum class EvictPolicy : uint8_t
+{
+    LruSpill, //!< evict the LRU entry to secondary storage (exact)
+    LruDrop,  //!< evict the LRU entry and forget it (may lose taint)
+    DropNew   //!< refuse the insertion (may lose taint)
+};
+
+/** Operation counters for the hardware model. */
+struct StorageStats
+{
+    uint64_t lookups = 0;          //!< query operations issued
+    uint64_t lookup_hits = 0;      //!< queries that matched an entry
+    uint64_t spill_hits = 0;       //!< hits served by secondary storage
+    uint64_t inserts = 0;          //!< taint commands
+    uint64_t removes = 0;          //!< untaint commands
+    uint64_t evictions = 0;        //!< entries pushed out by capacity
+    uint64_t dropped = 0;          //!< entries lost (no spill)
+    uint64_t coalesces = 0;        //!< entries merged on insert
+    size_t max_entries_used = 0;   //!< peak valid-entry count
+    uint64_t entry_compares = 0;   //!< CAM comparisons (cost proxy)
+};
+
+/** Configuration of the range-entry cache. */
+struct TaintStorageParams
+{
+    /**
+     * Entry count. The paper sizes a 32 KiB on-chip memory at 12
+     * bytes/entry = ~2730 PID-tagged entries (4096 without tags).
+     */
+    size_t entries = 2730;
+    EvictPolicy policy = EvictPolicy::LruSpill;
+    /** Merge overlapping/adjacent same-pid entries on insert. */
+    bool coalesce = true;
+};
+
+/** Fixed-capacity cache of tainted ranges (Figure 6). */
+class TaintStorage : public TaintStore
+{
+  public:
+    explicit TaintStorage(const TaintStorageParams &params);
+
+    bool query(ProcId pid, const taint::AddrRange &r) override;
+    bool insert(ProcId pid, const taint::AddrRange &r) override;
+    bool remove(ProcId pid, const taint::AddrRange &r) override;
+    void clear() override;
+    uint64_t bytes() const override;
+    size_t rangeCount() const override;
+
+    const StorageStats &stats() const { return stat; }
+
+    /** Valid entries currently held on chip. */
+    size_t validEntries() const;
+
+    /** Ranges spilled to the in-memory secondary storage. */
+    size_t spilledRanges() const;
+
+  private:
+    struct Entry
+    {
+        ProcId pid = 0;
+        taint::AddrRange range;
+        bool valid = false;
+        uint64_t last_use = 0; //!< LRU clock
+    };
+
+    /** Claim a slot, evicting per policy. Returns npos if DropNew. */
+    size_t allocEntry(ProcId pid);
+
+    static constexpr size_t npos = ~size_t(0);
+
+    TaintStorageParams params;
+    std::vector<Entry> entries;
+    // Secondary storage in "main memory" (LruSpill policy only).
+    std::map<ProcId, taint::RangeSet> spill_sets;
+    StorageStats stat;
+    uint64_t clock = 0;
+};
+
+/** Fixed-granularity (2^r-byte block) tag store. */
+class WordTaintStorage : public TaintStore
+{
+  public:
+    /** @param granularity_log2 r: block size is 2^r bytes (r >= 0). */
+    explicit WordTaintStorage(unsigned granularity_log2 = 2);
+
+    bool query(ProcId pid, const taint::AddrRange &r) override;
+    bool insert(ProcId pid, const taint::AddrRange &r) override;
+    bool remove(ProcId pid, const taint::AddrRange &r) override;
+    void clear() override;
+
+    /** Bytes covered by tainted blocks (includes overtaint). */
+    uint64_t bytes() const override;
+    size_t rangeCount() const override;
+
+    /** Block size in bytes. */
+    uint64_t blockBytes() const { return 1ull << gran; }
+
+  private:
+    uint64_t key(ProcId pid, Addr block) const;
+
+    unsigned gran;
+    std::unordered_set<uint64_t> blocks;
+};
+
+} // namespace pift::core
+
+#endif // PIFT_CORE_TAINT_STORAGE_HH

@@ -1,0 +1,56 @@
+#include "core/taint_store.hh"
+
+namespace pift::core
+{
+
+bool
+IdealRangeStore::query(ProcId pid, const taint::AddrRange &r)
+{
+    auto it = sets.find(pid);
+    return it != sets.end() && it->second.overlaps(r);
+}
+
+bool
+IdealRangeStore::insert(ProcId pid, const taint::AddrRange &r)
+{
+    return sets[pid].insert(r);
+}
+
+bool
+IdealRangeStore::remove(ProcId pid, const taint::AddrRange &r)
+{
+    auto it = sets.find(pid);
+    return it != sets.end() && it->second.remove(r);
+}
+
+void
+IdealRangeStore::clear()
+{
+    sets.clear();
+}
+
+uint64_t
+IdealRangeStore::bytes() const
+{
+    uint64_t total = 0;
+    for (const auto &[pid, set] : sets)
+        total += set.bytes();
+    return total;
+}
+
+size_t
+IdealRangeStore::rangeCount() const
+{
+    size_t total = 0;
+    for (const auto &[pid, set] : sets)
+        total += set.rangeCount();
+    return total;
+}
+
+const taint::RangeSet &
+IdealRangeStore::rangesFor(ProcId pid)
+{
+    return sets[pid];
+}
+
+} // namespace pift::core

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Backend interface for taint state, plus the ideal (unbounded)
+ * implementation.
+ *
+ * The PIFT tracking algorithm (Algorithm 1) operates on the set R of
+ * tainted address ranges through three operations: overlap query on a
+ * load, taint (add) on an in-window store, untaint (remove) on an
+ * out-of-window store. Section 3.3 of the paper describes several
+ * physical realizations (a cache of arbitrary ranges, a fixed
+ * word-granularity tag store, secondary storage with eviction); this
+ * interface lets the tracker run against any of them, and against the
+ * exact unbounded reference used for accuracy experiments.
+ *
+ * All entries are tagged with the process-specific id, matching the
+ * hardware entry layout in Figure 6.
+ */
+
+#ifndef PIFT_CORE_TAINT_STORE_HH
+#define PIFT_CORE_TAINT_STORE_HH
+
+#include <cstdint>
+#include <map>
+
+#include "support/types.hh"
+#include "taint/range_set.hh"
+
+namespace pift::core
+{
+
+/** Abstract taint-state backend used by the PIFT tracker. */
+class TaintStore
+{
+  public:
+    virtual ~TaintStore() = default;
+
+    /** Overlap query: does [r] intersect any tainted range of @p pid? */
+    virtual bool query(ProcId pid, const taint::AddrRange &r) = 0;
+
+    /**
+     * Taint @p r for @p pid.
+     * @return true when taint state changed (new bytes covered)
+     */
+    virtual bool insert(ProcId pid, const taint::AddrRange &r) = 0;
+
+    /**
+     * Untaint @p r for @p pid.
+     * @return true when taint state changed (bytes removed)
+     */
+    virtual bool remove(ProcId pid, const taint::AddrRange &r) = 0;
+
+    /** Drop all state for every process. */
+    virtual void clear() = 0;
+
+    /** Total tainted bytes currently represented (all processes). */
+    virtual uint64_t bytes() const = 0;
+
+    /** Number of distinct range entries currently represented. */
+    virtual size_t rangeCount() const = 0;
+};
+
+/**
+ * Unbounded, exact taint store: one coalescing RangeSet per process.
+ * This is the semantics Algorithm 1 is specified against; the
+ * hardware models in taint_storage.hh approximate it under capacity
+ * limits.
+ */
+class IdealRangeStore : public TaintStore
+{
+  public:
+    bool query(ProcId pid, const taint::AddrRange &r) override;
+    bool insert(ProcId pid, const taint::AddrRange &r) override;
+    bool remove(ProcId pid, const taint::AddrRange &r) override;
+    void clear() override;
+    uint64_t bytes() const override;
+    size_t rangeCount() const override;
+
+    /** Per-process view (for tests and sink diagnostics). */
+    const taint::RangeSet &rangesFor(ProcId pid);
+
+  private:
+    std::map<ProcId, taint::RangeSet> sets;
+};
+
+} // namespace pift::core
+
+#endif // PIFT_CORE_TAINT_STORE_HH

@@ -1,0 +1,87 @@
+#include "core/untagged_storage.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace pift::core
+{
+
+UntaggedTaintStorage::UntaggedTaintStorage(size_t entries)
+    : capacity(entries)
+{
+    pift_assert(entries > 0, "untagged storage needs capacity");
+}
+
+void
+UntaggedTaintStorage::contextSwitch(ProcId next)
+{
+    if (have_resident && next == resident)
+        return;
+    if (have_resident) {
+        // Write back: every resident entry travels to main memory.
+        stat.entries_written_back += images[resident].rangeCount();
+    }
+    ++stat.context_switches;
+    resident = next;
+    have_resident = true;
+    stat.entries_reloaded += images[resident].rangeCount();
+}
+
+taint::RangeSet &
+UntaggedTaintStorage::residentSet(ProcId pid)
+{
+    if (!have_resident || pid != resident)
+        contextSwitch(pid);
+    return images[pid];
+}
+
+bool
+UntaggedTaintStorage::query(ProcId pid, const taint::AddrRange &r)
+{
+    return residentSet(pid).overlaps(r);
+}
+
+bool
+UntaggedTaintStorage::insert(ProcId pid, const taint::AddrRange &r)
+{
+    taint::RangeSet &set = residentSet(pid);
+    bool changed = set.insert(r);
+    if (set.rangeCount() > capacity)
+        ++stat.overflow_spills;
+    stat.max_resident = std::max(stat.max_resident, set.rangeCount());
+    return changed;
+}
+
+bool
+UntaggedTaintStorage::remove(ProcId pid, const taint::AddrRange &r)
+{
+    return residentSet(pid).remove(r);
+}
+
+void
+UntaggedTaintStorage::clear()
+{
+    images.clear();
+    have_resident = false;
+}
+
+uint64_t
+UntaggedTaintStorage::bytes() const
+{
+    uint64_t total = 0;
+    for (const auto &[pid, set] : images)
+        total += set.bytes();
+    return total;
+}
+
+size_t
+UntaggedTaintStorage::rangeCount() const
+{
+    size_t total = 0;
+    for (const auto &[pid, set] : images)
+        total += set.rangeCount();
+    return total;
+}
+
+} // namespace pift::core

@@ -1,0 +1,325 @@
+#include "dalvik/bytecode.hh"
+
+#include "support/logging.hh"
+
+namespace pift::dalvik
+{
+
+Format
+format(Bc bc)
+{
+    switch (bc) {
+      case Bc::Nop:
+      case Bc::ReturnVoid:
+        return Format::F10x;
+
+      case Bc::Move:
+      case Bc::MoveObject:
+      case Bc::ArrayLength:
+      case Bc::AddInt2Addr:
+      case Bc::SubInt2Addr:
+      case Bc::MulInt2Addr:
+      case Bc::DivInt2Addr:
+      case Bc::AndInt2Addr:
+      case Bc::OrInt2Addr:
+      case Bc::XorInt2Addr:
+      case Bc::IntToChar:
+      case Bc::IntToByte:
+      case Bc::MoveWide:
+      case Bc::AddFloat2Addr:
+      case Bc::MulFloat2Addr:
+      case Bc::DivFloat2Addr:
+      case Bc::IntToFloat:
+      case Bc::FloatToInt:
+        return Format::F12x;
+
+      case Bc::Const4:
+        return Format::F11n;
+
+      case Bc::MoveResult:
+      case Bc::MoveResultObject:
+      case Bc::MoveException:
+      case Bc::Return:
+      case Bc::ReturnObject:
+      case Bc::Throw:
+        return Format::F11x;
+
+      case Bc::Goto:
+        return Format::F10t;
+
+      case Bc::Const16:
+        return Format::F21s;
+
+      case Bc::IfEqz:
+      case Bc::IfNez:
+      case Bc::IfLtz:
+      case Bc::IfGez:
+        return Format::F21t;
+
+      case Bc::ConstString:
+      case Bc::NewInstance:
+      case Bc::CheckCast:
+      case Bc::Sget:
+      case Bc::SgetObject:
+      case Bc::Sput:
+      case Bc::SputObject:
+        return Format::F21c;
+
+      case Bc::MoveFrom16:
+        return Format::F22x;
+
+      case Bc::Aget:
+      case Bc::AgetChar:
+      case Bc::AgetObject:
+      case Bc::Aput:
+      case Bc::AputChar:
+      case Bc::AputObject:
+      case Bc::AddInt:
+      case Bc::SubInt:
+      case Bc::MulInt:
+      case Bc::DivInt:
+      case Bc::RemInt:
+      case Bc::AndInt:
+      case Bc::OrInt:
+      case Bc::XorInt:
+      case Bc::ShlInt:
+      case Bc::ShrInt:
+      case Bc::AddLong:
+      case Bc::MulLong:
+        return Format::F23x;
+
+      case Bc::AddIntLit8:
+      case Bc::MulIntLit8:
+        return Format::F22b;
+
+      case Bc::IfEq:
+      case Bc::IfNe:
+      case Bc::IfLt:
+      case Bc::IfGe:
+      case Bc::IfGt:
+      case Bc::IfLe:
+        return Format::F22t;
+
+      case Bc::Iget:
+      case Bc::IgetObject:
+      case Bc::Iput:
+      case Bc::IputObject:
+      case Bc::NewArray:
+        return Format::F22c;
+
+      case Bc::InvokeVirtual:
+      case Bc::InvokeStatic:
+      case Bc::InvokeDirect:
+        return Format::F3rc;
+
+      default:
+        pift_panic("format() on invalid bytecode %u",
+                   static_cast<unsigned>(bc));
+    }
+    return Format::F10x;
+}
+
+unsigned
+unitCount(Bc bc)
+{
+    switch (format(bc)) {
+      case Format::F10x:
+      case Format::F12x:
+      case Format::F11n:
+      case Format::F11x:
+      case Format::F10t:
+        return 1;
+      case Format::F21s:
+      case Format::F21t:
+      case Format::F21c:
+      case Format::F22x:
+      case Format::F23x:
+      case Format::F22b:
+      case Format::F22t:
+      case Format::F22c:
+        return 2;
+      case Format::F3rc:
+        return 3;
+    }
+    return 1;
+}
+
+const char *
+bcName(Bc bc)
+{
+    switch (bc) {
+      case Bc::Nop:              return "nop";
+      case Bc::Move:             return "move";
+      case Bc::MoveFrom16:       return "move/from16";
+      case Bc::MoveObject:       return "move-object";
+      case Bc::MoveResult:       return "move-result";
+      case Bc::MoveResultObject: return "move-result-object";
+      case Bc::MoveException:    return "move-exception";
+      case Bc::ReturnVoid:       return "return-void";
+      case Bc::Return:           return "return";
+      case Bc::ReturnObject:     return "return-object";
+      case Bc::Const4:           return "const/4";
+      case Bc::Const16:          return "const/16";
+      case Bc::ConstString:      return "const-string";
+      case Bc::NewInstance:      return "new-instance";
+      case Bc::NewArray:         return "new-array";
+      case Bc::CheckCast:        return "check-cast";
+      case Bc::ArrayLength:      return "array-length";
+      case Bc::Throw:            return "throw";
+      case Bc::Iget:             return "iget";
+      case Bc::IgetObject:       return "iget-object";
+      case Bc::Iput:             return "iput";
+      case Bc::IputObject:       return "iput-object";
+      case Bc::Sget:             return "sget";
+      case Bc::SgetObject:       return "sget-object";
+      case Bc::Sput:             return "sput";
+      case Bc::SputObject:       return "sput-object";
+      case Bc::Aget:             return "aget";
+      case Bc::AgetChar:         return "aget-char";
+      case Bc::AgetObject:       return "aget-object";
+      case Bc::Aput:             return "aput";
+      case Bc::AputChar:         return "aput-char";
+      case Bc::AputObject:       return "aput-object";
+      case Bc::InvokeVirtual:    return "invoke-virtual";
+      case Bc::InvokeStatic:     return "invoke-static";
+      case Bc::InvokeDirect:     return "invoke-direct";
+      case Bc::Goto:             return "goto";
+      case Bc::IfEq:             return "if-eq";
+      case Bc::IfNe:             return "if-ne";
+      case Bc::IfLt:             return "if-lt";
+      case Bc::IfGe:             return "if-ge";
+      case Bc::IfGt:             return "if-gt";
+      case Bc::IfLe:             return "if-le";
+      case Bc::IfEqz:            return "if-eqz";
+      case Bc::IfNez:            return "if-nez";
+      case Bc::IfLtz:            return "if-ltz";
+      case Bc::IfGez:            return "if-gez";
+      case Bc::AddInt:           return "add-int";
+      case Bc::SubInt:           return "sub-int";
+      case Bc::MulInt:           return "mul-int";
+      case Bc::DivInt:           return "div-int";
+      case Bc::RemInt:           return "rem-int";
+      case Bc::AndInt:           return "and-int";
+      case Bc::OrInt:            return "or-int";
+      case Bc::XorInt:           return "xor-int";
+      case Bc::ShlInt:           return "shl-int";
+      case Bc::ShrInt:           return "shr-int";
+      case Bc::AddInt2Addr:      return "add-int/2addr";
+      case Bc::SubInt2Addr:      return "sub-int/2addr";
+      case Bc::MulInt2Addr:      return "mul-int/2addr";
+      case Bc::DivInt2Addr:      return "div-int/2addr";
+      case Bc::AndInt2Addr:      return "and-int/2addr";
+      case Bc::OrInt2Addr:       return "or-int/2addr";
+      case Bc::XorInt2Addr:      return "xor-int/2addr";
+      case Bc::AddIntLit8:       return "add-int/lit8";
+      case Bc::MulIntLit8:       return "mul-int/lit8";
+      case Bc::IntToChar:        return "int-to-char";
+      case Bc::IntToByte:        return "int-to-byte";
+      case Bc::MoveWide:         return "move-wide";
+      case Bc::AddLong:          return "add-long";
+      case Bc::MulLong:          return "mul-long";
+      case Bc::AddFloat2Addr:    return "add-float/2addr";
+      case Bc::MulFloat2Addr:    return "mul-float/2addr";
+      case Bc::DivFloat2Addr:    return "div-float/2addr";
+      case Bc::IntToFloat:       return "int-to-float";
+      case Bc::FloatToInt:       return "float-to-int";
+      default:                   return "?";
+    }
+}
+
+bool
+movesData(Bc bc)
+{
+    return expectedDistance(bc) != -1;
+}
+
+int
+expectedDistance(Bc bc)
+{
+    switch (bc) {
+      // Distance 1: the return family stores the loaded value to the
+      // thread return-value slot immediately.
+      case Bc::Return:
+      case Bc::ReturnObject:
+        return 1;
+
+      // Distance 2.
+      case Bc::MoveResult:
+      case Bc::MoveResultObject:
+      case Bc::MoveFrom16:
+      case Bc::Aget:
+      case Bc::AgetChar:
+      case Bc::AgetObject:
+      case Bc::Aput:
+      case Bc::AputChar:
+      case Bc::Sput:
+      case Bc::SputObject:
+        return 2;
+
+      // Distance 3.
+      case Bc::Move:
+      case Bc::MoveObject:
+      case Bc::MoveException:
+      case Bc::Sget:
+      case Bc::SgetObject:
+      case Bc::ArrayLength:
+        return 3;
+
+      // Distance 4.
+      case Bc::Iput:
+      case Bc::IputObject:
+      case Bc::MoveWide:
+        return 4;
+
+      // Distance 5: field gets and the ALU binop families.
+      case Bc::Iget:
+      case Bc::IgetObject:
+      case Bc::AddInt:
+      case Bc::SubInt:
+      case Bc::MulInt:
+      case Bc::AndInt:
+      case Bc::OrInt:
+      case Bc::XorInt:
+      case Bc::ShlInt:
+      case Bc::ShrInt:
+      case Bc::AddInt2Addr:
+      case Bc::SubInt2Addr:
+      case Bc::MulInt2Addr:
+      case Bc::AndInt2Addr:
+      case Bc::OrInt2Addr:
+      case Bc::XorInt2Addr:
+      case Bc::AddIntLit8:
+        return 5;
+
+      // Distance 6.
+      case Bc::IntToChar:
+      case Bc::IntToByte:
+      case Bc::MulIntLit8:
+      case Bc::AddLong:
+        return 6;
+
+      // The 9-12 bucket.
+      case Bc::AputObject:
+        return 10;
+      case Bc::MulLong:
+        return 10;
+
+      // Unknown: routed through ARM runtime ABI helpers.
+      case Bc::DivInt:
+      case Bc::RemInt:
+      case Bc::DivInt2Addr:
+      case Bc::AddFloat2Addr:
+      case Bc::MulFloat2Addr:
+      case Bc::DivFloat2Addr:
+      case Bc::IntToFloat:
+      case Bc::FloatToInt:
+        return -2;
+
+      // Everything else does not move program data between memory
+      // locations (consts, control flow, invokes, allocation, ...).
+      default:
+        return -1;
+    }
+}
+
+} // namespace pift::dalvik

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The Dalvik-like bytecode set and its compact encoding.
+ *
+ * A register-based VM bytecode modelled on Dalvik: operands are
+ * virtual registers that live in a memory-resident frame, which is
+ * the property PIFT's temporal-locality argument rests on (Section
+ * 4.1). The encoding is our own simplified scheme — 16-bit code
+ * units, opcode in the low byte of the first unit — not the real dex
+ * format; per-opcode operand formats follow the Dalvik format families
+ * (12x, 11n, 11x, 10t, 21t, 21s, 22x, 23x, 22t, 22b, 22c, 21c, 3rc).
+ *
+ * Encoding reference (A/B are reg nibbles, AA a reg byte):
+ *   F10x  op                                      (1 unit)
+ *   F12x  op | A<<8 | B<<12                       (1 unit)
+ *   F11n  op | A<<8 | signed B<<12                (1 unit)
+ *   F11x  op | AA<<8                              (1 unit)
+ *   F10t  op | signed AA<<8                       (1 unit)
+ *   F21s  op | AA<<8 ; #BBBB                      (2 units)
+ *   F21t  op | AA<<8 ; signed +BBBB               (2 units)
+ *   F21c  op | AA<<8 ; pool/class/field @BBBB     (2 units)
+ *   F22x  op | AA<<8 ; vBBBB                      (2 units)
+ *   F23x  op | AA<<8 ; BB | CC<<8                 (2 units)
+ *   F22b  op | AA<<8 ; BB | signed CC<<8          (2 units)
+ *   F22t  op | A<<8 | B<<12 ; signed +CCCC        (2 units)
+ *   F22c  op | A<<8 | B<<12 ; field/class @CCCC   (2 units)
+ *   F3rc  op | argc<<8 ; method @BBBB ; vCCCC     (3 units)
+ *
+ * Branch offsets are signed counts of 16-bit code units relative to
+ * the first unit of the branch instruction, as in Dalvik.
+ */
+
+#ifndef PIFT_DALVIK_BYTECODE_HH
+#define PIFT_DALVIK_BYTECODE_HH
+
+#include <cstdint>
+
+namespace pift::dalvik
+{
+
+/** Operand format families (drives decode and unit counts). */
+enum class Format : uint8_t
+{
+    F10x, F12x, F11n, F11x, F10t, F21s, F21t, F21c, F22x, F23x,
+    F22b, F22t, F22c, F3rc
+};
+
+/** The bytecode set. Values are the dispatch indices (low byte). */
+enum class Bc : uint8_t
+{
+    Nop = 0x00,
+
+    Move = 0x01,             // F12x  vA <- vB
+    MoveFrom16 = 0x02,       // F22x  vAA <- vBBBB
+    MoveObject = 0x03,       // F12x  vA <- vB (object ref)
+    MoveResult = 0x04,       // F11x  vAA <- retval
+    MoveResultObject = 0x05, // F11x  vAA <- retval (ref)
+    MoveException = 0x06,    // F11x  vAA <- pending exception
+
+    ReturnVoid = 0x07,       // F10x
+    Return = 0x08,           // F11x  retval <- vAA
+    ReturnObject = 0x09,     // F11x  retval <- vAA (ref)
+
+    Const4 = 0x0a,           // F11n  vA <- signed nibble
+    Const16 = 0x0b,          // F21s  vAA <- signed 16-bit
+    ConstString = 0x0c,      // F21c  vAA <- string pool [BBBB]
+
+    NewInstance = 0x0d,      // F21c  vAA <- new object of class BBBB
+    NewArray = 0x0e,         // F22c  vA <- new array[vB] of class CCCC
+    CheckCast = 0x0f,        // F21c  type check only
+    ArrayLength = 0x10,      // F12x  vA <- length(vB)
+    Throw = 0x11,            // F11x  throw vAA
+
+    Iget = 0x12,             // F22c  vA <- vB.field[CCCC]
+    IgetObject = 0x13,       // F22c
+    Iput = 0x14,             // F22c  vB.field[CCCC] <- vA
+    IputObject = 0x15,       // F22c
+    Sget = 0x16,             // F21c  vAA <- statics[BBBB]
+    SgetObject = 0x17,       // F21c
+    Sput = 0x18,             // F21c  statics[BBBB] <- vAA
+    SputObject = 0x19,       // F21c
+
+    Aget = 0x1a,             // F23x  vAA <- vBB[vCC] (4-byte elems)
+    AgetChar = 0x1b,         // F23x  (2-byte elems)
+    AgetObject = 0x1c,       // F23x
+    Aput = 0x1d,             // F23x  vBB[vCC] <- vAA
+    AputChar = 0x1e,         // F23x
+    AputObject = 0x1f,       // F23x  (with type check)
+
+    InvokeVirtual = 0x20,    // F3rc  args vCCCC..vCCCC+argc-1
+    InvokeStatic = 0x21,     // F3rc
+    InvokeDirect = 0x22,     // F3rc
+
+    Goto = 0x23,             // F10t
+    IfEq = 0x24,             // F22t
+    IfNe = 0x25,             // F22t
+    IfLt = 0x26,             // F22t
+    IfGe = 0x27,             // F22t
+    IfGt = 0x28,             // F22t
+    IfLe = 0x29,             // F22t
+    IfEqz = 0x2a,            // F21t
+    IfNez = 0x2b,            // F21t
+    IfLtz = 0x2c,            // F21t
+    IfGez = 0x2d,            // F21t
+
+    AddInt = 0x2e,           // F23x
+    SubInt = 0x2f,
+    MulInt = 0x30,
+    DivInt = 0x31,           // via ABI helper (__aeabi_idiv)
+    RemInt = 0x32,           // via ABI helper (__aeabi_idivmod)
+    AndInt = 0x33,
+    OrInt = 0x34,
+    XorInt = 0x35,
+    ShlInt = 0x36,
+    ShrInt = 0x37,
+
+    AddInt2Addr = 0x38,      // F12x
+    SubInt2Addr = 0x39,
+    MulInt2Addr = 0x3a,
+    DivInt2Addr = 0x3b,      // via ABI helper
+    AndInt2Addr = 0x3c,
+    OrInt2Addr = 0x3d,
+    XorInt2Addr = 0x3e,
+
+    AddIntLit8 = 0x3f,       // F22b  vAA <- vBB + #CC
+    MulIntLit8 = 0x40,       // F22b
+
+    IntToChar = 0x41,        // F12x
+    IntToByte = 0x42,        // F12x
+
+    MoveWide = 0x43,         // F12x  vA/vA+1 <- vB/vB+1
+    AddLong = 0x44,          // F23x  wide
+    MulLong = 0x45,          // F23x  wide
+
+    AddFloat2Addr = 0x46,    // F12x, via ABI helper (__aeabi_fadd)
+    MulFloat2Addr = 0x47,    // via ABI helper
+    DivFloat2Addr = 0x48,    // via ABI helper
+    IntToFloat = 0x49,       // F12x, via ABI helper
+    FloatToInt = 0x4a,       // F12x, via ABI helper
+
+    NumBcs
+};
+
+/** Count of defined bytecodes. */
+inline constexpr unsigned num_bytecodes =
+    static_cast<unsigned>(Bc::NumBcs);
+
+/** Operand format of @p bc. */
+Format format(Bc bc);
+
+/** Code units occupied by an instruction of @p bc. */
+unsigned unitCount(Bc bc);
+
+/** Dalvik-style mnemonic ("mul-int/2addr"). */
+const char *bcName(Bc bc);
+
+/**
+ * True for bytecodes that can move data between memory locations
+ * (the highlighted rows of Figure 10): anything whose handler both
+ * loads program data and stores program data.
+ */
+bool movesData(Bc bc);
+
+/**
+ * Expected native load-store distance of the handler template, i.e.
+ * the Table 1 column: the longest distance (in retired instructions)
+ * from a load of actual program data to the data store within one
+ * bytecode. Returns -1 for bytecodes that do not move data, and -2
+ * for "unknown" (ABI-helper-based) bytecodes.
+ */
+int expectedDistance(Bc bc);
+
+} // namespace pift::dalvik
+
+#endif // PIFT_DALVIK_BYTECODE_HH

@@ -1,0 +1,110 @@
+#include "dalvik/disasm.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace pift::dalvik
+{
+
+namespace
+{
+
+std::string
+fmt(const char *pattern, ...)
+{
+    char buf[96];
+    va_list ap;
+    va_start(ap, pattern);
+    std::vsnprintf(buf, sizeof(buf), pattern, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // anonymous namespace
+
+std::string
+disassembleAt(const std::vector<uint16_t> &code, size_t at,
+              unsigned &units)
+{
+    pift_assert(at < code.size(), "disassembly past end of method");
+    uint16_t unit0 = code[at];
+    auto bc = static_cast<Bc>(unit0 & 0xff);
+    units = unitCount(bc);
+    pift_assert(at + units <= code.size(),
+                "truncated instruction at unit %zu", at);
+
+    unsigned a4 = (unit0 >> 8) & 0xf;
+    unsigned b4 = unit0 >> 12;
+    unsigned aa = unit0 >> 8;
+    uint16_t u1 = units > 1 ? code[at + 1] : 0;
+    uint16_t u2 = units > 2 ? code[at + 2] : 0;
+    const char *name = bcName(bc);
+
+    switch (format(bc)) {
+      case Format::F10x:
+        return name;
+      case Format::F12x:
+        return fmt("%s v%u, v%u", name, a4, b4);
+      case Format::F11n:
+        return fmt("%s v%u, #int %d", name, a4,
+                   static_cast<int>(b4 << 28) >> 28);
+      case Format::F11x:
+        return fmt("%s v%u", name, aa);
+      case Format::F10t:
+        return fmt("%s %+d", name,
+                   static_cast<int>(static_cast<int8_t>(aa)));
+      case Format::F21s:
+        return fmt("%s v%u, #int %d", name, aa,
+                   static_cast<int16_t>(u1));
+      case Format::F21t:
+        return fmt("%s v%u, %+d", name, aa, static_cast<int16_t>(u1));
+      case Format::F21c:
+        return fmt("%s v%u, @%u", name, aa, u1);
+      case Format::F22x:
+        return fmt("%s v%u, v%u", name, aa, u1);
+      case Format::F23x:
+        return fmt("%s v%u, v%u, v%u", name, aa, u1 & 0xff, u1 >> 8);
+      case Format::F22b:
+        return fmt("%s v%u, v%u, #int %d", name, aa, u1 & 0xff,
+                   static_cast<int>(static_cast<int8_t>(u1 >> 8)));
+      case Format::F22t:
+        return fmt("%s v%u, v%u, %+d", name, a4, b4,
+                   static_cast<int16_t>(u1));
+      case Format::F22c:
+        return fmt("%s v%u, v%u, field@%u", name, a4, b4, u1);
+      case Format::F3rc:
+        return fmt("%s {v%u..v%u}, method@%u", name, u2,
+                   u2 + (aa ? aa - 1 : 0), u1);
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Method &method)
+{
+    std::ostringstream os;
+    if (method.is_native) {
+        os << method.name << ": (native)\n";
+        return os.str();
+    }
+    os << method.name << ": registers=" << method.nregs
+       << " ins=" << method.nins;
+    if (method.catch_offset >= 0)
+        os << " catch@" << method.catch_offset;
+    os << "\n";
+    size_t at = 0;
+    char addr[24];
+    while (at < method.code.size()) {
+        unsigned units = 0;
+        std::string text = disassembleAt(method.code, at, units);
+        std::snprintf(addr, sizeof(addr), "%04zx: ", at);
+        os << addr << text << "\n";
+        at += units;
+    }
+    return os.str();
+}
+
+} // namespace pift::dalvik

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Dalvik-like bytecode disassembler.
+ *
+ * Renders method code in the style of the paper's Figure 7 listings
+ * ("mul-int/2addr v3, v4"). Used by the CLI's dump command and by
+ * tests that pin the example programs' shapes.
+ */
+
+#ifndef PIFT_DALVIK_DISASM_HH
+#define PIFT_DALVIK_DISASM_HH
+
+#include <string>
+
+#include "dalvik/method.hh"
+
+namespace pift::dalvik
+{
+
+/**
+ * Disassemble the instruction starting at code unit @p at.
+ *
+ * @param code the method's code units
+ * @param at unit index of the instruction's first unit
+ * @param[out] units number of code units consumed
+ * @return one listing line, e.g. "iget v0, v3, field@4"
+ */
+std::string disassembleAt(const std::vector<uint16_t> &code, size_t at,
+                          unsigned &units);
+
+/** Disassemble a whole method, one line per instruction. */
+std::string disassemble(const Method &method);
+
+} // namespace pift::dalvik
+
+#endif // PIFT_DALVIK_DISASM_HH

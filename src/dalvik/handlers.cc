@@ -1,0 +1,717 @@
+#include "dalvik/handlers.hh"
+
+#include "mem/layout.hh"
+#include "support/logging.hh"
+
+namespace pift::dalvik
+{
+
+namespace
+{
+
+using isa::Assembler;
+using isa::Cond;
+using isa::WriteBack;
+using isa::imm;
+using isa::memIdx;
+using isa::memOff;
+using isa::reg;
+using isa::regLsl;
+
+constexpr RegIndex r0 = 0, r1 = 1, r2 = 2, r3 = 3, r9 = 9, r10 = 10,
+    r11 = 11, r12 = 12, rpc = 15;
+
+/** FETCH_ADVANCE_INST(n): ldrh rINST, [rPC, #2n]! */
+void
+fetchAdvance(Assembler &a, int units)
+{
+    a.ldrh(r_inst, memOff(r_pc_bc, 2 * units, WriteBack::Pre));
+}
+
+/** FETCH(n): read a later code unit without advancing. */
+void
+fetch(Assembler &a, RegIndex dst, int unit_off)
+{
+    a.ldrh(dst, memOff(r_pc_bc, 2 * unit_off));
+}
+
+/** GET_INST_OPCODE: and r12, rINST, #255. */
+void
+extractOpcode(Assembler &a)
+{
+    a.and_(r12, r_inst, imm(255));
+}
+
+/** GOTO_OPCODE: add pc, rIBASE, r12, lsl #slot_shift. */
+void
+gotoOpcode(Assembler &a)
+{
+    a.add(rpc, r_ibase, regLsl(r12, mem::handler_slot_shift));
+}
+
+/** Builder for one handler slot with data-move annotations. */
+struct Slot
+{
+    explicit Slot(Bc bc)
+        : a(mem::handler_base +
+            static_cast<Addr>(bc) * mem::handler_slot_bytes)
+    {}
+
+    /** Record the next instruction as a load of moved program data. */
+    Slot &
+    dataLoad()
+    {
+        info.data_load_pcs.push_back(a.here());
+        return *this;
+    }
+
+    /** Record the next instruction as a store of moved program data. */
+    Slot &
+    dataStore()
+    {
+        info.data_store_pcs.push_back(a.here());
+        return *this;
+    }
+
+    Assembler a;
+    HandlerInfo info;
+};
+
+/** Finish a slot, checking it fits its 32-instruction budget. */
+void
+finishSlot(HandlerSet &set, Bc bc, Slot &slot)
+{
+    pift_assert(slot.a.size() <= mem::handler_slot_bytes /
+                isa::inst_bytes,
+                "handler for %s overflows its slot (%zu insts)",
+                bcName(bc), slot.a.size());
+    set.handlers.push_back(slot.a.finish());
+    set.info[static_cast<unsigned>(bc)] = std::move(slot.info);
+}
+
+/** F12x decode prologue: r3 <- B, r9 <- A. */
+void
+decode12x(Assembler &a)
+{
+    a.mov(r3, isa::regLsr(r_inst, 12));
+    a.ubfx(r9, r_inst, 8, 4);
+}
+
+/** F11x/F21x decode prologue: r9 <- AA. */
+void
+decodeAA(Assembler &a)
+{
+    a.mov(r9, isa::regLsr(r_inst, 8));
+}
+
+/** F23x operand decode: fetch unit1, r2 <- BB, r3 <- CC. */
+void
+decode23x(Assembler &a)
+{
+    decodeAA(a);
+    fetch(a, r3, 1);
+    a.and_(r2, r3, imm(255));
+    a.mov(r3, isa::regLsr(r3, 8));
+}
+
+} // anonymous namespace
+
+HandlerSet
+emitHandlers()
+{
+    HandlerSet set;
+
+    // The entry stub: fetch the first unit of a method and dispatch.
+    {
+        Assembler a(mem::mterp_entry_addr);
+        a.ldrh(r_inst, memOff(r_pc_bc, 0));
+        extractOpcode(a);
+        gotoOpcode(a);
+        set.entry = a.finish();
+    }
+
+    set.handlers.reserve(num_bytecodes);
+    for (unsigned op = 0; op < num_bytecodes; ++op) {
+        Bc bc = static_cast<Bc>(op);
+        Slot s(bc);
+        Assembler &a = s.a;
+
+        switch (bc) {
+          case Bc::Nop:
+            fetchAdvance(a, 1);
+            extractOpcode(a);
+            gotoOpcode(a);
+            break;
+
+          case Bc::Move:
+          case Bc::MoveObject:
+            // Figure 9 "move" block; data distance 3.
+            decode12x(a);
+            s.dataLoad();
+            a.ldr(r2, memIdx(r_fp, r3, 2));       // GET_VREG(r2, vB)
+            fetchAdvance(a, 1);
+            extractOpcode(a);
+            s.dataStore();
+            a.str(r2, memIdx(r_fp, r9, 2));       // SET_VREG(r2, vA)
+            gotoOpcode(a);
+            break;
+
+          case Bc::MoveFrom16:
+            // Data distance 2.
+            decodeAA(a);
+            fetch(a, r3, 1);                      // BBBB
+            s.dataLoad();
+            a.ldr(r2, memIdx(r_fp, r3, 2));
+            fetchAdvance(a, 2);
+            s.dataStore();
+            a.str(r2, memIdx(r_fp, r9, 2));
+            extractOpcode(a);
+            gotoOpcode(a);
+            break;
+
+          case Bc::MoveResult:
+          case Bc::MoveResultObject:
+            // Data distance 2 (retval slot -> vreg).
+            decodeAA(a);
+            s.dataLoad();
+            a.ldr(r0, memOff(r_self, mem::thread_retval_offset));
+            fetchAdvance(a, 1);
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));
+            extractOpcode(a);
+            gotoOpcode(a);
+            break;
+
+          case Bc::MoveException:
+            // Data distance 3; also clears the pending slot.
+            decodeAA(a);
+            s.dataLoad();
+            a.ldr(r0, memOff(r_self, mem::thread_exception_offset));
+            fetchAdvance(a, 1);
+            a.movi(r1, 0);
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));
+            a.str(r1, memOff(r_self, mem::thread_exception_offset));
+            extractOpcode(a);
+            gotoOpcode(a);
+            break;
+
+          case Bc::ReturnVoid:
+            a.movi(r0, 0);
+            a.str(r0, memOff(r_self, mem::thread_retval_offset));
+            a.svc(static_cast<uint32_t>(Svc::Return));
+            break;
+
+          case Bc::Return:
+          case Bc::ReturnObject:
+            // Data distance 1 (vreg -> retval slot).
+            decodeAA(a);
+            s.dataLoad();
+            a.ldr(r0, memIdx(r_fp, r9, 2));
+            s.dataStore();
+            a.str(r0, memOff(r_self, mem::thread_retval_offset));
+            a.svc(static_cast<uint32_t>(Svc::Return));
+            break;
+
+          case Bc::Const4:
+            a.sbfx(r1, r_inst, 12, 4);
+            a.ubfx(r9, r_inst, 8, 4);
+            fetchAdvance(a, 1);
+            extractOpcode(a);
+            a.str(r1, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::Const16:
+            decodeAA(a);
+            fetch(a, r1, 1);
+            a.sxth(r1, r1);
+            fetchAdvance(a, 2);
+            extractOpcode(a);
+            a.str(r1, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::ConstString:
+            // Pool table is VM metadata; the ref store is a const
+            // store from the tracking perspective.
+            decodeAA(a);
+            fetch(a, r1, 1);                      // pool index
+            a.ldr(r2, memOff(r_self, mem::thread_pool_offset));
+            a.ldr(r0, memIdx(r2, r1, 2));
+            fetchAdvance(a, 2);
+            extractOpcode(a);
+            a.str(r0, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::NewInstance:
+            a.svc(static_cast<uint32_t>(Svc::NewInstance));
+            break;
+
+          case Bc::NewArray:
+            a.svc(static_cast<uint32_t>(Svc::NewArray));
+            break;
+
+          case Bc::CheckCast:
+            decodeAA(a);
+            a.ldr(r0, memIdx(r_fp, r9, 2));       // object ref
+            a.cmp(r0, imm(0));
+            a.ldr(r1, memOff(r0, 0), Cond::Ne);   // class id
+            fetch(a, r2, 1);
+            a.cmp(r1, reg(r2));                   // nominal check
+            fetchAdvance(a, 2);
+            extractOpcode(a);
+            gotoOpcode(a);
+            break;
+
+          case Bc::ArrayLength:
+            // Data distance 3 (length word -> vreg).
+            decode12x(a);
+            a.ldr(r0, memIdx(r_fp, r3, 2));       // array ref
+            s.dataLoad();
+            a.ldr(r1, memOff(r0, 4));             // length field
+            fetchAdvance(a, 1);
+            extractOpcode(a);
+            s.dataStore();
+            a.str(r1, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::Throw:
+            decodeAA(a);
+            a.ldr(r0, memIdx(r_fp, r9, 2));
+            a.str(r0, memOff(r_self, mem::thread_exception_offset));
+            a.svc(static_cast<uint32_t>(Svc::Throw));
+            break;
+
+          case Bc::Iget:
+          case Bc::IgetObject:
+            // Data distance 5 (field -> vreg), per Table 1.
+            decode12x(a);
+            fetch(a, r2, 1);                      // field byte offset
+            a.ldr(r0, memIdx(r_fp, r3, 2));       // object ref
+            a.add(r0, r0, reg(r2));
+            s.dataLoad();
+            a.ldr(r1, memOff(r0, 8));             // field value
+            fetchAdvance(a, 2);
+            extractOpcode(a);
+            a.cmp(r0, imm(0));                    // null-check slot
+            a.nop();
+            s.dataStore();
+            a.str(r1, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::Iput:
+          case Bc::IputObject:
+            // Data distance 4 (vreg -> field).
+            decode12x(a);
+            fetch(a, r2, 1);
+            a.ldr(r0, memIdx(r_fp, r3, 2));       // object ref
+            s.dataLoad();
+            a.ldr(r1, memIdx(r_fp, r9, 2));       // value
+            a.add(r0, r0, reg(r2));
+            fetchAdvance(a, 2);
+            extractOpcode(a);
+            s.dataStore();
+            a.str(r1, memOff(r0, 8));
+            gotoOpcode(a);
+            break;
+
+          case Bc::Sget:
+          case Bc::SgetObject:
+            // Data distance 3 (statics word -> vreg).
+            decodeAA(a);
+            fetch(a, r1, 1);
+            a.ldr(r2, memOff(r_self, mem::thread_statics_offset));
+            s.dataLoad();
+            a.ldr(r0, memIdx(r2, r1, 2));
+            fetchAdvance(a, 2);
+            extractOpcode(a);
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::Sput:
+          case Bc::SputObject:
+            // Data distance 2 (vreg -> statics word).
+            decodeAA(a);
+            fetch(a, r1, 1);
+            a.ldr(r2, memOff(r_self, mem::thread_statics_offset));
+            s.dataLoad();
+            a.ldr(r0, memIdx(r_fp, r9, 2));
+            fetchAdvance(a, 2);
+            s.dataStore();
+            a.str(r0, memIdx(r2, r1, 2));
+            extractOpcode(a);
+            gotoOpcode(a);
+            break;
+
+          case Bc::Aget:
+          case Bc::AgetChar:
+          case Bc::AgetObject: {
+            // Data distance 2 (element -> vreg).
+            decode23x(a);
+            a.ldr(r0, memIdx(r_fp, r2, 2));       // array ref
+            a.ldr(r1, memIdx(r_fp, r3, 2));       // index
+            a.add(r0, r0, imm(8));                // element base
+            fetchAdvance(a, 2);
+            s.dataLoad();
+            if (bc == Bc::AgetChar)
+                a.ldrh(r2, memIdx(r0, r1, 1));
+            else
+                a.ldr(r2, memIdx(r0, r1, 2));
+            extractOpcode(a);
+            s.dataStore();
+            a.str(r2, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+          }
+
+          case Bc::Aput:
+          case Bc::AputChar: {
+            // Data distance 2 (vreg -> element).
+            decode23x(a);
+            a.ldr(r0, memIdx(r_fp, r2, 2));       // array ref
+            a.ldr(r1, memIdx(r_fp, r3, 2));       // index
+            a.add(r0, r0, imm(8));
+            s.dataLoad();
+            a.ldr(r2, memIdx(r_fp, r9, 2));       // value
+            fetchAdvance(a, 2);
+            s.dataStore();
+            if (bc == Bc::AputChar)
+                a.strh(r2, memIdx(r0, r1, 1));
+            else
+                a.str(r2, memIdx(r0, r1, 2));
+            extractOpcode(a);
+            gotoOpcode(a);
+            break;
+          }
+
+          case Bc::AputObject:
+            // Data distance 10: the type check sits between the value
+            // load and the element store (Section 4.1).
+            decode23x(a);
+            fetchAdvance(a, 2);
+            extractOpcode(a);
+            a.ldr(r0, memIdx(r_fp, r2, 2));       // array ref
+            a.ldr(r1, memIdx(r_fp, r3, 2));       // index
+            s.dataLoad();
+            a.ldr(r2, memIdx(r_fp, r9, 2));       // value ref
+            a.ldr(r10, memOff(r0, 0));            // array class id
+            a.cmp(r2, imm(0));
+            a.ldr(r11, memOff(r2, 0), Cond::Ne);  // value class id
+            a.cmp(r10, reg(r11));                 // assignability check
+            a.mov(r3, reg(r10));                  // (component type)
+            a.cmp(r3, reg(r11));
+            a.add(r0, r0, imm(8));
+            a.nop();                              // (write barrier slot)
+            a.nop();
+            s.dataStore();
+            a.str(r2, memIdx(r0, r1, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::InvokeVirtual:
+          case Bc::InvokeStatic:
+          case Bc::InvokeDirect:
+            a.svc(static_cast<uint32_t>(Svc::Invoke));
+            break;
+
+          case Bc::Goto:
+            a.sbfx(r2, r_inst, 8, 8);
+            a.add(r_pc_bc, r_pc_bc, regLsl(r2, 1));
+            a.ldrh(r_inst, memOff(r_pc_bc, 0));
+            extractOpcode(a);
+            gotoOpcode(a);
+            break;
+
+          case Bc::IfEq:
+          case Bc::IfNe:
+          case Bc::IfLt:
+          case Bc::IfGe:
+          case Bc::IfGt:
+          case Bc::IfLe: {
+            Cond cc =
+                bc == Bc::IfEq ? Cond::Eq :
+                bc == Bc::IfNe ? Cond::Ne :
+                bc == Bc::IfLt ? Cond::Lt :
+                bc == Bc::IfGe ? Cond::Ge :
+                bc == Bc::IfGt ? Cond::Gt : Cond::Le;
+            decode12x(a);
+            a.ldr(r1, memIdx(r_fp, r3, 2));       // vB
+            a.ldr(r0, memIdx(r_fp, r9, 2));       // vA
+            a.cmp(r0, reg(r1));
+            a.b("taken", cc);
+            fetchAdvance(a, 2);
+            extractOpcode(a);
+            gotoOpcode(a);
+            a.label("taken");
+            fetch(a, r2, 1);
+            a.sxth(r2, r2);
+            a.add(r_pc_bc, r_pc_bc, regLsl(r2, 1));
+            a.ldrh(r_inst, memOff(r_pc_bc, 0));
+            extractOpcode(a);
+            gotoOpcode(a);
+            break;
+          }
+
+          case Bc::IfEqz:
+          case Bc::IfNez:
+          case Bc::IfLtz:
+          case Bc::IfGez: {
+            Cond cc =
+                bc == Bc::IfEqz ? Cond::Eq :
+                bc == Bc::IfNez ? Cond::Ne :
+                bc == Bc::IfLtz ? Cond::Lt : Cond::Ge;
+            decodeAA(a);
+            a.ldr(r0, memIdx(r_fp, r9, 2));
+            a.cmp(r0, imm(0));
+            a.b("taken", cc);
+            fetchAdvance(a, 2);
+            extractOpcode(a);
+            gotoOpcode(a);
+            a.label("taken");
+            fetch(a, r2, 1);
+            a.sxth(r2, r2);
+            a.add(r_pc_bc, r_pc_bc, regLsl(r2, 1));
+            a.ldrh(r_inst, memOff(r_pc_bc, 0));
+            extractOpcode(a);
+            gotoOpcode(a);
+            break;
+          }
+
+          case Bc::AddInt:
+          case Bc::SubInt:
+          case Bc::MulInt:
+          case Bc::AndInt:
+          case Bc::OrInt:
+          case Bc::XorInt:
+          case Bc::ShlInt:
+          case Bc::ShrInt:
+            // Data distance 5 (first operand load -> result store).
+            decode23x(a);
+            s.dataLoad();
+            a.ldr(r1, memIdx(r_fp, r2, 2));       // vBB
+            s.dataLoad();
+            a.ldr(r0, memIdx(r_fp, r3, 2));       // vCC
+            fetchAdvance(a, 2);
+            switch (bc) {
+              case Bc::AddInt: a.add(r0, r1, reg(r0)); break;
+              case Bc::SubInt: a.rsb(r0, r0, reg(r1)); break;
+              case Bc::MulInt: a.mul(r0, r1, r0); break;
+              case Bc::AndInt: a.and_(r0, r1, reg(r0)); break;
+              case Bc::OrInt:  a.orr(r0, r1, reg(r0)); break;
+              case Bc::XorInt: a.eor(r0, r1, reg(r0)); break;
+              case Bc::ShlInt: a.lsl(r0, r1, reg(r0)); break;
+              default:         a.asr(r0, r1, reg(r0)); break;
+            }
+            extractOpcode(a);
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::DivInt:
+          case Bc::RemInt:
+            // ABI helper: distance depends on the helper ("unknown").
+            decode23x(a);
+            s.dataLoad();
+            a.ldr(r0, memIdx(r_fp, r2, 2));       // dividend
+            s.dataLoad();
+            a.ldr(r1, memIdx(r_fp, r3, 2));       // divisor
+            a.svc(static_cast<uint32_t>(
+                bc == Bc::DivInt ? Svc::AbiIdiv : Svc::AbiIrem));
+            fetchAdvance(a, 2);
+            extractOpcode(a);
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::AddInt2Addr:
+          case Bc::SubInt2Addr:
+          case Bc::MulInt2Addr:
+          case Bc::AndInt2Addr:
+          case Bc::OrInt2Addr:
+          case Bc::XorInt2Addr:
+            // Figure 8 template; data distance 5.
+            decode12x(a);
+            s.dataLoad();
+            a.ldr(r1, memIdx(r_fp, r3, 2));       // GET_VREG(r1, vB)
+            s.dataLoad();
+            a.ldr(r0, memIdx(r_fp, r9, 2));       // GET_VREG(r0, vA)
+            fetchAdvance(a, 1);                   // FETCH_ADVANCE_INST(1)
+            switch (bc) {
+              case Bc::AddInt2Addr: a.add(r0, r1, reg(r0)); break;
+              case Bc::SubInt2Addr: a.sub(r0, r0, reg(r1)); break;
+              case Bc::MulInt2Addr: a.mul(r0, r1, r0); break;
+              case Bc::AndInt2Addr: a.and_(r0, r1, reg(r0)); break;
+              case Bc::OrInt2Addr:  a.orr(r0, r1, reg(r0)); break;
+              default:              a.eor(r0, r1, reg(r0)); break;
+            }
+            extractOpcode(a);                     // GET_INST_OPCODE
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));       // SET_VREG(r0, vA)
+            gotoOpcode(a);                        // GOTO_OPCODE
+            break;
+
+          case Bc::DivInt2Addr:
+            decode12x(a);
+            s.dataLoad();
+            a.ldr(r0, memIdx(r_fp, r9, 2));       // vA dividend
+            s.dataLoad();
+            a.ldr(r1, memIdx(r_fp, r3, 2));       // vB divisor
+            a.svc(static_cast<uint32_t>(Svc::AbiIdiv));
+            fetchAdvance(a, 1);
+            extractOpcode(a);
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::AddIntLit8:
+          case Bc::MulIntLit8: {
+            bool is_mul = bc == Bc::MulIntLit8;
+            decodeAA(a);
+            fetch(a, r3, 1);
+            a.and_(r2, r3, imm(255));
+            a.sbfx(r3, r3, 8, 8);
+            s.dataLoad();
+            a.ldr(r0, memIdx(r_fp, r2, 2));       // vBB
+            fetchAdvance(a, 2);
+            if (is_mul)
+                a.mul(r0, r0, r3);
+            else
+                a.add(r0, r0, reg(r3));
+            extractOpcode(a);
+            a.nop();
+            if (is_mul)
+                a.nop();                          // distance 6
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));       // distance 5 (add)
+            gotoOpcode(a);
+            break;
+          }
+
+          case Bc::IntToChar:
+          case Bc::IntToByte:
+            // Data distance 6.
+            decode12x(a);
+            s.dataLoad();
+            a.ldr(r0, memIdx(r_fp, r3, 2));
+            fetchAdvance(a, 1);
+            if (bc == Bc::IntToChar)
+                a.uxth(r0, r0);
+            else
+                a.sbfx(r0, r0, 0, 8);
+            extractOpcode(a);
+            a.nop();
+            a.nop();
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          case Bc::MoveWide:
+            // Data distance 4 (register pair via ldrd/strd).
+            decode12x(a);
+            a.add(r3, r_fp, regLsl(r3, 2));
+            s.dataLoad();
+            a.ldrd(r0, memOff(r3, 0));
+            a.add(r9, r_fp, regLsl(r9, 2));
+            fetchAdvance(a, 1);
+            extractOpcode(a);
+            s.dataStore();
+            a.strd(r0, memOff(r9, 0));
+            gotoOpcode(a);
+            break;
+
+          case Bc::AddLong:
+            // Data distance 6.
+            decode23x(a);
+            a.add(r2, r_fp, regLsl(r2, 2));
+            a.add(r3, r_fp, regLsl(r3, 2));
+            a.add(r9, r_fp, regLsl(r9, 2));
+            s.dataLoad();
+            a.ldrd(r0, memOff(r2, 0));
+            s.dataLoad();
+            a.ldrd(r2, memOff(r3, 0));
+            fetchAdvance(a, 2);
+            a.adds(r0, r0, reg(r2));
+            a.add(r1, r1, reg(r3));   // (no carry chain in this ISA)
+            extractOpcode(a);
+            s.dataStore();
+            a.strd(r0, memOff(r9, 0));
+            gotoOpcode(a);
+            break;
+
+          case Bc::MulLong:
+            // Data distance 10 (the 9-12 bucket of Table 1).
+            decode23x(a);
+            a.add(r2, r_fp, regLsl(r2, 2));
+            a.add(r3, r_fp, regLsl(r3, 2));
+            s.dataLoad();
+            a.ldrd(r0, memOff(r2, 0));            // vBB pair
+            s.dataLoad();
+            a.ldrd(r2, memOff(r3, 0));            // vCC pair
+            a.mul(r10, r0, r3);                   // lo1*hi2
+            a.mul(r11, r1, r2);                   // hi1*lo2
+            a.mul(r0, r0, r2);                    // lo1*lo2 (low word)
+            fetchAdvance(a, 2);
+            a.add(r1, r10, reg(r11));             // high word (approx)
+            extractOpcode(a);
+            a.add(r9, r_fp, regLsl(r9, 2));
+            a.nop();
+            s.dataStore();
+            a.strd(r0, memOff(r9, 0));
+            gotoOpcode(a);
+            break;
+
+          case Bc::AddFloat2Addr:
+          case Bc::MulFloat2Addr:
+          case Bc::DivFloat2Addr: {
+            Svc svc =
+                bc == Bc::AddFloat2Addr ? Svc::AbiFadd :
+                bc == Bc::MulFloat2Addr ? Svc::AbiFmul : Svc::AbiFdiv;
+            decode12x(a);
+            s.dataLoad();
+            a.ldr(r0, memIdx(r_fp, r9, 2));       // vA
+            s.dataLoad();
+            a.ldr(r1, memIdx(r_fp, r3, 2));       // vB
+            a.svc(static_cast<uint32_t>(svc));
+            fetchAdvance(a, 1);
+            extractOpcode(a);
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+          }
+
+          case Bc::IntToFloat:
+          case Bc::FloatToInt:
+            decode12x(a);
+            s.dataLoad();
+            a.ldr(r0, memIdx(r_fp, r3, 2));       // vB
+            a.svc(static_cast<uint32_t>(
+                bc == Bc::IntToFloat ? Svc::AbiI2f : Svc::AbiF2i));
+            fetchAdvance(a, 1);
+            extractOpcode(a);
+            s.dataStore();
+            a.str(r0, memIdx(r_fp, r9, 2));
+            gotoOpcode(a);
+            break;
+
+          default:
+            pift_panic("no handler template for bytecode %u", op);
+        }
+
+        finishSlot(set, bc, s);
+    }
+
+    return set;
+}
+
+} // namespace pift::dalvik

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The mterp: native handler templates for every bytecode.
+ *
+ * Each bytecode has a fixed-size native handler at
+ * handler_base + opcode * handler_slot_bytes, exactly like Dalvik's
+ * mterp (Figure 8 of the paper). The templates use the canonical
+ * register conventions:
+ *
+ *   r4 = rPC    (points at the current 16-bit code unit)
+ *   r5 = rFP    (virtual-register frame; vX lives at [rFP, X*4])
+ *   r6 = rSELF  (thread block: retval, exception, pool, statics)
+ *   r7 = rINST  (current code unit)
+ *   r8 = rIBASE (handler table base)
+ *
+ * and the canonical macros:
+ *
+ *   GET_VREG(r, vX)        ldr  r, [rFP, rX, lsl #2]
+ *   SET_VREG(r, vX)        str  r, [rFP, rX, lsl #2]
+ *   FETCH_ADVANCE_INST(n)  ldrh rINST, [rPC, #2n]!
+ *   GOTO_OPCODE            and  r12, rINST, #255
+ *                          add  pc, rIBASE, r12, lsl #7
+ *
+ * Because the virtual registers are memory-resident, every data move
+ * inside a bytecode shows up as genuine load/store trace events at the
+ * template-determined distance — the Table 1 numbers are properties
+ * of this code, not assertions. Each handler records which of its
+ * instructions load/store *moved program data* (as opposed to code
+ * units, refs, or indices); the Table 1 bench measures distances
+ * against those annotations.
+ *
+ * Complex operations trap to the runtime bridge with SVC, as the real
+ * mterp punts to C: invokes (frame setup; the argument copy itself is
+ * executed as native load/store code), allocation, throw unwinding,
+ * and the ARM ABI helpers (integer division, all float arithmetic),
+ * whose register-spill prologues make their load-store distances long
+ * and variable ("unknown" in Table 1).
+ */
+
+#ifndef PIFT_DALVIK_HANDLERS_HH
+#define PIFT_DALVIK_HANDLERS_HH
+
+#include <array>
+#include <vector>
+
+#include "dalvik/bytecode.hh"
+#include "isa/assembler.hh"
+#include "support/types.hh"
+
+namespace pift::dalvik
+{
+
+/** mterp register conventions. */
+inline constexpr RegIndex r_pc_bc = 4;  //!< rPC (bytecode pointer)
+inline constexpr RegIndex r_fp = 5;     //!< rFP (vreg frame)
+inline constexpr RegIndex r_self = 6;   //!< rSELF (thread block)
+inline constexpr RegIndex r_inst = 7;   //!< rINST (current unit)
+inline constexpr RegIndex r_ibase = 8;  //!< rIBASE (handler table)
+
+/** Service-call numbers used by the handlers. */
+enum class Svc : uint32_t
+{
+    Invoke = 1,      //!< all invoke kinds; bridge decodes the unit
+    Return = 2,      //!< pop frame, resume caller
+    NewInstance = 3,
+    NewArray = 4,
+    Throw = 5,
+    AbiIdiv = 16,    //!< __aeabi_idiv: r0 <- r0 / r1
+    AbiIrem = 17,    //!< __aeabi_idivmod remainder: r0 <- r0 % r1
+    AbiFadd = 18,    //!< __aeabi_fadd: r0 <- r0 +f r1
+    AbiFmul = 19,
+    AbiFdiv = 20,
+    AbiI2f = 21,
+    AbiF2i = 22
+};
+
+/** Which instructions of a handler move program data. */
+struct HandlerInfo
+{
+    std::vector<Addr> data_load_pcs;
+    std::vector<Addr> data_store_pcs;
+};
+
+/** The emitted interpreter: entry stub plus one program per opcode. */
+struct HandlerSet
+{
+    isa::Program entry;                    //!< fetch+dispatch stub
+    std::vector<isa::Program> handlers;    //!< one per defined Bc
+    std::array<HandlerInfo, num_bytecodes> info;
+};
+
+/**
+ * Emit the complete interpreter. Programs are positioned at their
+ * final addresses (mem::handler_base / mem::mterp_entry_addr) and
+ * ready to be loaded into a Cpu.
+ */
+HandlerSet emitHandlers();
+
+} // namespace pift::dalvik
+
+#endif // PIFT_DALVIK_HANDLERS_HH

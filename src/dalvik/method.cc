@@ -1,0 +1,567 @@
+#include "dalvik/method.hh"
+
+#include "support/logging.hh"
+
+namespace pift::dalvik
+{
+
+Dex::Dex()
+{
+    cls_object = addClass({"java/lang/Object", 0, 0, {}});
+    cls_string = addClass({"java/lang/String", 0, 2, {}});
+    cls_char_array = addClass({"char[]", 0, 2, {}});
+    cls_int_array = addClass({"int[]", 0, 4, {}});
+    cls_object_array = addClass({"java/lang/Object[]", 0, 4, {}});
+}
+
+MethodId
+Dex::addMethod(Method m)
+{
+    pift_assert(methods.size() < no_method, "too many methods");
+    pift_assert(m.nins <= m.nregs,
+                "method '%s' has more args than registers",
+                m.name.c_str());
+    auto id = static_cast<MethodId>(methods.size());
+    auto [it, inserted] = method_names.emplace(m.name, id);
+    if (!inserted)
+        pift_panic("duplicate method name '%s'", m.name.c_str());
+    methods.push_back(std::move(m));
+    return id;
+}
+
+MethodId
+Dex::addNative(const std::string &name, uint16_t nins, NativeFn fn,
+               MethodOrigin origin)
+{
+    Method m;
+    m.name = name;
+    m.nregs = nins;
+    m.nins = nins;
+    m.origin = origin;
+    m.is_native = true;
+    m.native = std::move(fn);
+    return addMethod(std::move(m));
+}
+
+Method &
+Dex::method(MethodId id)
+{
+    pift_assert(id < methods.size(), "bad method id %u", id);
+    return methods[id];
+}
+
+const Method &
+Dex::method(MethodId id) const
+{
+    pift_assert(id < methods.size(), "bad method id %u", id);
+    return methods[id];
+}
+
+MethodId
+Dex::findMethod(const std::string &name) const
+{
+    auto it = method_names.find(name);
+    if (it == method_names.end())
+        pift_panic("unknown method '%s'", name.c_str());
+    return it->second;
+}
+
+ClassId
+Dex::addClass(ClassInfo info)
+{
+    auto id = static_cast<ClassId>(classes.size());
+    classes.push_back(std::move(info));
+    return id;
+}
+
+ClassInfo &
+Dex::classInfo(ClassId id)
+{
+    pift_assert(id < classes.size(), "bad class id %u", id);
+    return classes[id];
+}
+
+const ClassInfo &
+Dex::classInfo(ClassId id) const
+{
+    pift_assert(id < classes.size(), "bad class id %u", id);
+    return classes[id];
+}
+
+uint16_t
+Dex::addString(const std::string &s)
+{
+    auto it = pool_index.find(s);
+    if (it != pool_index.end())
+        return it->second;
+    auto idx = static_cast<uint16_t>(pool.size());
+    pool.push_back(s);
+    pool_index.emplace(s, idx);
+    return idx;
+}
+
+uint16_t
+Dex::addStatic(const std::string &name)
+{
+    auto idx = static_cast<uint16_t>(statics.size());
+    statics.push_back(name);
+    return idx;
+}
+
+MethodBuilder::MethodBuilder(std::string name, uint16_t nregs,
+                             uint16_t nins)
+{
+    m.name = std::move(name);
+    m.nregs = nregs;
+    m.nins = nins;
+    m.origin = MethodOrigin::App;
+}
+
+MethodBuilder &
+MethodBuilder::origin(MethodOrigin o)
+{
+    m.origin = o;
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::label(const std::string &name)
+{
+    auto [it, inserted] = labels.emplace(name, m.code.size());
+    if (!inserted)
+        pift_panic("duplicate label '%s' in method '%s'", name.c_str(),
+                   m.name.c_str());
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::catchHere()
+{
+    pift_assert(m.catch_offset < 0, "method '%s' has two catch blocks",
+                m.name.c_str());
+    m.catch_offset = static_cast<int>(m.code.size());
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::emit1(Bc bc, uint16_t high)
+{
+    pift_assert(!finished, "builder reused after finish()");
+    m.code.push_back(static_cast<uint16_t>(
+        static_cast<uint16_t>(bc) | (high << 8)));
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::emit2(Bc bc, uint16_t high, uint16_t unit1)
+{
+    emit1(bc, high);
+    m.code.push_back(unit1);
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::branch1(Bc bc, uint16_t high, const std::string &target)
+{
+    fixups.push_back({m.code.size(), m.code.size(), true, target});
+    return emit1(bc, high);
+}
+
+MethodBuilder &
+MethodBuilder::branch2(Bc bc, uint16_t high, const std::string &target)
+{
+    fixups.push_back({m.code.size(), m.code.size() + 1, false, target});
+    return emit2(bc, high, 0);
+}
+
+static uint16_t
+nibbles(uint8_t a, uint8_t b)
+{
+    pift_assert(a < 16 && b < 16, "vreg out of nibble range");
+    return static_cast<uint16_t>(a | (b << 4));
+}
+
+MethodBuilder &
+MethodBuilder::nop()
+{
+    return emit1(Bc::Nop, 0);
+}
+
+MethodBuilder &
+MethodBuilder::move(uint8_t a, uint8_t b)
+{
+    return emit1(Bc::Move, nibbles(a, b));
+}
+
+MethodBuilder &
+MethodBuilder::moveFrom16(uint8_t aa, uint16_t bbbb)
+{
+    return emit2(Bc::MoveFrom16, aa, bbbb);
+}
+
+MethodBuilder &
+MethodBuilder::moveObject(uint8_t a, uint8_t b)
+{
+    return emit1(Bc::MoveObject, nibbles(a, b));
+}
+
+MethodBuilder &
+MethodBuilder::moveResult(uint8_t aa)
+{
+    return emit1(Bc::MoveResult, aa);
+}
+
+MethodBuilder &
+MethodBuilder::moveResultObject(uint8_t aa)
+{
+    return emit1(Bc::MoveResultObject, aa);
+}
+
+MethodBuilder &
+MethodBuilder::moveException(uint8_t aa)
+{
+    return emit1(Bc::MoveException, aa);
+}
+
+MethodBuilder &
+MethodBuilder::returnVoid()
+{
+    return emit1(Bc::ReturnVoid, 0);
+}
+
+MethodBuilder &
+MethodBuilder::returnValue(uint8_t aa)
+{
+    return emit1(Bc::Return, aa);
+}
+
+MethodBuilder &
+MethodBuilder::returnObject(uint8_t aa)
+{
+    return emit1(Bc::ReturnObject, aa);
+}
+
+MethodBuilder &
+MethodBuilder::const4(uint8_t a, int8_t value)
+{
+    pift_assert(value >= -8 && value <= 7, "const/4 literal range");
+    return emit1(Bc::Const4,
+                 nibbles(a, static_cast<uint8_t>(value & 0xf)));
+}
+
+MethodBuilder &
+MethodBuilder::const16(uint8_t aa, int16_t value)
+{
+    return emit2(Bc::Const16, aa, static_cast<uint16_t>(value));
+}
+
+MethodBuilder &
+MethodBuilder::constString(uint8_t aa, uint16_t pool_idx)
+{
+    return emit2(Bc::ConstString, aa, pool_idx);
+}
+
+MethodBuilder &
+MethodBuilder::newInstance(uint8_t aa, uint16_t class_id)
+{
+    return emit2(Bc::NewInstance, aa, class_id);
+}
+
+MethodBuilder &
+MethodBuilder::newArray(uint8_t a, uint8_t b, uint16_t class_id)
+{
+    return emit2(Bc::NewArray, nibbles(a, b), class_id);
+}
+
+MethodBuilder &
+MethodBuilder::checkCast(uint8_t aa, uint16_t class_id)
+{
+    return emit2(Bc::CheckCast, aa, class_id);
+}
+
+MethodBuilder &
+MethodBuilder::arrayLength(uint8_t a, uint8_t b)
+{
+    return emit1(Bc::ArrayLength, nibbles(a, b));
+}
+
+MethodBuilder &
+MethodBuilder::throwVreg(uint8_t aa)
+{
+    return emit1(Bc::Throw, aa);
+}
+
+MethodBuilder &
+MethodBuilder::iget(uint8_t a, uint8_t b, uint16_t field_off)
+{
+    return emit2(Bc::Iget, nibbles(a, b), field_off);
+}
+
+MethodBuilder &
+MethodBuilder::igetObject(uint8_t a, uint8_t b, uint16_t field_off)
+{
+    return emit2(Bc::IgetObject, nibbles(a, b), field_off);
+}
+
+MethodBuilder &
+MethodBuilder::iput(uint8_t a, uint8_t b, uint16_t field_off)
+{
+    return emit2(Bc::Iput, nibbles(a, b), field_off);
+}
+
+MethodBuilder &
+MethodBuilder::iputObject(uint8_t a, uint8_t b, uint16_t field_off)
+{
+    return emit2(Bc::IputObject, nibbles(a, b), field_off);
+}
+
+MethodBuilder &
+MethodBuilder::sget(uint8_t aa, uint16_t idx)
+{
+    return emit2(Bc::Sget, aa, idx);
+}
+
+MethodBuilder &
+MethodBuilder::sgetObject(uint8_t aa, uint16_t idx)
+{
+    return emit2(Bc::SgetObject, aa, idx);
+}
+
+MethodBuilder &
+MethodBuilder::sput(uint8_t aa, uint16_t idx)
+{
+    return emit2(Bc::Sput, aa, idx);
+}
+
+MethodBuilder &
+MethodBuilder::sputObject(uint8_t aa, uint16_t idx)
+{
+    return emit2(Bc::SputObject, aa, idx);
+}
+
+MethodBuilder &
+MethodBuilder::aget(uint8_t aa, uint8_t bb, uint8_t cc)
+{
+    return emit2(Bc::Aget, aa,
+                 static_cast<uint16_t>(bb | (cc << 8)));
+}
+
+MethodBuilder &
+MethodBuilder::agetChar(uint8_t aa, uint8_t bb, uint8_t cc)
+{
+    return emit2(Bc::AgetChar, aa,
+                 static_cast<uint16_t>(bb | (cc << 8)));
+}
+
+MethodBuilder &
+MethodBuilder::agetObject(uint8_t aa, uint8_t bb, uint8_t cc)
+{
+    return emit2(Bc::AgetObject, aa,
+                 static_cast<uint16_t>(bb | (cc << 8)));
+}
+
+MethodBuilder &
+MethodBuilder::aput(uint8_t aa, uint8_t bb, uint8_t cc)
+{
+    return emit2(Bc::Aput, aa,
+                 static_cast<uint16_t>(bb | (cc << 8)));
+}
+
+MethodBuilder &
+MethodBuilder::aputChar(uint8_t aa, uint8_t bb, uint8_t cc)
+{
+    return emit2(Bc::AputChar, aa,
+                 static_cast<uint16_t>(bb | (cc << 8)));
+}
+
+MethodBuilder &
+MethodBuilder::aputObject(uint8_t aa, uint8_t bb, uint8_t cc)
+{
+    return emit2(Bc::AputObject, aa,
+                 static_cast<uint16_t>(bb | (cc << 8)));
+}
+
+MethodBuilder &
+MethodBuilder::invokeVirtual(uint16_t vtable_slot, uint8_t argc,
+                             uint16_t first_arg)
+{
+    emit2(Bc::InvokeVirtual, argc, vtable_slot);
+    m.code.push_back(first_arg);
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::invokeStatic(uint16_t method, uint8_t argc,
+                            uint16_t first_arg)
+{
+    emit2(Bc::InvokeStatic, argc, method);
+    m.code.push_back(first_arg);
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::invokeDirect(uint16_t method, uint8_t argc,
+                            uint16_t first_arg)
+{
+    emit2(Bc::InvokeDirect, argc, method);
+    m.code.push_back(first_arg);
+    return *this;
+}
+
+MethodBuilder &
+MethodBuilder::gotoLabel(const std::string &target)
+{
+    return branch1(Bc::Goto, 0, target);
+}
+
+MethodBuilder &
+MethodBuilder::ifEq(uint8_t a, uint8_t b, const std::string &target)
+{
+    return branch2(Bc::IfEq, nibbles(a, b), target);
+}
+
+MethodBuilder &
+MethodBuilder::ifNe(uint8_t a, uint8_t b, const std::string &target)
+{
+    return branch2(Bc::IfNe, nibbles(a, b), target);
+}
+
+MethodBuilder &
+MethodBuilder::ifLt(uint8_t a, uint8_t b, const std::string &target)
+{
+    return branch2(Bc::IfLt, nibbles(a, b), target);
+}
+
+MethodBuilder &
+MethodBuilder::ifGe(uint8_t a, uint8_t b, const std::string &target)
+{
+    return branch2(Bc::IfGe, nibbles(a, b), target);
+}
+
+MethodBuilder &
+MethodBuilder::ifGt(uint8_t a, uint8_t b, const std::string &target)
+{
+    return branch2(Bc::IfGt, nibbles(a, b), target);
+}
+
+MethodBuilder &
+MethodBuilder::ifLe(uint8_t a, uint8_t b, const std::string &target)
+{
+    return branch2(Bc::IfLe, nibbles(a, b), target);
+}
+
+MethodBuilder &
+MethodBuilder::ifEqz(uint8_t aa, const std::string &target)
+{
+    return branch2(Bc::IfEqz, aa, target);
+}
+
+MethodBuilder &
+MethodBuilder::ifNez(uint8_t aa, const std::string &target)
+{
+    return branch2(Bc::IfNez, aa, target);
+}
+
+MethodBuilder &
+MethodBuilder::ifLtz(uint8_t aa, const std::string &target)
+{
+    return branch2(Bc::IfLtz, aa, target);
+}
+
+MethodBuilder &
+MethodBuilder::ifGez(uint8_t aa, const std::string &target)
+{
+    return branch2(Bc::IfGez, aa, target);
+}
+
+MethodBuilder &
+MethodBuilder::binop(Bc op, uint8_t aa, uint8_t bb, uint8_t cc)
+{
+    pift_assert(format(op) == Format::F23x, "binop wants F23x opcode");
+    return emit2(op, aa, static_cast<uint16_t>(bb | (cc << 8)));
+}
+
+MethodBuilder &
+MethodBuilder::binop2addr(Bc op, uint8_t a, uint8_t b)
+{
+    pift_assert(format(op) == Format::F12x,
+                "binop2addr wants F12x opcode");
+    return emit1(op, nibbles(a, b));
+}
+
+MethodBuilder &
+MethodBuilder::addIntLit8(uint8_t aa, uint8_t bb, int8_t lit)
+{
+    return emit2(Bc::AddIntLit8, aa,
+                 static_cast<uint16_t>(
+                     bb | (static_cast<uint8_t>(lit) << 8)));
+}
+
+MethodBuilder &
+MethodBuilder::mulIntLit8(uint8_t aa, uint8_t bb, int8_t lit)
+{
+    return emit2(Bc::MulIntLit8, aa,
+                 static_cast<uint16_t>(
+                     bb | (static_cast<uint8_t>(lit) << 8)));
+}
+
+MethodBuilder &
+MethodBuilder::intToChar(uint8_t a, uint8_t b)
+{
+    return emit1(Bc::IntToChar, nibbles(a, b));
+}
+
+MethodBuilder &
+MethodBuilder::intToByte(uint8_t a, uint8_t b)
+{
+    return emit1(Bc::IntToByte, nibbles(a, b));
+}
+
+MethodBuilder &
+MethodBuilder::moveWide(uint8_t a, uint8_t b)
+{
+    return emit1(Bc::MoveWide, nibbles(a, b));
+}
+
+MethodBuilder &
+MethodBuilder::addLong(uint8_t aa, uint8_t bb, uint8_t cc)
+{
+    return emit2(Bc::AddLong, aa,
+                 static_cast<uint16_t>(bb | (cc << 8)));
+}
+
+MethodBuilder &
+MethodBuilder::mulLong(uint8_t aa, uint8_t bb, uint8_t cc)
+{
+    return emit2(Bc::MulLong, aa,
+                 static_cast<uint16_t>(bb | (cc << 8)));
+}
+
+Method
+MethodBuilder::finish()
+{
+    pift_assert(!finished, "builder finished twice");
+    finished = true;
+    for (const auto &fix : fixups) {
+        auto it = labels.find(fix.label);
+        if (it == labels.end())
+            pift_panic("dangling branch to '%s' in method '%s'",
+                       fix.label.c_str(), m.name.c_str());
+        int offset = static_cast<int>(it->second) -
+            static_cast<int>(fix.inst_unit);
+        if (fix.in_unit0_high) {
+            pift_assert(offset >= -128 && offset <= 127,
+                        "goto offset out of range in '%s'",
+                        m.name.c_str());
+            m.code[fix.offset_unit] = static_cast<uint16_t>(
+                (m.code[fix.offset_unit] & 0x00ff) |
+                ((offset & 0xff) << 8));
+        } else {
+            m.code[fix.offset_unit] =
+                static_cast<uint16_t>(static_cast<int16_t>(offset));
+        }
+    }
+    return std::move(m);
+}
+
+} // namespace pift::dalvik

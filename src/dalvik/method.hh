@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Methods, classes, string pool and the Dex registry.
+ *
+ * A Dex is the loaded-code universe of one simulated device image:
+ * bytecode methods (app code and the "system library" runtime
+ * methods), native methods (runtime bridge callouts), classes with
+ * vtables for virtual dispatch, the interned string pool, and static
+ * fields. Figure 10's app-vs-library bytecode census is a static scan
+ * over this registry.
+ */
+
+#ifndef PIFT_DALVIK_METHOD_HH
+#define PIFT_DALVIK_METHOD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dalvik/bytecode.hh"
+#include "support/types.hh"
+
+namespace pift::dalvik
+{
+
+class Vm;
+
+using MethodId = uint16_t;
+using ClassId = uint32_t;
+
+/** Sentinel for "no method". */
+inline constexpr MethodId no_method = 0xffff;
+
+/** Where a method lives, for the Figure 10 census. */
+enum class MethodOrigin : uint8_t { App, SystemLib };
+
+/** Arguments passed to a native method implementation. */
+struct NativeCall
+{
+    /** Simulated address of the k-th argument's caller vreg. */
+    Addr arg_addr(unsigned k) const { return args_base + 4 * k; }
+    Addr args_base = 0;   //!< address of the first argument vreg
+    unsigned argc = 0;    //!< number of argument words
+};
+
+/** Host implementation of a native method. */
+using NativeFn = std::function<void(Vm &, const NativeCall &)>;
+
+/** One method: bytecode or native. */
+struct Method
+{
+    std::string name;
+    uint16_t nregs = 0;        //!< frame size in vregs
+    uint16_t nins = 0;         //!< argument words (last nins vregs)
+    MethodOrigin origin = MethodOrigin::SystemLib;
+
+    std::vector<uint16_t> code; //!< 16-bit code units (bytecode only)
+    int catch_offset = -1;      //!< catch-all handler (unit index)
+
+    bool is_native = false;
+    NativeFn native;
+
+    Addr code_addr = 0;         //!< where the units live once loaded
+};
+
+/** One class: instance shape plus virtual dispatch table. */
+struct ClassInfo
+{
+    std::string name;
+    uint32_t field_count = 0;   //!< instance field words
+    uint32_t elem_bytes = 0;    //!< element size; non-zero = array
+    std::vector<MethodId> vtable;
+};
+
+/** The loaded-code registry ("dex image"). */
+class Dex
+{
+  public:
+    Dex();
+
+    /** Register a bytecode method; returns its id. */
+    MethodId addMethod(Method m);
+
+    /**
+     * Register a native method.
+     * @param name diagnostic name
+     * @param nins argument words
+     * @param fn host implementation
+     * @param origin census bucket
+     */
+    MethodId addNative(const std::string &name, uint16_t nins,
+                       NativeFn fn,
+                       MethodOrigin origin = MethodOrigin::SystemLib);
+
+    Method &method(MethodId id);
+    const Method &method(MethodId id) const;
+    size_t methodCount() const { return methods.size(); }
+
+    /** Look up a method id by name; panics if missing. */
+    MethodId findMethod(const std::string &name) const;
+
+    ClassId addClass(ClassInfo info);
+    ClassInfo &classInfo(ClassId id);
+    const ClassInfo &classInfo(ClassId id) const;
+    size_t classCount() const { return classes.size(); }
+
+    /** Intern @p s; returns its string-pool index. */
+    uint16_t addString(const std::string &s);
+    const std::vector<std::string> &stringPool() const { return pool; }
+
+    /** Allocate a static field word; returns its index. */
+    uint16_t addStatic(const std::string &name);
+    size_t staticCount() const { return statics.size(); }
+
+    /** Well-known classes created by the constructor. */
+    ClassId objectClass() const { return cls_object; }
+    ClassId stringClass() const { return cls_string; }
+    ClassId charArrayClass() const { return cls_char_array; }
+    ClassId intArrayClass() const { return cls_int_array; }
+    ClassId objectArrayClass() const { return cls_object_array; }
+
+  private:
+    std::vector<Method> methods;
+    std::unordered_map<std::string, MethodId> method_names;
+    std::vector<ClassInfo> classes;
+    std::vector<std::string> pool;
+    std::unordered_map<std::string, uint16_t> pool_index;
+    std::vector<std::string> statics;
+
+    ClassId cls_object = 0;
+    ClassId cls_string = 0;
+    ClassId cls_char_array = 0;
+    ClassId cls_int_array = 0;
+    ClassId cls_object_array = 0;
+};
+
+/**
+ * Fluent builder of bytecode methods with label-based branches.
+ * Branch offsets are resolved (in code units, relative to the branch
+ * instruction) when finish() is called.
+ */
+class MethodBuilder
+{
+  public:
+    /**
+     * @param name method name (unique within the Dex)
+     * @param nregs frame size in vregs
+     * @param nins argument words (arrive in the last nins vregs)
+     */
+    MethodBuilder(std::string name, uint16_t nregs, uint16_t nins);
+
+    /** Tag the method for the Figure 10 census. */
+    MethodBuilder &origin(MethodOrigin o);
+
+    /** Bind @p name to the next instruction. */
+    MethodBuilder &label(const std::string &name);
+
+    /** Mark the catch-all exception handler entry point. */
+    MethodBuilder &catchHere();
+
+    MethodBuilder &nop();
+    MethodBuilder &move(uint8_t a, uint8_t b);
+    MethodBuilder &moveFrom16(uint8_t aa, uint16_t bbbb);
+    MethodBuilder &moveObject(uint8_t a, uint8_t b);
+    MethodBuilder &moveResult(uint8_t aa);
+    MethodBuilder &moveResultObject(uint8_t aa);
+    MethodBuilder &moveException(uint8_t aa);
+    MethodBuilder &returnVoid();
+    MethodBuilder &returnValue(uint8_t aa);
+    MethodBuilder &returnObject(uint8_t aa);
+    MethodBuilder &const4(uint8_t a, int8_t value);
+    MethodBuilder &const16(uint8_t aa, int16_t value);
+    MethodBuilder &constString(uint8_t aa, uint16_t pool_idx);
+    MethodBuilder &newInstance(uint8_t aa, uint16_t class_id);
+    MethodBuilder &newArray(uint8_t a, uint8_t b, uint16_t class_id);
+    MethodBuilder &checkCast(uint8_t aa, uint16_t class_id);
+    MethodBuilder &arrayLength(uint8_t a, uint8_t b);
+    MethodBuilder &throwVreg(uint8_t aa);
+    MethodBuilder &iget(uint8_t a, uint8_t b, uint16_t field_off);
+    MethodBuilder &igetObject(uint8_t a, uint8_t b, uint16_t field_off);
+    MethodBuilder &iput(uint8_t a, uint8_t b, uint16_t field_off);
+    MethodBuilder &iputObject(uint8_t a, uint8_t b, uint16_t field_off);
+    MethodBuilder &sget(uint8_t aa, uint16_t idx);
+    MethodBuilder &sgetObject(uint8_t aa, uint16_t idx);
+    MethodBuilder &sput(uint8_t aa, uint16_t idx);
+    MethodBuilder &sputObject(uint8_t aa, uint16_t idx);
+    MethodBuilder &aget(uint8_t aa, uint8_t bb, uint8_t cc);
+    MethodBuilder &agetChar(uint8_t aa, uint8_t bb, uint8_t cc);
+    MethodBuilder &agetObject(uint8_t aa, uint8_t bb, uint8_t cc);
+    MethodBuilder &aput(uint8_t aa, uint8_t bb, uint8_t cc);
+    MethodBuilder &aputChar(uint8_t aa, uint8_t bb, uint8_t cc);
+    MethodBuilder &aputObject(uint8_t aa, uint8_t bb, uint8_t cc);
+    MethodBuilder &invokeVirtual(uint16_t vtable_slot, uint8_t argc,
+                                 uint16_t first_arg);
+    MethodBuilder &invokeStatic(uint16_t method, uint8_t argc,
+                                uint16_t first_arg);
+    MethodBuilder &invokeDirect(uint16_t method, uint8_t argc,
+                                uint16_t first_arg);
+    MethodBuilder &gotoLabel(const std::string &target);
+    MethodBuilder &ifEq(uint8_t a, uint8_t b, const std::string &target);
+    MethodBuilder &ifNe(uint8_t a, uint8_t b, const std::string &target);
+    MethodBuilder &ifLt(uint8_t a, uint8_t b, const std::string &target);
+    MethodBuilder &ifGe(uint8_t a, uint8_t b, const std::string &target);
+    MethodBuilder &ifGt(uint8_t a, uint8_t b, const std::string &target);
+    MethodBuilder &ifLe(uint8_t a, uint8_t b, const std::string &target);
+    MethodBuilder &ifEqz(uint8_t aa, const std::string &target);
+    MethodBuilder &ifNez(uint8_t aa, const std::string &target);
+    MethodBuilder &ifLtz(uint8_t aa, const std::string &target);
+    MethodBuilder &ifGez(uint8_t aa, const std::string &target);
+    MethodBuilder &binop(Bc op, uint8_t aa, uint8_t bb, uint8_t cc);
+    MethodBuilder &binop2addr(Bc op, uint8_t a, uint8_t b);
+    MethodBuilder &addIntLit8(uint8_t aa, uint8_t bb, int8_t lit);
+    MethodBuilder &mulIntLit8(uint8_t aa, uint8_t bb, int8_t lit);
+    MethodBuilder &intToChar(uint8_t a, uint8_t b);
+    MethodBuilder &intToByte(uint8_t a, uint8_t b);
+    MethodBuilder &moveWide(uint8_t a, uint8_t b);
+    MethodBuilder &addLong(uint8_t aa, uint8_t bb, uint8_t cc);
+    MethodBuilder &mulLong(uint8_t aa, uint8_t bb, uint8_t cc);
+
+    /** Resolve branches and return the method. */
+    Method finish();
+
+  private:
+    MethodBuilder &emit1(Bc bc, uint16_t high_byte_bits);
+    MethodBuilder &emit2(Bc bc, uint16_t high, uint16_t unit1);
+    MethodBuilder &branch1(Bc bc, uint16_t high,
+                           const std::string &target);
+    MethodBuilder &branch2(Bc bc, uint16_t high,
+                           const std::string &target);
+
+    Method m;
+    std::unordered_map<std::string, size_t> labels;
+    struct Fixup
+    {
+        size_t inst_unit;    //!< unit index of the instruction start
+        size_t offset_unit;  //!< unit index holding the offset
+        bool in_unit0_high;  //!< F10t: offset lives in unit0 bits 8-15
+        std::string label;
+    };
+    std::vector<Fixup> fixups;
+    bool finished = false;
+};
+
+} // namespace pift::dalvik
+
+#endif // PIFT_DALVIK_METHOD_HH

@@ -1,0 +1,472 @@
+#include "dalvik/vm.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace pift::dalvik
+{
+
+namespace
+{
+
+/** Bit-cast helpers for the float ABI routines. */
+float
+asFloat(uint32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+uint32_t
+asBits(float f)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    return bits;
+}
+
+/** Save/restore of the full register file around native routines. */
+class RegGuard
+{
+  public:
+    explicit RegGuard(sim::Cpu &cpu) : cpu_ref(cpu)
+    {
+        for (RegIndex r = 0; r < 16; ++r)
+            regs[r] = cpu.reg(r);
+    }
+
+    ~RegGuard()
+    {
+        for (RegIndex r = 0; r < 16; ++r)
+            cpu_ref.setReg(r, regs[r]);
+    }
+
+  private:
+    sim::Cpu &cpu_ref;
+    std::array<uint32_t, 16> regs{};
+};
+
+} // anonymous namespace
+
+Vm::Vm(sim::Cpu &cpu, Dex &dex, runtime::Heap &heap)
+    : cpu_ref(cpu), dex_ref(dex), heap_ref(heap),
+      frame_alloc(mem::frame_base, mem::frame_limit),
+      scratch_alloc(mem::scratch_base, mem::scratch_base + 0xfff)
+{}
+
+void
+Vm::boot()
+{
+    pift_assert(!booted, "vm booted twice");
+
+    handlers = emitHandlers();
+    cpu_ref.loadProgram(handlers.entry);
+    for (const auto &prog : handlers.handlers)
+        cpu_ref.loadProgram(prog);
+
+    natives = runtime::emitRoutines();
+    for (const auto *prog : natives.all())
+        cpu_ref.loadProgram(*prog);
+
+    // Lay out every bytecode method's code units.
+    mem::Memory &memory = cpu_ref.memory();
+    Addr code_at = mem::code_base;
+    for (MethodId id = 0; id < dex_ref.methodCount(); ++id) {
+        Method &m = dex_ref.method(id);
+        if (m.is_native)
+            continue;
+        pift_assert(!m.code.empty(), "bytecode method '%s' has no code",
+                    m.name.c_str());
+        m.code_addr = code_at;
+        for (uint16_t unit : m.code) {
+            memory.write16(code_at, unit);
+            code_at += 2;
+        }
+        code_at = (code_at + 3) & ~Addr(3);
+        pift_assert(code_at < mem::code_limit, "code region overflow");
+    }
+
+    // Intern the string pool; the table itself is VM metadata.
+    Addr pool_base = mem::metadata_base;
+    const auto &pool = dex_ref.stringPool();
+    for (size_t i = 0; i < pool.size(); ++i) {
+        runtime::Ref ref =
+            heap_ref.allocString(dex_ref.stringClass(), pool[i]);
+        memory.write32(pool_base + static_cast<Addr>(4 * i), ref);
+    }
+
+    // Statics live on the heap (they hold program data).
+    size_t nstatics = std::max<size_t>(dex_ref.staticCount(), 1);
+    runtime::Ref statics_arr = heap_ref.allocArray(
+        dex_ref.intArrayClass(), static_cast<uint32_t>(nstatics), 4);
+    Addr statics_base = heap_ref.dataAddr(statics_arr);
+
+    // Thread block.
+    memory.write32(mem::thread_base + mem::thread_retval_offset, 0);
+    memory.write32(mem::thread_base + mem::thread_exception_offset, 0);
+    memory.write32(mem::thread_base + mem::thread_pool_offset,
+                   pool_base);
+    memory.write32(mem::thread_base + mem::thread_statics_offset,
+                   statics_base);
+
+    cpu_ref.setSvcHandler(
+        [this](sim::Cpu &cpu, uint32_t num) { onSvc(cpu, num); });
+
+    booted = true;
+}
+
+uint32_t
+Vm::execute(MethodId id, const std::vector<uint32_t> &args)
+{
+    pift_assert(booted, "execute() before boot()");
+    const Method &m = dex_ref.method(id);
+    pift_assert(!m.is_native, "cannot execute a native method '%s'",
+                m.name.c_str());
+    pift_assert(args.size() == m.nins,
+                "method '%s' wants %u args, got %zu", m.name.c_str(),
+                m.nins, args.size());
+
+    RegGuard guard(cpu_ref);
+
+    Addr mark = frame_alloc.mark();
+    Addr fp = frame_alloc.alloc(4u * std::max<uint32_t>(m.nregs, 1), 8);
+    for (size_t k = 0; k < args.size(); ++k) {
+        memory().write32(
+            fp + 4u * (m.nregs - m.nins + static_cast<uint32_t>(k)),
+            args[k]);
+    }
+    stack.push_back({id, fp, 0, cpu_ref.reg(r_fp), mark, true});
+
+    uncaught = false;
+    cpu_ref.setReg(r_pc_bc, m.code_addr);
+    cpu_ref.setReg(r_fp, fp);
+    cpu_ref.setReg(r_self, mem::thread_base);
+    cpu_ref.setReg(r_ibase, mem::handler_base);
+    cpu_ref.setPc(mem::mterp_entry_addr);
+    cpu_ref.run();
+
+    return retval();
+}
+
+void
+Vm::onSvc(sim::Cpu &cpu, uint32_t num)
+{
+    (void)cpu;
+    switch (static_cast<Svc>(num)) {
+      case Svc::Invoke:      doInvoke(); break;
+      case Svc::Return:      doReturn(); break;
+      case Svc::NewInstance: doNewInstance(); break;
+      case Svc::NewArray:    doNewArray(); break;
+      case Svc::Throw:       doThrow(); break;
+      case Svc::AbiIdiv:
+      case Svc::AbiIrem:
+      case Svc::AbiFadd:
+      case Svc::AbiFmul:
+      case Svc::AbiFdiv:
+      case Svc::AbiI2f:
+      case Svc::AbiF2i:
+        doAbi(static_cast<Svc>(num));
+        break;
+      default:
+        pift_panic("unknown svc #%u", num);
+    }
+}
+
+void
+Vm::fetchAndDispatch()
+{
+    // Host-side FETCH + GOTO_OPCODE: the real mterp performs these as
+    // instructions; the bridge performs them directly when resuming
+    // from a trap (documented undercount of a few dispatch
+    // instructions per trap).
+    Addr rpc = cpu_ref.reg(r_pc_bc);
+    uint16_t unit = memory().read16(rpc);
+    cpu_ref.setReg(r_inst, unit);
+    cpu_ref.setPc(mem::handler_base +
+                  static_cast<Addr>(unit & 0xff) *
+                      mem::handler_slot_bytes);
+}
+
+void
+Vm::doInvoke()
+{
+    Addr rpc = cpu_ref.reg(r_pc_bc);
+    uint16_t unit0 = memory().read16(rpc);
+    Bc op = static_cast<Bc>(unit0 & 0xff);
+    unsigned argc = (unit0 >> 8) & 0xff;
+    uint16_t ref = memory().read16(rpc + 2);
+    uint16_t first_arg = memory().read16(rpc + 4);
+    Addr caller_fp = cpu_ref.reg(r_fp);
+    Addr ret_pc = rpc + 6;
+
+    MethodId mid;
+    if (op == Bc::InvokeVirtual) {
+        pift_assert(argc >= 1, "virtual invoke without receiver");
+        runtime::Ref recv =
+            memory().read32(caller_fp + 4u * first_arg);
+        pift_assert(recv != 0, "null receiver in invoke-virtual");
+        ClassId cls = heap_ref.classOf(recv);
+        const auto &vtable = dex_ref.classInfo(cls).vtable;
+        pift_assert(ref < vtable.size(),
+                    "vtable slot %u out of range for class %u", ref,
+                    cls);
+        mid = vtable[ref];
+    } else {
+        mid = ref;
+    }
+
+    const Method &target = dex_ref.method(mid);
+    pift_assert(argc == target.nins,
+                "invoke of '%s' with %u args (wants %u)",
+                target.name.c_str(), argc, target.nins);
+
+    if (target.is_native) {
+        NativeCall call;
+        call.args_base = caller_fp + 4u * first_arg;
+        call.argc = argc;
+        target.native(*this, call);
+        cpu_ref.setReg(r_pc_bc, ret_pc);
+        fetchAndDispatch();
+        return;
+    }
+
+    Addr mark = frame_alloc.mark();
+    Addr fp = frame_alloc.alloc(
+        4u * std::max<uint32_t>(target.nregs, 1), 8);
+    if (argc > 0) {
+        runWordCopy(fp + 4u * (target.nregs - target.nins),
+                    caller_fp + 4u * first_arg, argc);
+    }
+    stack.push_back({mid, fp, ret_pc, caller_fp, mark, false});
+    cpu_ref.setReg(r_pc_bc, target.code_addr);
+    cpu_ref.setReg(r_fp, fp);
+    fetchAndDispatch();
+}
+
+void
+Vm::doReturn()
+{
+    pift_assert(!stack.empty(), "return with empty call stack");
+    Frame frame = stack.back();
+    stack.pop_back();
+    frame_alloc.rewind(frame.alloc_mark);
+    if (frame.entry) {
+        cpu_ref.setPc(sim::halt_stub_addr);
+        return;
+    }
+    cpu_ref.setReg(r_fp, frame.caller_fp);
+    cpu_ref.setReg(r_pc_bc, frame.ret_pc);
+    fetchAndDispatch();
+}
+
+void
+Vm::doNewInstance()
+{
+    Addr rpc = cpu_ref.reg(r_pc_bc);
+    uint16_t unit0 = memory().read16(rpc);
+    uint8_t aa = unit0 >> 8;
+    uint16_t cls = memory().read16(rpc + 2);
+    const ClassInfo &info = dex_ref.classInfo(cls);
+    pift_assert(info.elem_bytes == 0,
+                "new-instance of array class '%s'", info.name.c_str());
+    runtime::Ref ref = heap_ref.allocObject(cls, info.field_count);
+    memory().write32(cpu_ref.reg(r_fp) + 4u * aa, ref);
+    cpu_ref.setReg(r_pc_bc, rpc + 4);
+    fetchAndDispatch();
+}
+
+void
+Vm::doNewArray()
+{
+    Addr rpc = cpu_ref.reg(r_pc_bc);
+    uint16_t unit0 = memory().read16(rpc);
+    uint8_t a = (unit0 >> 8) & 0xf;
+    uint8_t b = unit0 >> 12;
+    uint16_t cls = memory().read16(rpc + 2);
+    const ClassInfo &info = dex_ref.classInfo(cls);
+    pift_assert(info.elem_bytes != 0,
+                "new-array of non-array class '%s'", info.name.c_str());
+    uint32_t len = memory().read32(cpu_ref.reg(r_fp) + 4u * b);
+    runtime::Ref ref = heap_ref.allocArray(cls, len, info.elem_bytes);
+    memory().write32(cpu_ref.reg(r_fp) + 4u * a, ref);
+    cpu_ref.setReg(r_pc_bc, rpc + 4);
+    fetchAndDispatch();
+}
+
+void
+Vm::doThrow()
+{
+    while (!stack.empty()) {
+        Frame &frame = stack.back();
+        const Method &m = dex_ref.method(frame.method);
+        if (m.catch_offset >= 0) {
+            cpu_ref.setReg(r_fp, frame.fp);
+            cpu_ref.setReg(r_pc_bc, m.code_addr +
+                           2u * static_cast<Addr>(m.catch_offset));
+            fetchAndDispatch();
+            return;
+        }
+        bool entry = frame.entry;
+        frame_alloc.rewind(frame.alloc_mark);
+        stack.pop_back();
+        if (entry) {
+            uncaught = true;
+            cpu_ref.setPc(sim::halt_stub_addr);
+            return;
+        }
+    }
+    pift_panic("throw with empty call stack");
+}
+
+void
+Vm::doAbi(Svc svc)
+{
+    uint32_t a = cpu_ref.reg(0);
+    uint32_t b = cpu_ref.reg(1);
+    uint32_t result = 0;
+    switch (svc) {
+      case Svc::AbiIdiv:
+        result = b == 0 ? 0
+            : static_cast<uint32_t>(static_cast<int32_t>(a) /
+                                    static_cast<int32_t>(b));
+        break;
+      case Svc::AbiIrem:
+        result = b == 0 ? 0
+            : static_cast<uint32_t>(static_cast<int32_t>(a) %
+                                    static_cast<int32_t>(b));
+        break;
+      case Svc::AbiFadd:
+        result = asBits(asFloat(a) + asFloat(b));
+        break;
+      case Svc::AbiFmul:
+        result = asBits(asFloat(a) * asFloat(b));
+        break;
+      case Svc::AbiFdiv:
+        result = asFloat(b) == 0.0f ? 0
+            : asBits(asFloat(a) / asFloat(b));
+        break;
+      case Svc::AbiI2f:
+        result = asBits(static_cast<float>(static_cast<int32_t>(a)));
+        break;
+      case Svc::AbiF2i:
+        result = static_cast<uint32_t>(
+            static_cast<int32_t>(asFloat(a)));
+        break;
+      default:
+        pift_panic("doAbi on non-abi svc");
+    }
+    callRoutine(natives.abi_spacer_addr);
+    cpu_ref.setReg(0, result);
+}
+
+void
+Vm::callRoutine(Addr entry)
+{
+    RegGuard guard(cpu_ref);
+    cpu_ref.call(entry);
+}
+
+void
+Vm::setRetval(uint32_t value)
+{
+    // A real traced store (natives return through actual code): this
+    // also clears any stale taint on the retval slot, exactly as an
+    // overwrite by a store instruction would under Algorithm 1.
+    RegGuard guard(cpu_ref);
+    cpu_ref.setReg(0, value);
+    cpu_ref.setReg(1, mem::thread_base + mem::thread_retval_offset);
+    cpu_ref.call(natives.word_store_addr);
+}
+
+uint32_t
+Vm::retval() const
+{
+    return cpu_ref.memory().read32(mem::thread_base +
+                                   mem::thread_retval_offset);
+}
+
+void
+Vm::runStringCopy(Addr dst, Addr src, uint32_t count)
+{
+    if (count == 0)
+        return;
+    RegGuard guard(cpu_ref);
+    cpu_ref.setReg(0, dst);
+    cpu_ref.setReg(1, src);
+    cpu_ref.setReg(5, count);
+    cpu_ref.call(natives.string_copy_addr);
+}
+
+void
+Vm::runWordCopy(Addr dst, Addr src, uint32_t words)
+{
+    if (words == 0)
+        return;
+    RegGuard guard(cpu_ref);
+    cpu_ref.setReg(0, src);
+    cpu_ref.setReg(2, dst);
+    cpu_ref.setReg(3, words);
+    cpu_ref.call(natives.word_copy_addr);
+}
+
+void
+Vm::runCharFromWord(Addr word_addr, Addr char_addr)
+{
+    RegGuard guard(cpu_ref);
+    cpu_ref.setReg(0, word_addr);
+    cpu_ref.setReg(1, char_addr);
+    cpu_ref.call(natives.char_from_word_addr);
+}
+
+void
+Vm::runCharFromWordShort(Addr word_addr, Addr char_addr)
+{
+    RegGuard guard(cpu_ref);
+    cpu_ref.setReg(0, word_addr);
+    cpu_ref.setReg(1, char_addr);
+    cpu_ref.call(natives.char_from_word_short_addr);
+}
+
+void
+Vm::runWordDerive(Addr src_addr, Addr dst_addr)
+{
+    RegGuard guard(cpu_ref);
+    cpu_ref.setReg(0, src_addr);
+    cpu_ref.setReg(1, dst_addr);
+    cpu_ref.call(natives.word_derive_addr);
+}
+
+void
+Vm::setRetvalDerived(Addr src_addr, uint32_t value)
+{
+    runWordDerive(src_addr,
+                  mem::thread_base + mem::thread_retval_offset);
+    // Host-side fix-up of the stored value only; a second traced
+    // store would untaint the slot the derivation just tainted.
+    memory().write32(mem::thread_base + mem::thread_retval_offset,
+                     value);
+}
+
+Addr
+Vm::allocScratch(Addr bytes)
+{
+    return scratch_alloc.alloc(bytes);
+}
+
+runtime::Ref
+Vm::newString(const std::string &value)
+{
+    return heap_ref.allocString(dex_ref.stringClass(), value);
+}
+
+std::string
+Vm::readString(runtime::Ref ref)
+{
+    return heap_ref.readString(ref);
+}
+
+} // namespace pift::dalvik

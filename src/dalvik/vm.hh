@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The Dalvik-like virtual machine.
+ *
+ * The VM owns no interpreter loop of its own: bytecode executes by
+ * running the emitted mterp handlers on the simulated CPU, so every
+ * virtual-register access is a real memory access in the trace. The
+ * VM is the *runtime bridge*: it boots the interpreter image (handler
+ * table, entry stub, native routines, method code, string pool,
+ * statics), and services the SVC traps the handlers raise — invokes
+ * (frame management; the argument copy runs as native load/store
+ * code), returns, allocation, throw unwinding, and the ARM ABI
+ * helpers.
+ */
+
+#ifndef PIFT_DALVIK_VM_HH
+#define PIFT_DALVIK_VM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dalvik/handlers.hh"
+#include "dalvik/method.hh"
+#include "mem/layout.hh"
+#include "mem/memory.hh"
+#include "runtime/heap.hh"
+#include "runtime/routines.hh"
+#include "sim/cpu.hh"
+#include "support/types.hh"
+
+namespace pift::dalvik
+{
+
+/** The interpreter runtime: boot image + SVC bridge + call stack. */
+class Vm
+{
+  public:
+    /**
+     * @param cpu simulated CPU (its memory is the device memory)
+     * @param dex loaded-code registry; all methods must be registered
+     *            before boot()
+     * @param heap object heap shared with the framework
+     */
+    Vm(sim::Cpu &cpu, Dex &dex, runtime::Heap &heap);
+
+    /**
+     * Build and load the interpreter image: handlers, entry stub,
+     * native routines, bytecode, string pool, statics and the thread
+     * block. Must be called once, after all methods are registered.
+     */
+    void boot();
+
+    /**
+     * Run method @p id with @p args to completion on the CPU.
+     * Arguments are host-written into the callee frame (they model
+     * inputs arriving from outside the traced world). Re-entrant:
+     * native methods may call back into execute().
+     *
+     * @return the method's return value (retval slot)
+     */
+    uint32_t execute(MethodId id, const std::vector<uint32_t> &args = {});
+
+    /** True when the last execute() ended with an uncaught throw. */
+    bool uncaughtException() const { return uncaught; }
+
+    sim::Cpu &cpu() { return cpu_ref; }
+    mem::Memory &memory() { return cpu_ref.memory(); }
+    Dex &dex() { return dex_ref; }
+    runtime::Heap &heap() { return heap_ref; }
+    const runtime::Routines &routines() const { return natives; }
+
+    /// @name Services for native-method implementations
+    /// @{
+
+    /** Host-write the method return value (object refs, clean data). */
+    void setRetval(uint32_t value);
+
+    /** Read the current retval slot. */
+    uint32_t retval() const;
+
+    /**
+     * Run the Figure 1 char-copy loop on the CPU:
+     * @p count characters from @p src to @p dst (both char addresses).
+     */
+    void runStringCopy(Addr dst, Addr src, uint32_t count);
+
+    /** Copy @p words 4-byte words from @p src to @p dst on the CPU. */
+    void runWordCopy(Addr dst, Addr src, uint32_t words);
+
+    /**
+     * Run the Float.toString data step: load the word at @p word_addr,
+     * grind, store a derived char at @p char_addr (distance 10).
+     */
+    void runCharFromWord(Addr word_addr, Addr char_addr);
+
+    /** Same with the short (Integer.toString, distance 3) routine. */
+    void runCharFromWordShort(Addr word_addr, Addr char_addr);
+
+    /**
+     * Run the word-derivation routine: load [src], grind, store a
+     * derived word at [dst] (distance 3). Used by natives that return
+     * primitives derived from memory data; the caller host-fixes the
+     * stored value afterwards.
+     */
+    void runWordDerive(Addr src_addr, Addr dst_addr);
+
+    /**
+     * Set the return value through a traced, derived store from
+     * @p src_addr, then host-fix the slot to @p value. Keeps both the
+     * PIFT-visible flow (load src -> store retval) and the functional
+     * result correct.
+     */
+    void setRetvalDerived(Addr src_addr, uint32_t value);
+
+    /** Scratch allocation for native helpers (digit buffers). */
+    Addr allocScratch(Addr bytes);
+
+    /** Allocate a string object (chars host-written). */
+    runtime::Ref newString(const std::string &value);
+
+    /** Read back a string object (host side). */
+    std::string readString(runtime::Ref ref);
+
+    /// @}
+
+  private:
+    struct Frame
+    {
+        MethodId method = no_method;
+        Addr fp = 0;          //!< this frame's vreg base
+        Addr ret_pc = 0;      //!< caller's rPC to resume at
+        Addr caller_fp = 0;   //!< caller's rFP
+        Addr alloc_mark = 0;  //!< frame-allocator mark to rewind to
+        bool entry = false;   //!< pushed by execute(); return halts
+    };
+
+    void onSvc(sim::Cpu &cpu, uint32_t num);
+    void doInvoke();
+    void doReturn();
+    void doNewInstance();
+    void doNewArray();
+    void doThrow();
+    void doAbi(Svc svc);
+
+    /** Host-side fetch + dispatch: resume the interpreter at rPC. */
+    void fetchAndDispatch();
+
+    /** Run a native routine, preserving interpreter registers. */
+    void callRoutine(Addr entry);
+
+    sim::Cpu &cpu_ref;
+    Dex &dex_ref;
+    runtime::Heap &heap_ref;
+
+    HandlerSet handlers;
+    runtime::Routines natives;
+    mem::BumpAllocator frame_alloc;
+    mem::BumpAllocator scratch_alloc;
+    std::vector<Frame> stack;
+    bool booted = false;
+    bool uncaught = false;
+};
+
+} // namespace pift::dalvik
+
+#endif // PIFT_DALVIK_VM_HH

@@ -1,0 +1,33 @@
+#include "droidbench/app.hh"
+
+#include "support/logging.hh"
+
+namespace pift::droidbench
+{
+
+AppContext::AppContext()
+    : cpu(memory, hub), heap(memory), env(hub, cpu, heap),
+      vm(cpu, dex, heap)
+{
+    hub.addSink(&buffer);
+    lib.install(dex);
+    env.install(dex, lib);
+}
+
+AppRun
+runApp(const AppEntry &entry)
+{
+    AppContext ctx;
+    dalvik::MethodId main = entry.declare(ctx);
+    ctx.vm.boot();
+    ctx.vm.execute(main);
+
+    AppRun run;
+    run.trace = ctx.buffer.takeTrace();
+    run.sink_calls = ctx.env.sinkCalls();
+    run.uncaught = ctx.vm.uncaughtException();
+    run.instructions = ctx.cpu.retired();
+    return run;
+}
+
+} // namespace pift::droidbench

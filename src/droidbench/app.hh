@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The benchmark-app harness.
+ *
+ * Each benchmark app is a bytecode program declared against the mini
+ * Android framework. An AppContext is a complete fresh device (CPU,
+ * memory, heap, dex with the Java library and framework installed);
+ * running an app yields a captured Trace that interleaves the
+ * retired-instruction stream with the source registrations and sink
+ * checks — the exact artifact the paper's offline analysis consumed.
+ */
+
+#ifndef PIFT_DROIDBENCH_APP_HH
+#define PIFT_DROIDBENCH_APP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "android/framework.hh"
+#include "dalvik/method.hh"
+#include "dalvik/vm.hh"
+#include "mem/memory.hh"
+#include "runtime/heap.hh"
+#include "runtime/library.hh"
+#include "sim/cpu.hh"
+#include "sim/trace.hh"
+
+namespace pift::droidbench
+{
+
+/** A complete fresh simulated device, ready for one app. */
+struct AppContext
+{
+    AppContext();
+
+    mem::Memory memory;
+    sim::EventHub hub;
+    sim::TraceBuffer buffer;
+    sim::Cpu cpu;
+    runtime::Heap heap;
+    dalvik::Dex dex;
+    runtime::JavaLib lib;
+    android::AndroidEnv env;
+    dalvik::Vm vm;
+};
+
+/**
+ * One registry entry. `declare` builds the app's methods into the
+ * context's dex and returns the zero-argument main method to run.
+ */
+struct AppEntry
+{
+    std::string name;
+    std::string category;
+    bool leaks = false; //!< ground truth: sensitive data reaches a sink
+    std::function<dalvik::MethodId(AppContext &)> declare;
+};
+
+/** Artifacts of one app execution. */
+struct AppRun
+{
+    sim::Trace trace;
+    std::vector<android::SinkCall> sink_calls;
+    bool uncaught = false;
+    uint64_t instructions = 0;
+};
+
+/** Build a fresh device, run @p entry to completion, capture. */
+AppRun runApp(const AppEntry &entry);
+
+/** The DroidBench-like suite: 41 leaky + 16 benign apps. */
+const std::vector<AppEntry> &droidBenchApps();
+
+/** The seven real-world-malware analogs (LGRoot first). */
+const std::vector<AppEntry> &malwareApps();
+
+} // namespace pift::droidbench
+
+#endif // PIFT_DROIDBENCH_APP_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Internal registry pieces: the three app-group builders combined by
+ * droidBenchApps()/malwareApps() in registry.cc.
+ */
+
+#ifndef PIFT_DROIDBENCH_APPS_HH
+#define PIFT_DROIDBENCH_APPS_HH
+
+#include <vector>
+
+#include "droidbench/app.hh"
+
+namespace pift::droidbench
+{
+
+/** The 41 leaky DroidBench-style apps. */
+std::vector<AppEntry> leakyApps();
+
+/** The 16 benign DroidBench-style apps. */
+std::vector<AppEntry> benignApps();
+
+/** The 7 malware analogs (LGRoot first). */
+std::vector<AppEntry> malwareAppEntries();
+
+} // namespace pift::droidbench
+
+#endif // PIFT_DROIDBENCH_APPS_HH

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * The 16 benign benchmark apps.
+ *
+ * Each app exercises real framework surface — many read sensitive
+ * sources — but no sensitive (or derived) data ever reaches a sink.
+ * Apps that touch secret bytes run a cooldown loop before building
+ * their outgoing message, the realistic gap that keeps leftover
+ * tainting windows from mis-tainting the message (Section 5.1's
+ * argument for the 0% false-positive rate).
+ */
+
+#include "droidbench/apps.hh"
+
+#include "droidbench/helpers.hh"
+
+namespace pift::droidbench
+{
+
+using dalvik::Bc;
+using dalvik::MethodBuilder;
+
+namespace
+{
+
+MethodBuilder
+appMain(const std::string &name)
+{
+    return MethodBuilder(name + ".main", app_nregs, 0);
+}
+
+} // anonymous namespace
+
+std::vector<AppEntry>
+benignApps()
+{
+    std::vector<AppEntry> apps;
+
+    apps.push_back({"Benign_ConstMessage_Sms", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignConstSms");
+            emitSource(b, ctx.env.get_device_id, 10); // read, unused
+            emitCooldown(b, 12, "cd");
+            emitConst(ctx, b, 4, "hello world");
+            emitSms(ctx, b, 4);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_ConstLog", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignConstLog");
+            emitConst(ctx, b, 4, "started ok");
+            emitLog(ctx, b, 4);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_LengthCheck_Sms", "Benign", false,
+        [](AppContext &ctx) {
+            // Uses the IMEI's length in a branch but sends a constant.
+            auto b = appMain("BenignLength");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.lib.string_length, 1, 4);
+            b.moveResult(11);
+            emitCooldown(b, 12, "cd");
+            b.const16(5, 15);
+            b.ifNe(11, 5, "bad");
+            emitConst(ctx, b, 6, "device ok");
+            b.gotoLabel("send");
+            b.label("bad");
+            emitConst(ctx, b, 6, "device odd");
+            b.label("send");
+            emitSms(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_CompareDiscard_Http", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignCompare");
+            emitSource(b, ctx.env.get_line1_number, 10);
+            emitConst(ctx, b, 11, "+15550000000");
+            b.moveObject(4, 10);
+            b.moveObject(5, 11);
+            b.invokeStatic(ctx.lib.string_equals, 2, 4);
+            b.moveResult(12);
+            emitCooldown(b, 12, "cd");
+            emitConst(ctx, b, 6, "ping");
+            emitHttp(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_HashNoSink", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignHash");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.lib.string_hash_code, 1, 4);
+            b.moveResult(11);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_DeviceModel_Sms", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignModel");
+            emitConst(ctx, b, 4, "model=");
+            emitConst(ctx, b, 5, "SimPhone-2");
+            emitConcat(ctx, b, 6, 4, 5);
+            emitSms(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_ReadAllNoSink", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignReadAll");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitSource(b, ctx.env.get_line1_number, 11);
+            emitSource(b, ctx.env.get_serial, 12);
+            b.invokeStatic(ctx.env.get_location, 0, 0);
+            b.moveResultObject(13);
+            emitCooldown(b, 10, "cd");
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_MathWork_Log", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignMath");
+            b.const16(4, 123);
+            b.const16(5, 77);
+            b.binop(Bc::MulInt, 6, 4, 5);
+            b.move(4, 6);
+            b.invokeStatic(ctx.lib.int_to_string, 1, 4);
+            b.moveResultObject(7);
+            emitConst(ctx, b, 5, "result=");
+            emitConcat(ctx, b, 8, 5, 7);
+            emitLog(ctx, b, 8);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_StringOps_Sms", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignStringOps");
+            b.invokeStatic(ctx.lib.sb_init, 0, 0);
+            b.moveResultObject(5);
+            emitConst(ctx, b, 6, "status:");
+            b.moveObject(0, 5);
+            b.moveObject(1, 6);
+            b.invokeStatic(ctx.lib.sb_append, 2, 0);
+            emitConst(ctx, b, 6, "healthy");
+            b.moveObject(0, 5);
+            b.moveObject(1, 6);
+            b.invokeStatic(ctx.lib.sb_append, 2, 0);
+            b.moveObject(4, 5);
+            b.invokeStatic(ctx.lib.sb_to_string, 1, 4);
+            b.moveResultObject(7);
+            emitSms(ctx, b, 7);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_IntentConst_Sms", "Benign", false,
+        [](AppContext &ctx) {
+            MethodBuilder recv("BenignIntent.onReceive", 8, 1);
+            recv.moveObject(0, 7);
+            recv.const4(1, 0);
+            recv.invokeStatic(ctx.env.intent_get_extra, 2, 0);
+            recv.moveResultObject(2);
+            emitSms(ctx, recv, 2);
+            recv.returnVoid();
+            auto recv_id = ctx.dex.addMethod(recv.finish());
+
+            auto b = appMain("BenignIntent");
+            b.invokeStatic(ctx.env.intent_init, 0, 0);
+            b.moveResultObject(5);
+            emitConst(ctx, b, 6, "public-data");
+            b.moveObject(0, 5);
+            b.const4(1, 0);
+            b.moveObject(2, 6);
+            b.invokeStatic(ctx.env.intent_put_extra, 3, 0);
+            b.invokeStatic(recv_id, 1, 5);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_Callback_Const", "Benign", false,
+        [](AppContext &ctx) {
+            MethodBuilder run("BenignCallback.run", 8, 1);
+            run.igetObject(2, 7, 0);
+            emitLog(ctx, run, 2);
+            run.returnVoid();
+            auto run_id = ctx.dex.addMethod(run.finish());
+            auto cls = ctx.dex.addClass({"BenignRunnable", 1, 0,
+                                         {run_id}});
+
+            auto b = appMain("BenignCallback");
+            emitConst(ctx, b, 10, "callback-ran");
+            b.newInstance(5, static_cast<uint16_t>(cls));
+            b.iputObject(10, 5, 0);
+            b.moveObject(4, 5);
+            b.invokeStatic(ctx.env.handler_post, 1, 4);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_Exception_Const", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignException");
+            emitConst(ctx, b, 10, "fallback");
+            b.newInstance(5,
+                          static_cast<uint16_t>(ctx.lib.exception_cls));
+            b.iputObject(10, 5, 0);
+            b.throwVreg(5);
+            b.returnVoid();
+            b.catchHere();
+            b.moveException(7);
+            b.igetObject(8, 7, 0);
+            emitSms(ctx, b, 8);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_ArrayConst_Http", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignArray");
+            emitConst(ctx, b, 10, "constant-chars");
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.lib.string_to_char_array, 1, 4);
+            b.moveResultObject(5);
+            b.moveObject(4, 5);
+            b.invokeStatic(ctx.lib.string_from_char_array, 1, 4);
+            b.moveResultObject(6);
+            emitHttp(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_HeavyLoop_Sms", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignHeavy");
+            emitSource(b, ctx.env.get_serial, 10);
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.lib.string_hash_code, 1, 4);
+            b.moveResult(11);
+            emitCooldown(b, 200, "cd");
+            emitConst(ctx, b, 4, "done");
+            emitSms(ctx, b, 4);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_SubstringConst_Log", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignSubstring");
+            emitConst(ctx, b, 10, "public-identifier");
+            b.moveObject(0, 10);
+            b.const4(1, 0);
+            b.const4(2, 6);
+            b.invokeStatic(ctx.lib.string_substring, 3, 0);
+            b.moveResultObject(6);
+            emitLog(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Benign_ParseConst_Sms", "Benign", false,
+        [](AppContext &ctx) {
+            auto b = appMain("BenignParse");
+            emitConst(ctx, b, 10, "42");
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.lib.int_parse, 1, 4);
+            b.moveResult(11);
+            b.addIntLit8(11, 11, 1);
+            b.move(4, 11);
+            b.invokeStatic(ctx.lib.int_to_string, 1, 4);
+            b.moveResultObject(7);
+            emitSms(ctx, b, 7);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    return apps;
+}
+
+} // namespace pift::droidbench

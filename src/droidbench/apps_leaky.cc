@@ -1,0 +1,830 @@
+/**
+ * @file
+ * The 41 leaky benchmark apps (DroidBench-style).
+ *
+ * Categories mirror the challenges the paper lists in Section 5:
+ * direct flows, aliasing, fields and static fields, arrays and lists,
+ * callbacks, method overriding (dynamic dispatch), intents,
+ * exceptions, string transformations, arithmetic obfuscation, ABI
+ * (float/div) flows, and implicit flows (the Section 4.2 char-switch
+ * obfuscator). Every app's ground truth is leaks = true: sensitive
+ * data (possibly derived) reaches a sink.
+ */
+
+#include "droidbench/apps.hh"
+
+#include "droidbench/helpers.hh"
+
+namespace pift::droidbench
+{
+
+using dalvik::Bc;
+using dalvik::MethodBuilder;
+using dalvik::MethodId;
+
+namespace
+{
+
+/** source -> v10; returns builder positioned after the fetch. */
+MethodBuilder
+appMain(const std::string &name)
+{
+    return MethodBuilder(name + ".main", app_nregs, 0);
+}
+
+/**
+ * Emit the char-switch obfuscator of Section 4.2: rebuild the secret
+ * in v10 into a StringBuilder in v11 by branching on each character
+ * and appending a *different constant* character per case. The taint
+ * can only propagate through the tainting window opened by the
+ * branch's load of the (tainted) difference: with @p pad extra nop
+ * bytecodes between the branch and the constant load, the required
+ * window size grows by 3 per nop.
+ *
+ * Cases cover the digit characters '0'..'9' (IMEI/phone content);
+ * non-digits append 'x'.
+ */
+/**
+ * @param junk_stores bookkeeping const stores emitted between the
+ *        branch and the constant load of each case: each one consumes
+ *        a propagation slot, so the flow needs NT > junk_stores.
+ */
+void
+emitImplicitSwitch(AppContext &ctx, MethodBuilder &b, int pad,
+                   bool secret_second, int junk_stores = 0)
+{
+    // v10 = secret string, v11 = sb (built here), v12 = len, v13 = i
+    b.invokeStatic(ctx.lib.sb_init, 0, 0);
+    b.moveResultObject(11);
+    b.moveObject(4, 10);
+    b.invokeStatic(ctx.lib.string_length, 1, 4);
+    b.moveResult(12);
+    b.const4(13, 0);
+    b.label("outer");
+    b.ifGe(13, 12, "outer_done");
+    b.moveObject(4, 10);
+    b.move(5, 13);
+    b.invokeStatic(ctx.lib.string_char_at, 2, 4);
+    b.moveResult(6);                      // v6 = secret char (tainted)
+    // Compiled switch shape: v5 = c - '0', then subtract-and-test per
+    // case. v5/v7 are legitimately tainted (derived from the secret);
+    // the constant store is the only place taint can jump to the
+    // appended character, and its distance from the branch's tainted
+    // load is controlled by the nop padding.
+    (void)secret_second;
+    b.addIntLit8(5, 6, -'0');             // v5 = digit index (tainted)
+    for (int d = 0; d <= 9; ++d) {
+        std::string next = "case" + std::to_string(d);
+        b.addIntLit8(7, 5, static_cast<int8_t>(-d));
+        b.ifNez(7, next);                 // tainted load opens the TW
+        for (int j = 0; j < junk_stores; ++j)
+            b.const4(3, 0);               // consumes a propagation
+        for (int p = 0; p < pad; ++p)
+            b.nop();
+        b.const16(8, static_cast<int16_t>('a' + d));
+        b.gotoLabel("append");
+        b.label(next);
+    }
+    for (int j = 0; j < junk_stores; ++j)
+        b.const4(3, 0);
+    for (int p = 0; p < pad; ++p)
+        b.nop();                          // default case, same padding
+    b.const16(8, 'x');
+    b.label("append");
+    b.moveObject(4, 11);
+    b.move(5, 8);
+    b.invokeStatic(ctx.lib.sb_append_char, 2, 4);
+    b.addIntLit8(13, 13, 1);
+    b.gotoLabel("outer");
+    b.label("outer_done");
+    b.moveObject(4, 11);
+    b.invokeStatic(ctx.lib.sb_to_string, 1, 4);
+    b.moveResultObject(9);
+}
+
+/** Emit: rebuild v10 through per-char transform, sb result in v9. */
+void
+emitCharTransform(AppContext &ctx, MethodBuilder &b,
+                  const std::function<void(MethodBuilder &)> &xform)
+{
+    // v10 = input string; v9 = output string
+    b.invokeStatic(ctx.lib.sb_init, 0, 0);
+    b.moveResultObject(11);
+    b.moveObject(4, 10);
+    b.invokeStatic(ctx.lib.string_length, 1, 4);
+    b.moveResult(12);
+    b.const4(13, 0);
+    b.label("xloop");
+    b.ifGe(13, 12, "xdone");
+    b.moveObject(4, 10);
+    b.move(5, 13);
+    b.invokeStatic(ctx.lib.string_char_at, 2, 4);
+    b.moveResult(6);
+    xform(b);                             // transforms v6 in place
+    b.moveObject(4, 11);
+    b.move(5, 6);
+    b.invokeStatic(ctx.lib.sb_append_char, 2, 4);
+    b.addIntLit8(13, 13, 1);
+    b.gotoLabel("xloop");
+    b.label("xdone");
+    b.moveObject(4, 11);
+    b.invokeStatic(ctx.lib.sb_to_string, 1, 4);
+    b.moveResultObject(9);
+}
+
+} // anonymous namespace
+
+std::vector<AppEntry>
+leakyApps()
+{
+    std::vector<AppEntry> apps;
+
+    // ---- Direct flows ----------------------------------------------
+
+    apps.push_back({"DirectLeak_Sms_IMEI", "Direct", true,
+        [](AppContext &ctx) {
+            auto b = appMain("DirectLeakSmsImei");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitSms(ctx, b, 10);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"DirectLeak_Http_IMEI", "Direct", true,
+        [](AppContext &ctx) {
+            auto b = appMain("DirectLeakHttpImei");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitHttp(ctx, b, 10);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"DirectLeak_Log_Phone", "Direct", true,
+        [](AppContext &ctx) {
+            auto b = appMain("DirectLeakLogPhone");
+            emitSource(b, ctx.env.get_line1_number, 10);
+            emitLog(ctx, b, 10);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"DirectLeak_Sms_SIM", "Direct", true,
+        [](AppContext &ctx) {
+            auto b = appMain("DirectLeakSmsSim");
+            emitSource(b, ctx.env.get_sim_id, 10);
+            emitSms(ctx, b, 10);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    // ---- References through fields / statics / containers ----------
+
+    apps.push_back({"Field_RefInField_Sms", "FieldSensitivity", true,
+        [](AppContext &ctx) {
+            auto holder = ctx.dex.addClass({"Holder", 2, 0, {}});
+            auto b = appMain("FieldRefInField");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.newInstance(11, static_cast<uint16_t>(holder));
+            b.iputObject(10, 11, 0);
+            emitCooldown(b, 8, "cd");
+            b.igetObject(12, 11, 0);
+            emitSms(ctx, b, 12);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Static_RefInStatic_Http", "FieldSensitivity", true,
+        [](AppContext &ctx) {
+            auto slot = ctx.dex.addStatic("leak_ref");
+            auto b = appMain("StaticRef");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.sputObject(10, slot);
+            emitCooldown(b, 8, "cd");
+            b.sgetObject(12, slot);
+            emitHttp(ctx, b, 12);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Array_RefInObjectArray_Sms", "ArraysAndLists",
+        true,
+        [](AppContext &ctx) {
+            auto b = appMain("ArrayRef");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.const4(4, 3);
+            b.newArray(5, 4,
+                       static_cast<uint16_t>(
+                           ctx.dex.objectArrayClass()));
+            b.const4(6, 1);
+            b.aputObject(10, 5, 6);
+            emitCooldown(b, 8, "cd");
+            b.agetObject(12, 5, 6);
+            emitSms(ctx, b, 12);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"List_PickSensitive_Log", "ArraysAndLists", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ListPick");
+            b.const4(4, 3);
+            b.newArray(5, 4,
+                       static_cast<uint16_t>(
+                           ctx.dex.objectArrayClass()));
+            emitConst(ctx, b, 6, "first");
+            b.const4(7, 0);
+            b.aputObject(6, 5, 7);
+            emitSource(b, ctx.env.get_line1_number, 10);
+            b.const4(7, 1);
+            b.aputObject(10, 5, 7);
+            emitConst(ctx, b, 6, "last");
+            b.const4(7, 2);
+            b.aputObject(6, 5, 7);
+            emitCooldown(b, 8, "cd");
+            b.const4(7, 1);
+            b.agetObject(12, 5, 7);
+            emitLog(ctx, b, 12);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Intent_RefExtra_Sms", "ICC", true,
+        [](AppContext &ctx) {
+            // The "receiving component".
+            MethodBuilder recv("IntentRef.onReceive", 8, 1);
+            recv.moveObject(0, 7);
+            recv.const4(1, 2);
+            recv.invokeStatic(ctx.env.intent_get_extra, 2, 0);
+            recv.moveResultObject(2);
+            emitSms(ctx, recv, 2);
+            recv.returnVoid();
+            auto recv_id = ctx.dex.addMethod(recv.finish());
+
+            auto b = appMain("IntentRef");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.invokeStatic(ctx.env.intent_init, 0, 0);
+            b.moveResultObject(5);
+            b.moveObject(0, 5);
+            b.const4(1, 2);
+            b.moveObject(2, 10);
+            b.invokeStatic(ctx.env.intent_put_extra, 3, 0);
+            emitCooldown(b, 8, "cd");
+            b.invokeStatic(recv_id, 1, 5);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Callback_RefInRunnable_Sms", "Callbacks", true,
+        [](AppContext &ctx) {
+            MethodBuilder run("CallbackRef.run", 8, 1);
+            run.igetObject(2, 7, 0);
+            emitSms(ctx, run, 2);
+            run.returnVoid();
+            auto run_id = ctx.dex.addMethod(run.finish());
+            auto cls = ctx.dex.addClass({"LeakRunnable", 1, 0,
+                                         {run_id}});
+
+            auto b = appMain("CallbackRef");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.newInstance(5, static_cast<uint16_t>(cls));
+            b.iputObject(10, 5, 0);
+            b.moveObject(4, 5);
+            b.invokeStatic(ctx.env.handler_post, 1, 4);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Override_DynamicDispatch_Sms", "Reflection", true,
+        [](AppContext &ctx) {
+            MethodBuilder base("Override.Base.getData", 8, 1);
+            emitConst(ctx, base, 0, "benign-data");
+            base.returnObject(0);
+            auto base_id = ctx.dex.addMethod(base.finish());
+            ctx.dex.addClass({"Base", 0, 0, {base_id}});
+
+            MethodBuilder der("Override.Derived.getData", 8, 1);
+            emitSource(der, ctx.env.get_device_id, 0);
+            der.returnObject(0);
+            auto der_id = ctx.dex.addMethod(der.finish());
+            auto der_cls = ctx.dex.addClass({"Derived", 0, 0,
+                                             {der_id}});
+
+            auto b = appMain("OverrideDispatch");
+            b.newInstance(5, static_cast<uint16_t>(der_cls));
+            b.moveObject(4, 5);
+            b.invokeVirtual(0, 1, 4);
+            b.moveResultObject(6);
+            emitSms(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Exception_RefInPayload_Sms", "GeneralJava", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ExceptionRef");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.newInstance(5,
+                          static_cast<uint16_t>(ctx.lib.exception_cls));
+            b.iputObject(10, 5, 0);
+            b.throwVreg(5);
+            b.returnVoid();                 // unreachable
+            b.catchHere();
+            b.moveException(7);
+            b.igetObject(8, 7, 0);
+            emitSms(ctx, b, 8);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Aliasing_TwoRefs_Sms", "Aliasing", true,
+        [](AppContext &ctx) {
+            auto b = appMain("Aliasing");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.moveObject(11, 10);           // alias
+            emitConst(ctx, b, 12, "&alias=");
+            emitConcat(ctx, b, 13, 12, 11);
+            emitSms(ctx, b, 13);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    // ---- String transformations -------------------------------------
+
+    apps.push_back({"PaperExample_ConcatChain_Sms", "Strings", true,
+        [](AppContext &ctx) {
+            // Section 2: msgZ = "type=sms" + "&imei=" + IMEI + "&dummy"
+            auto b = appMain("PaperExample");
+            emitConst(ctx, b, 4, "type=sms");
+            emitConst(ctx, b, 5, "&imei=");
+            emitConcat(ctx, b, 6, 4, 5);
+            emitSource(b, ctx.env.get_device_id, 7);
+            emitConcat(ctx, b, 8, 6, 7);    // msgY
+            emitConst(ctx, b, 9, "&dummy");
+            emitConcat(ctx, b, 10, 8, 9);   // msgZ
+            emitSms(ctx, b, 10);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Concat_Prefix_Http", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ConcatPrefix");
+            emitConst(ctx, b, 4, "phone=");
+            emitSource(b, ctx.env.get_line1_number, 5);
+            emitConcat(ctx, b, 6, 4, 5);
+            emitHttp(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Concat_Suffix_Log", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ConcatSuffix");
+            emitSource(b, ctx.env.get_serial, 4);
+            emitConst(ctx, b, 5, ":end");
+            emitConcat(ctx, b, 6, 4, 5);
+            emitLog(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"StringBuilder_Single_Sms", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("SbSingle");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.invokeStatic(ctx.lib.sb_init, 0, 0);
+            b.moveResultObject(5);
+            b.moveObject(0, 5);
+            b.moveObject(1, 10);
+            b.invokeStatic(ctx.lib.sb_append, 2, 0);
+            b.moveObject(4, 5);
+            b.invokeStatic(ctx.lib.sb_to_string, 1, 4);
+            b.moveResultObject(6);
+            emitSms(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"StringBuilder_Multi_Http", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("SbMulti");
+            b.invokeStatic(ctx.lib.sb_init, 0, 0);
+            b.moveResultObject(5);
+            emitConst(ctx, b, 6, "id=");
+            b.moveObject(0, 5);
+            b.moveObject(1, 6);
+            b.invokeStatic(ctx.lib.sb_append, 2, 0);
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.moveObject(0, 5);
+            b.moveObject(1, 10);
+            b.invokeStatic(ctx.lib.sb_append, 2, 0);
+            emitConst(ctx, b, 6, "&v=2");
+            b.moveObject(0, 5);
+            b.moveObject(1, 6);
+            b.invokeStatic(ctx.lib.sb_append, 2, 0);
+            b.moveObject(4, 5);
+            b.invokeStatic(ctx.lib.sb_to_string, 1, 4);
+            b.moveResultObject(7);
+            emitHttp(ctx, b, 7);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Substring_Sms", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("Substring");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.moveObject(0, 10);
+            b.const4(1, 2);
+            b.const16(2, 10);
+            b.invokeStatic(ctx.lib.string_substring, 3, 0);
+            b.moveResultObject(6);
+            emitSms(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"ToCharArray_Http", "ArraysAndLists", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ToCharArray");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.lib.string_to_char_array, 1, 4);
+            b.moveResultObject(5);
+            b.moveObject(4, 5);
+            b.invokeStatic(ctx.lib.string_from_char_array, 1, 4);
+            b.moveResultObject(6);
+            emitHttp(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"ArrayCopy_Sms", "ArraysAndLists", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ArrayCopy");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.lib.string_to_char_array, 1, 4);
+            b.moveResultObject(5);          // src char[]
+            b.const16(6, 20);
+            b.newArray(7, 6,
+                       static_cast<uint16_t>(
+                           ctx.dex.charArrayClass()));
+            b.moveObject(0, 5);
+            b.const4(1, 0);
+            b.moveObject(2, 7);
+            b.const4(3, 0);
+            b.const4(4, 7);
+            b.invokeStatic(ctx.lib.array_copy, 5, 0);
+            b.moveObject(4, 7);
+            b.invokeStatic(ctx.lib.string_from_char_array, 1, 4);
+            b.moveResultObject(8);
+            emitSms(ctx, b, 8);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"CharLoop_Rebuild_Sms", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("CharLoopRebuild");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitCharTransform(ctx, b, [](MethodBuilder &) {});
+            emitSms(ctx, b, 9);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"CharLoop_ValueOf_Http", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("CharLoopValueOf");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitConst(ctx, b, 11, "");      // result accumulator
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.lib.string_length, 1, 4);
+            b.moveResult(12);
+            b.const4(13, 0);
+            b.label("loop");
+            b.ifGe(13, 12, "done");
+            b.moveObject(4, 10);
+            b.move(5, 13);
+            b.invokeStatic(ctx.lib.string_char_at, 2, 4);
+            b.moveResult(6);
+            b.move(4, 6);
+            b.invokeStatic(ctx.lib.string_value_of_char, 1, 4);
+            b.moveResultObject(7);
+            emitConcat(ctx, b, 11, 11, 7);
+            b.addIntLit8(13, 13, 1);
+            b.gotoLabel("loop");
+            b.label("done");
+            emitHttp(ctx, b, 11);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Loop_ChunkedConcat_Sms", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ChunkedConcat");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.moveObject(0, 10);
+            b.const4(1, 0);
+            b.const4(2, 5);
+            b.invokeStatic(ctx.lib.string_substring, 3, 0);
+            b.moveResultObject(11);
+            emitCooldown(b, 6, "cd1");
+            b.moveObject(0, 10);
+            b.const4(1, 5);
+            b.const16(2, 10);
+            b.invokeStatic(ctx.lib.string_substring, 3, 0);
+            b.moveResultObject(12);
+            emitCooldown(b, 6, "cd2");
+            emitConcat(ctx, b, 13, 11, 12);
+            emitSms(ctx, b, 13);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"TwoSources_Sms", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("TwoSources");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitSource(b, ctx.env.get_line1_number, 11);
+            emitConcat(ctx, b, 12, 10, 11);
+            emitSms(ctx, b, 12);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"SplitJoin_Http", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("SplitJoin");
+            emitSource(b, ctx.env.get_line1_number, 10);
+            b.moveObject(0, 10);
+            b.const4(1, 0);
+            b.const4(2, 6);
+            b.invokeStatic(ctx.lib.string_substring, 3, 0);
+            b.moveResultObject(11);
+            b.moveObject(0, 10);
+            b.const4(1, 6);
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.lib.string_length, 1, 4);
+            b.moveResult(2);
+            b.invokeStatic(ctx.lib.string_substring, 3, 0);
+            b.moveResultObject(12);
+            emitConcat(ctx, b, 13, 12, 11); // swapped halves
+            emitHttp(ctx, b, 13);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"StringBuilder_Grow_Sms", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("SbGrow");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.invokeStatic(ctx.lib.sb_init, 0, 0);
+            b.moveResultObject(5);
+            b.const4(13, 0);
+            b.label("loop");
+            b.const4(6, 6);
+            b.ifGe(13, 6, "done");          // 6 appends of 15 chars
+            b.moveObject(0, 5);
+            b.moveObject(1, 10);
+            b.invokeStatic(ctx.lib.sb_append, 2, 0);
+            b.addIntLit8(13, 13, 1);
+            b.gotoLabel("loop");
+            b.label("done");
+            b.moveObject(4, 5);
+            b.invokeStatic(ctx.lib.sb_to_string, 1, 4);
+            b.moveResultObject(7);
+            emitSms(ctx, b, 7);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Parse_Reformat_Log", "Strings", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ParseReformat");
+            emitSource(b, ctx.env.get_line1_number, 10);
+            b.moveObject(0, 10);
+            b.const4(1, 1);                 // skip '+'
+            b.const4(2, 7);
+            b.invokeStatic(ctx.lib.string_substring, 3, 0);
+            b.moveResultObject(11);
+            b.moveObject(4, 11);
+            b.invokeStatic(ctx.lib.int_parse, 1, 4);
+            b.moveResult(12);
+            b.move(4, 12);
+            b.invokeStatic(ctx.lib.int_to_string, 1, 4);
+            b.moveResultObject(13);
+            emitConst(ctx, b, 5, "n=");
+            emitConcat(ctx, b, 6, 5, 13);
+            emitLog(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    // ---- Primitive flows through fields / arrays / arithmetic ------
+
+    apps.push_back({"FieldChar_Leak_Sms", "FieldSensitivity", true,
+        [](AppContext &ctx) {
+            auto holder = ctx.dex.addClass({"CharHolder", 2, 0, {}});
+            auto b = appMain("FieldChar");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.newInstance(3, static_cast<uint16_t>(holder));
+            emitCharTransform(ctx, b, [&](MethodBuilder &mb) {
+                mb.iput(6, 3, 0);           // holder.c = ch (d4)
+                mb.iget(6, 3, 0);           // ch = holder.c (d5)
+            });
+            emitSms(ctx, b, 9);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"StaticChar_Leak_Http", "FieldSensitivity", true,
+        [](AppContext &ctx) {
+            auto slot = ctx.dex.addStatic("leak_char");
+            auto b = appMain("StaticChar");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitCharTransform(ctx, b, [&](MethodBuilder &mb) {
+                mb.sput(6, slot);           // d2
+                mb.sget(6, slot);           // d3
+            });
+            emitHttp(ctx, b, 9);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"IntArray_Chars_Sms", "ArraysAndLists", true,
+        [](AppContext &ctx) {
+            auto b = appMain("IntArrayChars");
+            emitSource(b, ctx.env.get_device_id, 10);
+            b.const16(2, 32);
+            b.newArray(3, 2,
+                       static_cast<uint16_t>(ctx.dex.intArrayClass()));
+            emitCharTransform(ctx, b, [](MethodBuilder &mb) {
+                mb.aput(6, 3, 13);          // arr[i] = ch (d2)
+                mb.aget(6, 3, 13);          // ch = arr[i] (d2)
+            });
+            emitSms(ctx, b, 9);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Arith_PlusOne_Sms", "Obfuscation", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ArithPlusOne");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitCharTransform(ctx, b, [](MethodBuilder &mb) {
+                mb.addIntLit8(6, 6, 1);     // d5
+            });
+            emitSms(ctx, b, 9);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"IntToChar_Leak_Http", "Obfuscation", true,
+        [](AppContext &ctx) {
+            auto b = appMain("IntToChar");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitCharTransform(ctx, b, [](MethodBuilder &mb) {
+                mb.addIntLit8(6, 6, 2);
+                mb.intToChar(6, 6);         // d6
+            });
+            emitHttp(ctx, b, 9);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Xor_Obfuscate_Log", "Obfuscation", true,
+        [](AppContext &ctx) {
+            auto b = appMain("XorObfuscate");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitCharTransform(ctx, b, [](MethodBuilder &mb) {
+                mb.const4(5, 5);
+                mb.binop2addr(Bc::XorInt2Addr, 6, 5); // d5
+            });
+            emitLog(ctx, b, 9);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"SumChars_Sms", "Obfuscation", true,
+        [](AppContext &ctx) {
+            auto b = appMain("SumChars");
+            emitSource(b, ctx.env.get_device_id, 10);
+            // v3 = sum of chars (derived sensitive data)
+            b.const4(3, 0);
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.lib.string_length, 1, 4);
+            b.moveResult(12);
+            b.const4(13, 0);
+            b.label("loop");
+            b.ifGe(13, 12, "done");
+            b.moveObject(4, 10);
+            b.move(5, 13);
+            b.invokeStatic(ctx.lib.string_char_at, 2, 4);
+            b.moveResult(6);
+            b.binop2addr(Bc::AddInt2Addr, 3, 6);
+            b.addIntLit8(13, 13, 1);
+            b.gotoLabel("loop");
+            b.label("done");
+            b.move(4, 3);
+            b.invokeStatic(ctx.lib.int_to_string, 1, 4);
+            b.moveResultObject(7);
+            emitConst(ctx, b, 5, "sum=");
+            emitConcat(ctx, b, 8, 5, 7);
+            emitSms(ctx, b, 8);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"Div_Obfuscate_Http", "Obfuscation", true,
+        [](AppContext &ctx) {
+            auto b = appMain("DivObfuscate");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitCharTransform(ctx, b, [](MethodBuilder &mb) {
+                mb.const4(5, 2);
+                mb.binop(Bc::DivInt, 6, 6, 5); // ABI helper, long
+            });
+            emitHttp(ctx, b, 9);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    // ---- Location (float / ABI) flows ------------------------------
+
+    apps.push_back({"GPS_Latitude_Sms", "AndroidSpecific", true,
+        [](AppContext &ctx) {
+            // The Figure 11 story: float-to-string needs NI >= 10.
+            auto b = appMain("GpsLatitude");
+            b.invokeStatic(ctx.env.get_location, 0, 0);
+            b.moveResultObject(10);
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.env.location_get_latitude, 1, 4);
+            b.moveResult(11);
+            b.move(4, 11);
+            b.invokeStatic(ctx.lib.float_to_string, 1, 4);
+            b.moveResultObject(12);
+            emitConst(ctx, b, 5, "loc=");
+            emitConcat(ctx, b, 6, 5, 12);
+            emitSms(ctx, b, 6);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"GPS_FloatAvg_Sms", "AndroidSpecific", true,
+        [](AppContext &ctx) {
+            auto b = appMain("GpsFloatAvg");
+            b.invokeStatic(ctx.env.get_location, 0, 0);
+            b.moveResultObject(10);
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.env.location_get_latitude, 1, 4);
+            b.moveResult(11);
+            b.moveObject(4, 10);
+            b.invokeStatic(ctx.env.location_get_longitude, 1, 4);
+            b.moveResult(12);
+            b.binop2addr(Bc::AddFloat2Addr, 11, 12); // ABI helper
+            b.move(4, 11);
+            b.invokeStatic(ctx.lib.float_to_string, 1, 4);
+            b.moveResultObject(13);
+            emitSms(ctx, b, 13);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"LocationString_Http", "AndroidSpecific", true,
+        [](AppContext &ctx) {
+            auto b = appMain("LocationString");
+            emitSource(b, ctx.env.get_location_string, 10);
+            emitConst(ctx, b, 4, "pos=");
+            emitConcat(ctx, b, 5, 4, 10);
+            emitHttp(ctx, b, 5);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    // ---- Implicit flows (Section 4.2) -------------------------------
+
+    apps.push_back({"ImplicitFlow1_Sms", "ImplicitFlows", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ImplicitFlow1");
+            emitSource(b, ctx.env.get_device_id, 10);
+            emitImplicitSwitch(ctx, b, 0, false);
+            emitSms(ctx, b, 9);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    apps.push_back({"ImplicitFlow2_Http", "ImplicitFlows", true,
+        [](AppContext &ctx) {
+            auto b = appMain("ImplicitFlow2");
+            emitSource(b, ctx.env.get_line1_number, 10);
+            emitImplicitSwitch(ctx, b, 0, true, 1);
+            emitHttp(ctx, b, 9);
+            b.returnVoid();
+            return ctx.dex.addMethod(b.finish());
+        }});
+
+    return apps;
+}
+
+} // namespace pift::droidbench

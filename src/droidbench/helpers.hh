@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared bytecode idioms for the benchmark apps.
+ *
+ * Register convention for app main methods: nregs = 14, no
+ * arguments. v0-v3 are scratch for helpers; apps use v4-v13.
+ */
+
+#ifndef PIFT_DROIDBENCH_HELPERS_HH
+#define PIFT_DROIDBENCH_HELPERS_HH
+
+#include <string>
+
+#include "droidbench/app.hh"
+
+namespace pift::droidbench
+{
+
+/** Standard frame size for app main methods. */
+inline constexpr uint16_t app_nregs = 14;
+
+/**
+ * Emit a benign compute loop (~8 * iters instructions) clobbering
+ * v0/v1. Benign apps place this between touching sensitive data and
+ * building their outgoing message so leftover tainting windows are
+ * long closed (the paper's argument for why mis-tainting rarely
+ * becomes a false positive).
+ *
+ * @param b method under construction
+ * @param iters loop iterations
+ * @param tag unique label prefix within the method
+ */
+void emitCooldown(dalvik::MethodBuilder &b, int iters,
+                  const std::string &tag);
+
+/** Invoke a 0-arg framework source and leave the result in @p dst. */
+void emitSource(dalvik::MethodBuilder &b, dalvik::MethodId source,
+                uint8_t dst);
+
+/**
+ * Emit an SMS send of the string in @p msg_reg: stages a constant
+ * phone number in v0 and the message in v1.
+ */
+void emitSms(AppContext &ctx, dalvik::MethodBuilder &b,
+             uint8_t msg_reg);
+
+/** Emit an HTTP post of @p body_reg with a constant URL. */
+void emitHttp(AppContext &ctx, dalvik::MethodBuilder &b,
+              uint8_t body_reg);
+
+/** Emit a Log.d of @p msg_reg with a constant tag. */
+void emitLog(AppContext &ctx, dalvik::MethodBuilder &b,
+             uint8_t msg_reg);
+
+/** Emit concat: @p dst <- @p a + @p b (stages into v0/v1). */
+void emitConcat(AppContext &ctx, dalvik::MethodBuilder &b,
+                uint8_t dst, uint8_t a, uint8_t bq);
+
+/** Emit: @p dst <- interned constant string @p text. */
+void emitConst(AppContext &ctx, dalvik::MethodBuilder &b, uint8_t dst,
+               const std::string &text);
+
+} // namespace pift::droidbench
+
+#endif // PIFT_DROIDBENCH_HELPERS_HH

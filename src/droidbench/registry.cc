@@ -1,0 +1,37 @@
+#include "droidbench/apps.hh"
+
+#include "support/logging.hh"
+
+namespace pift::droidbench
+{
+
+const std::vector<AppEntry> &
+droidBenchApps()
+{
+    static const std::vector<AppEntry> apps = [] {
+        std::vector<AppEntry> all = leakyApps();
+        std::vector<AppEntry> benign = benignApps();
+        all.insert(all.end(), benign.begin(), benign.end());
+        size_t leaky = 0;
+        for (const auto &a : all)
+            leaky += a.leaks ? 1 : 0;
+        pift_assert(leaky == 41 && all.size() == 57,
+                    "DroidBench suite must be 41 leaky + 16 benign "
+                    "(have %zu leaky of %zu)", leaky, all.size());
+        return all;
+    }();
+    return apps;
+}
+
+const std::vector<AppEntry> &
+malwareApps()
+{
+    static const std::vector<AppEntry> apps = [] {
+        std::vector<AppEntry> all = malwareAppEntries();
+        pift_assert(all.size() == 7, "expected seven malware analogs");
+        return all;
+    }();
+    return apps;
+}
+
+} // namespace pift::droidbench

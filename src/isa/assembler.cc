@@ -1,0 +1,443 @@
+#include "isa/assembler.hh"
+
+#include "support/logging.hh"
+
+namespace pift::isa
+{
+
+Addr
+Program::labelAddr(const std::string &name) const
+{
+    auto it = labels.find(name);
+    if (it == labels.end())
+        pift_panic("unknown label '%s'", name.c_str());
+    return it->second;
+}
+
+Operand2
+imm(int32_t value)
+{
+    Operand2 o;
+    o.is_imm = true;
+    o.imm = value;
+    return o;
+}
+
+Operand2
+reg(RegIndex r)
+{
+    Operand2 o;
+    o.is_imm = false;
+    o.reg = r;
+    return o;
+}
+
+static Operand2
+shiftedReg(RegIndex r, ShiftKind kind, uint8_t n)
+{
+    Operand2 o;
+    o.is_imm = false;
+    o.reg = r;
+    o.shift = kind;
+    o.shift_amount = n;
+    return o;
+}
+
+Operand2
+regLsl(RegIndex r, uint8_t n)
+{
+    return shiftedReg(r, ShiftKind::Lsl, n);
+}
+
+Operand2
+regLsr(RegIndex r, uint8_t n)
+{
+    return shiftedReg(r, ShiftKind::Lsr, n);
+}
+
+Operand2
+regAsr(RegIndex r, uint8_t n)
+{
+    return shiftedReg(r, ShiftKind::Asr, n);
+}
+
+MemOperand
+memOff(RegIndex base, int32_t offset, WriteBack wb)
+{
+    MemOperand m;
+    m.base = base;
+    m.offset = offset;
+    m.writeback = wb;
+    return m;
+}
+
+MemOperand
+memIdx(RegIndex base, RegIndex index, uint8_t lsl)
+{
+    MemOperand m;
+    m.base = base;
+    m.index = index;
+    m.index_shift = lsl;
+    return m;
+}
+
+Assembler::Assembler(Addr base)
+{
+    pift_assert(base % inst_bytes == 0, "program base must be aligned");
+    prog.base = base;
+}
+
+Addr
+Assembler::here() const
+{
+    return prog.base + inst_bytes * prog.insts.size();
+}
+
+Assembler &
+Assembler::label(const std::string &name)
+{
+    auto [it, inserted] = prog.labels.emplace(name, here());
+    if (!inserted)
+        pift_panic("duplicate label '%s'", name.c_str());
+    return *this;
+}
+
+Assembler &
+Assembler::emit(const Inst &inst)
+{
+    pift_assert(!finished, "assembler reused after finish()");
+    prog.insts.push_back(inst);
+    return *this;
+}
+
+Assembler &
+Assembler::nop()
+{
+    return emit(Inst{});
+}
+
+Assembler &
+Assembler::alu(Op op, RegIndex rd, RegIndex rn, Operand2 op2, Cond cond,
+               bool flags)
+{
+    Inst i;
+    i.op = op;
+    i.cond = cond;
+    i.set_flags = flags;
+    i.rd = rd;
+    i.rn = rn;
+    i.op2 = op2;
+    return emit(i);
+}
+
+Assembler &
+Assembler::movi(RegIndex rd, int32_t value, Cond cond)
+{
+    return alu(Op::Mov, rd, no_reg, imm(value), cond, false);
+}
+
+Assembler &
+Assembler::mov(RegIndex rd, Operand2 op2, Cond cond)
+{
+    return alu(Op::Mov, rd, no_reg, op2, cond, false);
+}
+
+Assembler &
+Assembler::mvn(RegIndex rd, Operand2 op2, Cond cond)
+{
+    return alu(Op::Mvn, rd, no_reg, op2, cond, false);
+}
+
+Assembler &
+Assembler::add(RegIndex rd, RegIndex rn, Operand2 op2, Cond cond,
+               bool flags)
+{
+    return alu(Op::Add, rd, rn, op2, cond, flags);
+}
+
+Assembler &
+Assembler::sub(RegIndex rd, RegIndex rn, Operand2 op2, Cond cond,
+               bool flags)
+{
+    return alu(Op::Sub, rd, rn, op2, cond, flags);
+}
+
+Assembler &
+Assembler::rsb(RegIndex rd, RegIndex rn, Operand2 op2, Cond cond)
+{
+    return alu(Op::Rsb, rd, rn, op2, cond, false);
+}
+
+Assembler &
+Assembler::mul(RegIndex rd, RegIndex rn, RegIndex rm, Cond cond)
+{
+    return alu(Op::Mul, rd, rn, reg(rm), cond, false);
+}
+
+Assembler &
+Assembler::and_(RegIndex rd, RegIndex rn, Operand2 op2, Cond cond)
+{
+    return alu(Op::And, rd, rn, op2, cond, false);
+}
+
+Assembler &
+Assembler::orr(RegIndex rd, RegIndex rn, Operand2 op2, Cond cond)
+{
+    return alu(Op::Orr, rd, rn, op2, cond, false);
+}
+
+Assembler &
+Assembler::eor(RegIndex rd, RegIndex rn, Operand2 op2, Cond cond)
+{
+    return alu(Op::Eor, rd, rn, op2, cond, false);
+}
+
+Assembler &
+Assembler::bic(RegIndex rd, RegIndex rn, Operand2 op2, Cond cond)
+{
+    return alu(Op::Bic, rd, rn, op2, cond, false);
+}
+
+Assembler &
+Assembler::lsl(RegIndex rd, RegIndex rn, Operand2 op2, Cond cond)
+{
+    return alu(Op::Lsl, rd, rn, op2, cond, false);
+}
+
+Assembler &
+Assembler::lsr(RegIndex rd, RegIndex rn, Operand2 op2, Cond cond)
+{
+    return alu(Op::Lsr, rd, rn, op2, cond, false);
+}
+
+Assembler &
+Assembler::asr(RegIndex rd, RegIndex rn, Operand2 op2, Cond cond)
+{
+    return alu(Op::Asr, rd, rn, op2, cond, false);
+}
+
+Assembler &
+Assembler::adds(RegIndex rd, RegIndex rn, Operand2 op2)
+{
+    return alu(Op::Add, rd, rn, op2, Cond::Al, true);
+}
+
+Assembler &
+Assembler::subs(RegIndex rd, RegIndex rn, Operand2 op2)
+{
+    return alu(Op::Sub, rd, rn, op2, Cond::Al, true);
+}
+
+Assembler &
+Assembler::ubfx(RegIndex rd, RegIndex rn, uint8_t lsb, uint8_t width)
+{
+    Inst i;
+    i.op = Op::Ubfx;
+    i.rd = rd;
+    i.rn = rn;
+    i.bit_lsb = lsb;
+    i.bit_width = width;
+    return emit(i);
+}
+
+Assembler &
+Assembler::sbfx(RegIndex rd, RegIndex rn, uint8_t lsb, uint8_t width)
+{
+    Inst i;
+    i.op = Op::Sbfx;
+    i.rd = rd;
+    i.rn = rn;
+    i.bit_lsb = lsb;
+    i.bit_width = width;
+    return emit(i);
+}
+
+Assembler &
+Assembler::sxth(RegIndex rd, RegIndex rn)
+{
+    return alu(Op::Sxth, rd, rn, Operand2{}, Cond::Al, false);
+}
+
+Assembler &
+Assembler::uxth(RegIndex rd, RegIndex rn)
+{
+    return alu(Op::Uxth, rd, rn, Operand2{}, Cond::Al, false);
+}
+
+Assembler &
+Assembler::uxtb(RegIndex rd, RegIndex rn)
+{
+    return alu(Op::Uxtb, rd, rn, Operand2{}, Cond::Al, false);
+}
+
+Assembler &
+Assembler::cmp(RegIndex rn, Operand2 op2, Cond cond)
+{
+    return alu(Op::Cmp, no_reg, rn, op2, cond, true);
+}
+
+Assembler &
+Assembler::cmn(RegIndex rn, Operand2 op2)
+{
+    return alu(Op::Cmn, no_reg, rn, op2, Cond::Al, true);
+}
+
+Assembler &
+Assembler::tst(RegIndex rn, Operand2 op2)
+{
+    return alu(Op::Tst, no_reg, rn, op2, Cond::Al, true);
+}
+
+Assembler &
+Assembler::b(const std::string &target, Cond cond)
+{
+    fixups.push_back({prog.insts.size(), target});
+    Inst i;
+    i.op = Op::B;
+    i.cond = cond;
+    return emit(i);
+}
+
+Assembler &
+Assembler::bAbs(Addr target, Cond cond)
+{
+    Inst i;
+    i.op = Op::B;
+    i.cond = cond;
+    i.target = target;
+    return emit(i);
+}
+
+Assembler &
+Assembler::blAbs(Addr target, Cond cond)
+{
+    Inst i;
+    i.op = Op::Bl;
+    i.cond = cond;
+    i.target = target;
+    return emit(i);
+}
+
+Assembler &
+Assembler::bx(RegIndex rm, Cond cond)
+{
+    Inst i;
+    i.op = Op::Bx;
+    i.cond = cond;
+    i.op2 = reg(rm);
+    return emit(i);
+}
+
+Assembler &
+Assembler::memOp(Op op, RegIndex rd, MemOperand mem, Cond cond)
+{
+    Inst i;
+    i.op = op;
+    i.cond = cond;
+    i.rd = rd;
+    i.mem = mem;
+    return emit(i);
+}
+
+Assembler &
+Assembler::ldr(RegIndex rd, MemOperand mem, Cond cond)
+{
+    return memOp(Op::Ldr, rd, mem, cond);
+}
+
+Assembler &
+Assembler::ldrh(RegIndex rd, MemOperand mem, Cond cond)
+{
+    return memOp(Op::Ldrh, rd, mem, cond);
+}
+
+Assembler &
+Assembler::ldrb(RegIndex rd, MemOperand mem, Cond cond)
+{
+    return memOp(Op::Ldrb, rd, mem, cond);
+}
+
+Assembler &
+Assembler::ldrd(RegIndex rd, MemOperand mem, Cond cond)
+{
+    return memOp(Op::Ldrd, rd, mem, cond);
+}
+
+Assembler &
+Assembler::str(RegIndex rd, MemOperand mem, Cond cond)
+{
+    return memOp(Op::Str, rd, mem, cond);
+}
+
+Assembler &
+Assembler::strh(RegIndex rd, MemOperand mem, Cond cond)
+{
+    return memOp(Op::Strh, rd, mem, cond);
+}
+
+Assembler &
+Assembler::strb(RegIndex rd, MemOperand mem, Cond cond)
+{
+    return memOp(Op::Strb, rd, mem, cond);
+}
+
+Assembler &
+Assembler::strd(RegIndex rd, MemOperand mem, Cond cond)
+{
+    return memOp(Op::Strd, rd, mem, cond);
+}
+
+Assembler &
+Assembler::ldm(RegIndex base, RegIndex first, uint8_t count)
+{
+    Inst i;
+    i.op = Op::Ldm;
+    i.rd = first;
+    i.rn = base;
+    i.reg_count = count;
+    return emit(i);
+}
+
+Assembler &
+Assembler::stm(RegIndex base, RegIndex first, uint8_t count)
+{
+    Inst i;
+    i.op = Op::Stm;
+    i.rd = first;
+    i.rn = base;
+    i.reg_count = count;
+    return emit(i);
+}
+
+Assembler &
+Assembler::svc(uint32_t num)
+{
+    Inst i;
+    i.op = Op::Svc;
+    i.svc_num = num;
+    return emit(i);
+}
+
+Assembler &
+Assembler::halt()
+{
+    Inst i;
+    i.op = Op::Halt;
+    return emit(i);
+}
+
+Program
+Assembler::finish()
+{
+    pift_assert(!finished, "assembler finished twice");
+    finished = true;
+    for (const auto &fix : fixups) {
+        auto it = prog.labels.find(fix.label);
+        if (it == prog.labels.end())
+            pift_panic("dangling branch to label '%s'", fix.label.c_str());
+        prog.insts[fix.index].target = it->second;
+    }
+    return std::move(prog);
+}
+
+} // namespace pift::isa

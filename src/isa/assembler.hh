@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Program container and a fluent assembler for building ISA code.
+ *
+ * Code is "assembled" straight into decoded Inst records at a fixed
+ * base address; labels are resolved to absolute byte addresses when
+ * finish() is called. The Dalvik handler emitter and the native
+ * runtime routines (string copy, ABI helpers) are written against this
+ * API.
+ */
+
+#ifndef PIFT_ISA_ASSEMBLER_HH
+#define PIFT_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/inst.hh"
+#include "support/types.hh"
+
+namespace pift::isa
+{
+
+/** A relocated block of instructions occupying [base, end). */
+struct Program
+{
+    Addr base = 0;
+    std::vector<Inst> insts;
+    std::unordered_map<std::string, Addr> labels;
+
+    /** One-past-the-end byte address. */
+    Addr end() const { return base + inst_bytes * insts.size(); }
+
+    /** True when @p pc addresses an instruction slot of this program. */
+    bool
+    contains(Addr pc) const
+    {
+        return pc >= base && pc < end() && (pc - base) % inst_bytes == 0;
+    }
+
+    /** Absolute address of a bound label; panics if unknown. */
+    Addr labelAddr(const std::string &name) const;
+};
+
+/** Immediate second operand. */
+Operand2 imm(int32_t value);
+/** Plain register second operand. */
+Operand2 reg(RegIndex r);
+/** Register shifted left: `rX, lsl #n`. */
+Operand2 regLsl(RegIndex r, uint8_t n);
+/** Register shifted right (logical): `rX, lsr #n`. */
+Operand2 regLsr(RegIndex r, uint8_t n);
+/** Register shifted right (arithmetic): `rX, asr #n`. */
+Operand2 regAsr(RegIndex r, uint8_t n);
+
+/** `[rn, #off]` with optional writeback mode. */
+MemOperand memOff(RegIndex base, int32_t offset,
+                  WriteBack wb = WriteBack::None);
+/** `[rn, rm, lsl #n]` register-indexed addressing. */
+MemOperand memIdx(RegIndex base, RegIndex index, uint8_t lsl = 0);
+
+/**
+ * Fluent builder of Program objects. All factory methods append one
+ * instruction and return *this so handler templates read like
+ * assembly listings.
+ */
+class Assembler
+{
+  public:
+    /** @param base byte address where the program will live. */
+    explicit Assembler(Addr base);
+
+    /** Address of the next instruction slot. */
+    Addr here() const;
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return prog.insts.size(); }
+
+    /** Bind @p name to the next instruction slot. */
+    Assembler &label(const std::string &name);
+
+    /** Append a fully formed instruction. */
+    Assembler &emit(const Inst &inst);
+
+    Assembler &nop();
+
+    /** rd <- imm. */
+    Assembler &movi(RegIndex rd, int32_t value, Cond cond = Cond::Al);
+    /** rd <- op2 (register move, optionally shifted). */
+    Assembler &mov(RegIndex rd, Operand2 op2, Cond cond = Cond::Al);
+    Assembler &mvn(RegIndex rd, Operand2 op2, Cond cond = Cond::Al);
+
+    Assembler &add(RegIndex rd, RegIndex rn, Operand2 op2,
+                   Cond cond = Cond::Al, bool flags = false);
+    Assembler &sub(RegIndex rd, RegIndex rn, Operand2 op2,
+                   Cond cond = Cond::Al, bool flags = false);
+    Assembler &rsb(RegIndex rd, RegIndex rn, Operand2 op2,
+                   Cond cond = Cond::Al);
+    Assembler &mul(RegIndex rd, RegIndex rn, RegIndex rm,
+                   Cond cond = Cond::Al);
+    Assembler &and_(RegIndex rd, RegIndex rn, Operand2 op2,
+                    Cond cond = Cond::Al);
+    Assembler &orr(RegIndex rd, RegIndex rn, Operand2 op2,
+                   Cond cond = Cond::Al);
+    Assembler &eor(RegIndex rd, RegIndex rn, Operand2 op2,
+                   Cond cond = Cond::Al);
+    Assembler &bic(RegIndex rd, RegIndex rn, Operand2 op2,
+                   Cond cond = Cond::Al);
+    Assembler &lsl(RegIndex rd, RegIndex rn, Operand2 op2,
+                   Cond cond = Cond::Al);
+    Assembler &lsr(RegIndex rd, RegIndex rn, Operand2 op2,
+                   Cond cond = Cond::Al);
+    Assembler &asr(RegIndex rd, RegIndex rn, Operand2 op2,
+                   Cond cond = Cond::Al);
+
+    /** Flag-setting arithmetic shorthands. */
+    Assembler &adds(RegIndex rd, RegIndex rn, Operand2 op2);
+    Assembler &subs(RegIndex rd, RegIndex rn, Operand2 op2);
+
+    Assembler &ubfx(RegIndex rd, RegIndex rn, uint8_t lsb, uint8_t width);
+    Assembler &sbfx(RegIndex rd, RegIndex rn, uint8_t lsb, uint8_t width);
+    Assembler &sxth(RegIndex rd, RegIndex rn);
+    Assembler &uxth(RegIndex rd, RegIndex rn);
+    Assembler &uxtb(RegIndex rd, RegIndex rn);
+
+    Assembler &cmp(RegIndex rn, Operand2 op2, Cond cond = Cond::Al);
+    Assembler &cmn(RegIndex rn, Operand2 op2);
+    Assembler &tst(RegIndex rn, Operand2 op2);
+
+    /** Branch to a label within this program. */
+    Assembler &b(const std::string &target, Cond cond = Cond::Al);
+    /** Branch to an absolute address. */
+    Assembler &bAbs(Addr target, Cond cond = Cond::Al);
+    /** Branch-and-link to an absolute address (sets lr). */
+    Assembler &blAbs(Addr target, Cond cond = Cond::Al);
+    /** Branch to the address in a register. */
+    Assembler &bx(RegIndex rm, Cond cond = Cond::Al);
+
+    Assembler &ldr(RegIndex rd, MemOperand mem, Cond cond = Cond::Al);
+    Assembler &ldrh(RegIndex rd, MemOperand mem, Cond cond = Cond::Al);
+    Assembler &ldrb(RegIndex rd, MemOperand mem, Cond cond = Cond::Al);
+    Assembler &ldrd(RegIndex rd, MemOperand mem, Cond cond = Cond::Al);
+    Assembler &str(RegIndex rd, MemOperand mem, Cond cond = Cond::Al);
+    Assembler &strh(RegIndex rd, MemOperand mem, Cond cond = Cond::Al);
+    Assembler &strb(RegIndex rd, MemOperand mem, Cond cond = Cond::Al);
+    Assembler &strd(RegIndex rd, MemOperand mem, Cond cond = Cond::Al);
+    Assembler &ldm(RegIndex base, RegIndex first, uint8_t count);
+    Assembler &stm(RegIndex base, RegIndex first, uint8_t count);
+
+    Assembler &svc(uint32_t num);
+    Assembler &halt();
+
+    /**
+     * Resolve all label references and return the finished program.
+     * Panics on dangling references. The assembler must not be reused
+     * afterwards.
+     */
+    Program finish();
+
+  private:
+    Assembler &alu(Op op, RegIndex rd, RegIndex rn, Operand2 op2,
+                   Cond cond, bool flags);
+    Assembler &memOp(Op op, RegIndex rd, MemOperand mem, Cond cond);
+
+    Program prog;
+    struct Fixup { size_t index; std::string label; };
+    std::vector<Fixup> fixups;
+    bool finished = false;
+};
+
+} // namespace pift::isa
+
+#endif // PIFT_ISA_ASSEMBLER_HH

@@ -1,0 +1,184 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pift::isa
+{
+
+namespace
+{
+
+std::string
+regName(RegIndex r)
+{
+    switch (r) {
+      case 13: return "sp";
+      case 14: return "lr";
+      case 15: return "pc";
+      default:
+        break;
+    }
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "r%u", r);
+    return buf;
+}
+
+const char *
+shiftName(ShiftKind kind)
+{
+    switch (kind) {
+      case ShiftKind::Lsl: return "lsl";
+      case ShiftKind::Lsr: return "lsr";
+      case ShiftKind::Asr: return "asr";
+      default:             return "";
+    }
+}
+
+std::string
+operand2Text(const Operand2 &op2)
+{
+    if (op2.is_imm) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "#%d", op2.imm);
+        return buf;
+    }
+    std::string s = regName(op2.reg);
+    if (op2.shift != ShiftKind::None && op2.shift_amount != 0) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), ", %s #%u", shiftName(op2.shift),
+                      op2.shift_amount);
+        s += buf;
+    }
+    return s;
+}
+
+std::string
+memText(const MemOperand &mem)
+{
+    std::string s = "[" + regName(mem.base);
+    if (mem.index != no_reg) {
+        s += ", " + regName(mem.index);
+        if (mem.index_shift) {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), ", lsl #%u", mem.index_shift);
+            s += buf;
+        }
+        s += "]";
+        return s;
+    }
+    switch (mem.writeback) {
+      case WriteBack::None:
+        if (mem.offset) {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), ", #%d", mem.offset);
+            s += buf;
+        }
+        s += "]";
+        break;
+      case WriteBack::Pre: {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), ", #%d]!", mem.offset);
+        s += buf;
+        break;
+      }
+      case WriteBack::Post: {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "], #%d", mem.offset);
+        s += buf;
+        break;
+      }
+    }
+    return s;
+}
+
+} // anonymous namespace
+
+std::string
+disassemble(const Inst &inst)
+{
+    std::string mn = opName(inst.op);
+    if (inst.set_flags && inst.op != Op::Cmp && inst.op != Op::Cmn &&
+        inst.op != Op::Tst) {
+        mn += "s";
+    }
+    mn += condName(inst.cond);
+
+    char buf[32];
+    switch (inst.op) {
+      case Op::Nop:
+      case Op::Halt:
+        return mn;
+      case Op::Mov:
+      case Op::Mvn:
+        return mn + " " + regName(inst.rd) + ", " + operand2Text(inst.op2);
+      case Op::Add:
+      case Op::Sub:
+      case Op::Rsb:
+      case Op::Mul:
+      case Op::And:
+      case Op::Orr:
+      case Op::Eor:
+      case Op::Bic:
+      case Op::Lsl:
+      case Op::Lsr:
+      case Op::Asr:
+        return mn + " " + regName(inst.rd) + ", " + regName(inst.rn) +
+            ", " + operand2Text(inst.op2);
+      case Op::Sxth:
+      case Op::Uxth:
+      case Op::Uxtb:
+        return mn + " " + regName(inst.rd) + ", " + regName(inst.rn);
+      case Op::Ubfx:
+      case Op::Sbfx:
+        std::snprintf(buf, sizeof(buf), ", #%u, #%u", inst.bit_lsb,
+                      inst.bit_width);
+        return mn + " " + regName(inst.rd) + ", " + regName(inst.rn) + buf;
+      case Op::Cmp:
+      case Op::Cmn:
+      case Op::Tst:
+        return mn + " " + regName(inst.rn) + ", " + operand2Text(inst.op2);
+      case Op::B:
+      case Op::Bl:
+        std::snprintf(buf, sizeof(buf), " 0x%x", inst.target);
+        return mn + buf;
+      case Op::Bx:
+        return mn + " " + regName(inst.op2.reg);
+      case Op::Ldr:
+      case Op::Ldrh:
+      case Op::Ldrb:
+      case Op::Ldrd:
+      case Op::Str:
+      case Op::Strh:
+      case Op::Strb:
+      case Op::Strd:
+        return mn + " " + regName(inst.rd) + ", " + memText(inst.mem);
+      case Op::Ldm:
+      case Op::Stm:
+        std::snprintf(buf, sizeof(buf), "-%s}",
+                      regName(static_cast<RegIndex>(
+                          inst.rd + inst.reg_count - 1)).c_str());
+        return mn + " " + regName(inst.rn) + "!, {" + regName(inst.rd) +
+            buf;
+      case Op::Svc:
+        std::snprintf(buf, sizeof(buf), " #%u", inst.svc_num);
+        return mn + buf;
+      default:
+        return "?";
+    }
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    char buf[32];
+    for (size_t i = 0; i < prog.insts.size(); ++i) {
+        Addr pc = prog.base + static_cast<Addr>(i) * inst_bytes;
+        std::snprintf(buf, sizeof(buf), "0x%08x: ", pc);
+        os << buf << disassemble(prog.insts[i]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace pift::isa

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Disassembler: renders decoded instructions as ARM-flavoured text.
+ *
+ * Used by the text trace writer and by tests that pin the shape of the
+ * Dalvik handler templates against the listings in the paper (Figures
+ * 1, 8, 9).
+ */
+
+#ifndef PIFT_ISA_DISASM_HH
+#define PIFT_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/assembler.hh"
+#include "isa/inst.hh"
+
+namespace pift::isa
+{
+
+/** Render one instruction, e.g. "ldr r1, [r5, r3, lsl #2]". */
+std::string disassemble(const Inst &inst);
+
+/** Render a whole program with addresses, one line per instruction. */
+std::string disassemble(const Program &prog);
+
+} // namespace pift::isa
+
+#endif // PIFT_ISA_DISASM_HH

@@ -1,0 +1,129 @@
+#include "isa/inst.hh"
+
+namespace pift::isa
+{
+
+bool
+isLoad(Op op)
+{
+    switch (op) {
+      case Op::Ldr:
+      case Op::Ldrh:
+      case Op::Ldrb:
+      case Op::Ldrd:
+      case Op::Ldm:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStore(Op op)
+{
+    switch (op) {
+      case Op::Str:
+      case Op::Strh:
+      case Op::Strb:
+      case Op::Strd:
+      case Op::Stm:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+transferBytes(Op op)
+{
+    switch (op) {
+      case Op::Ldrb:
+      case Op::Strb:
+        return 1;
+      case Op::Ldrh:
+      case Op::Strh:
+        return 2;
+      case Op::Ldr:
+      case Op::Str:
+        return 4;
+      case Op::Ldrd:
+      case Op::Strd:
+        return 8;
+      default:
+        return 0;
+    }
+}
+
+unsigned
+accessBytes(const Inst &inst)
+{
+    if (inst.op == Op::Ldm || inst.op == Op::Stm)
+        return 4u * inst.reg_count;
+    return transferBytes(inst.op);
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop:  return "nop";
+      case Op::Mov:  return "mov";
+      case Op::Mvn:  return "mvn";
+      case Op::Add:  return "add";
+      case Op::Sub:  return "sub";
+      case Op::Rsb:  return "rsb";
+      case Op::Mul:  return "mul";
+      case Op::And:  return "and";
+      case Op::Orr:  return "orr";
+      case Op::Eor:  return "eor";
+      case Op::Bic:  return "bic";
+      case Op::Lsl:  return "lsl";
+      case Op::Lsr:  return "lsr";
+      case Op::Asr:  return "asr";
+      case Op::Ubfx: return "ubfx";
+      case Op::Sbfx: return "sbfx";
+      case Op::Sxth: return "sxth";
+      case Op::Uxth: return "uxth";
+      case Op::Uxtb: return "uxtb";
+      case Op::Cmp:  return "cmp";
+      case Op::Cmn:  return "cmn";
+      case Op::Tst:  return "tst";
+      case Op::B:    return "b";
+      case Op::Bl:   return "bl";
+      case Op::Bx:   return "bx";
+      case Op::Ldr:  return "ldr";
+      case Op::Ldrh: return "ldrh";
+      case Op::Ldrb: return "ldrb";
+      case Op::Ldrd: return "ldrd";
+      case Op::Str:  return "str";
+      case Op::Strh: return "strh";
+      case Op::Strb: return "strb";
+      case Op::Strd: return "strd";
+      case Op::Ldm:  return "ldm";
+      case Op::Stm:  return "stm";
+      case Op::Svc:  return "svc";
+      case Op::Halt: return "halt";
+      default:       return "?";
+    }
+}
+
+const char *
+condName(Cond cond)
+{
+    switch (cond) {
+      case Cond::Al: return "";
+      case Cond::Eq: return "eq";
+      case Cond::Ne: return "ne";
+      case Cond::Cs: return "cs";
+      case Cond::Cc: return "cc";
+      case Cond::Mi: return "mi";
+      case Cond::Pl: return "pl";
+      case Cond::Ge: return "ge";
+      case Cond::Lt: return "lt";
+      case Cond::Gt: return "gt";
+      case Cond::Le: return "le";
+      default:       return "?";
+    }
+}
+
+} // namespace pift::isa

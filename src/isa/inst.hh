@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The simulated instruction set.
+ *
+ * This is an ARM(v7)-like RISC load/store ISA: the subset that the
+ * Dalvik interpreter templates in the PIFT paper actually use (Figures
+ * 1, 8, 9) plus enough ALU/branch support to execute real programs.
+ * Key ARM features preserved because the paper's mechanism depends on
+ * them:
+ *
+ *  - loads/stores of 1/2/4/8 bytes with register-shifted index
+ *    addressing (`ldr r1, [r5, r3, lsl #2]` is how GET_VREG reads a
+ *    Dalvik virtual register from the frame);
+ *  - pre-indexed writeback (`ldrh r7, [r4, #2]!` is
+ *    FETCH_ADVANCE_INST);
+ *  - writes to the PC by ALU instructions (`add pc, r8, r12, lsl #6`
+ *    is the interpreter's computed GOTO_OPCODE dispatch);
+ *  - condition codes on every instruction.
+ *
+ * Instructions are stored decoded (no binary encoding) since the PIFT
+ * front-end only needs the retired-instruction event stream; each
+ * instruction occupies 4 bytes of simulated code address space so PC
+ * arithmetic behaves like the real machine.
+ */
+
+#ifndef PIFT_ISA_INST_HH
+#define PIFT_ISA_INST_HH
+
+#include <array>
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace pift::isa
+{
+
+/** Size of one instruction slot in simulated code space (bytes). */
+inline constexpr Addr inst_bytes = 4;
+
+/** Opcodes of the simulated ISA. */
+enum class Op : uint8_t
+{
+    Nop = 0,
+
+    // Data processing: rd <- rn OP op2 (Mov/Mvn ignore rn).
+    Mov, Mvn, Add, Sub, Rsb, Mul, And, Orr, Eor, Bic,
+    Lsl, Lsr, Asr,
+
+    // Bit-field extract / extend: rd <- field of rn.
+    Ubfx, Sbfx, Sxth, Uxth, Uxtb,
+
+    // Compare-only (flag writers with no destination).
+    Cmp, Cmn, Tst,
+
+    // Branches. B/Bl take an absolute target; Bx jumps to a register.
+    B, Bl, Bx,
+
+    // Memory. Ldrd/Strd transfer rd and rd+1 (8 bytes).
+    Ldr, Ldrh, Ldrb, Ldrd,
+    Str, Strh, Strb, Strd,
+
+    // Load/store multiple: count registers rd..rd+count-1, base rn,
+    // ascending, always with base writeback (ldmia/stmia flavour).
+    Ldm, Stm,
+
+    // Supervisor call: traps to the runtime bridge.
+    Svc,
+
+    // Simulator-only: stop the CPU (end of top-level program).
+    Halt,
+
+    NumOps
+};
+
+/** ARM condition codes (subset; Al = always). */
+enum class Cond : uint8_t
+{
+    Al = 0, Eq, Ne, Cs, Cc, Mi, Pl, Ge, Lt, Gt, Le
+};
+
+/** Shift applied to a register operand. */
+enum class ShiftKind : uint8_t { None = 0, Lsl, Lsr, Asr };
+
+/** Second source operand: immediate or (possibly shifted) register. */
+struct Operand2
+{
+    bool is_imm = true;
+    RegIndex reg = no_reg;
+    int32_t imm = 0;
+    ShiftKind shift = ShiftKind::None;
+    uint8_t shift_amount = 0;
+};
+
+/** Base-register update mode for memory operands. */
+enum class WriteBack : uint8_t
+{
+    None = 0, //!< plain offset addressing: [rn, #off]
+    Pre,      //!< pre-indexed with writeback: [rn, #off]!
+    Post      //!< post-indexed: [rn], #off
+};
+
+/** Effective-address description for loads and stores. */
+struct MemOperand
+{
+    RegIndex base = no_reg;
+    RegIndex index = no_reg;      //!< no_reg selects immediate offset
+    uint8_t index_shift = 0;      //!< LSL amount applied to the index
+    int32_t offset = 0;           //!< immediate offset (index == no_reg)
+    WriteBack writeback = WriteBack::None;
+};
+
+/** One decoded instruction. */
+struct Inst
+{
+    Op op = Op::Nop;
+    Cond cond = Cond::Al;
+    bool set_flags = false;       //!< S suffix (adds, subs, ...)
+
+    RegIndex rd = no_reg;         //!< destination / transfer register
+    RegIndex rn = no_reg;         //!< first source register
+    Operand2 op2{};               //!< second source
+
+    MemOperand mem{};             //!< loads/stores only
+    uint8_t reg_count = 0;        //!< Ldm/Stm transfer count
+
+    Addr target = 0;              //!< B/Bl absolute byte target
+    uint32_t svc_num = 0;         //!< Svc payload
+
+    uint8_t bit_lsb = 0;          //!< Ubfx/Sbfx field start
+    uint8_t bit_width = 0;        //!< Ubfx/Sbfx field width
+};
+
+/** True for every load opcode (Ldr*, Ldm). */
+bool isLoad(Op op);
+
+/** True for every store opcode (Str*, Stm). */
+bool isStore(Op op);
+
+/** True for loads and stores. */
+inline bool isMem(Op op) { return isLoad(op) || isStore(op); }
+
+/**
+ * Bytes moved by a single-transfer memory opcode (Ldrb = 1, Ldrh = 2,
+ * Ldr = 4, Ldrd = 8). Ldm/Stm depend on reg_count; use accessBytes.
+ */
+unsigned transferBytes(Op op);
+
+/** Bytes accessed by instruction @p inst if it is a memory op, else 0. */
+unsigned accessBytes(const Inst &inst);
+
+/** Mnemonic text for an opcode. */
+const char *opName(Op op);
+
+/** Mnemonic text for a condition code ("" for Al). */
+const char *condName(Cond cond);
+
+} // namespace pift::isa
+
+#endif // PIFT_ISA_INST_HH

@@ -1,0 +1,28 @@
+#include "mem/layout.hh"
+
+#include "support/logging.hh"
+
+namespace pift::mem
+{
+
+Addr
+BumpAllocator::alloc(Addr bytes, Addr align)
+{
+    pift_assert(align != 0 && (align & (align - 1)) == 0,
+                "alignment must be a power of two");
+    Addr aligned = (next + align - 1) & ~(align - 1);
+    if (aligned + bytes - 1 > region_limit || aligned + bytes < aligned)
+        pift_panic("bump allocator exhausted (base 0x%x)", region_base);
+    next = aligned + bytes;
+    return aligned;
+}
+
+void
+BumpAllocator::rewind(Addr mark)
+{
+    pift_assert(mark >= region_base && mark <= next,
+                "rewinding to a mark outside the allocated region");
+    next = mark;
+}
+
+} // namespace pift::mem

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Address-space layout of the simulated device.
+ *
+ * A fixed map keeps programs, handler code, heap and frames apart so
+ * traces and tainted ranges are easy to interpret when debugging, and
+ * so PIFT's range arithmetic is exercised over realistic, well spread
+ * addresses.
+ */
+
+#ifndef PIFT_MEM_LAYOUT_HH
+#define PIFT_MEM_LAYOUT_HH
+
+#include "support/types.hh"
+
+namespace pift::mem
+{
+
+/** Dalvik handler table base (rIBASE); fixed-size slot per opcode. */
+inline constexpr Addr handler_base = 0x0000'1000;
+/** Bytes per handler slot (32 instructions; GOTO_OPCODE is lsl #7). */
+inline constexpr Addr handler_slot_bytes = 128;
+/** Log2 of the slot size, used by the computed dispatch. */
+inline constexpr unsigned handler_slot_shift = 7;
+/** The mterp entry stub (fetch + first dispatch). */
+inline constexpr Addr mterp_entry_addr = 0x0000'0800;
+
+/** Native runtime routines (string copy, ABI helpers, arg copy). */
+inline constexpr Addr native_base = 0x0001'0000;
+inline constexpr Addr native_limit = 0x000f'ffff;
+
+/** Translated/loaded bytecode (the "dex" image). */
+inline constexpr Addr code_base = 0x0010'0000;
+inline constexpr Addr code_limit = 0x3fff'ffff;
+
+/** Java-ish heap: objects, strings, arrays. */
+inline constexpr Addr heap_base = 0x4000'0000;
+inline constexpr Addr heap_limit = 0x6fff'ffff;
+
+/** Interpreter frames (Dalvik virtual registers live here). */
+inline constexpr Addr frame_base = 0x7000'0000;
+inline constexpr Addr frame_limit = 0x7fff'ffff;
+
+/** Per-thread interpreter state block (rSELF points here). */
+inline constexpr Addr thread_base = 0x8000'0000;
+/** Offset of the method return-value slot inside the thread block. */
+inline constexpr Addr thread_retval_offset = 0;
+/** Offset of the pending-exception slot inside the thread block. */
+inline constexpr Addr thread_exception_offset = 8;
+/** Offset of the string-pool table pointer inside the thread block. */
+inline constexpr Addr thread_pool_offset = 12;
+/** Offset of the statics table pointer inside the thread block. */
+inline constexpr Addr thread_statics_offset = 16;
+
+/** VM metadata tables (string pool refs); not program data. */
+inline constexpr Addr metadata_base = 0x2000'0000;
+inline constexpr Addr metadata_limit = 0x2fff'ffff;
+
+/** Scratch space used by native helper routines for register spills. */
+inline constexpr Addr scratch_base = 0x9000'0000;
+
+/** PIFT hardware module memory-mapped command ports. */
+inline constexpr Addr pift_mmio_base = 0xfff0'0000;
+
+/**
+ * Simple bump allocator over a region. The runtime uses one instance
+ * for the heap and one for frames; the paper's workloads never free,
+ * so no free list is needed (frames are popped LIFO via rewind()).
+ */
+class BumpAllocator
+{
+  public:
+    /**
+     * @param base first byte of the managed region
+     * @param limit last byte of the managed region
+     */
+    BumpAllocator(Addr base, Addr limit)
+        : region_base(base), region_limit(limit), next(base)
+    {}
+
+    /** Allocate @p bytes aligned to @p align; panics when exhausted. */
+    Addr alloc(Addr bytes, Addr align = 8);
+
+    /** Current high-water mark (next free byte). */
+    Addr mark() const { return next; }
+
+    /** Roll back to an earlier mark() value (LIFO frame pop). */
+    void rewind(Addr mark);
+
+    /** Bytes handed out so far. */
+    Addr used() const { return next - region_base; }
+
+  private:
+    Addr region_base;
+    Addr region_limit;
+    Addr next;
+};
+
+} // namespace pift::mem
+
+#endif // PIFT_MEM_LAYOUT_HH

@@ -1,0 +1,97 @@
+#include "mem/memory.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace pift::mem
+{
+
+Memory::Page &
+Memory::pageFor(Addr addr)
+{
+    Addr key = addr / page_bytes;
+    auto it = pages.find(key);
+    if (it == pages.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages.emplace(key, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+const Memory::Page *
+Memory::pageForConst(Addr addr) const
+{
+    auto it = pages.find(addr / page_bytes);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+uint64_t
+Memory::read(Addr addr, unsigned size) const
+{
+    pift_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad access size");
+    uint64_t value = 0;
+    for (unsigned i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        const Page *page = pageForConst(a);
+        uint8_t byte = page ? (*page)[a % page_bytes] : 0;
+        value |= static_cast<uint64_t>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+Memory::write(Addr addr, uint64_t value, unsigned size)
+{
+    pift_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad access size");
+    for (unsigned i = 0; i < size; ++i) {
+        Addr a = addr + i;
+        pageFor(a)[a % page_bytes] =
+            static_cast<uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+Memory::writeBlock(Addr addr, const void *data, size_t len)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        Addr a = addr + static_cast<Addr>(i);
+        pageFor(a)[a % page_bytes] = bytes[i];
+    }
+}
+
+void
+Memory::readBlock(Addr addr, void *data, size_t len) const
+{
+    auto *bytes = static_cast<uint8_t *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        Addr a = addr + static_cast<Addr>(i);
+        const Page *page = pageForConst(a);
+        bytes[i] = page ? (*page)[a % page_bytes] : 0;
+    }
+}
+
+std::string
+Memory::readString16(Addr addr, size_t chars) const
+{
+    std::string s;
+    s.reserve(chars);
+    for (size_t i = 0; i < chars; ++i)
+        s.push_back(static_cast<char>(
+            read16(addr + static_cast<Addr>(2 * i)) & 0xff));
+    return s;
+}
+
+void
+Memory::writeString16(Addr addr, const std::string &s)
+{
+    for (size_t i = 0; i < s.size(); ++i)
+        write16(addr + static_cast<Addr>(2 * i),
+                static_cast<uint8_t>(s[i]));
+}
+
+} // namespace pift::mem

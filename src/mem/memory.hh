@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Sparse byte-addressable simulated memory.
+ *
+ * The simulated device has a flat 32-bit physical address space backed
+ * lazily by 4 KiB pages, little-endian like ARM. Reads of untouched
+ * memory return zero (pages are zero-filled on first touch), which
+ * keeps traces deterministic.
+ */
+
+#ifndef PIFT_MEM_MEMORY_HH
+#define PIFT_MEM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "support/types.hh"
+
+namespace pift::mem
+{
+
+/** Page size of the backing store (simulation detail, not ISA). */
+inline constexpr Addr page_bytes = 4096;
+
+/** Lazily allocated little-endian memory over the 32-bit space. */
+class Memory
+{
+  public:
+    /** Read @p size (1/2/4/8) bytes at @p addr, zero-extended. */
+    uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size (1/2/4/8) bytes of @p value at @p addr. */
+    void write(Addr addr, uint64_t value, unsigned size);
+
+    uint8_t read8(Addr addr) const { return read(addr, 1); }
+    uint16_t read16(Addr addr) const { return read(addr, 2); }
+    uint32_t read32(Addr addr) const { return read(addr, 4); }
+    uint64_t read64(Addr addr) const { return read(addr, 8); }
+
+    void write8(Addr addr, uint8_t v) { write(addr, v, 1); }
+    void write16(Addr addr, uint16_t v) { write(addr, v, 2); }
+    void write32(Addr addr, uint32_t v) { write(addr, v, 4); }
+    void write64(Addr addr, uint64_t v) { write(addr, v, 8); }
+
+    /** Copy a host buffer into simulated memory. */
+    void writeBlock(Addr addr, const void *data, size_t len);
+
+    /** Copy simulated memory out to a host buffer. */
+    void readBlock(Addr addr, void *data, size_t len) const;
+
+    /** Read a UTF-16-ish string of @p chars 2-byte units as ASCII. */
+    std::string readString16(Addr addr, size_t chars) const;
+
+    /** Write an ASCII string as 2-byte units (Java char layout). */
+    void writeString16(Addr addr, const std::string &s);
+
+    /** Number of pages currently materialized (footprint metric). */
+    size_t pageCount() const { return pages.size(); }
+
+  private:
+    using Page = std::array<uint8_t, page_bytes>;
+
+    Page &pageFor(Addr addr);
+    const Page *pageForConst(Addr addr) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace pift::mem
+
+#endif // PIFT_MEM_MEMORY_HH

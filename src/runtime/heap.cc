@@ -1,0 +1,59 @@
+#include "runtime/heap.hh"
+
+#include "support/logging.hh"
+
+namespace pift::runtime
+{
+
+Heap::Heap(mem::Memory &memory)
+    : mem_ref(memory), alloc(mem::heap_base, mem::heap_limit)
+{}
+
+Ref
+Heap::allocObject(uint32_t cls, uint32_t nfields)
+{
+    Ref ref = alloc.alloc(object_header_bytes + 4 * nfields);
+    mem_ref.write32(ref, cls);
+    mem_ref.write32(ref + 4, nfields);
+    for (uint32_t i = 0; i < nfields; ++i)
+        mem_ref.write32(fieldAddr(ref, i), 0);
+    return ref;
+}
+
+Ref
+Heap::allocArray(uint32_t cls, uint32_t length, uint32_t elem_bytes)
+{
+    pift_assert(elem_bytes > 0, "array class without element size");
+    Ref ref = alloc.alloc(object_header_bytes + elem_bytes * length);
+    mem_ref.write32(ref, cls);
+    mem_ref.write32(ref + 4, length);
+    for (uint32_t i = 0; i < elem_bytes * length; ++i)
+        mem_ref.write8(dataAddr(ref) + i, 0);
+    return ref;
+}
+
+Ref
+Heap::allocString(uint32_t string_cls, const std::string &value)
+{
+    Ref ref = allocStringRaw(string_cls,
+                             static_cast<uint32_t>(value.size()));
+    mem_ref.writeString16(dataAddr(ref), value);
+    return ref;
+}
+
+Ref
+Heap::allocStringRaw(uint32_t string_cls, uint32_t length)
+{
+    Ref ref = alloc.alloc(object_header_bytes + 2 * length);
+    mem_ref.write32(ref, string_cls);
+    mem_ref.write32(ref + 4, length);
+    return ref;
+}
+
+std::string
+Heap::readString(Ref ref) const
+{
+    return mem_ref.readString16(dataAddr(ref), length(ref));
+}
+
+} // namespace pift::runtime

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The Java-ish object heap on simulated memory.
+ *
+ * Object layout (all little-endian 32-bit words):
+ *   [ref + 0]  class id
+ *   [ref + 4]  length (arrays/strings) or field count (objects)
+ *   [ref + 8]  payload: fields (4 bytes each), array elements, or
+ *              string characters (2 bytes each, Java char layout —
+ *              the paper's footnote 1: "in Java, each character
+ *              consumes two bytes")
+ *
+ * The heap performs host-side writes only for object construction
+ * (allocation, interning constants); all *program* data movement goes
+ * through the simulated CPU so the PIFT front-end observes it.
+ */
+
+#ifndef PIFT_RUNTIME_HEAP_HH
+#define PIFT_RUNTIME_HEAP_HH
+
+#include <string>
+
+#include "mem/layout.hh"
+#include "mem/memory.hh"
+#include "support/types.hh"
+#include "taint/addr_range.hh"
+
+namespace pift::runtime
+{
+
+/** A heap reference: the object's base address (0 = null). */
+using Ref = Addr;
+
+/** Byte offset of the payload from an object base. */
+inline constexpr Addr object_header_bytes = 8;
+
+/** Allocator + accessors for the simulated heap. */
+class Heap
+{
+  public:
+    explicit Heap(mem::Memory &memory);
+
+    /**
+     * Allocate an object with @p nfields 4-byte fields, zeroed.
+     * @param cls class id to stamp into the header
+     */
+    Ref allocObject(uint32_t cls, uint32_t nfields);
+
+    /**
+     * Allocate an array of @p length elements of @p elem_bytes each.
+     */
+    Ref allocArray(uint32_t cls, uint32_t length, uint32_t elem_bytes);
+
+    /**
+     * Allocate a String and host-write its characters (used for
+     * constants and for source values before they are registered
+     * with PIFT).
+     */
+    Ref allocString(uint32_t string_cls, const std::string &value);
+
+    /** Allocate an uninitialized string of @p length chars. */
+    Ref allocStringRaw(uint32_t string_cls, uint32_t length);
+
+    uint32_t classOf(Ref ref) const { return mem_ref.read32(ref); }
+    uint32_t length(Ref ref) const { return mem_ref.read32(ref + 4); }
+
+    /** Host-write the length word (string builders grow). */
+    void setLength(Ref ref, uint32_t len) { mem_ref.write32(ref + 4, len); }
+
+    /** Address of the payload. */
+    Addr dataAddr(Ref ref) const { return ref + object_header_bytes; }
+
+    /** Address of 4-byte field @p idx. */
+    Addr
+    fieldAddr(Ref ref, uint32_t idx) const
+    {
+        return ref + object_header_bytes + 4 * idx;
+    }
+
+    /** Address of character @p idx of a string/char array. */
+    Addr
+    charAddr(Ref ref, uint32_t idx) const
+    {
+        return ref + object_header_bytes + 2 * idx;
+    }
+
+    /** Byte range occupied by a string's characters. */
+    taint::AddrRange
+    charRange(Ref ref) const
+    {
+        uint32_t len = length(ref);
+        if (len == 0)
+            return taint::AddrRange();
+        return taint::AddrRange::fromSize(dataAddr(ref), 2 * len);
+    }
+
+    /** Read a string's characters back as ASCII (host side). */
+    std::string readString(Ref ref) const;
+
+    /** Bytes allocated so far. */
+    Addr used() const { return alloc.used(); }
+
+    mem::Memory &memory() { return mem_ref; }
+
+  private:
+    mem::Memory &mem_ref;
+    mem::BumpAllocator alloc;
+};
+
+} // namespace pift::runtime
+
+#endif // PIFT_RUNTIME_HEAP_HH

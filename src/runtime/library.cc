@@ -1,0 +1,427 @@
+#include "runtime/library.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace pift::runtime
+{
+
+using dalvik::Bc;
+using dalvik::Dex;
+using dalvik::MethodBuilder;
+using dalvik::MethodOrigin;
+using dalvik::NativeCall;
+using dalvik::Vm;
+
+namespace
+{
+
+float
+asFloat(uint32_t bits)
+{
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+/** Format a float the way Float.toString would (short form). */
+std::string
+floatText(float f)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.4f", static_cast<double>(f));
+    return buf;
+}
+
+} // anonymous namespace
+
+Addr
+JavaLib::digitBuffer(Vm &vm)
+{
+    if (digits == 0)
+        digits = vm.allocScratch(256);
+    return digits;
+}
+
+Ref
+JavaLib::makeStringBuilder(Vm &vm, uint32_t capacity)
+{
+    Heap &heap = vm.heap();
+    Ref sb = heap.allocObject(string_builder_cls, 2);
+    Ref buf = heap.allocArray(vm.dex().charArrayClass(), capacity, 2);
+    vm.memory().write32(heap.fieldAddr(sb, 0), buf);
+    vm.memory().write32(heap.fieldAddr(sb, 1), 0);
+    return sb;
+}
+
+void
+JavaLib::appendChars(Vm &vm, Ref sb, Addr src_chars, uint32_t count)
+{
+    if (count == 0)
+        return;
+    Heap &heap = vm.heap();
+    mem::Memory &memory = vm.memory();
+    Ref buf = memory.read32(heap.fieldAddr(sb, 0));
+    uint32_t used = memory.read32(heap.fieldAddr(sb, 1));
+    uint32_t cap = heap.length(buf);
+    if (used + count > cap) {
+        uint32_t newcap = std::max(2 * cap, used + count);
+        Ref grown = heap.allocArray(vm.dex().charArrayClass(), newcap,
+                                    2);
+        // The growth copy is real work the device would do; trace it.
+        vm.runStringCopy(heap.dataAddr(grown), heap.dataAddr(buf),
+                         used);
+        memory.write32(heap.fieldAddr(sb, 0), grown);
+        buf = grown;
+    }
+    vm.runStringCopy(heap.charAddr(buf, used), src_chars, count);
+    memory.write32(heap.fieldAddr(sb, 1), used + count);
+}
+
+void
+JavaLib::install(Dex &dex)
+{
+    string_builder_cls = dex.addClass(
+        {"java/lang/StringBuilder", 2, 0, {}});
+    exception_cls = dex.addClass({"java/lang/Exception", 1, 0, {}});
+
+    // ---- Native methods -------------------------------------------
+
+    string_concat = dex.addNative(
+        "String.concat", 2,
+        [](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            Ref a = vm.memory().read32(call.arg_addr(0));
+            Ref b = vm.memory().read32(call.arg_addr(1));
+            uint32_t la = heap.length(a);
+            uint32_t lb = heap.length(b);
+            Ref s = heap.allocStringRaw(vm.dex().stringClass(),
+                                        la + lb);
+            vm.runStringCopy(heap.dataAddr(s), heap.dataAddr(a), la);
+            vm.runStringCopy(heap.dataAddr(s) + 2 * la,
+                             heap.dataAddr(b), lb);
+            vm.setRetval(s);
+        });
+
+    string_substring = dex.addNative(
+        "String.substring", 3,
+        [](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            Ref s = vm.memory().read32(call.arg_addr(0));
+            uint32_t begin = vm.memory().read32(call.arg_addr(1));
+            uint32_t end = vm.memory().read32(call.arg_addr(2));
+            pift_assert(begin <= end && end <= heap.length(s),
+                        "substring range out of bounds");
+            Ref out = heap.allocStringRaw(vm.dex().stringClass(),
+                                          end - begin);
+            vm.runStringCopy(heap.dataAddr(out),
+                             heap.charAddr(s, begin), end - begin);
+            vm.setRetval(out);
+        });
+
+    string_value_of_char = dex.addNative(
+        "String.valueOf(C)", 1,
+        [](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            uint16_t ch = vm.memory().read32(call.arg_addr(0)) & 0xffff;
+            Ref out = heap.allocStringRaw(vm.dex().stringClass(), 1);
+            vm.runCharFromWordShort(call.arg_addr(0),
+                                    heap.charAddr(out, 0));
+            vm.memory().write16(heap.charAddr(out, 0), ch);
+            vm.setRetval(out);
+        });
+
+    string_to_char_array = dex.addNative(
+        "String.toCharArray", 1,
+        [](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            Ref s = vm.memory().read32(call.arg_addr(0));
+            uint32_t len = heap.length(s);
+            Ref arr = heap.allocArray(vm.dex().charArrayClass(), len,
+                                      2);
+            vm.runStringCopy(heap.dataAddr(arr), heap.dataAddr(s),
+                             len);
+            vm.setRetval(arr);
+        });
+
+    string_from_char_array = dex.addNative(
+        "String.fromCharArray", 1,
+        [](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            Ref arr = vm.memory().read32(call.arg_addr(0));
+            uint32_t len = heap.length(arr);
+            Ref s = heap.allocStringRaw(vm.dex().stringClass(), len);
+            vm.runStringCopy(heap.dataAddr(s), heap.dataAddr(arr),
+                             len);
+            vm.setRetval(s);
+        });
+
+    sb_init = dex.addNative(
+        "StringBuilder.<init>", 0,
+        [this](Vm &vm, const NativeCall &) {
+            vm.setRetval(makeStringBuilder(vm));
+        });
+
+    sb_append = dex.addNative(
+        "StringBuilder.append", 2,
+        [this](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            Ref sb = vm.memory().read32(call.arg_addr(0));
+            Ref s = vm.memory().read32(call.arg_addr(1));
+            appendChars(vm, sb, heap.dataAddr(s), heap.length(s));
+            vm.setRetval(sb);
+        });
+
+    sb_to_string = dex.addNative(
+        "StringBuilder.toString", 1,
+        [](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            Ref sb = vm.memory().read32(call.arg_addr(0));
+            Ref buf = vm.memory().read32(heap.fieldAddr(sb, 0));
+            uint32_t used = vm.memory().read32(heap.fieldAddr(sb, 1));
+            Ref s = heap.allocStringRaw(vm.dex().stringClass(), used);
+            vm.runStringCopy(heap.dataAddr(s), heap.dataAddr(buf),
+                             used);
+            vm.setRetval(s);
+        });
+
+    int_to_string = dex.addNative(
+        "Integer.toString", 1,
+        [this](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            auto v = static_cast<int32_t>(
+                vm.memory().read32(call.arg_addr(0)));
+            std::string text = std::to_string(v);
+            Ref s = heap.allocStringRaw(
+                vm.dex().stringClass(),
+                static_cast<uint32_t>(text.size()));
+            // Traced, derived store of the first character (distance
+            // 3); the host fixes the digit value afterwards.
+            vm.runCharFromWordShort(call.arg_addr(0),
+                                    heap.charAddr(s, 0));
+            vm.memory().write16(heap.charAddr(s, 0),
+                                static_cast<uint8_t>(text[0]));
+            if (text.size() > 1) {
+                Addr buf = digitBuffer(vm);
+                vm.memory().writeString16(buf, text.substr(1));
+                vm.runStringCopy(heap.charAddr(s, 1), buf,
+                                 static_cast<uint32_t>(
+                                     text.size() - 1));
+            }
+            vm.setRetval(s);
+        });
+
+    int_parse = dex.addNative(
+        "Integer.parseInt", 1,
+        [](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            Ref s = vm.memory().read32(call.arg_addr(0));
+            std::string text = heap.readString(s);
+            int32_t value = 0;
+            try {
+                value = std::stoi(text);
+            } catch (...) {
+                value = 0;
+            }
+            // Traced flow: the result derives from the string bytes.
+            vm.setRetvalDerived(heap.dataAddr(s),
+                                static_cast<uint32_t>(value));
+        });
+
+    float_to_string = dex.addNative(
+        "Float.toString", 1,
+        [this](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            float f = asFloat(vm.memory().read32(call.arg_addr(0)));
+            std::string text = floatText(f);
+            Ref s = heap.allocStringRaw(
+                vm.dex().stringClass(),
+                static_cast<uint32_t>(text.size()));
+            // The float-to-decimal data step: load-store distance 10
+            // (the Figure 11 GPS-leak threshold).
+            vm.runCharFromWord(call.arg_addr(0), heap.charAddr(s, 0));
+            vm.memory().write16(heap.charAddr(s, 0),
+                                static_cast<uint8_t>(text[0]));
+            if (text.size() > 1) {
+                Addr buf = digitBuffer(vm);
+                vm.memory().writeString16(buf, text.substr(1));
+                vm.runStringCopy(heap.charAddr(s, 1), buf,
+                                 static_cast<uint32_t>(
+                                     text.size() - 1));
+            }
+            vm.setRetval(s);
+        });
+
+    array_copy = dex.addNative(
+        "System.arraycopy", 5,
+        [](Vm &vm, const NativeCall &call) {
+            Heap &heap = vm.heap();
+            Ref src = vm.memory().read32(call.arg_addr(0));
+            uint32_t src_pos = vm.memory().read32(call.arg_addr(1));
+            Ref dst = vm.memory().read32(call.arg_addr(2));
+            uint32_t dst_pos = vm.memory().read32(call.arg_addr(3));
+            uint32_t len = vm.memory().read32(call.arg_addr(4));
+            vm.runStringCopy(heap.charAddr(dst, dst_pos),
+                             heap.charAddr(src, src_pos), len);
+            vm.setRetval(0);
+        });
+
+    // ---- Bytecode methods (system-library corpus) -----------------
+
+    {
+        MethodBuilder b("String.charAt", 4, 2);
+        b.origin(MethodOrigin::SystemLib)
+            .agetChar(0, 2, 3)
+            .returnValue(0);
+        string_char_at = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("String.length", 3, 1);
+        b.origin(MethodOrigin::SystemLib)
+            .arrayLength(0, 2)
+            .returnValue(0);
+        string_length = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("String.isEmpty", 3, 1);
+        b.origin(MethodOrigin::SystemLib)
+            .arrayLength(0, 2)
+            .ifEqz(0, "empty")
+            .const4(0, 0)
+            .returnValue(0)
+            .label("empty")
+            .const4(0, 1)
+            .returnValue(0);
+        string_is_empty = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("String.equals", 8, 2);
+        b.origin(MethodOrigin::SystemLib)
+            .arrayLength(0, 6)
+            .arrayLength(1, 7)
+            .ifNe(0, 1, "ne")
+            .const4(2, 0)
+            .label("loop")
+            .ifGe(2, 0, "eq")
+            .agetChar(3, 6, 2)
+            .agetChar(4, 7, 2)
+            .ifNe(3, 4, "ne")
+            .addIntLit8(2, 2, 1)
+            .gotoLabel("loop")
+            .label("eq")
+            .const4(0, 1)
+            .returnValue(0)
+            .label("ne")
+            .const4(0, 0)
+            .returnValue(0);
+        string_equals = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("String.indexOf", 8, 2);
+        b.origin(MethodOrigin::SystemLib)
+            .arrayLength(0, 6)
+            .const4(1, 0)
+            .label("loop")
+            .ifGe(1, 0, "notfound")
+            .agetChar(2, 6, 1)
+            .ifEq(2, 7, "found")
+            .addIntLit8(1, 1, 1)
+            .gotoLabel("loop")
+            .label("found")
+            .returnValue(1)
+            .label("notfound")
+            .const4(1, -1)
+            .returnValue(1);
+        string_index_of = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("String.hashCode", 8, 1);
+        b.origin(MethodOrigin::SystemLib)
+            .arrayLength(0, 7)
+            .const4(1, 0)
+            .const4(2, 0)
+            .label("loop")
+            .ifGe(2, 0, "done")
+            .mulIntLit8(1, 1, 31)
+            .agetChar(3, 7, 2)
+            .binop2addr(Bc::AddInt2Addr, 1, 3)
+            .addIntLit8(2, 2, 1)
+            .gotoLabel("loop")
+            .label("done")
+            .returnValue(1);
+        string_hash_code = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("StringBuilder.appendChar", 8, 2);
+        b.origin(MethodOrigin::SystemLib)
+            .igetObject(0, 6, sb_field_buf)
+            .iget(1, 6, sb_field_count)
+            .aputChar(7, 0, 1)
+            .addIntLit8(1, 1, 1)
+            .iput(1, 6, sb_field_count)
+            .returnVoid();
+        sb_append_char = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("Math.abs", 4, 1);
+        b.origin(MethodOrigin::SystemLib)
+            .ifLtz(3, "neg")
+            .returnValue(3)
+            .label("neg")
+            .const4(0, 0)
+            .binop(Bc::SubInt, 0, 0, 3)
+            .returnValue(0);
+        math_abs = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("Math.max", 4, 2);
+        b.origin(MethodOrigin::SystemLib)
+            .ifGe(2, 3, "a")
+            .returnValue(3)
+            .label("a")
+            .returnValue(2);
+        math_max = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("Math.min", 4, 2);
+        b.origin(MethodOrigin::SystemLib)
+            .ifLe(2, 3, "a")
+            .returnValue(3)
+            .label("a")
+            .returnValue(2);
+        math_min = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("Math.clamp", 6, 3);
+        b.origin(MethodOrigin::SystemLib)
+            .ifGe(3, 4, "c1")
+            .returnValue(4)
+            .label("c1")
+            .ifLe(3, 5, "c2")
+            .returnValue(5)
+            .label("c2")
+            .returnValue(3);
+        math_clamp = dex.addMethod(b.finish());
+    }
+    {
+        MethodBuilder b("Integer.bitCount", 6, 1);
+        b.origin(MethodOrigin::SystemLib)
+            .const4(0, 0)
+            .const16(4, 0x7fff)
+            .binop(Bc::AndInt, 1, 5, 4)
+            .label("loop")
+            .ifEqz(1, "done")
+            .const4(2, 1)
+            .binop(Bc::AndInt, 3, 1, 2)
+            .binop2addr(Bc::AddInt2Addr, 0, 3)
+            .binop(Bc::ShrInt, 1, 1, 2)
+            .gotoLabel("loop")
+            .label("done")
+            .returnValue(0);
+        int_bit_count = dex.addMethod(b.finish());
+    }
+}
+
+} // namespace pift::runtime

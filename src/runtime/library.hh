@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The Java core library: String, StringBuilder, Integer, Float.
+ *
+ * String machinery follows the Android reality the paper leans on:
+ * concatenation and StringBuilder appends bottom out in the native
+ * Figure 1 character-copy loop; Integer/Float.toString run a native
+ * conversion whose data-carrying store sits 3 / 10 instructions after
+ * the load of the source value (Float's distance is why the GPS leak
+ * needs NI >= 10). A set of bytecode methods (charAt, length, equals,
+ * indexOf, appendChar, ...) forms the "system libraries" corpus for
+ * the Figure 10 census.
+ *
+ * All methods are registered into a Dex before Vm::boot(); apps refer
+ * to them through the ids on this struct.
+ */
+
+#ifndef PIFT_RUNTIME_LIBRARY_HH
+#define PIFT_RUNTIME_LIBRARY_HH
+
+#include "dalvik/method.hh"
+#include "dalvik/vm.hh"
+#include "runtime/heap.hh"
+
+namespace pift::runtime
+{
+
+/** Ids of the installed library methods and classes. */
+class JavaLib
+{
+  public:
+    /** Register every library method/class into @p dex. */
+    void install(dalvik::Dex &dex);
+
+    /// @name Native methods
+    /// @{
+    dalvik::MethodId string_concat = dalvik::no_method;   //!< (a,b)->s
+    dalvik::MethodId string_substring = dalvik::no_method;//!< (s,b,e)->s
+    dalvik::MethodId string_value_of_char = dalvik::no_method;
+    dalvik::MethodId string_to_char_array = dalvik::no_method;
+    dalvik::MethodId string_from_char_array = dalvik::no_method;
+    dalvik::MethodId sb_init = dalvik::no_method;     //!< ()->sb
+    dalvik::MethodId sb_append = dalvik::no_method;   //!< (sb,s)->sb
+    dalvik::MethodId sb_to_string = dalvik::no_method;//!< (sb)->s
+    dalvik::MethodId int_to_string = dalvik::no_method;
+    dalvik::MethodId int_parse = dalvik::no_method;   //!< (s)->int
+    dalvik::MethodId float_to_string = dalvik::no_method;
+    dalvik::MethodId array_copy = dalvik::no_method;  //!< arraycopy
+    /// @}
+
+    /// @name Bytecode methods (system-library census corpus)
+    /// @{
+    dalvik::MethodId string_char_at = dalvik::no_method;
+    dalvik::MethodId string_length = dalvik::no_method;
+    dalvik::MethodId string_is_empty = dalvik::no_method;
+    dalvik::MethodId string_equals = dalvik::no_method;
+    dalvik::MethodId string_index_of = dalvik::no_method;
+    dalvik::MethodId string_hash_code = dalvik::no_method;
+    dalvik::MethodId sb_append_char = dalvik::no_method;
+    dalvik::MethodId math_abs = dalvik::no_method;
+    dalvik::MethodId math_max = dalvik::no_method;
+    dalvik::MethodId math_min = dalvik::no_method;
+    dalvik::MethodId math_clamp = dalvik::no_method;
+    dalvik::MethodId int_bit_count = dalvik::no_method;
+    /// @}
+
+    /// @name Classes
+    /// @{
+    dalvik::ClassId string_builder_cls = 0; //!< fields: buf, count
+    dalvik::ClassId exception_cls = 0;      //!< field: payload ref
+    /// @}
+
+    /** StringBuilder field indices (byte offsets are 4 * index). */
+    static constexpr uint16_t sb_field_buf = 0;
+    static constexpr uint16_t sb_field_count = 4;
+    /** Exception payload field byte offset. */
+    static constexpr uint16_t exc_field_payload = 0;
+
+    /// @name Host-side convenience used by natives and the framework
+    /// @{
+
+    /** Make a StringBuilder with @p capacity chars of buffer. */
+    Ref makeStringBuilder(dalvik::Vm &vm, uint32_t capacity = 64);
+
+    /**
+     * Append @p count chars from @p src_chars to @p sb with the traced
+     * copy loop, growing the buffer as needed.
+     */
+    void appendChars(dalvik::Vm &vm, Ref sb, Addr src_chars,
+                     uint32_t count);
+
+    /// @}
+
+  private:
+    Addr digitBuffer(dalvik::Vm &vm);
+
+    Addr digits = 0; //!< recycled scratch for toString conversions
+};
+
+} // namespace pift::runtime
+
+#endif // PIFT_RUNTIME_LIBRARY_HH

@@ -1,0 +1,156 @@
+#include "runtime/routines.hh"
+
+#include "mem/layout.hh"
+#include "support/logging.hh"
+
+namespace pift::runtime
+{
+
+namespace
+{
+
+using isa::Assembler;
+using isa::Cond;
+using isa::WriteBack;
+using isa::imm;
+using isa::memIdx;
+using isa::memOff;
+using isa::reg;
+using isa::regLsr;
+
+constexpr RegIndex r0 = 0, r1 = 1, r2 = 2, r3 = 3, r4 = 4, r5 = 5,
+    r6 = 6, r10 = 10;
+constexpr RegIndex lr = 14;
+
+/** Stack area used by the ABI helpers' register spills. */
+constexpr Addr abi_stack = mem::scratch_base + 0x1000;
+
+} // anonymous namespace
+
+std::vector<const isa::Program *>
+Routines::all() const
+{
+    return {&string_copy, &word_copy, &abi_spacer, &char_from_word,
+            &char_from_word_short, &word_derive, &word_store};
+}
+
+Routines
+emitRoutines()
+{
+    Routines routines;
+    Addr at = mem::native_base;
+
+    // The Figure 1 string-copy loop: each character is loaded into a
+    // register and then stored to its destination (memcpy-style
+    // post-increment form; load-store distance 1).
+    {
+        Assembler a(at);
+        a.label("loop");
+        a.ldrh(r6, memOff(r1, 2, WriteBack::Post)); // r6 <- src char
+        a.strh(r6, memOff(r0, 2, WriteBack::Post)); // r6 -> dst char
+        a.subs(r5, r5, imm(1));
+        a.b("loop", Cond::Ne);
+        a.bx(lr);
+        routines.string_copy_addr = at;
+        routines.string_copy = a.finish();
+        at = routines.string_copy.end() + 32;
+    }
+
+    // The interpreter's argument-copy loop (invoke frame setup):
+    // caller vregs -> callee vregs, distance 1.
+    {
+        Assembler a(at);
+        a.label("loop");
+        a.ldr(r1, memOff(r0, 4, WriteBack::Post));
+        a.str(r1, memOff(r2, 4, WriteBack::Post));
+        a.subs(r3, r3, imm(1));
+        a.b("loop", Cond::Ne);
+        a.bx(lr);
+        routines.word_copy_addr = at;
+        routines.word_copy = a.finish();
+        at = routines.word_copy.end() + 32;
+    }
+
+    // The __aeabi_* body: spill callee-saved registers, grind, reload.
+    // Preserves r0/r1 so the bridge's computed result survives.
+    {
+        Assembler a(at);
+        a.movi(r10, static_cast<int32_t>(abi_stack));
+        a.stm(r10, r4, 4);          // push {r4-r7}
+        a.eor(r2, r3, reg(r2));
+        a.add(r2, r2, imm(1));
+        a.sub(r10, r10, imm(16));
+        a.ldm(r10, r4, 4);          // pop {r4-r7}
+        a.bx(lr);
+        routines.abi_spacer_addr = at;
+        routines.abi_spacer = a.finish();
+        at = routines.abi_spacer.end() + 32;
+    }
+
+    // Float/Double.toString's data-carrying step: load the float
+    // word, mantissa/exponent grinding, store the first character.
+    // Exactly 10 instructions separate the load from the store, which
+    // is why the Figure 11 GPS leak needs NI >= 10.
+    {
+        Assembler a(at);
+        a.ldr(r3, memOff(r0, 0));          // float bits (tainted)
+        a.mov(r2, regLsr(r3, 23));         // exponent
+        a.and_(r2, r2, imm(255));
+        a.sub(r2, r2, imm(127));
+        a.lsl(r4, r3, imm(9));             // mantissa
+        a.mov(r4, regLsr(r4, 9));
+        a.orr(r4, r4, imm(1 << 23));
+        a.add(r2, r2, reg(r4));
+        a.eor(r2, r2, reg(r3));
+        a.uxth(r3, r3);                    // derived character
+        a.strh(r3, memOff(r1, 0));         // first digit store
+        a.bx(lr);
+        routines.char_from_word_addr = at;
+        routines.char_from_word = a.finish();
+        at = routines.char_from_word.end() + 32;
+    }
+
+    // Integer.toString's data-carrying step: short distance (3).
+    {
+        Assembler a(at);
+        a.ldr(r3, memOff(r0, 0));
+        a.mov(r2, regLsr(r3, 4));
+        a.uxth(r3, r3);
+        a.strh(r3, memOff(r1, 0));
+        a.bx(lr);
+        routines.char_from_word_short_addr = at;
+        routines.char_from_word_short = a.finish();
+        at = routines.char_from_word_short.end() + 32;
+    }
+
+    // Word-to-word derivation (Integer.parseInt, primitive getters):
+    // load a word, grind, store a derived word; distance 3.
+    {
+        Assembler a(at);
+        a.ldr(r3, memOff(r0, 0));
+        a.mov(r2, regLsr(r3, 4));
+        a.add(r2, r2, reg(r3));
+        a.str(r3, memOff(r1, 0));
+        a.bx(lr);
+        routines.word_derive_addr = at;
+        routines.word_derive = a.finish();
+        at = routines.word_derive.end() + 32;
+    }
+
+    // Plain traced word store: how natives write their return value
+    // into the thread's retval slot (a real store, so stale taint in
+    // the slot is untainted like any other overwrite).
+    {
+        Assembler a(at);
+        a.str(r0, memOff(r1, 0));
+        a.bx(lr);
+        routines.word_store_addr = at;
+        routines.word_store = a.finish();
+        at = routines.word_store.end() + 32;
+    }
+
+    pift_assert(at < mem::native_limit, "native region overflow");
+    return routines;
+}
+
+} // namespace pift::runtime

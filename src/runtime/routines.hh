@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Native (non-interpreted) runtime routines.
+ *
+ * These are the pieces of the Android runtime that execute as real
+ * ARM code rather than bytecode, and whose load/store shapes matter
+ * to PIFT:
+ *
+ *  - stringCopy: the Figure 1 character-copy loop that implements
+ *    String/StringBuilder concatenation (ldrh/strh two bytes at a
+ *    time, load-store distance 2);
+ *  - wordCopy: the interpreter's argument-copy loop used on method
+ *    invocation (distance 1);
+ *  - abiSpacer: the body shared by the __aeabi_* integer/float
+ *    helpers — a callee-saved register spill (stm), ALU work, and a
+ *    reload (ldm); it is what makes ABI-based bytecodes' load-store
+ *    distances long and "unknown" (Table 1);
+ *  - charFromWord / charFromWordShort: the data-carrying step of
+ *    Float.toString (distance 10 — the reason the GPS leak needs
+ *    NI >= 10 in Figure 11) and Integer.toString (distance 3).
+ *
+ * Calling convention: arguments in registers as documented per
+ * routine; routines end with `bx lr`. The runtime bridge saves and
+ * restores the interpreter's register state around calls.
+ */
+
+#ifndef PIFT_RUNTIME_ROUTINES_HH
+#define PIFT_RUNTIME_ROUTINES_HH
+
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "support/types.hh"
+
+namespace pift::runtime
+{
+
+/** The emitted native routines, positioned at their final addresses. */
+struct Routines
+{
+    /** r0 = dst chars, r1 = src chars, r5 = char count (> 0). */
+    isa::Program string_copy;
+    /** r0 = src words, r2 = dst words, r3 = word count (> 0). */
+    isa::Program word_copy;
+    /** ABI helper body; preserves r0/r1 (the result registers). */
+    isa::Program abi_spacer;
+    /** r0 = &word, r1 = &dst char; load-store distance 10. */
+    isa::Program char_from_word;
+    /** r0 = &word, r1 = &dst char; load-store distance 3. */
+    isa::Program char_from_word_short;
+    /** r0 = &src word, r1 = &dst word; load-store distance 3. */
+    isa::Program word_derive;
+    /** r0 = value, r1 = &dst word: plain traced word store. */
+    isa::Program word_store;
+
+    Addr string_copy_addr = 0;
+    Addr word_copy_addr = 0;
+    Addr abi_spacer_addr = 0;
+    Addr char_from_word_addr = 0;
+    Addr char_from_word_short_addr = 0;
+    Addr word_derive_addr = 0;
+    Addr word_store_addr = 0;
+
+    /** All programs, for loading into a Cpu. */
+    std::vector<const isa::Program *> all() const;
+};
+
+/** Assemble every routine at its home in the native code region. */
+Routines emitRoutines();
+
+} // namespace pift::runtime
+
+#endif // PIFT_RUNTIME_ROUTINES_HH

@@ -1,0 +1,44 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace pift::sim
+{
+
+void
+EventHub::removeSink(TraceSink *sink)
+{
+    sinks.erase(std::remove(sinks.begin(), sinks.end(), sink),
+                sinks.end());
+}
+
+void
+TraceBuffer::onRecord(const TraceRecord &rec)
+{
+    data.records.push_back(rec);
+}
+
+void
+TraceBuffer::onControl(const ControlEvent &ev)
+{
+    data.controls.push_back(ev);
+}
+
+void
+replay(const Trace &trace, TraceSink &sink)
+{
+    size_t ci = 0;
+    const size_t nc = trace.controls.size();
+    for (size_t ri = 0; ri < trace.records.size(); ++ri) {
+        // Deliver controls that were published before this record.
+        while (ci < nc && trace.controls[ci].seq <= ri)
+            sink.onControl(trace.controls[ci++]);
+        sink.onRecord(trace.records[ri]);
+    }
+    while (ci < nc)
+        sink.onControl(trace.controls[ci++]);
+}
+
+} // namespace pift::sim

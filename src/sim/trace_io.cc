@@ -1,0 +1,212 @@
+#include "sim/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "isa/inst.hh"
+#include "support/logging.hh"
+
+namespace pift::sim
+{
+
+namespace
+{
+
+constexpr uint32_t trace_magic = 0x50494654; // "PIFT"
+constexpr uint32_t trace_version = 2;
+
+struct Header
+{
+    uint32_t magic;
+    uint32_t version;
+    uint64_t record_count;
+    uint64_t control_count;
+};
+
+// On-disk shapes: explicitly packed copies of the in-memory structs so
+// layout changes can't silently corrupt old files.
+struct DiskRecord
+{
+    uint64_t seq;
+    uint64_t local_seq;
+    uint32_t pid;
+    uint32_t pc;
+    uint8_t op;
+    uint8_t dst;
+    uint8_t dst2;
+    uint8_t src0, src1, src2;
+    uint8_t reg_count;
+    uint8_t mem_kind;
+    uint32_t mem_start;
+    uint32_t mem_end;
+    uint32_t aux;
+};
+
+struct DiskControl
+{
+    uint64_t seq;
+    uint8_t kind;
+    uint8_t pad[3];
+    uint32_t pid;
+    uint32_t start;
+    uint32_t end;
+    uint32_t id;
+};
+
+DiskRecord
+pack(const TraceRecord &r)
+{
+    DiskRecord d{};
+    d.seq = r.seq;
+    d.local_seq = r.local_seq;
+    d.pid = r.pid;
+    d.pc = r.pc;
+    d.op = static_cast<uint8_t>(r.op);
+    d.dst = r.dst;
+    d.dst2 = r.dst2;
+    d.src0 = r.src[0];
+    d.src1 = r.src[1];
+    d.src2 = r.src[2];
+    d.reg_count = r.reg_count;
+    d.mem_kind = static_cast<uint8_t>(r.mem_kind);
+    d.mem_start = r.mem_start;
+    d.mem_end = r.mem_end;
+    d.aux = r.aux;
+    return d;
+}
+
+TraceRecord
+unpack(const DiskRecord &d)
+{
+    TraceRecord r;
+    r.seq = d.seq;
+    r.local_seq = d.local_seq;
+    r.pid = d.pid;
+    r.pc = d.pc;
+    r.op = static_cast<isa::Op>(d.op);
+    r.dst = d.dst;
+    r.dst2 = d.dst2;
+    r.src = {d.src0, d.src1, d.src2};
+    r.reg_count = d.reg_count;
+    r.mem_kind = static_cast<MemKind>(d.mem_kind);
+    r.mem_start = d.mem_start;
+    r.mem_end = d.mem_end;
+    r.aux = d.aux;
+    return r;
+}
+
+} // anonymous namespace
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    Header h{trace_magic, trace_version, trace.records.size(),
+             trace.controls.size()};
+    os.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    for (const auto &r : trace.records) {
+        DiskRecord d = pack(r);
+        os.write(reinterpret_cast<const char *>(&d), sizeof(d));
+    }
+    for (const auto &c : trace.controls) {
+        DiskControl d{};
+        d.seq = c.seq;
+        d.kind = static_cast<uint8_t>(c.kind);
+        d.pid = c.pid;
+        d.start = c.start;
+        d.end = c.end;
+        d.id = c.id;
+        os.write(reinterpret_cast<const char *>(&d), sizeof(d));
+    }
+}
+
+bool
+readTrace(std::istream &is, Trace &trace)
+{
+    Header h{};
+    is.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!is || h.magic != trace_magic || h.version != trace_version)
+        return false;
+    trace.clear();
+    trace.records.reserve(h.record_count);
+    for (uint64_t i = 0; i < h.record_count; ++i) {
+        DiskRecord d{};
+        is.read(reinterpret_cast<char *>(&d), sizeof(d));
+        if (!is)
+            return false;
+        trace.records.push_back(unpack(d));
+    }
+    trace.controls.reserve(h.control_count);
+    for (uint64_t i = 0; i < h.control_count; ++i) {
+        DiskControl d{};
+        is.read(reinterpret_cast<char *>(&d), sizeof(d));
+        if (!is)
+            return false;
+        ControlEvent c;
+        c.seq = d.seq;
+        c.kind = static_cast<ControlKind>(d.kind);
+        c.pid = d.pid;
+        c.start = d.start;
+        c.end = d.end;
+        c.id = d.id;
+        trace.controls.push_back(c);
+    }
+    return true;
+}
+
+void
+saveTrace(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        pift_panic("cannot open trace file '%s' for writing",
+                   path.c_str());
+    writeTrace(os, trace);
+    if (!os)
+        pift_panic("write to trace file '%s' failed", path.c_str());
+}
+
+bool
+loadTrace(const std::string &path, Trace &trace)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    return readTrace(is, trace);
+}
+
+void
+dumpTraceText(std::ostream &os, const Trace &trace)
+{
+    size_t ci = 0;
+    char buf[160];
+    for (size_t ri = 0; ri < trace.records.size(); ++ri) {
+        while (ci < trace.controls.size() &&
+               trace.controls[ci].seq <= ri) {
+            const auto &c = trace.controls[ci++];
+            const char *kind =
+                c.kind == ControlKind::RegisterSource ? "source" :
+                c.kind == ControlKind::CheckSink ? "sink" : "clear";
+            std::snprintf(buf, sizeof(buf),
+                          "# %s pid=%u range=[0x%08x,0x%08x] id=%u\n",
+                          kind, c.pid, c.start, c.end, c.id);
+            os << buf;
+        }
+        const auto &r = trace.records[ri];
+        const char *mk = r.mem_kind == MemKind::Load ? "L" :
+            r.mem_kind == MemKind::Store ? "S" : " ";
+        std::snprintf(buf, sizeof(buf),
+                      "%10llu pid=%u pc=0x%08x %-5s %s",
+                      static_cast<unsigned long long>(r.seq), r.pid,
+                      r.pc, isa::opName(r.op), mk);
+        os << buf;
+        if (r.mem_kind != MemKind::None) {
+            std::snprintf(buf, sizeof(buf), " [0x%08x,0x%08x]",
+                          r.mem_start, r.mem_end);
+            os << buf;
+        }
+        os << "\n";
+    }
+}
+
+} // namespace pift::sim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trace persistence.
+ *
+ * Binary format for captured traces (so long app runs can be recorded
+ * once and swept offline many times, the way the paper fed gem5 traces
+ * into the PIFT analysis code), plus a human-readable text dump for
+ * debugging.
+ *
+ * Binary layout: a fixed header {magic, version, record count, control
+ * count} followed by packed on-disk record structs. The format is
+ * host-endianness (little-endian on all supported hosts) and is a
+ * cache file format, not an interchange format.
+ */
+
+#ifndef PIFT_SIM_TRACE_IO_HH
+#define PIFT_SIM_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.hh"
+
+namespace pift::sim
+{
+
+/** Serialize @p trace to a binary stream. */
+void writeTrace(std::ostream &os, const Trace &trace);
+
+/**
+ * Deserialize a trace written by writeTrace.
+ * @return false on magic/version mismatch or truncation.
+ */
+bool readTrace(std::istream &is, Trace &trace);
+
+/** Convenience: write to a file path; panics on I/O failure. */
+void saveTrace(const std::string &path, const Trace &trace);
+
+/** Convenience: read from a file path. @return false on failure. */
+bool loadTrace(const std::string &path, Trace &trace);
+
+/** Dump a trace as text, one line per record/control, for debugging. */
+void dumpTraceText(std::ostream &os, const Trace &trace);
+
+} // namespace pift::sim
+
+#endif // PIFT_SIM_TRACE_IO_HH

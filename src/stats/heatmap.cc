@@ -1,0 +1,59 @@
+#include "stats/heatmap.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace pift::stats
+{
+
+HeatMap::HeatMap(std::string row_name_, int row_lo_, int row_hi_,
+                 std::string col_name_, int col_lo_, int col_hi_)
+    : row_name(std::move(row_name_)), row_lo(row_lo_), row_hi(row_hi_),
+      col_name(std::move(col_name_)), col_lo(col_lo_), col_hi(col_hi_),
+      cells(static_cast<size_t>(row_hi_ - row_lo_ + 1)
+            * static_cast<size_t>(col_hi_ - col_lo_ + 1), 0.0)
+{
+    pift_assert(row_hi >= row_lo && col_hi >= col_lo,
+                "inverted heat map axis");
+}
+
+size_t
+HeatMap::index(int row, int col) const
+{
+    pift_assert(row >= row_lo && row <= row_hi, "heat map row out of range");
+    pift_assert(col >= col_lo && col <= col_hi, "heat map col out of range");
+    size_t width = static_cast<size_t>(col_hi - col_lo + 1);
+    return static_cast<size_t>(row - row_lo) * width
+        + static_cast<size_t>(col - col_lo);
+}
+
+void
+HeatMap::set(int row, int col, double value)
+{
+    cells[index(row, col)] = value;
+}
+
+double
+HeatMap::at(int row, int col) const
+{
+    return cells[index(row, col)];
+}
+
+double
+HeatMap::max() const
+{
+    if (cells.empty())
+        return 0.0;
+    return *std::max_element(cells.begin(), cells.end());
+}
+
+double
+HeatMap::min() const
+{
+    if (cells.empty())
+        return 0.0;
+    return *std::min_element(cells.begin(), cells.end());
+}
+
+} // namespace pift::stats

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dense 2-D table of doubles with labelled axes.
+ *
+ * Used for the NI-by-NT parameter-sweep figures (11, 14, 17). Rows are
+ * indexed by the first axis value, columns by the second; both axes are
+ * inclusive integer ranges (e.g. NI in [1,20], NT in [1,10]).
+ */
+
+#ifndef PIFT_STATS_HEATMAP_HH
+#define PIFT_STATS_HEATMAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pift::stats
+{
+
+/** A labelled matrix over two inclusive integer parameter ranges. */
+class HeatMap
+{
+  public:
+    /**
+     * @param row_name label of the row axis (e.g. "NT")
+     * @param row_lo first row value
+     * @param row_hi last row value
+     * @param col_name label of the column axis (e.g. "NI")
+     * @param col_lo first column value
+     * @param col_hi last column value
+     */
+    HeatMap(std::string row_name, int row_lo, int row_hi,
+            std::string col_name, int col_lo, int col_hi);
+
+    /** Set the cell for axis values (@p row, @p col). */
+    void set(int row, int col, double value);
+
+    /** Read the cell for axis values (@p row, @p col). */
+    double at(int row, int col) const;
+
+    int rowLo() const { return row_lo; }
+    int rowHi() const { return row_hi; }
+    int colLo() const { return col_lo; }
+    int colHi() const { return col_hi; }
+    const std::string &rowName() const { return row_name; }
+    const std::string &colName() const { return col_name; }
+
+    /** Largest cell value (0 if empty). */
+    double max() const;
+
+    /** Smallest cell value (0 if empty). */
+    double min() const;
+
+  private:
+    size_t index(int row, int col) const;
+
+    std::string row_name;
+    int row_lo;
+    int row_hi;
+    std::string col_name;
+    int col_lo;
+    int col_hi;
+    std::vector<double> cells;
+};
+
+} // namespace pift::stats
+
+#endif // PIFT_STATS_HEATMAP_HH

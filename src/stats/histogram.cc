@@ -1,0 +1,105 @@
+#include "stats/histogram.hh"
+
+#include "support/logging.hh"
+
+namespace pift::stats
+{
+
+Histogram::Histogram(uint64_t max_value)
+    : buckets(max_value + 1, 0)
+{
+    pift_assert(max_value < (1ull << 32),
+                "histogram domain unreasonably large");
+}
+
+void
+Histogram::add(uint64_t value, uint64_t weight)
+{
+    if (value >= buckets.size()) {
+        over += weight;
+    } else {
+        buckets[value] += weight;
+        in_range_sum += value * weight;
+    }
+    total += weight;
+}
+
+uint64_t
+Histogram::at(uint64_t value) const
+{
+    pift_assert(value < buckets.size(), "histogram bucket out of range");
+    return buckets[value];
+}
+
+double
+Histogram::probability(uint64_t value) const
+{
+    if (total == 0)
+        return 0.0;
+    uint64_t c = value < buckets.size() ? buckets[value] : 0;
+    return static_cast<double>(c) / static_cast<double>(total);
+}
+
+double
+Histogram::cdf(uint64_t value) const
+{
+    if (total == 0)
+        return 0.0;
+    uint64_t c = 0;
+    uint64_t limit = value < buckets.size() ? value : buckets.size() - 1;
+    for (uint64_t v = 0; v <= limit; ++v)
+        c += buckets[v];
+    if (value >= buckets.size())
+        c += over;
+    return static_cast<double>(c) / static_cast<double>(total);
+}
+
+double
+Histogram::mean() const
+{
+    uint64_t in_range = total - over;
+    if (in_range == 0)
+        return 0.0;
+    return static_cast<double>(in_range_sum)
+        / static_cast<double>(in_range);
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    if (total == 0)
+        return buckets.size();
+    uint64_t threshold =
+        static_cast<uint64_t>(q * static_cast<double>(total));
+    uint64_t c = 0;
+    for (uint64_t v = 0; v < buckets.size(); ++v) {
+        c += buckets[v];
+        if (static_cast<double>(c) >= static_cast<double>(threshold) &&
+            c > 0 && cdf(v) >= q) {
+            return v;
+        }
+    }
+    return buckets.size();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    pift_assert(other.buckets.size() == buckets.size(),
+                "merging histograms of different geometry");
+    for (size_t v = 0; v < buckets.size(); ++v)
+        buckets[v] += other.buckets[v];
+    total += other.total;
+    over += other.over;
+    in_range_sum += other.in_range_sum;
+}
+
+void
+Histogram::clear()
+{
+    for (auto &b : buckets)
+        b = 0;
+    total = over = in_range_sum = 0;
+}
+
+} // namespace pift::stats

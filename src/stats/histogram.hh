@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Integer-binned histogram with overflow bucket.
+ *
+ * The evaluation figures in the PIFT paper are all distributions over
+ * small integer metrics (instruction distances, store counts), so a
+ * dense vector of buckets with a single overflow bucket is the right
+ * shape: O(1) insert, exact probability/CDF readout.
+ */
+
+#ifndef PIFT_STATS_HISTOGRAM_HH
+#define PIFT_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pift::stats
+{
+
+/** Dense histogram over the integer domain [0, maxValue] + overflow. */
+class Histogram
+{
+  public:
+    /**
+     * @param max_value largest value tracked exactly; anything above
+     *                  lands in the overflow bucket
+     */
+    explicit Histogram(uint64_t max_value);
+
+    /** Record one sample. */
+    void add(uint64_t value) { add(value, 1); }
+
+    /** Record @p weight samples of @p value at once. */
+    void add(uint64_t value, uint64_t weight);
+
+    /** Number of samples recorded, including overflow. */
+    uint64_t count() const { return total; }
+
+    /** Number of samples that exceeded maxValue. */
+    uint64_t overflow() const { return over; }
+
+    /** Raw count in bucket @p value (must be <= maxValue). */
+    uint64_t at(uint64_t value) const;
+
+    /** Largest tracked value. */
+    uint64_t maxValue() const { return buckets.size() - 1; }
+
+    /** Probability mass of bucket @p value; 0 if no samples yet. */
+    double probability(uint64_t value) const;
+
+    /** Cumulative probability of values <= @p value. */
+    double cdf(uint64_t value) const;
+
+    /** Arithmetic mean of the in-range samples. */
+    double mean() const;
+
+    /** Smallest v such that cdf(v) >= @p q, or maxValue+1 if none. */
+    uint64_t quantile(double q) const;
+
+    /** Merge another histogram of identical geometry into this one. */
+    void merge(const Histogram &other);
+
+    /** Drop all samples. */
+    void clear();
+
+  private:
+    std::vector<uint64_t> buckets;
+    uint64_t total = 0;
+    uint64_t over = 0;
+    uint64_t in_range_sum = 0;
+};
+
+} // namespace pift::stats
+
+#endif // PIFT_STATS_HISTOGRAM_HH

@@ -1,0 +1,115 @@
+#include "stats/render.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace pift::stats
+{
+
+namespace
+{
+
+std::string
+formatCell(const char *fmt, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+}
+
+} // anonymous namespace
+
+void
+renderDistribution(std::ostream &os, const std::string &title,
+                   const Histogram &h, uint64_t limit)
+{
+    os << "== " << title << " ==\n";
+    os << "samples: " << h.count()
+       << "  mean: " << formatCell("%.3f", h.mean())
+       << "  overflow(>" << std::min(limit, h.maxValue()) << "): "
+       << formatCell("%.4f",
+                     h.count() ? 1.0 - h.cdf(std::min(limit, h.maxValue()))
+                               : 0.0)
+       << "\n";
+    os << "value     count       prob     cdf\n";
+    for (uint64_t v = 0; v <= limit && v <= h.maxValue(); ++v) {
+        double p = h.probability(v);
+        os << formatCell("%5.0f", static_cast<double>(v)) << " "
+           << formatCell("%9.0f", static_cast<double>(h.at(v))) << " "
+           << formatCell("%10.4f", p) << " "
+           << formatCell("%7.4f", h.cdf(v)) << "  ";
+        int bar = static_cast<int>(p * 60.0 + 0.5);
+        for (int i = 0; i < bar; ++i)
+            os << '#';
+        os << "\n";
+    }
+}
+
+void
+renderDistributionCsv(std::ostream &os, const Histogram &h, uint64_t limit)
+{
+    os << "value,count,probability,cdf\n";
+    for (uint64_t v = 0; v <= limit && v <= h.maxValue(); ++v) {
+        os << v << "," << h.at(v) << ","
+           << formatCell("%.6f", h.probability(v)) << ","
+           << formatCell("%.6f", h.cdf(v)) << "\n";
+    }
+}
+
+void
+renderHeatMap(std::ostream &os, const std::string &title,
+              const HeatMap &map, const char *cell_fmt)
+{
+    os << "== " << title << " ==\n";
+    os << map.rowName() << " (rows) x " << map.colName() << " (cols)\n";
+    os << "      ";
+    for (int c = map.colLo(); c <= map.colHi(); ++c)
+        os << formatCell("%8.0f", static_cast<double>(c));
+    os << "\n";
+    for (int r = map.rowHi(); r >= map.rowLo(); --r) {
+        os << formatCell("%5.0f", static_cast<double>(r)) << " ";
+        for (int c = map.colLo(); c <= map.colHi(); ++c)
+            os << formatCell(cell_fmt, map.at(r, c));
+        os << "\n";
+    }
+}
+
+void
+renderHeatMapCsv(std::ostream &os, const HeatMap &map)
+{
+    os << map.rowName() << "," << map.colName() << ",value\n";
+    for (int r = map.rowLo(); r <= map.rowHi(); ++r)
+        for (int c = map.colLo(); c <= map.colHi(); ++c)
+            os << r << "," << c << ","
+               << formatCell("%.6g", map.at(r, c)) << "\n";
+}
+
+void
+renderTimeSeries(std::ostream &os, const std::string &title,
+                 const std::vector<std::string> &names,
+                 const std::vector<const TimeSeries *> &series,
+                 SeqNum horizon, size_t points)
+{
+    pift_assert(names.size() == series.size(),
+                "time series name/series mismatch");
+    os << "== " << title << " ==\n";
+    os << "instructions";
+    for (const auto &n : names)
+        os << "," << n;
+    os << "\n";
+    for (size_t i = 0; i < points; ++i) {
+        SeqNum seq = points == 1
+            ? horizon
+            : static_cast<SeqNum>(
+                  static_cast<double>(horizon) * static_cast<double>(i)
+                  / static_cast<double>(points - 1));
+        os << seq;
+        for (const auto *s : series)
+            os << "," << formatCell("%.6g", s->valueAt(seq));
+        os << "\n";
+    }
+}
+
+} // namespace pift::stats

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Text renderers for the statistics containers.
+ *
+ * Every bench prints its figure/table both as a human-readable ASCII
+ * block (so `./bench_*` output can be eyeballed against the paper) and
+ * as CSV rows (so the data can be re-plotted). These helpers keep the
+ * formatting consistent across benches.
+ */
+
+#ifndef PIFT_STATS_RENDER_HH
+#define PIFT_STATS_RENDER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "stats/heatmap.hh"
+#include "stats/histogram.hh"
+#include "stats/timeseries.hh"
+
+namespace pift::stats
+{
+
+/**
+ * Print a histogram as a probability/CDF table plus ASCII bars,
+ * covering the domain [0, limit].
+ *
+ * @param os destination stream
+ * @param title heading for the block
+ * @param h histogram to print
+ * @param limit last value row to print
+ */
+void renderDistribution(std::ostream &os, const std::string &title,
+                        const Histogram &h, uint64_t limit);
+
+/** Print a histogram as `value,count,probability,cdf` CSV rows. */
+void renderDistributionCsv(std::ostream &os, const Histogram &h,
+                           uint64_t limit);
+
+/**
+ * Print a heat map as a column-labelled matrix with a fixed cell
+ * format (printf-style @p cell_fmt applied to each double).
+ */
+void renderHeatMap(std::ostream &os, const std::string &title,
+                   const HeatMap &map, const char *cell_fmt = "%8.1f");
+
+/** Print a heat map as `row,col,value` CSV rows. */
+void renderHeatMapCsv(std::ostream &os, const HeatMap &map);
+
+/**
+ * Print several time series side by side, downsampled to @p points
+ * rows over [0, horizon].
+ *
+ * @param os destination stream
+ * @param title heading for the block
+ * @param names one label per series
+ * @param series the series, parallel to @p names
+ * @param horizon end of the time axis
+ * @param points number of rows to print
+ */
+void renderTimeSeries(std::ostream &os, const std::string &title,
+                      const std::vector<std::string> &names,
+                      const std::vector<const TimeSeries *> &series,
+                      SeqNum horizon, size_t points);
+
+} // namespace pift::stats
+
+#endif // PIFT_STATS_RENDER_HH

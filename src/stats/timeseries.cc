@@ -1,0 +1,68 @@
+#include "stats/timeseries.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace pift::stats
+{
+
+void
+TimeSeries::record(SeqNum seq, double value)
+{
+    pift_assert(samples.empty() || samples.back().seq <= seq,
+                "time series sequence went backwards");
+    // Collapse repeated samples at the same instant: last writer wins.
+    if (!samples.empty() && samples.back().seq == seq) {
+        samples.back().value = value;
+        return;
+    }
+    samples.push_back({seq, value});
+}
+
+double
+TimeSeries::maxValue() const
+{
+    double m = 0.0;
+    for (const auto &p : samples)
+        m = std::max(m, p.value);
+    return m;
+}
+
+double
+TimeSeries::lastValue() const
+{
+    return samples.empty() ? 0.0 : samples.back().value;
+}
+
+double
+TimeSeries::valueAt(SeqNum seq) const
+{
+    // Find the last sample with sample.seq <= seq.
+    auto it = std::upper_bound(
+        samples.begin(), samples.end(), seq,
+        [](SeqNum s, const TimePoint &p) { return s < p.seq; });
+    if (it == samples.begin())
+        return 0.0;
+    return std::prev(it)->value;
+}
+
+std::vector<TimePoint>
+TimeSeries::downsample(size_t max_points, SeqNum horizon) const
+{
+    std::vector<TimePoint> out;
+    if (max_points == 0)
+        return out;
+    out.reserve(max_points);
+    for (size_t i = 0; i < max_points; ++i) {
+        SeqNum seq = max_points == 1
+            ? horizon
+            : static_cast<SeqNum>(
+                  static_cast<double>(horizon) * static_cast<double>(i)
+                  / static_cast<double>(max_points - 1));
+        out.push_back({seq, valueAt(seq)});
+    }
+    return out;
+}
+
+} // namespace pift::stats

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sampled time series keyed by instruction sequence number.
+ *
+ * Figures 15 and 16 plot a metric (tainted bytes, cumulative taint
+ * operations) against execution time measured in retired instructions.
+ * The series records (seq, value) points; downsample() thins it to a
+ * fixed number of plot points for table output.
+ */
+
+#ifndef PIFT_STATS_TIMESERIES_HH
+#define PIFT_STATS_TIMESERIES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace pift::stats
+{
+
+/** One observation on the instruction-time axis. */
+struct TimePoint
+{
+    SeqNum seq;
+    double value;
+};
+
+/** Append-only series of (instruction count, metric) samples. */
+class TimeSeries
+{
+  public:
+    /** Record @p value at instruction @p seq (seq must not decrease). */
+    void record(SeqNum seq, double value);
+
+    const std::vector<TimePoint> &points() const { return samples; }
+
+    bool empty() const { return samples.empty(); }
+
+    /** Largest recorded value (0 if empty). */
+    double maxValue() const;
+
+    /** Final recorded value (0 if empty). */
+    double lastValue() const;
+
+    /**
+     * Value in effect at instruction @p seq: the value of the latest
+     * sample at or before @p seq (0 before the first sample).
+     */
+    double valueAt(SeqNum seq) const;
+
+    /**
+     * Reduce to at most @p max_points evenly spaced samples over
+     * [0, horizon], carrying the step-function value at each position.
+     *
+     * @param max_points number of output samples
+     * @param horizon end of the time axis (e.g. trace length)
+     */
+    std::vector<TimePoint> downsample(size_t max_points,
+                                      SeqNum horizon) const;
+
+  private:
+    std::vector<TimePoint> samples;
+};
+
+} // namespace pift::stats
+
+#endif // PIFT_STATS_TIMESERIES_HH

@@ -1,0 +1,68 @@
+#include "support/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pift
+{
+
+namespace
+{
+
+std::atomic<uint64_t> warn_count{0};
+std::atomic<bool> quiet{false};
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+void
+logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
+{
+    if (level == LogLevel::Inform && quiet.load(std::memory_order_relaxed))
+        return;
+    if (level == LogLevel::Warn)
+        warn_count.fetch_add(1, std::memory_order_relaxed);
+
+    FILE *out = level == LogLevel::Inform ? stdout : stderr;
+    std::fprintf(out, "%s: ", levelTag(level));
+
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(out, fmt, ap);
+    va_end(ap);
+
+    if (level != LogLevel::Inform)
+        std::fprintf(out, " (%s:%d)", file, line);
+    std::fprintf(out, "\n");
+
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    if (level == LogLevel::Panic)
+        std::abort();
+}
+
+uint64_t
+warnCount()
+{
+    return warn_count.load(std::memory_order_relaxed);
+}
+
+void
+setQuiet(bool q)
+{
+    quiet.store(q, std::memory_order_relaxed);
+}
+
+} // namespace pift

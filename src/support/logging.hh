@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * panic()  - an internal invariant was violated (a PIFT bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is off but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef PIFT_SUPPORT_LOGGING_HH
+#define PIFT_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pift
+{
+
+/** Severity classes understood by the log backend. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Route a formatted message to the log backend. Fatal exits the process
+ * with status 1; Panic aborts (core-dump friendly). Not expected to be
+ * called directly; use the macros below so file/line are captured.
+ *
+ * @param level severity of the message
+ * @param file source file of the call site
+ * @param line source line of the call site
+ * @param fmt printf-style format string
+ */
+[[gnu::format(printf, 4, 5)]]
+void logMessage(LogLevel level, const char *file, int line,
+                const char *fmt, ...);
+
+/**
+ * Number of warnings emitted so far (used by tests to assert
+ * warning-free runs).
+ */
+uint64_t warnCount();
+
+/**
+ * Redirect informational output. Benches use this to silence module
+ * chatter while printing machine-readable tables.
+ *
+ * @param quiet when true, inform() messages are dropped
+ */
+void setQuiet(bool quiet);
+
+} // namespace pift
+
+#define pift_panic(...) \
+    ::pift::logMessage(::pift::LogLevel::Panic, __FILE__, __LINE__, \
+                       __VA_ARGS__)
+#define pift_fatal(...) \
+    ::pift::logMessage(::pift::LogLevel::Fatal, __FILE__, __LINE__, \
+                       __VA_ARGS__)
+#define pift_warn(...) \
+    ::pift::logMessage(::pift::LogLevel::Warn, __FILE__, __LINE__, \
+                       __VA_ARGS__)
+#define pift_inform(...) \
+    ::pift::logMessage(::pift::LogLevel::Inform, __FILE__, __LINE__, \
+                       __VA_ARGS__)
+
+/** Invariant check that survives NDEBUG builds. */
+#define pift_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::pift::logMessage(::pift::LogLevel::Panic, __FILE__, \
+                               __LINE__, __VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // PIFT_SUPPORT_LOGGING_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Everything in this reproduction must be bit-for-bit repeatable across
+ * runs (traces feed parameter sweeps that are compared against recorded
+ * expectations), so all randomness flows through this splitmix64-based
+ * generator with explicit seeding. Never use std::rand or
+ * std::random_device in simulation code.
+ */
+
+#ifndef PIFT_SUPPORT_RNG_HH
+#define PIFT_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace pift
+{
+
+/** Small, fast, deterministic RNG (splitmix64). */
+class Rng
+{
+  public:
+    /** @param seed initial state; equal seeds give equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @param bound must be non-zero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace pift
+
+#endif // PIFT_SUPPORT_RNG_HH

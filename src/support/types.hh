@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every PIFT module.
+ *
+ * The simulated machine is a 32-bit ARM-like device (the paper targets
+ * ARMv7 Android handsets), so simulated addresses are 32 bits wide. We
+ * still pass them around as plain integers rather than a wrapper type;
+ * the AddrRange type in taint/ provides the structured view.
+ */
+
+#ifndef PIFT_SUPPORT_TYPES_HH
+#define PIFT_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace pift
+{
+
+/** A simulated physical/virtual address on the 32-bit target. */
+using Addr = uint32_t;
+
+/** Process identifier as seen by the PIFT hardware front-end (TTBR/PID). */
+using ProcId = uint32_t;
+
+/** Monotonic per-CPU retired-instruction sequence number. */
+using SeqNum = uint64_t;
+
+/** Register index on the simulated CPU (r0..r15). */
+using RegIndex = uint8_t;
+
+/** Sentinel register index meaning "no register operand". */
+inline constexpr RegIndex no_reg = 0xff;
+
+} // namespace pift
+
+#endif // PIFT_SUPPORT_TYPES_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Inclusive address range, the unit of taint in PIFT.
+ *
+ * The paper defines a tainted range r_i = [s_i, e_i] with s_i and e_i
+ * the start and end addresses, and the overlap test
+ * max(s_i, s_L) <= min(e_i, e_L) (Section 3.2). Ranges here are
+ * inclusive on both ends to match.
+ */
+
+#ifndef PIFT_TAINT_ADDR_RANGE_HH
+#define PIFT_TAINT_ADDR_RANGE_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace pift::taint
+{
+
+/** Inclusive byte range [start, end] in the simulated address space. */
+struct AddrRange
+{
+    Addr start = 1;
+    Addr end = 0;   //!< default-constructed range is invalid/empty
+
+    AddrRange() = default;
+    AddrRange(Addr s, Addr e) : start(s), end(e) {}
+
+    /** Build from a start address and a byte count (> 0). */
+    static AddrRange
+    fromSize(Addr s, Addr bytes)
+    {
+        return AddrRange(s, s + bytes - 1);
+    }
+
+    bool valid() const { return start <= end; }
+
+    /** Number of bytes covered (0 for invalid ranges). */
+    uint64_t
+    bytes() const
+    {
+        return valid()
+            ? static_cast<uint64_t>(end) - static_cast<uint64_t>(start)
+                + 1
+            : 0;
+    }
+
+    /** The paper's overlap condition: max(s,sL) <= min(e,eL). */
+    bool
+    overlaps(const AddrRange &other) const
+    {
+        return valid() && other.valid() &&
+            std::max(start, other.start) <= std::min(end, other.end);
+    }
+
+    bool contains(Addr a) const { return valid() && a >= start && a <= end; }
+
+    /** True when @p other lies fully within this range. */
+    bool
+    covers(const AddrRange &other) const
+    {
+        return valid() && other.valid() && start <= other.start &&
+            other.end <= end;
+    }
+
+    /** True when the two ranges overlap or touch (end+1 == start). */
+    bool
+    touches(const AddrRange &other) const
+    {
+        if (overlaps(other))
+            return true;
+        if (!valid() || !other.valid())
+            return false;
+        return (end != ~Addr(0) && end + 1 == other.start) ||
+            (other.end != ~Addr(0) && other.end + 1 == start);
+    }
+
+    bool
+    operator==(const AddrRange &other) const
+    {
+        return start == other.start && end == other.end;
+    }
+};
+
+} // namespace pift::taint
+
+#endif // PIFT_TAINT_ADDR_RANGE_HH

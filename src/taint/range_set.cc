@@ -1,0 +1,127 @@
+#include "taint/range_set.hh"
+
+#include "support/logging.hh"
+
+namespace pift::taint
+{
+
+bool
+RangeSet::overlaps(const AddrRange &r) const
+{
+    if (!r.valid() || ranges_.empty())
+        return false;
+    // First range starting after r.start; its predecessor is the only
+    // candidate that could contain r.start.
+    auto it = ranges_.upper_bound(r.start);
+    if (it != ranges_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= r.start)
+            return true;
+    }
+    // Otherwise a range starting inside (r.start, r.end] overlaps.
+    return it != ranges_.end() && it->first <= r.end;
+}
+
+bool
+RangeSet::insert(const AddrRange &r)
+{
+    if (!r.valid())
+        return false;
+
+    Addr new_start = r.start;
+    Addr new_end = r.end;
+    uint64_t absorbed = 0;
+
+    // Find the first range that could merge: the predecessor of the
+    // insertion point if it overlaps or is adjacent, else the
+    // insertion point itself.
+    auto it = ranges_.upper_bound(new_start);
+    if (it != ranges_.begin()) {
+        auto prev = std::prev(it);
+        Addr prev_end = prev->second;
+        if (prev_end >= new_start ||
+            (new_start > 0 && prev_end == new_start - 1)) {
+            it = prev;
+        }
+    }
+
+    // Absorb every range that overlaps or touches [new_start,new_end].
+    while (it != ranges_.end()) {
+        AddrRange cur(it->first, it->second);
+        if (!cur.touches(AddrRange(new_start, new_end)))
+            break;
+        new_start = std::min(new_start, cur.start);
+        new_end = std::max(new_end, cur.end);
+        absorbed += cur.bytes();
+        it = ranges_.erase(it);
+    }
+
+    ranges_.emplace(new_start, new_end);
+    uint64_t merged_bytes = AddrRange(new_start, new_end).bytes();
+    nbytes += merged_bytes - absorbed;
+    // Ranges are disjoint and non-adjacent, so a no-new-bytes insert
+    // can only have absorbed exactly one identical-coverage range:
+    // the set is unchanged iff no byte is newly covered.
+    return merged_bytes > absorbed;
+}
+
+bool
+RangeSet::remove(const AddrRange &r)
+{
+    if (!r.valid() || ranges_.empty())
+        return false;
+
+    bool changed = false;
+
+    auto it = ranges_.upper_bound(r.start);
+    if (it != ranges_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= r.start)
+            it = prev;
+    }
+
+    while (it != ranges_.end() && it->first <= r.end) {
+        AddrRange cur(it->first, it->second);
+        if (!cur.overlaps(r)) {
+            ++it;
+            continue;
+        }
+        changed = true;
+        it = ranges_.erase(it);
+        nbytes -= cur.bytes();
+        // Keep the left remainder, if any.
+        if (cur.start < r.start) {
+            AddrRange left(cur.start, r.start - 1);
+            ranges_.emplace(left.start, left.end);
+            nbytes += left.bytes();
+        }
+        // Keep the right remainder, if any, and stop (nothing after
+        // cur can overlap r if cur extended past r.end).
+        if (cur.end > r.end) {
+            AddrRange right(r.end + 1, cur.end);
+            it = ranges_.emplace(right.start, right.end).first;
+            nbytes += right.bytes();
+            break;
+        }
+    }
+    return changed;
+}
+
+void
+RangeSet::clear()
+{
+    ranges_.clear();
+    nbytes = 0;
+}
+
+std::vector<AddrRange>
+RangeSet::ranges() const
+{
+    std::vector<AddrRange> out;
+    out.reserve(ranges_.size());
+    for (const auto &[s, e] : ranges_)
+        out.emplace_back(s, e);
+    return out;
+}
+
+} // namespace pift::taint

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Disjoint set of tainted address ranges.
+ *
+ * This is the reference ("ideal", unbounded) taint store: an ordered
+ * map of non-overlapping, non-adjacent inclusive ranges with O(log n)
+ * overlap queries, insert-with-merge, and remove-with-split. The PIFT
+ * hardware module models a bounded cache of the same ranges; tests
+ * check the two agree when the cache is large enough.
+ *
+ * Adjacent ranges are coalesced on insert, matching the paper's
+ * arbitrary-length range entries (a string copy that stores 2 bytes at
+ * a time must appear as one range, or the Figure 17 distinct-range
+ * counts could not stay below 100).
+ */
+
+#ifndef PIFT_TAINT_RANGE_SET_HH
+#define PIFT_TAINT_RANGE_SET_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "taint/addr_range.hh"
+
+namespace pift::taint
+{
+
+/** Ordered, coalescing set of disjoint inclusive address ranges. */
+class RangeSet
+{
+  public:
+    /** True when @p r overlaps any member range. */
+    bool overlaps(const AddrRange &r) const;
+
+    /** True when @p a lies inside a member range. */
+    bool contains(Addr a) const { return overlaps(AddrRange(a, a)); }
+
+    /**
+     * Add @p r, merging with any overlapping or adjacent ranges.
+     * @return true when the set changed (some byte was newly covered
+     *         or ranges were restructured by the merge)
+     */
+    bool insert(const AddrRange &r);
+
+    /**
+     * Remove every byte of @p r, splitting member ranges as needed.
+     * @return true when the set changed
+     */
+    bool remove(const AddrRange &r);
+
+    void clear();
+
+    /** Number of disjoint ranges currently held. */
+    size_t rangeCount() const { return ranges_.size(); }
+
+    /** Total bytes covered (maintained incrementally; O(1)). */
+    uint64_t bytes() const { return nbytes; }
+
+    bool empty() const { return ranges_.empty(); }
+
+    /** Snapshot of the ranges in ascending order. */
+    std::vector<AddrRange> ranges() const;
+
+  private:
+    // start -> end (inclusive); invariants: disjoint, non-adjacent.
+    std::map<Addr, Addr> ranges_;
+    uint64_t nbytes = 0;
+};
+
+} // namespace pift::taint
+
+#endif // PIFT_TAINT_RANGE_SET_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the bytecode definition and the method builder:
+ * format metadata, encoding layouts, label fixups, the Dex registry
+ * and the Table 1 distance annotations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dalvik/bytecode.hh"
+#include "dalvik/method.hh"
+
+using namespace pift;
+using namespace pift::dalvik;
+
+TEST(Bytecode, EveryOpcodeHasFormatNameAndUnits)
+{
+    for (unsigned op = 0; op < num_bytecodes; ++op) {
+        Bc bc = static_cast<Bc>(op);
+        EXPECT_STRNE(bcName(bc), "?") << op;
+        unsigned units = unitCount(bc);
+        EXPECT_GE(units, 1u) << bcName(bc);
+        EXPECT_LE(units, 3u) << bcName(bc);
+    }
+}
+
+TEST(Bytecode, FormatUnitCounts)
+{
+    EXPECT_EQ(unitCount(Bc::Nop), 1u);
+    EXPECT_EQ(unitCount(Bc::Move), 1u);
+    EXPECT_EQ(unitCount(Bc::Const16), 2u);
+    EXPECT_EQ(unitCount(Bc::Aget), 2u);
+    EXPECT_EQ(unitCount(Bc::IfEq), 2u);
+    EXPECT_EQ(unitCount(Bc::InvokeStatic), 3u);
+}
+
+TEST(Bytecode, Table1Annotations)
+{
+    // The key rows of Table 1.
+    EXPECT_EQ(expectedDistance(Bc::Return), 1);
+    EXPECT_EQ(expectedDistance(Bc::MoveResult), 2);
+    EXPECT_EQ(expectedDistance(Bc::Aget), 2);
+    EXPECT_EQ(expectedDistance(Bc::Move), 3);
+    EXPECT_EQ(expectedDistance(Bc::SgetObject), 3);
+    EXPECT_EQ(expectedDistance(Bc::Iput), 4);
+    EXPECT_EQ(expectedDistance(Bc::Iget), 5);
+    EXPECT_EQ(expectedDistance(Bc::AddIntLit8), 5);
+    EXPECT_EQ(expectedDistance(Bc::MulInt2Addr), 5);
+    EXPECT_EQ(expectedDistance(Bc::IntToChar), 6);
+    EXPECT_EQ(expectedDistance(Bc::AputObject), 10);
+    EXPECT_EQ(expectedDistance(Bc::MulLong), 10);
+    EXPECT_EQ(expectedDistance(Bc::DivInt), -2);
+    EXPECT_EQ(expectedDistance(Bc::AddFloat2Addr), -2);
+    EXPECT_EQ(expectedDistance(Bc::Goto), -1);
+    EXPECT_EQ(expectedDistance(Bc::InvokeVirtual), -1);
+    EXPECT_EQ(movesData(Bc::Move), true);
+    EXPECT_EQ(movesData(Bc::Nop), false);
+}
+
+TEST(MethodBuilderTest, EncodingLayouts)
+{
+    MethodBuilder b("enc", 16, 0);
+    b.move(3, 4);                 // F12x: op | A<<8 | B<<12
+    b.const4(2, -3);              // F11n: signed nibble
+    b.const16(7, -2);             // F21s
+    b.moveFrom16(9, 300);         // F22x
+    b.aget(1, 2, 3);              // F23x
+    b.addIntLit8(1, 2, -5);       // F22b
+    b.iget(3, 4, 8);              // F22c
+    b.invokeStatic(77, 2, 5);     // F3rc
+    Method m = b.finish();
+
+    ASSERT_EQ(m.code.size(), 1u + 1 + 2 + 2 + 2 + 2 + 2 + 3);
+    size_t i = 0;
+    EXPECT_EQ(m.code[i++],
+              static_cast<uint16_t>(Bc::Move) | (3 << 8) | (4 << 12));
+    EXPECT_EQ(m.code[i++],
+              static_cast<uint16_t>(Bc::Const4) | (2 << 8) |
+                  ((static_cast<uint16_t>(-3) & 0xf) << 12));
+    EXPECT_EQ(m.code[i++],
+              static_cast<uint16_t>(Bc::Const16) | (7 << 8));
+    EXPECT_EQ(m.code[i++], static_cast<uint16_t>(-2));
+    EXPECT_EQ(m.code[i++],
+              static_cast<uint16_t>(Bc::MoveFrom16) | (9 << 8));
+    EXPECT_EQ(m.code[i++], 300u);
+    EXPECT_EQ(m.code[i++], static_cast<uint16_t>(Bc::Aget) | (1 << 8));
+    EXPECT_EQ(m.code[i++], 2u | (3 << 8));
+    EXPECT_EQ(m.code[i++],
+              static_cast<uint16_t>(Bc::AddIntLit8) | (1 << 8));
+    EXPECT_EQ(m.code[i++],
+              2u | ((static_cast<uint16_t>(-5) & 0xff) << 8));
+    EXPECT_EQ(m.code[i++],
+              static_cast<uint16_t>(Bc::Iget) | (3 << 8) | (4 << 12));
+    EXPECT_EQ(m.code[i++], 8u);
+    EXPECT_EQ(m.code[i++],
+              static_cast<uint16_t>(Bc::InvokeStatic) | (2 << 8));
+    EXPECT_EQ(m.code[i++], 77u);
+    EXPECT_EQ(m.code[i++], 5u);
+}
+
+TEST(MethodBuilderTest, BranchOffsetsInCodeUnits)
+{
+    MethodBuilder b("branches", 8, 0);
+    b.label("top");            // unit 0
+    b.nop();                   // unit 0
+    b.ifEqz(1, "fwd");         // units 1-2
+    b.gotoLabel("top");        // unit 3
+    b.label("fwd");            // unit 4
+    b.returnVoid();
+    Method m = b.finish();
+
+    // if-eqz at unit 1: offset to unit 4 = +3 in unit1.
+    EXPECT_EQ(m.code[2], 3u);
+    // goto at unit 3: offset to unit 0 = -3 in the high byte.
+    EXPECT_EQ(m.code[3] >> 8, static_cast<uint16_t>(-3) & 0xff);
+}
+
+TEST(MethodBuilderTest, CatchOffsetRecorded)
+{
+    MethodBuilder b("catcher", 8, 0);
+    b.nop();
+    b.nop();
+    b.catchHere();
+    b.returnVoid();
+    Method m = b.finish();
+    EXPECT_EQ(m.catch_offset, 2);
+}
+
+TEST(MethodBuilderTest, DanglingLabelPanics)
+{
+    MethodBuilder b("bad", 8, 0);
+    b.gotoLabel("nowhere");
+    EXPECT_DEATH(b.finish(), "dangling");
+}
+
+TEST(MethodBuilderTest, NibbleRangeChecked)
+{
+    MethodBuilder b("bad2", 32, 0);
+    EXPECT_DEATH(b.move(16, 2), "nibble");
+}
+
+TEST(DexTest, MethodRegistryAndLookup)
+{
+    Dex dex;
+    MethodBuilder b("Cls.method", 4, 1);
+    b.returnValue(3);
+    MethodId id = dex.addMethod(b.finish());
+    EXPECT_EQ(dex.findMethod("Cls.method"), id);
+    EXPECT_EQ(dex.method(id).nregs, 4);
+    EXPECT_DEATH(dex.findMethod("missing"), "unknown method");
+}
+
+TEST(DexTest, DuplicateNamesRejected)
+{
+    Dex dex;
+    MethodBuilder a("dup", 4, 0);
+    a.returnVoid();
+    dex.addMethod(a.finish());
+    MethodBuilder b("dup", 4, 0);
+    b.returnVoid();
+    EXPECT_DEATH(dex.addMethod(b.finish()), "duplicate");
+}
+
+TEST(DexTest, StringPoolInterns)
+{
+    Dex dex;
+    uint16_t a = dex.addString("imei");
+    uint16_t b = dex.addString("phone");
+    uint16_t c = dex.addString("imei");
+    EXPECT_EQ(a, c);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(dex.stringPool().size(), 2u);
+}
+
+TEST(DexTest, WellKnownClasses)
+{
+    Dex dex;
+    EXPECT_EQ(dex.classInfo(dex.stringClass()).elem_bytes, 2u);
+    EXPECT_EQ(dex.classInfo(dex.charArrayClass()).elem_bytes, 2u);
+    EXPECT_EQ(dex.classInfo(dex.intArrayClass()).elem_bytes, 4u);
+    EXPECT_EQ(dex.classInfo(dex.objectClass()).elem_bytes, 0u);
+}
+
+TEST(DexTest, StaticsAllocation)
+{
+    Dex dex;
+    EXPECT_EQ(dex.addStatic("a"), 0u);
+    EXPECT_EQ(dex.addStatic("b"), 1u);
+    EXPECT_EQ(dex.staticCount(), 2u);
+}
+
+TEST(DexTest, NativeRegistration)
+{
+    Dex dex;
+    MethodId id = dex.addNative("nat", 2,
+                                [](Vm &, const NativeCall &) {});
+    EXPECT_TRUE(dex.method(id).is_native);
+    EXPECT_EQ(dex.method(id).nins, 2);
+    EXPECT_TRUE(static_cast<bool>(dex.method(id).native));
+
+    NativeCall call;
+    call.args_base = 0x7000'0010;
+    call.argc = 2;
+    EXPECT_EQ(call.arg_addr(0), 0x7000'0010u);
+    EXPECT_EQ(call.arg_addr(1), 0x7000'0014u);
+}

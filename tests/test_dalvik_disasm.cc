@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the Dalvik disassembler: Figure 7 listing shapes, every
+ * format family, and a decode sweep over every method the whole
+ * benchmark corpus registers (no panic, exact unit accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dalvik/disasm.hh"
+#include "droidbench/app.hh"
+
+using namespace pift;
+using namespace pift::dalvik;
+
+TEST(DalvikDisasm, Figure7BarListing)
+{
+    // int bar(int x, int y) { return 2*x + y; } — the paper's Figure
+    // 7 bytecode panel.
+    MethodBuilder b("bar", 8, 2);
+    b.const4(3, 2)
+        .move(4, 6)
+        .binop2addr(Bc::MulInt2Addr, 3, 4)
+        .move(4, 7)
+        .binop2addr(Bc::AddInt2Addr, 3, 4)
+        .move(0, 3)
+        .returnValue(0);
+    Method m = b.finish();
+    std::string text = disassemble(m);
+    EXPECT_NE(text.find("const/4 v3, #int 2"), std::string::npos);
+    EXPECT_NE(text.find("mul-int/2addr v3, v4"), std::string::npos);
+    EXPECT_NE(text.find("add-int/2addr v3, v4"), std::string::npos);
+    EXPECT_NE(text.find("move v0, v3"), std::string::npos);
+    EXPECT_NE(text.find("return v0"), std::string::npos);
+}
+
+TEST(DalvikDisasm, AllFormatFamilies)
+{
+    MethodBuilder b("formats", 16, 0);
+    b.nop();                              // F10x
+    b.move(1, 2);                         // F12x
+    b.const4(3, -4);                      // F11n
+    b.moveResult(9);                      // F11x
+    b.const16(5, -1000);                  // F21s
+    b.constString(6, 3);                  // F21c
+    b.moveFrom16(7, 300);                 // F22x
+    b.aget(1, 2, 3);                      // F23x
+    b.addIntLit8(4, 5, -6);               // F22b
+    b.iget(1, 2, 8);                      // F22c
+    b.invokeStatic(12, 2, 4);             // F3rc
+    b.label("self");
+    b.ifEqz(1, "self");                   // F21t
+    b.ifEq(1, 2, "self");                 // F22t
+    b.gotoLabel("self");                  // F10t
+    b.returnVoid();
+    Method m = b.finish();
+    std::string text = disassemble(m);
+    EXPECT_NE(text.find("move v1, v2"), std::string::npos);
+    EXPECT_NE(text.find("const/4 v3, #int -4"), std::string::npos);
+    EXPECT_NE(text.find("move-result v9"), std::string::npos);
+    EXPECT_NE(text.find("const/16 v5, #int -1000"),
+              std::string::npos);
+    EXPECT_NE(text.find("const-string v6, @3"), std::string::npos);
+    EXPECT_NE(text.find("move/from16 v7, v300"), std::string::npos);
+    EXPECT_NE(text.find("aget v1, v2, v3"), std::string::npos);
+    EXPECT_NE(text.find("add-int/lit8 v4, v5, #int -6"),
+              std::string::npos);
+    EXPECT_NE(text.find("iget v1, v2, field@8"), std::string::npos);
+    EXPECT_NE(text.find("invoke-static {v4..v5}, method@12"),
+              std::string::npos);
+    // Offsets are relative to the branch's own first unit.
+    EXPECT_NE(text.find("if-eqz v1, +0"), std::string::npos);
+    EXPECT_NE(text.find("if-eq v1, v2, -2"), std::string::npos);
+    EXPECT_NE(text.find("goto -4"), std::string::npos);
+}
+
+TEST(DalvikDisasm, NativeMethodsAnnotated)
+{
+    Dex dex;
+    auto id = dex.addNative("Native.fn", 1,
+                            [](Vm &, const NativeCall &) {});
+    EXPECT_NE(disassemble(dex.method(id)).find("(native)"),
+              std::string::npos);
+}
+
+TEST(DalvikDisasm, WholeCorpusDecodesCleanly)
+{
+    // Every method of every app (plus the runtime library) must
+    // disassemble with exact unit accounting.
+    for (const auto &entry : droidbench::droidBenchApps()) {
+        droidbench::AppContext ctx;
+        entry.declare(ctx);
+        for (MethodId id = 0; id < ctx.dex.methodCount(); ++id) {
+            const Method &m = ctx.dex.method(id);
+            if (m.is_native)
+                continue;
+            std::string text = disassemble(m);
+            EXPECT_FALSE(text.empty()) << m.name;
+            // One listing line per instruction plus the header.
+            size_t lines = std::count(text.begin(), text.end(), '\n');
+            size_t insts = 0;
+            size_t at = 0;
+            while (at < m.code.size()) {
+                unsigned units = 0;
+                disassembleAt(m.code, at, units);
+                at += units;
+                ++insts;
+            }
+            EXPECT_EQ(lines, insts + 1) << m.name;
+        }
+    }
+}

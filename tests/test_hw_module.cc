@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the memory-mapped command-port protocol of the PIFT
+ * hardware module (Section 3.3): register/check/configure/clear
+ * through the port registers, as the kernel-level PIFT Module would
+ * drive them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hw_module.hh"
+#include "core/taint_store.hh"
+#include "support/logging.hh"
+
+using namespace pift;
+using namespace pift::core;
+
+namespace
+{
+
+struct Fixture
+{
+    Fixture() : tracker({13, 3, true}, store), hw(tracker) {}
+
+    /** Drive a full register-range command sequence. */
+    void
+    registerRange(ProcId pid, Addr start, Addr end)
+    {
+        hw.writePort(hw_ports::pid, pid);
+        hw.writePort(hw_ports::start, start);
+        hw.writePort(hw_ports::end, end);
+        hw.writePort(hw_ports::command,
+                     static_cast<uint32_t>(HwCommand::RegisterRange));
+    }
+
+    /** Drive a check command; returns the result register. */
+    uint32_t
+    check(ProcId pid, Addr start, Addr end)
+    {
+        hw.writePort(hw_ports::pid, pid);
+        hw.writePort(hw_ports::start, start);
+        hw.writePort(hw_ports::end, end);
+        hw.writePort(hw_ports::command,
+                     static_cast<uint32_t>(HwCommand::CheckRange));
+        return hw.readPort(hw_ports::result);
+    }
+
+    IdealRangeStore store;
+    PiftTracker tracker;
+    HwModule hw;
+};
+
+} // namespace
+
+TEST(HwModule, RegisterThenCheck)
+{
+    Fixture f;
+    f.registerRange(5, 0x4000, 0x40ff);
+    EXPECT_EQ(f.check(5, 0x4080, 0x4081), 1u);
+    EXPECT_EQ(f.check(5, 0x5000, 0x5001), 0u);
+    EXPECT_EQ(f.check(6, 0x4080, 0x4081), 0u); // wrong pid
+}
+
+TEST(HwModule, OperandRegistersReadBack)
+{
+    Fixture f;
+    f.hw.writePort(hw_ports::start, 0x1234);
+    f.hw.writePort(hw_ports::end, 0x5678);
+    f.hw.writePort(hw_ports::pid, 42);
+    EXPECT_EQ(f.hw.readPort(hw_ports::start), 0x1234u);
+    EXPECT_EQ(f.hw.readPort(hw_ports::end), 0x5678u);
+    EXPECT_EQ(f.hw.readPort(hw_ports::pid), 42u);
+}
+
+TEST(HwModule, ConfigureSetsTrackerParams)
+{
+    Fixture f;
+    f.hw.writePort(hw_ports::ni, 7);
+    f.hw.writePort(hw_ports::nt, 2);
+    f.hw.writePort(hw_ports::untaint, 0);
+    f.hw.writePort(hw_ports::command,
+                   static_cast<uint32_t>(HwCommand::Configure));
+    EXPECT_EQ(f.tracker.params().ni, 7u);
+    EXPECT_EQ(f.tracker.params().nt, 2u);
+    EXPECT_FALSE(f.tracker.params().untaint);
+}
+
+TEST(HwModule, ClearAllDropsTaint)
+{
+    Fixture f;
+    f.registerRange(1, 0x4000, 0x40ff);
+    f.hw.writePort(hw_ports::command,
+                   static_cast<uint32_t>(HwCommand::ClearAll));
+    EXPECT_EQ(f.check(1, 0x4000, 0x40ff), 0u);
+}
+
+TEST(HwModule, ChecksAreRecordedAsSinkResults)
+{
+    Fixture f;
+    f.registerRange(1, 0x4000, 0x40ff);
+    f.check(1, 0x4000, 0x4001);
+    f.check(1, 0x9000, 0x9001);
+    ASSERT_EQ(f.tracker.sinkResults().size(), 2u);
+    EXPECT_TRUE(f.tracker.sinkResults()[0].tainted);
+    EXPECT_FALSE(f.tracker.sinkResults()[1].tainted);
+}
+
+TEST(HwModule, UnknownPortWarnsButSurvives)
+{
+    Fixture f;
+    uint64_t warns = warnCount();
+    f.hw.writePort(0xfc, 1);
+    EXPECT_EQ(f.hw.readPort(0xfc), 0u);
+    EXPECT_GT(warnCount(), warns);
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: instruction metadata, the assembler
+ * (labels, operand factories, program geometry) and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+#include "isa/inst.hh"
+
+using namespace pift;
+using namespace pift::isa;
+
+TEST(InstMeta, LoadStoreClassification)
+{
+    EXPECT_TRUE(isLoad(Op::Ldr));
+    EXPECT_TRUE(isLoad(Op::Ldrh));
+    EXPECT_TRUE(isLoad(Op::Ldrb));
+    EXPECT_TRUE(isLoad(Op::Ldrd));
+    EXPECT_TRUE(isLoad(Op::Ldm));
+    EXPECT_FALSE(isLoad(Op::Str));
+    EXPECT_FALSE(isLoad(Op::Add));
+
+    EXPECT_TRUE(isStore(Op::Str));
+    EXPECT_TRUE(isStore(Op::Strh));
+    EXPECT_TRUE(isStore(Op::Strb));
+    EXPECT_TRUE(isStore(Op::Strd));
+    EXPECT_TRUE(isStore(Op::Stm));
+    EXPECT_FALSE(isStore(Op::Ldr));
+    EXPECT_FALSE(isStore(Op::Mov));
+
+    EXPECT_TRUE(isMem(Op::Ldr));
+    EXPECT_TRUE(isMem(Op::Stm));
+    EXPECT_FALSE(isMem(Op::B));
+}
+
+TEST(InstMeta, TransferBytes)
+{
+    EXPECT_EQ(transferBytes(Op::Ldrb), 1u);
+    EXPECT_EQ(transferBytes(Op::Strb), 1u);
+    EXPECT_EQ(transferBytes(Op::Ldrh), 2u);
+    EXPECT_EQ(transferBytes(Op::Ldr), 4u);
+    EXPECT_EQ(transferBytes(Op::Strd), 8u);
+    EXPECT_EQ(transferBytes(Op::Add), 0u);
+}
+
+TEST(InstMeta, AccessBytesForMultiple)
+{
+    Inst ldm;
+    ldm.op = Op::Ldm;
+    ldm.reg_count = 4;
+    EXPECT_EQ(accessBytes(ldm), 16u);
+
+    Inst ldr;
+    ldr.op = Op::Ldr;
+    EXPECT_EQ(accessBytes(ldr), 4u);
+}
+
+TEST(InstMeta, EveryOpcodeHasAName)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Op::NumOps); ++i) {
+        const char *name = opName(static_cast<Op>(i));
+        EXPECT_STRNE(name, "?") << "opcode " << i;
+    }
+}
+
+TEST(Operands, Factories)
+{
+    Operand2 i = imm(-5);
+    EXPECT_TRUE(i.is_imm);
+    EXPECT_EQ(i.imm, -5);
+
+    Operand2 r = reg(3);
+    EXPECT_FALSE(r.is_imm);
+    EXPECT_EQ(r.reg, 3);
+    EXPECT_EQ(r.shift, ShiftKind::None);
+
+    Operand2 s = regLsl(7, 2);
+    EXPECT_EQ(s.shift, ShiftKind::Lsl);
+    EXPECT_EQ(s.shift_amount, 2);
+
+    EXPECT_EQ(regLsr(7, 12).shift, ShiftKind::Lsr);
+    EXPECT_EQ(regAsr(7, 1).shift, ShiftKind::Asr);
+}
+
+TEST(Operands, MemoryFactories)
+{
+    MemOperand off = memOff(5, 8);
+    EXPECT_EQ(off.base, 5);
+    EXPECT_EQ(off.offset, 8);
+    EXPECT_EQ(off.index, no_reg);
+    EXPECT_EQ(off.writeback, WriteBack::None);
+
+    MemOperand pre = memOff(4, 2, WriteBack::Pre);
+    EXPECT_EQ(pre.writeback, WriteBack::Pre);
+
+    MemOperand idx = memIdx(5, 3, 2);
+    EXPECT_EQ(idx.base, 5);
+    EXPECT_EQ(idx.index, 3);
+    EXPECT_EQ(idx.index_shift, 2);
+}
+
+TEST(Assembler, ProgramGeometry)
+{
+    Assembler a(0x1000);
+    EXPECT_EQ(a.here(), 0x1000u);
+    a.nop().nop().nop();
+    EXPECT_EQ(a.here(), 0x100cu);
+    Program p = a.finish();
+    EXPECT_EQ(p.base, 0x1000u);
+    EXPECT_EQ(p.end(), 0x100cu);
+    EXPECT_TRUE(p.contains(0x1000));
+    EXPECT_TRUE(p.contains(0x1008));
+    EXPECT_FALSE(p.contains(0x100c));
+    EXPECT_FALSE(p.contains(0x1002)); // misaligned
+    EXPECT_FALSE(p.contains(0x0ffc));
+}
+
+TEST(Assembler, LabelsResolveToAbsoluteAddresses)
+{
+    Assembler a(0x2000);
+    a.nop();
+    a.label("target");
+    a.nop();
+    a.b("target");
+    Program p = a.finish();
+    EXPECT_EQ(p.labelAddr("target"), 0x2004u);
+    EXPECT_EQ(p.insts[2].target, 0x2004u);
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Assembler a(0);
+    a.b("fwd");
+    a.nop();
+    a.label("fwd");
+    a.nop();
+    Program p = a.finish();
+    EXPECT_EQ(p.insts[0].target, 8u);
+}
+
+TEST(Assembler, ConditionalAndFlagVariants)
+{
+    Assembler a(0);
+    a.adds(0, 1, imm(1));
+    a.add(0, 1, imm(1), Cond::Eq);
+    a.cmp(2, reg(3));
+    Program p = a.finish();
+    EXPECT_TRUE(p.insts[0].set_flags);
+    EXPECT_EQ(p.insts[1].cond, Cond::Eq);
+    EXPECT_TRUE(p.insts[2].set_flags);
+    EXPECT_EQ(p.insts[2].op, Op::Cmp);
+}
+
+TEST(Assembler, MemoryInstructions)
+{
+    Assembler a(0);
+    a.ldr(1, memIdx(5, 3, 2));
+    a.ldrh(7, memOff(4, 2, WriteBack::Pre));
+    a.strd(0, memOff(9, 0));
+    a.ldm(10, 4, 4);
+    Program p = a.finish();
+    EXPECT_EQ(p.insts[0].op, Op::Ldr);
+    EXPECT_EQ(p.insts[0].mem.index, 3);
+    EXPECT_EQ(p.insts[1].mem.writeback, WriteBack::Pre);
+    EXPECT_EQ(p.insts[2].op, Op::Strd);
+    EXPECT_EQ(p.insts[3].reg_count, 4);
+}
+
+TEST(Disasm, CanonicalForms)
+{
+    Assembler a(0);
+    a.ldr(1, memIdx(5, 3, 2));
+    a.ldrh(7, memOff(4, 2, WriteBack::Pre));
+    a.mul(0, 1, 0);
+    a.add(15, 8, regLsl(12, 7));
+    a.str(0, memIdx(5, 9, 2));
+    a.ubfx(9, 7, 8, 4);
+    a.svc(3);
+    a.bx(14);
+    Program p = a.finish();
+
+    // The Figure 8/9 shapes of the paper.
+    EXPECT_EQ(disassemble(p.insts[0]), "ldr r1, [r5, r3, lsl #2]");
+    EXPECT_EQ(disassemble(p.insts[1]), "ldrh r7, [r4, #2]!");
+    EXPECT_EQ(disassemble(p.insts[2]), "mul r0, r1, r0");
+    EXPECT_EQ(disassemble(p.insts[3]), "add pc, r8, r12, lsl #7");
+    EXPECT_EQ(disassemble(p.insts[4]), "str r0, [r5, r9, lsl #2]");
+    EXPECT_EQ(disassemble(p.insts[5]), "ubfx r9, r7, #8, #4");
+    EXPECT_EQ(disassemble(p.insts[6]), "svc #3");
+    EXPECT_EQ(disassemble(p.insts[7]), "bx lr");
+}
+
+TEST(Disasm, ConditionSuffixes)
+{
+    Assembler a(0);
+    a.b("x", Cond::Ne);
+    a.label("x");
+    a.mov(0, reg(1), Cond::Eq);
+    Program p = a.finish();
+    EXPECT_EQ(disassemble(p.insts[0]), "bne 0x4");
+    EXPECT_EQ(disassemble(p.insts[1]), "moveq r0, r1");
+}
+
+TEST(Disasm, ProgramListing)
+{
+    Assembler a(0x4004c114);
+    a.ldrh(6, memIdx(1, 4, 0));
+    a.adds(3, 3, imm(1));
+    a.strh(6, memIdx(0, 4, 0));
+    Program p = a.finish();
+    std::string text = disassemble(p);
+    EXPECT_NE(text.find("0x4004c114: ldrh r6, [r1, r4]"),
+              std::string::npos);
+    EXPECT_NE(text.find("0x4004c118: adds r3, r3, #1"),
+              std::string::npos);
+    EXPECT_NE(text.find("0x4004c11c: strh r6, [r0, r4]"),
+              std::string::npos);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for simulated memory and the bump allocators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/layout.hh"
+#include "mem/memory.hh"
+
+using namespace pift;
+using mem::BumpAllocator;
+using mem::Memory;
+
+TEST(Memory, ZeroFilledOnFirstTouch)
+{
+    Memory m;
+    EXPECT_EQ(m.read32(0x1234), 0u);
+    EXPECT_EQ(m.read8(0xffff'fff0), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(Memory, ReadWriteWidths)
+{
+    Memory m;
+    m.write8(0x100, 0xab);
+    m.write16(0x200, 0xbeef);
+    m.write32(0x300, 0xdeadbeef);
+    m.write64(0x400, 0x0123456789abcdefull);
+    EXPECT_EQ(m.read8(0x100), 0xab);
+    EXPECT_EQ(m.read16(0x200), 0xbeef);
+    EXPECT_EQ(m.read32(0x300), 0xdeadbeefu);
+    EXPECT_EQ(m.read64(0x400), 0x0123456789abcdefull);
+}
+
+TEST(Memory, LittleEndianByteOrder)
+{
+    Memory m;
+    m.write32(0x100, 0x11223344);
+    EXPECT_EQ(m.read8(0x100), 0x44);
+    EXPECT_EQ(m.read8(0x101), 0x33);
+    EXPECT_EQ(m.read8(0x102), 0x22);
+    EXPECT_EQ(m.read8(0x103), 0x11);
+    EXPECT_EQ(m.read16(0x100), 0x3344);
+    EXPECT_EQ(m.read16(0x102), 0x1122);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory m;
+    Addr boundary = mem::page_bytes - 2;
+    m.write32(boundary, 0xcafef00d);
+    EXPECT_EQ(m.read32(boundary), 0xcafef00du);
+    EXPECT_EQ(m.read16(boundary), 0xf00d);
+    EXPECT_EQ(m.read16(boundary + 2), 0xcafe);
+    EXPECT_EQ(m.pageCount(), 2u);
+}
+
+TEST(Memory, BlockCopy)
+{
+    Memory m;
+    const char data[] = "predictive information flow";
+    m.writeBlock(0x9000, data, sizeof(data));
+    char out[sizeof(data)] = {};
+    m.readBlock(0x9000, out, sizeof(data));
+    EXPECT_STREQ(out, data);
+}
+
+TEST(Memory, String16RoundTrip)
+{
+    Memory m;
+    m.writeString16(0x5000, "IMEI-356938");
+    EXPECT_EQ(m.readString16(0x5000, 11), "IMEI-356938");
+    // Each char is two bytes (Java layout, paper footnote 1).
+    EXPECT_EQ(m.read16(0x5000), static_cast<uint16_t>('I'));
+    EXPECT_EQ(m.read16(0x5002), static_cast<uint16_t>('M'));
+}
+
+TEST(Memory, PartialOverwrite)
+{
+    Memory m;
+    m.write32(0x100, 0xffffffff);
+    m.write8(0x101, 0);
+    EXPECT_EQ(m.read32(0x100), 0xffff00ffu);
+}
+
+TEST(BumpAllocatorTest, SequentialAndAligned)
+{
+    BumpAllocator a(0x1000, 0x1fff);
+    Addr p1 = a.alloc(10, 8);
+    Addr p2 = a.alloc(4, 8);
+    EXPECT_EQ(p1, 0x1000u);
+    EXPECT_EQ(p2, 0x1010u); // 10 rounded up to alignment
+    EXPECT_EQ(p2 % 8, 0u);
+    EXPECT_EQ(a.used(), 0x14u);
+}
+
+TEST(BumpAllocatorTest, RewindIsLifo)
+{
+    BumpAllocator a(0x1000, 0x1fff);
+    Addr mark0 = a.mark();
+    a.alloc(64);
+    Addr mark1 = a.mark();
+    a.alloc(64);
+    a.rewind(mark1);
+    EXPECT_EQ(a.mark(), mark1);
+    a.rewind(mark0);
+    EXPECT_EQ(a.used(), 0u);
+    // Memory can be reused after a rewind.
+    EXPECT_EQ(a.alloc(8), 0x1000u);
+}
+
+TEST(BumpAllocatorTest, ExhaustionPanics)
+{
+    BumpAllocator a(0x1000, 0x10ff);
+    a.alloc(0x80);
+    EXPECT_DEATH(a.alloc(0x100), "exhausted");
+}
+
+TEST(LayoutTest, RegionsAreDisjoint)
+{
+    // The address map assumptions the measurement code relies on:
+    // code/metadata below the heap, frames and thread block above.
+    EXPECT_LT(mem::handler_base, mem::native_base);
+    EXPECT_LT(mem::native_limit, mem::code_base);
+    EXPECT_LT(mem::code_limit, mem::heap_base);
+    EXPECT_LT(mem::metadata_limit, mem::heap_base);
+    EXPECT_LT(mem::heap_limit, mem::frame_base);
+    EXPECT_LT(mem::frame_limit, mem::thread_base);
+    // Handler table: 128-byte slots for up to 256 opcodes fit below
+    // the native region.
+    EXPECT_LE(mem::handler_base + 256 * mem::handler_slot_bytes,
+              mem::native_base);
+}

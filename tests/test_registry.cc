@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Suite-registry invariants: unique names, sane categories, every
+ * app declarable into a fresh context without execution, and the
+ * helper emitters' basic behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "droidbench/app.hh"
+#include "droidbench/helpers.hh"
+
+using namespace pift;
+
+TEST(Registry, NamesAreUniqueAcrossSuiteAndMalware)
+{
+    std::set<std::string> names;
+    for (const auto &entry : droidbench::droidBenchApps())
+        EXPECT_TRUE(names.insert(entry.name).second) << entry.name;
+    for (const auto &entry : droidbench::malwareApps())
+        EXPECT_TRUE(names.insert(entry.name).second) << entry.name;
+}
+
+TEST(Registry, CategoriesCoverThePaperChallenges)
+{
+    // Section 5: "moves data through arrays, lists, callbacks,
+    // exceptions, intents, and obfuscates control flow through method
+    // overriding, reflection, and object inheritance."
+    std::set<std::string> cats;
+    for (const auto &entry : droidbench::droidBenchApps())
+        cats.insert(entry.category);
+    for (const char *want :
+         {"Direct", "ArraysAndLists", "Callbacks", "GeneralJava",
+          "ICC", "Reflection", "FieldSensitivity", "Aliasing",
+          "Strings", "Obfuscation", "AndroidSpecific",
+          "ImplicitFlows", "Benign"}) {
+        EXPECT_TRUE(cats.count(want)) << want;
+    }
+}
+
+TEST(Registry, EveryAppDeclaresWithoutRunning)
+{
+    for (const auto &entry : droidbench::droidBenchApps()) {
+        droidbench::AppContext ctx;
+        dalvik::MethodId main_id = entry.declare(ctx);
+        const auto &m = ctx.dex.method(main_id);
+        EXPECT_FALSE(m.is_native) << entry.name;
+        EXPECT_EQ(m.nins, 0) << entry.name;
+        EXPECT_FALSE(m.code.empty()) << entry.name;
+    }
+}
+
+TEST(Registry, BenignAppsAreExactlyTheBenignCategory)
+{
+    for (const auto &entry : droidbench::droidBenchApps()) {
+        EXPECT_EQ(entry.category == "Benign", !entry.leaks)
+            << entry.name;
+    }
+}
+
+TEST(Helpers, CooldownExecutesManyInstructions)
+{
+    droidbench::AppContext ctx;
+    dalvik::MethodBuilder b("cool.main", droidbench::app_nregs, 0);
+    droidbench::emitCooldown(b, 25, "cd");
+    b.returnVoid();
+    auto id = ctx.dex.addMethod(b.finish());
+    ctx.vm.boot();
+    ctx.vm.execute(id);
+    // Each iteration is several bytecodes of several instructions:
+    // comfortably beyond any tainting window in the sweep grid.
+    EXPECT_GT(ctx.cpu.retired(), 25u * 8);
+}
+
+TEST(Helpers, ConstAndConcatProduceExpectedText)
+{
+    droidbench::AppContext ctx;
+    dalvik::MethodBuilder b("cc.main", droidbench::app_nregs, 0);
+    droidbench::emitConst(ctx, b, 4, "left-");
+    droidbench::emitConst(ctx, b, 5, "right");
+    droidbench::emitConcat(ctx, b, 6, 4, 5);
+    droidbench::emitLog(ctx, b, 6);
+    b.returnVoid();
+    auto id = ctx.dex.addMethod(b.finish());
+    ctx.vm.boot();
+    ctx.vm.execute(id);
+    ASSERT_EQ(ctx.env.sinkCalls().size(), 1u);
+    EXPECT_EQ(ctx.env.sinkCalls()[0].payload, "left-right");
+}
+
+TEST(Helpers, AllThreeSinkEmittersReachTheirSinks)
+{
+    droidbench::AppContext ctx;
+    dalvik::MethodBuilder b("sinks.main", droidbench::app_nregs, 0);
+    droidbench::emitConst(ctx, b, 4, "m");
+    droidbench::emitSms(ctx, b, 4);
+    droidbench::emitHttp(ctx, b, 4);
+    droidbench::emitLog(ctx, b, 4);
+    b.returnVoid();
+    auto id = ctx.dex.addMethod(b.finish());
+    ctx.vm.boot();
+    ctx.vm.execute(id);
+    ASSERT_EQ(ctx.env.sinkCalls().size(), 3u);
+    EXPECT_EQ(ctx.env.sinkCalls()[0].type, android::SinkType::Sms);
+    EXPECT_EQ(ctx.env.sinkCalls()[1].type, android::SinkType::Http);
+    EXPECT_EQ(ctx.env.sinkCalls()[2].type, android::SinkType::Log);
+}

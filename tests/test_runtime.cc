@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Tests for the runtime: heap object model, the native routines
+ * (including the Figure 1 string-copy loop's exact trace shape), and
+ * the Java library methods.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+
+#include "dalvik/vm.hh"
+#include "isa/disasm.hh"
+#include "runtime/heap.hh"
+#include "runtime/library.hh"
+#include "runtime/routines.hh"
+#include "sim/cpu.hh"
+
+using namespace pift;
+using runtime::Heap;
+using runtime::JavaLib;
+using runtime::Ref;
+
+namespace
+{
+
+struct Device
+{
+    Device() : cpu(memory, hub), heap(memory)
+    {
+        hub.addSink(&buffer);
+        lib.install(dex);
+    }
+
+    void
+    boot()
+    {
+        vm.emplace(cpu, dex, heap);
+        vm->boot();
+    }
+
+    mem::Memory memory;
+    sim::EventHub hub;
+    sim::TraceBuffer buffer;
+    sim::Cpu cpu;
+    Heap heap;
+    dalvik::Dex dex;
+    JavaLib lib;
+    std::optional<dalvik::Vm> vm;
+};
+
+} // namespace
+
+TEST(HeapTest, ObjectLayout)
+{
+    mem::Memory memory;
+    Heap heap(memory);
+    Ref obj = heap.allocObject(7, 3);
+    EXPECT_EQ(heap.classOf(obj), 7u);
+    EXPECT_EQ(heap.length(obj), 3u);
+    EXPECT_EQ(heap.fieldAddr(obj, 0), obj + 8);
+    EXPECT_EQ(heap.fieldAddr(obj, 2), obj + 16);
+    EXPECT_EQ(memory.read32(heap.fieldAddr(obj, 1)), 0u);
+}
+
+TEST(HeapTest, StringLayoutTwoBytesPerChar)
+{
+    mem::Memory memory;
+    Heap heap(memory);
+    Ref s = heap.allocString(2, "IMEI");
+    EXPECT_EQ(heap.length(s), 4u);
+    EXPECT_EQ(heap.readString(s), "IMEI");
+    // Paper footnote 1: each character consumes two bytes.
+    taint::AddrRange r = heap.charRange(s);
+    EXPECT_EQ(r.bytes(), 8u);
+    EXPECT_EQ(r.start, heap.dataAddr(s));
+    EXPECT_EQ(heap.charAddr(s, 2), heap.dataAddr(s) + 4);
+}
+
+TEST(HeapTest, EmptyStringHasEmptyRange)
+{
+    mem::Memory memory;
+    Heap heap(memory);
+    Ref s = heap.allocString(2, "");
+    EXPECT_FALSE(heap.charRange(s).valid());
+}
+
+TEST(HeapTest, ArraysZeroInitialized)
+{
+    mem::Memory memory;
+    Heap heap(memory);
+    // Dirty the memory first; allocation must clear it.
+    memory.write32(mem::heap_base + 0x10, 0xffffffff);
+    Heap heap2(memory);
+    Ref arr = heap2.allocArray(3, 8, 4);
+    for (uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(memory.read32(heap2.dataAddr(arr) + 4 * i), 0u);
+}
+
+TEST(Routines, AllEmittedInNativeRegion)
+{
+    runtime::Routines r = runtime::emitRoutines();
+    for (const auto *p : r.all()) {
+        EXPECT_GE(p->base, mem::native_base);
+        EXPECT_LT(p->end(), mem::native_limit);
+    }
+}
+
+TEST(Routines, Figure1CopyLoopShape)
+{
+    // Each character is loaded into a register and then stored to its
+    // destination (Figure 1): the loop body is ldrh / strh.
+    runtime::Routines r = runtime::emitRoutines();
+    const auto &insts = r.string_copy.insts;
+    ASSERT_GE(insts.size(), 4u);
+    EXPECT_EQ(isa::disassemble(insts[0]), "ldrh r6, [r1], #2");
+    EXPECT_EQ(isa::disassemble(insts[1]), "strh r6, [r0], #2");
+    EXPECT_EQ(insts[2].op, isa::Op::Sub);
+    EXPECT_EQ(insts[3].op, isa::Op::B);
+}
+
+TEST(Routines, CharFromWordDistanceIsTen)
+{
+    // The GPS threshold of Figure 11 comes from this routine.
+    runtime::Routines r = runtime::emitRoutines();
+    const auto &insts = r.char_from_word.insts;
+    size_t load = 999, store = 999;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        if (isa::isLoad(insts[i].op) && load == 999)
+            load = i;
+        if (isa::isStore(insts[i].op))
+            store = i;
+    }
+    EXPECT_EQ(store - load, 10u);
+}
+
+TEST(Routines, StringCopyMovesCharsOnCpu)
+{
+    Device d;
+    d.boot();
+    Ref src = d.heap.allocString(d.dex.stringClass(), "hello world");
+    Ref dst = d.heap.allocStringRaw(d.dex.stringClass(), 11);
+    d.vm->runStringCopy(d.heap.dataAddr(dst), d.heap.dataAddr(src),
+                        11);
+    EXPECT_EQ(d.heap.readString(dst), "hello world");
+    // And the trace shows the per-char loads and stores.
+    uint64_t ldrh = 0, strh = 0;
+    for (const auto &rec : d.buffer.trace().records) {
+        ldrh += rec.op == isa::Op::Ldrh &&
+            rec.mem_kind == sim::MemKind::Load;
+        strh += rec.op == isa::Op::Strh;
+    }
+    EXPECT_GE(ldrh, 11u);
+    EXPECT_GE(strh, 11u);
+}
+
+TEST(Routines, WordCopyMovesWordsOnCpu)
+{
+    Device d;
+    d.boot();
+    for (int i = 0; i < 4; ++i)
+        d.memory.write32(0x4100'0000 + 4 * i, 100 + i);
+    d.vm->runWordCopy(0x4200'0000, 0x4100'0000, 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(d.memory.read32(0x4200'0000 + 4 * i),
+                  100u + static_cast<uint32_t>(i));
+}
+
+
+
+TEST(JavaLibTest, StringLengthAndCharAt)
+{
+    Device d;
+    Ref s = 0;
+    {
+        // Strings must exist before boot only if interned; build one
+        // after boot via the heap directly.
+        dalvik::MethodBuilder b("len_driver", 14, 2);
+        b.moveObject(4, 12);
+        b.move(5, 13);
+        b.invokeStatic(d.lib.string_char_at, 2, 4);
+        b.moveResult(0);
+        b.moveObject(4, 12);
+        b.invokeStatic(d.lib.string_length, 1, 4);
+        b.moveResult(1);
+        b.binop(dalvik::Bc::MulInt, 2, 0, 1);
+        b.returnValue(2);
+        auto id = d.dex.addMethod(b.finish());
+        d.boot();
+        s = d.vm->newString("abcdef");
+        EXPECT_EQ(d.vm->execute(id, {s, 2}), 6u * 'c');
+    }
+}
+
+TEST(JavaLibTest, EqualsAndIndexOf)
+{
+    Device d;
+    dalvik::MethodBuilder b("eq_driver", 14, 2);
+    b.moveObject(4, 12);
+    b.moveObject(5, 13);
+    b.invokeStatic(d.lib.string_equals, 2, 4);
+    b.moveResult(0);
+    b.returnValue(0);
+    auto eq = d.dex.addMethod(b.finish());
+
+    dalvik::MethodBuilder b2("idx_driver", 14, 2);
+    b2.moveObject(4, 12);
+    b2.move(5, 13);
+    b2.invokeStatic(d.lib.string_index_of, 2, 4);
+    b2.moveResult(0);
+    b2.returnValue(0);
+    auto idx = d.dex.addMethod(b2.finish());
+
+    d.boot();
+    Ref a = d.vm->newString("droidbench");
+    Ref b_same = d.vm->newString("droidbench");
+    Ref c = d.vm->newString("droidbanch");
+    Ref shorter = d.vm->newString("droid");
+    EXPECT_EQ(d.vm->execute(eq, {a, b_same}), 1u);
+    EXPECT_EQ(d.vm->execute(eq, {a, c}), 0u);
+    EXPECT_EQ(d.vm->execute(eq, {a, shorter}), 0u);
+    EXPECT_EQ(d.vm->execute(idx, {a, 'b'}), 5u);
+    EXPECT_EQ(d.vm->execute(idx, {a, 'z'}),
+              static_cast<uint32_t>(-1));
+}
+
+TEST(JavaLibTest, ConcatAndSubstring)
+{
+    Device d;
+    dalvik::MethodBuilder b("cc_driver", 14, 2);
+    b.moveObject(4, 12);
+    b.moveObject(5, 13);
+    b.invokeStatic(d.lib.string_concat, 2, 4);
+    b.moveResultObject(0);
+    b.moveObject(4, 0);
+    b.const4(5, 3);
+    b.const4(6, 7);
+    b.invokeStatic(d.lib.string_substring, 3, 4);
+    b.moveResultObject(0);
+    b.returnObject(0);
+    auto id = d.dex.addMethod(b.finish());
+    d.boot();
+    Ref a = d.vm->newString("type");
+    Ref bq = d.vm->newString("=sms");
+    Ref out = d.vm->execute(id, {a, bq});
+    EXPECT_EQ(d.vm->readString(out), "e=sm");
+}
+
+TEST(JavaLibTest, StringBuilderAppendGrowToString)
+{
+    Device d;
+    dalvik::MethodBuilder b("sb_driver", 14, 1);
+    b.invokeStatic(d.lib.sb_init, 0, 0);
+    b.moveResultObject(1);
+    b.const4(2, 0);
+    b.label("loop");
+    b.const4(3, 7);
+    b.ifGe(2, 3, "done");
+    b.moveObject(4, 1);
+    b.moveObject(5, 13);
+    b.invokeStatic(d.lib.sb_append, 2, 4);
+    b.addIntLit8(2, 2, 1);
+    b.gotoLabel("loop");
+    b.label("done");
+    b.moveObject(4, 1);
+    b.invokeStatic(d.lib.sb_to_string, 1, 4);
+    b.moveResultObject(0);
+    b.returnObject(0);
+    auto id = d.dex.addMethod(b.finish());
+    d.boot();
+    Ref chunk = d.vm->newString("0123456789"); // 7*10 chars > 64 cap
+    Ref out = d.vm->execute(id, {chunk});
+    std::string expect;
+    for (int i = 0; i < 7; ++i)
+        expect += "0123456789";
+    EXPECT_EQ(d.vm->readString(out), expect);
+}
+
+TEST(JavaLibTest, IntegerConversions)
+{
+    Device d;
+    dalvik::MethodBuilder b("i2s_driver", 14, 1);
+    b.move(4, 13);
+    b.invokeStatic(d.lib.int_to_string, 1, 4);
+    b.moveResultObject(0);
+    b.moveObject(4, 0);
+    b.invokeStatic(d.lib.int_parse, 1, 4);
+    b.moveResult(0);
+    b.returnValue(0);
+    auto id = d.dex.addMethod(b.finish());
+    d.boot();
+    // toString then parseInt must round-trip.
+    EXPECT_EQ(d.vm->execute(id, {98765}), 98765u);
+    EXPECT_EQ(d.vm->execute(id, {static_cast<uint32_t>(-321)}),
+              static_cast<uint32_t>(-321));
+    EXPECT_EQ(d.vm->execute(id, {0}), 0u);
+}
+
+TEST(JavaLibTest, FloatToStringContent)
+{
+    Device d;
+    dalvik::MethodBuilder b("f2s_driver", 14, 1);
+    b.move(4, 13);
+    b.invokeStatic(d.lib.float_to_string, 1, 4);
+    b.moveResultObject(0);
+    b.returnObject(0);
+    auto id = d.dex.addMethod(b.finish());
+    d.boot();
+    float f = 37.4220f;
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    Ref out = d.vm->execute(id, {bits});
+    EXPECT_EQ(d.vm->readString(out), "37.4220");
+}
+
+TEST(JavaLibTest, MathHelpers)
+{
+    Device d;
+    auto driver1 = [&](dalvik::MethodId target, const char *name) {
+        dalvik::MethodBuilder b(name, 14, 1);
+        b.move(4, 13);
+        b.invokeStatic(target, 1, 4);
+        b.moveResult(0);
+        b.returnValue(0);
+        return d.dex.addMethod(b.finish());
+    };
+    auto driver2 = [&](dalvik::MethodId target, const char *name) {
+        dalvik::MethodBuilder b(name, 14, 2);
+        b.move(4, 12);
+        b.move(5, 13);
+        b.invokeStatic(target, 2, 4);
+        b.moveResult(0);
+        b.returnValue(0);
+        return d.dex.addMethod(b.finish());
+    };
+    auto abs_id = driver1(d.lib.math_abs, "abs_d");
+    auto bits_id = driver1(d.lib.int_bit_count, "bits_d");
+    auto max_id = driver2(d.lib.math_max, "max_d");
+    auto min_id = driver2(d.lib.math_min, "min_d");
+    d.boot();
+    EXPECT_EQ(d.vm->execute(abs_id, {static_cast<uint32_t>(-9)}), 9u);
+    EXPECT_EQ(d.vm->execute(abs_id, {9}), 9u);
+    EXPECT_EQ(d.vm->execute(max_id, {3, 11}), 11u);
+    EXPECT_EQ(d.vm->execute(min_id, {3, 11}), 3u);
+    EXPECT_EQ(d.vm->execute(bits_id, {0x2a}), 3u);
+}
+
+TEST(JavaLibTest, HashCodeMatchesJavaAlgorithm)
+{
+    Device d;
+    dalvik::MethodBuilder b("hash_driver", 14, 1);
+    b.moveObject(4, 13);
+    b.invokeStatic(d.lib.string_hash_code, 1, 4);
+    b.moveResult(0);
+    b.returnValue(0);
+    auto id = d.dex.addMethod(b.finish());
+    d.boot();
+    Ref s = d.vm->newString("abc");
+    // h = ('a'*31 + 'b')*31 + 'c'
+    uint32_t expect = ('a' * 31 + 'b') * 31 + 'c';
+    EXPECT_EQ(d.vm->execute(id, {s}), expect);
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the statistics containers and renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/heatmap.hh"
+#include "stats/histogram.hh"
+#include "stats/render.hh"
+#include "stats/timeseries.hh"
+
+using namespace pift;
+using stats::HeatMap;
+using stats::Histogram;
+using stats::TimeSeries;
+
+TEST(Histogram, BasicCounts)
+{
+    Histogram h(10);
+    h.add(3);
+    h.add(3);
+    h.add(7);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.at(3), 2u);
+    EXPECT_EQ(h.at(7), 1u);
+    EXPECT_EQ(h.at(0), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(4);
+    h.add(4);
+    h.add(5);
+    h.add(100);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_DOUBLE_EQ(h.cdf(4), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(h.cdf(1000), 1.0);
+}
+
+TEST(Histogram, Probabilities)
+{
+    Histogram h(10);
+    for (int i = 0; i < 8; ++i)
+        h.add(2);
+    for (int i = 0; i < 2; ++i)
+        h.add(5);
+    EXPECT_DOUBLE_EQ(h.probability(2), 0.8);
+    EXPECT_DOUBLE_EQ(h.probability(5), 0.2);
+    EXPECT_DOUBLE_EQ(h.probability(9), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdf(2), 0.8);
+    EXPECT_DOUBLE_EQ(h.cdf(5), 1.0);
+}
+
+TEST(Histogram, MeanOfInRangeSamples)
+{
+    Histogram h(10);
+    h.add(2);
+    h.add(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    h.add(100); // overflow: excluded from the mean
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h(10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.probability(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdf(10), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(10);
+    h.add(1, 10);
+    h.add(2, 30);
+    EXPECT_EQ(h.count(), 40u);
+    EXPECT_DOUBLE_EQ(h.probability(2), 0.75);
+}
+
+TEST(Histogram, MergeAndClear)
+{
+    Histogram a(8), b(8);
+    a.add(1);
+    b.add(1);
+    b.add(7);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.at(1), 2u);
+    a.clear();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.at(1), 0u);
+}
+
+TEST(Histogram, Quantile)
+{
+    Histogram h(20);
+    for (uint64_t v = 1; v <= 10; ++v)
+        h.add(v);
+    EXPECT_EQ(h.quantile(0.5), 5u);
+    EXPECT_EQ(h.quantile(1.0), 10u);
+}
+
+TEST(HeatMap, SetAndGet)
+{
+    HeatMap m("NT", 1, 3, "NI", 1, 5);
+    m.set(2, 4, 42.5);
+    EXPECT_DOUBLE_EQ(m.at(2, 4), 42.5);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+    EXPECT_DOUBLE_EQ(m.max(), 42.5);
+    EXPECT_DOUBLE_EQ(m.min(), 0.0);
+}
+
+TEST(HeatMap, AxesMetadata)
+{
+    HeatMap m("row", -2, 2, "col", 0, 9);
+    EXPECT_EQ(m.rowLo(), -2);
+    EXPECT_EQ(m.rowHi(), 2);
+    EXPECT_EQ(m.colLo(), 0);
+    EXPECT_EQ(m.colHi(), 9);
+    m.set(-2, 0, 1.0);
+    m.set(2, 9, -3.0);
+    EXPECT_DOUBLE_EQ(m.at(-2, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.min(), -3.0);
+}
+
+TEST(TimeSeries, RecordAndQuery)
+{
+    TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    ts.record(10, 1.0);
+    ts.record(20, 5.0);
+    ts.record(30, 2.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(5), 0.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(10), 1.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(25), 5.0);
+    EXPECT_DOUBLE_EQ(ts.valueAt(1000), 2.0);
+    EXPECT_DOUBLE_EQ(ts.maxValue(), 5.0);
+    EXPECT_DOUBLE_EQ(ts.lastValue(), 2.0);
+}
+
+TEST(TimeSeries, SameInstantCollapses)
+{
+    TimeSeries ts;
+    ts.record(10, 1.0);
+    ts.record(10, 9.0);
+    EXPECT_EQ(ts.points().size(), 1u);
+    EXPECT_DOUBLE_EQ(ts.valueAt(10), 9.0);
+}
+
+TEST(TimeSeries, Downsample)
+{
+    TimeSeries ts;
+    ts.record(0, 0.0);
+    ts.record(50, 10.0);
+    auto pts = ts.downsample(11, 100);
+    ASSERT_EQ(pts.size(), 11u);
+    EXPECT_DOUBLE_EQ(pts[0].value, 0.0);
+    EXPECT_DOUBLE_EQ(pts[5].value, 10.0);  // at seq 50
+    EXPECT_DOUBLE_EQ(pts[10].value, 10.0); // at horizon
+}
+
+TEST(Render, DistributionContainsRows)
+{
+    Histogram h(10);
+    h.add(1);
+    h.add(1);
+    h.add(2);
+    std::ostringstream os;
+    stats::renderDistribution(os, "test dist", h, 5);
+    std::string text = os.str();
+    EXPECT_NE(text.find("test dist"), std::string::npos);
+    EXPECT_NE(text.find("0.6667"), std::string::npos);
+}
+
+TEST(Render, HeatMapCsvShape)
+{
+    HeatMap m("NT", 1, 2, "NI", 1, 3);
+    m.set(1, 1, 7);
+    std::ostringstream os;
+    stats::renderHeatMapCsv(os, m);
+    std::string text = os.str();
+    // header + 6 cells
+    size_t lines = std::count(text.begin(), text.end(), '\n');
+    EXPECT_EQ(lines, 7u);
+    EXPECT_NE(text.find("1,1,7"), std::string::npos);
+}
+
+TEST(Render, TimeSeriesTable)
+{
+    TimeSeries a, b;
+    a.record(0, 1.0);
+    b.record(0, 2.0);
+    std::ostringstream os;
+    stats::renderTimeSeries(os, "t", {"a", "b"}, {&a, &b}, 100, 3);
+    std::string text = os.str();
+    EXPECT_NE(text.find("instructions,a,b"), std::string::npos);
+    EXPECT_NE(text.find("100,1,2"), std::string::npos);
+}

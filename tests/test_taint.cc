@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit and property tests for AddrRange and the coalescing RangeSet.
+ * The property tests drive a RangeSet and a naive per-byte model with
+ * the same random operation stream and require identical answers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.hh"
+#include "taint/addr_range.hh"
+#include "taint/range_set.hh"
+
+using namespace pift;
+using taint::AddrRange;
+using taint::RangeSet;
+
+TEST(AddrRangeTest, Basics)
+{
+    AddrRange r(10, 19);
+    EXPECT_TRUE(r.valid());
+    EXPECT_EQ(r.bytes(), 10u);
+    EXPECT_TRUE(r.contains(10));
+    EXPECT_TRUE(r.contains(19));
+    EXPECT_FALSE(r.contains(20));
+
+    AddrRange empty;
+    EXPECT_FALSE(empty.valid());
+    EXPECT_EQ(empty.bytes(), 0u);
+}
+
+TEST(AddrRangeTest, FromSize)
+{
+    AddrRange r = AddrRange::fromSize(0x100, 4);
+    EXPECT_EQ(r.start, 0x100u);
+    EXPECT_EQ(r.end, 0x103u);
+}
+
+TEST(AddrRangeTest, PaperOverlapCondition)
+{
+    // max(s_i, s_L) <= min(e_i, e_L)
+    EXPECT_TRUE(AddrRange(0, 10).overlaps(AddrRange(10, 20)));
+    EXPECT_TRUE(AddrRange(5, 7).overlaps(AddrRange(0, 100)));
+    EXPECT_TRUE(AddrRange(0, 100).overlaps(AddrRange(5, 7)));
+    EXPECT_FALSE(AddrRange(0, 9).overlaps(AddrRange(10, 20)));
+    EXPECT_FALSE(AddrRange(21, 30).overlaps(AddrRange(10, 20)));
+    EXPECT_FALSE(AddrRange().overlaps(AddrRange(0, 100)));
+}
+
+TEST(AddrRangeTest, TouchesIncludesAdjacency)
+{
+    EXPECT_TRUE(AddrRange(0, 9).touches(AddrRange(10, 20)));
+    EXPECT_TRUE(AddrRange(10, 20).touches(AddrRange(0, 9)));
+    EXPECT_FALSE(AddrRange(0, 8).touches(AddrRange(10, 20)));
+    // No wrap-around at the top of the address space.
+    AddrRange top(0xffff'fff0, 0xffff'ffff);
+    EXPECT_FALSE(top.touches(AddrRange(0, 10)));
+}
+
+TEST(AddrRangeTest, Covers)
+{
+    EXPECT_TRUE(AddrRange(0, 100).covers(AddrRange(10, 20)));
+    EXPECT_TRUE(AddrRange(10, 20).covers(AddrRange(10, 20)));
+    EXPECT_FALSE(AddrRange(10, 20).covers(AddrRange(10, 21)));
+}
+
+TEST(RangeSetTest, InsertAndQuery)
+{
+    RangeSet set;
+    EXPECT_TRUE(set.insert(AddrRange(100, 199)));
+    EXPECT_TRUE(set.overlaps(AddrRange(150, 150)));
+    EXPECT_TRUE(set.overlaps(AddrRange(0, 100)));
+    EXPECT_FALSE(set.overlaps(AddrRange(200, 300)));
+    EXPECT_EQ(set.bytes(), 100u);
+    EXPECT_EQ(set.rangeCount(), 1u);
+}
+
+TEST(RangeSetTest, InsertReturnsChangedOnlyForNewBytes)
+{
+    RangeSet set;
+    EXPECT_TRUE(set.insert(AddrRange(100, 199)));
+    EXPECT_FALSE(set.insert(AddrRange(120, 130))); // fully covered
+    EXPECT_FALSE(set.insert(AddrRange(100, 199))); // identical
+    EXPECT_TRUE(set.insert(AddrRange(150, 250)));  // extends
+    EXPECT_EQ(set.bytes(), 151u);
+}
+
+TEST(RangeSetTest, CoalescesOverlappingAndAdjacent)
+{
+    RangeSet set;
+    set.insert(AddrRange(0, 9));
+    set.insert(AddrRange(20, 29));
+    EXPECT_EQ(set.rangeCount(), 2u);
+    set.insert(AddrRange(10, 19)); // bridges both (adjacent)
+    EXPECT_EQ(set.rangeCount(), 1u);
+    EXPECT_EQ(set.bytes(), 30u);
+    auto ranges = set.ranges();
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0], AddrRange(0, 29));
+}
+
+TEST(RangeSetTest, SequentialStoresMergeIntoOneRange)
+{
+    // The string-copy pattern: 2-byte stores at consecutive addresses
+    // must coalesce, or Figure 17's range counts could not hold.
+    RangeSet set;
+    for (Addr a = 0x1000; a < 0x1000 + 30; a += 2)
+        set.insert(AddrRange(a, a + 1));
+    EXPECT_EQ(set.rangeCount(), 1u);
+    EXPECT_EQ(set.bytes(), 30u);
+}
+
+TEST(RangeSetTest, RemoveSplits)
+{
+    RangeSet set;
+    set.insert(AddrRange(0, 99));
+    EXPECT_TRUE(set.remove(AddrRange(40, 59)));
+    EXPECT_EQ(set.rangeCount(), 2u);
+    EXPECT_EQ(set.bytes(), 80u);
+    EXPECT_TRUE(set.overlaps(AddrRange(39, 39)));
+    EXPECT_FALSE(set.overlaps(AddrRange(40, 59)));
+    EXPECT_TRUE(set.overlaps(AddrRange(60, 60)));
+}
+
+TEST(RangeSetTest, RemoveEdgesAndWhole)
+{
+    RangeSet set;
+    set.insert(AddrRange(10, 19));
+    EXPECT_TRUE(set.remove(AddrRange(10, 12)));
+    EXPECT_EQ(set.ranges()[0], AddrRange(13, 19));
+    EXPECT_TRUE(set.remove(AddrRange(18, 25)));
+    EXPECT_EQ(set.ranges()[0], AddrRange(13, 17));
+    EXPECT_TRUE(set.remove(AddrRange(0, 100)));
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.bytes(), 0u);
+}
+
+TEST(RangeSetTest, RemoveReturnsFalseWhenNothingCovered)
+{
+    RangeSet set;
+    set.insert(AddrRange(10, 19));
+    EXPECT_FALSE(set.remove(AddrRange(30, 40)));
+    EXPECT_FALSE(set.remove(AddrRange(0, 9)));
+    EXPECT_EQ(set.bytes(), 10u);
+}
+
+TEST(RangeSetTest, RemoveSpanningMultipleRanges)
+{
+    RangeSet set;
+    set.insert(AddrRange(0, 9));
+    set.insert(AddrRange(20, 29));
+    set.insert(AddrRange(40, 49));
+    EXPECT_TRUE(set.remove(AddrRange(5, 44)));
+    auto ranges = set.ranges();
+    ASSERT_EQ(ranges.size(), 2u);
+    EXPECT_EQ(ranges[0], AddrRange(0, 4));
+    EXPECT_EQ(ranges[1], AddrRange(45, 49));
+}
+
+TEST(RangeSetTest, Clear)
+{
+    RangeSet set;
+    set.insert(AddrRange(0, 9));
+    set.clear();
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.bytes(), 0u);
+    EXPECT_FALSE(set.overlaps(AddrRange(0, 9)));
+}
+
+namespace
+{
+
+/** Naive reference: a set of tainted byte addresses. */
+class ByteModel
+{
+  public:
+    bool
+    overlaps(const AddrRange &r) const
+    {
+        for (Addr a = r.start; a <= r.end; ++a) {
+            if (bytes.count(a))
+                return true;
+            if (a == r.end)
+                break;
+        }
+        return false;
+    }
+
+    bool
+    insert(const AddrRange &r)
+    {
+        bool changed = false;
+        for (Addr a = r.start; a <= r.end; ++a) {
+            changed |= bytes.insert(a).second;
+            if (a == r.end)
+                break;
+        }
+        return changed;
+    }
+
+    bool
+    remove(const AddrRange &r)
+    {
+        bool changed = false;
+        for (Addr a = r.start; a <= r.end; ++a) {
+            changed |= bytes.erase(a) > 0;
+            if (a == r.end)
+                break;
+        }
+        return changed;
+    }
+
+    size_t count() const { return bytes.size(); }
+
+  private:
+    std::set<Addr> bytes;
+};
+
+AddrRange
+smallRandomRange(Rng &rng)
+{
+    Addr start = 1000 + static_cast<Addr>(rng.below(256));
+    Addr len = 1 + static_cast<Addr>(rng.below(24));
+    return AddrRange::fromSize(start, len);
+}
+
+} // namespace
+
+class RangeSetProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RangeSetProperty, MatchesByteModelUnderRandomOps)
+{
+    Rng rng(GetParam());
+    RangeSet set;
+    ByteModel model;
+
+    for (int step = 0; step < 3000; ++step) {
+        AddrRange r = smallRandomRange(rng);
+        switch (rng.below(3)) {
+          case 0: {
+            bool a = set.insert(r);
+            bool b = model.insert(r);
+            ASSERT_EQ(a, b) << "insert step " << step;
+            break;
+          }
+          case 1: {
+            bool a = set.remove(r);
+            bool b = model.remove(r);
+            ASSERT_EQ(a, b) << "remove step " << step;
+            break;
+          }
+          default: {
+            ASSERT_EQ(set.overlaps(r), model.overlaps(r))
+                << "query step " << step;
+            break;
+          }
+        }
+        ASSERT_EQ(set.bytes(), model.count()) << "bytes step " << step;
+    }
+
+    // Structural invariants: disjoint, sorted, non-adjacent.
+    auto ranges = set.ranges();
+    for (size_t i = 1; i < ranges.size(); ++i) {
+        ASSERT_TRUE(ranges[i - 1].end + 1 < ranges[i].start)
+            << "ranges " << i - 1 << " and " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeSetProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit and property tests for the hardware taint-storage models: the
+ * Figure 6 range cache (capacity, PID tags, coalescing, eviction
+ * policies, splits) and the fixed-granularity word store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/taint_storage.hh"
+#include "support/rng.hh"
+
+using namespace pift;
+using core::EvictPolicy;
+using core::IdealRangeStore;
+using core::TaintStorage;
+using core::TaintStorageParams;
+using core::WordTaintStorage;
+using taint::AddrRange;
+
+namespace
+{
+
+TaintStorageParams
+params(size_t entries, EvictPolicy policy = EvictPolicy::LruSpill,
+       bool coalesce = true)
+{
+    TaintStorageParams p;
+    p.entries = entries;
+    p.policy = policy;
+    p.coalesce = coalesce;
+    return p;
+}
+
+} // namespace
+
+TEST(TaintStorage, InsertAndQuery)
+{
+    TaintStorage st(params(8));
+    EXPECT_TRUE(st.insert(1, AddrRange(0x100, 0x1ff)));
+    EXPECT_TRUE(st.query(1, AddrRange(0x180, 0x180)));
+    EXPECT_FALSE(st.query(1, AddrRange(0x200, 0x210)));
+    EXPECT_EQ(st.bytes(), 0x100u);
+    EXPECT_EQ(st.validEntries(), 1u);
+}
+
+TEST(TaintStorage, PidTagsSeparateProcesses)
+{
+    // Figure 6: a lookup hits only when the process id matches.
+    TaintStorage st(params(8));
+    st.insert(14, AddrRange(0x3f8510b4, 0x3f8510bb));
+    EXPECT_TRUE(st.query(14, AddrRange(0x3f8510b4, 0x3f8510b4)));
+    EXPECT_FALSE(st.query(201, AddrRange(0x3f8510b4, 0x3f8510b4)));
+}
+
+TEST(TaintStorage, CoalescesSamePidRanges)
+{
+    TaintStorage st(params(8));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(1, AddrRange(0x110, 0x11f)); // adjacent
+    st.insert(1, AddrRange(0x118, 0x130)); // overlapping
+    EXPECT_EQ(st.validEntries(), 1u);
+    EXPECT_EQ(st.bytes(), 0x31u);
+}
+
+TEST(TaintStorage, CoalesceRespectsPid)
+{
+    TaintStorage st(params(8));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(2, AddrRange(0x110, 0x11f));
+    EXPECT_EQ(st.validEntries(), 2u);
+}
+
+TEST(TaintStorage, InsertChangeDetection)
+{
+    TaintStorage st(params(8));
+    EXPECT_TRUE(st.insert(1, AddrRange(0x100, 0x1ff)));
+    EXPECT_FALSE(st.insert(1, AddrRange(0x120, 0x130)));
+    EXPECT_TRUE(st.insert(1, AddrRange(0x1f0, 0x20f)));
+}
+
+TEST(TaintStorage, RemoveShrinksAndSplits)
+{
+    TaintStorage st(params(8));
+    st.insert(1, AddrRange(0x100, 0x1ff));
+    EXPECT_TRUE(st.remove(1, AddrRange(0x140, 0x14f)));
+    EXPECT_EQ(st.validEntries(), 2u);
+    EXPECT_FALSE(st.query(1, AddrRange(0x140, 0x14f)));
+    EXPECT_TRUE(st.query(1, AddrRange(0x13f, 0x13f)));
+    EXPECT_TRUE(st.query(1, AddrRange(0x150, 0x150)));
+
+    EXPECT_TRUE(st.remove(1, AddrRange(0x000, 0x2ff)));
+    EXPECT_EQ(st.validEntries(), 0u);
+    EXPECT_EQ(st.bytes(), 0u);
+}
+
+TEST(TaintStorage, LruSpillKeepsTaintExact)
+{
+    // Eviction to secondary storage: no taint is lost, just slower
+    // (the paper's 'cache miss' analogy).
+    TaintStorage st(params(2, EvictPolicy::LruSpill, false));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(1, AddrRange(0x300, 0x30f));
+    st.insert(1, AddrRange(0x500, 0x50f)); // evicts the LRU entry
+    EXPECT_EQ(st.stats().evictions, 1u);
+    EXPECT_TRUE(st.query(1, AddrRange(0x100, 0x100)));
+    EXPECT_GT(st.stats().spill_hits, 0u);
+    EXPECT_TRUE(st.query(1, AddrRange(0x300, 0x300)));
+    EXPECT_TRUE(st.query(1, AddrRange(0x500, 0x500)));
+    EXPECT_EQ(st.spilledRanges(), 1u);
+}
+
+TEST(TaintStorage, LruDropLosesTaint)
+{
+    // Dropping avoids the miss delay but may cause false negatives
+    // (Section 3.3).
+    TaintStorage st(params(2, EvictPolicy::LruDrop, false));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(1, AddrRange(0x300, 0x30f));
+    st.insert(1, AddrRange(0x500, 0x50f));
+    EXPECT_FALSE(st.query(1, AddrRange(0x100, 0x100)));
+    EXPECT_TRUE(st.query(1, AddrRange(0x500, 0x500)));
+    EXPECT_EQ(st.stats().dropped, 1u);
+}
+
+TEST(TaintStorage, DropNewRefusesInsertion)
+{
+    TaintStorage st(params(2, EvictPolicy::DropNew, false));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(1, AddrRange(0x300, 0x30f));
+    EXPECT_FALSE(st.insert(1, AddrRange(0x500, 0x50f)));
+    EXPECT_FALSE(st.query(1, AddrRange(0x500, 0x500)));
+    EXPECT_TRUE(st.query(1, AddrRange(0x100, 0x100)));
+}
+
+TEST(TaintStorage, LruVictimSelection)
+{
+    TaintStorage st(params(2, EvictPolicy::LruDrop, false));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(1, AddrRange(0x300, 0x30f));
+    // Touch the first entry so the second becomes LRU.
+    EXPECT_TRUE(st.query(1, AddrRange(0x100, 0x100)));
+    st.insert(1, AddrRange(0x500, 0x50f));
+    EXPECT_TRUE(st.query(1, AddrRange(0x100, 0x100)));
+    EXPECT_FALSE(st.query(1, AddrRange(0x300, 0x300)));
+}
+
+TEST(TaintStorage, StatsCountOperations)
+{
+    TaintStorage st(params(4));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.query(1, AddrRange(0x100, 0x100));
+    st.query(1, AddrRange(0x900, 0x900));
+    st.remove(1, AddrRange(0x100, 0x10f));
+    EXPECT_EQ(st.stats().inserts, 1u);
+    EXPECT_EQ(st.stats().lookups, 2u);
+    EXPECT_EQ(st.stats().lookup_hits, 1u);
+    EXPECT_EQ(st.stats().removes, 1u);
+    EXPECT_EQ(st.stats().max_entries_used, 1u);
+    EXPECT_GT(st.stats().entry_compares, 0u);
+}
+
+TEST(TaintStorage, Paper32KiBSizing)
+{
+    // Section 3.3: 12 bytes per PID-tagged entry -> ~2730 entries in
+    // 32 KiB; 8 bytes untagged -> 4096.
+    EXPECT_EQ((32 * 1024) / 12, 2730);
+    EXPECT_EQ((32 * 1024) / 8, 4096);
+    TaintStorage st(params(2730));
+    for (uint32_t i = 0; i < 2730; ++i)
+        st.insert(1, AddrRange(i * 0x100, i * 0x100 + 4));
+    EXPECT_EQ(st.validEntries(), 2730u);
+    EXPECT_EQ(st.stats().evictions, 0u);
+}
+
+class StorageEquivalence : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(StorageEquivalence, LargeCacheMatchesIdealStore)
+{
+    // With enough entries and the spill policy, the hardware cache
+    // must answer every query exactly like the unbounded reference.
+    Rng rng(GetParam());
+    TaintStorage hw(params(512));
+    IdealRangeStore ideal;
+
+    for (int step = 0; step < 2000; ++step) {
+        ProcId pid = 1 + static_cast<ProcId>(rng.below(3));
+        Addr start = 0x1000 + static_cast<Addr>(rng.below(512));
+        Addr len = 1 + static_cast<Addr>(rng.below(16));
+        AddrRange r = AddrRange::fromSize(start, len);
+        switch (rng.below(4)) {
+          case 0:
+          case 1:
+            hw.insert(pid, r);
+            ideal.insert(pid, r);
+            break;
+          case 2:
+            hw.remove(pid, r);
+            ideal.remove(pid, r);
+            break;
+          default:
+            ASSERT_EQ(hw.query(pid, r), ideal.query(pid, r))
+                << "step " << step;
+            break;
+        }
+        ASSERT_EQ(hw.bytes(), ideal.bytes()) << "step " << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageEquivalence,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(WordStorage, OvertaintsToBlockGranularity)
+{
+    WordTaintStorage st(2); // 4-byte blocks
+    st.insert(1, AddrRange(0x102, 0x102)); // one byte
+    // The whole containing block reads as tainted.
+    EXPECT_TRUE(st.query(1, AddrRange(0x100, 0x100)));
+    EXPECT_TRUE(st.query(1, AddrRange(0x103, 0x103)));
+    EXPECT_FALSE(st.query(1, AddrRange(0x104, 0x104)));
+    EXPECT_EQ(st.bytes(), 4u);
+}
+
+TEST(WordStorage, SpansMultipleBlocks)
+{
+    WordTaintStorage st(2);
+    st.insert(1, AddrRange(0x102, 0x109));
+    EXPECT_EQ(st.rangeCount(), 3u); // blocks 0x100, 0x104, 0x108
+    EXPECT_EQ(st.bytes(), 12u);
+    st.remove(1, AddrRange(0x104, 0x107));
+    EXPECT_FALSE(st.query(1, AddrRange(0x105, 0x105)));
+    EXPECT_TRUE(st.query(1, AddrRange(0x108, 0x108)));
+}
+
+TEST(WordStorage, PidSeparation)
+{
+    WordTaintStorage st(2);
+    st.insert(1, AddrRange(0x100, 0x103));
+    EXPECT_FALSE(st.query(2, AddrRange(0x100, 0x103)));
+}
+
+TEST(WordStorage, CoarseGranularityOvertaintsMore)
+{
+    WordTaintStorage fine(2);
+    WordTaintStorage coarse(6); // 64-byte blocks
+    fine.insert(1, AddrRange(0x100, 0x101));
+    coarse.insert(1, AddrRange(0x100, 0x101));
+    EXPECT_EQ(fine.bytes(), 4u);
+    EXPECT_EQ(coarse.bytes(), 64u);
+    EXPECT_FALSE(fine.query(1, AddrRange(0x13f, 0x13f)));
+    EXPECT_TRUE(coarse.query(1, AddrRange(0x13f, 0x13f)));
+}
+
+TEST(WordStorage, NeverFalseNegativeVsIdeal)
+{
+    // Word granularity may overtaint but must never miss real taint.
+    Rng rng(99);
+    WordTaintStorage word(2);
+    IdealRangeStore ideal;
+    for (int step = 0; step < 1500; ++step) {
+        Addr start = 0x1000 + static_cast<Addr>(rng.below(256));
+        Addr len = 1 + static_cast<Addr>(rng.below(8));
+        AddrRange r = AddrRange::fromSize(start, len);
+        if (rng.below(2)) {
+            word.insert(1, r);
+            ideal.insert(1, r);
+        } else {
+            bool ideal_hit = ideal.query(1, r);
+            if (ideal_hit) {
+                ASSERT_TRUE(word.query(1, r)) << "step " << step;
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Golden detection-threshold regression table: the minimal NI (at
+ * NT = 3) for every leaky DroidBench app and every malware analog.
+ * These thresholds ARE the reproduction's Figure 11 — any template,
+ * runtime or framework change that shifts them shows up here first,
+ * with the app name attached.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/evaluate.hh"
+#include "droidbench/app.hh"
+
+using namespace pift;
+
+namespace
+{
+
+/** name -> minimal NI at NT=3 (26 = not detected within NI <= 25). */
+const std::map<std::string, unsigned> golden_min_ni = {
+    // Direct flows and reference indirections: any window.
+    {"DirectLeak_Sms_IMEI", 1},
+    {"DirectLeak_Http_IMEI", 1},
+    {"DirectLeak_Log_Phone", 1},
+    {"DirectLeak_Sms_SIM", 1},
+    {"Field_RefInField_Sms", 1},
+    {"Static_RefInStatic_Http", 1},
+    {"Array_RefInObjectArray_Sms", 1},
+    {"List_PickSensitive_Log", 1},
+    {"Intent_RefExtra_Sms", 1},
+    {"Callback_RefInRunnable_Sms", 1},
+    {"Override_DynamicDispatch_Sms", 1},
+    {"Exception_RefInPayload_Sms", 1},
+    {"Aliasing_TwoRefs_Sms", 1},
+    // Character copies (the distance-1 Figure 1 loop).
+    {"PaperExample_ConcatChain_Sms", 1},
+    {"Concat_Prefix_Http", 1},
+    {"Concat_Suffix_Log", 1},
+    {"StringBuilder_Single_Sms", 1},
+    {"StringBuilder_Multi_Http", 1},
+    {"Substring_Sms", 1},
+    {"ToCharArray_Http", 1},
+    {"ArrayCopy_Sms", 1},
+    {"Loop_ChunkedConcat_Sms", 1},
+    {"TwoSources_Sms", 1},
+    {"SplitJoin_Http", 1},
+    {"StringBuilder_Grow_Sms", 1},
+    {"LocationString_Http", 1},
+    // Per-character bytecode chains.
+    {"CharLoop_Rebuild_Sms", 3},
+    {"CharLoop_ValueOf_Http", 3},
+    {"Parse_Reformat_Log", 3},
+    {"StaticChar_Leak_Http", 3},
+    {"IntArray_Chars_Sms", 3},
+    {"Xor_Obfuscate_Log", 4},
+    {"Div_Obfuscate_Http", 4},
+    {"FieldChar_Leak_Sms", 5},
+    {"Arith_PlusOne_Sms", 5},
+    {"SumChars_Sms", 5},
+    {"IntToChar_Leak_Http", 6},
+    // ABI-helper flows: the Figure 11 thresholds.
+    {"GPS_Latitude_Sms", 10},
+    {"GPS_FloatAvg_Sms", 10},
+    // Implicit flows (Section 4.2).
+    {"ImplicitFlow1_Sms", 11},
+    {"ImplicitFlow2_Http", 17},
+};
+
+const std::map<std::string, unsigned> golden_malware_min_ni = {
+    {"malware_lgroot", 1},      {"malware_rootsmart", 1},
+    {"malware_basebridge", 1},  {"malware_geinimi", 1},
+    {"malware_overclock1", 1},  {"malware_overclock2", 1},
+    {"malware_overclock3", 1},
+};
+
+} // namespace
+
+TEST(Thresholds, GoldenTableCoversEveryLeakyApp)
+{
+    unsigned leaky = 0;
+    for (const auto &entry : droidbench::droidBenchApps())
+        leaky += entry.leaks ? 1 : 0;
+    EXPECT_EQ(golden_min_ni.size(), leaky);
+}
+
+TEST(Thresholds, DroidBenchMinimalWindowsMatchGolden)
+{
+    for (const auto &entry : droidbench::droidBenchApps()) {
+        if (!entry.leaks)
+            continue;
+        auto it = golden_min_ni.find(entry.name);
+        ASSERT_NE(it, golden_min_ni.end()) << entry.name;
+        auto run = droidbench::runApp(entry);
+        EXPECT_EQ(analysis::minimalNi(run.trace, 3, 25), it->second)
+            << entry.name;
+    }
+}
+
+TEST(Thresholds, BenignAppsNeverDetected)
+{
+    for (const auto &entry : droidbench::droidBenchApps()) {
+        if (entry.leaks)
+            continue;
+        auto run = droidbench::runApp(entry);
+        EXPECT_EQ(analysis::minimalNi(run.trace, 3, 25), 26u)
+            << entry.name;
+    }
+}
+
+TEST(Thresholds, MalwareMinimalWindowsMatchGolden)
+{
+    for (const auto &entry : droidbench::malwareApps()) {
+        auto it = golden_malware_min_ni.find(entry.name);
+        ASSERT_NE(it, golden_malware_min_ni.end()) << entry.name;
+        auto run = droidbench::runApp(entry);
+        EXPECT_EQ(analysis::minimalNi(run.trace, 2, 25), it->second)
+            << entry.name;
+    }
+}

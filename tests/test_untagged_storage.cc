@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the untagged (context-switch write-back) taint storage of
+ * Section 3.3: swap semantics, cost counters, and exactness (it must
+ * never lose taint, unlike the dropping range cache).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pift_tracker.hh"
+#include "core/taint_store.hh"
+#include "core/untagged_storage.hh"
+#include "support/rng.hh"
+
+using namespace pift;
+using core::IdealRangeStore;
+using core::UntaggedTaintStorage;
+using taint::AddrRange;
+
+TEST(UntaggedStorage, BasicResidentOperation)
+{
+    UntaggedTaintStorage st(16);
+    EXPECT_TRUE(st.insert(1, AddrRange(0x100, 0x1ff)));
+    EXPECT_EQ(st.residentPid(), 1u);
+    EXPECT_TRUE(st.query(1, AddrRange(0x180, 0x180)));
+    EXPECT_FALSE(st.query(1, AddrRange(0x200, 0x200)));
+    EXPECT_EQ(st.stats().context_switches, 1u); // initial load-in
+}
+
+TEST(UntaggedStorage, ImplicitContextSwitchOnForeignPid)
+{
+    UntaggedTaintStorage st(16);
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(2, AddrRange(0x300, 0x30f)); // switches to pid 2
+    EXPECT_EQ(st.residentPid(), 2u);
+    EXPECT_EQ(st.stats().context_switches, 2u);
+    EXPECT_EQ(st.stats().entries_written_back, 1u);
+
+    // Switching back reloads pid 1's image; nothing was lost.
+    EXPECT_TRUE(st.query(1, AddrRange(0x100, 0x100)));
+    EXPECT_EQ(st.residentPid(), 1u);
+    // Loads at the three switches: 0 (empty), 0 (empty), then pid
+    // 1's single written-back range.
+    EXPECT_EQ(st.stats().entries_reloaded, 1u);
+}
+
+TEST(UntaggedStorage, NoTagsMeansStrictIsolationViaSwap)
+{
+    UntaggedTaintStorage st(16);
+    st.insert(1, AddrRange(0x100, 0x10f));
+    // Same physical range, different process: distinct taint.
+    EXPECT_FALSE(st.query(2, AddrRange(0x100, 0x10f)));
+    st.insert(2, AddrRange(0x500, 0x50f));
+    EXPECT_FALSE(st.query(1, AddrRange(0x500, 0x50f)));
+}
+
+TEST(UntaggedStorage, SwitchToSamePidIsFree)
+{
+    UntaggedTaintStorage st(16);
+    st.insert(1, AddrRange(0x100, 0x10f));
+    uint64_t switches = st.stats().context_switches;
+    st.query(1, AddrRange(0x100, 0x100));
+    st.contextSwitch(1);
+    EXPECT_EQ(st.stats().context_switches, switches);
+}
+
+TEST(UntaggedStorage, OverflowCounted)
+{
+    UntaggedTaintStorage st(4);
+    for (Addr i = 0; i < 8; ++i)
+        st.insert(1, AddrRange(0x1000 + i * 0x100,
+                               0x1000 + i * 0x100 + 4));
+    EXPECT_GT(st.stats().overflow_spills, 0u);
+    EXPECT_EQ(st.stats().max_resident, 8u);
+    // Exactness is preserved even past capacity (the overflow lives
+    // in main memory).
+    EXPECT_TRUE(st.query(1, AddrRange(0x1700, 0x1704)));
+}
+
+TEST(UntaggedStorage, ClearResets)
+{
+    UntaggedTaintStorage st(16);
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.clear();
+    EXPECT_FALSE(st.query(1, AddrRange(0x100, 0x10f)));
+    EXPECT_EQ(st.bytes(), 0u);
+}
+
+TEST(UntaggedStorage, MatchesIdealUnderRandomMultiProcessStream)
+{
+    Rng rng(77);
+    UntaggedTaintStorage untagged(64);
+    IdealRangeStore ideal;
+    for (int step = 0; step < 3000; ++step) {
+        ProcId pid = 1 + static_cast<ProcId>(rng.below(4));
+        Addr start = 0x1000 + static_cast<Addr>(rng.below(512));
+        Addr len = 1 + static_cast<Addr>(rng.below(16));
+        AddrRange r = AddrRange::fromSize(start, len);
+        switch (rng.below(4)) {
+          case 0:
+          case 1:
+            untagged.insert(pid, r);
+            ideal.insert(pid, r);
+            break;
+          case 2:
+            untagged.remove(pid, r);
+            ideal.remove(pid, r);
+            break;
+          default:
+            ASSERT_EQ(untagged.query(pid, r), ideal.query(pid, r))
+                << "step " << step;
+            break;
+        }
+    }
+    EXPECT_EQ(untagged.bytes(), ideal.bytes());
+    EXPECT_EQ(untagged.rangeCount(), ideal.rangeCount());
+    EXPECT_GT(untagged.stats().context_switches, 100u);
+}
+
+TEST(UntaggedStorage, WorksAsTrackerBackend)
+{
+    UntaggedTaintStorage st(4096);
+    core::PiftTracker tracker({13, 3, true}, st);
+
+    sim::ControlEvent src;
+    src.pid = 7;
+    src.kind = sim::ControlKind::RegisterSource;
+    src.start = 0x1000;
+    src.end = 0x100f;
+    tracker.onControl(src);
+
+    sim::TraceRecord load;
+    load.pid = 7;
+    load.local_seq = 0;
+    load.op = isa::Op::Ldr;
+    load.mem_kind = sim::MemKind::Load;
+    load.mem_start = 0x1000;
+    load.mem_end = 0x1003;
+    tracker.onRecord(load);
+
+    sim::TraceRecord store;
+    store.pid = 7;
+    store.local_seq = 1;
+    store.op = isa::Op::Str;
+    store.mem_kind = sim::MemKind::Store;
+    store.mem_start = 0x2000;
+    store.mem_end = 0x2003;
+    tracker.onRecord(store);
+
+    EXPECT_TRUE(st.query(7, AddrRange(0x2000, 0x2003)));
+}
