@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_store_ranks.dir/bench_fig13_store_ranks.cc.o"
+  "CMakeFiles/bench_fig13_store_ranks.dir/bench_fig13_store_ranks.cc.o.d"
+  "bench_fig13_store_ranks"
+  "bench_fig13_store_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_store_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

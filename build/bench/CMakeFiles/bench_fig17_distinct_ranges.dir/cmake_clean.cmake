@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_distinct_ranges.dir/bench_fig17_distinct_ranges.cc.o"
+  "CMakeFiles/bench_fig17_distinct_ranges.dir/bench_fig17_distinct_ranges.cc.o.d"
+  "bench_fig17_distinct_ranges"
+  "bench_fig17_distinct_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_distinct_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

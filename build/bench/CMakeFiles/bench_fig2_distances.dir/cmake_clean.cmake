@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_distances.dir/bench_fig2_distances.cc.o"
+  "CMakeFiles/bench_fig2_distances.dir/bench_fig2_distances.cc.o.d"
+  "bench_fig2_distances"
+  "bench_fig2_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hw_microbench.dir/bench_hw_microbench.cc.o"
+  "CMakeFiles/bench_hw_microbench.dir/bench_hw_microbench.cc.o.d"
+  "bench_hw_microbench"
+  "bench_hw_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hw_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

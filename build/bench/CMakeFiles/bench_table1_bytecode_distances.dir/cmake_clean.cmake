@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_bytecode_distances.dir/bench_table1_bytecode_distances.cc.o"
+  "CMakeFiles/bench_table1_bytecode_distances.dir/bench_table1_bytecode_distances.cc.o.d"
+  "bench_table1_bytecode_distances"
+  "bench_table1_bytecode_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_bytecode_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/evasion_defense.cpp" "examples/CMakeFiles/evasion_defense.dir/evasion_defense.cpp.o" "gcc" "examples/CMakeFiles/evasion_defense.dir/evasion_defense.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/pift_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pift_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/droidbench/CMakeFiles/pift_droidbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/pift_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pift_javalib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dalvik/CMakeFiles/pift_dalvik.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/pift_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/pift_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pift_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/pift_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pift_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pift_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pift_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

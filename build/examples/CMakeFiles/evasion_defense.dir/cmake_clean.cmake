@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_defense.dir/evasion_defense.cpp.o"
+  "CMakeFiles/evasion_defense.dir/evasion_defense.cpp.o.d"
+  "evasion_defense"
+  "evasion_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

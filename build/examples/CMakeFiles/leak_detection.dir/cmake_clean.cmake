@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_detection.dir/leak_detection.cpp.o"
+  "CMakeFiles/leak_detection.dir/leak_detection.cpp.o.d"
+  "leak_detection"
+  "leak_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

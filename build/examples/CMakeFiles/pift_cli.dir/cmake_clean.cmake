@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_cli.dir/pift_cli.cpp.o"
+  "CMakeFiles/pift_cli.dir/pift_cli.cpp.o.d"
+  "pift_cli"
+  "pift_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_tuning.dir/window_tuning.cpp.o"
+  "CMakeFiles/window_tuning.dir/window_tuning.cpp.o.d"
+  "window_tuning"
+  "window_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("stats")
+subdirs("isa")
+subdirs("mem")
+subdirs("sim")
+subdirs("taint")
+subdirs("compiler")
+subdirs("core")
+subdirs("baseline")
+subdirs("dalvik")
+subdirs("runtime")
+subdirs("android")
+subdirs("droidbench")
+subdirs("analysis")

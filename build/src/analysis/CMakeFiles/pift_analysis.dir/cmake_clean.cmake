@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_analysis.dir/census.cc.o"
+  "CMakeFiles/pift_analysis.dir/census.cc.o.d"
+  "CMakeFiles/pift_analysis.dir/evaluate.cc.o"
+  "CMakeFiles/pift_analysis.dir/evaluate.cc.o.d"
+  "CMakeFiles/pift_analysis.dir/profiler.cc.o"
+  "CMakeFiles/pift_analysis.dir/profiler.cc.o.d"
+  "libpift_analysis.a"
+  "libpift_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

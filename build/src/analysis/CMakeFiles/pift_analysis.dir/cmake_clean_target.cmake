@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpift_analysis.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_android.dir/framework.cc.o"
+  "CMakeFiles/pift_android.dir/framework.cc.o.d"
+  "CMakeFiles/pift_android.dir/pift_stack.cc.o"
+  "CMakeFiles/pift_android.dir/pift_stack.cc.o.d"
+  "libpift_android.a"
+  "libpift_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_baseline.dir/full_tracker.cc.o"
+  "CMakeFiles/pift_baseline.dir/full_tracker.cc.o.d"
+  "libpift_baseline.a"
+  "libpift_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_compiler.dir/scheduler.cc.o"
+  "CMakeFiles/pift_compiler.dir/scheduler.cc.o.d"
+  "libpift_compiler.a"
+  "libpift_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

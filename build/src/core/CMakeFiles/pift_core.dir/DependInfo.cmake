@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hw_module.cc" "src/core/CMakeFiles/pift_core.dir/hw_module.cc.o" "gcc" "src/core/CMakeFiles/pift_core.dir/hw_module.cc.o.d"
+  "/root/repo/src/core/pift_tracker.cc" "src/core/CMakeFiles/pift_core.dir/pift_tracker.cc.o" "gcc" "src/core/CMakeFiles/pift_core.dir/pift_tracker.cc.o.d"
+  "/root/repo/src/core/taint_storage.cc" "src/core/CMakeFiles/pift_core.dir/taint_storage.cc.o" "gcc" "src/core/CMakeFiles/pift_core.dir/taint_storage.cc.o.d"
+  "/root/repo/src/core/taint_store.cc" "src/core/CMakeFiles/pift_core.dir/taint_store.cc.o" "gcc" "src/core/CMakeFiles/pift_core.dir/taint_store.cc.o.d"
+  "/root/repo/src/core/untagged_storage.cc" "src/core/CMakeFiles/pift_core.dir/untagged_storage.cc.o" "gcc" "src/core/CMakeFiles/pift_core.dir/untagged_storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/taint/CMakeFiles/pift_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pift_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pift_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pift_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pift_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

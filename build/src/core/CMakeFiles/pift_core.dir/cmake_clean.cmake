@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_core.dir/hw_module.cc.o"
+  "CMakeFiles/pift_core.dir/hw_module.cc.o.d"
+  "CMakeFiles/pift_core.dir/pift_tracker.cc.o"
+  "CMakeFiles/pift_core.dir/pift_tracker.cc.o.d"
+  "CMakeFiles/pift_core.dir/taint_storage.cc.o"
+  "CMakeFiles/pift_core.dir/taint_storage.cc.o.d"
+  "CMakeFiles/pift_core.dir/taint_store.cc.o"
+  "CMakeFiles/pift_core.dir/taint_store.cc.o.d"
+  "CMakeFiles/pift_core.dir/untagged_storage.cc.o"
+  "CMakeFiles/pift_core.dir/untagged_storage.cc.o.d"
+  "libpift_core.a"
+  "libpift_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

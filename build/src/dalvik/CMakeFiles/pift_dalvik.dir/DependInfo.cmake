@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dalvik/bytecode.cc" "src/dalvik/CMakeFiles/pift_dalvik.dir/bytecode.cc.o" "gcc" "src/dalvik/CMakeFiles/pift_dalvik.dir/bytecode.cc.o.d"
+  "/root/repo/src/dalvik/disasm.cc" "src/dalvik/CMakeFiles/pift_dalvik.dir/disasm.cc.o" "gcc" "src/dalvik/CMakeFiles/pift_dalvik.dir/disasm.cc.o.d"
+  "/root/repo/src/dalvik/handlers.cc" "src/dalvik/CMakeFiles/pift_dalvik.dir/handlers.cc.o" "gcc" "src/dalvik/CMakeFiles/pift_dalvik.dir/handlers.cc.o.d"
+  "/root/repo/src/dalvik/method.cc" "src/dalvik/CMakeFiles/pift_dalvik.dir/method.cc.o" "gcc" "src/dalvik/CMakeFiles/pift_dalvik.dir/method.cc.o.d"
+  "/root/repo/src/dalvik/vm.cc" "src/dalvik/CMakeFiles/pift_dalvik.dir/vm.cc.o" "gcc" "src/dalvik/CMakeFiles/pift_dalvik.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/pift_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pift_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pift_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pift_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pift_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/pift_taint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_dalvik.dir/bytecode.cc.o"
+  "CMakeFiles/pift_dalvik.dir/bytecode.cc.o.d"
+  "CMakeFiles/pift_dalvik.dir/disasm.cc.o"
+  "CMakeFiles/pift_dalvik.dir/disasm.cc.o.d"
+  "CMakeFiles/pift_dalvik.dir/handlers.cc.o"
+  "CMakeFiles/pift_dalvik.dir/handlers.cc.o.d"
+  "CMakeFiles/pift_dalvik.dir/method.cc.o"
+  "CMakeFiles/pift_dalvik.dir/method.cc.o.d"
+  "CMakeFiles/pift_dalvik.dir/vm.cc.o"
+  "CMakeFiles/pift_dalvik.dir/vm.cc.o.d"
+  "libpift_dalvik.a"
+  "libpift_dalvik.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_dalvik.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_droidbench.dir/app.cc.o"
+  "CMakeFiles/pift_droidbench.dir/app.cc.o.d"
+  "CMakeFiles/pift_droidbench.dir/apps_benign.cc.o"
+  "CMakeFiles/pift_droidbench.dir/apps_benign.cc.o.d"
+  "CMakeFiles/pift_droidbench.dir/apps_leaky.cc.o"
+  "CMakeFiles/pift_droidbench.dir/apps_leaky.cc.o.d"
+  "CMakeFiles/pift_droidbench.dir/helpers.cc.o"
+  "CMakeFiles/pift_droidbench.dir/helpers.cc.o.d"
+  "CMakeFiles/pift_droidbench.dir/malware.cc.o"
+  "CMakeFiles/pift_droidbench.dir/malware.cc.o.d"
+  "CMakeFiles/pift_droidbench.dir/registry.cc.o"
+  "CMakeFiles/pift_droidbench.dir/registry.cc.o.d"
+  "libpift_droidbench.a"
+  "libpift_droidbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_droidbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

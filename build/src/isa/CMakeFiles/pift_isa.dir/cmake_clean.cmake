@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_isa.dir/assembler.cc.o"
+  "CMakeFiles/pift_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/pift_isa.dir/disasm.cc.o"
+  "CMakeFiles/pift_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/pift_isa.dir/inst.cc.o"
+  "CMakeFiles/pift_isa.dir/inst.cc.o.d"
+  "libpift_isa.a"
+  "libpift_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_mem.dir/layout.cc.o"
+  "CMakeFiles/pift_mem.dir/layout.cc.o.d"
+  "CMakeFiles/pift_mem.dir/memory.cc.o"
+  "CMakeFiles/pift_mem.dir/memory.cc.o.d"
+  "libpift_mem.a"
+  "libpift_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

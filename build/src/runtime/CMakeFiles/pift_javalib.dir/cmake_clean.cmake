@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_javalib.dir/library.cc.o"
+  "CMakeFiles/pift_javalib.dir/library.cc.o.d"
+  "libpift_javalib.a"
+  "libpift_javalib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_javalib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

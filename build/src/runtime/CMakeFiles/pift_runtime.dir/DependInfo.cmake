@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/heap.cc" "src/runtime/CMakeFiles/pift_runtime.dir/heap.cc.o" "gcc" "src/runtime/CMakeFiles/pift_runtime.dir/heap.cc.o.d"
+  "/root/repo/src/runtime/routines.cc" "src/runtime/CMakeFiles/pift_runtime.dir/routines.cc.o" "gcc" "src/runtime/CMakeFiles/pift_runtime.dir/routines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/pift_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pift_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/taint/CMakeFiles/pift_taint.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_runtime.dir/heap.cc.o"
+  "CMakeFiles/pift_runtime.dir/heap.cc.o.d"
+  "CMakeFiles/pift_runtime.dir/routines.cc.o"
+  "CMakeFiles/pift_runtime.dir/routines.cc.o.d"
+  "libpift_runtime.a"
+  "libpift_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/pift_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/pift_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/pift_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/pift_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/trace_io.cc" "src/sim/CMakeFiles/pift_sim.dir/trace_io.cc.o" "gcc" "src/sim/CMakeFiles/pift_sim.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/pift_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pift_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_sim.dir/cpu.cc.o"
+  "CMakeFiles/pift_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/pift_sim.dir/trace.cc.o"
+  "CMakeFiles/pift_sim.dir/trace.cc.o.d"
+  "CMakeFiles/pift_sim.dir/trace_io.cc.o"
+  "CMakeFiles/pift_sim.dir/trace_io.cc.o.d"
+  "libpift_sim.a"
+  "libpift_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

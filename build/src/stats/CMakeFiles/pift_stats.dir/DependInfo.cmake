@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/heatmap.cc" "src/stats/CMakeFiles/pift_stats.dir/heatmap.cc.o" "gcc" "src/stats/CMakeFiles/pift_stats.dir/heatmap.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/pift_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/pift_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/render.cc" "src/stats/CMakeFiles/pift_stats.dir/render.cc.o" "gcc" "src/stats/CMakeFiles/pift_stats.dir/render.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/stats/CMakeFiles/pift_stats.dir/timeseries.cc.o" "gcc" "src/stats/CMakeFiles/pift_stats.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pift_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

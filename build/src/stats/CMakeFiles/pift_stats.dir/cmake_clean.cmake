@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_stats.dir/heatmap.cc.o"
+  "CMakeFiles/pift_stats.dir/heatmap.cc.o.d"
+  "CMakeFiles/pift_stats.dir/histogram.cc.o"
+  "CMakeFiles/pift_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/pift_stats.dir/render.cc.o"
+  "CMakeFiles/pift_stats.dir/render.cc.o.d"
+  "CMakeFiles/pift_stats.dir/timeseries.cc.o"
+  "CMakeFiles/pift_stats.dir/timeseries.cc.o.d"
+  "libpift_stats.a"
+  "libpift_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_support.dir/logging.cc.o"
+  "CMakeFiles/pift_support.dir/logging.cc.o.d"
+  "libpift_support.a"
+  "libpift_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pift_taint.dir/range_set.cc.o"
+  "CMakeFiles/pift_taint.dir/range_set.cc.o.d"
+  "libpift_taint.a"
+  "libpift_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pift_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithm_reference.dir/test_algorithm_reference.cc.o"
+  "CMakeFiles/test_algorithm_reference.dir/test_algorithm_reference.cc.o.d"
+  "test_algorithm_reference"
+  "test_algorithm_reference.pdb"
+  "test_algorithm_reference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithm_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

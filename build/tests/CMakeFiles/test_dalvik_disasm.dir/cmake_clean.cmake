@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dalvik_disasm.dir/test_dalvik_disasm.cc.o"
+  "CMakeFiles/test_dalvik_disasm.dir/test_dalvik_disasm.cc.o.d"
+  "test_dalvik_disasm"
+  "test_dalvik_disasm.pdb"
+  "test_dalvik_disasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dalvik_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_droidbench.dir/test_droidbench.cc.o"
+  "CMakeFiles/test_droidbench.dir/test_droidbench.cc.o.d"
+  "test_droidbench"
+  "test_droidbench.pdb"
+  "test_droidbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_droidbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

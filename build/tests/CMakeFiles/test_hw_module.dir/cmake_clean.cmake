@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_module.dir/test_hw_module.cc.o"
+  "CMakeFiles/test_hw_module.dir/test_hw_module.cc.o.d"
+  "test_hw_module"
+  "test_hw_module.pdb"
+  "test_hw_module[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prevention.dir/test_prevention.cc.o"
+  "CMakeFiles/test_prevention.dir/test_prevention.cc.o.d"
+  "test_prevention"
+  "test_prevention.pdb"
+  "test_prevention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prevention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taint_storage.dir/test_taint_storage.cc.o"
+  "CMakeFiles/test_taint_storage.dir/test_taint_storage.cc.o.d"
+  "test_taint_storage"
+  "test_taint_storage.pdb"
+  "test_taint_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taint_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

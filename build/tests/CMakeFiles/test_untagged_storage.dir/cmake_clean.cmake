@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_untagged_storage.dir/test_untagged_storage.cc.o"
+  "CMakeFiles/test_untagged_storage.dir/test_untagged_storage.cc.o.d"
+  "test_untagged_storage"
+  "test_untagged_storage.pdb"
+  "test_untagged_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_untagged_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_edge.dir/test_vm_edge.cc.o"
+  "CMakeFiles/test_vm_edge.dir/test_vm_edge.cc.o.d"
+  "test_vm_edge"
+  "test_vm_edge.pdb"
+  "test_vm_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

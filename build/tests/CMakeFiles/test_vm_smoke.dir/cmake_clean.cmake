@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_smoke.dir/test_vm_smoke.cc.o"
+  "CMakeFiles/test_vm_smoke.dir/test_vm_smoke.cc.o.d"
+  "test_vm_smoke"
+  "test_vm_smoke.pdb"
+  "test_vm_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_taint[1]_include.cmake")
+include("/root/repo/build/tests/test_tracker[1]_include.cmake")
+include("/root/repo/build/tests/test_taint_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_hw_module[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_droidbench[1]_include.cmake")
+include("/root/repo/build/tests/test_bytecode[1]_include.cmake")
+include("/root/repo/build/tests/test_handlers[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_android[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_untagged_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_thresholds[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithm_reference[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_prevention[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_dalvik_disasm[1]_include.cmake")
+include("/root/repo/build/tests/test_registry[1]_include.cmake")
