@@ -140,7 +140,10 @@ cmdCapture(const std::string &name, const std::string &path)
         return 2;
     }
     auto run = droidbench::runApp(*entry);
-    sim::saveTrace(path, run.trace);
+    if (auto st = sim::saveTrace(path, run.trace); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.message().c_str());
+        return 2;
+    }
     std::printf("wrote %zu records to %s\n", run.trace.records.size(),
                 path.c_str());
     return 0;
@@ -150,8 +153,8 @@ int
 cmdReplay(const std::string &path, unsigned ni, unsigned nt)
 {
     sim::Trace trace;
-    if (!sim::loadTrace(path, trace)) {
-        std::fprintf(stderr, "cannot load trace '%s'\n", path.c_str());
+    if (auto st = sim::loadTrace(path, trace); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.message().c_str());
         return 2;
     }
     core::PiftParams p{ni, nt, true};

@@ -28,14 +28,17 @@ main(int argc, char **argv)
     std::printf("capturing %s ...\n", entry.name.c_str());
     auto run = droidbench::runApp(entry);
 
-    sim::saveTrace(path, run.trace);
+    if (auto st = sim::saveTrace(path, run.trace); !st.ok()) {
+        std::printf("save failed: %s\n", st.message().c_str());
+        return 1;
+    }
     std::printf("saved %zu records + %zu control events to %s\n",
                 run.trace.records.size(), run.trace.controls.size(),
                 path.c_str());
 
     sim::Trace loaded;
-    if (!sim::loadTrace(path, loaded)) {
-        std::printf("reload failed!\n");
+    if (auto st = sim::loadTrace(path, loaded); !st.ok()) {
+        std::printf("reload failed: %s\n", st.message().c_str());
         return 1;
     }
     std::printf("reloaded %zu records\n", loaded.records.size());

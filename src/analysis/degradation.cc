@@ -1,0 +1,166 @@
+#include "analysis/degradation.hh"
+
+#include <cstdio>
+
+namespace pift::analysis
+{
+
+namespace
+{
+
+/** Deterministic seed derivation (splitmix64 finalizer). */
+uint64_t
+mixSeed(uint64_t a, uint64_t b)
+{
+    uint64_t x = a + 0x9e3779b97f4a7c15ull * (b + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+const char *
+policyName(core::EvictPolicy p)
+{
+    switch (p) {
+      case core::EvictPolicy::LruSpill:
+        return "lru-spill";
+      case core::EvictPolicy::LruDrop:
+        return "lru-drop";
+      case core::EvictPolicy::DropNew:
+        return "drop-new";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+DegradedRun
+replayDegraded(const sim::Trace &trace, const core::PiftParams &params,
+               const core::TaintStorageParams &storage,
+               const faults::FaultConfig &fault_cfg)
+{
+    core::TaintStorage backend(storage);
+    faults::FaultInjector injector(fault_cfg);
+    faults::FaultyTaintStore store(injector, backend);
+    core::PiftTracker tracker(params, store);
+    faults::FaultyStream stream(injector, tracker);
+
+    sim::replay(trace, stream);
+    stream.flush();
+
+    DegradedRun run;
+    run.detected = tracker.anyLeak();
+    run.possible = tracker.anyPossibleLeak();
+    for (const auto &sink : tracker.sinkResults()) {
+        if (tracker.degraded(sink.pid))
+            run.degraded = true;
+    }
+    run.faults = injector.stats();
+    run.saturation_events = backend.stats().saturation_events;
+    run.stream_loss_events = tracker.stats().stream_loss_events;
+    return run;
+}
+
+std::vector<DegradationPoint>
+degradationSweep(const std::vector<LabelledTrace> &set,
+                 const DegradationSweepConfig &config)
+{
+    // Fault-free reference detections: a "lost" detection is one the
+    // ideal (exact, un-faulted) stack makes but a sweep point misses.
+    std::vector<bool> reference;
+    reference.reserve(set.size());
+    for (const auto &item : set)
+        reference.push_back(piftDetectsLeak(item.trace, config.params));
+
+    std::vector<DegradationPoint> points;
+    uint64_t point_idx = 0;
+    for (core::EvictPolicy policy : config.policies) {
+        for (size_t entries : config.entry_counts) {
+            for (uint32_t loss : config.loss_rates) {
+                DegradationPoint pt;
+                pt.policy = policy;
+                pt.entries = entries;
+                pt.loss_num = loss;
+
+                core::TaintStorageParams sp;
+                sp.entries = entries;
+                sp.policy = policy;
+
+                uint64_t point_seed = mixSeed(config.seed, point_idx++);
+                for (size_t ai = 0; ai < set.size(); ++ai) {
+                    const auto &item = set[ai];
+                    faults::FaultConfig fc;
+                    fc.seed = mixSeed(point_seed, ai);
+                    fc.drop_num = loss;
+                    fc.insert_fail_num = loss;
+                    fc.forced_evict_num = loss;
+
+                    DegradedRun run = replayDegraded(
+                        item.trace, config.params, sp, fc);
+
+                    if (item.leaks && run.detected)
+                        ++pt.accuracy.tp;
+                    else if (item.leaks)
+                        ++pt.accuracy.fn;
+                    else if (run.detected)
+                        ++pt.accuracy.fp;
+                    else
+                        ++pt.accuracy.tn;
+
+                    // A detection the ideal stack makes but this
+                    // point lost must come with evidence.
+                    if (item.leaks && reference[ai] && !run.detected) {
+                        bool explained = run.possible || run.degraded ||
+                            run.saturation_events > 0 ||
+                            run.stream_loss_events > 0 ||
+                            run.faults.lossFaults() > 0;
+                        if (explained)
+                            ++pt.flagged_fn;
+                        else
+                            ++pt.silent_fn;
+                    }
+                    pt.faults_injected += run.faults.lossFaults();
+                    pt.saturation_events += run.saturation_events;
+                    pt.stream_loss_events += run.stream_loss_events;
+                }
+                points.push_back(pt);
+            }
+        }
+    }
+    return points;
+}
+
+std::string
+formatDegradationTable(const std::vector<DegradationPoint> &points)
+{
+    std::string out;
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "%-10s %8s %9s | %3s %3s %3s %3s | %7s %6s | "
+                  "%7s %6s %6s | %s\n",
+                  "policy", "entries", "loss/1M", "tp", "fp", "tn",
+                  "fn", "flagged", "silent", "faults", "satur",
+                  "drops", "invariant");
+    out += line;
+    out += std::string(106, '-') + "\n";
+    for (const auto &pt : points) {
+        std::snprintf(
+            line, sizeof(line),
+            "%-10s %8zu %9u | %3u %3u %3u %3u | %7u %6u | "
+            "%7llu %6llu %6llu | %s\n",
+            policyName(pt.policy), pt.entries, pt.loss_num,
+            pt.accuracy.tp, pt.accuracy.fp, pt.accuracy.tn,
+            pt.accuracy.fn, pt.flagged_fn, pt.silent_fn,
+            static_cast<unsigned long long>(pt.faults_injected),
+            static_cast<unsigned long long>(pt.saturation_events),
+            static_cast<unsigned long long>(pt.stream_loss_events),
+            pt.invariantHolds() ? "ok" : "VIOLATED");
+        out += line;
+    }
+    return out;
+}
+
+} // namespace pift::analysis

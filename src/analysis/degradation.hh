@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Degradation sweep: accuracy of the PIFT stack under injected
+ * loss-class faults.
+ *
+ * The paper argues (Section 3.3) that a saturated range cache "costs
+ * only false negatives, never false positives". This sweep makes the
+ * claim testable end to end: labelled app traces are replayed through
+ * a FaultyStream + FaultyTaintStore sandwich over every eviction
+ * policy, storage size, and fault rate of interest, and each point is
+ * checked against the degraded-mode invariant:
+ *
+ *  - false positives stay zero (a Tainted verdict on a clean app
+ *    never appears), and
+ *  - every lost detection is *explained*: the missed app's sink
+ *    checks answer MaybeTainted, or the run recorded saturation /
+ *    stream-loss evidence for it — no silent false negatives.
+ *
+ * Only loss-class faults (event drops, failed inserts, forced
+ * evictions) are injected here; integrity faults (corruption,
+ * reordering) deliberately break the announcement contract and are
+ * exercised separately by the fault unit tests.
+ */
+
+#ifndef PIFT_ANALYSIS_DEGRADATION_HH
+#define PIFT_ANALYSIS_DEGRADATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/evaluate.hh"
+#include "core/taint_storage.hh"
+#include "faults/fault_injector.hh"
+
+namespace pift::analysis
+{
+
+/** One replay of one app under one fault/storage configuration. */
+struct DegradedRun
+{
+    bool detected = false;     //!< any sink verdict was Tainted
+    bool possible = false;     //!< any verdict Tainted or MaybeTainted
+    bool degraded = false;     //!< tracker degraded for any sink's pid
+    faults::FaultStats faults; //!< faults injected during the replay
+    uint64_t saturation_events = 0; //!< storage-side range losses
+    uint64_t stream_loss_events = 0; //!< announced event drops
+};
+
+/**
+ * Replay @p trace through the faulty stack: trace -> FaultyStream ->
+ * PiftTracker over FaultyTaintStore(TaintStorage).
+ */
+DegradedRun replayDegraded(const sim::Trace &trace,
+                           const core::PiftParams &params,
+                           const core::TaintStorageParams &storage,
+                           const faults::FaultConfig &fault_cfg);
+
+/** Grid of configurations swept by degradationSweep. */
+struct DegradationSweepConfig
+{
+    core::PiftParams params;   //!< NI/NT settings for every point
+    uint64_t seed = 1;         //!< base RNG seed (point-unique offsets)
+    /** Loss-fault rates, numerators per million events. */
+    std::vector<uint32_t> loss_rates = {0, 1'000, 10'000, 50'000};
+    /** Storage entry counts to sweep. */
+    std::vector<size_t> entry_counts = {8, 64, 2730};
+    /** Eviction policies to sweep. */
+    std::vector<core::EvictPolicy> policies = {
+        core::EvictPolicy::LruSpill,
+        core::EvictPolicy::LruDrop,
+        core::EvictPolicy::DropNew,
+    };
+};
+
+/** One row of the sweep table: a full app set at one configuration. */
+struct DegradationPoint
+{
+    core::EvictPolicy policy = core::EvictPolicy::LruSpill;
+    size_t entries = 0;
+    uint32_t loss_num = 0;     //!< injected loss rate (per million)
+
+    Accuracy accuracy;         //!< confusion matrix on hard verdicts
+    unsigned flagged_fn = 0;   //!< missed leaks flagged MaybeTainted
+    unsigned silent_fn = 0;    //!< missed leaks with no evidence (0!)
+    uint64_t faults_injected = 0;
+    uint64_t saturation_events = 0;
+    uint64_t stream_loss_events = 0;
+
+    /** The degraded-mode invariant for this point. */
+    bool
+    invariantHolds() const
+    {
+        return accuracy.fp == 0 && silent_fn == 0;
+    }
+};
+
+/**
+ * Run the full sweep over @p set. Deterministic: equal (set, config)
+ * give byte-identical results, including the fault pattern.
+ */
+std::vector<DegradationPoint>
+degradationSweep(const std::vector<LabelledTrace> &set,
+                 const DegradationSweepConfig &config);
+
+/** Render sweep rows as the fixed-width table the bench prints. */
+std::string
+formatDegradationTable(const std::vector<DegradationPoint> &points);
+
+} // namespace pift::analysis
+
+#endif // PIFT_ANALYSIS_DEGRADATION_HH

@@ -8,6 +8,7 @@
 namespace pift::android
 {
 
+using core::worstVerdict;
 using dalvik::Dex;
 using dalvik::MethodBuilder;
 using dalvik::MethodOrigin;
@@ -110,13 +111,13 @@ AndroidEnv::install(dalvik::Dex &dex, runtime::JavaLib &lib)
         "SmsManager.sendTextMessage", 2,
         [this](Vm &vm, const NativeCall &call) {
             runtime::Ref msg = vm.memory().read32(call.arg_addr(1));
-            bool tainted = manager_.checkString(msg, SinkType::Sms);
-            bool block = tainted &&
+            auto verdict = manager_.checkString(msg, SinkType::Sms);
+            bool block = verdict != core::SinkVerdict::Clean &&
                 sink_policy == SinkPolicy::Prevent;
             calls.push_back({SinkType::Sms,
                              block ? std::string("<blocked>")
                                    : vm.readString(msg),
-                             block});
+                             block, verdict});
             vm.setRetval(0);
         });
 
@@ -125,15 +126,16 @@ AndroidEnv::install(dalvik::Dex &dex, runtime::JavaLib &lib)
         [this](Vm &vm, const NativeCall &call) {
             runtime::Ref url = vm.memory().read32(call.arg_addr(0));
             runtime::Ref body = vm.memory().read32(call.arg_addr(1));
-            bool tainted = manager_.checkString(url, SinkType::Http);
-            tainted |= manager_.checkString(body, SinkType::Http);
-            bool block = tainted &&
+            auto verdict = worstVerdict(
+                manager_.checkString(url, SinkType::Http),
+                manager_.checkString(body, SinkType::Http));
+            bool block = verdict != core::SinkVerdict::Clean &&
                 sink_policy == SinkPolicy::Prevent;
             calls.push_back({SinkType::Http,
                              block ? std::string("<blocked>")
                                    : vm.readString(url) + " " +
                                        vm.readString(body),
-                             block});
+                             block, verdict});
             vm.setRetval(0);
         });
 
@@ -141,13 +143,13 @@ AndroidEnv::install(dalvik::Dex &dex, runtime::JavaLib &lib)
         "Log.d", 2,
         [this](Vm &vm, const NativeCall &call) {
             runtime::Ref msg = vm.memory().read32(call.arg_addr(1));
-            bool tainted = manager_.checkString(msg, SinkType::Log);
-            bool block = tainted &&
+            auto verdict = manager_.checkString(msg, SinkType::Log);
+            bool block = verdict != core::SinkVerdict::Clean &&
                 sink_policy == SinkPolicy::Prevent;
             calls.push_back({SinkType::Log,
                              block ? std::string("<blocked>")
                                    : vm.readString(msg),
-                             block});
+                             block, verdict});
             vm.setRetval(0);
         });
 

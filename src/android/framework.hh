@@ -56,6 +56,8 @@ struct SinkCall
     SinkType type;
     std::string payload;
     bool blocked = false; //!< suppressed by the Prevent policy
+    /** Live verdict at the sink (Clean when no hardware attached). */
+    core::SinkVerdict verdict = core::SinkVerdict::Clean;
 };
 
 /** Framework facade: classes, native methods, and the PIFT stack. */

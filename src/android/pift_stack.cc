@@ -1,5 +1,7 @@
 #include "android/pift_stack.hh"
 
+#include "support/logging.hh"
+
 namespace pift::android
 {
 
@@ -23,7 +25,7 @@ PiftModule::registerRange(const taint::AddrRange &range, uint32_t id)
     hub_ref.publish(ev);
 }
 
-bool
+core::SinkVerdict
 PiftModule::checkRange(const taint::AddrRange &range, uint32_t id)
 {
     sim::ControlEvent ev = makeEvent(range, id);
@@ -31,20 +33,38 @@ PiftModule::checkRange(const taint::AddrRange &range, uint32_t id)
     hub_ref.publish(ev);
 
     if (!hw_module)
-        return false;
+        return core::SinkVerdict::Clean;
 
     // Drive the memory-mapped command ports for a synchronous
     // verdict (Figure 3's Check path through the kernel module).
-    hw_module->writePort(core::hw_ports::pid, cpu_ref.pid());
-    hw_module->writePort(core::hw_ports::start, range.start);
-    hw_module->writePort(core::hw_ports::end, range.end);
-    hw_module->writePort(
-        core::hw_ports::command,
-        static_cast<uint32_t>(core::HwCommand::CheckRange));
-    bool tainted = hw_module->readPort(core::hw_ports::result) != 0;
-    if (tainted && on_leak)
-        on_leak(range, id);
-    return tainted;
+    // Transient command-port faults are retried a bounded number of
+    // times; if the port never latches, degrade to MaybeTainted —
+    // the kernel module must not report clean without a verdict.
+    for (unsigned attempt = 0; attempt < max_cmd_retries; ++attempt) {
+        hw_module->writePort(core::hw_ports::pid, cpu_ref.pid());
+        hw_module->writePort(core::hw_ports::start, range.start);
+        hw_module->writePort(core::hw_ports::end, range.end);
+        hw_module->writePort(
+            core::hw_ports::command,
+            static_cast<uint32_t>(core::HwCommand::CheckRange));
+        uint32_t res = hw_module->readPort(core::hw_ports::result);
+        if (res == core::hw_cmd_error) {
+            pift_warn_limited(4,
+                              "PIFT command port fault on sink check "
+                              "%u (attempt %u), re-issuing", id,
+                              attempt + 1);
+            continue;
+        }
+        auto verdict = static_cast<core::SinkVerdict>(res);
+        if (verdict == core::SinkVerdict::Tainted && on_leak)
+            on_leak(range, id);
+        return verdict;
+    }
+    pift_warn_limited(4,
+                      "PIFT command port failed %u times on sink "
+                      "check %u; reporting maybe-tainted",
+                      max_cmd_retries, id);
+    return core::SinkVerdict::MaybeTainted;
 }
 
 void

@@ -114,9 +114,19 @@ class PiftModule
      * stream; when a hardware module is attached the live verdict is
      * also returned (and the leak alert fired on taint).
      *
-     * @return true when attached hardware reports taint now
+     * Degraded modes surface here: if the hardware lost taint state
+     * (storage saturation) or front-end events for this process, a
+     * negative check comes back MaybeTainted, and a command port that
+     * keeps failing transiently (after bounded retries) also degrades
+     * to MaybeTainted rather than pretending the data is clean.
+     *
+     * @return the live verdict; Clean when no hardware is attached
      */
-    bool checkRange(const taint::AddrRange &range, uint32_t id);
+    core::SinkVerdict checkRange(const taint::AddrRange &range,
+                                 uint32_t id);
+
+    /** Command re-issues attempted on transient port faults. */
+    static constexpr unsigned max_cmd_retries = 4;
 
     /** Drop all taint state (app teardown). */
     void clearAll();
@@ -157,9 +167,9 @@ class PiftManager
 
     /**
      * Check a String at a sink.
-     * @return true when live hardware reports the data tainted
+     * @return the live tri-state verdict (Clean without hardware)
      */
-    bool
+    core::SinkVerdict
     checkString(runtime::Ref ref, SinkType type)
     {
         return module_ref.checkRange(native_ref.translateString(ref),

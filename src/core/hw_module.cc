@@ -48,6 +48,14 @@ HwModule::readPort(Addr offset) const
       case hw_ports::nt:      return reg_nt;
       case hw_ports::untaint: return reg_untaint;
       case hw_ports::result:  return reg_result;
+      case hw_ports::status: {
+        uint32_t s = 0;
+        if (tracker_.degraded(reg_pid))
+            s |= hw_status::degraded;
+        if (last_cmd_failed)
+            s |= hw_status::cmd_failed;
+        return s;
+      }
       default:
         pift_warn("read from unknown PIFT port offset 0x%x", offset);
         return 0;
@@ -57,6 +65,15 @@ HwModule::readPort(Addr offset) const
 void
 HwModule::execute(HwCommand cmd)
 {
+    if (cmd != HwCommand::None && cmd_fault && cmd_fault()) {
+        // Transient port fault: the command never reaches the
+        // engine. Software sees hw_cmd_error and must re-issue.
+        reg_result = hw_cmd_error;
+        last_cmd_failed = true;
+        return;
+    }
+    last_cmd_failed = false;
+
     sim::ControlEvent ev;
     ev.pid = reg_pid;
     ev.start = reg_start;
@@ -70,7 +87,8 @@ HwModule::execute(HwCommand cmd)
       case HwCommand::CheckRange: {
         ev.kind = sim::ControlKind::CheckSink;
         tracker_.onControl(ev);
-        reg_result = tracker_.sinkResults().back().tainted ? 1 : 0;
+        reg_result = static_cast<uint32_t>(
+            tracker_.sinkResults().back().verdict);
         break;
       }
       case HwCommand::Configure: {

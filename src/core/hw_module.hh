@@ -17,6 +17,7 @@
 #define PIFT_CORE_HW_MODULE_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "core/pift_tracker.hh"
 #include "support/types.hh"
@@ -45,8 +46,25 @@ inline constexpr Addr ni = 0x10;
 inline constexpr Addr nt = 0x14;
 inline constexpr Addr untaint = 0x18;
 inline constexpr Addr result = 0x1c;
-inline constexpr Addr size = 0x20;
+inline constexpr Addr status = 0x20;
+inline constexpr Addr size = 0x24;
 } // namespace hw_ports
+
+/**
+ * Result-port value after a command the module could not latch
+ * (transient command-port fault). Software must re-issue the command;
+ * the CheckRange verdict encoding (0/1/2) never collides with it.
+ */
+inline constexpr uint32_t hw_cmd_error = 0xffffffffu;
+
+/** Bits of the read-only status port. */
+namespace hw_status
+{
+/** Verdicts for the pid in the pid register are degraded (loss). */
+inline constexpr uint32_t degraded = 1u << 0;
+/** The last command write failed transiently; re-issue it. */
+inline constexpr uint32_t cmd_failed = 1u << 1;
+} // namespace hw_status
 
 /**
  * Register-level model of the PIFT hardware module. Wraps the tracker
@@ -67,10 +85,24 @@ class HwModule
     /** The tracker behind the ports (for tests). */
     PiftTracker &tracker() { return tracker_; }
 
+    /**
+     * Interpose a transient-fault source on the command port: the
+     * hook runs on every command write, and a true return makes the
+     * command fail without executing (result latches hw_cmd_error,
+     * the status port reports cmd_failed until the next successful
+     * command). Used by the fault-injection layer; pass an empty
+     * function to detach.
+     */
+    void setCommandFaultHook(std::function<bool()> hook)
+    {
+        cmd_fault = std::move(hook);
+    }
+
   private:
     void execute(HwCommand cmd);
 
     PiftTracker &tracker_;
+    std::function<bool()> cmd_fault;
     uint32_t reg_start = 0;
     uint32_t reg_end = 0;
     uint32_t reg_pid = 0;
@@ -78,6 +110,7 @@ class HwModule
     uint32_t reg_nt = 3;
     uint32_t reg_untaint = 1;
     uint32_t reg_result = 0;
+    bool last_cmd_failed = false;
 };
 
 } // namespace pift::core

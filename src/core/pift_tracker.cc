@@ -89,6 +89,9 @@ PiftTracker::onControl(const sim::ControlEvent &ev)
         res.pid = ev.pid;
         res.range = range;
         res.tainted = store.query(ev.pid, range);
+        res.verdict = res.tainted ? SinkVerdict::Tainted
+            : degraded(ev.pid) ? SinkVerdict::MaybeTainted
+                               : SinkVerdict::Clean;
         res.at_records = records_seen;
         sinks.push_back(res);
         break;
@@ -96,6 +99,8 @@ PiftTracker::onControl(const sim::ControlEvent &ev)
       case sim::ControlKind::ClearAll:
         store.clear();
         windows.clear();
+        // All lost state is gone with the rest; stop degrading.
+        lossy_pids.clear();
         break;
     }
 }
@@ -105,6 +110,28 @@ PiftTracker::anyLeak() const
 {
     return std::any_of(sinks.begin(), sinks.end(),
                        [](const SinkResult &s) { return s.tainted; });
+}
+
+bool
+PiftTracker::anyPossibleLeak() const
+{
+    return std::any_of(sinks.begin(), sinks.end(),
+                       [](const SinkResult &s) {
+                           return s.verdict != SinkVerdict::Clean;
+                       });
+}
+
+void
+PiftTracker::noteStreamLoss(ProcId pid)
+{
+    ++stat.stream_loss_events;
+    lossy_pids.insert(pid);
+}
+
+bool
+PiftTracker::degraded(ProcId pid) const
+{
+    return lossy_pids.count(pid) > 0 || store.saturated(pid);
 }
 
 void
@@ -120,6 +147,7 @@ void
 PiftTracker::reset()
 {
     windows.clear();
+    lossy_pids.clear();
     stat = TrackerStats{};
     sinks.clear();
     records_seen = 0;

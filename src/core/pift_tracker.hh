@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/taint_store.hh"
@@ -62,6 +63,12 @@ struct SinkResult
     ProcId pid = 0;
     taint::AddrRange range;      //!< buffer that was checked
     bool tainted = false;        //!< true = leak detected
+    /**
+     * Degradation-aware verdict: Tainted iff `tainted`; a negative
+     * check degrades to MaybeTainted when the backend is saturated or
+     * the front-end reported event loss for this process.
+     */
+    SinkVerdict verdict = SinkVerdict::Clean;
     SeqNum at_records = 0;       //!< records preceding the check
 };
 
@@ -75,6 +82,7 @@ struct TrackerStats
     uint64_t untaint_ops = 0;      //!< effective untaint operations
     uint64_t max_tainted_bytes = 0;
     uint64_t max_ranges = 0;
+    uint64_t stream_loss_events = 0; //!< front-end loss notifications
 };
 
 /** Online implementation of Algorithm 1 over a TaintStore backend. */
@@ -105,6 +113,24 @@ class PiftTracker : public sim::TraceSink
     /** True when any sink check so far saw tainted data. */
     bool anyLeak() const;
 
+    /** True when any sink check was Tainted *or* MaybeTainted. */
+    bool anyPossibleLeak() const;
+
+    /**
+     * The CPU front-end (or a decoupling queue between it and the
+     * module) reports that events for @p pid were lost or are
+     * suspect. From here on, negative sink checks for that process
+     * answer MaybeTainted — taint could have propagated through the
+     * missing events.
+     */
+    void noteStreamLoss(ProcId pid);
+
+    /**
+     * True when Clean answers for @p pid can no longer be trusted:
+     * the store lost state (saturation) or the stream lost events.
+     */
+    bool degraded(ProcId pid) const;
+
     /** Install the per-operation observer (may be empty). */
     void setOpObserver(OpObserver obs) { observer = std::move(obs); }
 
@@ -133,6 +159,7 @@ class PiftTracker : public sim::TraceSink
     PiftParams cfg;
     TaintStore &store;
     std::unordered_map<ProcId, Window> windows;
+    std::unordered_set<ProcId> lossy_pids;
     TrackerStats stat;
     std::vector<SinkResult> sinks;
     SeqNum records_seen = 0;

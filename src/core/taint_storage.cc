@@ -61,10 +61,28 @@ TaintStorage::query(ProcId pid, const taint::AddrRange &r)
     return false;
 }
 
+void
+TaintStorage::markSaturated(ProcId pid)
+{
+    ++stat.saturation_events;
+    saturated_pids.insert(pid);
+}
+
+bool
+TaintStorage::saturated(ProcId pid) const
+{
+    return saturated_pids.count(pid) > 0;
+}
+
+void
+TaintStorage::clearSaturation()
+{
+    saturated_pids.clear();
+}
+
 size_t
 TaintStorage::allocEntry(ProcId pid)
 {
-    (void)pid;
     size_t victim = npos;
     uint64_t oldest = ~0ull;
     for (size_t i = 0; i < entries.size(); ++i) {
@@ -84,10 +102,14 @@ TaintStorage::allocEntry(ProcId pid)
       case EvictPolicy::LruDrop:
         ++stat.evictions;
         ++stat.dropped;
+        // The evicted process silently loses this range.
+        markSaturated(entries[victim].pid);
         entries[victim].valid = false;
         return victim;
       case EvictPolicy::DropNew:
         ++stat.dropped;
+        // The inserting process never gets its range stored.
+        markSaturated(pid);
         return npos;
     }
     return npos;
@@ -210,6 +232,9 @@ TaintStorage::clear()
     for (auto &e : entries)
         e.valid = false;
     spill_sets.clear();
+    // A full clear is an exact state: nothing previously lost can
+    // matter for future queries.
+    saturated_pids.clear();
 }
 
 uint64_t

@@ -22,6 +22,7 @@
 #define PIFT_CORE_TAINT_STORAGE_HH
 
 #include <cstdint>
+#include <map>
 #include <unordered_set>
 #include <vector>
 
@@ -50,6 +51,7 @@ struct StorageStats
     uint64_t removes = 0;          //!< untaint commands
     uint64_t evictions = 0;        //!< entries pushed out by capacity
     uint64_t dropped = 0;          //!< entries lost (no spill)
+    uint64_t saturation_events = 0; //!< times a process lost a range
     uint64_t coalesces = 0;        //!< entries merged on insert
     size_t max_entries_used = 0;   //!< peak valid-entry count
     uint64_t entry_compares = 0;   //!< CAM comparisons (cost proxy)
@@ -81,6 +83,16 @@ class TaintStorage : public TaintStore
     uint64_t bytes() const override;
     size_t rangeCount() const override;
 
+    /**
+     * True once any range of @p pid has been lost to LruDrop
+     * eviction, a DropNew refusal, or a failed split allocation —
+     * from then on a negative query may be a false negative, and sink
+     * checks must degrade to MaybeTainted (Section 3.3's FN-only
+     * claim made observable).
+     */
+    bool saturated(ProcId pid) const override;
+    void clearSaturation() override;
+
     const StorageStats &stats() const { return stat; }
 
     /** Valid entries currently held on chip. */
@@ -101,12 +113,16 @@ class TaintStorage : public TaintStore
     /** Claim a slot, evicting per policy. Returns npos if DropNew. */
     size_t allocEntry(ProcId pid);
 
+    /** Record that @p pid lost a range (sets the saturation flag). */
+    void markSaturated(ProcId pid);
+
     static constexpr size_t npos = ~size_t(0);
 
     TaintStorageParams params;
     std::vector<Entry> entries;
     // Secondary storage in "main memory" (LruSpill policy only).
     std::map<ProcId, taint::RangeSet> spill_sets;
+    std::unordered_set<ProcId> saturated_pids;
     StorageStats stat;
     uint64_t clock = 0;
 };

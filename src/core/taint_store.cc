@@ -3,6 +3,17 @@
 namespace pift::core
 {
 
+const char *
+sinkVerdictName(SinkVerdict v)
+{
+    switch (v) {
+      case SinkVerdict::Clean:        return "clean";
+      case SinkVerdict::Tainted:      return "tainted";
+      case SinkVerdict::MaybeTainted: return "maybe-tainted";
+    }
+    return "?";
+}
+
 bool
 IdealRangeStore::query(ProcId pid, const taint::AddrRange &r)
 {

@@ -28,6 +28,35 @@
 namespace pift::core
 {
 
+/**
+ * Tri-state outcome of a sink check. Bounded storage and a lossy
+ * front-end can lose taint (Section 3.3: LRU-drop / drop-new "cost
+ * only false negatives"); instead of silently answering Clean, a
+ * check against a backend that has lost state for the process
+ * degrades to MaybeTainted, so exhaustion yields conservative
+ * reporting rather than silent false negatives.
+ */
+enum class SinkVerdict : uint8_t
+{
+    Clean = 0,        //!< no overlap, and no state was ever lost
+    Tainted = 1,      //!< the checked range overlaps live taint
+    MaybeTainted = 2  //!< no overlap, but taint may have been lost
+};
+
+/** Printable name of a verdict (bench tables, diagnostics). */
+const char *sinkVerdictName(SinkVerdict v);
+
+/** The more severe of two verdicts: Tainted > MaybeTainted > Clean. */
+inline SinkVerdict
+worstVerdict(SinkVerdict a, SinkVerdict b)
+{
+    if (a == SinkVerdict::Tainted || b == SinkVerdict::Tainted)
+        return SinkVerdict::Tainted;
+    if (a == SinkVerdict::MaybeTainted || b == SinkVerdict::MaybeTainted)
+        return SinkVerdict::MaybeTainted;
+    return SinkVerdict::Clean;
+}
+
 /** Abstract taint-state backend used by the PIFT tracker. */
 class TaintStore
 {
@@ -57,6 +86,23 @@ class TaintStore
 
     /** Number of distinct range entries currently represented. */
     virtual size_t rangeCount() const = 0;
+
+    /**
+     * True when taint state for @p pid may have been lost (capacity
+     * eviction without spill, refused insertion, injected storage
+     * fault). Exact backends always answer false. Once set, only
+     * clear()/clearSaturation() resets it — losing a range poisons
+     * every later negative answer for that process.
+     */
+    virtual bool
+    saturated(ProcId pid) const
+    {
+        (void)pid;
+        return false;
+    }
+
+    /** Reset all saturation flags (exact backends: no-op). */
+    virtual void clearSaturation() {}
 };
 
 /**

@@ -1,0 +1,197 @@
+#include "faults/fault_injector.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace pift::faults
+{
+
+// --------------------------------------------------------------------
+// FaultyStream
+
+void
+FaultyStream::deliver(const sim::TraceRecord &rec)
+{
+    down.onRecord(rec);
+    drainDue();
+}
+
+void
+FaultyStream::drainDue()
+{
+    // A delivered record "passes" every pending reordered record;
+    // those whose delay is spent are emitted after it.
+    for (auto &p : pending) {
+        if (p.remaining > 0)
+            --p.remaining;
+    }
+    while (!pending.empty() && pending.front().remaining == 0) {
+        sim::TraceRecord rec = pending.front().rec;
+        pending.pop_front();
+        down.onRecord(rec);
+    }
+}
+
+void
+FaultyStream::onRecord(const sim::TraceRecord &rec)
+{
+    FaultStats &stat = inj.mutableStats();
+    ++stat.records_seen;
+    const FaultConfig &cfg = inj.config();
+
+    if (inj.roll(cfg.drop_num)) {
+        // The front-end FIFO overflowed: the event is gone, but the
+        // overflow is architecturally visible — announce the loss.
+        ++stat.dropped;
+        pift_warn_limited(3, "fault: dropped event for pid %u",
+                          rec.pid);
+        if (loss_cb)
+            loss_cb(rec.pid);
+        drainDue();
+        return;
+    }
+
+    sim::TraceRecord out = rec;
+    if (rec.mem_kind != sim::MemKind::None &&
+        inj.roll(cfg.corrupt_num)) {
+        // Undetected bus corruption: the address range arrives
+        // shifted. Nobody is told — this is the silent integrity
+        // fault class (excluded from the no-silent-FN invariant).
+        ++stat.corrupted;
+        uint64_t size =
+            static_cast<uint64_t>(out.mem_end) - out.mem_start;
+        int64_t delta = static_cast<int64_t>(inj.draw(256)) - 128;
+        int64_t start = static_cast<int64_t>(out.mem_start) + delta;
+        start = std::clamp<int64_t>(start, 0,
+                                    0xffffffffll -
+                                        static_cast<int64_t>(size));
+        out.mem_start = static_cast<Addr>(start);
+        out.mem_end = static_cast<Addr>(start + static_cast<int64_t>(size));
+    }
+
+    if (inj.roll(cfg.reorder_num)) {
+        // Hold the record back for 1..k successor records.
+        ++stat.reordered;
+        unsigned delay = 1 +
+            static_cast<unsigned>(inj.draw(cfg.reorder_window));
+        pending.push_back({out, delay});
+        return;
+    }
+
+    deliver(out);
+    if (inj.roll(cfg.dup_num)) {
+        ++stat.duplicated;
+        deliver(out);
+    }
+}
+
+void
+FaultyStream::onControl(const sim::ControlEvent &ev)
+{
+    // Software commands are synchronous with the module; everything
+    // the hardware already captured must land first.
+    flush();
+    down.onControl(ev);
+}
+
+void
+FaultyStream::flush()
+{
+    while (!pending.empty()) {
+        sim::TraceRecord rec = pending.front().rec;
+        pending.pop_front();
+        down.onRecord(rec);
+    }
+}
+
+// --------------------------------------------------------------------
+// FaultyTaintStore
+
+bool
+FaultyTaintStore::query(ProcId pid, const taint::AddrRange &r)
+{
+    return store.query(pid, r);
+}
+
+bool
+FaultyTaintStore::insert(ProcId pid, const taint::AddrRange &r)
+{
+    FaultStats &stat = inj.mutableStats();
+    const FaultConfig &cfg = inj.config();
+
+    if (inj.roll(cfg.insert_fail_num)) {
+        // The storage write never lands; the process loses taint and
+        // is marked saturated so later negatives degrade.
+        ++stat.insert_fails;
+        fault_saturated.insert(pid);
+        pift_warn_limited(3, "fault: taint insert failed for pid %u",
+                          pid);
+        return false;
+    }
+
+    bool changed = store.insert(pid, r);
+
+    // Remember the range as a potential forced-eviction victim.
+    if (history.size() < history_cap) {
+        history.emplace_back(pid, r);
+    } else {
+        history[history_next] = {pid, r};
+        history_next = (history_next + 1) % history_cap;
+    }
+
+    if (inj.roll(cfg.forced_evict_num) && !history.empty()) {
+        // A storage cell dies under a held entry: the range is gone
+        // and the owner is saturated.
+        ++stat.forced_evicts;
+        const auto &[vpid, vrange] =
+            history[inj.draw(history.size())];
+        store.remove(vpid, vrange);
+        fault_saturated.insert(vpid);
+        pift_warn_limited(3, "fault: forced eviction for pid %u",
+                          vpid);
+    }
+    return changed;
+}
+
+bool
+FaultyTaintStore::remove(ProcId pid, const taint::AddrRange &r)
+{
+    return store.remove(pid, r);
+}
+
+void
+FaultyTaintStore::clear()
+{
+    store.clear();
+    fault_saturated.clear();
+    history.clear();
+    history_next = 0;
+}
+
+uint64_t
+FaultyTaintStore::bytes() const
+{
+    return store.bytes();
+}
+
+size_t
+FaultyTaintStore::rangeCount() const
+{
+    return store.rangeCount();
+}
+
+bool
+FaultyTaintStore::saturated(ProcId pid) const
+{
+    return fault_saturated.count(pid) > 0 || store.saturated(pid);
+}
+
+void
+FaultyTaintStore::clearSaturation()
+{
+    fault_saturated.clear();
+    store.clearSaturation();
+}
+
+} // namespace pift::faults

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Deterministic fault injection for the PIFT hardware/software stack.
+ *
+ * The paper's deployment story (Section 3.3) keeps the PIFT module
+ * off the critical path by letting it shed work under pressure: a
+ * full range cache may LRU-drop or refuse insertions ("cost only
+ * false negatives, never false positives"), and related
+ * DIFT-coprocessor work (Wahab et al., PAGURUS) treats lost or
+ * decoupled tag events as the central engineering problem. This
+ * module makes those failure modes injectable and measurable:
+ *
+ *  - FaultyStream interposes on the retired-instruction event stream
+ *    and can drop, duplicate, reorder-within-k, or corrupt records;
+ *  - FaultyTaintStore interposes on any TaintStore and injects failed
+ *    inserts and forced evictions;
+ *  - FaultInjector::commandFaultHook() plugs transient command-port
+ *    errors into core::HwModule.
+ *
+ * Fault classes and guarantees:
+ *
+ *  - *Loss faults* (drop, failed insert, forced evict, command error)
+ *    can only remove taint. They are announced to the tracker
+ *    (noteStreamLoss / saturation), so every sink check that might be
+ *    a false negative degrades to MaybeTainted — never a silent miss.
+ *    The degradation sweep asserts this invariant.
+ *  - *Integrity faults* (duplicate, reorder, corrupt) model bus
+ *    errors that slip past detection. Corruption is applied without
+ *    notification (an undetected flipped address cannot be known to
+ *    the module) and is therefore excluded from the no-silent-FN
+ *    invariant; it exists to measure how the heuristic's accuracy
+ *    erodes when the front-end lies.
+ *
+ * Everything is driven by one seeded splitmix64 stream in event
+ * order, so a (config, trace) pair reproduces the exact same fault
+ * pattern every run — byte-identical sweep tables.
+ */
+
+#ifndef PIFT_FAULTS_FAULT_INJECTOR_HH
+#define PIFT_FAULTS_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/pift_tracker.hh"
+#include "core/taint_store.hh"
+#include "sim/trace.hh"
+#include "support/rng.hh"
+#include "support/types.hh"
+
+namespace pift::faults
+{
+
+/**
+ * Fault probabilities as numerators over @ref rate_den, so configs
+ * are exact integers (no float drift between sweep runs).
+ */
+struct FaultConfig
+{
+    uint64_t seed = 1;               //!< RNG seed; equal seed = equal faults
+    uint32_t rate_den = 1'000'000;   //!< denominator for every *_num rate
+
+    /// @name Event-stream faults (per retired-instruction record)
+    /// @{
+    uint32_t drop_num = 0;      //!< lose the record (announced loss)
+    uint32_t dup_num = 0;       //!< deliver the record twice
+    uint32_t reorder_num = 0;   //!< delay the record within k successors
+    uint32_t corrupt_num = 0;   //!< shift the address range (silent)
+    unsigned reorder_window = 4; //!< k for reorder-within-k
+    /// @}
+
+    /// @name Storage / command-port faults
+    /// @{
+    uint32_t insert_fail_num = 0;  //!< taint insert silently refused
+    uint32_t forced_evict_num = 0; //!< a held range forcibly evicted
+    uint32_t cmd_error_num = 0;    //!< transient command-port error
+    /// @}
+
+    /** Convenience: scale all event-loss faults to one rate. */
+    static FaultConfig
+    eventLoss(uint64_t seed, uint32_t num, uint32_t den = 1'000'000)
+    {
+        FaultConfig c;
+        c.seed = seed;
+        c.rate_den = den;
+        c.drop_num = num;
+        return c;
+    }
+};
+
+/** Counters of every fault actually injected. */
+struct FaultStats
+{
+    uint64_t records_seen = 0;   //!< records offered to the stream
+    uint64_t dropped = 0;        //!< records lost
+    uint64_t duplicated = 0;     //!< records delivered twice
+    uint64_t reordered = 0;      //!< records delivered late
+    uint64_t corrupted = 0;      //!< records with mangled addresses
+    uint64_t insert_fails = 0;   //!< storage inserts refused
+    uint64_t forced_evicts = 0;  //!< storage entries forcibly removed
+    uint64_t cmd_errors = 0;     //!< command-port transients
+
+    /** Total faults injected across every class. */
+    uint64_t
+    total() const
+    {
+        return dropped + duplicated + reordered + corrupted +
+            insert_fails + forced_evicts + cmd_errors;
+    }
+
+    /** Loss-class faults only (the announced, FN-only kind). */
+    uint64_t
+    lossFaults() const
+    {
+        return dropped + insert_fails + forced_evicts + cmd_errors;
+    }
+};
+
+/**
+ * The seeded fault source shared by every interposer of one run.
+ * All probability draws flow through here in event order, which is
+ * what makes a run reproducible from (seed, trace) alone.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config)
+        : cfg(config), rng(config.seed)
+    {}
+
+    const FaultConfig &config() const { return cfg; }
+    const FaultStats &stats() const { return stat; }
+
+    /** Bernoulli draw at @p num / config().rate_den. */
+    bool
+    roll(uint32_t num)
+    {
+        if (num == 0)
+            return false;
+        return rng.chance(num, cfg.rate_den);
+    }
+
+    /** Uniform value in [0, bound). */
+    uint64_t draw(uint64_t bound) { return rng.below(bound); }
+
+    /**
+     * Hook for core::HwModule::setCommandFaultHook — injects
+     * transient command-port errors at cmd_error_num.
+     */
+    std::function<bool()>
+    commandFaultHook()
+    {
+        return [this] {
+            if (!roll(cfg.cmd_error_num))
+                return false;
+            ++stat.cmd_errors;
+            return true;
+        };
+    }
+
+    /** Counters are exposed mutable to the interposers below. */
+    FaultStats &mutableStats() { return stat; }
+
+  private:
+    FaultConfig cfg;
+    Rng rng;
+    FaultStats stat;
+};
+
+/**
+ * TraceSink interposer: sits between the event source (replay or a
+ * live hub) and a downstream sink, injecting the configured
+ * event-stream faults. Dropped records are announced through the
+ * loss callback (in hardware: the front-end FIFO's overflow counter),
+ * so the tracker can degrade verdicts for the affected process.
+ *
+ * Control events always flush pending reordered records first:
+ * faults perturb the hardware event stream, not the software command
+ * interleaving.
+ */
+class FaultyStream : public sim::TraceSink
+{
+  public:
+    /** Loss announcement: process whose events were lost. */
+    using LossCallback = std::function<void(ProcId)>;
+
+    FaultyStream(FaultInjector &injector, sim::TraceSink &downstream,
+                 LossCallback on_loss = {})
+        : inj(injector), down(downstream), loss_cb(std::move(on_loss))
+    {}
+
+    /** Wire a tracker as both downstream and loss listener. */
+    FaultyStream(FaultInjector &injector, core::PiftTracker &tracker)
+        : inj(injector), down(tracker),
+          loss_cb([&tracker](ProcId pid) {
+              tracker.noteStreamLoss(pid);
+          })
+    {}
+
+    void onRecord(const sim::TraceRecord &rec) override;
+    void onControl(const sim::ControlEvent &ev) override;
+
+    /** Deliver every still-pending reordered record (end of run). */
+    void flush();
+
+  private:
+    struct Pending
+    {
+        sim::TraceRecord rec;
+        unsigned remaining; //!< records still to pass before delivery
+    };
+
+    void deliver(const sim::TraceRecord &rec);
+    void drainDue();
+
+    FaultInjector &inj;
+    sim::TraceSink &down;
+    LossCallback loss_cb;
+    std::deque<Pending> pending;
+};
+
+/**
+ * TaintStore interposer: wraps any backend and injects storage-layer
+ * faults. A failed insert refuses the range; a forced evict removes a
+ * recently stored range (a storage cell dying under the entry). Both
+ * mark the affected process saturated, so sink checks degrade to
+ * MaybeTainted exactly like a real LruDrop/DropNew loss.
+ */
+class FaultyTaintStore : public core::TaintStore
+{
+  public:
+    FaultyTaintStore(FaultInjector &injector, core::TaintStore &inner)
+        : inj(injector), store(inner)
+    {}
+
+    bool query(ProcId pid, const taint::AddrRange &r) override;
+    bool insert(ProcId pid, const taint::AddrRange &r) override;
+    bool remove(ProcId pid, const taint::AddrRange &r) override;
+    void clear() override;
+    uint64_t bytes() const override;
+    size_t rangeCount() const override;
+
+    bool saturated(ProcId pid) const override;
+    void clearSaturation() override;
+
+  private:
+    /** Ranges remembered as forced-eviction victims. */
+    static constexpr size_t history_cap = 32;
+
+    FaultInjector &inj;
+    core::TaintStore &store;
+    std::unordered_set<ProcId> fault_saturated;
+    std::vector<std::pair<ProcId, taint::AddrRange>> history;
+    size_t history_next = 0;
+};
+
+} // namespace pift::faults
+
+#endif // PIFT_FAULTS_FAULT_INJECTOR_HH

@@ -1,11 +1,12 @@
 #include "sim/trace_io.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <ostream>
 
 #include "isa/inst.hh"
-#include "support/logging.hh"
 
 namespace pift::sim
 {
@@ -76,6 +77,31 @@ pack(const TraceRecord &r)
     return d;
 }
 
+/**
+ * Per-record sanity check: fixed-size framing means a corrupt record
+ * cannot desynchronize the reader, so rejecting the record itself is
+ * enough to resynchronize at the next slot.
+ */
+bool
+recordSane(const DiskRecord &d)
+{
+    if (d.op >= static_cast<uint8_t>(isa::Op::NumOps))
+        return false;
+    if (d.mem_kind > static_cast<uint8_t>(MemKind::Store))
+        return false;
+    if (d.mem_kind != static_cast<uint8_t>(MemKind::None) &&
+        d.mem_start > d.mem_end) {
+        return false;
+    }
+    return true;
+}
+
+bool
+controlSane(const DiskControl &d)
+{
+    return d.kind <= static_cast<uint8_t>(ControlKind::ClearAll);
+}
+
 TraceRecord
 unpack(const DiskRecord &d)
 {
@@ -120,28 +146,56 @@ writeTrace(std::ostream &os, const Trace &trace)
     }
 }
 
-bool
-readTrace(std::istream &is, Trace &trace)
+Expected<TraceReadReport>
+readTraceTolerant(std::istream &is, Trace &trace)
 {
     Header h{};
     is.read(reinterpret_cast<char *>(&h), sizeof(h));
-    if (!is || h.magic != trace_magic || h.version != trace_version)
-        return false;
+    if (!is)
+        return Status::error("trace shorter than its header");
+    if (h.magic != trace_magic)
+        return Status::error("not a PIFT trace (bad magic)");
+    if (h.version != trace_version) {
+        return Status::error("unsupported trace version " +
+                             std::to_string(h.version) + " (expected " +
+                             std::to_string(trace_version) + ")");
+    }
+
+    TraceReadReport report;
+    report.records_expected = h.record_count;
+    report.controls_expected = h.control_count;
+
     trace.clear();
-    trace.records.reserve(h.record_count);
+    // Reserve from the header, but never trust a corrupt count with
+    // the whole address space.
+    constexpr uint64_t reserve_cap = 1ull << 22;
+    trace.records.reserve(std::min(h.record_count, reserve_cap));
     for (uint64_t i = 0; i < h.record_count; ++i) {
         DiskRecord d{};
         is.read(reinterpret_cast<char *>(&d), sizeof(d));
-        if (!is)
-            return false;
+        if (!is) {
+            report.truncated = true;
+            return report;
+        }
+        if (!recordSane(d)) {
+            ++report.records_bad;
+            continue;
+        }
         trace.records.push_back(unpack(d));
+        ++report.records_read;
     }
-    trace.controls.reserve(h.control_count);
+    trace.controls.reserve(std::min(h.control_count, reserve_cap));
     for (uint64_t i = 0; i < h.control_count; ++i) {
         DiskControl d{};
         is.read(reinterpret_cast<char *>(&d), sizeof(d));
-        if (!is)
-            return false;
+        if (!is) {
+            report.truncated = true;
+            return report;
+        }
+        if (!controlSane(d)) {
+            ++report.controls_bad;
+            continue;
+        }
         ControlEvent c;
         c.seq = d.seq;
         c.kind = static_cast<ControlKind>(d.kind);
@@ -150,29 +204,63 @@ readTrace(std::istream &is, Trace &trace)
         c.end = d.end;
         c.id = d.id;
         trace.controls.push_back(c);
+        ++report.controls_read;
     }
-    return true;
-}
-
-void
-saveTrace(const std::string &path, const Trace &trace)
-{
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        pift_panic("cannot open trace file '%s' for writing",
-                   path.c_str());
-    writeTrace(os, trace);
-    if (!os)
-        pift_panic("write to trace file '%s' failed", path.c_str());
+    return report;
 }
 
 bool
+readTrace(std::istream &is, Trace &trace)
+{
+    auto result = readTraceTolerant(is, trace);
+    return result.ok() && !result.value().lossy();
+}
+
+Status
+saveTrace(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        return Status::error("cannot open trace file '" + path +
+                             "' for writing");
+    }
+    writeTrace(os, trace);
+    os.flush();
+    if (!os) {
+        return Status::error("write to trace file '" + path +
+                             "' failed");
+    }
+    return Status();
+}
+
+Status
 loadTrace(const std::string &path, Trace &trace)
 {
     std::ifstream is(path, std::ios::binary);
-    if (!is)
-        return false;
-    return readTrace(is, trace);
+    if (!is) {
+        return Status::error("cannot open trace file '" + path +
+                             "' for reading");
+    }
+    auto result = readTraceTolerant(is, trace);
+    if (!result.ok())
+        return result.status();
+    if (result.value().lossy()) {
+        return Status::error("trace file '" + path +
+                             "' is truncated or corrupt (use the "
+                             "tolerant loader to salvage it)");
+    }
+    return Status();
+}
+
+Expected<TraceReadReport>
+loadTraceTolerant(const std::string &path, Trace &trace)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return Status::error("cannot open trace file '" + path +
+                             "' for reading");
+    }
+    return readTraceTolerant(is, trace);
 }
 
 void

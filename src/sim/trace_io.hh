@@ -11,6 +11,13 @@
  * count} followed by packed on-disk record structs. The format is
  * host-endianness (little-endian on all supported hosts) and is a
  * cache file format, not an interchange format.
+ *
+ * I/O failures are recoverable conditions, not bugs: the file-path
+ * helpers return Status/Expected instead of panicking, and the
+ * tolerant reader salvages every sound record from a truncated or
+ * partially corrupt file — records are fixed-size, so framing
+ * self-resynchronizes and per-record sanity checks skip mangled
+ * entries individually.
  */
 
 #ifndef PIFT_SIM_TRACE_IO_HH
@@ -20,6 +27,7 @@
 #include <string>
 
 #include "sim/trace.hh"
+#include "support/expected.hh"
 
 namespace pift::sim
 {
@@ -28,16 +36,53 @@ namespace pift::sim
 void writeTrace(std::ostream &os, const Trace &trace);
 
 /**
- * Deserialize a trace written by writeTrace.
- * @return false on magic/version mismatch or truncation.
+ * Strict deserialization of a trace written by writeTrace.
+ * @return false on magic/version mismatch, truncation, or any
+ *         record that fails sanity checks
  */
 bool readTrace(std::istream &is, Trace &trace);
 
-/** Convenience: write to a file path; panics on I/O failure. */
-void saveTrace(const std::string &path, const Trace &trace);
+/** What a tolerant read managed to salvage. */
+struct TraceReadReport
+{
+    uint64_t records_expected = 0; //!< header's record count
+    uint64_t records_read = 0;     //!< sound records recovered
+    uint64_t records_bad = 0;      //!< records skipped by sanity checks
+    uint64_t controls_expected = 0;
+    uint64_t controls_read = 0;
+    uint64_t controls_bad = 0;
+    bool truncated = false;        //!< payload ended early
 
-/** Convenience: read from a file path. @return false on failure. */
-bool loadTrace(const std::string &path, Trace &trace);
+    /** True when anything was lost relative to the header's promise. */
+    bool
+    lossy() const
+    {
+        return truncated || records_bad > 0 || controls_bad > 0;
+    }
+};
+
+/**
+ * Tolerant deserialization: the header must be sound (magic/version),
+ * but a truncated payload keeps every complete record, and records
+ * failing sanity checks (unknown opcode/kind, inverted memory range)
+ * are skipped individually while reading continues at the next
+ * fixed-size slot.
+ *
+ * @return the salvage report, or an error Status when not even the
+ *         header is usable
+ */
+Expected<TraceReadReport> readTraceTolerant(std::istream &is,
+                                            Trace &trace);
+
+/** Write @p trace to a file. @return error Status on I/O failure. */
+Status saveTrace(const std::string &path, const Trace &trace);
+
+/** Strict read from a file path. @return error Status on failure. */
+Status loadTrace(const std::string &path, Trace &trace);
+
+/** Tolerant read from a file path (see readTraceTolerant). */
+Expected<TraceReadReport> loadTraceTolerant(const std::string &path,
+                                            Trace &trace);
 
 /** Dump a trace as text, one line per record/control, for debugging. */
 void dumpTraceText(std::ostream &os, const Trace &trace);

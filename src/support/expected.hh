@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Expected-style status plumbing for recoverable failures.
+ *
+ * panic()/fatal() are for bugs and impossible configurations; anything
+ * an I/O layer or a degraded hardware model can legitimately hit at
+ * runtime (missing file, truncated trace, transient command error)
+ * travels up as a Status / Expected<T> instead, so callers choose
+ * between retrying, degrading, and reporting. Modeled on the
+ * LLVM/abseil shape but deliberately tiny: a status is ok or carries a
+ * message; an Expected is a status plus a value when ok.
+ */
+
+#ifndef PIFT_SUPPORT_EXPECTED_HH
+#define PIFT_SUPPORT_EXPECTED_HH
+
+#include <string>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace pift
+{
+
+/** Outcome of a recoverable operation: ok, or an error message. */
+class Status
+{
+  public:
+    /** Successful status. */
+    Status() = default;
+
+    /** Failed status carrying @p message. */
+    static Status
+    error(std::string message)
+    {
+        Status s;
+        s.failed = true;
+        s.msg = std::move(message);
+        return s;
+    }
+
+    bool ok() const { return !failed; }
+    explicit operator bool() const { return ok(); }
+
+    /** Error message; empty for ok statuses. */
+    const std::string &message() const { return msg; }
+
+  private:
+    bool failed = false;
+    std::string msg;
+};
+
+/** A value of type T, or the Status explaining why there is none. */
+template <typename T>
+class Expected
+{
+  public:
+    /** Success, holding @p value. */
+    Expected(T value) : val(std::move(value)) {}
+
+    /** Failure; @p status must not be ok. */
+    Expected(Status status) : st(std::move(status))
+    {
+        pift_assert(!st.ok(),
+                    "Expected constructed from an ok status");
+    }
+
+    bool ok() const { return st.ok(); }
+    explicit operator bool() const { return ok(); }
+
+    const Status &status() const { return st; }
+    const std::string &message() const { return st.message(); }
+
+    /** The held value; asserts on failed Expected. */
+    T &
+    value()
+    {
+        pift_assert(ok(), "value() on failed Expected: %s",
+                    st.message().c_str());
+        return val;
+    }
+
+    const T &
+    value() const
+    {
+        pift_assert(ok(), "value() on failed Expected: %s",
+                    st.message().c_str());
+        return val;
+    }
+
+    /** The held value, or @p fallback when failed. */
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? val : std::move(fallback);
+    }
+
+  private:
+    Status st;
+    T val{};
+};
+
+} // namespace pift
+
+#endif // PIFT_SUPPORT_EXPECTED_HH

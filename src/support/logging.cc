@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_map>
 
 namespace pift
 {
@@ -11,7 +13,11 @@ namespace
 {
 
 std::atomic<uint64_t> warn_count{0};
+std::atomic<uint64_t> warn_suppressed{0};
 std::atomic<bool> quiet{false};
+
+std::mutex rate_limit_mutex;
+std::unordered_map<std::string, uint64_t> rate_limit_counts;
 
 const char *
 levelTag(LogLevel level)
@@ -57,6 +63,33 @@ uint64_t
 warnCount()
 {
     return warn_count.load(std::memory_order_relaxed);
+}
+
+bool
+warnRateLimit(const std::string &key, uint64_t limit)
+{
+    std::lock_guard<std::mutex> lock(rate_limit_mutex);
+    return rate_limit_counts[key]++ < limit;
+}
+
+void
+noteSuppressedWarn()
+{
+    warn_count.fetch_add(1, std::memory_order_relaxed);
+    warn_suppressed.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+warnSuppressedCount()
+{
+    return warn_suppressed.load(std::memory_order_relaxed);
+}
+
+void
+resetWarnRateLimits()
+{
+    std::lock_guard<std::mutex> lock(rate_limit_mutex);
+    rate_limit_counts.clear();
 }
 
 void

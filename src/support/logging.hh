@@ -12,6 +12,7 @@
 #define PIFT_SUPPORT_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace pift
@@ -35,10 +36,33 @@ void logMessage(LogLevel level, const char *file, int line,
                 const char *fmt, ...);
 
 /**
- * Number of warnings emitted so far (used by tests to assert
- * warning-free runs).
+ * Number of warnings raised so far (used by tests to assert
+ * warning-free runs). Warnings suppressed by warnRateLimit() still
+ * count here — rate limiting hides output, not the fact that
+ * something warned.
  */
 uint64_t warnCount();
+
+/**
+ * Rate-limit gate for warning sites that can fire once per event
+ * (fault injection, degraded-mode paths). Returns true at most
+ * @p limit times per distinct @p key; afterwards the site should skip
+ * emitting. Suppressed calls are recorded via noteSuppressedWarn() by
+ * the pift_warn_limited macro so warnCount() semantics survive.
+ *
+ * @param key stable identity of the warning site/category
+ * @param limit maximum number of emissions for this key
+ */
+bool warnRateLimit(const std::string &key, uint64_t limit);
+
+/** Count a warning that was raised but suppressed by rate limiting. */
+void noteSuppressedWarn();
+
+/** Warnings suppressed by warnRateLimit() so far. */
+uint64_t warnSuppressedCount();
+
+/** Forget all warnRateLimit() keys (tests reuse warning sites). */
+void resetWarnRateLimits();
 
 /**
  * Redirect informational output. Benches use this to silence module
@@ -59,6 +83,22 @@ void setQuiet(bool quiet);
 #define pift_warn(...) \
     ::pift::logMessage(::pift::LogLevel::Warn, __FILE__, __LINE__, \
                        __VA_ARGS__)
+
+/**
+ * Warn at most @p limit times per call site, then suppress output
+ * (still counted by warnCount()/warnSuppressedCount()). For per-event
+ * conditions that would otherwise flood bench output.
+ */
+#define pift_warn_limited(limit, ...) \
+    do { \
+        if (::pift::warnRateLimit(std::string(__FILE__) + ":" + \
+                                      std::to_string(__LINE__), \
+                                  limit)) { \
+            pift_warn(__VA_ARGS__); \
+        } else { \
+            ::pift::noteSuppressedWarn(); \
+        } \
+    } while (0)
 #define pift_inform(...) \
     ::pift::logMessage(::pift::LogLevel::Inform, __FILE__, __LINE__, \
                        __VA_ARGS__)

@@ -121,6 +121,47 @@ TEST(Prevention, DetectPolicyDelivers)
     EXPECT_EQ(d.alerts.size(), 1u);
 }
 
+TEST(Prevention, TransientCommandFaultsAreRetried)
+{
+    // The kernel module re-issues a command that fails transiently;
+    // a fault that clears within the retry budget is invisible to the
+    // framework.
+    LiveDevice d;
+    d.ctx.env.setSinkPolicy(android::SinkPolicy::Prevent);
+    unsigned failures = 0;
+    d.hw.setCommandFaultHook([&failures] {
+        return ++failures <= 2; // first two attempts fail
+    });
+    auto main_id = benignMain(d.ctx);
+    d.ctx.vm.boot();
+    d.ctx.vm.execute(main_id);
+
+    ASSERT_EQ(d.ctx.env.sinkCalls().size(), 1u);
+    EXPECT_EQ(d.ctx.env.sinkCalls()[0].verdict,
+              core::SinkVerdict::Clean);
+    EXPECT_FALSE(d.ctx.env.sinkCalls()[0].blocked);
+    EXPECT_GT(failures, 2u); // the retry actually happened
+}
+
+TEST(Prevention, PersistentCommandFaultDegradesToMaybe)
+{
+    // A command port that never answers: after max_cmd_retries the
+    // module refuses to call the data clean — MaybeTainted, which
+    // prevention mode blocks, but no leak alert (nothing was found).
+    LiveDevice d;
+    d.ctx.env.setSinkPolicy(android::SinkPolicy::Prevent);
+    d.hw.setCommandFaultHook([] { return true; });
+    auto main_id = benignMain(d.ctx);
+    d.ctx.vm.boot();
+    d.ctx.vm.execute(main_id);
+
+    ASSERT_EQ(d.ctx.env.sinkCalls().size(), 1u);
+    EXPECT_EQ(d.ctx.env.sinkCalls()[0].verdict,
+              core::SinkVerdict::MaybeTainted);
+    EXPECT_TRUE(d.ctx.env.sinkCalls()[0].blocked);
+    EXPECT_TRUE(d.alerts.empty());
+}
+
 TEST(Prevention, WithoutHardwareChecksAreOfflineOnly)
 {
     // No hardware module attached: the sink cannot block (the check

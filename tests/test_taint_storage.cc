@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "core/taint_storage.hh"
 #include "support/rng.hh"
 
@@ -172,6 +174,108 @@ TEST(TaintStorage, Paper32KiBSizing)
     EXPECT_EQ(st.validEntries(), 2730u);
     EXPECT_EQ(st.stats().evictions, 0u);
 }
+
+TEST(TaintStorage, LruDropSetsSaturationOnVictim)
+{
+    TaintStorage st(params(2, EvictPolicy::LruDrop, false));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    EXPECT_FALSE(st.saturated(1)); // nothing lost yet
+    st.insert(2, AddrRange(0x300, 0x30f));
+    st.insert(2, AddrRange(0x500, 0x50f)); // drops pid 1's entry
+    EXPECT_TRUE(st.saturated(1));
+    EXPECT_FALSE(st.saturated(2)); // pid 2 lost nothing
+    EXPECT_EQ(st.stats().saturation_events, 1u);
+}
+
+TEST(TaintStorage, DropNewSetsSaturationOnRefusedPid)
+{
+    TaintStorage st(params(2, EvictPolicy::DropNew, false));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(1, AddrRange(0x300, 0x30f));
+    EXPECT_FALSE(st.saturated(1));
+    EXPECT_FALSE(st.insert(2, AddrRange(0x500, 0x50f)));
+    EXPECT_TRUE(st.saturated(2)); // the refused process lost taint
+    EXPECT_FALSE(st.saturated(1)); // resident entries intact
+    EXPECT_EQ(st.stats().saturation_events, 1u);
+}
+
+TEST(TaintStorage, LruSpillNeverSaturates)
+{
+    TaintStorage st(params(2, EvictPolicy::LruSpill, false));
+    for (uint32_t i = 0; i < 32; ++i)
+        st.insert(1, AddrRange(i * 0x100, i * 0x100 + 4));
+    EXPECT_GT(st.stats().evictions, 0u);
+    EXPECT_FALSE(st.saturated(1)); // spilled, not lost
+    EXPECT_EQ(st.stats().saturation_events, 0u);
+}
+
+TEST(TaintStorage, SaturationClearsWithStateAndOnDemand)
+{
+    TaintStorage st(params(1, EvictPolicy::LruDrop, false));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(1, AddrRange(0x300, 0x30f));
+    ASSERT_TRUE(st.saturated(1));
+    st.clearSaturation();
+    EXPECT_FALSE(st.saturated(1));
+
+    st.insert(1, AddrRange(0x500, 0x50f));
+    ASSERT_TRUE(st.saturated(1));
+    st.clear();
+    EXPECT_FALSE(st.saturated(1));
+}
+
+class TinyLossyStorage
+    : public ::testing::TestWithParam<std::tuple<EvictPolicy, uint64_t>>
+{};
+
+TEST_P(TinyLossyStorage, NeverFalsePositiveAndSaturationIsExact)
+{
+    // Section 3.3: a saturated cache under a lossy policy may forget
+    // taint (false negatives) but must never invent it. Also: the
+    // saturation flag must be set exactly when a process actually
+    // lost a range — a pid that never lost anything stays exact, so
+    // its negatives stay trustworthy.
+    auto [policy, seed] = GetParam();
+    Rng rng(seed);
+    TaintStorage hw(params(3, policy, true));
+    IdealRangeStore ideal;
+
+    for (int step = 0; step < 3000; ++step) {
+        ProcId pid = 1 + static_cast<ProcId>(rng.below(3));
+        Addr start = 0x1000 + static_cast<Addr>(rng.below(768));
+        Addr len = 1 + static_cast<Addr>(rng.below(24));
+        AddrRange r = AddrRange::fromSize(start, len);
+        switch (rng.below(4)) {
+          case 0:
+          case 1:
+            hw.insert(pid, r);
+            ideal.insert(pid, r);
+            break;
+          case 2:
+            hw.remove(pid, r);
+            ideal.remove(pid, r);
+            break;
+          default:
+            if (hw.query(pid, r)) {
+                // Never a false positive, saturated or not.
+                ASSERT_TRUE(ideal.query(pid, r)) << "step " << step;
+            } else if (!hw.saturated(pid)) {
+                // Unsaturated process: negatives are exact too.
+                ASSERT_FALSE(ideal.query(pid, r)) << "step " << step;
+            }
+            break;
+        }
+    }
+    // The stream above overflows 3 entries; some process lost state
+    // and the loss was flagged.
+    EXPECT_GT(hw.stats().saturation_events, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, TinyLossyStorage,
+    ::testing::Combine(::testing::Values(EvictPolicy::LruDrop,
+                                         EvictPolicy::DropNew),
+                       ::testing::Values(5u, 17u, 29u)));
 
 class StorageEquivalence : public ::testing::TestWithParam<uint64_t>
 {};

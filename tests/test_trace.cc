@@ -206,11 +206,81 @@ TEST(TraceIo, FileRoundTrip)
     Trace trace;
     trace.records.push_back(makeRecord(0, MemKind::Load));
     std::string path = ::testing::TempDir() + "/pift_trace_test.bin";
-    saveTrace(path, trace);
+    ASSERT_TRUE(saveTrace(path, trace).ok());
     Trace loaded;
-    ASSERT_TRUE(loadTrace(path, loaded));
+    ASSERT_TRUE(loadTrace(path, loaded).ok());
     EXPECT_EQ(loaded.records.size(), 1u);
-    EXPECT_FALSE(loadTrace(path + ".missing", loaded));
+    EXPECT_FALSE(loadTrace(path + ".missing", loaded).ok());
+}
+
+TEST(TraceIo, SaveToUnwritablePathIsRecoverable)
+{
+    Trace trace;
+    trace.records.push_back(makeRecord(0));
+    auto st = saveTrace("/nonexistent-dir/pift.trace", trace);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("cannot open"), std::string::npos);
+}
+
+TEST(TraceIo, TolerantReaderSalvagesTruncatedFile)
+{
+    Trace trace;
+    for (SeqNum i = 0; i < 4; ++i)
+        trace.records.push_back(makeRecord(i, MemKind::Load));
+    std::stringstream ss;
+    writeTrace(ss, trace);
+    std::string data = ss.str();
+    // Chop the last record in half: three full records survive.
+    std::stringstream truncated(data.substr(0, data.size() - 10));
+
+    Trace salvaged;
+    auto result = readTraceTolerant(truncated, salvaged);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().truncated);
+    EXPECT_TRUE(result.value().lossy());
+    EXPECT_EQ(result.value().records_expected, 4u);
+    EXPECT_EQ(result.value().records_read, 3u);
+    EXPECT_EQ(salvaged.records.size(), 3u);
+    EXPECT_EQ(salvaged.records[2].seq, 2u);
+}
+
+TEST(TraceIo, TolerantReaderSkipsCorruptRecords)
+{
+    Trace trace;
+    for (SeqNum i = 0; i < 3; ++i)
+        trace.records.push_back(makeRecord(i, MemKind::Store));
+    std::stringstream ss;
+    writeTrace(ss, trace);
+    std::string data = ss.str();
+    // Stomp the middle record's opcode byte with garbage. The record
+    // layout starts after the 24-byte header; op is at offset 24
+    // within a record.
+    size_t header = 24;
+    size_t rec_size = (data.size() - header) / 3;
+    data[header + rec_size + 24] = static_cast<char>(0xee);
+
+    std::stringstream corrupt(data);
+    Trace salvaged;
+    auto result = readTraceTolerant(corrupt, salvaged);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result.value().truncated);
+    EXPECT_EQ(result.value().records_bad, 1u);
+    EXPECT_EQ(result.value().records_read, 2u);
+    ASSERT_EQ(salvaged.records.size(), 2u);
+    // The reader resynchronized: the record after the bad one is
+    // intact.
+    EXPECT_EQ(salvaged.records[1].seq, 2u);
+}
+
+TEST(TraceIo, TolerantReaderRejectsGarbageHeader)
+{
+    std::stringstream ss;
+    ss << "not a trace at all, sorry";
+    Trace t;
+    auto result = readTraceTolerant(ss, t);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("magic"),
+              std::string::npos);
 }
 
 TEST(TraceIo, TextDumpMentionsEvents)
