@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Static oracle vs dynamic PIFT: classify every DroidBench app
+ * without executing it, cross-check against the replay verdicts at
+ * the paper's operating point (NI=13, NT=3), and compare the window
+ * bounds derived from the handler templates with the Figure 11 sweep
+ * optimum. Everything here is deterministic: no execution feeds the
+ * static side, and the replays are exact.
+ */
+
+#include "bench/common.hh"
+
+#include "analysis/crosscheck.hh"
+#include "droidbench/static_oracle.hh"
+#include "static/window.hh"
+
+using namespace pift;
+
+int
+main()
+{
+    benchx::banner("static taint oracle vs dynamic PIFT",
+                   "Sections 3-5 (static cross-check)");
+
+    // --- Static sweep: whole registry, no execution. ---------------
+    auto verdicts =
+        droidbench::staticSweep(droidbench::droidBenchApps());
+
+    std::printf("%-36s %-8s %-8s\n", "app", "truth", "static");
+    for (const auto &v : verdicts)
+        std::printf("%-36s %-8s %-8s%s\n", v.name.c_str(),
+                    v.leaks_truth ? "leaks" : "benign",
+                    v.static_leaks ? "leaks" : "benign",
+                    v.leaks_truth == v.static_leaks ? "" : "  <-- miss");
+
+    // --- Dynamic verdicts at the paper's operating point. ----------
+    const auto &set = benchx::suiteTraces();
+    core::PiftParams params;
+    params.ni = 13;
+    params.nt = 3;
+
+    std::vector<analysis::VerdictPair> pairs;
+    for (const auto &v : verdicts) {
+        analysis::VerdictPair p;
+        p.name = v.name;
+        p.truth = v.leaks_truth;
+        p.static_leaks = v.static_leaks;
+        for (const auto &item : set)
+            if (item.name == v.name)
+                p.dynamic_leaks =
+                    analysis::piftDetectsLeak(item.trace, params);
+        pairs.push_back(std::move(p));
+    }
+    auto cc = analysis::crossCheck(pairs);
+
+    std::printf("\nconfusion vs ground truth:\n");
+    std::printf("  %-22s TP=%-3u FP=%-3u TN=%-3u FN=%-3u "
+                "accuracy %.1f%%\n", "static oracle:",
+                cc.static_vs_truth.tp, cc.static_vs_truth.fp,
+                cc.static_vs_truth.tn, cc.static_vs_truth.fn,
+                100.0 * cc.static_vs_truth.accuracy());
+    std::printf("  %-22s TP=%-3u FP=%-3u TN=%-3u FN=%-3u "
+                "accuracy %.1f%%\n", "dynamic (NI=13,NT=3):",
+                cc.dynamic_vs_truth.tp, cc.dynamic_vs_truth.fp,
+                cc.dynamic_vs_truth.tn, cc.dynamic_vs_truth.fn,
+                100.0 * cc.dynamic_vs_truth.accuracy());
+
+    std::printf("\nstatic vs dynamic agreement matrix:\n");
+    std::printf("  both leaky %-3u  static only %-3u\n", cc.both_flag,
+                cc.static_only);
+    std::printf("  dynamic only %-3u  both benign %-3u\n",
+                cc.dynamic_only, cc.both_clean);
+    for (const auto &name : cc.disagreements)
+        std::printf("  disagreement: %s\n", name.c_str());
+
+    // --- Window bounds derived from the handler templates. ---------
+    auto derivation = static_analysis::deriveWindowBounds();
+    std::printf("\nderived window bounds (handler-template walk):\n");
+    std::printf("  max intra-handler load->store distance: %d\n",
+                derivation.intra_max);
+    std::printf("  branch tail %d + interposed handler %d + const "
+                "prefix %d\n", derivation.branch_tail_max,
+                derivation.min_interposed,
+                derivation.max_const_prefix);
+    std::printf("  derived (NI, NT) = (%d, %d)\n",
+                derivation.derived_ni, derivation.derived_nt);
+
+    // Figure 11 sweep optimum: smallest NI (then NT) at 100%.
+    unsigned best_ni = 0;
+    unsigned best_nt = 0;
+    for (unsigned ni = 1; ni <= 20 && !best_ni; ++ni)
+        for (unsigned nt = 1; nt <= 10; ++nt) {
+            core::PiftParams p;
+            p.ni = ni;
+            p.nt = nt;
+            auto acc = analysis::evaluateAccuracy(set, p);
+            if (acc.fp == 0 && acc.fn == 0) {
+                best_ni = ni;
+                best_nt = nt;
+                break;
+            }
+        }
+    std::printf("  Figure 11 sweep optimum: (NI=%u, NT=%u)\n", best_ni,
+                best_nt);
+    std::printf("  delta: (%d, %d)\n",
+                derivation.derived_ni - static_cast<int>(best_ni),
+                derivation.derived_nt - static_cast<int>(best_nt));
+    return 0;
+}

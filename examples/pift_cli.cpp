@@ -8,6 +8,7 @@
  *   sweep <app> [maxNI]          minimal-NI table for one app
  *   capture <app> <file>         save the app's trace to disk
  *   replay <file> [NI NT]        evaluate a saved trace
+ *   static-check [app]           verify bytecode + static taint oracle
  *
  * Examples:
  *   ./build/examples/pift_cli list
@@ -24,7 +25,10 @@
 #include "analysis/evaluate.hh"
 #include "dalvik/disasm.hh"
 #include "droidbench/app.hh"
+#include "droidbench/static_oracle.hh"
 #include "sim/trace_io.hh"
+#include "static/oracle.hh"
+#include "static/verifier.hh"
 
 using namespace pift;
 
@@ -165,6 +169,57 @@ cmdReplay(const std::string &path, unsigned ni, unsigned nt)
     return 0;
 }
 
+int
+staticCheckApp(const droidbench::AppEntry &entry)
+{
+    droidbench::AppContext ctx;
+    dalvik::MethodId main_id = entry.declare(ctx);
+
+    unsigned errors = 0;
+    unsigned warnings = 0;
+    for (size_t id = 0; id < ctx.dex.methodCount(); ++id) {
+        const auto &m =
+            ctx.dex.method(static_cast<dalvik::MethodId>(id));
+        auto result = static_analysis::verifyMethod(m, &ctx.dex);
+        errors += result.errorCount();
+        warnings += result.warningCount();
+        for (const auto &d : result.diagnostics)
+            std::printf("  %s: %s\n", m.name.c_str(),
+                        static_analysis::formatDiagnostic(d).c_str());
+    }
+
+    auto oracle = static_analysis::runOracle(
+        ctx.dex, main_id, droidbench::oracleConfigFor(ctx));
+    std::printf("%-36s verify: %u error(s), %u warning(s); "
+                "oracle: %s (truth: %s)\n",
+                entry.name.c_str(), errors, warnings,
+                oracle.leaks ? "leaks" : "benign",
+                entry.leaks ? "leaks" : "benign");
+    for (const auto &sink : oracle.leak_sinks)
+        std::printf("  tainted data reaches sink %s\n", sink.c_str());
+    return errors ? 1 : 0;
+}
+
+int
+cmdStaticCheck(const std::string &name)
+{
+    if (!name.empty()) {
+        const auto *entry = findApp(name);
+        if (!entry) {
+            std::fprintf(stderr, "unknown app '%s' (try 'list')\n",
+                         name.c_str());
+            return 2;
+        }
+        return staticCheckApp(*entry);
+    }
+    int rc = 0;
+    for (const auto &entry : droidbench::droidBenchApps())
+        rc |= staticCheckApp(entry);
+    for (const auto &entry : droidbench::malwareApps())
+        rc |= staticCheckApp(entry);
+    return rc;
+}
+
 void
 usage()
 {
@@ -174,7 +229,8 @@ usage()
                  "       pift_cli sweep <app> [maxNI]\n"
                  "       pift_cli dump <app>\n"
                  "       pift_cli capture <app> <file>\n"
-                 "       pift_cli replay <file> [NI NT]\n");
+                 "       pift_cli replay <file> [NI NT]\n"
+                 "       pift_cli static-check [app]\n");
 }
 
 } // namespace
@@ -203,6 +259,8 @@ main(int argc, char **argv)
         return cmdCapture(argv[2], argv[3]);
     if (cmd == "replay" && argc >= 3)
         return cmdReplay(argv[2], num(3, 13), num(4, 3));
+    if (cmd == "static-check")
+        return cmdStaticCheck(argc >= 3 ? argv[2] : "");
     usage();
     return 2;
 }

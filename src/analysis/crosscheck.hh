@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Static-vs-dynamic verdict cross-check.
+ *
+ * Pairs the static oracle's per-app classification with the dynamic
+ * PIFT replay verdict and summarises both against ground truth plus
+ * their mutual agreement matrix. Pure data plumbing — the verdicts
+ * themselves come from droidbench/static_oracle.hh and evaluate.hh.
+ */
+
+#ifndef PIFT_ANALYSIS_CROSSCHECK_HH
+#define PIFT_ANALYSIS_CROSSCHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/evaluate.hh"
+
+namespace pift::analysis
+{
+
+/** One app's paired verdicts. */
+struct VerdictPair
+{
+    std::string name;
+    bool truth = false;   //!< registry ground truth
+    bool dynamic_leaks = false;
+    bool static_leaks = false;
+};
+
+/** Both per-method accuracies plus the agreement matrix. */
+struct CrossCheck
+{
+    Accuracy static_vs_truth;
+    Accuracy dynamic_vs_truth;
+
+    // Static-vs-dynamic confusion matrix.
+    unsigned both_flag = 0;    //!< both say leaky
+    unsigned both_clean = 0;   //!< both say benign
+    unsigned static_only = 0;  //!< static leaky, dynamic benign
+    unsigned dynamic_only = 0; //!< dynamic leaky, static benign
+
+    std::vector<std::string> disagreements; //!< app names
+
+    unsigned agreements() const { return both_flag + both_clean; }
+};
+
+inline CrossCheck
+crossCheck(const std::vector<VerdictPair> &pairs)
+{
+    CrossCheck cc;
+    auto score = [](Accuracy &acc, bool verdict, bool truth) {
+        if (verdict && truth)
+            ++acc.tp;
+        else if (verdict && !truth)
+            ++acc.fp;
+        else if (!verdict && !truth)
+            ++acc.tn;
+        else
+            ++acc.fn;
+    };
+    for (const VerdictPair &p : pairs) {
+        score(cc.static_vs_truth, p.static_leaks, p.truth);
+        score(cc.dynamic_vs_truth, p.dynamic_leaks, p.truth);
+        if (p.static_leaks && p.dynamic_leaks)
+            ++cc.both_flag;
+        else if (!p.static_leaks && !p.dynamic_leaks)
+            ++cc.both_clean;
+        else if (p.static_leaks)
+            ++cc.static_only;
+        else
+            ++cc.dynamic_only;
+        if (p.static_leaks != p.dynamic_leaks)
+            cc.disagreements.push_back(p.name);
+    }
+    return cc;
+}
+
+} // namespace pift::analysis
+
+#endif // PIFT_ANALYSIS_CROSSCHECK_HH

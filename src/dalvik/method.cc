@@ -26,6 +26,8 @@ Dex::addMethod(Method m)
     if (!inserted)
         pift_panic("duplicate method name '%s'", m.name.c_str());
     methods.push_back(std::move(m));
+    if (verify_hook)
+        verify_hook(methods.back(), *this);
     return id;
 }
 

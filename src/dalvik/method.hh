@@ -78,10 +78,21 @@ struct ClassInfo
 class Dex
 {
   public:
+    /**
+     * Callback run on every method as it is registered. Installed by
+     * debug builds to run the static bytecode verifier at load time;
+     * kept as an opaque hook so the registry does not depend on the
+     * analysis layer.
+     */
+    using VerifyHook = std::function<void(const Method &, const Dex &)>;
+
     Dex();
 
     /** Register a bytecode method; returns its id. */
     MethodId addMethod(Method m);
+
+    /** Run @p hook at the end of every subsequent addMethod(). */
+    void setVerifyHook(VerifyHook hook) { verify_hook = std::move(hook); }
 
     /**
      * Register a native method.
@@ -124,6 +135,7 @@ class Dex
   private:
     std::vector<Method> methods;
     std::unordered_map<std::string, MethodId> method_names;
+    VerifyHook verify_hook;
     std::vector<ClassInfo> classes;
     std::vector<std::string> pool;
     std::unordered_map<std::string, uint16_t> pool_index;

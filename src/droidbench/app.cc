@@ -1,5 +1,6 @@
 #include "droidbench/app.hh"
 
+#include "static/verifier.hh"
 #include "support/logging.hh"
 
 namespace pift::droidbench
@@ -10,6 +11,21 @@ AppContext::AppContext()
       vm(cpu, dex, heap)
 {
     hub.addSink(&buffer);
+#ifndef NDEBUG
+    // Debug builds verify every method — library, framework and app —
+    // at registration time; malformed bytecode dies at load, not at
+    // some later pc.
+    dex.setVerifyHook([](const dalvik::Method &m,
+                         const dalvik::Dex &d) {
+        auto result = static_analysis::verifyMethod(m, &d);
+        for (const auto &diag : result.diagnostics)
+            if (diag.severity == static_analysis::Severity::Error)
+                pift_panic(
+                    "load-time verifier rejected '%s': %s",
+                    m.name.c_str(),
+                    static_analysis::formatDiagnostic(diag).c_str());
+    });
+#endif
     lib.install(dex);
     env.install(dex, lib);
 }

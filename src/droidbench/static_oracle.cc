@@ -1,0 +1,91 @@
+#include "droidbench/static_oracle.hh"
+
+namespace pift::droidbench
+{
+
+using static_analysis::NativeModel;
+using static_analysis::OracleConfig;
+
+OracleConfig
+oracleConfigFor(const AppContext &ctx)
+{
+    OracleConfig config;
+    config.char_array_cls = ctx.dex.charArrayClass();
+    config.sb_buf_offset = runtime::JavaLib::sb_field_buf;
+
+    auto model = [&config](dalvik::MethodId id, NativeModel::Kind kind,
+                           std::set<dalvik::ClassId> ret_pts = {}) {
+        NativeModel m;
+        m.kind = kind;
+        m.ret_pts = std::move(ret_pts);
+        config.natives[id] = std::move(m);
+    };
+
+    const android::AndroidEnv &env = ctx.env;
+    const runtime::JavaLib &lib = ctx.lib;
+
+    // Sources. getLastKnownLocation returns a Location object whose
+    // fields the oracle tracks; the string sources return opaque
+    // tainted references.
+    model(env.get_device_id, NativeModel::Kind::Source);
+    model(env.get_line1_number, NativeModel::Kind::Source);
+    model(env.get_serial, NativeModel::Kind::Source);
+    model(env.get_sim_id, NativeModel::Kind::Source);
+    model(env.get_location_string, NativeModel::Kind::Source);
+    model(env.get_location, NativeModel::Kind::Source,
+          {env.location_cls});
+
+    // Sinks.
+    model(env.send_text_message, NativeModel::Kind::Sink);
+    model(env.http_post, NativeModel::Kind::Sink);
+    model(env.log_d, NativeModel::Kind::Sink);
+
+    // Intent extras are one opaque summary slot per Intent class.
+    model(env.intent_init, NativeModel::Kind::Alloc, {env.intent_cls});
+    model(env.intent_put_extra, NativeModel::Kind::IntentPut);
+    model(env.intent_get_extra, NativeModel::Kind::IntentGet);
+    model(env.handler_post, NativeModel::Kind::HandlerPost);
+
+    // StringBuilder: init points the buf field at char[] so bytecode
+    // appendChar stores land in the element summary the oracle reads
+    // back through toString's deep-taint walk.
+    model(lib.sb_init, NativeModel::Kind::SbInit,
+          {lib.string_builder_cls});
+    model(lib.sb_append, NativeModel::Kind::SbAppend);
+
+    // Conversions pass taint through; toCharArray materialises a
+    // char[] so later aget/aput see a points-to class.
+    model(lib.string_to_char_array, NativeModel::Kind::Passthrough,
+          {ctx.dex.charArrayClass()});
+    model(lib.array_copy, NativeModel::Kind::ArrayCopy);
+
+    // string_concat, substring, valueOf, fromCharArray, toString,
+    // Integer/Float conversions: the Passthrough default already
+    // models them (result deep-tainted iff any argument is).
+    return config;
+}
+
+std::vector<StaticVerdict>
+staticSweep(const std::vector<AppEntry> &apps)
+{
+    std::vector<StaticVerdict> verdicts;
+    verdicts.reserve(apps.size());
+    for (const AppEntry &entry : apps) {
+        AppContext ctx;
+        dalvik::MethodId main = entry.declare(ctx);
+        static_analysis::OracleResult result =
+            static_analysis::runOracle(ctx.dex, main,
+                                       oracleConfigFor(ctx));
+        StaticVerdict v;
+        v.name = entry.name;
+        v.category = entry.category;
+        v.leaks_truth = entry.leaks;
+        v.static_leaks = result.leaks;
+        v.sinks = std::move(result.leak_sinks);
+        v.iterations = result.outer_iterations;
+        verdicts.push_back(std::move(v));
+    }
+    return verdicts;
+}
+
+} // namespace pift::droidbench

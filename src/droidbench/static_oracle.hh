@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Binds the static taint oracle to the DroidBench registry.
+ *
+ * Each app is declared on its own fresh device (so per-app method ids
+ * and heap summaries never bleed between apps), the framework and
+ * library natives are mapped to oracle models, and the oracle
+ * classifies the app leaky/benign without executing a single
+ * instruction. bench_static_oracle cross-checks these verdicts
+ * against the dynamic PIFT replay verdicts.
+ */
+
+#ifndef PIFT_DROIDBENCH_STATIC_ORACLE_HH
+#define PIFT_DROIDBENCH_STATIC_ORACLE_HH
+
+#include <string>
+#include <vector>
+
+#include "droidbench/app.hh"
+#include "static/oracle.hh"
+
+namespace pift::droidbench
+{
+
+/**
+ * Oracle models for the framework/library natives installed on
+ * @p ctx: sources taint their result, sinks flag deep-tainted
+ * arguments, StringBuilder/Intent/arraycopy get heap-summary
+ * semantics, and everything else passes taint through.
+ */
+static_analysis::OracleConfig oracleConfigFor(const AppContext &ctx);
+
+/** One app's static classification. */
+struct StaticVerdict
+{
+    std::string name;
+    std::string category;
+    bool leaks_truth = false;  //!< registry ground truth
+    bool static_leaks = false; //!< oracle verdict
+    std::vector<std::string> sinks; //!< sinks the oracle flagged
+    unsigned iterations = 0;   //!< outer fixpoint rounds
+};
+
+/** Declare each of @p apps on a fresh device and classify it. */
+std::vector<StaticVerdict>
+staticSweep(const std::vector<AppEntry> &apps);
+
+} // namespace pift::droidbench
+
+#endif // PIFT_DROIDBENCH_STATIC_ORACLE_HH

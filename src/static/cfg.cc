@@ -1,0 +1,122 @@
+#include "static/cfg.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "dalvik/method.hh"
+
+namespace pift::static_analysis
+{
+
+size_t
+Cfg::blockAtUnit(size_t unit) const
+{
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        const BasicBlock &bb = blocks[b];
+        for (size_t k = 0; k < bb.count; ++k)
+            if (insts[bb.first + k].unit == unit)
+                return b;
+    }
+    return npos;
+}
+
+Cfg
+buildCfg(const dalvik::Method &method)
+{
+    size_t catch_off = method.catch_offset >= 0
+        ? static_cast<size_t>(method.catch_offset)
+        : static_cast<size_t>(-1);
+    return buildCfg(method.code, catch_off);
+}
+
+Cfg
+buildCfg(const std::vector<uint16_t> &code, size_t catch_offset)
+{
+    Cfg cfg;
+    DecodeError err = DecodeError::None;
+    cfg.insts = decodeAll(code, &err);
+    if (err != DecodeError::None || cfg.insts.empty())
+        return cfg;
+
+    // Map from unit offset to instruction index, then mark leaders.
+    std::map<size_t, size_t> unit_to_inst;
+    for (size_t i = 0; i < cfg.insts.size(); ++i)
+        unit_to_inst[cfg.insts[i].unit] = i;
+
+    std::vector<bool> leader(cfg.insts.size(), false);
+    leader[0] = true;
+    if (catch_offset != static_cast<size_t>(-1)) {
+        auto it = unit_to_inst.find(catch_offset);
+        if (it != unit_to_inst.end())
+            leader[it->second] = true;
+    }
+    for (size_t i = 0; i < cfg.insts.size(); ++i) {
+        const DecodedInst &inst = cfg.insts[i];
+        if (inst.isBranch()) {
+            auto it = unit_to_inst.find(inst.targetUnit());
+            if (it != unit_to_inst.end())
+                leader[it->second] = true;
+        }
+        bool ends_block = inst.isBranch() || !inst.fallsThrough();
+        if (ends_block && i + 1 < cfg.insts.size())
+            leader[i + 1] = true;
+    }
+
+    // Carve blocks and record which block each instruction lands in.
+    std::vector<size_t> inst_block(cfg.insts.size(), Cfg::npos);
+    for (size_t i = 0; i < cfg.insts.size(); ++i) {
+        if (leader[i]) {
+            BasicBlock bb;
+            bb.first = i;
+            cfg.blocks.push_back(bb);
+        }
+        cfg.blocks.back().count++;
+        inst_block[i] = cfg.blocks.size() - 1;
+    }
+
+    // Edges: branch target plus fall-through.
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const DecodedInst &last = cfg.lastInst(cfg.blocks[b]);
+        size_t last_idx = cfg.blocks[b].first + cfg.blocks[b].count - 1;
+        if (last.isBranch()) {
+            auto it = unit_to_inst.find(last.targetUnit());
+            if (it != unit_to_inst.end())
+                cfg.blocks[b].succs.push_back(inst_block[it->second]);
+        }
+        if (last.fallsThrough() && last_idx + 1 < cfg.insts.size()) {
+            size_t next = inst_block[last_idx + 1];
+            if (std::find(cfg.blocks[b].succs.begin(),
+                          cfg.blocks[b].succs.end(),
+                          next) == cfg.blocks[b].succs.end())
+                cfg.blocks[b].succs.push_back(next);
+        }
+    }
+    for (size_t b = 0; b < cfg.blocks.size(); ++b)
+        for (size_t s : cfg.blocks[b].succs)
+            cfg.blocks[s].preds.push_back(b);
+
+    cfg.entry_block = 0;
+    if (catch_offset != static_cast<size_t>(-1)) {
+        auto it = unit_to_inst.find(catch_offset);
+        if (it != unit_to_inst.end())
+            cfg.catch_block = inst_block[it->second];
+    }
+
+    // Reachability from the entry and the catch entry.
+    std::vector<size_t> work{cfg.entry_block};
+    if (cfg.catch_block != Cfg::npos)
+        work.push_back(cfg.catch_block);
+    while (!work.empty()) {
+        size_t b = work.back();
+        work.pop_back();
+        if (cfg.blocks[b].reachable)
+            continue;
+        cfg.blocks[b].reachable = true;
+        for (size_t s : cfg.blocks[b].succs)
+            work.push_back(s);
+    }
+
+    return cfg;
+}
+
+} // namespace pift::static_analysis

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Control-flow graph over decoded bytecode.
+ *
+ * Basic blocks are maximal straight-line instruction runs: leaders are
+ * the entry point, every branch target, every instruction following a
+ * branch or fall-through-less instruction, and the catch handler
+ * entry when the method declares one. Edges follow branch targets and
+ * fall-through; the catch entry is treated as an additional root for
+ * reachability (control can transfer there from any throwing point,
+ * which we deliberately do not model edge-by-edge).
+ */
+
+#ifndef PIFT_STATIC_CFG_HH
+#define PIFT_STATIC_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "static/decode.hh"
+
+namespace pift::dalvik
+{
+struct Method;
+}
+
+namespace pift::static_analysis
+{
+
+/** A basic block: a contiguous range of decoded instructions. */
+struct BasicBlock
+{
+    size_t first = 0;           //!< index into Cfg::insts
+    size_t count = 0;           //!< instructions in the block
+    std::vector<size_t> succs;  //!< successor block ids
+    std::vector<size_t> preds;  //!< predecessor block ids
+    bool reachable = false;     //!< from entry or catch entry
+};
+
+/** CFG of one method body. */
+struct Cfg
+{
+    std::vector<DecodedInst> insts;
+    std::vector<BasicBlock> blocks;
+    size_t entry_block = 0;
+    /** Block id of the catch handler entry; npos when none. */
+    size_t catch_block = npos;
+
+    static constexpr size_t npos = static_cast<size_t>(-1);
+
+    const DecodedInst &inst(const BasicBlock &b, size_t k) const
+    {
+        return insts[b.first + k];
+    }
+    const DecodedInst &lastInst(const BasicBlock &b) const
+    {
+        return insts[b.first + b.count - 1];
+    }
+    /** Block containing the instruction at @p unit; npos if none. */
+    size_t blockAtUnit(size_t unit) const;
+};
+
+/**
+ * Build the CFG for @p method. The method's bytecode must decode
+ * cleanly (run the verifier first on untrusted input); a decode error
+ * yields an empty CFG.
+ */
+Cfg buildCfg(const dalvik::Method &method);
+
+/** Build from raw code units plus an optional catch entry offset. */
+Cfg buildCfg(const std::vector<uint16_t> &code,
+             size_t catch_offset = static_cast<size_t>(-1));
+
+} // namespace pift::static_analysis
+
+#endif // PIFT_STATIC_CFG_HH

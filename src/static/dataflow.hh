@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Forward dataflow fixpoint over a Cfg.
+ *
+ * The classic worklist algorithm, parameterised on the abstract
+ * state. The transfer problem supplies three operations:
+ *
+ *   State boundary()                    — state at the method entry
+ *   bool  merge(State &into, in)       — join; true when `into` grew
+ *   void  transfer(State &, inst)      — apply one instruction
+ *
+ * Blocks re-enter the worklist when a predecessor's out-state grows,
+ * so termination requires merge() to be monotone over a finite-height
+ * lattice (all ours are powerset lattices over registers/fields).
+ * The catch entry merges from every block's *entry* state: control
+ * can transfer there from any throwing instruction, and using the
+ * coarser block-entry state keeps the analysis sound without
+ * modelling per-instruction exceptional edges.
+ */
+
+#ifndef PIFT_STATIC_DATAFLOW_HH
+#define PIFT_STATIC_DATAFLOW_HH
+
+#include <vector>
+
+#include "static/cfg.hh"
+
+namespace pift::static_analysis
+{
+
+/** Per-block in/out states after a forward fixpoint run. */
+template <typename State>
+struct DataflowResult
+{
+    std::vector<State> block_in;
+    std::vector<State> block_out;
+};
+
+template <typename Problem,
+          typename State = typename Problem::State>
+DataflowResult<State>
+solveForward(const Cfg &cfg, Problem &problem)
+{
+    DataflowResult<State> result;
+    result.block_in.resize(cfg.blocks.size());
+    result.block_out.resize(cfg.blocks.size());
+    if (cfg.blocks.empty())
+        return result;
+
+    result.block_in[cfg.entry_block] = problem.boundary();
+    if (cfg.catch_block != Cfg::npos)
+        result.block_in[cfg.catch_block] = problem.boundary();
+
+    std::vector<bool> queued(cfg.blocks.size(), false);
+    std::vector<size_t> work;
+    auto enqueue = [&](size_t b) {
+        if (!queued[b]) {
+            queued[b] = true;
+            work.push_back(b);
+        }
+    };
+    enqueue(cfg.entry_block);
+    if (cfg.catch_block != Cfg::npos)
+        enqueue(cfg.catch_block);
+
+    while (!work.empty()) {
+        size_t b = work.back();
+        work.pop_back();
+        queued[b] = false;
+
+        State state = result.block_in[b];
+        const BasicBlock &bb = cfg.blocks[b];
+        for (size_t k = 0; k < bb.count; ++k) {
+            // The catch entry can be reached from mid-block, so feed
+            // its in-state from every reachable block's entry state.
+            if (cfg.catch_block != Cfg::npos && b != cfg.catch_block &&
+                k == 0) {
+                if (problem.merge(result.block_in[cfg.catch_block],
+                                  state))
+                    enqueue(cfg.catch_block);
+            }
+            problem.transfer(state, cfg.inst(bb, k));
+        }
+        result.block_out[b] = state;
+
+        for (size_t s : bb.succs)
+            if (problem.merge(result.block_in[s], state))
+                enqueue(s);
+    }
+
+    return result;
+}
+
+} // namespace pift::static_analysis
+
+#endif // PIFT_STATIC_DATAFLOW_HH

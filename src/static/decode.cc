@@ -1,0 +1,289 @@
+#include "static/decode.hh"
+
+namespace pift::static_analysis
+{
+
+using dalvik::Bc;
+using dalvik::Format;
+
+bool
+DecodedInst::isBranch() const
+{
+    switch (bc) {
+      case Bc::Goto:
+      case Bc::IfEq:
+      case Bc::IfNe:
+      case Bc::IfLt:
+      case Bc::IfGe:
+      case Bc::IfGt:
+      case Bc::IfLe:
+      case Bc::IfEqz:
+      case Bc::IfNez:
+      case Bc::IfLtz:
+      case Bc::IfGez:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+DecodedInst::fallsThrough() const
+{
+    switch (bc) {
+      case Bc::Goto:
+      case Bc::ReturnVoid:
+      case Bc::Return:
+      case Bc::ReturnObject:
+      case Bc::Throw:
+        return false;
+      default:
+        return true;
+    }
+}
+
+DecodeError
+decodeAt(const std::vector<uint16_t> &code, size_t at,
+         DecodedInst &out)
+{
+    if (at >= code.size())
+        return DecodeError::Truncated;
+
+    uint16_t unit0 = code[at];
+    auto op = static_cast<unsigned>(unit0 & 0xff);
+    if (op >= dalvik::num_bytecodes)
+        return DecodeError::BadOpcode;
+
+    auto bc = static_cast<Bc>(op);
+    unsigned units = dalvik::unitCount(bc);
+    if (at + units > code.size())
+        return DecodeError::Truncated;
+
+    out = DecodedInst{};
+    out.bc = bc;
+    out.fmt = dalvik::format(bc);
+    out.unit = at;
+    out.units = units;
+
+    auto a4 = static_cast<uint16_t>((unit0 >> 8) & 0xf);
+    auto b4 = static_cast<uint16_t>(unit0 >> 12);
+    auto aa = static_cast<uint16_t>(unit0 >> 8);
+    uint16_t u1 = units > 1 ? code[at + 1] : 0;
+    uint16_t u2 = units > 2 ? code[at + 2] : 0;
+
+    auto use = [&out](uint16_t r) { out.uses.push_back(r); };
+    auto def = [&out](uint16_t r) { out.defs.push_back(r); };
+
+    switch (bc) {
+      case Bc::Nop:
+      case Bc::ReturnVoid:
+        break;
+
+      case Bc::Move:
+      case Bc::MoveObject:
+      case Bc::ArrayLength:
+      case Bc::IntToChar:
+      case Bc::IntToByte:
+      case Bc::IntToFloat:
+      case Bc::FloatToInt:
+        def(a4);
+        use(b4);
+        break;
+
+      case Bc::MoveWide:
+        def(a4);
+        def(static_cast<uint16_t>(a4 + 1));
+        use(b4);
+        use(static_cast<uint16_t>(b4 + 1));
+        break;
+
+      case Bc::MoveFrom16:
+        def(aa);
+        use(u1);
+        break;
+
+      case Bc::MoveResult:
+      case Bc::MoveResultObject:
+      case Bc::MoveException:
+        def(aa);
+        break;
+
+      case Bc::Return:
+      case Bc::ReturnObject:
+      case Bc::Throw:
+        use(aa);
+        break;
+
+      case Bc::Const4:
+        def(a4);
+        out.literal = static_cast<int32_t>(b4 << 28) >> 28;
+        break;
+
+      case Bc::Const16:
+        def(aa);
+        out.literal = static_cast<int16_t>(u1);
+        break;
+
+      case Bc::ConstString:
+      case Bc::NewInstance:
+      case Bc::Sget:
+      case Bc::SgetObject:
+        def(aa);
+        out.index = u1;
+        break;
+
+      case Bc::CheckCast:
+      case Bc::Sput:
+      case Bc::SputObject:
+        use(aa);
+        out.index = u1;
+        break;
+
+      case Bc::NewArray:
+        def(a4);
+        use(b4);
+        out.index = u1;
+        break;
+
+      case Bc::Iget:
+      case Bc::IgetObject:
+        def(a4);
+        use(b4);
+        out.index = u1;
+        break;
+
+      case Bc::Iput:
+      case Bc::IputObject:
+        use(a4);
+        use(b4);
+        out.index = u1;
+        break;
+
+      case Bc::Aget:
+      case Bc::AgetChar:
+      case Bc::AgetObject:
+        def(aa);
+        use(static_cast<uint16_t>(u1 & 0xff));
+        use(static_cast<uint16_t>(u1 >> 8));
+        break;
+
+      case Bc::Aput:
+      case Bc::AputChar:
+      case Bc::AputObject:
+        use(aa);
+        use(static_cast<uint16_t>(u1 & 0xff));
+        use(static_cast<uint16_t>(u1 >> 8));
+        break;
+
+      case Bc::InvokeVirtual:
+      case Bc::InvokeStatic:
+      case Bc::InvokeDirect:
+        out.invoke_target = u1;
+        out.first_arg = u2;
+        out.argc = static_cast<uint8_t>(aa);
+        for (unsigned k = 0; k < out.argc; ++k)
+            use(static_cast<uint16_t>(u2 + k));
+        break;
+
+      case Bc::Goto:
+        out.branch_offset = static_cast<int8_t>(aa);
+        break;
+
+      case Bc::IfEq:
+      case Bc::IfNe:
+      case Bc::IfLt:
+      case Bc::IfGe:
+      case Bc::IfGt:
+      case Bc::IfLe:
+        use(a4);
+        use(b4);
+        out.branch_offset = static_cast<int16_t>(u1);
+        break;
+
+      case Bc::IfEqz:
+      case Bc::IfNez:
+      case Bc::IfLtz:
+      case Bc::IfGez:
+        use(aa);
+        out.branch_offset = static_cast<int16_t>(u1);
+        break;
+
+      case Bc::AddInt:
+      case Bc::SubInt:
+      case Bc::MulInt:
+      case Bc::DivInt:
+      case Bc::RemInt:
+      case Bc::AndInt:
+      case Bc::OrInt:
+      case Bc::XorInt:
+      case Bc::ShlInt:
+      case Bc::ShrInt:
+        def(aa);
+        use(static_cast<uint16_t>(u1 & 0xff));
+        use(static_cast<uint16_t>(u1 >> 8));
+        break;
+
+      case Bc::AddLong:
+      case Bc::MulLong:
+        def(aa);
+        def(static_cast<uint16_t>(aa + 1));
+        use(static_cast<uint16_t>(u1 & 0xff));
+        use(static_cast<uint16_t>((u1 & 0xff) + 1));
+        use(static_cast<uint16_t>(u1 >> 8));
+        use(static_cast<uint16_t>((u1 >> 8) + 1));
+        break;
+
+      case Bc::AddInt2Addr:
+      case Bc::SubInt2Addr:
+      case Bc::MulInt2Addr:
+      case Bc::DivInt2Addr:
+      case Bc::AndInt2Addr:
+      case Bc::OrInt2Addr:
+      case Bc::XorInt2Addr:
+      case Bc::AddFloat2Addr:
+      case Bc::MulFloat2Addr:
+      case Bc::DivFloat2Addr:
+        def(a4);
+        use(a4);
+        use(b4);
+        break;
+
+      case Bc::AddIntLit8:
+      case Bc::MulIntLit8:
+        def(aa);
+        use(static_cast<uint16_t>(u1 & 0xff));
+        out.literal = static_cast<int8_t>(u1 >> 8);
+        break;
+
+      case Bc::NumBcs:
+        return DecodeError::BadOpcode;
+    }
+
+    return DecodeError::None;
+}
+
+std::vector<DecodedInst>
+decodeAll(const std::vector<uint16_t> &code, DecodeError *error,
+          size_t *error_unit)
+{
+    std::vector<DecodedInst> insts;
+    if (error)
+        *error = DecodeError::None;
+    size_t at = 0;
+    while (at < code.size()) {
+        DecodedInst inst;
+        DecodeError err = decodeAt(code, at, inst);
+        if (err != DecodeError::None) {
+            if (error)
+                *error = err;
+            if (error_unit)
+                *error_unit = at;
+            break;
+        }
+        insts.push_back(std::move(inst));
+        at += inst.units;
+    }
+    return insts;
+}
+
+} // namespace pift::static_analysis

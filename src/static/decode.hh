@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Structured decoder for the Dalvik-like bytecode encoding.
+ *
+ * The disassembler and the VM decode operands inline; the static
+ * subsystem needs the same information as data, with explicit error
+ * reporting instead of panics (the verifier decodes hostile input).
+ * A DecodedInst normalises every operand format family into register
+ * lists, literals and branch targets, so the CFG builder, the
+ * verifier and the taint analysis share one decode path.
+ */
+
+#ifndef PIFT_STATIC_DECODE_HH
+#define PIFT_STATIC_DECODE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dalvik/bytecode.hh"
+
+namespace pift::static_analysis
+{
+
+/** Why a decode attempt failed. */
+enum class DecodeError : uint8_t
+{
+    None = 0,
+    BadOpcode,    //!< opcode byte >= num_bytecodes
+    Truncated     //!< instruction extends past the end of the code
+};
+
+/** One decoded instruction with format-normalised operands. */
+struct DecodedInst
+{
+    dalvik::Bc bc = dalvik::Bc::Nop;
+    dalvik::Format fmt = dalvik::Format::F10x;
+    size_t unit = 0;          //!< unit index of the first code unit
+    unsigned units = 1;       //!< code units occupied
+
+    /**
+     * Virtual registers read / written by the instruction. Invoke
+     * argument ranges expand into individual registers. Wide
+     * operands (move-wide, add-long, mul-long) list both halves of
+     * each pair.
+     */
+    std::vector<uint16_t> uses;
+    std::vector<uint16_t> defs;
+
+    int32_t literal = 0;      //!< F11n/F21s/F22b immediate
+    uint16_t index = 0;       //!< pool/class/field/static/method index
+    int32_t branch_offset = 0;//!< signed units, branch instructions
+
+    /** Invoke decoration (F3rc only). */
+    uint16_t invoke_target = 0; //!< method id or vtable slot
+    uint16_t first_arg = 0;     //!< first argument vreg
+    uint8_t argc = 0;           //!< argument word count
+
+    /** True for the conditional/unconditional branch families. */
+    bool isBranch() const;
+    /** True when control can continue to the next instruction. */
+    bool fallsThrough() const;
+    /** Absolute target unit of a branch instruction. */
+    size_t targetUnit() const
+    {
+        return static_cast<size_t>(static_cast<int64_t>(unit) +
+                                   branch_offset);
+    }
+};
+
+/**
+ * Decode the instruction starting at @p at.
+ *
+ * @return DecodeError::None on success (then @p out is valid)
+ */
+DecodeError decodeAt(const std::vector<uint16_t> &code, size_t at,
+                     DecodedInst &out);
+
+/**
+ * Decode a whole method body. Stops at the first malformed
+ * instruction (reported through @p error and @p error_unit when
+ * non-null).
+ */
+std::vector<DecodedInst>
+decodeAll(const std::vector<uint16_t> &code,
+          DecodeError *error = nullptr, size_t *error_unit = nullptr);
+
+} // namespace pift::static_analysis
+
+#endif // PIFT_STATIC_DECODE_HH

@@ -1,0 +1,513 @@
+#include "static/oracle.hh"
+
+#include <algorithm>
+
+#include "static/cfg.hh"
+#include "static/dataflow.hh"
+
+namespace pift::static_analysis
+{
+
+using dalvik::Bc;
+using dalvik::ClassId;
+using dalvik::MethodId;
+
+bool
+AbstractValue::merge(const AbstractValue &other)
+{
+    bool changed = false;
+    if (other.taint && !taint) {
+        taint = true;
+        changed = true;
+    }
+    for (ClassId cls : other.pts)
+        changed |= pts.insert(cls).second;
+    return changed;
+}
+
+namespace
+{
+
+/** Dataflow state: one value per vreg plus the retval slot. */
+struct OracleState
+{
+    bool valid = false;
+    std::vector<AbstractValue> regs;
+    AbstractValue retval;
+};
+
+struct MethodInfo
+{
+    std::vector<AbstractValue> args_in;
+    AbstractValue ret;
+    bool analyzing = false;
+    bool analyzed = false;
+    bool dirty = true;
+    Cfg cfg;
+    bool cfg_built = false;
+};
+
+class Oracle
+{
+  public:
+    Oracle(const dalvik::Dex &dex, const OracleConfig &config)
+        : dex(dex), config(config)
+    {}
+
+    OracleResult
+    run(MethodId main)
+    {
+        OracleResult result;
+        for (unsigned iter = 0; iter < max_outer_iterations; ++iter) {
+            result.outer_iterations = iter + 1;
+            changed = false;
+            for (auto &[id, info] : methods)
+                info.dirty = true;
+            analyzeMethod(main);
+            if (!changed)
+                break;
+        }
+        result.leaks = !leak_sinks.empty();
+        for (MethodId sink : leak_sinks)
+            result.leak_sinks.push_back(dex.method(sink).name);
+        std::sort(result.leak_sinks.begin(), result.leak_sinks.end());
+        return result;
+    }
+
+  private:
+    static constexpr unsigned max_outer_iterations = 64;
+
+    const dalvik::Dex &dex;
+    const OracleConfig &config;
+
+    std::map<MethodId, MethodInfo> methods;
+    std::map<uint16_t, AbstractValue> statics;
+    std::map<std::pair<ClassId, uint16_t>, AbstractValue> fields;
+    std::map<ClassId, AbstractValue> elems;
+    AbstractValue exception;
+    bool unknown_heap_tainted = false;
+    std::set<MethodId> leak_sinks;
+    bool changed = false;
+
+    friend struct OracleProblem;
+
+    void note(bool grew) { changed |= grew; }
+
+    /**
+     * Transitive taint over a value's reachable heap: its own bit,
+     * plus the field and element summaries of every class reachable
+     * from its points-to set.
+     */
+    bool
+    deepTaint(const AbstractValue &value) const
+    {
+        if (value.taint)
+            return true;
+        std::set<ClassId> visited;
+        std::vector<ClassId> work(value.pts.begin(), value.pts.end());
+        while (!work.empty()) {
+            ClassId cls = work.back();
+            work.pop_back();
+            if (!visited.insert(cls).second)
+                continue;
+            for (const auto &[key, summary] : fields) {
+                if (key.first != cls)
+                    continue;
+                if (summary.taint)
+                    return true;
+                work.insert(work.end(), summary.pts.begin(),
+                            summary.pts.end());
+            }
+            auto it = elems.find(cls);
+            if (it != elems.end()) {
+                if (it->second.taint)
+                    return true;
+                work.insert(work.end(), it->second.pts.begin(),
+                            it->second.pts.end());
+            }
+        }
+        return false;
+    }
+
+    MethodInfo &
+    info(MethodId id)
+    {
+        MethodInfo &mi = methods[id];
+        if (!mi.cfg_built && !dex.method(id).is_native) {
+            mi.cfg = buildCfg(dex.method(id));
+            mi.cfg_built = true;
+            mi.args_in.resize(dex.method(id).nins);
+        }
+        if (mi.args_in.size() < dex.method(id).nins)
+            mi.args_in.resize(dex.method(id).nins);
+        return mi;
+    }
+
+    void analyzeMethod(MethodId id);
+
+    /** Model the call `target(args...)`; returns the abstract result. */
+    AbstractValue
+    call(MethodId target, const std::vector<AbstractValue> &args)
+    {
+        const dalvik::Method &m = dex.method(target);
+        if (m.is_native)
+            return callNative(target, args);
+
+        MethodInfo &mi = info(target);
+        for (size_t k = 0; k < args.size() && k < mi.args_in.size();
+             ++k) {
+            bool grew = mi.args_in[k].merge(args[k]);
+            if (grew)
+                mi.dirty = true;
+            note(grew);
+        }
+        analyzeMethod(target);
+        return mi.ret;
+    }
+
+    AbstractValue
+    callNative(MethodId target, const std::vector<AbstractValue> &args)
+    {
+        NativeModel model; // Passthrough default
+        auto it = config.natives.find(target);
+        if (it != config.natives.end())
+            model = it->second;
+
+        AbstractValue ret;
+        ret.pts = model.ret_pts;
+
+        auto anyDeepTaint = [&] {
+            for (const AbstractValue &a : args)
+                if (deepTaint(a))
+                    return true;
+            return false;
+        };
+
+        switch (model.kind) {
+          case NativeModel::Kind::Passthrough:
+            ret.taint = anyDeepTaint();
+            break;
+
+          case NativeModel::Kind::Source:
+            ret.taint = true;
+            break;
+
+          case NativeModel::Kind::Sink:
+            if (anyDeepTaint())
+                note(leak_sinks.insert(target).second);
+            break;
+
+          case NativeModel::Kind::Alloc:
+            break;
+
+          case NativeModel::Kind::SbInit:
+            for (ClassId cls : model.ret_pts)
+                note(fields[{cls, config.sb_buf_offset}].pts
+                         .insert(config.char_array_cls)
+                         .second);
+            break;
+
+          case NativeModel::Kind::SbAppend:
+            if (args.size() >= 2 && deepTaint(args[1]))
+                for (ClassId cls : args[0].pts) {
+                    AbstractValue t;
+                    t.taint = true;
+                    note(fields[{cls, config.sb_buf_offset}].merge(t));
+                }
+            if (!args.empty())
+                ret.merge(args[0]); // append returns the builder
+            break;
+
+          case NativeModel::Kind::ArrayCopy: {
+            if (args.size() < 3)
+                break;
+            AbstractValue moved;
+            moved.taint = deepTaint(args[0]);
+            for (ClassId cls : args[0].pts) {
+                auto elem = elems.find(cls);
+                if (elem != elems.end())
+                    moved.merge(elem->second);
+            }
+            for (ClassId cls : args[2].pts)
+                note(elems[cls].merge(moved));
+            if (args[2].pts.empty())
+                noteUnknownHeap(moved.taint);
+            break;
+          }
+
+          case NativeModel::Kind::IntentPut:
+            if (args.size() >= 3)
+                for (ClassId cls : args[0].pts)
+                    note(fields[{cls, 0}].merge(args[2]));
+            break;
+
+          case NativeModel::Kind::IntentGet:
+            if (!args.empty()) {
+                for (ClassId cls : args[0].pts)
+                    ret.merge(fields[{cls, 0}]);
+                ret.taint |= args[0].taint;
+            }
+            break;
+
+          case NativeModel::Kind::HandlerPost:
+            if (!args.empty())
+                for (ClassId cls : args[0].pts) {
+                    const dalvik::ClassInfo &ci = dex.classInfo(cls);
+                    if (!ci.vtable.empty())
+                        call(ci.vtable[0], {args[0]});
+                }
+            break;
+        }
+        return ret;
+    }
+
+    void
+    noteUnknownHeap(bool taint)
+    {
+        if (taint && !unknown_heap_tainted) {
+            unknown_heap_tainted = true;
+            changed = true;
+        }
+    }
+
+    struct OracleProblem;
+};
+
+struct Oracle::OracleProblem
+{
+    using State = OracleState;
+
+    Oracle &oracle;
+    MethodId id;
+    uint16_t nregs;
+    uint16_t nins;
+
+    State
+    boundary() const
+    {
+        State s;
+        s.valid = true;
+        s.regs.resize(nregs);
+        const MethodInfo &mi = oracle.methods.at(id);
+        for (size_t k = 0; k < mi.args_in.size() && k < nins; ++k)
+            s.regs[nregs - nins + k] = mi.args_in[k];
+        return s;
+    }
+
+    static bool
+    merge(State &into, const State &in)
+    {
+        if (!in.valid)
+            return false;
+        if (!into.valid) {
+            into = in;
+            return true;
+        }
+        bool changed = false;
+        for (size_t r = 0; r < into.regs.size(); ++r)
+            changed |= into.regs[r].merge(in.regs[r]);
+        changed |= into.retval.merge(in.retval);
+        return changed;
+    }
+
+    void
+    transfer(State &s, const DecodedInst &inst) const
+    {
+        auto reg = [&s](uint16_t r) -> AbstractValue & {
+            return s.regs[r];
+        };
+        auto joinUses = [&] {
+            AbstractValue v;
+            for (uint16_t r : inst.uses)
+                v.merge(s.regs[r]);
+            return v;
+        };
+
+        switch (inst.bc) {
+          case Bc::Const4:
+          case Bc::Const16:
+            reg(inst.defs[0]) = AbstractValue{};
+            break;
+
+          case Bc::ConstString: {
+            AbstractValue v;
+            v.pts.insert(oracle.dex.stringClass());
+            reg(inst.defs[0]) = v;
+            break;
+          }
+
+          case Bc::NewInstance:
+          case Bc::NewArray: {
+            AbstractValue v;
+            v.pts.insert(inst.index);
+            reg(inst.defs[0]) = v;
+            break;
+          }
+
+          case Bc::MoveResult:
+          case Bc::MoveResultObject:
+            reg(inst.defs[0]) = s.retval;
+            break;
+
+          case Bc::MoveException:
+            reg(inst.defs[0]) = oracle.exception;
+            break;
+
+          case Bc::Throw:
+            oracle.note(oracle.exception.merge(reg(inst.uses[0])));
+            break;
+
+          case Bc::Return:
+          case Bc::ReturnObject:
+            oracle.note(oracle.methods.at(id).ret.merge(
+                reg(inst.uses[0])));
+            break;
+
+          case Bc::Iget:
+          case Bc::IgetObject: {
+            const AbstractValue &base = reg(inst.uses[0]);
+            AbstractValue v;
+            for (ClassId cls : base.pts) {
+                auto it = oracle.fields.find({cls, inst.index});
+                if (it != oracle.fields.end())
+                    v.merge(it->second);
+            }
+            // Loading through a tainted ref yields tainted data.
+            v.taint |= base.taint;
+            if (base.pts.empty())
+                v.taint |= oracle.unknown_heap_tainted;
+            reg(inst.defs[0]) = v;
+            break;
+          }
+
+          case Bc::Iput:
+          case Bc::IputObject: {
+            const AbstractValue &value = reg(inst.uses[0]);
+            const AbstractValue &base = reg(inst.uses[1]);
+            for (ClassId cls : base.pts)
+                oracle.note(
+                    oracle.fields[{cls, inst.index}].merge(value));
+            if (base.pts.empty())
+                oracle.noteUnknownHeap(value.taint);
+            break;
+          }
+
+          case Bc::Sget:
+          case Bc::SgetObject:
+            reg(inst.defs[0]) = oracle.statics[inst.index];
+            break;
+
+          case Bc::Sput:
+          case Bc::SputObject:
+            oracle.note(
+                oracle.statics[inst.index].merge(reg(inst.uses[0])));
+            break;
+
+          case Bc::Aget:
+          case Bc::AgetChar:
+          case Bc::AgetObject: {
+            const AbstractValue &base = reg(inst.uses[0]);
+            AbstractValue v;
+            for (ClassId cls : base.pts) {
+                auto it = oracle.elems.find(cls);
+                if (it != oracle.elems.end())
+                    v.merge(it->second);
+            }
+            v.taint |= base.taint;
+            if (base.pts.empty())
+                v.taint |= oracle.unknown_heap_tainted;
+            reg(inst.defs[0]) = v;
+            break;
+          }
+
+          case Bc::Aput:
+          case Bc::AputChar:
+          case Bc::AputObject: {
+            const AbstractValue &value = reg(inst.uses[0]);
+            const AbstractValue &base = reg(inst.uses[1]);
+            for (ClassId cls : base.pts)
+                oracle.note(oracle.elems[cls].merge(value));
+            if (base.pts.empty())
+                oracle.noteUnknownHeap(value.taint);
+            break;
+          }
+
+          case Bc::InvokeStatic:
+          case Bc::InvokeDirect: {
+            std::vector<AbstractValue> args;
+            for (uint16_t r : inst.uses)
+                args.push_back(s.regs[r]);
+            s.retval = oracle.call(inst.invoke_target, args);
+            break;
+          }
+
+          case Bc::InvokeVirtual: {
+            std::vector<AbstractValue> args;
+            for (uint16_t r : inst.uses)
+                args.push_back(s.regs[r]);
+            AbstractValue result;
+            if (!args.empty()) {
+                for (ClassId cls : args[0].pts) {
+                    const dalvik::ClassInfo &ci =
+                        oracle.dex.classInfo(cls);
+                    if (inst.invoke_target < ci.vtable.size())
+                        result.merge(oracle.call(
+                            ci.vtable[inst.invoke_target], args));
+                }
+                // With no points-to info, be conservative: the result
+                // carries whatever taint the arguments carry.
+                if (args[0].pts.empty())
+                    for (const AbstractValue &a : args)
+                        result.taint |= oracle.deepTaint(a);
+            }
+            s.retval = result;
+            break;
+          }
+
+          default:
+            // Moves, arithmetic, conversions, array-length: the
+            // result derives from the used registers (taint union,
+            // points-to union). Compares/branches/goto/nop define
+            // nothing and fall out with empty defs.
+            if (!inst.defs.empty()) {
+                AbstractValue v = joinUses();
+                for (uint16_t r : inst.defs)
+                    reg(r) = v;
+            }
+            break;
+        }
+    }
+};
+
+void
+Oracle::analyzeMethod(MethodId id)
+{
+    MethodInfo &mi = info(id);
+    if (dex.method(id).is_native)
+        return;
+    if (mi.analyzing)
+        return; // recursive cycle: use the current summary
+    if (mi.analyzed && !mi.dirty)
+        return;
+    mi.analyzing = true;
+    mi.dirty = false;
+
+    OracleProblem problem{*this, id, dex.method(id).nregs,
+                          dex.method(id).nins};
+    solveForward(mi.cfg, problem);
+
+    mi.analyzing = false;
+    mi.analyzed = true;
+}
+
+} // anonymous namespace
+
+OracleResult
+runOracle(const dalvik::Dex &dex, MethodId main,
+          const OracleConfig &config)
+{
+    Oracle oracle(dex, config);
+    return oracle.run(main);
+}
+
+} // namespace pift::static_analysis

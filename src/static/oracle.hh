@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Static source->sink taint oracle over registered bytecode.
+ *
+ * A whole-program forward taint analysis that classifies an app as
+ * leaky or benign without executing it — the independent check the
+ * dynamic PIFT verdicts are cross-validated against. The abstract
+ * domain per virtual register is (tainted?, points-to class set);
+ * globals are flow-insensitive monotone summaries: one value per
+ * static field, one per (class, field offset), one per class's array
+ * elements, one for the pending-exception slot, and an unknown-heap
+ * bit for stores through refs with no points-to information.
+ *
+ * Methods are analyzed flow-sensitively (the CFG fixpoint of
+ * dataflow.hh) and composed context-insensitively: each callee
+ * accumulates the join of its argument values over every call site
+ * and exports one return summary. An outer fixpoint re-analyzes until
+ * globals and summaries stabilise.
+ *
+ * The key propagation rule mirrors dynamic PIFT's behaviour on
+ * reference-typed data: loading through a tainted base reference
+ * yields tainted data (the string's characters are reached through
+ * the tainted String ref). Control dependence is NOT tracked — an
+ * explicit-flow analysis cannot see the Section 4.2 implicit-flow
+ * obfuscator, which is exactly the soundness gap the dynamic
+ * tainting-window heuristic closes; see DESIGN.md.
+ */
+
+#ifndef PIFT_STATIC_ORACLE_HH
+#define PIFT_STATIC_ORACLE_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dalvik/method.hh"
+
+namespace pift::static_analysis
+{
+
+/** Abstract value of one virtual register / one heap summary slot. */
+struct AbstractValue
+{
+    bool taint = false;
+    std::set<dalvik::ClassId> pts;
+
+    /** Join @p other in; true when this value grew. */
+    bool merge(const AbstractValue &other);
+};
+
+/** How the oracle models one native method. */
+struct NativeModel
+{
+    enum class Kind : uint8_t
+    {
+        Passthrough, //!< ret = deep taint over all arguments (default)
+        Source,      //!< ret tainted
+        Sink,        //!< any deep-tainted argument is a leak
+        Alloc,       //!< ret = fresh object of ret_pts, untainted
+        SbInit,      //!< Alloc + points the buf field at char[]
+        SbAppend,    //!< taints arg0's field summary from arg1
+        ArrayCopy,   //!< element summary transfer arg0 -> arg2
+        IntentPut,   //!< arg0's field summary |= arg2
+        IntentGet,   //!< ret = arg0's field summary
+        HandlerPost  //!< invoke vtable[0] of arg0's classes
+    };
+
+    Kind kind = Kind::Passthrough;
+    std::set<dalvik::ClassId> ret_pts; //!< points-to of the result
+};
+
+/** Per-app configuration: native models plus well-known classes. */
+struct OracleConfig
+{
+    std::map<dalvik::MethodId, NativeModel> natives;
+    dalvik::ClassId char_array_cls = 0; //!< for SbInit's buf field
+    /** Byte offset of the StringBuilder buffer field. */
+    uint16_t sb_buf_offset = 0;
+};
+
+/** Outcome of one whole-program run. */
+struct OracleResult
+{
+    bool leaks = false;
+    /** Names of sink methods reached by tainted data. */
+    std::vector<std::string> leak_sinks;
+    unsigned outer_iterations = 0;
+};
+
+/**
+ * Run the oracle over @p dex starting from @p main.
+ * @p config supplies the native models; unlisted natives default to
+ * Passthrough.
+ */
+OracleResult runOracle(const dalvik::Dex &dex, dalvik::MethodId main,
+                       const OracleConfig &config);
+
+} // namespace pift::static_analysis
+
+#endif // PIFT_STATIC_ORACLE_HH

@@ -1,0 +1,321 @@
+#include "static/verifier.hh"
+
+#include <map>
+#include <sstream>
+
+#include "dalvik/method.hh"
+#include "static/cfg.hh"
+
+namespace pift::static_analysis
+{
+
+using dalvik::Bc;
+
+namespace
+{
+
+const char *
+checkName(Check check)
+{
+    switch (check) {
+      case Check::BadOpcode: return "bad-opcode";
+      case Check::TruncatedInst: return "truncated-instruction";
+      case Check::BranchOutOfRange: return "branch-out-of-range";
+      case Check::BranchMidInstruction: return "branch-mid-instruction";
+      case Check::RegisterOutOfFrame: return "register-out-of-frame";
+      case Check::InvokeRangeOutOfFrame:
+        return "invoke-range-out-of-frame";
+      case Check::FallOffEnd: return "fall-off-end";
+      case Check::BadCatchOffset: return "bad-catch-offset";
+      case Check::BadPoolIndex: return "bad-pool-index";
+      case Check::BadClassIndex: return "bad-class-index";
+      case Check::BadStaticIndex: return "bad-static-index";
+      case Check::BadMethodIndex: return "bad-method-index";
+      case Check::UnreachableCode: return "unreachable-code";
+      case Check::UseBeforeDef: return "use-before-def";
+    }
+    return "?";
+}
+
+/** Must-defined register set, with a "not yet merged" bottom. */
+struct DefinedState
+{
+    bool valid = false;
+    std::vector<bool> defined;
+};
+
+/** Intersection join; returns true when @p into shrank. */
+bool
+mergeDefined(DefinedState &into, const DefinedState &in)
+{
+    if (!in.valid)
+        return false;
+    if (!into.valid) {
+        into = in;
+        return true;
+    }
+    bool changed = false;
+    for (size_t r = 0; r < into.defined.size(); ++r)
+        if (into.defined[r] && !in.defined[r]) {
+            into.defined[r] = false;
+            changed = true;
+        }
+    return changed;
+}
+
+void
+transferDefined(DefinedState &s, const DecodedInst &inst)
+{
+    for (uint16_t r : inst.defs)
+        if (r < s.defined.size())
+            s.defined[r] = true;
+}
+
+void
+emit(VerifyResult &result, Severity severity, Check check, size_t unit,
+     std::string message)
+{
+    Diagnostic d;
+    d.severity = severity;
+    d.check = check;
+    d.unit = unit;
+    d.message = std::move(message);
+    result.diagnostics.push_back(std::move(d));
+}
+
+void
+checkIndices(VerifyResult &result, const DecodedInst &inst,
+             const dalvik::Dex &dex)
+{
+    switch (inst.bc) {
+      case Bc::ConstString:
+        if (inst.index >= dex.stringPool().size())
+            emit(result, Severity::Error, Check::BadPoolIndex, inst.unit,
+                 "string pool index " + std::to_string(inst.index) +
+                     " out of bounds");
+        break;
+      case Bc::NewInstance:
+      case Bc::NewArray:
+      case Bc::CheckCast:
+        if (inst.index >= dex.classCount())
+            emit(result, Severity::Error, Check::BadClassIndex,
+                 inst.unit,
+                 "class index " + std::to_string(inst.index) +
+                     " out of bounds");
+        break;
+      case Bc::Sget:
+      case Bc::SgetObject:
+      case Bc::Sput:
+      case Bc::SputObject:
+        if (inst.index >= dex.staticCount())
+            emit(result, Severity::Error, Check::BadStaticIndex,
+                 inst.unit,
+                 "static field index " + std::to_string(inst.index) +
+                     " out of bounds");
+        break;
+      case Bc::InvokeStatic:
+      case Bc::InvokeDirect:
+        if (inst.invoke_target >= dex.methodCount())
+            emit(result, Severity::Error, Check::BadMethodIndex,
+                 inst.unit,
+                 "method index " + std::to_string(inst.invoke_target) +
+                     " out of bounds");
+        break;
+      default:
+        // InvokeVirtual slots resolve through the receiver's vtable;
+        // iget/iput offsets depend on the receiver class. Neither is
+        // checkable without type information.
+        break;
+    }
+}
+
+} // namespace
+
+VerifyResult
+verifyMethod(const dalvik::Method &method, const dalvik::Dex *dex)
+{
+    VerifyResult result;
+    if (method.is_native)
+        return result;
+
+    if (method.code.empty()) {
+        emit(result, Severity::Error, Check::FallOffEnd, 0,
+             "empty method body");
+        return result;
+    }
+
+    // 1. Decode; any malformed instruction is fatal for the rest of
+    //    the structural checks.
+    DecodeError err = DecodeError::None;
+    size_t err_unit = 0;
+    std::vector<DecodedInst> insts =
+        decodeAll(method.code, &err, &err_unit);
+    if (err == DecodeError::BadOpcode) {
+        emit(result, Severity::Error, Check::BadOpcode, err_unit,
+             "unknown opcode 0x" +
+                 [&] {
+                     std::ostringstream os;
+                     os << std::hex << (method.code[err_unit] & 0xff);
+                     return os.str();
+                 }());
+        return result;
+    }
+    if (err == DecodeError::Truncated) {
+        emit(result, Severity::Error, Check::TruncatedInst, err_unit,
+             "instruction extends past end of code");
+        return result;
+    }
+
+    std::map<size_t, size_t> unit_to_inst;
+    for (size_t i = 0; i < insts.size(); ++i)
+        unit_to_inst[insts[i].unit] = i;
+
+    // 2. Per-instruction structural checks.
+    for (const DecodedInst &inst : insts) {
+        if (inst.isBranch()) {
+            auto target = static_cast<int64_t>(inst.unit) +
+                          inst.branch_offset;
+            if (target < 0 ||
+                target >= static_cast<int64_t>(method.code.size()))
+                emit(result, Severity::Error, Check::BranchOutOfRange,
+                     inst.unit,
+                     "branch target " + std::to_string(target) +
+                         " outside method body");
+            else if (!unit_to_inst.count(static_cast<size_t>(target)))
+                emit(result, Severity::Error,
+                     Check::BranchMidInstruction, inst.unit,
+                     "branch target " + std::to_string(target) +
+                         " not on an instruction boundary");
+        }
+
+        for (uint16_t r : inst.uses)
+            if (r >= method.nregs)
+                emit(result, Severity::Error, Check::RegisterOutOfFrame,
+                     inst.unit,
+                     "reads v" + std::to_string(r) + " but frame has " +
+                         std::to_string(method.nregs) + " registers");
+        for (uint16_t r : inst.defs)
+            if (r >= method.nregs)
+                emit(result, Severity::Error, Check::RegisterOutOfFrame,
+                     inst.unit,
+                     "writes v" + std::to_string(r) +
+                         " but frame has " +
+                         std::to_string(method.nregs) + " registers");
+
+        if (inst.fmt == dalvik::Format::F3rc &&
+            static_cast<size_t>(inst.first_arg) + inst.argc >
+                method.nregs)
+            emit(result, Severity::Error, Check::InvokeRangeOutOfFrame,
+                 inst.unit,
+                 "invoke argument range v" +
+                     std::to_string(inst.first_arg) + "..v" +
+                     std::to_string(inst.first_arg + inst.argc) +
+                     " outside frame");
+
+        if (dex)
+            checkIndices(result, inst, *dex);
+    }
+
+    // 3. Catch handler entry must be an instruction boundary.
+    bool catch_ok = true;
+    if (method.catch_offset >= 0) {
+        auto off = static_cast<size_t>(method.catch_offset);
+        if (!unit_to_inst.count(off)) {
+            emit(result, Severity::Error, Check::BadCatchOffset, off,
+                 "catch handler offset not on an instruction boundary");
+            catch_ok = false;
+        }
+    }
+
+    if (!result.ok())
+        return result; // CFG-based checks need structural sanity
+
+    // 4. CFG checks: fall-off-end (reachable block whose last
+    //    instruction falls through past the end) and unreachable code.
+    size_t catch_off = method.catch_offset >= 0 && catch_ok
+        ? static_cast<size_t>(method.catch_offset)
+        : static_cast<size_t>(-1);
+    Cfg cfg = buildCfg(method.code, catch_off);
+
+    for (const BasicBlock &bb : cfg.blocks) {
+        const DecodedInst &last = cfg.lastInst(bb);
+        bool at_end = bb.first + bb.count == cfg.insts.size();
+        if (bb.reachable && at_end && last.fallsThrough())
+            emit(result, Severity::Error, Check::FallOffEnd, last.unit,
+                 "control can fall off the end of the method");
+        if (!bb.reachable)
+            emit(result, Severity::Warning, Check::UnreachableCode,
+                 cfg.inst(bb, 0).unit,
+                 std::to_string(bb.count) +
+                     " unreachable instruction(s)");
+    }
+
+    if (!result.ok())
+        return result;
+
+    // 5. Use-before-def over reachable code: a must-defined fixpoint
+    //    with the catch entry pinned to all-defined (any register may
+    //    have been assigned on the path to the throw, so warning
+    //    there would be noise).
+    DefinedState entry_state;
+    entry_state.valid = true;
+    entry_state.defined.assign(method.nregs, false);
+    for (unsigned k = 0; k < method.nins; ++k)
+        entry_state.defined[method.nregs - method.nins + k] = true;
+
+    std::vector<DefinedState> block_in(cfg.blocks.size());
+    block_in[cfg.entry_block] = entry_state;
+    if (cfg.catch_block != Cfg::npos) {
+        block_in[cfg.catch_block].valid = true;
+        block_in[cfg.catch_block].defined.assign(method.nregs, true);
+    }
+
+    std::vector<size_t> work{cfg.entry_block};
+    if (cfg.catch_block != Cfg::npos)
+        work.push_back(cfg.catch_block);
+    while (!work.empty()) {
+        size_t b = work.back();
+        work.pop_back();
+        DefinedState state = block_in[b];
+        const BasicBlock &bb = cfg.blocks[b];
+        for (size_t k = 0; k < bb.count; ++k)
+            transferDefined(state, cfg.inst(bb, k));
+        for (size_t s : bb.succs) {
+            if (s == cfg.catch_block)
+                continue; // pinned all-defined
+            if (mergeDefined(block_in[s], state))
+                work.push_back(s);
+        }
+    }
+
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock &bb = cfg.blocks[b];
+        if (!bb.reachable || !block_in[b].valid)
+            continue;
+        DefinedState state = block_in[b];
+        for (size_t k = 0; k < bb.count; ++k) {
+            const DecodedInst &inst = cfg.inst(bb, k);
+            for (uint16_t r : inst.uses)
+                if (r < state.defined.size() && !state.defined[r])
+                    emit(result, Severity::Warning, Check::UseBeforeDef,
+                         inst.unit,
+                         "v" + std::to_string(r) +
+                             " may be used before assignment");
+            transferDefined(state, inst);
+        }
+    }
+
+    return result;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &d)
+{
+    std::ostringstream os;
+    os << (d.severity == Severity::Error ? "error" : "warning") << " ["
+       << checkName(d.check) << "] at unit " << d.unit << ": "
+       << d.message;
+    return os.str();
+}
+
+} // namespace pift::static_analysis

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bytecode verifier / lint pass.
+ *
+ * Structural checks a method must pass before the VM can safely run
+ * it (hard errors), plus lints that flag suspicious but executable
+ * code (warnings):
+ *
+ *   errors   — unknown opcode; truncated instruction; branch target
+ *              out of range or not on an instruction boundary;
+ *              register index outside the frame (including the high
+ *              half of wide pairs); invoke argument range outside the
+ *              frame; control falling off the end of the body; bad
+ *              catch handler offset; string/class/static/method index
+ *              out of bounds (when a Dex is supplied)
+ *   warnings — unreachable instructions; possible use before def
+ *
+ * Use-before-def is a must-defined forward dataflow: a register is
+ * "defined" when every path from the entry assigns it. Arguments
+ * (the last nins registers) start defined; the catch entry starts
+ * all-defined, since any register may have been assigned before the
+ * throw and a warning there would be noise.
+ */
+
+#ifndef PIFT_STATIC_VERIFIER_HH
+#define PIFT_STATIC_VERIFIER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pift::dalvik
+{
+struct Method;
+class Dex;
+}
+
+namespace pift::static_analysis
+{
+
+enum class Severity : uint8_t { Error, Warning };
+
+enum class Check : uint8_t
+{
+    BadOpcode,
+    TruncatedInst,
+    BranchOutOfRange,
+    BranchMidInstruction,
+    RegisterOutOfFrame,
+    InvokeRangeOutOfFrame,
+    FallOffEnd,
+    BadCatchOffset,
+    BadPoolIndex,
+    BadClassIndex,
+    BadStaticIndex,
+    BadMethodIndex,
+    UnreachableCode,
+    UseBeforeDef
+};
+
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    Check check = Check::BadOpcode;
+    size_t unit = 0;       //!< offending code unit index
+    std::string message;
+};
+
+struct VerifyResult
+{
+    std::vector<Diagnostic> diagnostics;
+
+    bool ok() const
+    {
+        for (const Diagnostic &d : diagnostics)
+            if (d.severity == Severity::Error)
+                return false;
+        return true;
+    }
+    size_t errorCount() const
+    {
+        size_t n = 0;
+        for (const Diagnostic &d : diagnostics)
+            n += d.severity == Severity::Error;
+        return n;
+    }
+    size_t warningCount() const
+    {
+        return diagnostics.size() - errorCount();
+    }
+};
+
+/**
+ * Verify @p method. Native methods trivially pass. When @p dex is
+ * non-null, pool/class/static/method indices are bounds-checked
+ * against it.
+ */
+VerifyResult verifyMethod(const dalvik::Method &method,
+                          const dalvik::Dex *dex = nullptr);
+
+/** Human-readable one-line rendering of @p d. */
+std::string formatDiagnostic(const Diagnostic &d);
+
+} // namespace pift::static_analysis
+
+#endif // PIFT_STATIC_VERIFIER_HH

@@ -1,0 +1,410 @@
+#include "static/window.hh"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "dalvik/handlers.hh"
+#include "mem/layout.hh"
+
+namespace pift::static_analysis
+{
+
+using isa::Inst;
+using isa::Op;
+
+namespace
+{
+
+constexpr unsigned num_host_regs = 16;
+constexpr RegIndex host_pc = 15;
+
+/** What a host register holds during the abstract walk. */
+enum class Tag : uint8_t
+{
+    Other,      //!< constants, flags scratch, unknown
+    Meta,       //!< code units, opcode bits, pool entries
+    FpDeriv,    //!< address derived from rFP
+    SelfPtr,    //!< rSELF itself
+    PoolTbl,    //!< string-pool table pointer (VM metadata)
+    StaticsTbl, //!< statics table pointer (program data table)
+    Data        //!< program data; provenance = contributing loads
+};
+
+struct RegState
+{
+    Tag tag = Tag::Other;
+    std::set<size_t> prov; //!< positions of contributing data loads
+};
+
+/** Memory-space classification of one access. */
+enum class Space : uint8_t
+{
+    Meta,      //!< code fetch, pool table/entries, unknown
+    Frame,     //!< virtual register
+    Heap,      //!< object/array body through a data-held ref
+    Statics,   //!< statics table entry
+    Retval,    //!< thread retval slot
+    Exception, //!< thread pending-exception slot
+    PoolPtr,   //!< load of the pool table pointer
+    StaticsPtr //!< load of the statics table pointer
+};
+
+Space
+classifyAccess(const RegState &base, int32_t offset, bool has_index)
+{
+    switch (base.tag) {
+      case Tag::FpDeriv:
+        return Space::Frame;
+      case Tag::Data:
+        return Space::Heap;
+      case Tag::StaticsTbl:
+        return Space::Statics;
+      case Tag::PoolTbl:
+        return Space::Meta;
+      case Tag::SelfPtr:
+        if (has_index)
+            return Space::Meta;
+        if (offset == static_cast<int32_t>(mem::thread_retval_offset))
+            return Space::Retval;
+        if (offset ==
+            static_cast<int32_t>(mem::thread_exception_offset))
+            return Space::Exception;
+        if (offset == static_cast<int32_t>(mem::thread_pool_offset))
+            return Space::PoolPtr;
+        if (offset == static_cast<int32_t>(mem::thread_statics_offset))
+            return Space::StaticsPtr;
+        return Space::Meta;
+      default:
+        return Space::Meta;
+    }
+}
+
+/** True when loads from @p space yield program data. */
+bool
+loadIsData(Space space)
+{
+    return space == Space::Frame || space == Space::Heap ||
+           space == Space::Statics || space == Space::Retval ||
+           space == Space::Exception;
+}
+
+/**
+ * True when stores to @p space are candidate data stores. The
+ * exception slot is VM unwind state, not a program location — Throw
+ * writes it without that counting as a data move (and MoveException's
+ * clearing store likewise).
+ */
+bool
+storeIsData(Space space)
+{
+    return space == Space::Frame || space == Space::Heap ||
+           space == Space::Statics || space == Space::Retval;
+}
+
+/** True for the data-processing ops whose rn is a value source. */
+bool
+usesRn(Op op)
+{
+    switch (op) {
+      case Op::Mov:
+      case Op::Mvn:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+writesRd(Op op)
+{
+    switch (op) {
+      case Op::Cmp:
+      case Op::Cmn:
+      case Op::Tst:
+      case Op::Nop:
+      case Op::B:
+      case Op::Bl:
+      case Op::Bx:
+      case Op::Svc:
+      case Op::Halt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** Number of value registers a single-transfer memory op moves. */
+unsigned
+transferRegs(Op op)
+{
+    return op == Op::Ldrd || op == Op::Strd ? 2 : 1;
+}
+
+struct HandlerProfile
+{
+    size_t total_insts = 0;
+    bool has_svc = false;
+    bool has_cond_branch = false;
+    /** Dispatch (`add pc, ...`) positions. */
+    std::vector<size_t> dispatch_pos;
+    /** Position of the first conditional branch. */
+    size_t cond_branch_pos = 0;
+    /** Frame-load positions (for branch-handler tails). */
+    std::vector<size_t> frame_load_pos;
+    /** Svc positions. */
+    std::vector<size_t> svc_pos;
+    /** All stores to data space: (position, value-was-data). */
+    std::vector<std::pair<size_t, bool>> data_space_stores;
+    /** Counted data stores / loads (use-based). */
+    std::set<size_t> counted_stores;
+    std::set<size_t> counted_loads;
+};
+
+HandlerProfile
+walkHandler(const isa::Program &prog)
+{
+    HandlerProfile profile;
+    profile.total_insts = prog.insts.size();
+
+    std::array<RegState, num_host_regs> regs;
+    regs[dalvik::r_fp].tag = Tag::FpDeriv;
+    regs[dalvik::r_self].tag = Tag::SelfPtr;
+    regs[dalvik::r_pc_bc].tag = Tag::Meta;
+    regs[dalvik::r_inst].tag = Tag::Meta;
+    regs[dalvik::r_ibase].tag = Tag::Meta;
+
+    auto combine = [](std::vector<const RegState *> sources) {
+        RegState out;
+        for (const RegState *s : sources) {
+            if (s->tag == Tag::Data) {
+                out.tag = Tag::Data;
+                out.prov.insert(s->prov.begin(), s->prov.end());
+            }
+        }
+        if (out.tag == Tag::Data)
+            return out;
+        for (const RegState *s : sources)
+            if (s->tag == Tag::FpDeriv)
+                return RegState{Tag::FpDeriv, {}};
+        for (const RegState *s : sources)
+            if (s->tag == Tag::PoolTbl)
+                return RegState{Tag::PoolTbl, {}};
+        for (const RegState *s : sources)
+            if (s->tag == Tag::StaticsTbl)
+                return RegState{Tag::StaticsTbl, {}};
+        for (const RegState *s : sources)
+            if (s->tag == Tag::Meta)
+                return RegState{Tag::Meta, {}};
+        return out;
+    };
+
+    for (size_t pos = 0; pos < prog.insts.size(); ++pos) {
+        const Inst &inst = prog.insts[pos];
+
+        if (inst.op == Op::Svc) {
+            profile.has_svc = true;
+            profile.svc_pos.push_back(pos);
+            continue;
+        }
+        if (inst.op == Op::B && inst.cond != isa::Cond::Al &&
+            !profile.has_cond_branch) {
+            profile.has_cond_branch = true;
+            profile.cond_branch_pos = pos;
+            continue;
+        }
+        if (inst.op == Op::B || inst.op == Op::Bl ||
+            inst.op == Op::Bx || inst.op == Op::Halt ||
+            inst.op == Op::Nop)
+            continue;
+
+        if (isa::isLoad(inst.op)) {
+            const RegState &base = regs[inst.mem.base];
+            Space space = classifyAccess(base, inst.mem.offset,
+                                         inst.mem.index != no_reg);
+            RegState value;
+            if (space == Space::PoolPtr)
+                value.tag = Tag::PoolTbl;
+            else if (space == Space::StaticsPtr)
+                value.tag = Tag::StaticsTbl;
+            else if (loadIsData(space)) {
+                value.tag = Tag::Data;
+                value.prov.insert(pos);
+            } else
+                value.tag = Tag::Meta;
+            if (space == Space::Frame)
+                profile.frame_load_pos.push_back(pos);
+            unsigned n = inst.op == Op::Ldm ? inst.reg_count
+                                            : transferRegs(inst.op);
+            for (unsigned k = 0; k < n; ++k)
+                if (inst.rd + k < num_host_regs)
+                    regs[inst.rd + k] = value;
+            continue;
+        }
+
+        if (isa::isStore(inst.op)) {
+            const RegState &base = regs[inst.mem.base];
+            Space space = classifyAccess(base, inst.mem.offset,
+                                         inst.mem.index != no_reg);
+            if (storeIsData(space)) {
+                unsigned n = inst.op == Op::Stm ? inst.reg_count
+                                                : transferRegs(inst.op);
+                std::set<size_t> value_prov;
+                bool is_data_value = false;
+                for (unsigned k = 0; k < n; ++k) {
+                    if (inst.rd + k >= num_host_regs)
+                        continue;
+                    const RegState &v = regs[inst.rd + k];
+                    if (v.tag == Tag::Data) {
+                        is_data_value = true;
+                        value_prov.insert(v.prov.begin(),
+                                          v.prov.end());
+                    }
+                }
+                profile.data_space_stores.emplace_back(pos,
+                                                       is_data_value);
+                if (is_data_value) {
+                    profile.counted_stores.insert(pos);
+                    profile.counted_loads.insert(value_prov.begin(),
+                                                 value_prov.end());
+                }
+            }
+            continue;
+        }
+
+        // Data-processing: propagate tags from value sources only.
+        if (inst.rd != no_reg && writesRd(inst.op)) {
+            std::vector<const RegState *> sources;
+            if (usesRn(inst.op) && inst.rn != no_reg &&
+                inst.rn < num_host_regs)
+                sources.push_back(&regs[inst.rn]);
+            if (!inst.op2.is_imm && inst.op2.reg != no_reg &&
+                inst.op2.reg < num_host_regs)
+                sources.push_back(&regs[inst.op2.reg]);
+            RegState result = combine(sources);
+            if (inst.rd == host_pc) {
+                profile.dispatch_pos.push_back(pos);
+                continue;
+            }
+            if (inst.rd < num_host_regs)
+                regs[inst.rd] = result;
+        }
+    }
+
+    return profile;
+}
+
+/** Distance and counts for one handler from its walk profile. */
+OpcodeWindow
+summarize(dalvik::Bc bc, const HandlerProfile &profile)
+{
+    OpcodeWindow w;
+    w.bc = bc;
+    w.data_store_count = static_cast<int>(profile.counted_stores.size());
+    w.data_load_count = static_cast<int>(profile.counted_loads.size());
+    if (profile.counted_stores.empty() ||
+        profile.counted_loads.empty()) {
+        w.derived_distance = -1;
+        return w;
+    }
+    size_t lo = *profile.counted_loads.begin();
+    size_t hi = *profile.counted_stores.rbegin();
+    for (size_t svc : profile.svc_pos)
+        if (svc > lo && svc < hi) {
+            w.derived_distance = -2;
+            return w;
+        }
+    w.derived_distance = static_cast<int>(hi - lo);
+    return w;
+}
+
+} // namespace
+
+WindowDerivation
+deriveWindowBounds(const dalvik::HandlerSet &set)
+{
+    WindowDerivation result;
+    result.opcodes.resize(dalvik::num_bytecodes);
+
+    std::vector<HandlerProfile> profiles;
+    profiles.reserve(dalvik::num_bytecodes);
+    for (unsigned op = 0; op < dalvik::num_bytecodes; ++op) {
+        auto bc = static_cast<dalvik::Bc>(op);
+        profiles.push_back(walkHandler(set.handlers[op]));
+        result.opcodes[op] = summarize(bc, profiles.back());
+    }
+
+    // NI lower bound 1: the longest intra-handler data distance.
+    for (const OpcodeWindow &w : result.opcodes)
+        result.intra_max = std::max(result.intra_max,
+                                    w.derived_distance);
+
+    // NI lower bound 2: the implicit-flow chain of Section 4.2.
+    // (a) A conditional branch opens the window at its operand load;
+    //     the not-taken path retires the rest of the handler.
+    for (const HandlerProfile &p : profiles) {
+        if (!p.has_cond_branch || p.frame_load_pos.empty())
+            continue;
+        size_t load = *std::min_element(p.frame_load_pos.begin(),
+                                        p.frame_load_pos.end());
+        // The fall-through path ends at the first dispatch after the
+        // conditional branch.
+        for (size_t d : p.dispatch_pos)
+            if (d > p.cond_branch_pos) {
+                result.branch_tail_max =
+                    std::max(result.branch_tail_max,
+                             static_cast<int>(d - load));
+                break;
+            }
+    }
+
+    // (b) The obfuscator interposes the cheapest handler that stores
+    //     to program-data space (no SVC — callouts make the chain
+    //     longer than the attacker wants, no branches).
+    int min_interposed = 1 << 20;
+    for (size_t op = 0; op < profiles.size(); ++op) {
+        const HandlerProfile &p = profiles[op];
+        if (p.has_svc || p.has_cond_branch ||
+            p.data_space_stores.empty())
+            continue;
+        if (static_cast<int>(p.total_insts) < min_interposed) {
+            min_interposed = static_cast<int>(p.total_insts);
+            result.interposed_stores =
+                static_cast<int>(p.data_space_stores.size());
+        }
+    }
+    result.min_interposed = min_interposed == 1 << 20 ? 0
+                                                      : min_interposed;
+
+    // (c) The final constant store: longest prefix, through its data-
+    //     space store, of a handler whose store writes a non-data
+    //     value (const4/const16/const-string).
+    for (const HandlerProfile &p : profiles) {
+        if (p.has_svc || p.has_cond_branch)
+            continue;
+        for (auto [pos, is_data] : p.data_space_stores)
+            if (!is_data)
+                result.max_const_prefix =
+                    std::max(result.max_const_prefix,
+                             static_cast<int>(pos) + 1);
+    }
+
+    result.derived_ni =
+        std::max(result.intra_max,
+                 result.branch_tail_max + result.min_interposed +
+                     result.max_const_prefix);
+    result.derived_nt = 1 + result.interposed_stores;
+
+    return result;
+}
+
+WindowDerivation
+deriveWindowBounds()
+{
+    dalvik::HandlerSet set = dalvik::emitHandlers();
+    return deriveWindowBounds(set);
+}
+
+} // namespace pift::static_analysis

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Window-bound derivation from the native handler templates.
+ *
+ * PIFT's Table 1 is measured by tracing; this pass *derives* the same
+ * per-opcode load->store distances by walking the emitted handler
+ * instructions with an abstract def-use interpretation — no execution
+ * and no reliance on the emitter's own data-move annotations. From
+ * the per-handler results it also derives a recommended taint window
+ * (NI, NT):
+ *
+ *   NI >= every intra-handler data distance, and >= the longest
+ *         implicit-flow chain a Section 4.2 obfuscator can build:
+ *         the fall-through tail after a conditional branch's operand
+ *         load, plus the shortest interposable data-store handler,
+ *         plus the longest constant-store handler prefix;
+ *   NT >= 1 + the store count of the interposed handler.
+ *
+ * The abstract interpretation tags each host register with what it
+ * holds: a frame-derived address, the string-pool or statics table
+ * pointer, program data (with the positions of the loads it came
+ * from), or interpreter metadata. A load counts as a *data load* only
+ * when its value reaches the stored operand of a *data store* (a
+ * store to frame/heap/statics/retval whose value is program data) —
+ * address-only uses, compare-only uses and VM bookkeeping do not
+ * count, which is exactly the distinction Table 1 draws.
+ */
+
+#ifndef PIFT_STATIC_WINDOW_HH
+#define PIFT_STATIC_WINDOW_HH
+
+#include <vector>
+
+#include "dalvik/bytecode.hh"
+
+namespace pift::dalvik
+{
+struct HandlerSet;
+}
+
+namespace pift::static_analysis
+{
+
+/** Derived data-movement profile of one handler template. */
+struct OpcodeWindow
+{
+    dalvik::Bc bc = dalvik::Bc::Nop;
+    /**
+     * Longest counted load->store distance in retired instructions;
+     * -1 when the handler moves no data, -2 when a runtime callout
+     * (SVC) sits inside the span ("unknown" in Table 1).
+     */
+    int derived_distance = -1;
+    int data_store_count = 0;   //!< counted data stores
+    int data_load_count = 0;    //!< counted data loads
+};
+
+/** Whole-interpreter derivation result. */
+struct WindowDerivation
+{
+    std::vector<OpcodeWindow> opcodes;  //!< indexed by opcode value
+
+    int intra_max = 0;        //!< max finite per-opcode distance
+    int branch_tail_max = 0;  //!< branch-operand load -> dispatch
+    int min_interposed = 0;   //!< shortest interposable store handler
+    int max_const_prefix = 0; //!< longest const-store handler prefix
+    int interposed_stores = 0;//!< data-space stores of the interposed
+
+    int derived_ni = 0;
+    int derived_nt = 0;
+
+    const OpcodeWindow &forBc(dalvik::Bc bc) const
+    {
+        return opcodes[static_cast<unsigned>(bc)];
+    }
+};
+
+/** Derive bounds from an already emitted interpreter. */
+WindowDerivation deriveWindowBounds(const dalvik::HandlerSet &set);
+
+/** Emit the interpreter and derive bounds from it. */
+WindowDerivation deriveWindowBounds();
+
+} // namespace pift::static_analysis
+
+#endif // PIFT_STATIC_WINDOW_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Decoder and CFG builder: operand normalisation per format family,
+ * branch edges for every branch encoding (F10t goto, F21t one-reg
+ * ifs, F22t two-reg ifs), fall-through edges, loops, reachability,
+ * and the forward dataflow fixpoint on a diamond.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dalvik/method.hh"
+#include "static/cfg.hh"
+#include "static/dataflow.hh"
+#include "static/decode.hh"
+
+using namespace pift;
+using namespace pift::static_analysis;
+using dalvik::Bc;
+using dalvik::MethodBuilder;
+
+namespace
+{
+
+dalvik::Method
+build(MethodBuilder &&b)
+{
+    return std::move(b).finish();
+}
+
+} // namespace
+
+TEST(StaticDecode, OperandFamilies)
+{
+    auto m = build(std::move(
+        MethodBuilder("decode_families", 6, 0)
+            .const4(0, 7)            // F11n
+            .const16(1, 300)         // F21s
+            .move(2, 0)              // F12x
+            .moveFrom16(3, 1)        // F22x
+            .binop(Bc::AddInt, 4, 2, 3) // F23x
+            .addIntLit8(5, 4, -3)    // F22b
+            .returnVoid()));         // F10x
+
+    DecodeError err = DecodeError::None;
+    auto insts = decodeAll(m.code, &err);
+    ASSERT_EQ(err, DecodeError::None);
+    ASSERT_EQ(insts.size(), 7u);
+
+    EXPECT_EQ(insts[0].bc, Bc::Const4);
+    EXPECT_EQ(insts[0].literal, 7);
+    EXPECT_EQ(insts[0].defs, std::vector<uint16_t>{0});
+    EXPECT_TRUE(insts[0].uses.empty());
+
+    EXPECT_EQ(insts[1].bc, Bc::Const16);
+    EXPECT_EQ(insts[1].literal, 300);
+    EXPECT_EQ(insts[1].units, 2u);
+
+    EXPECT_EQ(insts[2].uses, std::vector<uint16_t>{0});
+    EXPECT_EQ(insts[2].defs, std::vector<uint16_t>{2});
+
+    EXPECT_EQ(insts[4].bc, Bc::AddInt);
+    EXPECT_EQ(insts[4].uses, (std::vector<uint16_t>{2, 3}));
+    EXPECT_EQ(insts[4].defs, std::vector<uint16_t>{4});
+
+    EXPECT_EQ(insts[5].bc, Bc::AddIntLit8);
+    EXPECT_EQ(insts[5].literal, -3);
+    EXPECT_EQ(insts[5].uses, std::vector<uint16_t>{4});
+
+    EXPECT_EQ(insts[6].bc, Bc::ReturnVoid);
+    EXPECT_FALSE(insts[6].fallsThrough());
+}
+
+TEST(StaticDecode, NegativeConst4SignExtends)
+{
+    auto m = build(std::move(MethodBuilder("decode_neg", 1, 0)
+                                 .const4(0, -1)
+                                 .returnVoid()));
+    auto insts = decodeAll(m.code);
+    ASSERT_EQ(insts.size(), 2u);
+    EXPECT_EQ(insts[0].literal, -1);
+}
+
+TEST(StaticDecode, WideAndInvokeExpansion)
+{
+    auto m = build(std::move(
+        MethodBuilder("decode_wide", 8, 0)
+            .moveWide(2, 0)           // pairs (2,3) <- (0,1)
+            .addLong(4, 0, 2)         // (4,5) <- (0,1)+(2,3)
+            .invokeStatic(0, 3, 4)    // args v4..v6
+            .returnVoid()));
+    auto insts = decodeAll(m.code);
+    ASSERT_EQ(insts.size(), 4u);
+
+    EXPECT_EQ(insts[0].uses, (std::vector<uint16_t>{0, 1}));
+    EXPECT_EQ(insts[0].defs, (std::vector<uint16_t>{2, 3}));
+
+    EXPECT_EQ(insts[1].uses, (std::vector<uint16_t>{0, 1, 2, 3}));
+    EXPECT_EQ(insts[1].defs, (std::vector<uint16_t>{4, 5}));
+
+    EXPECT_EQ(insts[2].bc, Bc::InvokeStatic);
+    EXPECT_EQ(insts[2].uses, (std::vector<uint16_t>{4, 5, 6}));
+    EXPECT_EQ(insts[2].argc, 3u);
+    EXPECT_EQ(insts[2].first_arg, 4u);
+}
+
+TEST(StaticDecode, BadOpcodeReported)
+{
+    std::vector<uint16_t> code{0x00ff}; // opcode 0xff
+    DecodeError err = DecodeError::None;
+    size_t unit = 0;
+    decodeAll(code, &err, &unit);
+    EXPECT_EQ(err, DecodeError::BadOpcode);
+    EXPECT_EQ(unit, 0u);
+}
+
+TEST(StaticDecode, TruncatedReported)
+{
+    // if-eqz is F21t (two units); give it one.
+    std::vector<uint16_t> code{
+        static_cast<uint16_t>(static_cast<unsigned>(Bc::IfEqz))};
+    DecodeError err = DecodeError::None;
+    size_t unit = 5;
+    decodeAll(code, &err, &unit);
+    EXPECT_EQ(err, DecodeError::Truncated);
+    EXPECT_EQ(unit, 0u);
+}
+
+TEST(StaticCfg, GotoF10t)
+{
+    // entry -> goto over a skipped const -> exit
+    auto m = build(std::move(MethodBuilder("cfg_goto", 2, 0)
+                                 .const4(0, 1)
+                                 .gotoLabel("done")
+                                 .const4(1, 2) // skipped
+                                 .label("done")
+                                 .returnVoid()));
+    Cfg cfg = buildCfg(m);
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+
+    const BasicBlock &entry = cfg.blocks[cfg.entry_block];
+    EXPECT_EQ(cfg.lastInst(entry).bc, Bc::Goto);
+    ASSERT_EQ(entry.succs.size(), 1u); // no fall-through from goto
+
+    const BasicBlock &target = cfg.blocks[entry.succs[0]];
+    EXPECT_EQ(cfg.inst(target, 0).bc, Bc::ReturnVoid);
+    EXPECT_TRUE(target.reachable);
+
+    // The skipped const is its own, unreachable block.
+    const BasicBlock &skipped = cfg.blocks[1];
+    EXPECT_EQ(cfg.inst(skipped, 0).bc, Bc::Const4);
+    EXPECT_FALSE(skipped.reachable);
+}
+
+TEST(StaticCfg, CondBranchF21tHasBothEdges)
+{
+    auto m = build(std::move(MethodBuilder("cfg_f21t", 2, 1)
+                                 .ifEqz(1, "zero")
+                                 .const4(0, 1)
+                                 .returnValue(0)
+                                 .label("zero")
+                                 .const4(0, 0)
+                                 .returnValue(0)));
+    Cfg cfg = buildCfg(m);
+    const BasicBlock &entry = cfg.blocks[cfg.entry_block];
+    EXPECT_EQ(entry.count, 1u);
+    ASSERT_EQ(entry.succs.size(), 2u); // taken + fall-through
+    for (const BasicBlock &bb : cfg.blocks)
+        EXPECT_TRUE(bb.reachable);
+}
+
+TEST(StaticCfg, CondBranchF22tHasBothEdges)
+{
+    auto m = build(std::move(MethodBuilder("cfg_f22t", 3, 2)
+                                 .ifEq(1, 2, "eq")
+                                 .const4(0, 1)
+                                 .returnValue(0)
+                                 .label("eq")
+                                 .const4(0, 0)
+                                 .returnValue(0)));
+    Cfg cfg = buildCfg(m);
+    const BasicBlock &entry = cfg.blocks[cfg.entry_block];
+    ASSERT_EQ(entry.succs.size(), 2u);
+    EXPECT_EQ(cfg.lastInst(entry).bc, Bc::IfEq);
+}
+
+TEST(StaticCfg, LoopBackEdge)
+{
+    // v0 = 3; do { v0 += -1 } while (v0 != 0); return v0
+    auto m = build(std::move(MethodBuilder("cfg_loop", 1, 0)
+                                 .const4(0, 3)
+                                 .label("head")
+                                 .addIntLit8(0, 0, -1)
+                                 .ifNez(0, "head")
+                                 .returnValue(0)));
+    Cfg cfg = buildCfg(m);
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+
+    // The loop body must be its own predecessor's successor: the
+    // if-nez block branches back to the body head.
+    size_t head = cfg.blockAtUnit(cfg.blocks[cfg.entry_block].count);
+    const BasicBlock &body = cfg.blocks[head];
+    bool has_back_edge = false;
+    for (size_t s : body.succs)
+        has_back_edge |= s == head;
+    EXPECT_TRUE(has_back_edge);
+    EXPECT_GE(body.preds.size(), 2u); // entry + itself
+    for (const BasicBlock &bb : cfg.blocks)
+        EXPECT_TRUE(bb.reachable);
+}
+
+TEST(StaticCfg, CatchBlockIsRoot)
+{
+    auto m = build(std::move(MethodBuilder("cfg_catch", 2, 1)
+                                 .throwVreg(1)
+                                 .catchHere()
+                                 .moveException(0)
+                                 .returnValue(0)));
+    Cfg cfg = buildCfg(m);
+    ASSERT_NE(cfg.catch_block, Cfg::npos);
+    EXPECT_TRUE(cfg.blocks[cfg.catch_block].reachable);
+    EXPECT_EQ(cfg.inst(cfg.blocks[cfg.catch_block], 0).bc,
+              Bc::MoveException);
+}
+
+namespace
+{
+
+/** Constant-ness lattice over one register, for the diamond test. */
+struct ReachingConstProblem
+{
+    struct State
+    {
+        bool valid = false;
+        // -1 = unknown/multiple, else the constant written to v0.
+        int v0 = -1;
+        bool seen = false;
+    };
+
+    State boundary() const { return {true, -1, false}; }
+
+    static bool
+    merge(State &into, const State &in)
+    {
+        if (!in.valid)
+            return false;
+        if (!into.valid) {
+            into = in;
+            return true;
+        }
+        bool changed = false;
+        if (in.seen && !into.seen) {
+            into.seen = true;
+            into.v0 = in.v0;
+            changed = true;
+        } else if (in.seen && into.seen && into.v0 != in.v0 &&
+                   into.v0 != -1) {
+            into.v0 = -1; // conflicting constants join to unknown
+            changed = true;
+        }
+        return changed;
+    }
+
+    void
+    transfer(State &s, const DecodedInst &inst) const
+    {
+        if (inst.bc == Bc::Const4 && !inst.defs.empty() &&
+            inst.defs[0] == 0) {
+            s.v0 = inst.literal;
+            s.seen = true;
+        }
+    }
+};
+
+} // namespace
+
+TEST(StaticDataflow, DiamondJoinsToUnknown)
+{
+    // if (v1) v0 = 1 else v0 = 2; join point must see "unknown".
+    auto m = build(std::move(MethodBuilder("df_diamond", 2, 1)
+                                 .ifEqz(1, "else")
+                                 .const4(0, 1)
+                                 .gotoLabel("join")
+                                 .label("else")
+                                 .const4(0, 2)
+                                 .label("join")
+                                 .returnValue(0)));
+    Cfg cfg = buildCfg(m);
+    ReachingConstProblem problem;
+    auto result = solveForward(cfg, problem);
+
+    size_t join = cfg.blocks.size();
+    for (size_t b = 0; b < cfg.blocks.size(); ++b)
+        if (cfg.inst(cfg.blocks[b], 0).bc == Bc::Return)
+            join = b;
+    ASSERT_LT(join, cfg.blocks.size());
+    EXPECT_TRUE(result.block_in[join].valid);
+    EXPECT_TRUE(result.block_in[join].seen);
+    EXPECT_EQ(result.block_in[join].v0, -1); // 1 joined with 2
+}
+
+TEST(StaticDataflow, LoopReachesFixpoint)
+{
+    auto m = build(std::move(MethodBuilder("df_loop", 2, 1)
+                                 .const4(0, 5)
+                                 .label("head")
+                                 .const4(0, 6)
+                                 .ifNez(1, "head")
+                                 .returnValue(0)));
+    Cfg cfg = buildCfg(m);
+    ReachingConstProblem problem;
+    auto result = solveForward(cfg, problem);
+    // Loop head sees 5 from entry and 6 from the back edge -> unknown.
+    size_t head = cfg.blockAtUnit(1);
+    EXPECT_EQ(result.block_in[head].v0, -1);
+}

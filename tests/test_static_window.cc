@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Window-bound derivation: the per-opcode load->store distances
+ * derived by abstract interpretation of the handler templates must
+ * equal the annotation-based measurements behind Table 1 for every
+ * taint-relevant opcode, and the derived (NI, NT) recommendation must
+ * sit within +/-2 of the Figure 11 sweep optimum.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/census.hh"
+#include "dalvik/bytecode.hh"
+#include "static/window.hh"
+
+using namespace pift;
+using dalvik::Bc;
+
+namespace
+{
+
+const static_analysis::WindowDerivation &
+derivation()
+{
+    static const auto d = static_analysis::deriveWindowBounds();
+    return d;
+}
+
+} // namespace
+
+TEST(StaticWindow, DerivedDistancesMatchMeasuredTable1)
+{
+    // census.hh measures distances from the emitter's data-move
+    // annotations; the derivation recomputes them from the raw
+    // instruction stream. They must agree on every row.
+    for (const auto &row : analysis::bytecodeDistanceTable()) {
+        const auto &w = derivation().forBc(row.bc);
+        EXPECT_EQ(w.derived_distance, row.measured)
+            << dalvik::bcName(row.bc);
+    }
+}
+
+TEST(StaticWindow, NonMoversDeriveNoDistance)
+{
+    EXPECT_EQ(derivation().forBc(Bc::Nop).derived_distance, -1);
+    EXPECT_EQ(derivation().forBc(Bc::Goto).derived_distance, -1);
+    EXPECT_EQ(derivation().forBc(Bc::IfEq).derived_distance, -1);
+    EXPECT_EQ(derivation().forBc(Bc::ReturnVoid).derived_distance, -1);
+}
+
+TEST(StaticWindow, RuntimeCalloutsDeriveUnknown)
+{
+    // Division traps to the runtime between load and store; Table 1
+    // reports these as "unknown".
+    EXPECT_EQ(derivation().forBc(Bc::DivInt).derived_distance, -2);
+    EXPECT_EQ(derivation().forBc(Bc::IntToFloat).derived_distance, -2);
+    EXPECT_EQ(derivation().forBc(Bc::FloatToInt).derived_distance, -2);
+}
+
+TEST(StaticWindow, KnownLandmarkDistances)
+{
+    // Hand-checked positions in the handler templates.
+    EXPECT_EQ(derivation().forBc(Bc::Move).derived_distance, 3);
+    EXPECT_EQ(derivation().forBc(Bc::Iget).derived_distance, 5);
+    EXPECT_EQ(derivation().forBc(Bc::AputObject).derived_distance, 10);
+    EXPECT_EQ(derivation().forBc(Bc::MulLong).derived_distance, 10);
+    EXPECT_EQ(derivation().intra_max, 10);
+}
+
+TEST(StaticWindow, DerivedWindowBounds)
+{
+    const auto &d = derivation();
+    // branch tail (6) + shortest interposable handler (6) + longest
+    // const prefix (7), floored by the intra-handler max (10).
+    EXPECT_EQ(d.branch_tail_max, 6);
+    EXPECT_EQ(d.min_interposed, 6);
+    EXPECT_EQ(d.max_const_prefix, 7);
+    EXPECT_EQ(d.derived_ni, 19);
+    EXPECT_EQ(d.derived_nt, 2);
+}
+
+TEST(StaticWindow, DerivedBoundsNearSweepOptimum)
+{
+    // The Figure 11 sweep's smallest 100%-accuracy point, pinned by
+    // bench_fig11 / bench_static_oracle: (NI=17, NT=2). The statically
+    // derived recommendation must land within +/-2 of it.
+    constexpr int sweep_ni = 17;
+    constexpr int sweep_nt = 2;
+    EXPECT_LE(std::abs(derivation().derived_ni - sweep_ni), 2);
+    EXPECT_LE(std::abs(derivation().derived_nt - sweep_nt), 2);
+}
+
+TEST(StaticWindow, StoreCountsBoundNt)
+{
+    // NT must cover the interposed handler's stores plus the
+    // branch-operand store itself.
+    const auto &d = derivation();
+    EXPECT_EQ(d.derived_nt, 1 + d.interposed_stores);
+    for (const auto &w : d.opcodes) {
+        if (w.derived_distance >= 0) {
+            EXPECT_GE(w.data_store_count, 1) << dalvik::bcName(w.bc);
+        }
+    }
+}
