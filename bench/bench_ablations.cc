@@ -79,7 +79,7 @@ makeCache(size_t entries, core::EvictPolicy policy)
 int
 main()
 {
-    benchx::banner("Ablations at (NI=13, NT=3) over DroidBench",
+    benchx::Phase phase("Ablations at (NI=13, NT=3) over DroidBench",
                    "Sections 3.2/3.3 design choices");
 
     std::vector<Variant> variants;

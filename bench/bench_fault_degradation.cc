@@ -58,7 +58,7 @@ main(int argc, char **argv)
     uint64_t seed = argc > 1
         ? std::strtoull(argv[1], nullptr, 0) : 1;
 
-    benchx::banner("fault injection — graceful degradation sweep",
+    benchx::Phase phase("fault injection — graceful degradation sweep",
                    "Section 3.3 (FN-only degradation), Figure 6");
     std::printf("seed: %llu\n\n",
                 static_cast<unsigned long long>(seed));

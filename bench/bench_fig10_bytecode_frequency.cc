@@ -41,7 +41,7 @@ printCensus(const char *title, const analysis::CensusMap &counts)
 int
 main()
 {
-    benchx::banner("Figure 10 — bytecode frequency census",
+    benchx::Phase phase("Figure 10 — bytecode frequency census",
                    "Section 4.1, Figure 10");
 
     analysis::CensusMap apps;

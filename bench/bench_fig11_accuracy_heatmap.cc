@@ -16,7 +16,7 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("Figure 11 — DroidBench accuracy heat map",
+    benchx::Phase phase("Figure 11 — DroidBench accuracy heat map",
                    "Section 5.1, Figure 11");
 
     const auto &set = benchx::suiteTraces();

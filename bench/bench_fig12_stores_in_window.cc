@@ -18,7 +18,7 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("Figure 12 — stores inside the tainting window",
+    benchx::Phase phase("Figure 12 — stores inside the tainting window",
                    "Section 5.1, Figure 12 (LGRoot trace)");
 
     analysis::DistanceProfiler profiler;

@@ -14,7 +14,7 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("Figure 13 — distance to the first three stores",
+    benchx::Phase phase("Figure 13 — distance to the first three stores",
                    "Section 5.1, Figure 13 (LGRoot trace)");
 
     analysis::DistanceProfiler profiler;

@@ -16,20 +16,14 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("Figure 14 — max tainted bytes over NI x NT",
-                   "Section 5.2, Figure 14 (LGRoot trace)");
+    benchx::Phase phase("Figure 14 — max tainted bytes over NI x NT",
+                        "Section 5.2, Figure 14 (LGRoot trace)");
 
-    const auto &trace = benchx::lgrootTrace();
-    stats::HeatMap map("NT", 1, 10, "NI", 1, 20);
-    for (int nt = 1; nt <= 10; ++nt) {
-        for (int ni = 1; ni <= 20; ++ni) {
-            core::PiftParams p;
-            p.ni = static_cast<unsigned>(ni);
-            p.nt = static_cast<unsigned>(nt);
-            auto o = analysis::measureOverhead(trace, p);
-            map.set(nt, ni, static_cast<double>(o.max_tainted_bytes));
-        }
-    }
+    stats::HeatMap map = benchx::overheadGrid(
+        benchx::lgrootTrace(), 10, 20,
+        [](const analysis::OverheadResult &o) {
+            return o.max_tainted_bytes;
+        });
     stats::renderHeatMap(std::cout, "max tainted bytes", map, "%8.0f");
     std::printf("\nmax cell: %.0f bytes (paper: up to ~5.5e4); "
                 "NT outweighs NI as in the paper\n", map.max());

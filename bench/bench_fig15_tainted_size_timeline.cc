@@ -9,7 +9,6 @@
  */
 
 #include "bench/common.hh"
-#include "stats/render.hh"
 
 #include <iostream>
 
@@ -18,33 +17,20 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("Figure 15 — tainted size over time",
-                   "Section 5.2, Figure 15 (LGRoot trace)");
+    benchx::Phase phase("Figure 15 — tainted size over time",
+                        "Section 5.2, Figure 15 (LGRoot trace)");
 
     const auto &trace = benchx::lgrootTrace();
-    std::vector<std::string> names;
-    std::vector<stats::TimeSeries> series;
-    SeqNum horizon = trace.records.size();
+    auto sweep = benchx::overheadSeriesSweep(
+        trace, {1u, 2u, 3u}, {5u, 10u, 15u, 20u},
+        [](analysis::OverheadResult &&o) {
+            return std::move(o.tainted_bytes);
+        },
+        [](unsigned, unsigned, const analysis::OverheadResult &) {});
 
-    for (unsigned nt : {1u, 2u, 3u}) {
-        for (unsigned ni : {5u, 10u, 15u, 20u}) {
-            core::PiftParams p;
-            p.ni = ni;
-            p.nt = nt;
-            auto o = analysis::measureOverhead(trace, p);
-            char label[32];
-            std::snprintf(label, sizeof(label), "(%u;%u)", ni, nt);
-            names.emplace_back(label);
-            series.push_back(std::move(o.tainted_bytes));
-        }
-    }
-
-    std::vector<const stats::TimeSeries *> ptrs;
-    for (const auto &s : series)
-        ptrs.push_back(&s);
-    stats::renderTimeSeries(std::cout,
-                            "tainted bytes vs instructions (NI;NT)",
-                            names, ptrs, horizon, 25);
+    benchx::renderSeriesSweep(std::cout,
+                              "tainted bytes vs instructions (NI;NT)",
+                              sweep, trace.records.size());
 
     std::printf("\npaper: flat middle for ({5,10,15,20},{1,2}) and "
                 "(5,3); exponential blow-up for (15,3), (20,3)\n");

@@ -8,7 +8,6 @@
  */
 
 #include "bench/common.hh"
-#include "stats/render.hh"
 
 #include <iostream>
 
@@ -17,39 +16,29 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("Figure 16 — cumulative taint+untaint operations",
-                   "Section 5.2, Figure 16 (LGRoot trace)");
+    benchx::Phase phase(
+        "Figure 16 — cumulative taint+untaint operations",
+        "Section 5.2, Figure 16 (LGRoot trace)");
 
     const auto &trace = benchx::lgrootTrace();
-    std::vector<std::string> names;
-    std::vector<stats::TimeSeries> series;
-    SeqNum horizon = trace.records.size();
-
-    for (unsigned nt : {1u, 2u, 3u}) {
-        for (unsigned ni : {5u, 10u, 15u, 20u}) {
-            core::PiftParams p;
-            p.ni = ni;
-            p.nt = nt;
-            auto o = analysis::measureOverhead(trace, p);
-            char label[32];
-            std::snprintf(label, sizeof(label), "(%u;%u)", ni, nt);
-            names.emplace_back(label);
-            series.push_back(std::move(o.cumulative_ops));
+    auto sweep = benchx::overheadSeriesSweep(
+        trace, {1u, 2u, 3u}, {5u, 10u, 15u, 20u},
+        [](analysis::OverheadResult &&o) {
+            return std::move(o.cumulative_ops);
+        },
+        [](unsigned ni, unsigned nt,
+           const analysis::OverheadResult &o) {
             std::printf("(NI=%2u,NT=%u): %llu taint + %llu untaint "
                         "operations\n", ni, nt,
                         static_cast<unsigned long long>(o.taint_ops),
                         static_cast<unsigned long long>(
                             o.untaint_ops));
-        }
-    }
+        });
 
     std::printf("\n");
-    std::vector<const stats::TimeSeries *> ptrs;
-    for (const auto &s : series)
-        ptrs.push_back(&s);
-    stats::renderTimeSeries(
+    benchx::renderSeriesSweep(
         std::cout, "cumulative operations vs instructions (NI;NT)",
-        names, ptrs, horizon, 25);
+        sweep, trace.records.size());
 
     std::printf("\npaper: operations keep accruing during the flat "
                 "phase (mistaint/untaint churn), most at large "

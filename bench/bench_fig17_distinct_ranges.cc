@@ -9,6 +9,7 @@
 #include "bench/common.hh"
 #include "stats/render.hh"
 
+#include <algorithm>
 #include <iostream>
 
 using namespace pift;
@@ -16,24 +17,19 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("Figure 17 — max distinct tainted ranges",
-                   "Section 5.2, Figure 17 (LGRoot trace)");
+    benchx::Phase phase("Figure 17 — max distinct tainted ranges",
+                        "Section 5.2, Figure 17 (LGRoot trace)");
 
-    const auto &trace = benchx::lgrootTrace();
-    stats::HeatMap map("NT", 1, 10, "NI", 1, 20);
+    stats::HeatMap map = benchx::overheadGrid(
+        benchx::lgrootTrace(), 10, 20,
+        [](const analysis::OverheadResult &o) {
+            return o.max_ranges;
+        });
     double max_small_ni = 0;
-    for (int nt = 1; nt <= 10; ++nt) {
-        for (int ni = 1; ni <= 20; ++ni) {
-            core::PiftParams p;
-            p.ni = static_cast<unsigned>(ni);
-            p.nt = static_cast<unsigned>(nt);
-            auto o = analysis::measureOverhead(trace, p);
-            map.set(nt, ni, static_cast<double>(o.max_ranges));
-            if (ni <= 10)
-                max_small_ni = std::max(
-                    max_small_ni, static_cast<double>(o.max_ranges));
-        }
-    }
+    for (int nt = 1; nt <= 10; ++nt)
+        for (int ni = 1; ni <= 10; ++ni)
+            max_small_ni = std::max(max_small_ni, map.at(nt, ni));
+
     stats::renderHeatMap(std::cout, "max distinct ranges", map,
                          "%8.0f");
     std::printf("\nmax ranges for NI <= 10: %.0f (paper: < 100, so a "

@@ -12,30 +12,15 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("Figure 19 — untainting vs distinct ranges",
-                   "Section 5.2, Figure 19 (LGRoot trace)");
+    benchx::Phase phase("Figure 19 — untainting vs distinct ranges",
+                        "Section 5.2, Figure 19 (LGRoot trace)");
 
-    const auto &trace = benchx::lgrootTrace();
-    std::printf("%-14s %16s %18s %8s\n", "window", "with untainting",
-                "without untainting", "ratio");
-    for (unsigned ni : {5u, 10u, 15u, 20u}) {
-        core::PiftParams p;
-        p.ni = ni;
-        p.nt = 3;
-        p.untaint = true;
-        auto with = analysis::measureOverhead(trace, p);
-        p.untaint = false;
-        auto without = analysis::measureOverhead(trace, p);
-        double ratio = with.max_ranges
-            ? static_cast<double>(without.max_ranges) /
-                static_cast<double>(with.max_ranges)
-            : 0.0;
-        std::printf("NI=%-2u NT=3     %16llu %18llu %7.1fx\n", ni,
-                    static_cast<unsigned long long>(with.max_ranges),
-                    static_cast<unsigned long long>(
-                        without.max_ranges),
-                    ratio);
-    }
+    auto rows = benchx::untaintComparison(
+        benchx::lgrootTrace(), {5u, 10u, 15u, 20u}, 3,
+        [](const analysis::OverheadResult &o) {
+            return o.max_ranges;
+        });
+    benchx::printUntaintTable(rows, 3);
     std::printf("\npaper: >60x fewer distinct ranges at (5,3)\n");
     return 0;
 }

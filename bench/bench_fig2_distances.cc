@@ -20,7 +20,7 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("Figure 2 — load/store stream structure",
+    benchx::Phase phase("Figure 2 — load/store stream structure",
                    "Section 2, Figure 2 (LGRoot trace)");
 
     analysis::DistanceProfiler profiler;

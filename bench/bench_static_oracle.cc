@@ -19,7 +19,7 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("static taint oracle vs dynamic PIFT",
+    benchx::Phase phase("static taint oracle vs dynamic PIFT",
                    "Sections 3-5 (static cross-check)");
 
     // --- Static sweep: whole registry, no execution. ---------------

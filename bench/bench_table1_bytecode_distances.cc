@@ -22,7 +22,7 @@ using namespace pift;
 int
 main()
 {
-    benchx::banner("Table 1 — load-store distances within bytecodes",
+    benchx::Phase phase("Table 1 — load-store distances within bytecodes",
                    "Section 4.1, Table 1");
 
     auto rows = analysis::bytecodeDistanceTable();

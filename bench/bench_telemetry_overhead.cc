@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Telemetry overhead bench: replays the full 64-app registry with
+ * collection enabled and with collection disabled (the runtime gate,
+ * which upper-bounds what a PIFT_TELEMETRY=OFF build would pay,
+ * since OFF removes even the enabled-flag branch), reports the
+ * wall-time delta, and writes BENCH_telemetry.json — the structured
+ * perf-trajectory artifact the ROADMAP's "fast as the hardware
+ * allows" goal is tracked by.
+ *
+ * Acceptance target (ISSUE 4): enabled-vs-disabled overhead <= 5%.
+ *
+ * Usage: bench_telemetry_overhead [--reps N] [--out FILE]
+ *        [--trace FILE]
+ */
+
+#include "bench/common.hh"
+#include "telemetry/telemetry.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <string>
+
+using namespace pift;
+
+namespace
+{
+
+/** Total records across the captured registry. */
+uint64_t
+totalRecords(const std::vector<analysis::LabelledTrace> &set)
+{
+    uint64_t n = 0;
+    for (const auto &item : set)
+        n += item.trace.records.size();
+    return n;
+}
+
+/** Wall milliseconds for one replay of the whole registry. */
+double
+replayAll(const std::vector<analysis::LabelledTrace> &set)
+{
+    core::PiftParams params; // the paper's (13, 3)
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto &item : set)
+        (void)analysis::piftDetectsLeak(item.trace, params);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    int reps = 0;
+    std::string out_path = "BENCH_telemetry.json";
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
+            reps = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
+        else
+            pift_fatal("usage: bench_telemetry_overhead [--reps N] "
+                       "[--out FILE] [--trace FILE]");
+    }
+
+    benchx::Phase phase("telemetry collection overhead",
+                        "ISSUE 4 acceptance (<= 5% wall-time)");
+    setQuiet(true);
+
+    const auto &set = benchx::registryTraces();
+    uint64_t records = totalRecords(set);
+    std::printf("registry: %zu apps, %llu trace records, telemetry "
+                "%s\n", set.size(),
+                static_cast<unsigned long long>(records),
+                telemetry::compiledIn() ? "compiled in"
+                                        : "compiled OUT");
+
+    if (reps <= 0) {
+        // Size the measurement so each leg accumulates ~1 second.
+        double one = replayAll(set);
+        reps = std::max(5, static_cast<int>(std::ceil(1000.0 /
+                                                      std::max(one,
+                                                               1.0))));
+    }
+    std::printf("timing %d interleaved repetitions per leg\n", reps);
+
+    // Interleave the two legs and keep the per-rep minimum of each:
+    // on a shared machine, scheduler noise only ever inflates a rep,
+    // so min-of-reps converges on the true cost and interleaving
+    // cancels slow drift (thermal, page cache) between the legs.
+    replayAll(set); // warm-up
+    double disabled_ms = 0.0;
+    double enabled_ms = 0.0;
+    double enabled_total = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        telemetry::setEnabled(false);
+        double d = replayAll(set);
+        telemetry::setEnabled(true);
+        double e = replayAll(set);
+        enabled_total += e;
+        if (r == 0 || d < disabled_ms)
+            disabled_ms = d;
+        if (r == 0 || e < enabled_ms)
+            enabled_ms = e;
+    }
+
+    double overhead_pct = disabled_ms > 0.0
+        ? 100.0 * (enabled_ms - disabled_ms) / disabled_ms
+        : 0.0;
+    uint64_t replayed = records * static_cast<uint64_t>(reps);
+    double events_per_sec = enabled_total > 0.0
+        ? 1000.0 * static_cast<double>(replayed) / enabled_total
+        : 0.0;
+
+    std::printf("\n%-28s %12.1f ms  (min of %d)\n",
+                "collection disabled:", disabled_ms, reps);
+    std::printf("%-28s %12.1f ms  (min of %d)\n",
+                "collection enabled:", enabled_ms, reps);
+    std::printf("%-28s %11.2f %%  (target: <= 5%%)\n",
+                "telemetry overhead:", overhead_pct);
+    std::printf("%-28s %12.2e records/s\n", "replay throughput:",
+                events_per_sec);
+
+    telemetry::sampleRegistryToTracer();
+
+    telemetry::BenchReport report;
+    report.bench = "bench_telemetry_overhead";
+    report.apps = set.size();
+    report.repetitions = static_cast<uint64_t>(reps);
+    report.records_replayed = replayed;
+    report.wall_ms = enabled_ms; // min-of-reps, one registry pass
+    report.events_per_sec = events_per_sec;
+    report.wall_ms_disabled = disabled_ms; // min-of-reps, one pass
+    report.overhead_pct = overhead_pct;
+    std::string err = telemetry::saveBenchReport(out_path, report);
+    if (!err.empty())
+        pift_fatal("%s", err.c_str());
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (!trace_path.empty()) {
+        err = telemetry::saveChromeTrace(trace_path);
+        if (!err.empty())
+            pift_fatal("%s", err.c_str());
+        std::printf("wrote %s (open at chrome://tracing)\n",
+                    trace_path.c_str());
+    }
+
+    // Informational verdict; wall-clock noise on shared CI runners
+    // makes a hard exit code flaky, so the JSON carries the number.
+    std::printf("\nverdict: %s\n",
+                overhead_pct <= 5.0 ? "within the 5% budget"
+                                    : "OVER the 5% budget");
+    return 0;
+}

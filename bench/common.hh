@@ -1,20 +1,29 @@
 /**
  * @file
  * Shared plumbing for the figure/table reproduction benches: cached
- * app-suite captures and consistent headers. Every bench prints the
- * paper's rows/series and, where the paper states numbers, the
- * paper's value next to the measured one.
+ * app-suite captures, consistent headers, and the replay loops the
+ * bench_fig* binaries used to duplicate (NI x NT overhead grids,
+ * untainting comparisons, per-parameter time-series sweeps). Every
+ * helper installs telemetry spans, so any bench run can be exported
+ * as a Chrome trace. Every bench prints the paper's rows/series and,
+ * where the paper states numbers, the paper's value next to the
+ * measured one.
  */
 
 #ifndef PIFT_BENCH_COMMON_HH
 #define PIFT_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/evaluate.hh"
 #include "droidbench/app.hh"
+#include "stats/render.hh"
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace pift::benchx
 {
@@ -24,6 +33,7 @@ inline const sim::Trace &
 lgrootTrace()
 {
     static const sim::Trace trace = [] {
+        telemetry::Span span("bench:capture_lgroot", "bench");
         const auto &entry = droidbench::malwareApps().front();
         pift_assert(entry.name == "malware_lgroot",
                     "LGRoot must be the first malware entry");
@@ -37,8 +47,29 @@ inline const std::vector<analysis::LabelledTrace> &
 suiteTraces()
 {
     static const std::vector<analysis::LabelledTrace> set = [] {
+        telemetry::Span span("bench:capture_droidbench", "bench");
         std::vector<analysis::LabelledTrace> out;
         for (const auto &entry : droidbench::droidBenchApps()) {
+            auto run = droidbench::runApp(entry);
+            out.push_back({entry.name, entry.leaks,
+                           std::move(run.trace)});
+        }
+        return out;
+    }();
+    return set;
+}
+
+/**
+ * Labelled traces of the complete 64-app registry: the DroidBench
+ * suite plus the seven malware analogs (captured once per process).
+ */
+inline const std::vector<analysis::LabelledTrace> &
+registryTraces()
+{
+    static const std::vector<analysis::LabelledTrace> set = [] {
+        telemetry::Span span("bench:capture_registry", "bench");
+        std::vector<analysis::LabelledTrace> out = suiteTraces();
+        for (const auto &entry : droidbench::malwareApps()) {
             auto run = droidbench::runApp(entry);
             out.push_back({entry.name, entry.leaks,
                            std::move(run.trace)});
@@ -58,6 +89,157 @@ banner(const char *what, const char *paper_ref)
     std::printf("Paper reference: %s\n", paper_ref);
     std::printf("================================================="
                 "=============\n");
+}
+
+/** Banner plus a telemetry span covering the whole bench run. */
+class Phase
+{
+  public:
+    Phase(const char *what, const char *paper_ref)
+        : span(std::string("bench:") + what, "bench")
+    {
+        banner(what, paper_ref);
+    }
+
+  private:
+    telemetry::Span span;
+};
+
+/**
+ * Replay @p trace over the NT x NI grid, mapping each replay through
+ * @p metric (an OverheadResult projection) into a heat map — the
+ * shared core of the Figure 14/17 benches.
+ */
+template <typename MetricFn>
+stats::HeatMap
+overheadGrid(const sim::Trace &trace, int nt_hi, int ni_hi,
+             MetricFn metric)
+{
+    telemetry::Span span("bench:overhead_grid", "bench");
+    stats::HeatMap map("NT", 1, nt_hi, "NI", 1, ni_hi);
+    for (int nt = 1; nt <= nt_hi; ++nt) {
+        for (int ni = 1; ni <= ni_hi; ++ni) {
+            core::PiftParams p;
+            p.ni = static_cast<unsigned>(ni);
+            p.nt = static_cast<unsigned>(nt);
+            map.set(nt, ni, static_cast<double>(
+                                metric(analysis::measureOverhead(
+                                    trace, p))));
+        }
+    }
+    return map;
+}
+
+/** One row of an untainting-on/off comparison (Figures 18/19). */
+struct UntaintRow
+{
+    unsigned ni = 0;
+    uint64_t with_untaint = 0;
+    uint64_t without_untaint = 0;
+
+    double
+    ratio() const
+    {
+        return with_untaint
+            ? static_cast<double>(without_untaint) /
+                static_cast<double>(with_untaint)
+            : 0.0;
+    }
+};
+
+/**
+ * Replay @p trace with untainting on and off at NT = @p nt for each
+ * NI in @p nis, projecting each replay through @p metric.
+ */
+template <typename MetricFn>
+std::vector<UntaintRow>
+untaintComparison(const sim::Trace &trace,
+                  std::initializer_list<unsigned> nis, unsigned nt,
+                  MetricFn metric)
+{
+    telemetry::Span span("bench:untaint_comparison", "bench");
+    std::vector<UntaintRow> rows;
+    for (unsigned ni : nis) {
+        core::PiftParams p;
+        p.ni = ni;
+        p.nt = nt;
+        p.untaint = true;
+        UntaintRow row;
+        row.ni = ni;
+        row.with_untaint = metric(analysis::measureOverhead(trace, p));
+        p.untaint = false;
+        row.without_untaint =
+            metric(analysis::measureOverhead(trace, p));
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+/** Print an untainting comparison in the Figure 18/19 table shape. */
+inline void
+printUntaintTable(const std::vector<UntaintRow> &rows, unsigned nt)
+{
+    std::printf("%-14s %16s %18s %8s\n", "window", "with untainting",
+                "without untainting", "ratio");
+    for (const UntaintRow &row : rows)
+        std::printf("NI=%-2u NT=%u     %16llu %18llu %7.1fx\n",
+                    row.ni, nt,
+                    static_cast<unsigned long long>(row.with_untaint),
+                    static_cast<unsigned long long>(
+                        row.without_untaint),
+                    row.ratio());
+}
+
+/** Labelled time series per (NI, NT) point (Figures 15/16). */
+struct SeriesSweep
+{
+    std::vector<std::string> names;
+    std::vector<stats::TimeSeries> series;
+};
+
+/**
+ * Replay @p trace at every (ni, nt) in @p nis x @p nts, extracting
+ * one time series per point via @p extract. @p per_point (may be
+ * empty) sees each OverheadResult first — Figure 16 prints per-point
+ * operation counts from it.
+ */
+template <typename ExtractFn, typename PerPointFn>
+SeriesSweep
+overheadSeriesSweep(const sim::Trace &trace,
+                    std::initializer_list<unsigned> nts,
+                    std::initializer_list<unsigned> nis,
+                    ExtractFn extract, PerPointFn per_point)
+{
+    telemetry::Span span("bench:series_sweep", "bench");
+    SeriesSweep sweep;
+    for (unsigned nt : nts) {
+        for (unsigned ni : nis) {
+            core::PiftParams p;
+            p.ni = ni;
+            p.nt = nt;
+            auto o = analysis::measureOverhead(trace, p);
+            per_point(ni, nt, o);
+            char label[32];
+            std::snprintf(label, sizeof(label), "(%u;%u)", ni, nt);
+            sweep.names.emplace_back(label);
+            sweep.series.push_back(extract(std::move(o)));
+        }
+    }
+    return sweep;
+}
+
+/** Render a series sweep with the shared pointer-vector dance. */
+inline void
+renderSeriesSweep(std::ostream &os, const char *title,
+                  const SeriesSweep &sweep, SeqNum horizon,
+                  int height = 25)
+{
+    std::vector<const stats::TimeSeries *> ptrs;
+    ptrs.reserve(sweep.series.size());
+    for (const auto &s : sweep.series)
+        ptrs.push_back(&s);
+    stats::renderTimeSeries(os, title, sweep.names, ptrs, horizon,
+                            height);
 }
 
 } // namespace pift::benchx

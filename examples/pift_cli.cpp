@@ -9,6 +9,9 @@
  *   capture <app> <file>         save the app's trace to disk
  *   replay <file> [NI NT]        evaluate a saved trace
  *   static-check [app]           verify bytecode + static taint oracle
+ *   telemetry [options]          replay the registry under telemetry,
+ *                                print a metrics snapshot, write
+ *                                BENCH_telemetry.json (+ trace files)
  *
  * Examples:
  *   ./build/examples/pift_cli list
@@ -17,18 +20,22 @@
  *   ./build/examples/pift_cli replay /tmp/lg.trace 3 2
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "analysis/evaluate.hh"
+#include "core/taint_store.hh"
 #include "dalvik/disasm.hh"
 #include "droidbench/app.hh"
 #include "droidbench/static_oracle.hh"
+#include "faults/fault_injector.hh"
 #include "sim/trace_io.hh"
 #include "static/oracle.hh"
 #include "static/verifier.hh"
+#include "telemetry/telemetry.hh"
 
 using namespace pift;
 
@@ -220,6 +227,148 @@ cmdStaticCheck(const std::string &name)
     return rc;
 }
 
+/**
+ * Exercise the faults layer under telemetry so the snapshot and the
+ * Chrome trace cover faults.* instruments too: one LGRoot replay
+ * through a lossy stream and a flaky taint store.
+ */
+void
+telemetryFaultsPhase(const sim::Trace &trace)
+{
+    telemetry::Span span("phase:faults", "cli");
+    faults::FaultConfig fc;
+    fc.seed = 42;
+    fc.drop_num = 20'000;        // 2% of each fault class
+    fc.dup_num = 20'000;
+    fc.insert_fail_num = 20'000;
+    fc.forced_evict_num = 20'000;
+    faults::FaultInjector inj(fc);
+    core::IdealRangeStore store;
+    faults::FaultyTaintStore fstore(inj, store);
+    core::PiftTracker tracker({13, 3, true}, fstore);
+    faults::FaultyStream stream(inj, tracker);
+    sim::replay(trace, stream);
+    stream.flush();
+}
+
+int
+cmdTelemetry(int argc, char **argv)
+{
+    std::string out_path = "BENCH_telemetry.json";
+    std::string trace_path;
+    std::string jsonl_path;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--registry") {
+            // Default mode; accepted for explicitness (CI uses it).
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (arg == "--jsonl" && i + 1 < argc) {
+            jsonl_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: pift_cli telemetry [--registry] "
+                         "[--out FILE] [--trace FILE] [--jsonl FILE]\n");
+            return 2;
+        }
+    }
+
+    if (!telemetry::compiledIn())
+        std::printf("note: telemetry compiled out "
+                    "(PIFT_TELEMETRY=OFF); counters read zero\n");
+
+    // Replay the full 64-app registry. runApp/piftDetectsLeak emit
+    // droidbench.* spans and core.* counters as a side effect.
+    telemetry::BenchReport report;
+    report.bench = "pift_cli_telemetry";
+    core::PiftParams params; // the paper's (13, 3)
+    sim::Trace lgroot;
+    auto t0 = std::chrono::steady_clock::now();
+    {
+        telemetry::Span span("phase:registry", "cli");
+        for (const auto *apps : {&droidbench::droidBenchApps(),
+                                 &droidbench::malwareApps()}) {
+            for (const auto &entry : *apps) {
+                auto run = droidbench::runApp(entry);
+                (void)analysis::piftDetectsLeak(run.trace, params);
+                report.records_replayed += run.trace.records.size();
+                ++report.apps;
+                if (entry.name == "malware_lgroot")
+                    lgroot = std::move(run.trace);
+            }
+        }
+    }
+    telemetryFaultsPhase(lgroot);
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    report.events_per_sec = report.wall_ms > 0.0
+        ? 1000.0 * static_cast<double>(report.records_replayed) /
+            report.wall_ms
+        : 0.0;
+
+    // Human-readable snapshot.
+    auto snaps = telemetry::snapshot();
+    std::printf("%-44s %-10s %s\n", "instrument", "kind", "value");
+    for (const auto &s : snaps) {
+        switch (s.kind) {
+        case telemetry::Kind::Counter:
+            std::printf("%-44s %-10s %llu\n", s.name.c_str(),
+                        "counter",
+                        static_cast<unsigned long long>(s.value));
+            break;
+        case telemetry::Kind::Gauge:
+            std::printf("%-44s %-10s %lld (peak %lld)\n",
+                        s.name.c_str(), "gauge",
+                        static_cast<long long>(s.gauge_value),
+                        static_cast<long long>(s.gauge_peak));
+            break;
+        case telemetry::Kind::Histogram:
+            std::printf("%-44s %-10s count=%llu sum=%llu\n",
+                        s.name.c_str(), "histogram",
+                        static_cast<unsigned long long>(s.count),
+                        static_cast<unsigned long long>(s.sum));
+            break;
+        }
+    }
+    std::printf("%zu instruments; %zu apps, %llu records in %.1f ms\n",
+                snaps.size(), static_cast<size_t>(report.apps),
+                static_cast<unsigned long long>(
+                    report.records_replayed),
+                report.wall_ms);
+
+    // Fold the final counter values into the span stream so the
+    // Chrome trace carries the instrument names alongside the spans.
+    telemetry::sampleRegistryToTracer();
+
+    if (auto err = telemetry::saveBenchReport(out_path, report);
+        !err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    if (!trace_path.empty()) {
+        if (auto err = telemetry::saveChromeTrace(trace_path);
+            !err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        std::printf("wrote %s (open at chrome://tracing)\n",
+                    trace_path.c_str());
+    }
+    if (!jsonl_path.empty()) {
+        if (auto err = telemetry::saveJsonl(jsonl_path);
+            !err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        std::printf("wrote %s\n", jsonl_path.c_str());
+    }
+    return 0;
+}
+
 void
 usage()
 {
@@ -230,7 +379,9 @@ usage()
                  "       pift_cli dump <app>\n"
                  "       pift_cli capture <app> <file>\n"
                  "       pift_cli replay <file> [NI NT]\n"
-                 "       pift_cli static-check [app]\n");
+                 "       pift_cli static-check [app]\n"
+                 "       pift_cli telemetry [--registry] [--out FILE]"
+                 " [--trace FILE] [--jsonl FILE]\n");
 }
 
 } // namespace
@@ -261,6 +412,8 @@ main(int argc, char **argv)
         return cmdReplay(argv[2], num(3, 13), num(4, 3));
     if (cmd == "static-check")
         return cmdStaticCheck(argc >= 3 ? argv[2] : "");
+    if (cmd == "telemetry")
+        return cmdTelemetry(argc, argv);
     usage();
     return 2;
 }

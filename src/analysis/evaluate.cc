@@ -2,13 +2,34 @@
 
 #include "baseline/full_tracker.hh"
 #include "core/taint_store.hh"
+#include "telemetry/telemetry.hh"
 
 namespace pift::analysis
 {
 
+namespace
+{
+
+/** Offline-replay instruments. */
+struct EvalTel
+{
+    telemetry::Counter &replays =
+        telemetry::counter("analysis.trace_replays");
+};
+
+EvalTel &
+etel()
+{
+    static EvalTel t;
+    return t;
+}
+
+} // anonymous namespace
+
 bool
 piftDetectsLeak(const sim::Trace &trace, const core::PiftParams &params)
 {
+    etel().replays.inc();
     core::IdealRangeStore store;
     core::PiftTracker tracker(params, store);
     sim::replay(trace, tracker);
@@ -18,6 +39,7 @@ piftDetectsLeak(const sim::Trace &trace, const core::PiftParams &params)
 bool
 baselineDetectsLeak(const sim::Trace &trace)
 {
+    etel().replays.inc();
     baseline::FullTracker tracker;
     sim::replay(trace, tracker);
     return tracker.anyLeak();
@@ -59,6 +81,7 @@ stats::HeatMap
 accuracySweep(const std::vector<LabelledTrace> &set, int ni_hi,
               int nt_hi, bool untaint)
 {
+    telemetry::Span span("analysis:accuracy_sweep", "analysis");
     stats::HeatMap map("NT", 1, nt_hi, "NI", 1, ni_hi);
     for (int nt = 1; nt <= nt_hi; ++nt) {
         for (int ni = 1; ni <= ni_hi; ++ni) {
@@ -76,6 +99,7 @@ accuracySweep(const std::vector<LabelledTrace> &set, int ni_hi,
 OverheadResult
 measureOverhead(const sim::Trace &trace, const core::PiftParams &params)
 {
+    etel().replays.inc();
     OverheadResult result;
     core::IdealRangeStore store;
     core::PiftTracker tracker(params, store);

@@ -1,9 +1,33 @@
 #include "android/pift_stack.hh"
 
 #include "support/logging.hh"
+#include "telemetry/registry.hh"
 
 namespace pift::android
 {
+
+namespace
+{
+
+/** Software-stack (kernel PIFT module) instruments. */
+struct StackTel
+{
+    telemetry::Counter &sources =
+        telemetry::counter("android.sources_registered");
+    telemetry::Counter &sink_checks =
+        telemetry::counter("android.sink_checks");
+    telemetry::Counter &cmd_retries =
+        telemetry::counter("android.cmd_retries");
+};
+
+StackTel &
+atel()
+{
+    static StackTel t;
+    return t;
+}
+
+} // anonymous namespace
 
 sim::ControlEvent
 PiftModule::makeEvent(const taint::AddrRange &range, uint32_t id) const
@@ -22,6 +46,7 @@ PiftModule::registerRange(const taint::AddrRange &range, uint32_t id)
 {
     sim::ControlEvent ev = makeEvent(range, id);
     ev.kind = sim::ControlKind::RegisterSource;
+    atel().sources.inc();
     hub_ref.publish(ev);
 }
 
@@ -30,6 +55,7 @@ PiftModule::checkRange(const taint::AddrRange &range, uint32_t id)
 {
     sim::ControlEvent ev = makeEvent(range, id);
     ev.kind = sim::ControlKind::CheckSink;
+    atel().sink_checks.inc();
     hub_ref.publish(ev);
 
     if (!hw_module)
@@ -49,6 +75,7 @@ PiftModule::checkRange(const taint::AddrRange &range, uint32_t id)
             static_cast<uint32_t>(core::HwCommand::CheckRange));
         uint32_t res = hw_module->readPort(core::hw_ports::result);
         if (res == core::hw_cmd_error) {
+            atel().cmd_retries.inc();
             pift_warn_limited(4,
                               "PIFT command port fault on sink check "
                               "%u (attempt %u), re-issuing", id,

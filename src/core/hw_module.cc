@@ -1,9 +1,31 @@
 #include "core/hw_module.hh"
 
 #include "support/logging.hh"
+#include "telemetry/registry.hh"
 
 namespace pift::core
 {
+
+namespace
+{
+
+/** MMIO command-protocol instruments. */
+struct HwTel
+{
+    telemetry::Counter &commands =
+        telemetry::counter("core.hw.commands");
+    telemetry::Counter &cmd_errors =
+        telemetry::counter("core.hw.cmd_errors");
+};
+
+HwTel &
+htel()
+{
+    static HwTel t;
+    return t;
+}
+
+} // anonymous namespace
 
 void
 HwModule::writePort(Addr offset, uint32_t value)
@@ -65,9 +87,12 @@ HwModule::readPort(Addr offset) const
 void
 HwModule::execute(HwCommand cmd)
 {
+    if (cmd != HwCommand::None)
+        htel().commands.inc();
     if (cmd != HwCommand::None && cmd_fault && cmd_fault()) {
         // Transient port fault: the command never reaches the
         // engine. Software sees hw_cmd_error and must re-issue.
+        htel().cmd_errors.inc();
         reg_result = hw_cmd_error;
         last_cmd_failed = true;
         return;

@@ -3,15 +3,64 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "telemetry/registry.hh"
 
 namespace pift::core
 {
+
+namespace
+{
+
+/** Tracker instruments, resolved once (see DESIGN.md §9). */
+struct TrackerTel
+{
+    telemetry::Counter &windows_opened =
+        telemetry::counter("core.tracker.windows_opened");
+    telemetry::Counter &windows_renewed =
+        telemetry::counter("core.tracker.windows_renewed");
+    telemetry::Counter &windows_expired =
+        telemetry::counter("core.tracker.windows_expired");
+    telemetry::Counter &stores_tainted =
+        telemetry::counter("core.tracker.stores_tainted");
+    telemetry::Counter &stores_untainted =
+        telemetry::counter("core.tracker.stores_untainted");
+    telemetry::Counter &sinks_clean =
+        telemetry::counter("core.tracker.sinks_clean");
+    telemetry::Counter &sinks_tainted =
+        telemetry::counter("core.tracker.sinks_tainted");
+    telemetry::Counter &sinks_maybe =
+        telemetry::counter("core.tracker.sinks_maybe");
+};
+
+TrackerTel &
+tel()
+{
+    static TrackerTel t;
+    return t;
+}
+
+} // anonymous namespace
 
 PiftTracker::PiftTracker(const PiftParams &params, TaintStore &store_)
     : cfg(params), store(store_)
 {
     pift_assert(cfg.ni >= 1, "NI must be at least 1");
     pift_assert(cfg.nt >= 1, "NT must be at least 1");
+}
+
+PiftTracker::~PiftTracker()
+{
+    // Publish the batched per-record tallies (see pift_tracker.hh).
+    if (tel_windows_opened)
+        tel().windows_opened.inc(tel_windows_opened);
+    if (tel_windows_renewed)
+        tel().windows_renewed.inc(tel_windows_renewed);
+    if (tel_windows_expired)
+        tel().windows_expired.inc(tel_windows_expired);
+    if (tel_stores_tainted)
+        tel().stores_tainted.inc(tel_stores_tainted);
+    if (tel_stores_untainted)
+        tel().stores_untainted.inc(tel_stores_untainted);
 }
 
 void
@@ -41,7 +90,18 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
         if (store.query(rec.pid, range)) {
             Window &w = windows[rec.pid];
             bool open = w.active && rec.local_seq <= w.ltlt + cfg.ni;
+            if (w.active && !open) {
+                // Lazily retire the stale window so expiry is
+                // countable; semantics are unchanged (an inactive and
+                // an expired window behave identically below).
+                w.active = false;
+                if constexpr (telemetry::compiledIn())
+                    ++tel_windows_expired;
+            }
             if (cfg.restart || !open) {
+                if constexpr (telemetry::compiledIn())
+                    ++(open ? tel_windows_renewed
+                            : tel_windows_opened);
                 w.active = true;
                 w.ltlt = rec.local_seq;
                 w.used = 0;
@@ -55,11 +115,18 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
     ++stat.stores;
     Window &w = windows[rec.pid];
     bool in_window = w.active && rec.local_seq <= w.ltlt + cfg.ni;
+    if (w.active && !in_window) {
+        w.active = false;
+        if constexpr (telemetry::compiledIn())
+            ++tel_windows_expired;
+    }
     if (in_window && w.used < cfg.nt) {
         // [Lines 17-19] Taint the target range.
         ++w.used;
         if (store.insert(rec.pid, range)) {
             ++stat.taint_ops;
+            if constexpr (telemetry::compiledIn())
+                ++tel_stores_tainted;
             afterOp(records_seen);
         }
     } else if (cfg.untaint) {
@@ -67,6 +134,8 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
         // the target is likely overwritten with non-sensitive data.
         if (store.remove(rec.pid, range)) {
             ++stat.untaint_ops;
+            if constexpr (telemetry::compiledIn())
+                ++tel_stores_untainted;
             afterOp(records_seen);
         }
     }
@@ -93,6 +162,17 @@ PiftTracker::onControl(const sim::ControlEvent &ev)
             : degraded(ev.pid) ? SinkVerdict::MaybeTainted
                                : SinkVerdict::Clean;
         res.at_records = records_seen;
+        switch (res.verdict) {
+          case SinkVerdict::Clean:
+            tel().sinks_clean.inc();
+            break;
+          case SinkVerdict::Tainted:
+            tel().sinks_tainted.inc();
+            break;
+          case SinkVerdict::MaybeTainted:
+            tel().sinks_maybe.inc();
+            break;
+        }
         sinks.push_back(res);
         break;
       }

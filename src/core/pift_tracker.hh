@@ -103,6 +103,7 @@ class PiftTracker : public sim::TraceSink
      * @param store taint-state backend (not owned)
      */
     PiftTracker(const PiftParams &params, TaintStore &store);
+    ~PiftTracker() override;
 
     void onRecord(const sim::TraceRecord &rec) override;
     void onControl(const sim::ControlEvent &ev) override;
@@ -164,6 +165,15 @@ class PiftTracker : public sim::TraceSink
     std::vector<SinkResult> sinks;
     SeqNum records_seen = 0;
     OpObserver observer;
+
+    // Per-record telemetry tallies, batched as plain members (this is
+    // the hottest loop in the repo) and published to the
+    // core.tracker.* counters on destruction.
+    uint64_t tel_windows_opened = 0;
+    uint64_t tel_windows_renewed = 0;
+    uint64_t tel_windows_expired = 0;
+    uint64_t tel_stores_tainted = 0;
+    uint64_t tel_stores_untainted = 0;
 };
 
 } // namespace pift::core

@@ -3,9 +3,43 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "telemetry/registry.hh"
 
 namespace pift::core
 {
+
+namespace
+{
+
+/** Range-cache instruments (the on-chip taint storage of Figure 6). */
+struct StorageTel
+{
+    telemetry::Counter &inserts =
+        telemetry::counter("core.storage.inserts");
+    telemetry::Counter &removes =
+        telemetry::counter("core.storage.removes");
+    telemetry::Counter &lookups =
+        telemetry::counter("core.storage.lookups");
+    telemetry::Counter &hits =
+        telemetry::counter("core.storage.lookup_hits");
+    telemetry::Counter &spill_hits =
+        telemetry::counter("core.storage.spill_hits");
+    telemetry::Counter &evictions =
+        telemetry::counter("core.storage.evictions");
+    telemetry::Counter &drops =
+        telemetry::counter("core.storage.drops");
+    telemetry::Counter &coalesces =
+        telemetry::counter("core.storage.coalesces");
+};
+
+StorageTel &
+stel()
+{
+    static StorageTel t;
+    return t;
+}
+
+} // anonymous namespace
 
 TaintStorage::TaintStorage(const TaintStorageParams &p)
     : params(p), entries(p.entries)
@@ -36,6 +70,7 @@ bool
 TaintStorage::query(ProcId pid, const taint::AddrRange &r)
 {
     ++stat.lookups;
+    stel().lookups.inc();
     stat.entry_compares += entries.size();
     bool hit = false;
     for (auto &e : entries) {
@@ -48,6 +83,7 @@ TaintStorage::query(ProcId pid, const taint::AddrRange &r)
     }
     if (hit) {
         ++stat.lookup_hits;
+        stel().hits.inc();
         return true;
     }
     if (params.policy == EvictPolicy::LruSpill) {
@@ -55,6 +91,8 @@ TaintStorage::query(ProcId pid, const taint::AddrRange &r)
         if (it != spill_sets.end() && it->second.overlaps(r)) {
             ++stat.lookup_hits;
             ++stat.spill_hits;
+            stel().hits.inc();
+            stel().spill_hits.inc();
             return true;
         }
     }
@@ -96,18 +134,22 @@ TaintStorage::allocEntry(ProcId pid)
     switch (params.policy) {
       case EvictPolicy::LruSpill:
         ++stat.evictions;
+        stel().evictions.inc();
         spill_sets[entries[victim].pid].insert(entries[victim].range);
         entries[victim].valid = false;
         return victim;
       case EvictPolicy::LruDrop:
         ++stat.evictions;
         ++stat.dropped;
+        stel().evictions.inc();
+        stel().drops.inc();
         // The evicted process silently loses this range.
         markSaturated(entries[victim].pid);
         entries[victim].valid = false;
         return victim;
       case EvictPolicy::DropNew:
         ++stat.dropped;
+        stel().drops.inc();
         // The inserting process never gets its range stored.
         markSaturated(pid);
         return npos;
@@ -121,6 +163,7 @@ TaintStorage::insert(ProcId pid, const taint::AddrRange &r)
     if (!r.valid())
         return false;
     ++stat.inserts;
+    stel().inserts.inc();
 
     taint::AddrRange merged = r;
     uint64_t absorbed = 0;
@@ -139,10 +182,12 @@ TaintStorage::insert(ProcId pid, const taint::AddrRange &r)
             merged.end = std::max(merged.end, e.range.end);
             absorbed += e.range.bytes();
             e.valid = false;
-            if (slot == npos)
+            if (slot == npos) {
                 slot = i;
-            else
+            } else {
                 ++stat.coalesces;
+                stel().coalesces.inc();
+            }
         }
         // Growing the merged range may newly touch other entries;
         // repeat until stable (rare, bounded by entry count).
@@ -160,6 +205,7 @@ TaintStorage::insert(ProcId pid, const taint::AddrRange &r)
                 absorbed += e.range.bytes();
                 e.valid = false;
                 ++stat.coalesces;
+                stel().coalesces.inc();
                 grew = true;
             }
         }
@@ -186,6 +232,7 @@ TaintStorage::remove(ProcId pid, const taint::AddrRange &r)
     if (!r.valid())
         return false;
     ++stat.removes;
+    stel().removes.inc();
     stat.entry_compares += entries.size();
 
     bool changed = false;

@@ -1,7 +1,34 @@
 #include "core/taint_store.hh"
 
+#include "telemetry/registry.hh"
+
 namespace pift::core
 {
+
+namespace
+{
+
+/** Exact software range-store instruments (replay hot path). */
+struct RangeStoreTel
+{
+    telemetry::Counter &queries =
+        telemetry::counter("core.range_store.queries");
+    telemetry::Counter &hits =
+        telemetry::counter("core.range_store.query_hits");
+    telemetry::Counter &inserts =
+        telemetry::counter("core.range_store.inserts");
+    telemetry::Counter &removes =
+        telemetry::counter("core.range_store.removes");
+};
+
+RangeStoreTel &
+rtel()
+{
+    static RangeStoreTel t;
+    return t;
+}
+
+} // anonymous namespace
 
 const char *
 sinkVerdictName(SinkVerdict v)
@@ -14,22 +41,45 @@ sinkVerdictName(SinkVerdict v)
     return "?";
 }
 
+IdealRangeStore::~IdealRangeStore()
+{
+    // Publish the batched tallies (see taint_store.hh): four shared
+    // RMWs per store lifetime instead of one per operation.
+    if (tel_queries)
+        rtel().queries.inc(tel_queries);
+    if (tel_hits)
+        rtel().hits.inc(tel_hits);
+    if (tel_inserts)
+        rtel().inserts.inc(tel_inserts);
+    if (tel_removes)
+        rtel().removes.inc(tel_removes);
+}
+
 bool
 IdealRangeStore::query(ProcId pid, const taint::AddrRange &r)
 {
+    if constexpr (telemetry::compiledIn())
+        ++tel_queries;
     auto it = sets.find(pid);
-    return it != sets.end() && it->second.overlaps(r);
+    bool hit = it != sets.end() && it->second.overlaps(r);
+    if (hit && telemetry::compiledIn())
+        ++tel_hits;
+    return hit;
 }
 
 bool
 IdealRangeStore::insert(ProcId pid, const taint::AddrRange &r)
 {
+    if constexpr (telemetry::compiledIn())
+        ++tel_inserts;
     return sets[pid].insert(r);
 }
 
 bool
 IdealRangeStore::remove(ProcId pid, const taint::AddrRange &r)
 {
+    if constexpr (telemetry::compiledIn())
+        ++tel_removes;
     auto it = sets.find(pid);
     return it != sets.end() && it->second.remove(r);
 }

@@ -114,6 +114,8 @@ class TaintStore
 class IdealRangeStore : public TaintStore
 {
   public:
+    ~IdealRangeStore() override;
+
     bool query(ProcId pid, const taint::AddrRange &r) override;
     bool insert(ProcId pid, const taint::AddrRange &r) override;
     bool remove(ProcId pid, const taint::AddrRange &r) override;
@@ -126,6 +128,14 @@ class IdealRangeStore : public TaintStore
 
   private:
     std::map<ProcId, taint::RangeSet> sets;
+
+    // Telemetry tallies. This store is the replay hot path, so the
+    // per-op cost is kept to a plain member increment; the totals are
+    // published to the core.range_store.* counters on destruction.
+    uint64_t tel_queries = 0;
+    uint64_t tel_hits = 0;
+    uint64_t tel_inserts = 0;
+    uint64_t tel_removes = 0;
 };
 
 } // namespace pift::core

@@ -1,10 +1,37 @@
 #include "droidbench/app.hh"
 
+#include <chrono>
+
 #include "static/verifier.hh"
 #include "support/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace pift::droidbench
 {
+
+namespace
+{
+
+/** App-replay instruments. */
+struct ReplayTel
+{
+    telemetry::Counter &apps =
+        telemetry::counter("droidbench.apps_replayed");
+    telemetry::Counter &records =
+        telemetry::counter("droidbench.trace_records");
+    telemetry::Histogram &replay_us = telemetry::histogram(
+        "droidbench.replay_us",
+        telemetry::exponentialBounds(64, 4.0, 10));
+};
+
+ReplayTel &
+rtel()
+{
+    static ReplayTel t;
+    return t;
+}
+
+} // anonymous namespace
 
 AppContext::AppContext()
     : cpu(memory, hub), heap(memory), env(hub, cpu, heap),
@@ -33,6 +60,9 @@ AppContext::AppContext()
 AppRun
 runApp(const AppEntry &entry)
 {
+    telemetry::Span span("app:" + entry.name, "droidbench");
+    auto t0 = std::chrono::steady_clock::now();
+
     AppContext ctx;
     dalvik::MethodId main = entry.declare(ctx);
     ctx.vm.boot();
@@ -43,6 +73,13 @@ runApp(const AppEntry &entry)
     run.sink_calls = ctx.env.sinkCalls();
     run.uncaught = ctx.vm.uncaughtException();
     run.instructions = ctx.cpu.retired();
+
+    rtel().apps.inc();
+    rtel().records.inc(run.trace.records.size());
+    rtel().replay_us.observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
     return run;
 }
 

@@ -3,9 +3,37 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "telemetry/registry.hh"
 
 namespace pift::faults
 {
+
+namespace
+{
+
+/** Injected-fault instruments, one counter per fault class. */
+struct FaultTel
+{
+    telemetry::Counter &drops = telemetry::counter("faults.drops");
+    telemetry::Counter &dups = telemetry::counter("faults.dups");
+    telemetry::Counter &reorders =
+        telemetry::counter("faults.reorders");
+    telemetry::Counter &corrupts =
+        telemetry::counter("faults.corrupts");
+    telemetry::Counter &insert_fails =
+        telemetry::counter("faults.insert_fails");
+    telemetry::Counter &forced_evicts =
+        telemetry::counter("faults.forced_evicts");
+};
+
+FaultTel &
+ftel()
+{
+    static FaultTel t;
+    return t;
+}
+
+} // anonymous namespace
 
 // --------------------------------------------------------------------
 // FaultyStream
@@ -44,6 +72,7 @@ FaultyStream::onRecord(const sim::TraceRecord &rec)
         // The front-end FIFO overflowed: the event is gone, but the
         // overflow is architecturally visible — announce the loss.
         ++stat.dropped;
+        ftel().drops.inc();
         pift_warn_limited(3, "fault: dropped event for pid %u",
                           rec.pid);
         if (loss_cb)
@@ -59,6 +88,7 @@ FaultyStream::onRecord(const sim::TraceRecord &rec)
         // shifted. Nobody is told — this is the silent integrity
         // fault class (excluded from the no-silent-FN invariant).
         ++stat.corrupted;
+        ftel().corrupts.inc();
         uint64_t size =
             static_cast<uint64_t>(out.mem_end) - out.mem_start;
         int64_t delta = static_cast<int64_t>(inj.draw(256)) - 128;
@@ -73,6 +103,7 @@ FaultyStream::onRecord(const sim::TraceRecord &rec)
     if (inj.roll(cfg.reorder_num)) {
         // Hold the record back for 1..k successor records.
         ++stat.reordered;
+        ftel().reorders.inc();
         unsigned delay = 1 +
             static_cast<unsigned>(inj.draw(cfg.reorder_window));
         pending.push_back({out, delay});
@@ -82,6 +113,7 @@ FaultyStream::onRecord(const sim::TraceRecord &rec)
     deliver(out);
     if (inj.roll(cfg.dup_num)) {
         ++stat.duplicated;
+        ftel().dups.inc();
         deliver(out);
     }
 }
@@ -124,6 +156,7 @@ FaultyTaintStore::insert(ProcId pid, const taint::AddrRange &r)
         // The storage write never lands; the process loses taint and
         // is marked saturated so later negatives degrade.
         ++stat.insert_fails;
+        ftel().insert_fails.inc();
         fault_saturated.insert(pid);
         pift_warn_limited(3, "fault: taint insert failed for pid %u",
                           pid);
@@ -144,6 +177,7 @@ FaultyTaintStore::insert(ProcId pid, const taint::AddrRange &r)
         // A storage cell dies under a held entry: the range is gone
         // and the owner is saturated.
         ++stat.forced_evicts;
+        ftel().forced_evicts.inc();
         const auto &[vpid, vrange] =
             history[inj.draw(history.size())];
         store.remove(vpid, vrange);

@@ -1,9 +1,35 @@
 #include "runtime/heap.hh"
 
 #include "support/logging.hh"
+#include "telemetry/registry.hh"
 
 namespace pift::runtime
 {
+
+namespace
+{
+
+/** Heap allocator instruments. */
+struct HeapTel
+{
+    telemetry::Counter &objects =
+        telemetry::counter("runtime.heap.objects");
+    telemetry::Counter &arrays =
+        telemetry::counter("runtime.heap.arrays");
+    telemetry::Counter &strings =
+        telemetry::counter("runtime.heap.strings");
+    telemetry::Gauge &bytes =
+        telemetry::gauge("runtime.heap.bytes");
+};
+
+HeapTel &
+htel()
+{
+    static HeapTel t;
+    return t;
+}
+
+} // anonymous namespace
 
 Heap::Heap(mem::Memory &memory)
     : mem_ref(memory), alloc(mem::heap_base, mem::heap_limit)
@@ -13,6 +39,8 @@ Ref
 Heap::allocObject(uint32_t cls, uint32_t nfields)
 {
     Ref ref = alloc.alloc(object_header_bytes + 4 * nfields);
+    htel().objects.inc();
+    htel().bytes.add(object_header_bytes + 4 * nfields);
     mem_ref.write32(ref, cls);
     mem_ref.write32(ref + 4, nfields);
     for (uint32_t i = 0; i < nfields; ++i)
@@ -25,6 +53,8 @@ Heap::allocArray(uint32_t cls, uint32_t length, uint32_t elem_bytes)
 {
     pift_assert(elem_bytes > 0, "array class without element size");
     Ref ref = alloc.alloc(object_header_bytes + elem_bytes * length);
+    htel().arrays.inc();
+    htel().bytes.add(object_header_bytes + elem_bytes * length);
     mem_ref.write32(ref, cls);
     mem_ref.write32(ref + 4, length);
     for (uint32_t i = 0; i < elem_bytes * length; ++i)
@@ -45,6 +75,8 @@ Ref
 Heap::allocStringRaw(uint32_t string_cls, uint32_t length)
 {
     Ref ref = alloc.alloc(object_header_bytes + 2 * length);
+    htel().strings.inc();
+    htel().bytes.add(object_header_bytes + 2 * length);
     mem_ref.write32(ref, string_cls);
     mem_ref.write32(ref + 4, length);
     return ref;

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "telemetry/registry.hh"
+
 namespace pift
 {
 
@@ -77,6 +79,11 @@ noteSuppressedWarn()
 {
     warn_count.fetch_add(1, std::memory_order_relaxed);
     warn_suppressed.fetch_add(1, std::memory_order_relaxed);
+    // Suppressed warnings are degraded-mode incidents; export them so
+    // operators can count what rate limiting hid from the log.
+    static telemetry::Counter &suppressed =
+        telemetry::counter("support.warnings_suppressed_total");
+    suppressed.inc();
 }
 
 uint64_t

@@ -55,7 +55,12 @@ uint64_t warnCount();
  */
 bool warnRateLimit(const std::string &key, uint64_t limit);
 
-/** Count a warning that was raised but suppressed by rate limiting. */
+/**
+ * Count a warning that was raised but suppressed by rate limiting.
+ * Also increments the `support.warnings_suppressed_total` telemetry
+ * counter so suppressed degraded-mode incidents stay countable in
+ * metrics snapshots, not just in-process.
+ */
 void noteSuppressedWarn();
 
 /** Warnings suppressed by warnRateLimit() so far. */

@@ -1,0 +1,48 @@
+#include "telemetry/report.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "telemetry/export.hh"
+#include "telemetry/span.hh"
+
+namespace pift::telemetry
+{
+
+void
+writeBenchReport(std::ostream &os, const BenchReport &report)
+{
+    os << "{\n";
+    os << "  \"bench\": \"" << jsonEscape(report.bench) << "\",\n";
+    os << "  \"telemetry_compiled\": "
+       << (compiledIn() ? "true" : "false") << ",\n";
+    os << "  \"apps\": " << report.apps << ",\n";
+    os << "  \"repetitions\": " << report.repetitions << ",\n";
+    os << "  \"records_replayed\": " << report.records_replayed
+       << ",\n";
+    os << "  \"wall_ms\": " << report.wall_ms << ",\n";
+    os << "  \"events_per_sec\": " << report.events_per_sec << ",\n";
+    os << "  \"wall_ms_disabled\": " << report.wall_ms_disabled
+       << ",\n";
+    os << "  \"overhead_pct\": " << report.overhead_pct << ",\n";
+    os << "  \"spans\": {\"recorded\": " << tracer().events().size()
+       << ", \"dropped\": " << tracer().dropped() << "},\n";
+    os << "  \"instruments\": ";
+    writeMetricsJson(os, snapshot(), 2);
+    os << "\n}\n";
+}
+
+std::string
+saveBenchReport(const std::string &path, const BenchReport &report)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return "cannot open '" + path + "' for writing";
+    writeBenchReport(os, report);
+    os.flush();
+    if (!os)
+        return "short write to '" + path + "'";
+    return "";
+}
+
+} // namespace pift::telemetry

@@ -1,0 +1,185 @@
+#include "telemetry/span.hh"
+
+#if defined(PIFT_TELEMETRY_ENABLED)
+
+#include <chrono>
+#include <mutex>
+
+namespace pift::telemetry
+{
+
+namespace
+{
+
+/** Single guarded event buffer behind the Tracer facade. */
+struct TracerState
+{
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+    size_t cap = 1u << 20;
+    uint64_t dropped = 0;
+    int depth = 0;
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+
+    uint64_t
+    nowUs() const
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+};
+
+TracerState &
+state()
+{
+    static TracerState s;
+    return s;
+}
+
+} // anonymous namespace
+
+bool
+Tracer::begin(const std::string &name, const char *cat)
+{
+    if (!detail::collecting())
+        return false;
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // An End needs a slot too; keep one in reserve per open span so a
+    // Begin we accept can always be closed.
+    if (s.events.size() + static_cast<size_t>(s.depth) + 1 >= s.cap) {
+        ++s.dropped;
+        return false;
+    }
+    s.events.push_back(
+        {TraceEvent::Phase::Begin, name, cat, s.nowUs(), 0.0});
+    ++s.depth;
+    return true;
+}
+
+void
+Tracer::end()
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.depth <= 0)
+        return;
+    --s.depth;
+    s.events.push_back(
+        {TraceEvent::Phase::End, "", "", s.nowUs(), 0.0});
+}
+
+void
+Tracer::instant(const std::string &name, const char *cat)
+{
+    if (!detail::collecting())
+        return;
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.events.size() + static_cast<size_t>(s.depth) >= s.cap) {
+        ++s.dropped;
+        return;
+    }
+    s.events.push_back(
+        {TraceEvent::Phase::Instant, name, cat, s.nowUs(), 0.0});
+}
+
+void
+Tracer::counterSample(const std::string &name, double value)
+{
+    if (!detail::collecting())
+        return;
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.events.size() + static_cast<size_t>(s.depth) >= s.cap) {
+        ++s.dropped;
+        return;
+    }
+    s.events.push_back({TraceEvent::Phase::Counter, name, "metric",
+                        s.nowUs(), value});
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.events;
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.dropped;
+}
+
+int
+Tracer::depth() const
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.depth;
+}
+
+void
+Tracer::clear()
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.clear();
+    s.dropped = 0;
+    s.depth = 0;
+    s.t0 = std::chrono::steady_clock::now();
+}
+
+void
+Tracer::setCapacity(size_t cap)
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.cap = cap;
+}
+
+size_t
+Tracer::capacity() const
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.cap;
+}
+
+Tracer &
+tracer()
+{
+    static Tracer t;
+    return t;
+}
+
+void
+sampleRegistryToTracer()
+{
+    for (const InstrumentSnap &snap : snapshot()) {
+        double v = 0.0;
+        switch (snap.kind) {
+          case Kind::Counter:
+            v = static_cast<double>(snap.value);
+            break;
+          case Kind::Gauge:
+            v = static_cast<double>(snap.gauge_value);
+            break;
+          case Kind::Histogram:
+            v = static_cast<double>(snap.count);
+            break;
+        }
+        tracer().counterSample(snap.name, v);
+    }
+}
+
+} // namespace pift::telemetry
+
+#endif // PIFT_TELEMETRY_ENABLED

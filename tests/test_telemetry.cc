@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Telemetry subsystem tests: registry semantics (counter/gauge/
+ * histogram), bucket boundary placement, snapshot determinism, span
+ * nesting in the Chrome export, the JSONL writer, and the
+ * warnings_suppressed_total bridge from support/logging.
+ *
+ * The file compiles and passes in both PIFT_TELEMETRY modes: with
+ * OFF, every instrument is an inline stub that reads zero, and the
+ * assertions that require real collection are compiled out or
+ * branch on compiledIn().
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "support/logging.hh"
+#include "telemetry/telemetry.hh"
+
+using namespace pift;
+namespace tel = pift::telemetry;
+
+namespace
+{
+
+/** Fresh registry + tracer for every test. */
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        tel::setEnabled(true);
+        tel::resetAll();
+        tel::tracer().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        tel::setEnabled(true);
+        tel::resetAll();
+        tel::tracer().clear();
+    }
+};
+
+/** Number of occurrences of @p needle in @p hay. */
+size_t
+countOf(const std::string &hay, const std::string &needle)
+{
+    size_t n = 0;
+    for (size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+} // namespace
+
+TEST_F(TelemetryTest, CounterAccumulatesAndResets)
+{
+    auto &c = tel::counter("test.counter.basic");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    if (tel::compiledIn())
+        EXPECT_EQ(c.value(), 42u);
+    else
+        EXPECT_EQ(c.value(), 0u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(TelemetryTest, CounterIsSharedByName)
+{
+    tel::counter("test.counter.shared").inc(3);
+    auto &again = tel::counter("test.counter.shared");
+    if (tel::compiledIn())
+        EXPECT_EQ(again.value(), 3u);
+}
+
+TEST_F(TelemetryTest, GaugeTracksValueAndPeak)
+{
+    auto &g = tel::gauge("test.gauge.basic");
+    g.set(10);
+    g.add(5);   // 15, new peak
+    g.add(-12); // 3, peak stays 15
+    if (tel::compiledIn()) {
+        EXPECT_EQ(g.value(), 3);
+        EXPECT_EQ(g.peak(), 15);
+    } else {
+        EXPECT_EQ(g.value(), 0);
+        EXPECT_EQ(g.peak(), 0);
+    }
+}
+
+TEST_F(TelemetryTest, RuntimeDisableGatesUpdates)
+{
+    auto &c = tel::counter("test.counter.gated");
+    c.inc();
+    tel::setEnabled(false);
+    c.inc(100);
+    tel::setEnabled(true);
+    c.inc();
+    if (tel::compiledIn())
+        EXPECT_EQ(c.value(), 2u);
+}
+
+#if defined(PIFT_TELEMETRY_ENABLED)
+
+TEST_F(TelemetryTest, HistogramBucketBoundariesAreInclusive)
+{
+    auto &h = tel::histogram("test.hist.bounds", {1, 2, 4});
+    // Bucket semantics: bucket i counts v <= bounds[i] (and
+    // > bounds[i-1]); one overflow bucket past the last bound.
+    h.observe(0); // bucket 0
+    h.observe(1); // bucket 0 (inclusive upper bound)
+    h.observe(2); // bucket 1
+    h.observe(3); // bucket 2
+    h.observe(4); // bucket 2
+    h.observe(5); // overflow
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 2u);
+    EXPECT_EQ(h.bucketCount(3), 1u); // overflow bucket
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.sum(), 15u);
+}
+
+TEST_F(TelemetryTest, HistogramSnapshotMarksOverflow)
+{
+    auto &h = tel::histogram("test.hist.snap", {10});
+    h.observe(7);
+    h.observe(700);
+    for (const auto &s : tel::snapshot()) {
+        if (s.name != "test.hist.snap")
+            continue;
+        ASSERT_EQ(s.buckets.size(), 2u);
+        EXPECT_EQ(s.buckets[0].le, 10u);
+        EXPECT_EQ(s.buckets[0].count, 1u);
+        EXPECT_EQ(s.buckets[1].le, tel::bucket_overflow);
+        EXPECT_EQ(s.buckets[1].count, 1u);
+        EXPECT_EQ(s.count, 2u);
+        return;
+    }
+    FAIL() << "instrument missing from snapshot";
+}
+
+TEST_F(TelemetryTest, SnapshotIsSortedAndDeterministic)
+{
+    tel::counter("test.z.last").inc();
+    tel::counter("test.a.first").inc(2);
+    tel::gauge("test.m.middle").set(7);
+
+    auto snaps = tel::snapshot();
+    ASSERT_GE(snaps.size(), 3u);
+    for (size_t i = 1; i < snaps.size(); ++i)
+        EXPECT_LT(snaps[i - 1].name, snaps[i].name);
+
+    // Two snapshots of an unchanged registry are identical.
+    auto again = tel::snapshot();
+    ASSERT_EQ(snaps.size(), again.size());
+    for (size_t i = 0; i < snaps.size(); ++i) {
+        EXPECT_EQ(snaps[i].name, again[i].name);
+        EXPECT_EQ(snaps[i].value, again[i].value);
+        EXPECT_EQ(snaps[i].gauge_value, again[i].gauge_value);
+        EXPECT_EQ(snaps[i].count, again[i].count);
+    }
+}
+
+TEST_F(TelemetryTest, ExponentialBoundsStrictlyIncrease)
+{
+    auto b = tel::exponentialBounds(1, 1.1, 12);
+    ASSERT_EQ(b.size(), 12u);
+    EXPECT_EQ(b.front(), 1u);
+    for (size_t i = 1; i < b.size(); ++i)
+        EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST_F(TelemetryTest, SpanNestingSurvivesChromeExport)
+{
+    {
+        tel::Span outer("outer", "test");
+        {
+            tel::Span inner("inner", "test");
+        }
+        tel::tracer().instant("marker", "test");
+    }
+    auto events = tel::tracer().events();
+    ASSERT_EQ(events.size(), 5u);
+    using Ph = tel::TraceEvent::Phase;
+    EXPECT_EQ(events[0].ph, Ph::Begin);
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[1].ph, Ph::Begin);
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[2].ph, Ph::End);
+    EXPECT_EQ(events[3].ph, Ph::Instant);
+    EXPECT_EQ(events[4].ph, Ph::End);
+    EXPECT_EQ(tel::tracer().depth(), 0);
+
+    std::ostringstream os;
+    tel::writeChromeTrace(os, events);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // B...E pairs survive: two "ph":"B", two "ph":"E", one "ph":"i".
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""), 2u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"E\""), 2u);
+    EXPECT_EQ(countOf(json, "\"ph\":\"i\""), 1u);
+    // Stream order preserved: outer begins before inner.
+    EXPECT_LT(json.find("\"name\":\"outer\""),
+              json.find("\"name\":\"inner\""));
+}
+
+TEST_F(TelemetryTest, TracerBoundsBufferAndCountsDrops)
+{
+    auto &tr = tel::tracer();
+    size_t old_cap = tr.capacity();
+    tr.setCapacity(4);
+    for (int i = 0; i < 8; ++i)
+        tr.instant("burst", "test");
+    EXPECT_LE(tr.events().size(), 4u);
+    EXPECT_GE(tr.dropped(), 4u);
+    // A dropped Begin suppresses its End, keeping the stream nested.
+    EXPECT_FALSE(tr.begin("late", "test"));
+    EXPECT_EQ(tr.depth(), 0);
+    tr.setCapacity(old_cap);
+}
+
+TEST_F(TelemetryTest, RegistrySampleAppearsAsCounterEvents)
+{
+    tel::counter("test.sampled.counter").inc(9);
+    tel::sampleRegistryToTracer();
+    bool found = false;
+    for (const auto &ev : tel::tracer().events()) {
+        if (ev.ph == tel::TraceEvent::Phase::Counter &&
+            ev.name == "test.sampled.counter") {
+            EXPECT_DOUBLE_EQ(ev.value, 9.0);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(TelemetryTest, JsonlEmitsOneObjectPerLine)
+{
+    tel::tracer().instant("one", "test");
+    tel::tracer().counterSample("two", 2.5);
+    std::ostringstream os;
+    tel::writeJsonl(os, tel::tracer().events());
+    std::string out = os.str();
+    EXPECT_EQ(countOf(out, "\n"), 2u);
+    EXPECT_NE(out.find("\"name\":\"one\""), std::string::npos);
+    EXPECT_NE(out.find("\"value\":2.5"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonEscapeHandlesSpecials)
+{
+    EXPECT_EQ(tel::jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    EXPECT_EQ(tel::jsonEscape("plain"), "plain");
+}
+
+TEST_F(TelemetryTest, SuppressedWarningsFlowIntoTelemetry)
+{
+    resetWarnRateLimits();
+    auto &suppressed =
+        tel::counter("support.warnings_suppressed_total");
+    uint64_t before = suppressed.value();
+    // Limit 0 => every call is suppressed (and silent), each one
+    // feeding the telemetry counter through noteSuppressedWarn().
+    for (int i = 0; i < 5; ++i)
+        pift_warn_limited(0, "telemetry test warning %d", i);
+    EXPECT_EQ(suppressed.value(), before + 5);
+    resetWarnRateLimits();
+}
+
+#else // !PIFT_TELEMETRY_ENABLED
+
+TEST_F(TelemetryTest, CompiledOutStubsAreInert)
+{
+    EXPECT_FALSE(tel::compiledIn());
+    EXPECT_FALSE(tel::enabled());
+    tel::counter("test.off.counter").inc(100);
+    EXPECT_EQ(tel::counter("test.off.counter").value(), 0u);
+    {
+        tel::Span span("off", "test");
+    }
+    EXPECT_TRUE(tel::tracer().events().empty());
+    EXPECT_TRUE(tel::snapshot().empty());
+
+    // Exporters still produce loadable (empty) documents.
+    std::ostringstream os;
+    tel::writeChromeTrace(os, {});
+    EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+}
+
+#endif // PIFT_TELEMETRY_ENABLED
