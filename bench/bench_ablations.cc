@@ -22,6 +22,7 @@
 #include "bench/common.hh"
 #include "core/taint_storage.hh"
 #include "core/untagged_storage.hh"
+#include "exec/thread_pool.hh"
 
 using namespace pift;
 
@@ -44,25 +45,43 @@ paperPoint()
     return p;
 }
 
-analysis::Accuracy
-evaluateVariant(const Variant &v)
+/**
+ * Replay every (variant, app) pair as an independent task on the exec
+ * pool — each task builds its own store and tracker, so nothing
+ * mutable is shared — then reduce per-variant confusion matrices in
+ * fixed order. Byte-identical at every job count.
+ */
+std::vector<analysis::Accuracy>
+evaluateVariants(const std::vector<Variant> &variants)
 {
-    analysis::Accuracy acc;
-    for (const auto &item : benchx::suiteTraces()) {
+    const auto &set = benchx::suiteTraces();
+    const size_t apps = set.size();
+    std::unique_ptr<uint8_t[]> detected(
+        new uint8_t[variants.size() * apps]());
+    exec::parallelFor(variants.size() * apps, [&](size_t task) {
+        const Variant &v = variants[task / apps];
+        const auto &item = set[task % apps];
         auto store = v.make_store();
         core::PiftTracker tracker(v.params, *store);
         sim::replay(item.trace, tracker);
-        bool detected = tracker.anyLeak();
-        if (item.leaks && detected)
-            ++acc.tp;
-        else if (item.leaks)
-            ++acc.fn;
-        else if (detected)
-            ++acc.fp;
-        else
-            ++acc.tn;
+        detected[task] = tracker.anyLeak() ? 1 : 0;
+    });
+
+    std::vector<analysis::Accuracy> accs(variants.size());
+    for (size_t vi = 0; vi < variants.size(); ++vi) {
+        for (size_t ai = 0; ai < apps; ++ai) {
+            bool hit = detected[vi * apps + ai] != 0;
+            if (set[ai].leaks && hit)
+                ++accs[vi].tp;
+            else if (set[ai].leaks)
+                ++accs[vi].fn;
+            else if (hit)
+                ++accs[vi].fp;
+            else
+                ++accs[vi].tn;
+        }
     }
-    return acc;
+    return accs;
 }
 
 std::unique_ptr<core::TaintStore>
@@ -77,8 +96,14 @@ makeCache(size_t entries, core::EvictPolicy policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    argc = exec::stripJobsFlag(argc, argv);
+    if (argc < 0) {
+        std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+        return 2;
+    }
+
     benchx::Phase phase("Ablations at (NI=13, NT=3) over DroidBench",
                    "Sections 3.2/3.3 design choices");
 
@@ -135,13 +160,14 @@ main()
             p});
     }
 
+    auto accs = evaluateVariants(variants);
     std::printf("%-40s %9s %4s %4s %4s %4s\n", "variant", "accuracy",
                 "TP", "FP", "TN", "FN");
-    for (const auto &v : variants) {
-        auto acc = evaluateVariant(v);
-        std::printf("%-40s %8.1f%% %4u %4u %4u %4u\n", v.name,
-                    100.0 * acc.accuracy(), acc.tp, acc.fp, acc.tn,
-                    acc.fn);
+    for (size_t vi = 0; vi < variants.size(); ++vi) {
+        const auto &acc = accs[vi];
+        std::printf("%-40s %8.1f%% %4u %4u %4u %4u\n",
+                    variants[vi].name, 100.0 * acc.accuracy(), acc.tp,
+                    acc.fp, acc.tn, acc.fn);
     }
 
     std::printf("\nreading guide: exact bounded backends must match "

@@ -11,7 +11,12 @@
  * (MaybeTainted verdict, saturation, or an announced drop), never a
  * silent miss. Equal seeds produce byte-identical tables.
  *
- * Run: ./build/bench/bench_fault_degradation [seed]
+ * The sweep fans every (policy x entries x loss-rate, app) replay over
+ * the exec pool; `--jobs N` / PIFT_JOBS set the width, and the table
+ * is byte-identical at every job count because each replay derives its
+ * fault seed from its grid position alone.
+ *
+ * Run: ./build/bench/bench_fault_degradation [seed] [--jobs N]
  */
 
 #include <cstdlib>
@@ -19,6 +24,7 @@
 
 #include "analysis/degradation.hh"
 #include "bench/common.hh"
+#include "exec/thread_pool.hh"
 
 using namespace pift;
 
@@ -55,6 +61,11 @@ lgrootDetail(uint64_t seed)
 int
 main(int argc, char **argv)
 {
+    argc = exec::stripJobsFlag(argc, argv);
+    if (argc < 0) {
+        std::fprintf(stderr, "usage: %s [seed] [--jobs N]\n", argv[0]);
+        return 2;
+    }
     uint64_t seed = argc > 1
         ? std::strtoull(argv[1], nullptr, 0) : 1;
 

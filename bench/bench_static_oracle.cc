@@ -5,20 +5,31 @@
  * the paper's operating point (NI=13, NT=3), and compare the window
  * bounds derived from the handler templates with the Figure 11 sweep
  * optimum. Everything here is deterministic: no execution feeds the
- * static side, and the replays are exact.
+ * static side, and the replays are exact — the dynamic verdicts and
+ * the sweep-optimum search fan out over the exec pool (`--jobs N`)
+ * with byte-identical output at every width.
  */
+
+#include <memory>
 
 #include "bench/common.hh"
 
 #include "analysis/crosscheck.hh"
 #include "droidbench/static_oracle.hh"
+#include "exec/thread_pool.hh"
 #include "static/window.hh"
 
 using namespace pift;
 
 int
-main()
+main(int argc, char **argv)
 {
+    argc = exec::stripJobsFlag(argc, argv);
+    if (argc < 0) {
+        std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+        return 2;
+    }
+
     benchx::Phase phase("static taint oracle vs dynamic PIFT",
                    "Sections 3-5 (static cross-check)");
 
@@ -39,9 +50,11 @@ main()
     params.ni = 13;
     params.nt = 3;
 
-    std::vector<analysis::VerdictPair> pairs;
-    for (const auto &v : verdicts) {
-        analysis::VerdictPair p;
+    // One replay task per app, reduced back in registry order.
+    std::vector<analysis::VerdictPair> pairs(verdicts.size());
+    exec::parallelFor(verdicts.size(), [&](size_t vi) {
+        const auto &v = verdicts[vi];
+        analysis::VerdictPair &p = pairs[vi];
         p.name = v.name;
         p.truth = v.leaks_truth;
         p.static_leaks = v.static_leaks;
@@ -49,8 +62,7 @@ main()
             if (item.name == v.name)
                 p.dynamic_leaks =
                     analysis::piftDetectsLeak(item.trace, params);
-        pairs.push_back(std::move(p));
-    }
+    });
     auto cc = analysis::crossCheck(pairs);
 
     std::printf("\nconfusion vs ground truth:\n");
@@ -86,24 +98,11 @@ main()
                 derivation.derived_ni, derivation.derived_nt);
 
     // Figure 11 sweep optimum: smallest NI (then NT) at 100%.
-    unsigned best_ni = 0;
-    unsigned best_nt = 0;
-    for (unsigned ni = 1; ni <= 20 && !best_ni; ++ni)
-        for (unsigned nt = 1; nt <= 10; ++nt) {
-            core::PiftParams p;
-            p.ni = ni;
-            p.nt = nt;
-            auto acc = analysis::evaluateAccuracy(set, p);
-            if (acc.fp == 0 && acc.fn == 0) {
-                best_ni = ni;
-                best_nt = nt;
-                break;
-            }
-        }
-    std::printf("  Figure 11 sweep optimum: (NI=%u, NT=%u)\n", best_ni,
-                best_nt);
+    auto bound = analysis::windowBoundSearch(set);
+    std::printf("  Figure 11 sweep optimum: (NI=%u, NT=%u)\n",
+                bound.ni, bound.nt);
     std::printf("  delta: (%d, %d)\n",
-                derivation.derived_ni - static_cast<int>(best_ni),
-                derivation.derived_nt - static_cast<int>(best_nt));
+                derivation.derived_ni - static_cast<int>(bound.ni),
+                derivation.derived_nt - static_cast<int>(bound.nt));
     return 0;
 }

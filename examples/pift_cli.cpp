@@ -13,6 +13,10 @@
  *                                print a metrics snapshot, write
  *                                BENCH_telemetry.json (+ trace files)
  *
+ * Global option: --jobs N bounds exec-pool parallelism for the
+ * commands that fan replays out (sweep); output is byte-identical at
+ * every N. PIFT_JOBS=N in the environment does the same.
+ *
  * Examples:
  *   ./build/examples/pift_cli list
  *   ./build/examples/pift_cli run GPS_Latitude_Sms 13 3
@@ -28,6 +32,7 @@
 
 #include "analysis/evaluate.hh"
 #include "core/taint_store.hh"
+#include "exec/thread_pool.hh"
 #include "dalvik/disasm.hh"
 #include "droidbench/app.hh"
 #include "droidbench/static_oracle.hh"
@@ -107,7 +112,8 @@ cmdSweep(const std::string &name, unsigned max_ni)
     auto run = droidbench::runApp(*entry);
     std::printf("%-4s %s\n", "NT", "minimal NI");
     for (unsigned nt = 1; nt <= 5; ++nt) {
-        unsigned min_ni = analysis::minimalNi(run.trace, nt, max_ni);
+        unsigned min_ni = analysis::minimalNi(run.trace, nt, max_ni,
+                                              exec::defaultJobs());
         if (min_ni > max_ni)
             std::printf("%-4u never (<= %u)\n", nt, max_ni);
         else
@@ -381,7 +387,9 @@ usage()
                  "       pift_cli replay <file> [NI NT]\n"
                  "       pift_cli static-check [app]\n"
                  "       pift_cli telemetry [--registry] [--out FILE]"
-                 " [--trace FILE] [--jsonl FILE]\n");
+                 " [--trace FILE] [--jsonl FILE]\n"
+                 "global option: --jobs N (exec-pool width; also "
+                 "PIFT_JOBS=N)\n");
 }
 
 } // namespace
@@ -389,6 +397,7 @@ usage()
 int
 main(int argc, char **argv)
 {
+    argc = exec::stripJobsFlag(argc, argv);
     if (argc < 2) {
         usage();
         return 2;

@@ -1,6 +1,9 @@
 #include "analysis/degradation.hh"
 
 #include <cstdio>
+#include <memory>
+
+#include "exec/thread_pool.hh"
 
 namespace pift::analysis
 {
@@ -70,64 +73,86 @@ degradationSweep(const std::vector<LabelledTrace> &set,
 {
     // Fault-free reference detections: a "lost" detection is one the
     // ideal (exact, un-faulted) stack makes but a sweep point misses.
-    std::vector<bool> reference;
-    reference.reserve(set.size());
-    for (const auto &item : set)
-        reference.push_back(piftDetectsLeak(item.trace, config.params));
+    // One replay per app, fanned over the pool.
+    std::unique_ptr<uint8_t[]> reference(new uint8_t[set.size()]());
+    exec::parallelFor(
+        set.size(),
+        [&](size_t ai) {
+            reference[ai] =
+                piftDetectsLeak(set[ai].trace, config.params) ? 1 : 0;
+        },
+        config.jobs);
 
+    // Lay out every sweep point up front so each (point, app) replay
+    // is an independent task with a pre-derived seed; the fault
+    // pattern is a pure function of (config.seed, point, app) and
+    // cannot depend on scheduling.
     std::vector<DegradationPoint> points;
-    uint64_t point_idx = 0;
-    for (core::EvictPolicy policy : config.policies) {
-        for (size_t entries : config.entry_counts) {
+    for (core::EvictPolicy policy : config.policies)
+        for (size_t entries : config.entry_counts)
             for (uint32_t loss : config.loss_rates) {
                 DegradationPoint pt;
                 pt.policy = policy;
                 pt.entries = entries;
                 pt.loss_num = loss;
-
-                core::TaintStorageParams sp;
-                sp.entries = entries;
-                sp.policy = policy;
-
-                uint64_t point_seed = mixSeed(config.seed, point_idx++);
-                for (size_t ai = 0; ai < set.size(); ++ai) {
-                    const auto &item = set[ai];
-                    faults::FaultConfig fc;
-                    fc.seed = mixSeed(point_seed, ai);
-                    fc.drop_num = loss;
-                    fc.insert_fail_num = loss;
-                    fc.forced_evict_num = loss;
-
-                    DegradedRun run = replayDegraded(
-                        item.trace, config.params, sp, fc);
-
-                    if (item.leaks && run.detected)
-                        ++pt.accuracy.tp;
-                    else if (item.leaks)
-                        ++pt.accuracy.fn;
-                    else if (run.detected)
-                        ++pt.accuracy.fp;
-                    else
-                        ++pt.accuracy.tn;
-
-                    // A detection the ideal stack makes but this
-                    // point lost must come with evidence.
-                    if (item.leaks && reference[ai] && !run.detected) {
-                        bool explained = run.possible || run.degraded ||
-                            run.saturation_events > 0 ||
-                            run.stream_loss_events > 0 ||
-                            run.faults.lossFaults() > 0;
-                        if (explained)
-                            ++pt.flagged_fn;
-                        else
-                            ++pt.silent_fn;
-                    }
-                    pt.faults_injected += run.faults.lossFaults();
-                    pt.saturation_events += run.saturation_events;
-                    pt.stream_loss_events += run.stream_loss_events;
-                }
                 points.push_back(pt);
             }
+
+    const size_t apps = set.size();
+    std::vector<DegradedRun> runs(points.size() * apps);
+    exec::parallelFor(
+        points.size() * apps,
+        [&](size_t task) {
+            size_t pi = task / apps;
+            size_t ai = task % apps;
+            const DegradationPoint &pt = points[pi];
+
+            core::TaintStorageParams sp;
+            sp.entries = pt.entries;
+            sp.policy = pt.policy;
+
+            faults::FaultConfig fc;
+            fc.seed = mixSeed(mixSeed(config.seed, pi), ai);
+            fc.drop_num = pt.loss_num;
+            fc.insert_fail_num = pt.loss_num;
+            fc.forced_evict_num = pt.loss_num;
+
+            runs[task] = replayDegraded(set[ai].trace, config.params,
+                                        sp, fc);
+        },
+        config.jobs);
+
+    // Deterministic reduction in fixed (point, app) order.
+    for (size_t pi = 0; pi < points.size(); ++pi) {
+        DegradationPoint &pt = points[pi];
+        for (size_t ai = 0; ai < apps; ++ai) {
+            const auto &item = set[ai];
+            const DegradedRun &run = runs[pi * apps + ai];
+
+            if (item.leaks && run.detected)
+                ++pt.accuracy.tp;
+            else if (item.leaks)
+                ++pt.accuracy.fn;
+            else if (run.detected)
+                ++pt.accuracy.fp;
+            else
+                ++pt.accuracy.tn;
+
+            // A detection the ideal stack makes but this point lost
+            // must come with evidence.
+            if (item.leaks && reference[ai] && !run.detected) {
+                bool explained = run.possible || run.degraded ||
+                    run.saturation_events > 0 ||
+                    run.stream_loss_events > 0 ||
+                    run.faults.lossFaults() > 0;
+                if (explained)
+                    ++pt.flagged_fn;
+                else
+                    ++pt.silent_fn;
+            }
+            pt.faults_injected += run.faults.lossFaults();
+            pt.saturation_events += run.saturation_events;
+            pt.stream_loss_events += run.stream_loss_events;
         }
     }
     return points;

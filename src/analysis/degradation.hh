@@ -61,6 +61,8 @@ struct DegradationSweepConfig
 {
     core::PiftParams params;   //!< NI/NT settings for every point
     uint64_t seed = 1;         //!< base RNG seed (point-unique offsets)
+    /** Replay parallelism (0 = exec::defaultJobs(), 1 = serial). */
+    unsigned jobs = 0;
     /** Loss-fault rates, numerators per million events. */
     std::vector<uint32_t> loss_rates = {0, 1'000, 10'000, 50'000};
     /** Storage entry counts to sweep. */
@@ -97,7 +99,9 @@ struct DegradationPoint
 
 /**
  * Run the full sweep over @p set. Deterministic: equal (set, config)
- * give byte-identical results, including the fault pattern.
+ * give byte-identical results at every config.jobs value, including
+ * the fault pattern — every (point, app) replay derives its own seed
+ * and owns its whole faulty stack, and results reduce in fixed order.
  */
 std::vector<DegradationPoint>
 degradationSweep(const std::vector<LabelledTrace> &set,

@@ -1,7 +1,10 @@
 #include "analysis/evaluate.hh"
 
+#include <memory>
+
 #include "baseline/full_tracker.hh"
 #include "core/taint_store.hh"
+#include "exec/thread_pool.hh"
 #include "telemetry/telemetry.hh"
 
 namespace pift::analysis
@@ -46,15 +49,35 @@ baselineDetectsLeak(const sim::Trace &trace)
 }
 
 unsigned
-minimalNi(const sim::Trace &trace, unsigned nt, unsigned max_ni)
+minimalNi(const sim::Trace &trace, unsigned nt, unsigned max_ni,
+          unsigned jobs)
 {
-    for (unsigned ni = 1; ni <= max_ni; ++ni) {
-        core::PiftParams params;
-        params.ni = ni;
-        params.nt = nt;
-        if (piftDetectsLeak(trace, params))
-            return ni;
+    unsigned resolved = jobs ? jobs : exec::defaultJobs();
+    if (resolved <= 1) {
+        // Serial: stop at the first detecting NI.
+        for (unsigned ni = 1; ni <= max_ni; ++ni) {
+            core::PiftParams params;
+            params.ni = ni;
+            params.nt = nt;
+            if (piftDetectsLeak(trace, params))
+                return ni;
+        }
+        return max_ni + 1;
     }
+    // Parallel: speculate over every candidate, keep the smallest.
+    std::unique_ptr<uint8_t[]> detects(new uint8_t[max_ni]());
+    exec::parallelFor(
+        max_ni,
+        [&](size_t i) {
+            core::PiftParams params;
+            params.ni = static_cast<unsigned>(i) + 1;
+            params.nt = nt;
+            detects[i] = piftDetectsLeak(trace, params) ? 1 : 0;
+        },
+        resolved);
+    for (unsigned ni = 1; ni <= max_ni; ++ni)
+        if (detects[ni - 1])
+            return ni;
     return max_ni + 1;
 }
 
@@ -77,23 +100,83 @@ evaluateAccuracy(const std::vector<LabelledTrace> &set,
     return acc;
 }
 
-stats::HeatMap
-accuracySweep(const std::vector<LabelledTrace> &set, int ni_hi,
-              int nt_hi, bool untaint)
+std::vector<Accuracy>
+accuracyGrid(const std::vector<LabelledTrace> &set, int ni_hi,
+             int nt_hi, bool untaint, unsigned jobs)
 {
-    telemetry::Span span("analysis:accuracy_sweep", "analysis");
-    stats::HeatMap map("NT", 1, nt_hi, "NI", 1, ni_hi);
-    for (int nt = 1; nt <= nt_hi; ++nt) {
-        for (int ni = 1; ni <= ni_hi; ++ni) {
+    telemetry::Span span("analysis:accuracy_grid", "analysis");
+    const size_t cells =
+        static_cast<size_t>(ni_hi) * static_cast<size_t>(nt_hi);
+    const size_t apps = set.size();
+
+    // One task per (cell, app) replay; every replay owns its tracker
+    // and store, so tasks share nothing mutable. Results land in the
+    // task's own slot — scheduling order cannot affect them.
+    std::unique_ptr<uint8_t[]> detected(new uint8_t[cells * apps]());
+    exec::parallelFor(
+        cells * apps,
+        [&](size_t task) {
+            size_t cell = task / apps;
+            size_t ai = task % apps;
             core::PiftParams params;
-            params.ni = static_cast<unsigned>(ni);
-            params.nt = static_cast<unsigned>(nt);
+            params.nt = static_cast<unsigned>(cell / ni_hi) + 1;
+            params.ni = static_cast<unsigned>(cell % ni_hi) + 1;
             params.untaint = untaint;
-            map.set(nt, ni,
-                    100.0 * evaluateAccuracy(set, params).accuracy());
+            detected[task] =
+                piftDetectsLeak(set[ai].trace, params) ? 1 : 0;
+        },
+        jobs);
+
+    // Deterministic reduction in fixed (cell, app) order.
+    std::vector<Accuracy> grid(cells);
+    for (size_t cell = 0; cell < cells; ++cell) {
+        for (size_t ai = 0; ai < apps; ++ai) {
+            bool hit = detected[cell * apps + ai] != 0;
+            if (set[ai].leaks && hit)
+                ++grid[cell].tp;
+            else if (set[ai].leaks)
+                ++grid[cell].fn;
+            else if (hit)
+                ++grid[cell].fp;
+            else
+                ++grid[cell].tn;
         }
     }
+    return grid;
+}
+
+stats::HeatMap
+accuracySweep(const std::vector<LabelledTrace> &set, int ni_hi,
+              int nt_hi, bool untaint, unsigned jobs)
+{
+    telemetry::Span span("analysis:accuracy_sweep", "analysis");
+    auto grid = accuracyGrid(set, ni_hi, nt_hi, untaint, jobs);
+    stats::HeatMap map("NT", 1, nt_hi, "NI", 1, ni_hi);
+    for (int nt = 1; nt <= nt_hi; ++nt)
+        for (int ni = 1; ni <= ni_hi; ++ni)
+            map.set(nt, ni,
+                    100.0 * grid[static_cast<size_t>(nt - 1) * ni_hi +
+                                 ni - 1].accuracy());
     return map;
+}
+
+WindowBound
+windowBoundSearch(const std::vector<LabelledTrace> &set, int ni_hi,
+                  int nt_hi, unsigned jobs)
+{
+    auto grid = accuracyGrid(set, ni_hi, nt_hi, true, jobs);
+    // Smallest NI first, then smallest NT — the sweep-optimum order
+    // the static window derivation is compared against.
+    for (int ni = 1; ni <= ni_hi; ++ni) {
+        for (int nt = 1; nt <= nt_hi; ++nt) {
+            const Accuracy &acc =
+                grid[static_cast<size_t>(nt - 1) * ni_hi + ni - 1];
+            if (acc.fp == 0 && acc.fn == 0)
+                return {static_cast<unsigned>(ni),
+                        static_cast<unsigned>(nt)};
+        }
+    }
+    return {};
 }
 
 OverheadResult

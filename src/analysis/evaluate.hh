@@ -32,10 +32,12 @@ bool baselineDetectsLeak(const sim::Trace &trace);
 
 /**
  * Smallest NI in [1, max_ni] at which PIFT (with @p nt) detects the
- * leak, or max_ni + 1 when it never does.
+ * leak, or max_ni + 1 when it never does. With @p jobs != 1 the NI
+ * candidates replay concurrently (no early exit); the result is
+ * identical at every job count.
  */
 unsigned minimalNi(const sim::Trace &trace, unsigned nt,
-                   unsigned max_ni = 30);
+                   unsigned max_ni = 30, unsigned jobs = 1);
 
 /** Confusion-matrix counts over a labelled app set. */
 struct Accuracy
@@ -66,12 +68,43 @@ Accuracy evaluateAccuracy(const std::vector<LabelledTrace> &set,
                           const core::PiftParams &params);
 
 /**
+ * Confusion matrices for every grid cell NI = [1, ni_hi] x
+ * NT = [1, nt_hi], row-major by NT then NI (cell (nt, ni) at index
+ * (nt-1)*ni_hi + ni-1). The underlying replays are distributed over
+ * the exec pool at per-(cell, app) granularity — each replay owns its
+ * tracker and store — and reduced in fixed order, so results are
+ * identical at every job count (@p jobs; 0 = exec::defaultJobs()).
+ */
+std::vector<Accuracy>
+accuracyGrid(const std::vector<LabelledTrace> &set, int ni_hi,
+             int nt_hi, bool untaint = true, unsigned jobs = 0);
+
+/**
  * The Figure 11 sweep: accuracy (%) over NI = [1, ni_hi] x
  * NT = [1, nt_hi]. Rows are NT, columns NI, matching the figure.
+ * Parallel per (cell, app); deterministic at every @p jobs.
  */
 stats::HeatMap accuracySweep(const std::vector<LabelledTrace> &set,
                              int ni_hi = 20, int nt_hi = 10,
-                             bool untaint = true);
+                             bool untaint = true, unsigned jobs = 0);
+
+/** Result of the window-bound grid search. */
+struct WindowBound
+{
+    unsigned ni = 0, nt = 0; //!< 0 = no perfect point in the grid
+
+    bool found() const { return ni != 0; }
+};
+
+/**
+ * Smallest (NI, then NT) in the grid at which the sweep reaches 100%
+ * (0 FP, 0 FN) — the Figure 11 optimum the static window derivation
+ * is compared against. Parallel per (cell, app); deterministic at
+ * every @p jobs.
+ */
+WindowBound windowBoundSearch(const std::vector<LabelledTrace> &set,
+                              int ni_hi = 20, int nt_hi = 10,
+                              unsigned jobs = 0);
 
 /** Per-replay cost/footprint measurements (Figures 14-19). */
 struct OverheadResult

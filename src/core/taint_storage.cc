@@ -218,6 +218,23 @@ TaintStorage::insert(ProcId pid, const taint::AddrRange &r)
         return false;
     }
 
+    // Re-absorb any spilled overlap: the new cache entry covers those
+    // bytes now, so leaving them in secondary storage would make
+    // bytes()/rangeCount() double-count and make a re-insert of a
+    // spilled range report "new bytes covered". Runs after allocEntry
+    // because the eviction above may itself have spilled an
+    // overlapping same-pid victim (possible with coalescing off).
+    if (params.policy == EvictPolicy::LruSpill) {
+        auto it = spill_sets.find(pid);
+        if (it != spill_sets.end()) {
+            uint64_t spilled = it->second.bytes();
+            if (it->second.remove(merged))
+                absorbed += spilled - it->second.bytes();
+            if (it->second.empty())
+                spill_sets.erase(it);
+        }
+    }
+
     entries[slot] = {pid, merged, true, ++clock};
     stat.max_entries_used = std::max(stat.max_entries_used,
                                      validEntries());
@@ -253,9 +270,11 @@ TaintStorage::remove(ProcId pid, const taint::AddrRange &r)
                 entries[extra] = {pid,
                                   taint::AddrRange(r.end + 1, cur.end),
                                   true, ++clock};
-            } else {
-                ++stat.dropped;
+                stat.max_entries_used = std::max(stat.max_entries_used,
+                                                 validEntries());
             }
+            // extra == npos: the DropNew branch of allocEntry already
+            // counted the drop and saturated the splitting process.
         } else if (keep_left) {
             e.range = taint::AddrRange(cur.start, r.start - 1);
         } else if (keep_right) {

@@ -1,0 +1,220 @@
+#include "exec/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+namespace pift::exec
+{
+
+namespace
+{
+
+/** Active setDefaultJobs override; 0 = none. */
+std::atomic<unsigned> g_jobs_override{0};
+
+/** Set while the current thread is running pool tasks (see forEach). */
+thread_local bool t_in_worker = false;
+
+unsigned
+envJobs()
+{
+    const char *s = std::getenv("PIFT_JOBS");
+    if (!s || !*s)
+        return 0;
+    char *end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    if (*end || v < 1)
+        return 0; // malformed values fall back to hardware detection
+    return static_cast<unsigned>(v);
+}
+
+} // anonymous namespace
+
+unsigned
+hardwareJobs()
+{
+    if (unsigned env = envJobs())
+        return env;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+defaultJobs()
+{
+    unsigned o = g_jobs_override.load(std::memory_order_relaxed);
+    return o ? o : hardwareJobs();
+}
+
+void
+setDefaultJobs(unsigned n)
+{
+    g_jobs_override.store(n, std::memory_order_relaxed);
+}
+
+int
+stripJobsFlag(int argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc)
+                return -1;
+            value = argv[++i];
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        char *end = nullptr;
+        long v = std::strtol(value, &end, 10);
+        if (!*value || *end || v < 1)
+            return -1;
+        setDefaultJobs(static_cast<unsigned>(v));
+    }
+    return out;
+}
+
+/** One forEach call in flight: the task grid plus join state. */
+struct ThreadPool::Batch
+{
+    size_t n = 0;
+    const std::function<void(size_t)> *fn = nullptr;
+    std::atomic<size_t> next{0};      //!< next unclaimed index
+    std::atomic<bool> cancelled{false};
+    std::exception_ptr error;         //!< guarded by pool mutex
+    unsigned quota = 0;               //!< workers allowed to join
+    unsigned joined = 0;              //!< workers that did join
+    unsigned active = 0;              //!< participants still running
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : nthreads(threads ? threads : defaultJobs())
+{
+    if (nthreads < 1)
+        nthreads = 1;
+    workers.reserve(nthreads - 1);
+    for (unsigned i = 0; i + 1 < nthreads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    work_cv.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::runBatch(Batch &b)
+{
+    t_in_worker = true;
+    size_t i;
+    while (!b.cancelled.load(std::memory_order_relaxed) &&
+           (i = b.next.fetch_add(1, std::memory_order_relaxed)) < b.n) {
+        try {
+            (*b.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!b.error)
+                b.error = std::current_exception();
+            b.cancelled.store(true, std::memory_order_relaxed);
+        }
+    }
+    t_in_worker = false;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        work_cv.wait(lock, [&] {
+            return stopping || (batch && generation != seen);
+        });
+        if (stopping)
+            return;
+        seen = generation;
+        Batch *b = batch;
+        if (b->joined >= b->quota)
+            continue; // this batch is capped below the pool size
+        ++b->joined;
+        ++b->active;
+        lock.unlock();
+        runBatch(*b);
+        lock.lock();
+        if (--b->active == 0)
+            done_cv.notify_all();
+    }
+}
+
+void
+ThreadPool::forEach(size_t n, const std::function<void(size_t)> &fn,
+                    unsigned max_jobs)
+{
+    unsigned jobs = max_jobs ? std::min(max_jobs, nthreads) : nthreads;
+    // Inline paths: trivial grids, one-way parallelism, and nested
+    // calls from inside a task (a worker must never block on its own
+    // pool). Exceptions propagate naturally here.
+    if (n <= 1 || jobs <= 1 || t_in_worker) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(submit_mutex);
+    Batch b;
+    b.n = n;
+    b.fn = &fn;
+    b.quota = jobs - 1; // the calling thread is the jobs-th participant
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        b.active = 1; // the caller, counted so done_cv waits for it
+        batch = &b;
+        ++generation;
+    }
+    work_cv.notify_all();
+    runBatch(b);
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        // Un-publish first: a worker that wakes late finds no batch
+        // and never touches &b after this frame unwinds.
+        batch = nullptr;
+        --b.active;
+        done_cv.wait(lock, [&] { return b.active == 0; });
+    }
+    if (b.error)
+        std::rethrow_exception(b.error);
+}
+
+ThreadPool &
+globalPool()
+{
+    static ThreadPool pool(defaultJobs());
+    return pool;
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &fn,
+            unsigned jobs)
+{
+    unsigned resolved = jobs ? jobs : defaultJobs();
+    if (resolved <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    globalPool().forEach(n, fn, resolved);
+}
+
+} // namespace pift::exec

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Parallel execution engine (DESIGN.md §10).
+ *
+ * The paper's sweeps replay every registry app at every parameter
+ * point; the replays are independent (each worker owns its tracker
+ * and store), so the sweep drivers fan the (cell, app) task grid over
+ * a fixed-size thread pool. Hardware-assisted DIFT gets its low
+ * overhead by moving tracking off the critical path; the software
+ * model mirrors that by exploiting the same independence.
+ *
+ * Determinism contract: parallelFor(n, fn) invokes fn(i) exactly once
+ * for every i in [0, n) (scheduling order unspecified), and
+ * parallelMap stores fn(items[i]) at result index i — so any caller
+ * that reduces the indexed results in a fixed order gets byte-
+ * identical output at every job count, including --jobs 1.
+ *
+ * Exception contract: the first exception thrown by any task is
+ * captured, remaining unstarted tasks are cancelled, and the
+ * exception is rethrown on the calling thread after the join.
+ *
+ * Job-count resolution: an explicit per-call count wins, then a
+ * process-wide override (setDefaultJobs — the --jobs flag), then the
+ * PIFT_JOBS environment variable, then the hardware thread count.
+ * One job means "run inline on the calling thread" — no pool, no
+ * synchronization, bit-identical to the historical serial loops.
+ */
+
+#ifndef PIFT_EXEC_THREAD_POOL_HH
+#define PIFT_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pift::exec
+{
+
+/**
+ * Job count from the environment/hardware: PIFT_JOBS when set to a
+ * positive integer, else std::thread::hardware_concurrency(), never
+ * less than 1.
+ */
+unsigned hardwareJobs();
+
+/**
+ * The process-wide default parallelism: the setDefaultJobs override
+ * when one is active, else hardwareJobs().
+ */
+unsigned defaultJobs();
+
+/**
+ * Override defaultJobs() process-wide (the --jobs flag). @p n == 0
+ * clears the override. Call before the first parallelFor — the
+ * shared pool is sized on first use.
+ */
+void setDefaultJobs(unsigned n);
+
+/**
+ * Consume a `--jobs N` / `--jobs=N` argument from @p argv (any
+ * position past argv[0]), apply it via setDefaultJobs, and compact
+ * argv. @return the new argc, or -1 on a malformed value (caller
+ * prints usage). No flag present is not an error.
+ */
+int stripJobsFlag(int argc, char **argv);
+
+/**
+ * Fixed-size pool of worker threads. The size is the total
+ * parallelism of a forEach call *including* the calling thread, so a
+ * ThreadPool(1) spawns no workers and runs inline. Pools are
+ * reusable: forEach may be called any number of times; concurrent
+ * forEach calls from different threads serialize.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads total parallelism; 0 = defaultJobs(). */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (worker threads + the calling thread). */
+    unsigned threads() const { return nthreads; }
+
+    /**
+     * Invoke fn(i) once for every i in [0, n), distributing indices
+     * over at most @p max_jobs threads (0 = all of them). Blocks
+     * until every started task finished; rethrows the first captured
+     * exception. Nested calls from inside a task run inline.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn,
+                 unsigned max_jobs = 0);
+
+  private:
+    struct Batch;
+
+    void workerLoop();
+    void runBatch(Batch &b);
+
+    unsigned nthreads;
+    std::vector<std::thread> workers;
+
+    std::mutex mutex;
+    std::condition_variable work_cv; //!< workers: new batch / stop
+    std::condition_variable done_cv; //!< caller: batch fully drained
+    Batch *batch = nullptr;          //!< current batch (null = none)
+    uint64_t generation = 0;         //!< bumped per forEach
+    bool stopping = false;
+
+    std::mutex submit_mutex; //!< serializes concurrent forEach calls
+};
+
+/** The process-wide pool, created on first use with defaultJobs(). */
+ThreadPool &globalPool();
+
+/**
+ * Run fn(0..n-1) with @p jobs-way parallelism (0 = defaultJobs()) on
+ * the shared pool. jobs == 1 runs inline with zero pool interaction.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                 unsigned jobs = 0);
+
+/**
+ * Map @p fn over @p items with @p jobs-way parallelism. Result i is
+ * fn(items[i]) — ordering is deterministic regardless of scheduling.
+ * The result type must be default-constructible.
+ */
+template <typename T, typename Fn>
+auto
+parallelMap(const std::vector<T> &items, Fn fn, unsigned jobs = 0)
+{
+    using R = std::decay_t<decltype(fn(items[size_t(0)]))>;
+    // A raw array, not std::vector<R>: vector<bool> packs bits and
+    // concurrent writes to neighbouring indices would race.
+    std::unique_ptr<R[]> slots(new R[items.size()]());
+    parallelFor(
+        items.size(), [&](size_t i) { slots[i] = fn(items[i]); },
+        jobs);
+    std::vector<R> out;
+    out.reserve(items.size());
+    for (size_t i = 0; i < items.size(); ++i)
+        out.push_back(std::move(slots[i]));
+    return out;
+}
+
+} // namespace pift::exec
+
+#endif // PIFT_EXEC_THREAD_POOL_HH

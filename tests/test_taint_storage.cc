@@ -224,6 +224,115 @@ TEST(TaintStorage, SaturationClearsWithStateAndOnDemand)
     EXPECT_FALSE(st.saturated(1));
 }
 
+TEST(TaintStorage, SpillReinsertDoesNotDoubleCount)
+{
+    // Re-inserting a range that earlier spilled to secondary storage
+    // must re-absorb the spilled copy: the taint exists once, so
+    // bytes()/rangeCount() count it once.
+    TaintStorage st(params(2, EvictPolicy::LruSpill, false));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(1, AddrRange(0x300, 0x30f));
+    st.insert(1, AddrRange(0x500, 0x50f)); // spills [0x100, 0x10f]
+    ASSERT_EQ(st.spilledRanges(), 1u);
+    ASSERT_EQ(st.bytes(), 48u);
+
+    // The re-insert spills [0x300, 0x30f] and must pull the original
+    // [0x100, 0x10f] copy back out of the spill set.
+    st.insert(1, AddrRange(0x100, 0x10f));
+    EXPECT_EQ(st.bytes(), 48u);
+    EXPECT_EQ(st.rangeCount(), 3u);
+    EXPECT_EQ(st.spilledRanges(), 1u);
+    EXPECT_TRUE(st.query(1, AddrRange(0x100, 0x100)));
+    EXPECT_TRUE(st.query(1, AddrRange(0x300, 0x300)));
+    EXPECT_TRUE(st.query(1, AddrRange(0x500, 0x500)));
+}
+
+TEST(TaintStorage, SpillReinsertReportsNoNewBytes)
+{
+    // With coalescing on, insert() returns whether the range covered
+    // any byte that was not already tainted — and a spilled byte IS
+    // still tainted, just slower to reach.
+    TaintStorage st(params(2, EvictPolicy::LruSpill, true));
+    st.insert(1, AddrRange(0x100, 0x10f));
+    st.insert(1, AddrRange(0x300, 0x30f));
+    st.insert(1, AddrRange(0x500, 0x50f)); // spills [0x100, 0x10f]
+    ASSERT_EQ(st.spilledRanges(), 1u);
+    EXPECT_FALSE(st.insert(1, AddrRange(0x100, 0x10f)));
+    EXPECT_EQ(st.bytes(), 48u);
+}
+
+TEST(TaintStorage, RemoveSplitCountsDropOnce)
+{
+    // A mid-range remove on a full DropNew cache cannot allocate the
+    // right-hand fragment: exactly one drop, flagged as saturation.
+    TaintStorage st(params(1, EvictPolicy::DropNew, false));
+    st.insert(1, AddrRange(0x100, 0x1ff));
+    EXPECT_TRUE(st.remove(1, AddrRange(0x140, 0x14f)));
+    EXPECT_EQ(st.stats().dropped, 1u);
+    EXPECT_EQ(st.stats().saturation_events, 1u);
+    EXPECT_TRUE(st.saturated(1));
+    // The left fragment survives in place; the right one was lost.
+    EXPECT_TRUE(st.query(1, AddrRange(0x100, 0x13f)));
+    EXPECT_FALSE(st.query(1, AddrRange(0x150, 0x150)));
+}
+
+TEST(TaintStorage, RemoveSplitRefreshesMaxEntries)
+{
+    // The split path allocates an entry; the high-water mark must see
+    // it even though no insert() ran.
+    TaintStorage st(params(4));
+    st.insert(1, AddrRange(0x100, 0x1ff));
+    ASSERT_EQ(st.stats().max_entries_used, 1u);
+    EXPECT_TRUE(st.remove(1, AddrRange(0x140, 0x14f)));
+    EXPECT_EQ(st.validEntries(), 2u);
+    EXPECT_EQ(st.stats().max_entries_used, 2u);
+}
+
+class SpillDifferential : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(SpillDifferential, TinySpillCacheMatchesIdealStore)
+{
+    // The LruSpill policy is exact by construction: whatever the
+    // cache cannot hold lives in secondary storage, and a byte is
+    // never in both at once. Drive a tiny cache hard enough that it
+    // spills constantly and check it stays equivalent to the
+    // unbounded reference — same answers AND same accounting — after
+    // every single operation.
+    Rng rng(GetParam());
+    TaintStorage hw(params(4, EvictPolicy::LruSpill, true));
+    IdealRangeStore ideal;
+
+    for (int step = 0; step < 4000; ++step) {
+        ProcId pid = 1 + static_cast<ProcId>(rng.below(3));
+        Addr start = 0x1000 + static_cast<Addr>(rng.below(1024));
+        Addr len = 1 + static_cast<Addr>(rng.below(32));
+        AddrRange r = AddrRange::fromSize(start, len);
+        switch (rng.below(4)) {
+          case 0:
+          case 1:
+            ASSERT_EQ(hw.insert(pid, r), ideal.insert(pid, r))
+                << "step " << step;
+            break;
+          case 2:
+            ASSERT_EQ(hw.remove(pid, r), ideal.remove(pid, r))
+                << "step " << step;
+            break;
+          default:
+            ASSERT_EQ(hw.query(pid, r), ideal.query(pid, r))
+                << "step " << step;
+            break;
+        }
+        ASSERT_EQ(hw.bytes(), ideal.bytes()) << "step " << step;
+    }
+    // The stream must actually have exercised the spill machinery.
+    EXPECT_GT(hw.stats().evictions, 0u);
+    EXPECT_EQ(hw.stats().saturation_events, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpillDifferential,
+                         ::testing::Values(7, 19, 41, 73));
+
 class TinyLossyStorage
     : public ::testing::TestWithParam<std::tuple<EvictPolicy, uint64_t>>
 {};

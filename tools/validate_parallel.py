@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Validate a parallel-scaling bench report against its JSON schema.
+
+Usage: validate_parallel.py <report.json> [schema.json]
+
+Reuses the stdlib-only draft-07 subset validator from
+validate_telemetry.py, then applies the semantic checks a type system
+cannot express:
+
+ - `deterministic` must be true: every pool width reproduced the
+   serial Figure 11 grid exactly (byte-identical results are the
+   exec pool's core contract);
+ - runs cover widths 1/2/4/8 in ascending order, the first at
+   jobs=1 with speedup 1.0;
+ - replays_per_run == grid_cells * apps;
+ - each run's efficiency equals speedup / jobs (1% tolerance);
+ - when the machine actually has >= 4 hardware jobs, the jobs=4 run
+   must show >= 2x speedup over the serial run. On smaller machines
+   (CI containers pinned to 1-2 CPUs) the scaling claim is
+   unfalsifiable and only the structural checks apply.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from validate_telemetry import validate  # noqa: E402
+
+
+def semantic_checks(report, errors):
+    if report.get("deterministic") is not True:
+        errors.append("deterministic: parallel grids diverged from "
+                      "the serial grid")
+
+    cells = report.get("grid_cells", 0)
+    apps = report.get("apps", 0)
+    if report.get("replays_per_run") != cells * apps:
+        errors.append(f"replays_per_run: expected grid_cells * apps "
+                      f"= {cells * apps}, got "
+                      f"{report.get('replays_per_run')}")
+
+    runs = report.get("runs", [])
+    widths = [r.get("jobs") for r in runs if isinstance(r, dict)]
+    if widths != [1, 2, 4, 8]:
+        errors.append(f"runs: expected widths [1, 2, 4, 8], "
+                      f"got {widths}")
+        return
+    if runs[0].get("speedup") != 1.0:
+        errors.append("runs[0]: serial run must have speedup 1.0")
+
+    for i, run in enumerate(runs):
+        jobs = run.get("jobs", 1)
+        speedup = run.get("speedup", 0.0)
+        eff = run.get("efficiency", 0.0)
+        if abs(eff - speedup / jobs) > 0.01 * max(eff, 1e-9):
+            errors.append(f"runs[{i}]: efficiency {eff} != "
+                          f"speedup/jobs {speedup / jobs}")
+
+    hardware = report.get("hardware_jobs", 1)
+    if hardware >= 4:
+        speedup4 = runs[2].get("speedup", 0.0)
+        if speedup4 < 2.0:
+            errors.append(f"runs[jobs=4]: speedup {speedup4} < 2.0 "
+                          f"with {hardware} hardware jobs available")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    report_path = argv[1]
+    schema_path = (argv[2] if len(argv) == 3
+                   else "schemas/bench_parallel.schema.json")
+
+    with open(report_path) as f:
+        report = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    errors = []
+    validate(report, schema, "$", errors)
+    semantic_checks(report, errors)
+
+    if errors:
+        for err in errors:
+            print(f"FAIL {report_path}: {err}", file=sys.stderr)
+        return 1
+    runs = report.get("runs", [])
+    best = max((r.get("speedup", 0.0) for r in runs), default=0.0)
+    print(f"OK {report_path}: schema-valid, {len(runs)} widths, "
+          f"hardware_jobs={report.get('hardware_jobs')}, "
+          f"best speedup {best:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
