@@ -12,6 +12,11 @@
  *   telemetry [options]          replay the registry under telemetry,
  *                                print a metrics snapshot, write
  *                                BENCH_telemetry.json (+ trace files)
+ *   snapshot <app> <dir>         run an app through the durable stack,
+ *                                leaving snapshot.pift + wal.pift
+ *   recover <dir>                reconstruct state from a durable dir
+ *                                (--resume <app> re-drives the tail)
+ *   fleet <snapshot...>          census table over snapshot files
  *
  * Global option: --jobs N bounds exec-pool parallelism for the
  * commands that fan replays out (sweep); output is byte-identical at
@@ -31,12 +36,15 @@
 #include <string>
 
 #include "analysis/evaluate.hh"
+#include "analysis/offline.hh"
 #include "core/taint_store.hh"
 #include "exec/thread_pool.hh"
 #include "dalvik/disasm.hh"
 #include "droidbench/app.hh"
 #include "droidbench/static_oracle.hh"
 #include "faults/fault_injector.hh"
+#include "persist/durable.hh"
+#include "persist/recovery.hh"
 #include "sim/trace_io.hh"
 #include "static/oracle.hh"
 #include "static/verifier.hh"
@@ -375,6 +383,153 @@ cmdTelemetry(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Run one app through the durable stack, leaving snapshot.pift and
+ * wal.pift in @p dir. The final snapshotNow() persists the end-of-run
+ * state, so `recover` on the directory reproduces it exactly.
+ */
+int
+cmdSnapshot(int argc, char **argv)
+{
+    if (argc < 4) {
+        std::fprintf(stderr, "usage: pift_cli snapshot <app> <dir> "
+                             "[--every N] [NI NT]\n");
+        return 2;
+    }
+    std::string name = argv[2];
+    std::string dir = argv[3];
+    uint64_t every = 0;
+    unsigned ni = 13, nt = 3;
+    int pos = 0;
+    for (int i = 4; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--every" && i + 1 < argc) {
+            every = static_cast<uint64_t>(atoll(argv[++i]));
+        } else if (pos == 0) {
+            ni = static_cast<unsigned>(atoi(argv[i]));
+            ++pos;
+        } else {
+            nt = static_cast<unsigned>(atoi(argv[i]));
+            ++pos;
+        }
+    }
+    const auto *entry = findApp(name);
+    if (!entry) {
+        std::fprintf(stderr, "unknown app '%s' (try 'list')\n",
+                     name.c_str());
+        return 2;
+    }
+    auto run = droidbench::runApp(*entry);
+
+    core::TaintStorage storage(core::TaintStorageParams{});
+    core::PiftTracker tracker(core::PiftParams{ni, nt, true}, storage);
+    persist::DurableSession session(storage, tracker,
+                                    {dir, every, true});
+    if (auto st = session.start(); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.message().c_str());
+        return 2;
+    }
+    tracker.setJournal(&session);
+    sim::replay(run.trace, tracker);
+    if (auto st = session.snapshotNow(); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.message().c_str());
+        return 2;
+    }
+    if (auto st = session.close(); !st.ok()) {
+        std::fprintf(stderr, "%s\n", st.message().c_str());
+        return 2;
+    }
+    std::printf("%s: %llu journal records, %llu snapshot(s), "
+                "final epoch %llu -> %s\n",
+                entry->name.c_str(),
+                static_cast<unsigned long long>(
+                    session.recordsLogged()),
+                static_cast<unsigned long long>(
+                    session.snapshotsTaken()),
+                static_cast<unsigned long long>(session.epoch()),
+                dir.c_str());
+    return 0;
+}
+
+/**
+ * Reconstruct the latest consistent state from a durable directory;
+ * with --resume, re-drive the app's trace from the recovered cursor
+ * and report the sink verdicts of the completed run.
+ */
+int
+cmdRecover(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: pift_cli recover <dir> [--resume <app>]\n");
+        return 2;
+    }
+    std::string dir = argv[2];
+    std::string resume;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--resume" && i + 1 < argc) {
+            resume = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    auto rec = persist::recover(dir, core::TaintStorageParams{});
+    std::printf("%s\n", persist::formatRecovery(rec).c_str());
+
+    core::TaintStorage storage(rec.state.storage.params);
+    core::PiftTracker tracker(core::PiftParams{}, storage);
+    persist::restoreInto(rec, storage, tracker);
+
+    if (!resume.empty()) {
+        const auto *entry = findApp(resume);
+        if (!entry) {
+            std::fprintf(stderr, "unknown app '%s' (try 'list')\n",
+                         resume.c_str());
+            return 2;
+        }
+        auto run = droidbench::runApp(*entry);
+        sim::replayFrom(run.trace, tracker,
+                        rec.state.tracker.records_seen,
+                        rec.state.tracker.controls_seen);
+        std::printf("resumed %s from cursor\n", entry->name.c_str());
+    }
+
+    auto final_state = tracker.exportState();
+    for (const auto &s : final_state.sinks) {
+        const char *verdict =
+            s.verdict == core::SinkVerdict::Tainted ? "TAINTED"
+            : s.verdict == core::SinkVerdict::MaybeTainted
+                ? "maybe-tainted"
+                : "clean";
+        std::printf("sink %u pid %u [0x%x,0x%x]: %s\n", s.sink_id,
+                    s.pid, s.range.start, s.range.end, verdict);
+    }
+    return rec.corruption_detected ? 1 : 0;
+}
+
+/** Census over a fleet of snapshot files (see analysis/offline.hh). */
+int
+cmdFleet(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: pift_cli fleet <snapshot.pift...>\n");
+        return 2;
+    }
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i)
+        paths.push_back(argv[i]);
+    auto rows = analysis::snapshotCensus(paths, exec::defaultJobs());
+    std::printf("%s", analysis::formatSnapshotCensus(rows).c_str());
+    for (const auto &row : rows)
+        if (!row.ok)
+            return 1;
+    return 0;
+}
+
 void
 usage()
 {
@@ -388,6 +543,10 @@ usage()
                  "       pift_cli static-check [app]\n"
                  "       pift_cli telemetry [--registry] [--out FILE]"
                  " [--trace FILE] [--jsonl FILE]\n"
+                 "       pift_cli snapshot <app> <dir> [--every N]"
+                 " [NI NT]\n"
+                 "       pift_cli recover <dir> [--resume <app>]\n"
+                 "       pift_cli fleet <snapshot.pift...>\n"
                  "global option: --jobs N (exec-pool width; also "
                  "PIFT_JOBS=N)\n");
 }
@@ -423,6 +582,12 @@ main(int argc, char **argv)
         return cmdStaticCheck(argc >= 3 ? argv[2] : "");
     if (cmd == "telemetry")
         return cmdTelemetry(argc, argv);
+    if (cmd == "snapshot")
+        return cmdSnapshot(argc, argv);
+    if (cmd == "recover")
+        return cmdRecover(argc, argv);
+    if (cmd == "fleet")
+        return cmdFleet(argc, argv);
     usage();
     return 2;
 }

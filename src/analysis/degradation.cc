@@ -40,6 +40,12 @@ policyName(core::EvictPolicy p)
 
 } // anonymous namespace
 
+uint64_t
+deriveFaultSeed(uint64_t base, uint64_t pi, uint64_t ai)
+{
+    return mixSeed(mixSeed(base, pi), ai);
+}
+
 DegradedRun
 replayDegraded(const sim::Trace &trace, const core::PiftParams &params,
                const core::TaintStorageParams &storage,
@@ -112,7 +118,7 @@ degradationSweep(const std::vector<LabelledTrace> &set,
             sp.policy = pt.policy;
 
             faults::FaultConfig fc;
-            fc.seed = mixSeed(mixSeed(config.seed, pi), ai);
+            fc.seed = deriveFaultSeed(config.seed, pi, ai);
             fc.drop_num = pt.loss_num;
             fc.insert_fail_num = pt.loss_num;
             fc.forced_evict_num = pt.loss_num;

@@ -98,6 +98,16 @@ struct DegradationPoint
 };
 
 /**
+ * Seed for the (point @p pi, app @p ai) replay of a sweep rooted at
+ * @p base. This derivation is part of the sweep's reproducibility
+ * contract — recorded fault patterns and the BENCH_fault_degradation
+ * expectations depend on it — so it is pinned by a golden-value
+ * regression test and must never change. (Two rounds of the
+ * splitmix64 finalizer, one per index.)
+ */
+uint64_t deriveFaultSeed(uint64_t base, uint64_t pi, uint64_t ai);
+
+/**
  * Run the full sweep over @p set. Deterministic: equal (set, config)
  * give byte-identical results at every config.jobs value, including
  * the fault pattern — every (point, app) replay derives its own seed

@@ -1,0 +1,99 @@
+#include "analysis/offline.hh"
+
+#include <cstdio>
+
+#include "core/taint_store.hh"
+#include "exec/thread_pool.hh"
+#include "persist/snapshot.hh"
+
+namespace pift::analysis
+{
+
+namespace
+{
+
+SnapshotCensusRow
+censusOne(const std::string &path)
+{
+    SnapshotCensusRow row;
+    row.path = path;
+    auto snap = persist::readSnapshotFile(path);
+    if (!snap.ok()) {
+        row.error = snap.message();
+        return row;
+    }
+    const persist::SnapshotData &data = snap.value();
+    row.ok = true;
+    row.epoch = data.epoch;
+    row.records_seen = data.tracker.records_seen;
+    row.controls_seen = data.tracker.controls_seen;
+    row.tainted_bytes = data.storage.bytes();
+    row.ranges = data.storage.rangeCount();
+    row.cache_entries = data.storage.entries.size();
+    for (const auto &[pid, ranges] : data.storage.spills)
+        row.spilled += ranges.size();
+    row.windows = data.tracker.windows.size();
+    row.sinks = data.tracker.sinks.size();
+    for (const auto &s : data.tracker.sinks) {
+        if (s.verdict == core::SinkVerdict::Tainted)
+            ++row.sinks_tainted;
+        else if (s.verdict == core::SinkVerdict::MaybeTainted)
+            ++row.sinks_maybe;
+    }
+    row.degraded = data.tracker.global_loss ||
+        !data.tracker.lossy.empty() || !data.storage.saturated.empty();
+    return row;
+}
+
+} // anonymous namespace
+
+std::vector<SnapshotCensusRow>
+snapshotCensus(const std::vector<std::string> &paths, unsigned jobs)
+{
+    std::vector<SnapshotCensusRow> rows(paths.size());
+    exec::parallelFor(
+        paths.size(),
+        [&](size_t i) { rows[i] = censusOne(paths[i]); }, jobs);
+    return rows;
+}
+
+std::string
+formatSnapshotCensus(const std::vector<SnapshotCensusRow> &rows)
+{
+    std::string out;
+    char line[300];
+    std::snprintf(line, sizeof(line),
+                  "%-28s %6s %9s %9s %8s %7s %7s %5s %6s %6s %6s %s\n",
+                  "snapshot", "epoch", "records", "bytes", "ranges",
+                  "cached", "spilled", "wins", "sinks", "taint",
+                  "maybe", "state");
+    out += line;
+    out += std::string(118, '-') + "\n";
+    for (const auto &r : rows) {
+        if (!r.ok) {
+            std::snprintf(line, sizeof(line), "%-28s CORRUPT: %s\n",
+                          r.path.c_str(), r.error.c_str());
+            out += line;
+            continue;
+        }
+        std::snprintf(
+            line, sizeof(line),
+            "%-28s %6llu %9llu %9llu %8llu %7llu %7llu %5llu %6llu "
+            "%6llu %6llu %s\n",
+            r.path.c_str(), static_cast<unsigned long long>(r.epoch),
+            static_cast<unsigned long long>(r.records_seen),
+            static_cast<unsigned long long>(r.tainted_bytes),
+            static_cast<unsigned long long>(r.ranges),
+            static_cast<unsigned long long>(r.cache_entries),
+            static_cast<unsigned long long>(r.spilled),
+            static_cast<unsigned long long>(r.windows),
+            static_cast<unsigned long long>(r.sinks),
+            static_cast<unsigned long long>(r.sinks_tainted),
+            static_cast<unsigned long long>(r.sinks_maybe),
+            r.degraded ? "degraded" : "healthy");
+        out += line;
+    }
+    return out;
+}
+
+} // namespace pift::analysis

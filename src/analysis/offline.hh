@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Offline analysis over persisted snapshots (DESIGN.md §11).
+ *
+ * Durable snapshots double as analysis inputs: a fleet of devices
+ * (or a sweep of runs) each leaves a `snapshot.pift` behind, and the
+ * census answers "what taint state is out there" without replaying
+ * anything — tainted footprint, cache pressure, verdict tallies, and
+ * whether any device is running degraded. Decoding is fanned over
+ * the worker pool; rows land in input order, so output is
+ * byte-identical at every --jobs width.
+ */
+
+#ifndef PIFT_ANALYSIS_OFFLINE_HH
+#define PIFT_ANALYSIS_OFFLINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pift::analysis
+{
+
+/** Decoded summary of one snapshot file. */
+struct SnapshotCensusRow
+{
+    std::string path;
+    bool ok = false;         //!< decoded and checksummed
+    std::string error;       //!< decode failure reason when !ok
+
+    uint64_t epoch = 0;
+    uint64_t records_seen = 0;
+    uint64_t controls_seen = 0;
+    uint64_t tainted_bytes = 0;
+    uint64_t ranges = 0;        //!< cache + spill range entries
+    uint64_t cache_entries = 0; //!< on-chip entries held
+    uint64_t spilled = 0;       //!< ranges in secondary storage
+    uint64_t windows = 0;       //!< window machines captured
+    uint64_t sinks = 0;         //!< sink checks recorded
+    uint64_t sinks_tainted = 0;
+    uint64_t sinks_maybe = 0;
+    bool degraded = false;      //!< any loss flag or saturation set
+};
+
+/**
+ * Decode every snapshot in @p paths (in parallel; @p jobs as in
+ * exec::parallelFor). Unreadable or corrupt files produce a row with
+ * ok=false and the reason — a fleet census must report a corrupt
+ * device, not skip it.
+ */
+std::vector<SnapshotCensusRow>
+snapshotCensus(const std::vector<std::string> &paths, unsigned jobs);
+
+/** Render census rows as a fixed-width table. */
+std::string
+formatSnapshotCensus(const std::vector<SnapshotCensusRow> &rows);
+
+} // namespace pift::analysis
+
+#endif // PIFT_ANALYSIS_OFFLINE_HH

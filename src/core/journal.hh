@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Mutation-journal tap for durable taint state (DESIGN.md §11).
+ *
+ * A production PIFT module must not lose taint across a restart
+ * (silent false negatives are the one forbidden outcome), so the
+ * tracker can announce every state transition that matters for
+ * recovery to a MutationJournal: taint/untaint mutations, window
+ * openings (tainted loads), source registrations, sink verdicts,
+ * clears, and loss notifications. The persist layer implements the
+ * interface as a write-ahead log; replaying the records against a
+ * snapshot reconstructs tracker + storage state exactly.
+ *
+ * Each record carries the resume cursor (records_seen,
+ * controls_seen) *after* the triggering event, so recovery knows
+ * precisely which prefix of the event stream the reconstructed state
+ * corresponds to, and a resumed replay can continue at the next
+ * event.
+ *
+ * Records are emitted after the event is fully applied; a journal
+ * implementation may therefore snapshot the tracker/storage state
+ * from inside append() and observe a consistent post-event state.
+ */
+
+#ifndef PIFT_CORE_JOURNAL_HH
+#define PIFT_CORE_JOURNAL_HH
+
+#include <cstdint>
+
+#include "core/taint_store.hh"
+#include "support/types.hh"
+
+namespace pift::core
+{
+
+/** Tracker state transitions a journal can be asked to make durable. */
+enum class JournalKind : uint8_t
+{
+    TaintedLoad = 0, //!< load hit taint; window opened/renewed
+    StoreTaint,      //!< in-window store: range tainted (insert)
+    StoreUntaint,    //!< out-of-window store: range untainted (remove)
+    SourceTaint,     //!< source registration: range tainted (insert)
+    SinkCheck,       //!< sink query and its verdict
+    ClearAll,        //!< all taint state dropped
+    StreamLoss,      //!< front-end lost events for pid (degrade)
+    StateLoss        //!< whole-state loss (degrade every process)
+};
+
+/** Number of journal kinds (validation bound for decoded records). */
+inline constexpr uint8_t journal_kind_count = 8;
+
+/** Printable name of a journal kind (diagnostics, WAL dumps). */
+const char *journalKindName(JournalKind kind);
+
+/**
+ * One journaled state transition. Field use by kind:
+ *
+ *  - TaintedLoad: pid, [start,end] = query range (its replay refreshes
+ *    storage LRU state exactly like the original hit), ltlt/used = the
+ *    acting window state after the load;
+ *  - StoreTaint: pid, [start,end] = tainted range, ltlt/used = acting
+ *    window state after the store (used counts attempts, so the record
+ *    is emitted even when the insert covered no new bytes);
+ *  - StoreUntaint: pid, [start,end] = removed range (only emitted when
+ *    the remove changed state);
+ *  - SourceTaint: pid, [start,end] (always emitted — even a no-new-
+ *    bytes insert restructures entries and advances the LRU clock);
+ *  - SinkCheck: pid, [start,end], id, verdict;
+ *  - ClearAll / StateLoss: no payload;
+ *  - StreamLoss: pid.
+ */
+struct JournalRecord
+{
+    JournalKind kind = JournalKind::ClearAll;
+    SinkVerdict verdict = SinkVerdict::Clean; //!< SinkCheck only
+    ProcId pid = 0;
+    Addr start = 0;
+    Addr end = 0;
+    uint32_t id = 0;           //!< sink identifier (SinkCheck)
+    SeqNum ltlt = 0;           //!< acting window LTLT (load/store taint)
+    uint32_t used = 0;         //!< acting window budget used
+    SeqNum records_seen = 0;   //!< resume cursor: records consumed
+    uint64_t controls_seen = 0; //!< resume cursor: controls consumed
+};
+
+/** Consumer of journaled state transitions (the WAL, in persist/). */
+class MutationJournal
+{
+  public:
+    virtual ~MutationJournal() = default;
+
+    /** Called once per state transition, in event order. */
+    virtual void append(const JournalRecord &rec) = 0;
+};
+
+inline const char *
+journalKindName(JournalKind kind)
+{
+    switch (kind) {
+      case JournalKind::TaintedLoad:  return "tainted-load";
+      case JournalKind::StoreTaint:   return "store-taint";
+      case JournalKind::StoreUntaint: return "store-untaint";
+      case JournalKind::SourceTaint:  return "source-taint";
+      case JournalKind::SinkCheck:    return "sink-check";
+      case JournalKind::ClearAll:     return "clear-all";
+      case JournalKind::StreamLoss:   return "stream-loss";
+      case JournalKind::StateLoss:    return "state-loss";
+    }
+    return "?";
+}
+
+} // namespace pift::core
+
+#endif // PIFT_CORE_JOURNAL_HH

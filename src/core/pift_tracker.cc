@@ -64,6 +64,14 @@ PiftTracker::~PiftTracker()
 }
 
 void
+PiftTracker::journalEvent(JournalRecord rec)
+{
+    rec.records_seen = records_seen;
+    rec.controls_seen = controls_seen;
+    journal_->append(rec);
+}
+
+void
 PiftTracker::afterOp(SeqNum records)
 {
     stat.max_tainted_bytes = std::max(stat.max_tainted_bytes,
@@ -107,6 +115,14 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
                 w.used = 0;
             }
             ++stat.tainted_loads;
+            if (journal_) {
+                // Journaled even when the window was left untouched
+                // (restart=false): replaying the hit's query refreshes
+                // the storage LRU state exactly like the original.
+                journalEvent({JournalKind::TaintedLoad,
+                              SinkVerdict::Clean, rec.pid, range.start,
+                              range.end, 0, w.ltlt, w.used, 0, 0});
+            }
         }
         return;
     }
@@ -129,6 +145,14 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
                 ++tel_stores_tainted;
             afterOp(records_seen);
         }
+        if (journal_) {
+            // Journaled regardless of the insert's outcome: the
+            // budget (used) advanced either way, and even a no-new-
+            // bytes insert restructures entries and the LRU clock.
+            journalEvent({JournalKind::StoreTaint, SinkVerdict::Clean,
+                          rec.pid, range.start, range.end, 0, w.ltlt,
+                          w.used, 0, 0});
+        }
     } else if (cfg.untaint) {
         // [Lines 20-22] Outside the window (or budget exhausted):
         // the target is likely overwritten with non-sensitive data.
@@ -137,6 +161,11 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
             if constexpr (telemetry::compiledIn())
                 ++tel_stores_untainted;
             afterOp(records_seen);
+            if (journal_) {
+                journalEvent({JournalKind::StoreUntaint,
+                              SinkVerdict::Clean, rec.pid, range.start,
+                              range.end, 0, 0, 0, 0, 0});
+            }
         }
     }
 }
@@ -144,12 +173,18 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
 void
 PiftTracker::onControl(const sim::ControlEvent &ev)
 {
+    ++controls_seen;
     taint::AddrRange range(ev.start, ev.end);
     switch (ev.kind) {
       case sim::ControlKind::RegisterSource:
         if (store.insert(ev.pid, range)) {
             ++stat.taint_ops;
             afterOp(records_seen);
+        }
+        if (journal_) {
+            journalEvent({JournalKind::SourceTaint, SinkVerdict::Clean,
+                          ev.pid, range.start, range.end, ev.id, 0, 0,
+                          0, 0});
         }
         break;
       case sim::ControlKind::CheckSink: {
@@ -174,6 +209,10 @@ PiftTracker::onControl(const sim::ControlEvent &ev)
             break;
         }
         sinks.push_back(res);
+        if (journal_) {
+            journalEvent({JournalKind::SinkCheck, res.verdict, ev.pid,
+                          range.start, range.end, ev.id, 0, 0, 0, 0});
+        }
         break;
       }
       case sim::ControlKind::ClearAll:
@@ -181,6 +220,11 @@ PiftTracker::onControl(const sim::ControlEvent &ev)
         windows.clear();
         // All lost state is gone with the rest; stop degrading.
         lossy_pids.clear();
+        all_lossy = false;
+        if (journal_) {
+            journalEvent({JournalKind::ClearAll, SinkVerdict::Clean, 0,
+                          0, 0, 0, 0, 0, 0, 0});
+        }
         break;
     }
 }
@@ -206,12 +250,63 @@ PiftTracker::noteStreamLoss(ProcId pid)
 {
     ++stat.stream_loss_events;
     lossy_pids.insert(pid);
+    if (journal_) {
+        journalEvent({JournalKind::StreamLoss, SinkVerdict::Clean, pid,
+                      0, 0, 0, 0, 0, 0, 0});
+    }
+}
+
+void
+PiftTracker::noteStateLoss()
+{
+    ++stat.stream_loss_events;
+    all_lossy = true;
+    if (journal_) {
+        journalEvent({JournalKind::StateLoss, SinkVerdict::Clean, 0, 0,
+                      0, 0, 0, 0, 0, 0});
+    }
 }
 
 bool
 PiftTracker::degraded(ProcId pid) const
 {
-    return lossy_pids.count(pid) > 0 || store.saturated(pid);
+    return all_lossy || lossy_pids.count(pid) > 0 ||
+        store.saturated(pid);
+}
+
+TrackerState
+PiftTracker::exportState() const
+{
+    TrackerState state;
+    for (const auto &[pid, w] : windows)
+        state.windows.push_back({pid, w.active, w.ltlt, w.used});
+    std::sort(state.windows.begin(), state.windows.end(),
+              [](const TrackerState::WindowState &a,
+                 const TrackerState::WindowState &b) {
+                  return a.pid < b.pid;
+              });
+    state.lossy.assign(lossy_pids.begin(), lossy_pids.end());
+    std::sort(state.lossy.begin(), state.lossy.end());
+    state.global_loss = all_lossy;
+    state.sinks = sinks;
+    state.records_seen = records_seen;
+    state.controls_seen = controls_seen;
+    return state;
+}
+
+void
+PiftTracker::restoreState(const TrackerState &state)
+{
+    windows.clear();
+    for (const auto &w : state.windows)
+        windows[w.pid] = {w.active, w.ltlt, w.used};
+    lossy_pids.clear();
+    lossy_pids.insert(state.lossy.begin(), state.lossy.end());
+    all_lossy = state.global_loss;
+    sinks = state.sinks;
+    records_seen = state.records_seen;
+    controls_seen = state.controls_seen;
+    stat = TrackerStats{};
 }
 
 void
@@ -228,9 +323,11 @@ PiftTracker::reset()
 {
     windows.clear();
     lossy_pids.clear();
+    all_lossy = false;
     stat = TrackerStats{};
     sinks.clear();
     records_seen = 0;
+    controls_seen = 0;
 }
 
 } // namespace pift::core

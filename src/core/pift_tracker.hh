@@ -31,6 +31,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/journal.hh"
 #include "core/taint_store.hh"
 #include "sim/trace.hh"
 #include "support/types.hh"
@@ -85,6 +86,32 @@ struct TrackerStats
     uint64_t stream_loss_events = 0; //!< front-end loss notifications
 };
 
+/**
+ * Serializable tracker state (DESIGN.md §11): the per-process window
+ * machines, loss flags, accumulated sink results, and the event
+ * cursor. Together with a TaintStorageState this is everything a
+ * restarted tracker needs to continue exactly where the original
+ * stopped; statistics counters are observability and are not
+ * captured (a restored tracker restarts them at zero).
+ */
+struct TrackerState
+{
+    struct WindowState
+    {
+        ProcId pid = 0;
+        bool active = false;
+        SeqNum ltlt = 0;
+        unsigned used = 0;
+    };
+
+    std::vector<WindowState> windows; //!< ascending pid
+    std::vector<ProcId> lossy;        //!< ascending pid
+    bool global_loss = false;         //!< noteStateLoss() was called
+    std::vector<SinkResult> sinks;
+    SeqNum records_seen = 0;
+    uint64_t controls_seen = 0;
+};
+
 /** Online implementation of Algorithm 1 over a TaintStore backend. */
 class PiftTracker : public sim::TraceSink
 {
@@ -127,13 +154,45 @@ class PiftTracker : public sim::TraceSink
     void noteStreamLoss(ProcId pid);
 
     /**
+     * The whole taint state is suspect (recovery from corrupt durable
+     * state, an unrecoverable journal failure): from here on negative
+     * sink checks for *every* process answer MaybeTainted. Cleared by
+     * a ClearAll (all state is dropped with the loss) — nothing else.
+     */
+    void noteStateLoss();
+
+    /**
      * True when Clean answers for @p pid can no longer be trusted:
-     * the store lost state (saturation) or the stream lost events.
+     * the store lost state (saturation), the stream lost events, or
+     * whole-state loss was declared.
      */
     bool degraded(ProcId pid) const;
 
     /** Install the per-operation observer (may be empty). */
     void setOpObserver(OpObserver obs) { observer = std::move(obs); }
+
+    /**
+     * Install a mutation journal (may be null to detach). The tracker
+     * emits one JournalRecord after every state transition listed in
+     * core/journal.hh; the journal is not owned.
+     */
+    void setJournal(MutationJournal *journal) { journal_ = journal; }
+
+    /**
+     * Export window machines, loss flags, sink results and the event
+     * cursor in canonical order (see TrackerState).
+     */
+    TrackerState exportState() const;
+
+    /**
+     * Replace windows, loss flags, sink results and the event cursor
+     * with @p state. Statistics are reset (counters restart at zero);
+     * the journal and observer hooks are kept.
+     */
+    void restoreState(const TrackerState &state);
+
+    /** Control events consumed so far (the resume-cursor pair). */
+    uint64_t controlsSeen() const { return controls_seen; }
 
     /** Reset window state, statistics and sink results (not store). */
     void reset();
@@ -157,14 +216,20 @@ class PiftTracker : public sim::TraceSink
 
     void afterOp(SeqNum records);
 
+    /** Emit a journal record stamped with the current cursor. */
+    void journalEvent(JournalRecord rec);
+
     PiftParams cfg;
     TaintStore &store;
     std::unordered_map<ProcId, Window> windows;
     std::unordered_set<ProcId> lossy_pids;
+    bool all_lossy = false;
     TrackerStats stat;
     std::vector<SinkResult> sinks;
     SeqNum records_seen = 0;
+    uint64_t controls_seen = 0;
     OpObserver observer;
+    MutationJournal *journal_ = nullptr;
 
     // Per-record telemetry tallies, batched as plain members (this is
     // the hottest loop in the repo) and published to the

@@ -41,10 +41,112 @@ stel()
 
 } // anonymous namespace
 
+uint64_t
+TaintStorageState::bytes() const
+{
+    uint64_t total = 0;
+    for (const auto &e : entries)
+        total += e.range.bytes();
+    for (const auto &[pid, ranges] : spills)
+        for (const auto &r : ranges)
+            total += r.bytes();
+    return total;
+}
+
+size_t
+TaintStorageState::rangeCount() const
+{
+    size_t n = entries.size();
+    for (const auto &[pid, ranges] : spills)
+        n += ranges.size();
+    return n;
+}
+
+bool
+TaintStorageState::operator==(const TaintStorageState &other) const
+{
+    auto entryEq = [](const Entry &a, const Entry &b) {
+        return a.pid == b.pid && a.range.start == b.range.start &&
+            a.range.end == b.range.end && a.last_use == b.last_use;
+    };
+    auto spillEq = [](const std::pair<ProcId,
+                          std::vector<taint::AddrRange>> &a,
+                      const std::pair<ProcId,
+                          std::vector<taint::AddrRange>> &b) {
+        if (a.first != b.first || a.second.size() != b.second.size())
+            return false;
+        for (size_t i = 0; i < a.second.size(); ++i)
+            if (a.second[i].start != b.second[i].start ||
+                a.second[i].end != b.second[i].end)
+                return false;
+        return true;
+    };
+    return params.entries == other.params.entries &&
+        params.policy == other.params.policy &&
+        params.coalesce == other.params.coalesce &&
+        clock == other.clock &&
+        std::equal(entries.begin(), entries.end(),
+                   other.entries.begin(), other.entries.end(),
+                   entryEq) &&
+        std::equal(spills.begin(), spills.end(), other.spills.begin(),
+                   other.spills.end(), spillEq) &&
+        saturated == other.saturated;
+}
+
 TaintStorage::TaintStorage(const TaintStorageParams &p)
     : params(p), entries(p.entries)
 {
     pift_assert(p.entries > 0, "taint storage needs at least one entry");
+}
+
+TaintStorageState
+TaintStorage::exportState() const
+{
+    TaintStorageState state;
+    state.params = params;
+    state.clock = clock;
+    for (const auto &e : entries)
+        if (e.valid)
+            state.entries.push_back({e.pid, e.range, e.last_use});
+    std::sort(state.entries.begin(), state.entries.end(),
+              [](const TaintStorageState::Entry &a,
+                 const TaintStorageState::Entry &b) {
+                  return a.last_use < b.last_use;
+              });
+    for (const auto &[pid, set] : spill_sets)
+        state.spills.emplace_back(pid, set.ranges());
+    state.saturated.assign(saturated_pids.begin(),
+                           saturated_pids.end());
+    std::sort(state.saturated.begin(), state.saturated.end());
+    return state;
+}
+
+void
+TaintStorage::restoreState(const TaintStorageState &state)
+{
+    pift_assert(state.params.entries == params.entries &&
+                    state.params.policy == params.policy &&
+                    state.params.coalesce == params.coalesce,
+                "taint storage restore: params mismatch");
+    pift_assert(state.entries.size() <= entries.size(),
+                "taint storage restore: %zu entries exceed capacity "
+                "%zu", state.entries.size(), entries.size());
+    for (auto &e : entries)
+        e.valid = false;
+    for (size_t i = 0; i < state.entries.size(); ++i) {
+        const auto &se = state.entries[i];
+        entries[i] = {se.pid, se.range, true, se.last_use};
+    }
+    spill_sets.clear();
+    for (const auto &[pid, ranges] : state.spills) {
+        taint::RangeSet &set = spill_sets[pid];
+        for (const auto &r : ranges)
+            set.insert(r);
+    }
+    saturated_pids.clear();
+    saturated_pids.insert(state.saturated.begin(),
+                          state.saturated.end());
+    clock = state.clock;
 }
 
 size_t

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/taint_store.hh"
@@ -70,6 +71,46 @@ struct TaintStorageParams
     bool coalesce = true;
 };
 
+/**
+ * Serializable state of a TaintStorage (DESIGN.md §11). Captures
+ * everything that determines future behaviour: the valid entries with
+ * their LRU stamps (in canonical ascending last_use order — stamps
+ * are unique because every touch advances the clock), the LRU clock
+ * itself, the spilled range sets, and the per-process saturation
+ * flags. Restoring this state into a storage with equal params
+ * reproduces the original's behaviour exactly: slot indices are
+ * semantically inert (lookup, coalescing and eviction all scan every
+ * entry and decide by pid/range/last_use alone). Operation counters
+ * (StorageStats) are observability, not state, and are not captured.
+ */
+struct TaintStorageState
+{
+    /** Config the state was exported under (restore must match). */
+    TaintStorageParams params;
+
+    struct Entry
+    {
+        ProcId pid = 0;
+        taint::AddrRange range;
+        uint64_t last_use = 0;
+    };
+
+    uint64_t clock = 0;
+    std::vector<Entry> entries;             //!< ascending last_use
+    /** Spilled ranges per process, ascending pid / ascending start. */
+    std::vector<std::pair<ProcId, std::vector<taint::AddrRange>>>
+        spills;
+    std::vector<ProcId> saturated;          //!< ascending pid
+
+    /** Tainted bytes represented (cache + spill). */
+    uint64_t bytes() const;
+
+    /** Range entries represented (cache + spill). */
+    size_t rangeCount() const;
+
+    bool operator==(const TaintStorageState &other) const;
+};
+
 /** Fixed-capacity cache of tainted ranges (Figure 6). */
 class TaintStorage : public TaintStore
 {
@@ -94,6 +135,21 @@ class TaintStorage : public TaintStore
     void clearSaturation() override;
 
     const StorageStats &stats() const { return stat; }
+
+    /**
+     * Export the complete semantic state in canonical order (see
+     * TaintStorageState). Used by the persist layer's snapshots and
+     * by the crash-recovery differential's equality checks.
+     */
+    TaintStorageState exportState() const;
+
+    /**
+     * Replace all state with @p state, which must have been exported
+     * under the same params (asserted). Entries are packed into the
+     * lowest slots; behaviour is unaffected (slot indices are inert).
+     * Operation counters are left untouched.
+     */
+    void restoreState(const TaintStorageState &state);
 
     /** Valid entries currently held on chip. */
     size_t validEntries() const;

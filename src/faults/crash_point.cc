@@ -1,0 +1,122 @@
+#include "faults/crash_point.hh"
+
+#include "persist/durable.hh"
+#include "persist/wal.hh"
+#include "persist/wire.hh"
+#include "support/rng.hh"
+
+namespace pift::faults
+{
+
+namespace
+{
+
+const char *
+targetName(CrashTarget t)
+{
+    return t == CrashTarget::Wal ? "wal" : "snapshot";
+}
+
+const char *
+modeName(CrashMode m)
+{
+    return m == CrashMode::Truncate ? "truncate" : "bitflip";
+}
+
+uint64_t
+targetSize(const CrashPoint &p, uint64_t wal_bytes,
+           uint64_t snapshot_bytes)
+{
+    return p.target == CrashTarget::Wal ? wal_bytes : snapshot_bytes;
+}
+
+} // anonymous namespace
+
+std::string
+crashPointName(const CrashPoint &point)
+{
+    std::string name = std::string(targetName(point.target)) + "@" +
+        modeName(point.mode) + ":" + std::to_string(point.offset);
+    if (point.mode == CrashMode::BitFlip)
+        name += "." + std::to_string(point.bit);
+    return name;
+}
+
+std::vector<CrashPoint>
+planCrashPoints(uint64_t wal_bytes, uint64_t snapshot_bytes,
+                uint64_t seed, size_t count)
+{
+    std::vector<CrashPoint> plan;
+
+    // Structural edges first: empty file, mid-header, the exact
+    // header boundary, and one frame boundary. These are where an
+    // off-by-one in the reader would hide.
+    plan.push_back({CrashTarget::Wal, CrashMode::Truncate, 0, 0});
+    if (wal_bytes >= persist::wal_header_bytes) {
+        plan.push_back({CrashTarget::Wal, CrashMode::Truncate,
+                        persist::wal_header_bytes / 2, 0});
+        plan.push_back({CrashTarget::Wal, CrashMode::Truncate,
+                        persist::wal_header_bytes, 0});
+    }
+    if (wal_bytes >=
+        persist::wal_header_bytes + persist::wal_frame_bytes) {
+        plan.push_back(
+            {CrashTarget::Wal, CrashMode::Truncate,
+             persist::wal_header_bytes + persist::wal_frame_bytes, 0});
+    }
+    if (snapshot_bytes > 0) {
+        plan.push_back(
+            {CrashTarget::Snapshot, CrashMode::Truncate, 0, 0});
+        // Last byte of the snapshot: the CRC trailer itself.
+        plan.push_back({CrashTarget::Snapshot, CrashMode::BitFlip,
+                        snapshot_bytes - 1, 0});
+    }
+
+    Rng rng(seed);
+    while (plan.size() < count) {
+        CrashPoint p;
+        p.target = (snapshot_bytes > 0 && rng.chance(1, 3))
+            ? CrashTarget::Snapshot
+            : CrashTarget::Wal;
+        uint64_t size = targetSize(p, wal_bytes, snapshot_bytes);
+        p.mode = (size > 0 && rng.chance(1, 2)) ? CrashMode::BitFlip
+                                                : CrashMode::Truncate;
+        if (p.mode == CrashMode::Truncate) {
+            p.offset = rng.below(size + 1);
+        } else {
+            p.offset = rng.below(size);
+            p.bit = static_cast<uint8_t>(rng.below(8));
+        }
+        plan.push_back(p);
+    }
+    return plan;
+}
+
+Status
+applyCrashPoint(const CrashPoint &point, const std::string &dir)
+{
+    const std::string path = point.target == CrashTarget::Wal
+        ? persist::walPath(dir)
+        : persist::snapshotPath(dir);
+
+    std::string bytes;
+    if (Status s = persist::readFileBytes(path, bytes); !s.ok())
+        return s;
+
+    if (point.mode == CrashMode::Truncate) {
+        if (point.offset > bytes.size())
+            return Status::error(crashPointName(point) +
+                                 ": offset past end of " + path);
+        bytes.resize(point.offset);
+    } else {
+        if (point.offset >= bytes.size())
+            return Status::error(crashPointName(point) +
+                                 ": offset past end of " + path);
+        bytes[point.offset] = static_cast<char>(
+            static_cast<uint8_t>(bytes[point.offset]) ^
+            (1u << (point.bit & 7)));
+    }
+    return persist::writeFileBytes(path, bytes);
+}
+
+} // namespace pift::faults

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Crash-point fault injection for durable state (DESIGN.md §11).
+ *
+ * The persistence layer claims that a crash at *any* byte of its
+ * on-disk artifacts is recoverable: either the recovered state is an
+ * exact prefix of the uncrashed run, or the corruption is detected
+ * and verdicts degrade. This module manufactures the crashes so the
+ * claim can be tested instead of asserted:
+ *
+ *  - Truncate models the kill-at-offset crash: the file ends
+ *    mid-frame exactly as an interrupted append would leave it.
+ *  - BitFlip models media corruption: one bit anywhere in the file,
+ *    which a checksum must catch.
+ *
+ * planCrashPoints() draws a deterministic set of (target, mode,
+ * offset, bit) points from a seeded splitmix64 stream, covering both
+ * files across their whole length plus the structural hot spots
+ * (header boundary, frame boundaries, empty file). The same (seed,
+ * sizes) always yields the same plan, so a failing point reproduces
+ * from its log line alone.
+ */
+
+#ifndef PIFT_FAULTS_CRASH_POINT_HH
+#define PIFT_FAULTS_CRASH_POINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/expected.hh"
+
+namespace pift::faults
+{
+
+/** Which durable artifact the crash hits. */
+enum class CrashTarget : uint8_t
+{
+    Wal = 0,  //!< wal.pift (expected outcome: exact, shorter prefix)
+    Snapshot  //!< snapshot.pift (expected outcome: exact or detected)
+};
+
+/** How the crash mangles the file. */
+enum class CrashMode : uint8_t
+{
+    Truncate = 0, //!< cut the file to `offset` bytes (torn write)
+    BitFlip       //!< flip bit `bit` of byte `offset` (corruption)
+};
+
+/** One point in the crash sweep. */
+struct CrashPoint
+{
+    CrashTarget target = CrashTarget::Wal;
+    CrashMode mode = CrashMode::Truncate;
+    uint64_t offset = 0; //!< byte offset (Truncate: new length)
+    uint8_t bit = 0;     //!< bit index for BitFlip
+};
+
+/** Printable "wal@truncate:123" form for logs and failure reports. */
+std::string crashPointName(const CrashPoint &point);
+
+/**
+ * Draw a deterministic crash plan for artifacts of the given sizes.
+ * Offsets are uniform over [0, size] for truncation (size = crash
+ * before anything was cut) and [0, size) for bit flips; targets and
+ * modes alternate through the stream. Structural edges (offset 0,
+ * the WAL header boundary, a mid-header cut) are always included
+ * first so the sweep cannot miss them at small @p count.
+ *
+ * @param wal_bytes size of the WAL file being attacked
+ * @param snapshot_bytes size of the snapshot file (0 = none exists;
+ *        snapshot points are skipped)
+ * @param seed plan seed; equal inputs give equal plans
+ * @param count total points to draw (minimum: the structural edges)
+ */
+std::vector<CrashPoint> planCrashPoints(uint64_t wal_bytes,
+                                        uint64_t snapshot_bytes,
+                                        uint64_t seed, size_t count);
+
+/**
+ * Apply @p point to the artifacts in state directory @p dir:
+ * truncate or bit-flip the targeted file in place. Fails when the
+ * targeted file is missing or shorter than the point assumes.
+ */
+Status applyCrashPoint(const CrashPoint &point,
+                       const std::string &dir);
+
+} // namespace pift::faults
+
+#endif // PIFT_FAULTS_CRASH_POINT_HH

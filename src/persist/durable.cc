@@ -1,0 +1,164 @@
+#include "persist/durable.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/stat.h>
+
+#include "persist/snapshot.hh"
+#include "support/logging.hh"
+#include "telemetry/registry.hh"
+
+namespace pift::persist
+{
+
+namespace
+{
+
+/** Persist instruments, resolved once (see DESIGN.md §9). */
+struct PersistTel
+{
+    telemetry::Counter &wal_records =
+        telemetry::counter("persist.wal_records_total");
+    telemetry::Counter &snapshots =
+        telemetry::counter("persist.snapshots_total");
+    telemetry::Counter &io_failures =
+        telemetry::counter("persist.io_failures_total");
+};
+
+PersistTel &
+tel()
+{
+    static PersistTel t;
+    return t;
+}
+
+} // anonymous namespace
+
+std::string
+snapshotPath(const std::string &dir)
+{
+    return dir + "/snapshot.pift";
+}
+
+std::string
+walPath(const std::string &dir)
+{
+    return dir + "/wal.pift";
+}
+
+Status
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST)
+        return Status();
+    return Status::error("cannot create directory " + dir + ": " +
+                         std::strerror(errno));
+}
+
+DurableSession::DurableSession(core::TaintStorage &storage_,
+                               core::PiftTracker &tracker_,
+                               const DurableOptions &options)
+    : storage(storage_), tracker(tracker_), opts(options)
+{}
+
+DurableSession::~DurableSession()
+{
+    close();
+}
+
+Status
+DurableSession::start(uint64_t initial_epoch)
+{
+    if (Status s = ensureDir(opts.dir); !s.ok()) {
+        healthy_ = false;
+        return s;
+    }
+    epoch_ = initial_epoch;
+    records_since_snapshot = 0;
+    if (Status s = wal.open(walPath(opts.dir), epoch_,
+                            opts.flush_each);
+        !s.ok()) {
+        healthy_ = false;
+        return s;
+    }
+    return Status();
+}
+
+void
+DurableSession::append(const core::JournalRecord &rec)
+{
+    if (Status s = wal.append(rec); !s.ok()) {
+        if (healthy_) {
+            tel().io_failures.inc();
+            pift_warn_limited(3,
+                              "durable session lost its WAL; state "
+                              "dir is now stale: %s",
+                              s.message().c_str());
+        }
+        healthy_ = false;
+        return;
+    }
+    ++records_logged;
+    tel().wal_records.inc();
+    ++records_since_snapshot;
+    if (opts.snapshot_every &&
+        records_since_snapshot >= opts.snapshot_every) {
+        // Cadence snapshot; failure already flags the session.
+        (void)snapshotNow();
+    }
+}
+
+Status
+DurableSession::snapshotNow()
+{
+    SnapshotData data;
+    data.epoch = epoch_ + 1;
+    data.storage = storage.exportState();
+    data.tracker = tracker.exportState();
+
+    if (Status s = writeSnapshotFile(snapshotPath(opts.dir), data);
+        !s.ok()) {
+        if (healthy_) {
+            tel().io_failures.inc();
+            pift_warn_limited(3, "snapshot write failed: %s",
+                              s.message().c_str());
+        }
+        healthy_ = false;
+        return s;
+    }
+    ++epoch_;
+    ++snapshots_taken;
+    tel().snapshots.inc();
+    records_since_snapshot = 0;
+
+    // Rotate: the published snapshot covers everything the old WAL
+    // held, so restart the log at the new epoch. A crash before this
+    // completes leaves WAL epoch-1, which recovery treats as the
+    // (stale) rotation-crash case.
+    if (Status s = wal.open(walPath(opts.dir), epoch_,
+                            opts.flush_each);
+        !s.ok()) {
+        if (healthy_) {
+            tel().io_failures.inc();
+            pift_warn_limited(3, "WAL rotation failed: %s",
+                              s.message().c_str());
+        }
+        healthy_ = false;
+        return s;
+    }
+    return Status();
+}
+
+Status
+DurableSession::flush()
+{
+    return wal.flush();
+}
+
+Status
+DurableSession::close()
+{
+    return wal.close();
+}
+
+} // namespace pift::persist

@@ -1,0 +1,251 @@
+#include "persist/recovery.hh"
+
+#include <map>
+#include <set>
+#include <sys/stat.h>
+
+#include "persist/durable.hh"
+#include "persist/wal.hh"
+#include "persist/wire.hh"
+#include "support/logging.hh"
+
+namespace pift::persist
+{
+
+namespace
+{
+
+bool
+fileExists(const std::string &path)
+{
+    struct ::stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+/**
+ * Mutable working copy of tracker state during WAL replay; folded
+ * back into canonical TrackerState form when done.
+ */
+struct TrackerReplay
+{
+    std::map<ProcId, core::TrackerState::WindowState> windows;
+    std::set<ProcId> lossy;
+    bool global_loss = false;
+    std::vector<core::SinkResult> sinks;
+    SeqNum records_seen = 0;
+    uint64_t controls_seen = 0;
+
+    explicit TrackerReplay(const core::TrackerState &t)
+        : global_loss(t.global_loss), sinks(t.sinks),
+          records_seen(t.records_seen), controls_seen(t.controls_seen)
+    {
+        for (const auto &w : t.windows)
+            windows[w.pid] = w;
+        lossy.insert(t.lossy.begin(), t.lossy.end());
+    }
+
+    core::TrackerState
+    toState() const
+    {
+        core::TrackerState t;
+        for (const auto &[pid, w] : windows)
+            t.windows.push_back(w);
+        t.lossy.assign(lossy.begin(), lossy.end());
+        t.global_loss = global_loss;
+        t.sinks = sinks;
+        t.records_seen = records_seen;
+        t.controls_seen = controls_seen;
+        return t;
+    }
+};
+
+/**
+ * Re-apply one journaled transition. Queries are replayed as real
+ * queries so the storage's LRU clock and entry recency advance
+ * exactly as in the original run — that is what makes the recovered
+ * state an *exact* prefix, not an approximation.
+ */
+void
+applyRecord(const core::JournalRecord &rec,
+            core::TaintStorage &storage, TrackerReplay &t)
+{
+    taint::AddrRange range(rec.start, rec.end);
+    switch (rec.kind) {
+      case core::JournalKind::TaintedLoad:
+        storage.query(rec.pid, range);
+        t.windows[rec.pid] = {rec.pid, true, rec.ltlt, rec.used};
+        break;
+      case core::JournalKind::StoreTaint:
+        storage.insert(rec.pid, range);
+        t.windows[rec.pid] = {rec.pid, true, rec.ltlt, rec.used};
+        break;
+      case core::JournalKind::StoreUntaint:
+        // Window expiry is lazy and observation-driven; the replayed
+        // event stream re-derives it, so only the store matters here.
+        storage.remove(rec.pid, range);
+        break;
+      case core::JournalKind::SourceTaint:
+        storage.insert(rec.pid, range);
+        break;
+      case core::JournalKind::SinkCheck: {
+        core::SinkResult res;
+        res.sink_id = rec.id;
+        res.pid = rec.pid;
+        res.range = range;
+        res.tainted = rec.verdict == core::SinkVerdict::Tainted;
+        res.verdict = rec.verdict;
+        res.at_records = rec.records_seen;
+        storage.query(rec.pid, range);
+        t.sinks.push_back(res);
+        break;
+      }
+      case core::JournalKind::ClearAll:
+        storage.clear();
+        t.windows.clear();
+        t.lossy.clear();
+        t.global_loss = false;
+        break;
+      case core::JournalKind::StreamLoss:
+        t.lossy.insert(rec.pid);
+        break;
+      case core::JournalKind::StateLoss:
+        t.global_loss = true;
+        break;
+    }
+    t.records_seen = rec.records_seen;
+    t.controls_seen = rec.controls_seen;
+}
+
+} // anonymous namespace
+
+RecoveryResult
+recover(const std::string &dir,
+        const core::TaintStorageParams &fresh_params)
+{
+    RecoveryResult result;
+    std::string detail;
+
+    // 1. Establish the base state: newest snapshot, or the implicit
+    //    empty snapshot at epoch 0 when none was ever written.
+    SnapshotData base;
+    base.storage.params = fresh_params;
+    const std::string snap_path = snapshotPath(dir);
+    result.snapshot_present = fileExists(snap_path);
+    if (result.snapshot_present) {
+        auto snap = readSnapshotFile(snap_path);
+        if (snap.ok()) {
+            result.snapshot_ok = true;
+            base = snap.value();
+            detail += "snapshot epoch " + std::to_string(base.epoch) +
+                " ok";
+        } else {
+            // A snapshot existed but cannot be trusted: no exact
+            // base. Report, degrade, and fall back to empty.
+            result.corruption_detected = true;
+            detail += snap.message();
+        }
+    } else {
+        detail += "no snapshot (implicit epoch 0)";
+    }
+
+    // 2. Read the WAL tail (tolerantly).
+    WalReadReport wal;
+    const std::string wal_path = walPath(dir);
+    result.wal_present = fileExists(wal_path);
+    if (result.wal_present) {
+        auto r = readWalFile(wal_path);
+        if (r.ok()) {
+            wal = r.value();
+            result.wal_header_ok = wal.header_ok;
+            result.wal_torn = wal.torn;
+            result.wal_records = wal.records.size();
+            detail += "; wal epoch " + std::to_string(wal.epoch) +
+                ", " + std::to_string(wal.records.size()) + " records";
+            if (wal.torn)
+                detail += " (torn: " + wal.detail + ")";
+        } else {
+            result.wal_torn = true;
+            detail += "; wal unreadable: " + r.message();
+        }
+    } else {
+        detail += "; no wal";
+    }
+
+    if (result.corruption_detected) {
+        // Corrupt snapshot: the WAL extends a base we do not have.
+        result.state.storage.params = fresh_params;
+        result.state.tracker.global_loss = true;
+        result.detail = detail + "; degraded to empty state";
+        return result;
+    }
+
+    // 3. Pair WAL with snapshot by epoch. The pairing is all-or-
+    //    none: a WAL at the snapshot's epoch was opened *after* the
+    //    snapshot was published, so every record in it post-dates the
+    //    snapshot and must be applied; a WAL one epoch behind is the
+    //    rotation-crash case — the snapshot was exported after every
+    //    append to it, so every record is already absorbed and must
+    //    be skipped. (A cursor comparison could not make this split:
+    //    records emitted between events — StreamLoss, StateLoss —
+    //    share their cursor with the preceding event.)
+    std::vector<core::JournalRecord> tail;
+    if (result.wal_header_ok) {
+        if (wal.epoch == base.epoch) {
+            tail = std::move(wal.records);
+        } else if (base.epoch > 0 && wal.epoch == base.epoch - 1) {
+            result.wal_stale = wal.records.size();
+            detail += "; rotation crash (wal one epoch behind, "
+                "absorbed by snapshot)";
+        } else {
+            detail += "; wal epoch mismatch, ignored";
+        }
+    }
+
+    // 4. Replay the tail on the snapshot state through a real
+    //    storage model.
+    core::TaintStorage storage(base.storage.params);
+    storage.restoreState(base.storage);
+    TrackerReplay tracker(base.tracker);
+    for (const auto &rec : tail) {
+        applyRecord(rec, storage, tracker);
+        ++result.wal_applied;
+    }
+
+    result.state.epoch = base.epoch;
+    result.state.storage = storage.exportState();
+    result.state.tracker = tracker.toState();
+    result.detail = detail + "; applied " +
+        std::to_string(result.wal_applied) + ", stale " +
+        std::to_string(result.wal_stale);
+    return result;
+}
+
+void
+restoreInto(const RecoveryResult &result, core::TaintStorage &storage,
+            core::PiftTracker &tracker)
+{
+    storage.restoreState(result.state.storage);
+    tracker.restoreState(result.state.tracker);
+    if (result.corruption_detected) {
+        // No exact base existed: from here on a negative sink check
+        // must answer MaybeTainted, never a silent Clean.
+        tracker.noteStateLoss();
+    }
+}
+
+std::string
+formatRecovery(const RecoveryResult &result)
+{
+    std::string line = result.corruption_detected
+        ? "recovery: CORRUPTION DETECTED (degraded)"
+        : "recovery: exact prefix";
+    line += " @ epoch " + std::to_string(result.state.epoch) +
+        ", cursor (" +
+        std::to_string(result.state.tracker.records_seen) + " records, " +
+        std::to_string(result.state.tracker.controls_seen) +
+        " controls)";
+    line += " — " + result.detail;
+    return line;
+}
+
+} // namespace pift::persist

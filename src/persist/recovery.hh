@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Crash recovery: last valid snapshot + WAL tail replay
+ * (DESIGN.md §11).
+ *
+ * recover() inspects a state directory and reconstructs the most
+ * recent provably-consistent taint state. The outcome dichotomy the
+ * crash-point differential test enforces:
+ *
+ *  - snapshot intact (or absent == implicit empty epoch 0): the
+ *    result is an *exact* prefix of the original run — the snapshot
+ *    state advanced by every WAL record past its cursor. A torn or
+ *    corrupt WAL tail only shortens the prefix (the resume cursor
+ *    moves earlier); resuming the event stream from the cursor then
+ *    reproduces the uncrashed run bit-for-bit.
+ *
+ *  - snapshot present but corrupt: no trusted base exists, so no
+ *    exact state can be reconstructed. corruption_detected is set,
+ *    recovery falls back to the empty state at cursor (0,0), and
+ *    restoreInto() declares whole-state loss — every later negative
+ *    sink check answers MaybeTainted. Detected and degraded, never
+ *    silently Clean.
+ *
+ * WAL/snapshot pairing uses the epoch scheme described in
+ * durable.hh: a WAL at the snapshot's epoch extends it (all records
+ * applied); a WAL one epoch behind is a rotation crash and all its
+ * records are already absorbed; anything else means the WAL does not belong
+ * to this snapshot and it is ignored (the snapshot alone is still an
+ * exact prefix).
+ */
+
+#ifndef PIFT_PERSIST_RECOVERY_HH
+#define PIFT_PERSIST_RECOVERY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/pift_tracker.hh"
+#include "core/taint_storage.hh"
+#include "persist/snapshot.hh"
+
+namespace pift::persist
+{
+
+/** What recover() reconstructed, and how it got there. */
+struct RecoveryResult
+{
+    /**
+     * The recovered state: snapshot plus applied WAL tail. Its
+     * tracker cursor (records_seen, controls_seen) is the position
+     * in the event stream to resume from. On corruption_detected
+     * this is the empty state at cursor (0,0).
+     */
+    SnapshotData state;
+
+    bool snapshot_present = false;
+    bool snapshot_ok = false;     //!< decoded and checksummed
+    bool wal_present = false;
+    bool wal_header_ok = false;
+    bool wal_torn = false;        //!< tail rejected (expected crash)
+    uint64_t wal_records = 0;     //!< valid records in the WAL
+    uint64_t wal_applied = 0;     //!< records the snapshot lacked
+    uint64_t wal_stale = 0;       //!< records the snapshot absorbed
+
+    /**
+     * True when no exact state could be reconstructed (corrupt
+     * snapshot). The restored tracker must degrade via
+     * noteStateLoss(); restoreInto() does this.
+     */
+    bool corruption_detected = false;
+
+    /** Human-readable account of what was accepted/rejected. */
+    std::string detail;
+};
+
+/**
+ * Reconstruct the latest consistent state from @p dir. Never fails:
+ * the worst outcome is corruption_detected with the empty state.
+ *
+ * @param fresh_params storage configuration to assume when no
+ *        snapshot exists (the implicit empty epoch-0 snapshot) or
+ *        none can be trusted; must match the original run's params.
+ */
+RecoveryResult recover(const std::string &dir,
+                       const core::TaintStorageParams &fresh_params);
+
+/**
+ * Load @p result into live objects: restores storage and tracker
+ * state, and on corruption_detected declares whole-state loss so
+ * sink checks degrade instead of silently answering Clean.
+ * @p storage must have been constructed with the params recovery
+ * ran under.
+ */
+void restoreInto(const RecoveryResult &result,
+                 core::TaintStorage &storage,
+                 core::PiftTracker &tracker);
+
+/** One-line summary of a RecoveryResult (CLI / diagnostics). */
+std::string formatRecovery(const RecoveryResult &result);
+
+} // namespace pift::persist
+
+#endif // PIFT_PERSIST_RECOVERY_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Versioned, checksummed snapshots of the complete taint state
+ * (DESIGN.md §11).
+ *
+ * A snapshot captures one consistent point of a tracking run: the
+ * TaintStorage state (entries + LRU clock + spill + saturation), the
+ * tracker state (window machines, loss flags, sink verdicts), and the
+ * resume cursor identifying the event-stream prefix the state
+ * corresponds to. Snapshots are written atomically (tmp + rename) so
+ * a crash mid-write never leaves a torn snapshot in place, and carry
+ * a whole-file CRC-32 trailer so media corruption is detected rather
+ * than parsed. The decode path never trusts a length field: every
+ * count is applied through the bounds-checked ByteReader, so a
+ * corrupt-but-CRC-colliding file degrades to a decode error, not
+ * undefined behaviour.
+ */
+
+#ifndef PIFT_PERSIST_SNAPSHOT_HH
+#define PIFT_PERSIST_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/pift_tracker.hh"
+#include "core/taint_storage.hh"
+#include "support/expected.hh"
+
+namespace pift::persist
+{
+
+/** Snapshot file magic: "PSNP" little-endian. */
+inline constexpr uint32_t snapshot_magic = 0x504e5350u;
+
+/** Current snapshot wire-format version. */
+inline constexpr uint16_t snapshot_version = 1;
+
+/** The complete durable state captured by one snapshot. */
+struct SnapshotData
+{
+    /**
+     * Snapshot epoch: the number of snapshots taken before this one,
+     * plus one. A missing snapshot file is equivalent to an implicit
+     * empty snapshot at epoch 0 with cursor (0,0). The WAL header
+     * carries the epoch it extends; recovery pairs the two.
+     */
+    uint64_t epoch = 0;
+
+    core::TaintStorageState storage;
+    core::TrackerState tracker;
+};
+
+/** Serialize @p data to the snapshot wire format (with CRC trailer). */
+std::string encodeSnapshot(const SnapshotData &data);
+
+/**
+ * Parse snapshot bytes. Fails (with a message naming the first
+ * violation) on bad magic, unknown version, CRC mismatch, truncated
+ * or over-long input, or any out-of-range field.
+ */
+Expected<SnapshotData> decodeSnapshot(const std::string &bytes);
+
+/** Encode @p data and write it to @p path atomically. */
+Status writeSnapshotFile(const std::string &path,
+                         const SnapshotData &data);
+
+/** Read and decode the snapshot at @p path. */
+Expected<SnapshotData> readSnapshotFile(const std::string &path);
+
+} // namespace pift::persist
+
+#endif // PIFT_PERSIST_SNAPSHOT_HH

@@ -1,0 +1,235 @@
+#include "persist/wal.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include "persist/wire.hh"
+
+namespace pift::persist
+{
+
+std::string
+encodeJournalRecord(const core::JournalRecord &rec)
+{
+    ByteWriter w;
+    w.put8(static_cast<uint8_t>(rec.kind));
+    w.put8(static_cast<uint8_t>(rec.verdict));
+    w.put32(rec.pid);
+    w.put32(rec.start);
+    w.put32(rec.end);
+    w.put32(rec.id);
+    w.put64(rec.ltlt);
+    w.put32(rec.used);
+    w.put64(rec.records_seen);
+    w.put64(rec.controls_seen);
+    return w.takeBytes();
+}
+
+Expected<core::JournalRecord>
+decodeJournalRecord(const std::string &payload)
+{
+    ByteReader r(payload);
+    core::JournalRecord rec;
+    uint8_t kind = r.get8();
+    if (kind >= core::journal_kind_count)
+        return Status::error("wal: bad record kind");
+    rec.kind = static_cast<core::JournalKind>(kind);
+    uint8_t verdict = r.get8();
+    if (verdict > static_cast<uint8_t>(core::SinkVerdict::MaybeTainted))
+        return Status::error("wal: bad record verdict");
+    rec.verdict = static_cast<core::SinkVerdict>(verdict);
+    rec.pid = r.get32();
+    rec.start = r.get32();
+    rec.end = r.get32();
+    rec.id = r.get32();
+    rec.ltlt = r.get64();
+    rec.used = r.get32();
+    rec.records_seen = r.get64();
+    rec.controls_seen = r.get64();
+    if (!r.ok() || r.bytesLeft() != 0)
+        return Status::error("wal: record payload size mismatch");
+    return rec;
+}
+
+WalWriter::~WalWriter()
+{
+    close();
+}
+
+Status
+WalWriter::fail(const std::string &why)
+{
+    broken = true;
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+    return Status::error("wal " + path_ + ": " + why + ": " +
+                         std::strerror(errno));
+}
+
+Status
+WalWriter::open(const std::string &path, uint64_t epoch,
+                bool flush_each_)
+{
+    close();
+    path_ = path;
+    flush_each = flush_each_;
+    broken = false;
+    records = 0;
+    bytes = 0;
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        return fail("cannot create");
+
+    ByteWriter w;
+    w.put32(wal_magic);
+    w.put16(wal_version);
+    w.put16(0); // reserved
+    w.put64(epoch);
+    w.put32(crc32(w.bytes().data(), w.size()));
+    const std::string &hdr = w.bytes();
+    if (std::fwrite(hdr.data(), 1, hdr.size(), file) != hdr.size() ||
+        std::fflush(file) != 0)
+        return fail("header write failed");
+    bytes += hdr.size();
+    return Status();
+}
+
+Status
+WalWriter::append(const core::JournalRecord &rec)
+{
+    if (broken)
+        return Status::error("wal " + path_ + ": writer is broken");
+    if (!file)
+        return Status::error("wal: append before open");
+
+    std::string payload = encodeJournalRecord(rec);
+    ByteWriter frame;
+    frame.put32(static_cast<uint32_t>(payload.size()));
+    frame.put32(crc32(payload.data(), payload.size()));
+    const std::string &hdr = frame.bytes();
+    if (std::fwrite(hdr.data(), 1, hdr.size(), file) != hdr.size() ||
+        std::fwrite(payload.data(), 1, payload.size(), file) !=
+            payload.size())
+        return fail("append failed");
+    if (flush_each && std::fflush(file) != 0)
+        return fail("flush failed");
+    ++records;
+    bytes += hdr.size() + payload.size();
+    return Status();
+}
+
+Status
+WalWriter::flush()
+{
+    if (broken || !file)
+        return Status();
+    if (std::fflush(file) != 0)
+        return fail("flush failed");
+    return Status();
+}
+
+Status
+WalWriter::close()
+{
+    if (!file)
+        return Status();
+    bool bad = std::fflush(file) != 0;
+    if (std::fclose(file) != 0)
+        bad = true;
+    file = nullptr;
+    if (bad) {
+        broken = true;
+        return Status::error("wal " + path_ + ": close failed: " +
+                             std::strerror(errno));
+    }
+    return Status();
+}
+
+WalReadReport
+readWalBytes(const std::string &bytes)
+{
+    WalReadReport report;
+    if (bytes.size() < wal_header_bytes) {
+        report.torn = true;
+        report.detail = "header truncated";
+        return report;
+    }
+    ByteReader hdr(bytes.data(), wal_header_bytes);
+    uint32_t magic = hdr.get32();
+    uint16_t version = hdr.get16();
+    hdr.get16(); // reserved
+    uint64_t epoch = hdr.get64();
+    uint32_t hdr_crc = hdr.get32();
+    if (magic != wal_magic) {
+        report.torn = true;
+        report.detail = "bad magic";
+        return report;
+    }
+    if (hdr_crc != crc32(bytes.data(), wal_header_bytes - 4)) {
+        report.torn = true;
+        report.detail = "header CRC mismatch";
+        return report;
+    }
+    if (version != wal_version) {
+        report.torn = true;
+        report.detail = "unsupported version " +
+            std::to_string(version);
+        return report;
+    }
+    report.header_ok = true;
+    report.epoch = epoch;
+    report.bytes_accepted = wal_header_bytes;
+
+    size_t off = wal_header_bytes;
+    while (off < bytes.size()) {
+        if (bytes.size() - off < 8) {
+            report.torn = true;
+            report.detail = "torn frame header";
+            return report;
+        }
+        ByteReader frame(bytes.data() + off, 8);
+        uint32_t len = frame.get32();
+        uint32_t want_crc = frame.get32();
+        // A frame claiming more payload than any version writes is
+        // corruption, not a large record.
+        if (len != wal_payload_bytes) {
+            report.torn = true;
+            report.detail = "bad frame length " + std::to_string(len);
+            return report;
+        }
+        if (bytes.size() - off - 8 < len) {
+            report.torn = true;
+            report.detail = "torn frame payload";
+            return report;
+        }
+        std::string payload(bytes.data() + off + 8, len);
+        if (want_crc != crc32(payload.data(), payload.size())) {
+            report.torn = true;
+            report.detail = "frame CRC mismatch";
+            return report;
+        }
+        auto rec = decodeJournalRecord(payload);
+        if (!rec.ok()) {
+            report.torn = true;
+            report.detail = rec.message();
+            return report;
+        }
+        report.records.push_back(rec.value());
+        off += 8 + len;
+        report.bytes_accepted = off;
+    }
+    return report;
+}
+
+Expected<WalReadReport>
+readWalFile(const std::string &path)
+{
+    std::string bytes;
+    if (Status s = readFileBytes(path, bytes); !s.ok())
+        return s;
+    return readWalBytes(bytes);
+}
+
+} // namespace pift::persist

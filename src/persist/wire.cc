@@ -1,0 +1,96 @@
+#include "persist/wire.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace pift::persist
+{
+
+namespace
+{
+
+/** Lazily built table for the reflected IEEE polynomial. */
+const std::array<uint32_t, 256> &
+crcTable()
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::string
+errnoMessage(const std::string &what, const std::string &path)
+{
+    return what + " " + path + ": " + std::strerror(errno);
+}
+
+} // anonymous namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    const auto &table = crcTable();
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+Status
+readFileBytes(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return Status::error(errnoMessage("cannot open", path));
+    out.clear();
+    char chunk[1 << 16];
+    size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        out.append(chunk, got);
+    bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    if (bad)
+        return Status::error(errnoMessage("read failed on", path));
+    return Status();
+}
+
+Status
+writeFileBytes(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return Status::error(errnoMessage("cannot create", path));
+    size_t put = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool bad = put != bytes.size() || std::fflush(f) != 0;
+    if (std::fclose(f) != 0)
+        bad = true;
+    if (bad)
+        return Status::error(errnoMessage("write failed on", path));
+    return Status();
+}
+
+Status
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    if (Status s = writeFileBytes(tmp, bytes); !s.ok())
+        return s;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Status::error(errnoMessage("rename failed for", path));
+    }
+    return Status();
+}
+
+} // namespace pift::persist

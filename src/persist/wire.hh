@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Wire-format primitives for the persistence layer (DESIGN.md §11).
+ *
+ * Every durable artifact (snapshot, write-ahead log) is built from
+ * the same three pieces: little-endian fixed-width integers appended
+ * to a byte buffer (ByteWriter), a bounds-checked sequential decoder
+ * that turns any structural violation into a sticky failure instead
+ * of undefined behaviour (ByteReader), and CRC-32 (IEEE, reflected)
+ * over the encoded bytes so corruption is *detected*, never silently
+ * parsed. Encoding is explicit byte-at-a-time, so the on-disk layout
+ * is independent of host struct padding — unlike the trace cache
+ * format, persisted taint state must survive across builds.
+ */
+
+#ifndef PIFT_PERSIST_WIRE_HH
+#define PIFT_PERSIST_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/expected.hh"
+
+namespace pift::persist
+{
+
+/**
+ * CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of @p len
+ * bytes at @p data. @p seed chains partial computations: pass the
+ * previous return value to continue a running checksum.
+ */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
+/** Append-only little-endian encoder over a growable byte buffer. */
+class ByteWriter
+{
+  public:
+    void
+    put8(uint8_t v)
+    {
+        buf.push_back(static_cast<char>(v));
+    }
+
+    void
+    put16(uint16_t v)
+    {
+        put8(static_cast<uint8_t>(v));
+        put8(static_cast<uint8_t>(v >> 8));
+    }
+
+    void
+    put32(uint32_t v)
+    {
+        put16(static_cast<uint16_t>(v));
+        put16(static_cast<uint16_t>(v >> 16));
+    }
+
+    void
+    put64(uint64_t v)
+    {
+        put32(static_cast<uint32_t>(v));
+        put32(static_cast<uint32_t>(v >> 32));
+    }
+
+    const std::string &bytes() const { return buf; }
+    std::string takeBytes() { return std::move(buf); }
+    size_t size() const { return buf.size(); }
+
+  private:
+    std::string buf;
+};
+
+/**
+ * Bounds-checked little-endian decoder. Any read past the end sets a
+ * sticky failure flag and returns zeros; callers check ok() once at
+ * the end of a section instead of after every field (the zeros are
+ * never acted upon when ok() is checked before use).
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const void *data, size_t len)
+        : ptr(static_cast<const uint8_t *>(data)), remaining(len)
+    {}
+
+    explicit ByteReader(const std::string &bytes)
+        : ByteReader(bytes.data(), bytes.size())
+    {}
+
+    uint8_t
+    get8()
+    {
+        if (remaining < 1) {
+            failed = true;
+            return 0;
+        }
+        --remaining;
+        return *ptr++;
+    }
+
+    uint16_t
+    get16()
+    {
+        uint16_t lo = get8();
+        return static_cast<uint16_t>(lo | (get8() << 8));
+    }
+
+    uint32_t
+    get32()
+    {
+        uint32_t lo = get16();
+        return lo | (static_cast<uint32_t>(get16()) << 16);
+    }
+
+    uint64_t
+    get64()
+    {
+        uint64_t lo = get32();
+        return lo | (static_cast<uint64_t>(get32()) << 32);
+    }
+
+    /** True while every read so far was in bounds. */
+    bool ok() const { return !failed; }
+
+    size_t bytesLeft() const { return remaining; }
+
+  private:
+    const uint8_t *ptr;
+    size_t remaining;
+    bool failed = false;
+};
+
+/** Read a whole file into @p out. @return error Status on failure. */
+Status readFileBytes(const std::string &path, std::string &out);
+
+/** Write @p bytes to @p path (truncating). */
+Status writeFileBytes(const std::string &path,
+                      const std::string &bytes);
+
+/**
+ * Write @p bytes to @p path atomically: write to "<path>.tmp", flush,
+ * then rename over @p path, so a crash mid-write leaves either the
+ * old file or the new one — never a torn mixture. (Media-level
+ * corruption is still possible and is what the checksums are for.)
+ */
+Status writeFileAtomic(const std::string &path,
+                       const std::string &bytes);
+
+} // namespace pift::persist
+
+#endif // PIFT_PERSIST_WIRE_HH

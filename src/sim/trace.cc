@@ -29,9 +29,18 @@ TraceBuffer::onControl(const ControlEvent &ev)
 void
 replay(const Trace &trace, TraceSink &sink)
 {
-    size_t ci = 0;
+    replayFrom(trace, sink, 0, 0);
+}
+
+void
+replayFrom(const Trace &trace, TraceSink &sink, SeqNum records_done,
+           uint64_t controls_done)
+{
+    size_t ci = static_cast<size_t>(
+        std::min<uint64_t>(controls_done, trace.controls.size()));
     const size_t nc = trace.controls.size();
-    for (size_t ri = 0; ri < trace.records.size(); ++ri) {
+    for (size_t ri = static_cast<size_t>(records_done);
+         ri < trace.records.size(); ++ri) {
         // Deliver controls that were published before this record.
         while (ci < nc && trace.controls[ci].seq <= ri)
             sink.onControl(trace.controls[ci++]);

@@ -152,6 +152,17 @@ class TraceBuffer : public TraceSink
  */
 void replay(const Trace &trace, TraceSink &sink);
 
+/**
+ * Resume a replay mid-stream: deliver exactly the events that
+ * replay() would deliver after its first @p records_done records and
+ * @p controls_done control events, in the same interleaving. The
+ * cursor pair uniquely identifies a position in the merged stream, so
+ * replayFrom(trace, sink, 0, 0) is identical to replay(trace, sink).
+ * Used by crash recovery to re-drive the suffix a crash lost.
+ */
+void replayFrom(const Trace &trace, TraceSink &sink,
+                SeqNum records_done, uint64_t controls_done);
+
 } // namespace pift::sim
 
 #endif // PIFT_SIM_TRACE_HH

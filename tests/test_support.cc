@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Direct coverage for the support layer: Status/Expected plumbing
+ * and the warning rate limiter. These primitives carry every
+ * recoverable failure in the repo (trace I/O, persistence, degraded
+ * hardware paths), so their contracts are pinned here rather than
+ * only exercised incidentally.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "support/expected.hh"
+#include "support/logging.hh"
+
+using namespace pift;
+
+namespace
+{
+
+Expected<int>
+parsePositive(int v)
+{
+    if (v <= 0)
+        return Status::error("not positive");
+    return v;
+}
+
+} // namespace
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(static_cast<bool>(s));
+    EXPECT_EQ(s.message(), "");
+}
+
+TEST(Status, ErrorCarriesMessage)
+{
+    Status s = Status::error("disk on fire");
+    EXPECT_FALSE(s.ok());
+    EXPECT_FALSE(static_cast<bool>(s));
+    EXPECT_EQ(s.message(), "disk on fire");
+}
+
+TEST(Status, CopiesPreserveState)
+{
+    Status s = Status::error("original");
+    Status t = s;
+    EXPECT_FALSE(t.ok());
+    EXPECT_EQ(t.message(), "original");
+}
+
+TEST(Expected, HoldsValueOnSuccess)
+{
+    auto e = parsePositive(42);
+    ASSERT_TRUE(e.ok());
+    EXPECT_TRUE(static_cast<bool>(e));
+    EXPECT_EQ(e.value(), 42);
+    EXPECT_EQ(e.valueOr(-1), 42);
+    EXPECT_TRUE(e.status().ok());
+    EXPECT_EQ(e.message(), "");
+}
+
+TEST(Expected, PropagatesStatusOnFailure)
+{
+    auto e = parsePositive(-3);
+    EXPECT_FALSE(e.ok());
+    EXPECT_FALSE(static_cast<bool>(e));
+    EXPECT_EQ(e.message(), "not positive");
+    EXPECT_EQ(e.valueOr(-1), -1);
+}
+
+TEST(Expected, ValueIsMutableThroughAccessor)
+{
+    Expected<std::string> e(std::string("abc"));
+    e.value() += "def";
+    EXPECT_EQ(e.value(), "abcdef");
+}
+
+TEST(Expected, MoveOnlyFlow)
+{
+    // Expected must not require copyable values.
+    Expected<std::unique_ptr<int>> e(std::make_unique<int>(7));
+    ASSERT_TRUE(e.ok());
+    std::unique_ptr<int> v = std::move(e.value());
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 7);
+}
+
+TEST(WarnRateLimit, AllowsExactlyLimitPerKey)
+{
+    resetWarnRateLimits();
+    const std::string key = "test_support.allow";
+    int allowed = 0;
+    for (int i = 0; i < 10; ++i)
+        if (warnRateLimit(key, 3))
+            ++allowed;
+    EXPECT_EQ(allowed, 3);
+
+    // A different key has its own budget.
+    EXPECT_TRUE(warnRateLimit("test_support.other", 3));
+}
+
+TEST(WarnRateLimit, ResetRestoresBudget)
+{
+    resetWarnRateLimits();
+    const std::string key = "test_support.reset";
+    EXPECT_TRUE(warnRateLimit(key, 1));
+    EXPECT_FALSE(warnRateLimit(key, 1));
+    resetWarnRateLimits();
+    EXPECT_TRUE(warnRateLimit(key, 1));
+}
+
+TEST(WarnRateLimit, SuppressedWarnsStayCountable)
+{
+    resetWarnRateLimits();
+    uint64_t warns_before = warnCount();
+    uint64_t suppressed_before = warnSuppressedCount();
+
+    // The macro warns twice, then suppresses — but every call must
+    // remain visible through the counters: rate limiting hides
+    // output, not incidents.
+    for (int i = 0; i < 5; ++i)
+        pift_warn_limited(2, "rate-limit test warning %d", i);
+
+    EXPECT_EQ(warnCount() - warns_before, 5u);
+    EXPECT_EQ(warnSuppressedCount() - suppressed_before, 3u);
+}
+
+TEST(WarnRateLimit, MacroKeysBySite)
+{
+    resetWarnRateLimits();
+    uint64_t suppressed_before = warnSuppressedCount();
+    // Two distinct call sites, one emission each: neither suppresses.
+    pift_warn_limited(1, "site one");
+    pift_warn_limited(1, "site two");
+    EXPECT_EQ(warnSuppressedCount() - suppressed_before, 0u);
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Stdlib-only JSON Schema checking shared by the bench validators.
+
+Implements the subset of JSON Schema draft-07 the checked-in schemas
+use (type, enum, anyOf, required, properties, items, minimum,
+minLength, pattern), so CI needs no third-party jsonschema package.
+
+Each validator (validate_telemetry.py, validate_parallel.py,
+validate_recovery.py) layers its own semantic checks on top and calls
+run_validator() with them.
+"""
+
+import json
+import re
+import sys
+
+
+def type_ok(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    raise ValueError(f"unsupported schema type {expected!r}")
+
+
+def validate(value, schema, path, errors):
+    if "anyOf" in schema:
+        for sub in schema["anyOf"]:
+            probe = []
+            validate(value, sub, path, probe)
+            if not probe:
+                break
+        else:
+            errors.append(f"{path}: matches no anyOf branch")
+        return
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+        return
+
+    expected = schema.get("type")
+    if expected and not type_ok(value, expected):
+        errors.append(f"{path}: expected {expected}, "
+                      f"got {type(value).__name__}")
+        return
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+    elif isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+    elif isinstance(value, str):
+        if len(value) < schema.get("minLength", 0):
+            errors.append(f"{path}: shorter than minLength")
+        pattern = schema.get("pattern")
+        if pattern and not re.search(pattern, value):
+            errors.append(f"{path}: {value!r} does not match "
+                          f"{pattern!r}")
+    if (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and "minimum" in schema and value < schema["minimum"]):
+        errors.append(f"{path}: {value} below minimum "
+                      f"{schema['minimum']}")
+
+
+def run_validator(argv, default_schema, semantic_checks, summarize,
+                  usage):
+    """Shared main(): load report + schema, validate both layers.
+
+    @param semantic_checks callable(report, errors) for the checks a
+           type system cannot express
+    @param summarize callable(report) -> str appended to the OK line
+    @param usage one-line usage string for bad invocations
+    """
+    if len(argv) not in (2, 3):
+        print(usage, file=sys.stderr)
+        return 2
+    report_path = argv[1]
+    schema_path = argv[2] if len(argv) == 3 else default_schema
+
+    with open(report_path) as f:
+        report = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    errors = []
+    validate(report, schema, "$", errors)
+    semantic_checks(report, errors)
+
+    if errors:
+        for err in errors:
+            print(f"FAIL {report_path}: {err}", file=sys.stderr)
+        return 1
+    print(f"OK {report_path}: schema-valid, {summarize(report)}")
+    return 0

@@ -3,9 +3,9 @@
 
 Usage: validate_parallel.py <report.json> [schema.json]
 
-Reuses the stdlib-only draft-07 subset validator from
-validate_telemetry.py, then applies the semantic checks a type system
-cannot express:
+Schema checking lives in schema_check.py (stdlib-only draft-07
+subset, shared with the other bench validators). The semantic checks
+here are the ones a type system cannot express:
 
  - `deterministic` must be true: every pool width reproduced the
    serial Figure 11 grid exactly (byte-identical results are the
@@ -20,12 +20,11 @@ cannot express:
    unfalsifiable and only the structural checks apply.
 """
 
-import json
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from validate_telemetry import validate  # noqa: E402
+from schema_check import run_validator  # noqa: E402
 
 
 def semantic_checks(report, errors):
@@ -65,33 +64,19 @@ def semantic_checks(report, errors):
                           f"with {hardware} hardware jobs available")
 
 
-def main(argv):
-    if len(argv) not in (2, 3):
-        print(__doc__.strip().splitlines()[2], file=sys.stderr)
-        return 2
-    report_path = argv[1]
-    schema_path = (argv[2] if len(argv) == 3
-                   else "schemas/bench_parallel.schema.json")
-
-    with open(report_path) as f:
-        report = json.load(f)
-    with open(schema_path) as f:
-        schema = json.load(f)
-
-    errors = []
-    validate(report, schema, "$", errors)
-    semantic_checks(report, errors)
-
-    if errors:
-        for err in errors:
-            print(f"FAIL {report_path}: {err}", file=sys.stderr)
-        return 1
+def summarize(report):
     runs = report.get("runs", [])
     best = max((r.get("speedup", 0.0) for r in runs), default=0.0)
-    print(f"OK {report_path}: schema-valid, {len(runs)} widths, "
-          f"hardware_jobs={report.get('hardware_jobs')}, "
-          f"best speedup {best:.2f}x")
-    return 0
+    return (f"{len(runs)} widths, "
+            f"hardware_jobs={report.get('hardware_jobs')}, "
+            f"best speedup {best:.2f}x")
+
+
+def main(argv):
+    return run_validator(
+        argv, "schemas/bench_parallel.schema.json", semantic_checks,
+        summarize,
+        "Usage: validate_parallel.py <report.json> [schema.json]")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validate a durable-state recovery bench report against its schema.
+
+Usage: validate_recovery.py <report.json> [schema.json]
+
+Schema checking lives in schema_check.py (stdlib-only draft-07
+subset, shared with the other bench validators). The semantic checks
+are the durability invariants the crash differential proves — they
+are deterministic, so CI gates on them hard:
+
+ - silent_fn == 0: no crash point ever turned a golden Tainted
+   verdict into a silent Clean;
+ - false_positives == 0: no crash point invented a Tainted verdict;
+ - exact + detected == points: every crash point landed in one of
+   the two permitted outcomes (no third bucket);
+ - wal_bytes == header + frames * journal_records: the WAL is
+   exactly the length-prefixed framing it claims (no slack, no
+   truncation in the uncrashed artifact);
+ - recovery rows are sorted by surviving WAL length (the bench cuts
+   at increasing fractions).
+
+Timing fields (journal overhead, snapshot write/load, recovery ms)
+are informational: wall-clock gates are flaky on shared CI runners,
+so the JSON carries the numbers and humans watch the trajectory.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from schema_check import run_validator  # noqa: E402
+
+
+def semantic_checks(report, errors):
+    sweep = report.get("crash_sweep", {})
+    if sweep.get("silent_fn", -1) != 0:
+        errors.append(f"crash_sweep.silent_fn: "
+                      f"{sweep.get('silent_fn')} != 0 (a crash "
+                      f"point silently lost a Tainted verdict)")
+    if sweep.get("false_positives", -1) != 0:
+        errors.append(f"crash_sweep.false_positives: "
+                      f"{sweep.get('false_positives')} != 0")
+    points = sweep.get("points", 0)
+    exact = sweep.get("exact", 0)
+    detected = sweep.get("detected", 0)
+    if exact + detected != points:
+        errors.append(f"crash_sweep: exact {exact} + detected "
+                      f"{detected} != points {points} (unclassified "
+                      f"crash outcomes)")
+
+    header = report.get("wal_header_bytes", 0)
+    frame = report.get("wal_frame_bytes", 0)
+    nrec = report.get("journal_records", 0)
+    expect = header + frame * nrec
+    if report.get("wal_bytes") != expect:
+        errors.append(f"wal_bytes: expected header + frames = "
+                      f"{expect}, got {report.get('wal_bytes')}")
+
+    rows = report.get("recovery", [])
+    lengths = [r.get("wal_records", 0) for r in rows
+               if isinstance(r, dict)]
+    if lengths != sorted(lengths):
+        errors.append(f"recovery: wal_records not ascending: "
+                      f"{lengths}")
+
+
+def summarize(report):
+    sweep = report.get("crash_sweep", {})
+    return (f"{sweep.get('points')} crash points "
+            f"({sweep.get('exact')} exact, "
+            f"{sweep.get('detected')} detected), "
+            f"journal_overhead_pct="
+            f"{report.get('journal_overhead_pct')}")
+
+
+def main(argv):
+    return run_validator(
+        argv, "schemas/bench_recovery.schema.json", semantic_checks,
+        summarize,
+        "Usage: validate_recovery.py <report.json> [schema.json]")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,81 +3,18 @@
 
 Usage: validate_telemetry.py <report.json> [schema.json]
 
-Implements the subset of JSON Schema draft-07 the checked-in schema
-uses (type, enum, anyOf, required, properties, items, minimum,
-minLength, pattern) with the standard library only, so CI needs no
-third-party jsonschema package.
-
-Beyond the schema, a few semantic checks that a type system cannot
-express: instrument names must be unique and sorted (snapshot
-determinism), and histogram bucket counts must sum to the histogram
-count.
+Schema checking (a stdlib-only draft-07 subset) lives in
+schema_check.py, shared with the other bench validators. This layer
+adds the semantic checks a type system cannot express: instrument
+names must be unique and sorted (snapshot determinism), and histogram
+bucket counts must sum to the histogram count.
 """
 
-import json
-import re
+import os
 import sys
 
-
-def type_ok(value, expected):
-    if expected == "object":
-        return isinstance(value, dict)
-    if expected == "array":
-        return isinstance(value, list)
-    if expected == "string":
-        return isinstance(value, str)
-    if expected == "boolean":
-        return isinstance(value, bool)
-    if expected == "integer":
-        return isinstance(value, int) and not isinstance(value, bool)
-    if expected == "number":
-        return (isinstance(value, (int, float))
-                and not isinstance(value, bool))
-    raise ValueError(f"unsupported schema type {expected!r}")
-
-
-def validate(value, schema, path, errors):
-    if "anyOf" in schema:
-        for sub in schema["anyOf"]:
-            probe = []
-            validate(value, sub, path, probe)
-            if not probe:
-                break
-        else:
-            errors.append(f"{path}: matches no anyOf branch")
-        return
-
-    if "enum" in schema and value not in schema["enum"]:
-        errors.append(f"{path}: {value!r} not in {schema['enum']}")
-        return
-
-    expected = schema.get("type")
-    if expected and not type_ok(value, expected):
-        errors.append(f"{path}: expected {expected}, "
-                      f"got {type(value).__name__}")
-        return
-
-    if isinstance(value, dict):
-        for key in schema.get("required", []):
-            if key not in value:
-                errors.append(f"{path}: missing required key {key!r}")
-        for key, sub in schema.get("properties", {}).items():
-            if key in value:
-                validate(value[key], sub, f"{path}.{key}", errors)
-    elif isinstance(value, list) and "items" in schema:
-        for i, item in enumerate(value):
-            validate(item, schema["items"], f"{path}[{i}]", errors)
-    elif isinstance(value, str):
-        if len(value) < schema.get("minLength", 0):
-            errors.append(f"{path}: shorter than minLength")
-        pattern = schema.get("pattern")
-        if pattern and not re.search(pattern, value):
-            errors.append(f"{path}: {value!r} does not match "
-                          f"{pattern!r}")
-    if (isinstance(value, (int, float)) and not isinstance(value, bool)
-            and "minimum" in schema and value < schema["minimum"]):
-        errors.append(f"{path}: {value} below minimum "
-                      f"{schema['minimum']}")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from schema_check import run_validator  # noqa: E402
 
 
 def semantic_checks(report, errors):
@@ -102,31 +39,17 @@ def semantic_checks(report, errors):
                               f"count says {inst.get('count')}")
 
 
-def main(argv):
-    if len(argv) not in (2, 3):
-        print(__doc__.strip().splitlines()[2], file=sys.stderr)
-        return 2
-    report_path = argv[1]
-    schema_path = (argv[2] if len(argv) == 3
-                   else "schemas/bench_telemetry.schema.json")
-
-    with open(report_path) as f:
-        report = json.load(f)
-    with open(schema_path) as f:
-        schema = json.load(f)
-
-    errors = []
-    validate(report, schema, "$", errors)
-    semantic_checks(report, errors)
-
-    if errors:
-        for err in errors:
-            print(f"FAIL {report_path}: {err}", file=sys.stderr)
-        return 1
+def summarize(report):
     ninstr = len(report.get("instruments", []))
-    print(f"OK {report_path}: schema-valid, {ninstr} instruments, "
-          f"overhead_pct={report.get('overhead_pct')}")
-    return 0
+    return (f"{ninstr} instruments, "
+            f"overhead_pct={report.get('overhead_pct')}")
+
+
+def main(argv):
+    return run_validator(
+        argv, "schemas/bench_telemetry.schema.json", semantic_checks,
+        summarize,
+        "Usage: validate_telemetry.py <report.json> [schema.json]")
 
 
 if __name__ == "__main__":
