@@ -1,15 +1,28 @@
 /**
  * @file
- * Static oracle vs dynamic PIFT: classify every DroidBench app
- * without executing it, cross-check against the replay verdicts at
- * the paper's operating point (NI=13, NT=3), and compare the window
- * bounds derived from the handler templates with the Figure 11 sweep
- * optimum. Everything here is deterministic: no execution feeds the
- * static side, and the replays are exact — the dynamic verdicts and
- * the sweep-optimum search fan out over the exec pool (`--jobs N`)
- * with byte-identical output at every width.
+ * Static oracle vs dynamic PIFT: classify every registry app (the
+ * DroidBench suite plus the malware analogs) without executing it,
+ * under both oracle modes — explicit-only and implicit-flow — then
+ * cross-check against the replay verdicts at the paper's operating
+ * point (NI=13, NT=3), derive the per-app static policy table, and
+ * compare the joined policy with the Figure 11 sweep optimum.
+ *
+ * Emits BENCH_static_oracle.json (per-mode confusion counts, per-app
+ * verdict agreement, policy table, wall times), validated in CI
+ * against schemas/bench_static_oracle.schema.json by
+ * tools/validate_static_oracle.py.
+ *
+ * Everything here is deterministic: no execution feeds the static
+ * side, and the replays are exact — the dynamic verdicts and the
+ * sweep-optimum search fan out over the exec pool (`--jobs N`) with
+ * byte-identical output at every width.
+ *
+ * Usage: bench_static_oracle [--jobs N] [--out FILE]
  */
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <memory>
 
 #include "bench/common.hh"
@@ -17,34 +30,93 @@
 #include "analysis/crosscheck.hh"
 #include "droidbench/static_oracle.hh"
 #include "exec/thread_pool.hh"
+#include "static/policy.hh"
 #include "static/window.hh"
 
 using namespace pift;
+
+namespace
+{
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+void
+printAccuracy(const char *label, const analysis::Accuracy &a)
+{
+    std::printf("  %-22s TP=%-3u FP=%-3u TN=%-3u FN=%-3u "
+                "accuracy %.1f%%\n", label, a.tp, a.fp, a.tn, a.fn,
+                100.0 * a.accuracy());
+}
+
+void
+emitAccuracy(std::ofstream &os, const char *key,
+             const analysis::Accuracy &a)
+{
+    os << "  \"" << key << "\": {\"tp\": " << a.tp
+       << ", \"fp\": " << a.fp << ", \"tn\": " << a.tn
+       << ", \"fn\": " << a.fn << ", \"accuracy_pct\": "
+       << 100.0 * a.accuracy() << "},\n";
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     argc = exec::stripJobsFlag(argc, argv);
     if (argc < 0) {
-        std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+        std::fprintf(stderr, "usage: %s [--jobs N] [--out FILE]\n",
+                     argv[0]);
         return 2;
+    }
+    std::string out_path = "BENCH_static_oracle.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
     }
 
     benchx::Phase phase("static taint oracle vs dynamic PIFT",
                    "Sections 3-5 (static cross-check)");
 
-    // --- Static sweep: whole registry, no execution. ---------------
+    // --- Static sweep: whole registry, both modes, no execution. ---
+    auto t_static = std::chrono::steady_clock::now();
     auto verdicts =
         droidbench::staticSweep(droidbench::droidBenchApps());
+    auto malware_verdicts =
+        droidbench::staticSweep(droidbench::malwareApps());
+    double static_ms = msSince(t_static);
 
-    std::printf("%-36s %-8s %-8s\n", "app", "truth", "static");
-    for (const auto &v : verdicts)
-        std::printf("%-36s %-8s %-8s%s\n", v.name.c_str(),
+    std::vector<droidbench::StaticVerdict> all = verdicts;
+    all.insert(all.end(), malware_verdicts.begin(),
+               malware_verdicts.end());
+
+    std::printf("%-36s %-8s %-10s %-10s\n", "app", "truth",
+                "explicit", "implicit");
+    for (const auto &v : all)
+        std::printf("%-36s %-8s %-10s %-10s%s\n", v.name.c_str(),
                     v.leaks_truth ? "leaks" : "benign",
                     v.static_leaks ? "leaks" : "benign",
-                    v.leaks_truth == v.static_leaks ? "" : "  <-- miss");
+                    v.implicit_leaks ? "leaks" : "benign",
+                    v.leaks_truth == v.implicit_leaks
+                        ? (v.leaks_truth == v.static_leaks
+                               ? ""
+                               : "  <-- implicit only")
+                        : "  <-- miss");
 
     // --- Dynamic verdicts at the paper's operating point. ----------
+    auto t_dynamic = std::chrono::steady_clock::now();
     const auto &set = benchx::suiteTraces();
     core::PiftParams params;
     params.ni = 13;
@@ -58,32 +130,50 @@ main(int argc, char **argv)
         p.name = v.name;
         p.truth = v.leaks_truth;
         p.static_leaks = v.static_leaks;
+        p.implicit_leaks = v.implicit_leaks;
         for (const auto &item : set)
             if (item.name == v.name)
                 p.dynamic_leaks =
                     analysis::piftDetectsLeak(item.trace, params);
     });
     auto cc = analysis::crossCheck(pairs);
+    double dynamic_ms = msSince(t_dynamic);
 
-    std::printf("\nconfusion vs ground truth:\n");
-    std::printf("  %-22s TP=%-3u FP=%-3u TN=%-3u FN=%-3u "
-                "accuracy %.1f%%\n", "static oracle:",
-                cc.static_vs_truth.tp, cc.static_vs_truth.fp,
-                cc.static_vs_truth.tn, cc.static_vs_truth.fn,
-                100.0 * cc.static_vs_truth.accuracy());
-    std::printf("  %-22s TP=%-3u FP=%-3u TN=%-3u FN=%-3u "
-                "accuracy %.1f%%\n", "dynamic (NI=13,NT=3):",
-                cc.dynamic_vs_truth.tp, cc.dynamic_vs_truth.fp,
-                cc.dynamic_vs_truth.tn, cc.dynamic_vs_truth.fn,
-                100.0 * cc.dynamic_vs_truth.accuracy());
+    std::printf("\nconfusion vs ground truth (DroidBench suite):\n");
+    printAccuracy("explicit oracle:", cc.static_vs_truth);
+    printAccuracy("implicit oracle:", cc.implicit_vs_truth);
+    printAccuracy("dynamic (NI=13,NT=3):", cc.dynamic_vs_truth);
 
-    std::printf("\nstatic vs dynamic agreement matrix:\n");
+    std::printf("\nexplicit static vs dynamic agreement matrix:\n");
     std::printf("  both leaky %-3u  static only %-3u\n", cc.both_flag,
                 cc.static_only);
     std::printf("  dynamic only %-3u  both benign %-3u\n",
                 cc.dynamic_only, cc.both_clean);
     for (const auto &name : cc.disagreements)
         std::printf("  disagreement: %s\n", name.c_str());
+    std::printf("  implicit vs dynamic disagreements: %zu\n",
+                cc.implicit_disagreements.size());
+    for (const auto &name : cc.implicit_disagreements)
+        std::printf("  implicit disagreement: %s\n", name.c_str());
+
+    // --- Per-app policy table and the joined device policy. --------
+    auto t_policy = std::chrono::steady_clock::now();
+    auto policies =
+        droidbench::derivePolicies(droidbench::droidBenchApps());
+    auto malware_policies =
+        droidbench::derivePolicies(droidbench::malwareApps());
+    policies.insert(policies.end(), malware_policies.begin(),
+                    malware_policies.end());
+    double policy_ms = msSince(t_policy);
+
+    std::printf("\nper-app static policy (risky rows only; full "
+                "table in the JSON report):\n");
+    std::vector<static_analysis::StaticPolicy> risky;
+    for (const auto &p : policies)
+        if (p.implicit_risk)
+            risky.push_back(p);
+    std::printf("%s",
+                static_analysis::formatPolicyTable(risky).c_str());
 
     // --- Window bounds derived from the handler templates. ---------
     auto derivation = static_analysis::deriveWindowBounds();
@@ -98,11 +188,108 @@ main(int argc, char **argv)
                 derivation.derived_ni, derivation.derived_nt);
 
     // Figure 11 sweep optimum: smallest NI (then NT) at 100%.
+    auto t_sweep = std::chrono::steady_clock::now();
     auto bound = analysis::windowBoundSearch(set);
+    double sweep_ms = msSince(t_sweep);
     std::printf("  Figure 11 sweep optimum: (NI=%u, NT=%u)\n",
                 bound.ni, bound.nt);
     std::printf("  delta: (%d, %d)\n",
                 derivation.derived_ni - static_cast<int>(bound.ni),
                 derivation.derived_nt - static_cast<int>(bound.nt));
-    return 0;
+
+    auto pc = analysis::policyCrossCheck(policies, bound);
+    std::printf("  joined static policy: (NI=%d, NT=%d), %u risky "
+                "app(s), %s the optimum\n", pc.joined.ni,
+                pc.joined.nt, pc.risky_apps,
+                pc.covers ? "covers" : "DOES NOT COVER");
+
+    unsigned malware_explicit = 0;
+    unsigned malware_implicit = 0;
+    for (const auto &v : malware_verdicts) {
+        malware_explicit += v.static_leaks ? 1 : 0;
+        malware_implicit += v.implicit_leaks ? 1 : 0;
+    }
+
+    // --- JSON report. ----------------------------------------------
+    std::ofstream os(out_path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n",
+                     out_path.c_str());
+        return 2;
+    }
+    os << "{\n";
+    os << "  \"bench\": \"bench_static_oracle\",\n";
+    os << "  \"apps\": " << all.size() << ",\n";
+    os << "  \"suite_apps\": " << verdicts.size() << ",\n";
+    os << "  \"malware_apps\": " << malware_verdicts.size() << ",\n";
+    emitAccuracy(os, "explicit", cc.static_vs_truth);
+    emitAccuracy(os, "implicit", cc.implicit_vs_truth);
+    emitAccuracy(os, "dynamic", cc.dynamic_vs_truth);
+    os << "  \"agreement\": {\"both_flag\": " << cc.both_flag
+       << ", \"both_clean\": " << cc.both_clean
+       << ", \"static_only\": " << cc.static_only
+       << ", \"dynamic_only\": " << cc.dynamic_only
+       << ", \"implicit_dynamic_disagreements\": "
+       << cc.implicit_disagreements.size() << "},\n";
+    os << "  \"malware\": {\"apps\": " << malware_verdicts.size()
+       << ", \"explicit_detected\": " << malware_explicit
+       << ", \"implicit_detected\": " << malware_implicit << "},\n";
+    os << "  \"policy\": {\"joined_ni\": " << pc.joined.ni
+       << ", \"joined_nt\": " << pc.joined.nt
+       << ", \"risky_apps\": " << pc.risky_apps
+       << ", \"derived_ni\": " << derivation.derived_ni
+       << ", \"derived_nt\": " << derivation.derived_nt
+       << ", \"optimum_ni\": " << bound.ni
+       << ", \"optimum_nt\": " << bound.nt
+       << ", \"covers_optimum\": "
+       << (pc.covers ? "true" : "false") << "},\n";
+    os << "  \"per_app\": [\n";
+    for (size_t i = 0; i < all.size(); ++i) {
+        const auto &v = all[i];
+        const auto &p = policies[i];
+        bool dyn = false;
+        bool has_dyn = i < pairs.size();
+        if (has_dyn)
+            dyn = pairs[i].dynamic_leaks;
+        os << "    {\"name\": \"" << v.name << "\", \"truth\": "
+           << (v.leaks_truth ? "true" : "false")
+           << ", \"explicit\": "
+           << (v.static_leaks ? "true" : "false")
+           << ", \"implicit\": "
+           << (v.implicit_leaks ? "true" : "false");
+        if (has_dyn)
+            os << ", \"dynamic\": " << (dyn ? "true" : "false");
+        os << ", \"ni\": " << p.ni << ", \"nt\": " << p.nt
+           << ", \"implicit_risk\": "
+           << (p.implicit_risk ? "true" : "false")
+           << ", \"untaint\": \""
+           << (p.untaint_mode ==
+                       static_analysis::UntaintMode::Keep
+                   ? "keep"
+                   : "scrub")
+           << "\"}" << (i + 1 < all.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"wall_ms\": {\"static_sweep\": " << static_ms
+       << ", \"dynamic_replay\": " << dynamic_ms
+       << ", \"policy\": " << policy_ms
+       << ", \"sweep_optimum\": " << sweep_ms << "}\n";
+    os << "}\n";
+    os.flush();
+    if (!os) {
+        std::fprintf(stderr, "short write to '%s'\n",
+                     out_path.c_str());
+        return 2;
+    }
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    bool invariants = cc.static_vs_truth.fp == 0 &&
+        cc.implicit_vs_truth.fp == 0 &&
+        cc.implicit_vs_truth.fn == 0 &&
+        malware_implicit == malware_verdicts.size() && pc.covers;
+    std::printf("verdict: %s\n",
+                invariants
+                    ? "implicit mode closes the FNs with zero FPs"
+                    : "INVARIANT VIOLATION");
+    return invariants ? 0 : 1;
 }

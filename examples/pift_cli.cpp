@@ -9,6 +9,9 @@
  *   capture <app> <file>         save the app's trace to disk
  *   replay <file> [NI NT]        evaluate a saved trace
  *   static-check [app]           verify bytecode + static taint oracle
+ *   policy [app]                 per-app static policy table (NI, NT,
+ *                                untaint mode, implicit risk) and the
+ *                                joined device-wide window
  *   telemetry [options]          replay the registry under telemetry,
  *                                print a metrics snapshot, write
  *                                BENCH_telemetry.json (+ trace files)
@@ -47,7 +50,9 @@
 #include "persist/recovery.hh"
 #include "sim/trace_io.hh"
 #include "static/oracle.hh"
+#include "static/policy.hh"
 #include "static/verifier.hh"
+#include "static/window.hh"
 #include "telemetry/telemetry.hh"
 
 using namespace pift;
@@ -239,6 +244,53 @@ cmdStaticCheck(const std::string &name)
     for (const auto &entry : droidbench::malwareApps())
         rc |= staticCheckApp(entry);
     return rc;
+}
+
+/**
+ * Per-app static policy table. Every row is derived without
+ * executing the app: the call-graph walk collects the opcodes and
+ * branches the app can reach, the two oracle modes decide whether it
+ * carries implicit risk, and the window derivation turns that into
+ * per-app (NI, NT) plus the untaint mode. The joined row is the
+ * device-wide policy a fleet operator would load.
+ */
+int
+cmdPolicy(const std::string &name)
+{
+    auto policies =
+        droidbench::derivePolicies(droidbench::droidBenchApps());
+    auto malware =
+        droidbench::derivePolicies(droidbench::malwareApps());
+    policies.insert(policies.end(), malware.begin(), malware.end());
+
+    if (!name.empty()) {
+        for (const auto &p : policies) {
+            if (p.app != name)
+                continue;
+            std::printf("%s", static_analysis::formatPolicyTable(
+                                  {p}).c_str());
+            return 0;
+        }
+        std::fprintf(stderr, "unknown app '%s' (try 'list')\n",
+                     name.c_str());
+        return 2;
+    }
+
+    std::printf("%s",
+                static_analysis::formatPolicyTable(policies).c_str());
+    auto joined = static_analysis::joinPolicies(policies);
+    auto derivation = static_analysis::deriveWindowBounds();
+    unsigned risky = 0;
+    for (const auto &p : policies)
+        risky += p.implicit_risk ? 1 : 0;
+    std::printf("\njoined device policy: NI=%d NT=%d (%u risky "
+                "app(s); global derivation NI=%d NT=%d)\n",
+                joined.ni, joined.nt, risky, derivation.derived_ni,
+                derivation.derived_nt);
+    return joined.ni == derivation.derived_ni &&
+                   joined.nt == derivation.derived_nt
+               ? 0
+               : 1;
 }
 
 /**
@@ -541,6 +593,7 @@ usage()
                  "       pift_cli capture <app> <file>\n"
                  "       pift_cli replay <file> [NI NT]\n"
                  "       pift_cli static-check [app]\n"
+                 "       pift_cli policy [app]\n"
                  "       pift_cli telemetry [--registry] [--out FILE]"
                  " [--trace FILE] [--jsonl FILE]\n"
                  "       pift_cli snapshot <app> <dir> [--every N]"
@@ -580,6 +633,8 @@ main(int argc, char **argv)
         return cmdReplay(argv[2], num(3, 13), num(4, 3));
     if (cmd == "static-check")
         return cmdStaticCheck(argc >= 3 ? argv[2] : "");
+    if (cmd == "policy")
+        return cmdPolicy(argc >= 3 ? argv[2] : "");
     if (cmd == "telemetry")
         return cmdTelemetry(argc, argv);
     if (cmd == "snapshot")

@@ -1,11 +1,16 @@
 /**
  * @file
- * Static-vs-dynamic verdict cross-check.
+ * Static-vs-dynamic verdict and policy cross-check.
  *
- * Pairs the static oracle's per-app classification with the dynamic
- * PIFT replay verdict and summarises both against ground truth plus
- * their mutual agreement matrix. Pure data plumbing — the verdicts
- * themselves come from droidbench/static_oracle.hh and evaluate.hh.
+ * Pairs the static oracle's per-app classifications (both modes:
+ * explicit-only and implicit-flow) with the dynamic PIFT replay
+ * verdict and summarises all three against ground truth plus the
+ * mutual agreement matrices. Also checks the joined per-app static
+ * policy against the dynamic sweep's window optimum: a sound policy
+ * must cover (be at least as wide as) the smallest window at which
+ * the replay sweep reaches 100% accuracy. Pure data plumbing — the
+ * verdicts themselves come from droidbench/static_oracle.hh and
+ * evaluate.hh, the policies from static/policy.hh.
  */
 
 #ifndef PIFT_ANALYSIS_CROSSCHECK_HH
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "analysis/evaluate.hh"
+#include "static/policy.hh"
 
 namespace pift::analysis
 {
@@ -25,22 +31,28 @@ struct VerdictPair
     std::string name;
     bool truth = false;   //!< registry ground truth
     bool dynamic_leaks = false;
-    bool static_leaks = false;
+    bool static_leaks = false;   //!< explicit-mode oracle
+    bool implicit_leaks = false; //!< implicit-mode oracle
 };
 
-/** Both per-method accuracies plus the agreement matrix. */
+/** Per-method accuracies plus the agreement matrices. */
 struct CrossCheck
 {
-    Accuracy static_vs_truth;
+    Accuracy static_vs_truth;   //!< explicit mode
+    Accuracy implicit_vs_truth; //!< implicit mode
     Accuracy dynamic_vs_truth;
 
-    // Static-vs-dynamic confusion matrix.
+    // Explicit-static-vs-dynamic confusion matrix.
     unsigned both_flag = 0;    //!< both say leaky
     unsigned both_clean = 0;   //!< both say benign
     unsigned static_only = 0;  //!< static leaky, dynamic benign
     unsigned dynamic_only = 0; //!< dynamic leaky, static benign
 
     std::vector<std::string> disagreements; //!< app names
+
+    // Implicit-static-vs-dynamic disagreements (the interesting set:
+    // a name here means one side sees a flow the other misses).
+    std::vector<std::string> implicit_disagreements;
 
     unsigned agreements() const { return both_flag + both_clean; }
 };
@@ -61,6 +73,7 @@ crossCheck(const std::vector<VerdictPair> &pairs)
     };
     for (const VerdictPair &p : pairs) {
         score(cc.static_vs_truth, p.static_leaks, p.truth);
+        score(cc.implicit_vs_truth, p.implicit_leaks, p.truth);
         score(cc.dynamic_vs_truth, p.dynamic_leaks, p.truth);
         if (p.static_leaks && p.dynamic_leaks)
             ++cc.both_flag;
@@ -72,8 +85,43 @@ crossCheck(const std::vector<VerdictPair> &pairs)
             ++cc.dynamic_only;
         if (p.static_leaks != p.dynamic_leaks)
             cc.disagreements.push_back(p.name);
+        if (p.implicit_leaks != p.dynamic_leaks)
+            cc.implicit_disagreements.push_back(p.name);
     }
     return cc;
+}
+
+/** Joined static policy vs the dynamic sweep's window optimum. */
+struct PolicyCrossCheck
+{
+    static_analysis::StaticPolicy joined;
+    WindowBound dynamic_optimum;
+    unsigned risky_apps = 0; //!< apps with implicit_risk
+
+    /**
+     * True when the joined policy is at least as wide as the
+     * dynamic optimum (and the optimum exists) — a narrower static
+     * window would reopen leaks the replay sweep needs the full
+     * window to catch.
+     */
+    bool covers = false;
+};
+
+inline PolicyCrossCheck
+policyCrossCheck(
+    const std::vector<static_analysis::StaticPolicy> &policies,
+    const WindowBound &dynamic_optimum)
+{
+    PolicyCrossCheck pc;
+    pc.joined = static_analysis::joinPolicies(policies);
+    pc.dynamic_optimum = dynamic_optimum;
+    for (const static_analysis::StaticPolicy &p : policies)
+        pc.risky_apps += p.implicit_risk ? 1 : 0;
+    pc.covers = dynamic_optimum.found() &&
+                pc.joined.ni >=
+                    static_cast<int>(dynamic_optimum.ni) &&
+                pc.joined.nt >= static_cast<int>(dynamic_optimum.nt);
+    return pc;
 }
 
 } // namespace pift::analysis

@@ -68,14 +68,19 @@ oracleConfigFor(const AppContext &ctx)
 std::vector<StaticVerdict>
 staticSweep(const std::vector<AppEntry> &apps)
 {
+    using static_analysis::OracleMode;
     std::vector<StaticVerdict> verdicts;
     verdicts.reserve(apps.size());
     for (const AppEntry &entry : apps) {
         AppContext ctx;
         dalvik::MethodId main = entry.declare(ctx);
+        static_analysis::OracleConfig config = oracleConfigFor(ctx);
         static_analysis::OracleResult result =
-            static_analysis::runOracle(ctx.dex, main,
-                                       oracleConfigFor(ctx));
+            static_analysis::runOracle(ctx.dex, main, config,
+                                       OracleMode::Explicit);
+        static_analysis::OracleResult implicit =
+            static_analysis::runOracle(ctx.dex, main, config,
+                                       OracleMode::Implicit);
         StaticVerdict v;
         v.name = entry.name;
         v.category = entry.category;
@@ -83,9 +88,43 @@ staticSweep(const std::vector<AppEntry> &apps)
         v.static_leaks = result.leaks;
         v.sinks = std::move(result.leak_sinks);
         v.iterations = result.outer_iterations;
+        v.implicit_leaks = implicit.leaks;
+        v.implicit_sinks = std::move(implicit.leak_sinks);
+        v.implicit_iterations = implicit.outer_iterations;
         verdicts.push_back(std::move(v));
     }
     return verdicts;
+}
+
+std::vector<static_analysis::StaticPolicy>
+derivePolicies(const std::vector<AppEntry> &apps)
+{
+    using static_analysis::OracleMode;
+    static const static_analysis::WindowDerivation derivation =
+        static_analysis::deriveWindowBounds();
+
+    std::vector<static_analysis::StaticPolicy> policies;
+    policies.reserve(apps.size());
+    for (const AppEntry &entry : apps) {
+        AppContext ctx;
+        dalvik::MethodId main = entry.declare(ctx);
+        static_analysis::OracleConfig config = oracleConfigFor(ctx);
+        bool explicit_leaks =
+            static_analysis::runOracle(ctx.dex, main, config,
+                                       OracleMode::Explicit)
+                .leaks;
+        bool implicit_leaks =
+            static_analysis::runOracle(ctx.dex, main, config,
+                                       OracleMode::Implicit)
+                .leaks;
+
+        static_analysis::PolicyInputs inputs =
+            static_analysis::analyzeUsage(ctx.dex, main);
+        inputs.implicit_risk = implicit_leaks && !explicit_leaks;
+        policies.push_back(static_analysis::derivePolicy(
+            entry.name, inputs, derivation));
+    }
+    return policies;
 }
 
 } // namespace pift::droidbench

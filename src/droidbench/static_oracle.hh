@@ -18,6 +18,7 @@
 
 #include "droidbench/app.hh"
 #include "static/oracle.hh"
+#include "static/policy.hh"
 
 namespace pift::droidbench
 {
@@ -30,20 +31,35 @@ namespace pift::droidbench
  */
 static_analysis::OracleConfig oracleConfigFor(const AppContext &ctx);
 
-/** One app's static classification. */
+/** One app's static classification, under both oracle modes. */
 struct StaticVerdict
 {
     std::string name;
     std::string category;
     bool leaks_truth = false;  //!< registry ground truth
-    bool static_leaks = false; //!< oracle verdict
-    std::vector<std::string> sinks; //!< sinks the oracle flagged
-    unsigned iterations = 0;   //!< outer fixpoint rounds
+    bool static_leaks = false; //!< explicit-mode oracle verdict
+    std::vector<std::string> sinks; //!< sinks the explicit mode flagged
+    unsigned iterations = 0;   //!< explicit-mode outer fixpoint rounds
+    bool implicit_leaks = false; //!< implicit-mode oracle verdict
+    std::vector<std::string> implicit_sinks;
+    unsigned implicit_iterations = 0;
 };
 
-/** Declare each of @p apps on a fresh device and classify it. */
+/**
+ * Declare each of @p apps on a fresh device and classify it with the
+ * explicit-mode oracle and again with the implicit-mode one.
+ */
 std::vector<StaticVerdict>
 staticSweep(const std::vector<AppEntry> &apps);
+
+/**
+ * Derive each app's static policy (static/policy.hh): reachable
+ * opcodes from a call-graph walk, implicit risk from the two oracle
+ * verdicts (implicit leaky, explicit clean). The returned vector is
+ * ordered like @p apps.
+ */
+std::vector<static_analysis::StaticPolicy>
+derivePolicies(const std::vector<AppEntry> &apps);
 
 } // namespace pift::droidbench
 

@@ -1,0 +1,72 @@
+#include "static/control_dep.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace pift::static_analysis
+{
+
+std::vector<size_t>
+ControlDeps::region(size_t branch_block) const
+{
+    std::vector<size_t> out;
+    for (size_t b = 0; b < controllers.size(); ++b)
+        if (dependsOn(b, branch_block))
+            out.push_back(b);
+    return out;
+}
+
+ControlDeps
+buildControlDeps(const Cfg &cfg, const PostDomTree &pdt)
+{
+    ControlDeps deps;
+    const size_t n = cfg.blocks.size();
+    deps.controllers.assign(n, {});
+    deps.transitive.assign(n, {});
+
+    // Edge-wise Ferrante-Ottenstein: for each branch edge (u, v)
+    // where v does not post-dominate u, every block on the
+    // post-dominator path [v, ipdom(u)) is control dependent on u.
+    for (size_t u = 0; u < n; ++u) {
+        const auto &succs = cfg.blocks[u].succs;
+        if (succs.size() < 2)
+            continue; // a single successor decides nothing
+        size_t stop = pdt.reachesExit(u) ? pdt.ipdom[u]
+                                         : PostDomTree::npos;
+        for (size_t v : succs) {
+            if (pdt.postDominates(v, u))
+                continue;
+            size_t w = v;
+            while (w != stop && w != PostDomTree::npos &&
+                   w != pdt.exit_id) {
+                deps.controllers[w].push_back(u);
+                w = w < pdt.ipdom.size() ? pdt.ipdom[w]
+                                         : PostDomTree::npos;
+            }
+        }
+    }
+    for (auto &c : deps.controllers) {
+        std::sort(c.begin(), c.end());
+        c.erase(std::unique(c.begin(), c.end()), c.end());
+    }
+
+    // Transitive closure by DFS over the controller relation. Cycles
+    // (a loop header controlling itself) are cut by the visited set.
+    for (size_t b = 0; b < n; ++b) {
+        std::set<size_t> closed;
+        std::vector<size_t> work(deps.controllers[b].begin(),
+                                 deps.controllers[b].end());
+        while (!work.empty()) {
+            size_t c = work.back();
+            work.pop_back();
+            if (!closed.insert(c).second)
+                continue;
+            work.insert(work.end(), deps.controllers[c].begin(),
+                        deps.controllers[c].end());
+        }
+        deps.transitive[b].assign(closed.begin(), closed.end());
+    }
+    return deps;
+}
+
+} // namespace pift::static_analysis

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Control-dependence graph via post-dominance frontiers.
+ *
+ * Block X is control dependent on block Y when Y has an outgoing edge
+ * (Y, v) with X on the post-dominator-tree path [v, ipdom(Y)) — i.e.
+ * Y's branch outcome decides whether X executes (Ferrante-Ottenstein,
+ * computed edge-wise over the post-dominator tree of dominators.hh).
+ * A loop header is control dependent on its own exit branch, which is
+ * the standard self-dependence for cyclic regions.
+ *
+ * Besides the direct controller sets the graph carries their
+ * transitive closure: a block nested two branches deep is (indirectly)
+ * governed by both conditions, which is exactly the join the implicit
+ * -flow oracle mode needs — information flows from every condition
+ * that decides whether a definition executes, not just the innermost.
+ */
+
+#ifndef PIFT_STATIC_CONTROL_DEP_HH
+#define PIFT_STATIC_CONTROL_DEP_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "static/cfg.hh"
+#include "static/dominators.hh"
+
+namespace pift::static_analysis
+{
+
+/** Control-dependence sets of one Cfg. */
+struct ControlDeps
+{
+    /**
+     * Per block: the blocks whose terminating branch directly
+     * controls it (sorted, deduplicated). The controlling condition
+     * is the last instruction of each listed block.
+     */
+    std::vector<std::vector<size_t>> controllers;
+
+    /** Per block: transitive closure of controllers (sorted). */
+    std::vector<std::vector<size_t>> transitive;
+
+    /** Blocks directly control dependent on @p branch_block. */
+    std::vector<size_t> region(size_t branch_block) const;
+
+    bool
+    dependsOn(size_t block, size_t branch_block) const
+    {
+        const auto &c = controllers[block];
+        return std::binary_search(c.begin(), c.end(), branch_block);
+    }
+};
+
+/** Build the control-dependence sets of @p cfg given its @p pdt. */
+ControlDeps buildControlDeps(const Cfg &cfg, const PostDomTree &pdt);
+
+} // namespace pift::static_analysis
+
+#endif // PIFT_STATIC_CONTROL_DEP_HH

@@ -9,6 +9,11 @@
  *   bool  merge(State &into, in)       — join; true when `into` grew
  *   void  transfer(State &, inst)      — apply one instruction
  *
+ * A problem may additionally define `void enterBlock(size_t b)`; it
+ * is invoked before a block's instructions are transferred, giving
+ * block-sensitive problems (the implicit-flow oracle joins per-block
+ * control-dependence context) the current block id.
+ *
  * Blocks re-enter the worklist when a predecessor's out-state grows,
  * so termination requires merge() to be monotone over a finite-height
  * lattice (all ours are powerset lattices over registers/fields).
@@ -70,6 +75,8 @@ solveForward(const Cfg &cfg, Problem &problem)
 
         State state = result.block_in[b];
         const BasicBlock &bb = cfg.blocks[b];
+        if constexpr (requires { problem.enterBlock(size_t{}); })
+            problem.enterBlock(b);
         for (size_t k = 0; k < bb.count; ++k) {
             // The catch entry can be reached from mid-block, so feed
             // its in-state from every reachable block's entry state.

@@ -1,0 +1,131 @@
+#include "static/dominators.hh"
+
+#include <algorithm>
+
+namespace pift::static_analysis
+{
+
+bool
+PostDomTree::postDominates(size_t a, size_t b) const
+{
+    if (a == b)
+        return true;
+    if (b >= ipdom.size() && b != exit_id)
+        return false;
+    if (b == exit_id)
+        return a == exit_id;
+    // Walk b's ipdom chain toward the virtual exit.
+    size_t w = ipdom[b];
+    while (w != npos) {
+        if (w == a)
+            return true;
+        if (w == exit_id)
+            return false;
+        w = ipdom[w];
+    }
+    return false;
+}
+
+PostDomTree
+buildPostDomTree(const Cfg &cfg)
+{
+    PostDomTree tree;
+    const size_t n = cfg.blocks.size();
+    tree.exit_id = n;
+    tree.ipdom.assign(n, PostDomTree::npos);
+    if (n == 0)
+        return tree;
+
+    for (size_t b = 0; b < n; ++b)
+        if (cfg.blocks[b].succs.empty())
+            tree.exit_blocks.push_back(b);
+
+    // Reverse CFG: nodes 0..n-1 plus the virtual exit at n; edges are
+    // successor -> predecessor, and exit -> each exit block.
+    auto rsuccs = [&](size_t v) -> std::vector<size_t> {
+        if (v == tree.exit_id)
+            return tree.exit_blocks;
+        return cfg.blocks[v].preds;
+    };
+
+    // Post-order DFS over the reverse CFG from the virtual exit.
+    // Only nodes reachable here (i.e. blocks that can reach an exit)
+    // get post-dominator information.
+    std::vector<size_t> postorder;
+    std::vector<uint8_t> visited(n + 1, 0);
+    {
+        // Iterative DFS: (node, next child index) frames.
+        std::vector<std::pair<size_t, size_t>> stack;
+        stack.emplace_back(tree.exit_id, 0);
+        visited[tree.exit_id] = 1;
+        while (!stack.empty()) {
+            auto &[v, child] = stack.back();
+            auto succs = rsuccs(v);
+            if (child < succs.size()) {
+                size_t next = succs[child++];
+                if (!visited[next]) {
+                    visited[next] = 1;
+                    stack.emplace_back(next, 0);
+                }
+            } else {
+                postorder.push_back(v);
+                stack.pop_back();
+            }
+        }
+    }
+
+    std::vector<size_t> po_index(n + 1, PostDomTree::npos);
+    for (size_t k = 0; k < postorder.size(); ++k)
+        po_index[postorder[k]] = k;
+
+    // Cooper-Harvey-Kennedy: idom over the reverse graph, processed
+    // in reverse post-order, intersecting along ipdom chains.
+    std::vector<size_t> idom(n + 1, PostDomTree::npos);
+    idom[tree.exit_id] = tree.exit_id;
+
+    auto intersect = [&](size_t a, size_t b) {
+        while (a != b) {
+            while (po_index[a] < po_index[b])
+                a = idom[a];
+            while (po_index[b] < po_index[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t k = postorder.size(); k-- > 0;) {
+            size_t v = postorder[k];
+            if (v == tree.exit_id)
+                continue;
+            // Predecessors of v in the reverse graph are v's CFG
+            // successors, plus the virtual exit when v is an exit
+            // block (succs empty — then exit is the only one).
+            size_t new_idom = PostDomTree::npos;
+            if (cfg.blocks[v].succs.empty()) {
+                new_idom = tree.exit_id;
+            } else {
+                for (size_t s : cfg.blocks[v].succs) {
+                    if (idom[s] == PostDomTree::npos)
+                        continue; // not yet processed / no exit path
+                    new_idom = new_idom == PostDomTree::npos
+                        ? s
+                        : intersect(new_idom, s);
+                }
+            }
+            if (new_idom != PostDomTree::npos &&
+                idom[v] != new_idom) {
+                idom[v] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    for (size_t b = 0; b < n; ++b)
+        tree.ipdom[b] = idom[b];
+    return tree;
+}
+
+} // namespace pift::static_analysis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Post-dominator tree over a Cfg.
+ *
+ * Every exit block (no successors: return, throw, or a fall-off-end
+ * tail) is wired to one virtual exit node so methods with several
+ * returns share a single tree root. The immediate post-dominators are
+ * computed with the iterative Cooper-Harvey-Kennedy solver on the
+ * reverse CFG in reverse post-order — simple, and on our method-sized
+ * graphs faster than Lengauer-Tarjan.
+ *
+ * Blocks from which no exit is reachable (an infinite loop, or code
+ * unreachable from both entries) carry no post-dominator information:
+ * their ipdom is npos and postDominates() is false for them except
+ * reflexively. The randomized differential in
+ * tests/test_static_dominators.cc pins this solver against the
+ * brute-force definition ("appears on every exit-reaching path").
+ */
+
+#ifndef PIFT_STATIC_DOMINATORS_HH
+#define PIFT_STATIC_DOMINATORS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "static/cfg.hh"
+
+namespace pift::static_analysis
+{
+
+/** Post-dominator tree of one Cfg, rooted at a virtual exit. */
+struct PostDomTree
+{
+    static constexpr size_t npos = static_cast<size_t>(-1);
+
+    /** Node id of the virtual exit (== cfg.blocks.size()). */
+    size_t exit_id = 0;
+
+    /**
+     * Immediate post-dominator per block; exit_id for blocks whose
+     * only proper post-dominator is the virtual exit, npos for blocks
+     * that cannot reach any exit.
+     */
+    std::vector<size_t> ipdom;
+
+    /** Blocks with no successors (wired to the virtual exit). */
+    std::vector<size_t> exit_blocks;
+
+    /** True when @p a post-dominates @p b (reflexive). */
+    bool postDominates(size_t a, size_t b) const;
+
+    /** True when block @p b has post-dominator information. */
+    bool reachesExit(size_t b) const
+    {
+        return b < ipdom.size() && ipdom[b] != npos;
+    }
+};
+
+/** Build the post-dominator tree of @p cfg. */
+PostDomTree buildPostDomTree(const Cfg &cfg);
+
+} // namespace pift::static_analysis
+
+#endif // PIFT_STATIC_DOMINATORS_HH

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "static/cfg.hh"
+#include "static/control_dep.hh"
 #include "static/dataflow.hh"
+#include "static/dominators.hh"
 
 namespace pift::static_analysis
 {
@@ -45,19 +47,27 @@ struct MethodInfo
     bool dirty = true;
     Cfg cfg;
     bool cfg_built = false;
+    // Implicit mode only: control structure plus the monotone set of
+    // blocks whose terminating branch condition was seen tainted.
+    PostDomTree pdt;
+    ControlDeps cdeps;
+    bool deps_built = false;
+    std::vector<uint8_t> branch_taint;
 };
 
 class Oracle
 {
   public:
-    Oracle(const dalvik::Dex &dex, const OracleConfig &config)
-        : dex(dex), config(config)
+    Oracle(const dalvik::Dex &dex, const OracleConfig &config,
+           OracleMode mode)
+        : dex(dex), config(config), mode(mode)
     {}
 
     OracleResult
     run(MethodId main)
     {
         OracleResult result;
+        result.mode = mode;
         for (unsigned iter = 0; iter < max_outer_iterations; ++iter) {
             result.outer_iterations = iter + 1;
             changed = false;
@@ -71,6 +81,9 @@ class Oracle
         for (MethodId sink : leak_sinks)
             result.leak_sinks.push_back(dex.method(sink).name);
         std::sort(result.leak_sinks.begin(), result.leak_sinks.end());
+        for (const auto &[id, mi] : methods)
+            for (uint8_t bt : mi.branch_taint)
+                result.tainted_branches += bt;
         return result;
     }
 
@@ -79,6 +92,7 @@ class Oracle
 
     const dalvik::Dex &dex;
     const OracleConfig &config;
+    const OracleMode mode;
 
     std::map<MethodId, MethodInfo> methods;
     std::map<uint16_t, AbstractValue> statics;
@@ -140,6 +154,13 @@ class Oracle
         }
         if (mi.args_in.size() < dex.method(id).nins)
             mi.args_in.resize(dex.method(id).nins);
+        if (mode == OracleMode::Implicit && mi.cfg_built &&
+            !mi.deps_built) {
+            mi.pdt = buildPostDomTree(mi.cfg);
+            mi.cdeps = buildControlDeps(mi.cfg, mi.pdt);
+            mi.branch_taint.assign(mi.cfg.blocks.size(), 0);
+            mi.deps_built = true;
+        }
         return mi;
     }
 
@@ -281,6 +302,28 @@ struct Oracle::OracleProblem
     MethodId id;
     uint16_t nregs;
     uint16_t nins;
+    size_t cur_block = 0;
+
+    void enterBlock(size_t b) { cur_block = b; }
+
+    /**
+     * Implicit mode: is the current block inside a region whose
+     * execution a tainted branch condition (transitively) decides?
+     */
+    bool
+    ctrlTaint() const
+    {
+        if (oracle.mode != OracleMode::Implicit)
+            return false;
+        const MethodInfo &mi = oracle.methods.at(id);
+        if (!mi.deps_built ||
+            cur_block >= mi.cdeps.transitive.size())
+            return false;
+        for (size_t c : mi.cdeps.transitive[cur_block])
+            if (mi.branch_taint[c])
+                return true;
+        return false;
+    }
 
     State
     boundary() const
@@ -323,11 +366,39 @@ struct Oracle::OracleProblem
             return v;
         };
 
+        // Implicit mode: a conditional branch publishes its
+        // condition's taint as the control context of every block it
+        // (transitively) decides. The set is monotone; growth dirties
+        // the method so the outer fixpoint re-runs it.
+        const bool ctrl = ctrlTaint();
+        if (oracle.mode == OracleMode::Implicit && inst.isBranch() &&
+            inst.fallsThrough() && joinUses().taint) {
+            MethodInfo &mi = oracle.methods.at(id);
+            if (mi.deps_built &&
+                cur_block < mi.branch_taint.size() &&
+                !mi.branch_taint[cur_block]) {
+                mi.branch_taint[cur_block] = 1;
+                mi.dirty = true;
+                oracle.note(true);
+            }
+        }
+        // Join the control context into primitive values only (empty
+        // points-to set): a reference selected under a secret branch
+        // moves no secret bytes into the payload a sink inspects,
+        // mirroring the dynamic tracker's payload-granular verdicts.
+        auto joinCtrl = [&](AbstractValue &v) {
+            if (ctrl && v.pts.empty())
+                v.taint = true;
+        };
+
         switch (inst.bc) {
           case Bc::Const4:
-          case Bc::Const16:
-            reg(inst.defs[0]) = AbstractValue{};
+          case Bc::Const16: {
+            AbstractValue v;
+            joinCtrl(v);
+            reg(inst.defs[0]) = v;
             break;
+          }
 
           case Bc::ConstString: {
             AbstractValue v;
@@ -345,23 +416,34 @@ struct Oracle::OracleProblem
           }
 
           case Bc::MoveResult:
-          case Bc::MoveResultObject:
-            reg(inst.defs[0]) = s.retval;
+          case Bc::MoveResultObject: {
+            AbstractValue v = s.retval;
+            joinCtrl(v);
+            reg(inst.defs[0]) = v;
             break;
+          }
 
-          case Bc::MoveException:
-            reg(inst.defs[0]) = oracle.exception;
+          case Bc::MoveException: {
+            AbstractValue v = oracle.exception;
+            joinCtrl(v);
+            reg(inst.defs[0]) = v;
             break;
+          }
 
-          case Bc::Throw:
-            oracle.note(oracle.exception.merge(reg(inst.uses[0])));
+          case Bc::Throw: {
+            AbstractValue v = reg(inst.uses[0]);
+            joinCtrl(v);
+            oracle.note(oracle.exception.merge(v));
             break;
+          }
 
           case Bc::Return:
-          case Bc::ReturnObject:
-            oracle.note(oracle.methods.at(id).ret.merge(
-                reg(inst.uses[0])));
+          case Bc::ReturnObject: {
+            AbstractValue v = reg(inst.uses[0]);
+            joinCtrl(v);
+            oracle.note(oracle.methods.at(id).ret.merge(v));
             break;
+          }
 
           case Bc::Iget:
           case Bc::IgetObject: {
@@ -376,13 +458,15 @@ struct Oracle::OracleProblem
             v.taint |= base.taint;
             if (base.pts.empty())
                 v.taint |= oracle.unknown_heap_tainted;
+            joinCtrl(v);
             reg(inst.defs[0]) = v;
             break;
           }
 
           case Bc::Iput:
           case Bc::IputObject: {
-            const AbstractValue &value = reg(inst.uses[0]);
+            AbstractValue value = reg(inst.uses[0]);
+            joinCtrl(value);
             const AbstractValue &base = reg(inst.uses[1]);
             for (ClassId cls : base.pts)
                 oracle.note(
@@ -393,15 +477,20 @@ struct Oracle::OracleProblem
           }
 
           case Bc::Sget:
-          case Bc::SgetObject:
-            reg(inst.defs[0]) = oracle.statics[inst.index];
+          case Bc::SgetObject: {
+            AbstractValue v = oracle.statics[inst.index];
+            joinCtrl(v);
+            reg(inst.defs[0]) = v;
             break;
+          }
 
           case Bc::Sput:
-          case Bc::SputObject:
-            oracle.note(
-                oracle.statics[inst.index].merge(reg(inst.uses[0])));
+          case Bc::SputObject: {
+            AbstractValue value = reg(inst.uses[0]);
+            joinCtrl(value);
+            oracle.note(oracle.statics[inst.index].merge(value));
             break;
+          }
 
           case Bc::Aget:
           case Bc::AgetChar:
@@ -416,6 +505,7 @@ struct Oracle::OracleProblem
             v.taint |= base.taint;
             if (base.pts.empty())
                 v.taint |= oracle.unknown_heap_tainted;
+            joinCtrl(v);
             reg(inst.defs[0]) = v;
             break;
           }
@@ -423,7 +513,8 @@ struct Oracle::OracleProblem
           case Bc::Aput:
           case Bc::AputChar:
           case Bc::AputObject: {
-            const AbstractValue &value = reg(inst.uses[0]);
+            AbstractValue value = reg(inst.uses[0]);
+            joinCtrl(value);
             const AbstractValue &base = reg(inst.uses[1]);
             for (ClassId cls : base.pts)
                 oracle.note(oracle.elems[cls].merge(value));
@@ -437,6 +528,8 @@ struct Oracle::OracleProblem
             std::vector<AbstractValue> args;
             for (uint16_t r : inst.uses)
                 args.push_back(s.regs[r]);
+            for (AbstractValue &a : args)
+                joinCtrl(a);
             s.retval = oracle.call(inst.invoke_target, args);
             break;
           }
@@ -445,6 +538,8 @@ struct Oracle::OracleProblem
             std::vector<AbstractValue> args;
             for (uint16_t r : inst.uses)
                 args.push_back(s.regs[r]);
+            for (AbstractValue &a : args)
+                joinCtrl(a);
             AbstractValue result;
             if (!args.empty()) {
                 for (ClassId cls : args[0].pts) {
@@ -471,6 +566,7 @@ struct Oracle::OracleProblem
             // nothing and fall out with empty defs.
             if (!inst.defs.empty()) {
                 AbstractValue v = joinUses();
+                joinCtrl(v);
                 for (uint16_t r : inst.defs)
                     reg(r) = v;
             }
@@ -504,9 +600,9 @@ Oracle::analyzeMethod(MethodId id)
 
 OracleResult
 runOracle(const dalvik::Dex &dex, MethodId main,
-          const OracleConfig &config)
+          const OracleConfig &config, OracleMode mode)
 {
-    Oracle oracle(dex, config);
+    Oracle oracle(dex, config, mode);
     return oracle.run(main);
 }
 

@@ -1,0 +1,125 @@
+#include "static/policy.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "static/decode.hh"
+
+namespace pift::static_analysis
+{
+
+using dalvik::Bc;
+using dalvik::MethodId;
+
+PolicyInputs
+analyzeUsage(const dalvik::Dex &dex, MethodId main)
+{
+    PolicyInputs in;
+    std::set<MethodId> visited;
+    std::vector<MethodId> work{main};
+    while (!work.empty()) {
+        MethodId id = work.back();
+        work.pop_back();
+        if (!visited.insert(id).second)
+            continue;
+        const dalvik::Method &m = dex.method(id);
+        if (m.is_native)
+            continue;
+        for (const DecodedInst &inst : decodeAll(m.code)) {
+            in.used_opcodes.insert(inst.bc);
+            if (inst.isBranch() && inst.fallsThrough())
+                in.has_cond_branch = true;
+            switch (inst.bc) {
+              case Bc::InvokeStatic:
+              case Bc::InvokeDirect:
+                work.push_back(inst.invoke_target);
+                break;
+              case Bc::InvokeVirtual:
+                // No receiver points-to here: cover every class that
+                // fills the slot.
+                for (size_t c = 0; c < dex.classCount(); ++c) {
+                    const auto &vt =
+                        dex.classInfo(static_cast<dalvik::ClassId>(c))
+                            .vtable;
+                    if (inst.invoke_target < vt.size())
+                        work.push_back(vt[inst.invoke_target]);
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return in;
+}
+
+StaticPolicy
+derivePolicy(const std::string &app, const PolicyInputs &inputs,
+             const WindowDerivation &d)
+{
+    StaticPolicy p;
+    p.app = app;
+    p.implicit_risk = inputs.implicit_risk;
+
+    for (Bc bc : inputs.used_opcodes) {
+        int dist = d.forBc(bc).derived_distance;
+        if (dist == -2)
+            dist = d.intra_max; // SVC inside the span: assume worst
+        p.ni = std::max(p.ni, dist);
+    }
+    p.nt = 1;
+    if (inputs.implicit_risk && inputs.has_cond_branch) {
+        p.ni = std::max(p.ni, d.branch_tail_max + d.min_interposed +
+                                  d.max_const_prefix);
+        p.nt += d.interposed_stores;
+    }
+    p.untaint_mode = inputs.implicit_risk ? UntaintMode::Keep
+                                          : UntaintMode::Scrub;
+    return p;
+}
+
+StaticPolicy
+joinPolicies(const std::vector<StaticPolicy> &policies)
+{
+    StaticPolicy joined;
+    joined.app = "joined";
+    for (const StaticPolicy &p : policies) {
+        joined.ni = std::max(joined.ni, p.ni);
+        joined.nt = std::max(joined.nt, p.nt);
+        joined.implicit_risk |= p.implicit_risk;
+        if (p.untaint_mode == UntaintMode::Keep)
+            joined.untaint_mode = UntaintMode::Keep;
+    }
+    return joined;
+}
+
+std::string
+formatPolicyTable(const std::vector<StaticPolicy> &policies)
+{
+    size_t width = 4;
+    for (const StaticPolicy &p : policies)
+        width = std::max(width, p.app.size());
+
+    std::ostringstream out;
+    out << "  " << std::string(width, ' ')
+        << "   NI  NT  untaint  implicit-risk\n";
+    for (const StaticPolicy &p : policies) {
+        out << "  " << p.app
+            << std::string(width - p.app.size(), ' ');
+        std::string ni = std::to_string(p.ni);
+        std::string nt = std::to_string(p.nt);
+        out << "  " << std::string(3 - std::min<size_t>(3, ni.size()),
+                                   ' ')
+            << ni;
+        out << "  " << std::string(2 - std::min<size_t>(2, nt.size()),
+                                   ' ')
+            << nt;
+        out << "  "
+            << (p.untaint_mode == UntaintMode::Keep ? "keep   "
+                                                    : "scrub  ");
+        out << "  " << (p.implicit_risk ? "yes" : "no") << "\n";
+    }
+    return out.str();
+}
+
+} // namespace pift::static_analysis

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-app static taint-window policy.
+ *
+ * The global taint window (NI, NT) of window.hh is the worst case
+ * over the whole interpreter: every handler's data distance plus the
+ * longest implicit-flow chain a Section 4.2 obfuscator can build. A
+ * concrete app rarely needs all of it. This pass derives a per-app
+ * policy from two static facts:
+ *
+ *   - the set of opcodes the app can actually reach (call-graph walk
+ *     from its entry point), which bounds the intra-handler distance
+ *     the window must cover, and
+ *   - whether the app is implicit-flow risky — the implicit-mode
+ *     oracle (oracle.hh) flags it leaky while the explicit mode does
+ *     not — which decides whether the implicit-flow chain term and
+ *     the interposed-store term must be added.
+ *
+ * Non-risky apps also get UntaintMode::Scrub (aggressive untainting
+ * is safe: every flow is explicit, so clearing stale taint cannot
+ * lose a leak), while risky apps keep stale taint as a safety net —
+ * the EXPERIMENTS.md untainting-OFF ablation measured exactly this
+ * trade. Joining every per-app policy must reproduce the global
+ * Table 1 derivation, which is the invariant the tests pin.
+ */
+
+#ifndef PIFT_STATIC_POLICY_HH
+#define PIFT_STATIC_POLICY_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dalvik/method.hh"
+#include "static/window.hh"
+
+namespace pift::static_analysis
+{
+
+/** What the tracker does with taint the window has aged out. */
+enum class UntaintMode : uint8_t
+{
+    Scrub, //!< clear aggressively; safe when all flows are explicit
+    Keep   //!< retain stale taint as an implicit-flow safety net
+};
+
+/** The derived policy of one app. */
+struct StaticPolicy
+{
+    std::string app;
+    int ni = 0; //!< per-app instruction window
+    int nt = 0; //!< per-app taint-propagation depth
+    UntaintMode untaint_mode = UntaintMode::Scrub;
+    bool implicit_risk = false;
+};
+
+/** Static facts about one app the policy derives from. */
+struct PolicyInputs
+{
+    std::set<dalvik::Bc> used_opcodes; //!< reachable from the entry
+    bool has_cond_branch = false;
+    /** Implicit-mode oracle leaks where the explicit mode does not. */
+    bool implicit_risk = false;
+};
+
+/**
+ * Collect the opcodes reachable from @p main by walking the call
+ * graph (static/direct targets exactly; virtual slots over every
+ * class's vtable, conservatively). Does not set implicit_risk — that
+ * comparison needs both oracle modes and is the caller's job.
+ */
+PolicyInputs analyzeUsage(const dalvik::Dex &dex,
+                          dalvik::MethodId main);
+
+/**
+ * Derive @p app's policy from its usage facts and the interpreter
+ * derivation @p d. NI covers every reachable opcode's distance
+ * (unknown SVC-straddling distances fall back to the global
+ * intra-handler max) plus, for risky apps, the full implicit-flow
+ * chain; NT adds the interposed handler's stores for risky apps.
+ */
+StaticPolicy derivePolicy(const std::string &app,
+                          const PolicyInputs &inputs,
+                          const WindowDerivation &d);
+
+/**
+ * Join per-app policies into one device-wide policy: max windows,
+ * Keep wins over Scrub, risk is disjunctive. Over a whole app suite
+ * this must reproduce the global (derived_ni, derived_nt).
+ */
+StaticPolicy joinPolicies(const std::vector<StaticPolicy> &policies);
+
+/** Render a fixed-width table of @p policies for reports/CLI. */
+std::string formatPolicyTable(const std::vector<StaticPolicy> &policies);
+
+} // namespace pift::static_analysis
+
+#endif // PIFT_STATIC_POLICY_HH

@@ -5,6 +5,8 @@
 
 #include "dalvik/method.hh"
 #include "static/cfg.hh"
+#include "static/control_dep.hh"
+#include "static/dominators.hh"
 
 namespace pift::static_analysis
 {
@@ -33,6 +35,7 @@ checkName(Check check)
       case Check::BadMethodIndex: return "bad-method-index";
       case Check::UnreachableCode: return "unreachable-code";
       case Check::UseBeforeDef: return "use-before-def";
+      case Check::DegenerateBranch: return "degenerate-branch";
     }
     return "?";
 }
@@ -303,6 +306,55 @@ verifyMethod(const dalvik::Method &method, const dalvik::Dex *dex)
                              " may be used before assignment");
             transferDefined(state, inst);
         }
+    }
+
+    // 6. Degenerate-branch lint, backed by the post-dominator tree:
+    //    a conditional branch whose control-dependent region is empty
+    //    (the successors immediately reconverge) or free of defs and
+    //    side effects decides nothing an explicit-flow analysis can
+    //    see — the shape opaque predicates and Section 4.2 implicit-
+    //    flow obfuscators take.
+    PostDomTree pdt = buildPostDomTree(cfg);
+    ControlDeps cdeps = buildControlDeps(cfg, pdt);
+    auto sideEffecting = [](const DecodedInst &inst) {
+        if (!inst.defs.empty())
+            return true;
+        switch (inst.bc) {
+          case Bc::Iput:
+          case Bc::IputObject:
+          case Bc::Sput:
+          case Bc::SputObject:
+          case Bc::Aput:
+          case Bc::AputChar:
+          case Bc::AputObject:
+          case Bc::InvokeStatic:
+          case Bc::InvokeDirect:
+          case Bc::InvokeVirtual:
+          case Bc::Return:
+          case Bc::ReturnObject:
+          case Bc::ReturnVoid:
+          case Bc::Throw:
+            return true;
+          default:
+            return false;
+        }
+    };
+    for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock &bb = cfg.blocks[b];
+        if (!bb.reachable || bb.succs.size() < 2)
+            continue;
+        bool effect = false;
+        for (size_t dep : cdeps.region(b)) {
+            const BasicBlock &db = cfg.blocks[dep];
+            for (size_t k = 0; k < db.count && !effect; ++k)
+                effect = sideEffecting(cfg.inst(db, k));
+            if (effect)
+                break;
+        }
+        if (!effect)
+            emit(result, Severity::Warning, Check::DegenerateBranch,
+                 cfg.lastInst(bb).unit,
+                 "branch controls no definition or side effect");
     }
 
     return result;

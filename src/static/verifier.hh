@@ -13,7 +13,12 @@
  *              frame; control falling off the end of the body; bad
  *              catch handler offset; string/class/static/method index
  *              out of bounds (when a Dex is supplied)
- *   warnings — unreachable instructions; possible use before def
+ *   warnings — unreachable instructions; possible use before def;
+ *              degenerate branches (a conditional branch whose
+ *              control-dependent region is empty or contains no
+ *              definition and no side effect — the branch decides
+ *              nothing, which is the shape implicit-flow obfuscators
+ *              and opaque predicates take)
  *
  * Use-before-def is a must-defined forward dataflow: a register is
  * "defined" when every path from the entry assigns it. Arguments
@@ -55,7 +60,8 @@ enum class Check : uint8_t
     BadStaticIndex,
     BadMethodIndex,
     UnreachableCode,
-    UseBeforeDef
+    UseBeforeDef,
+    DegenerateBranch
 };
 
 struct Diagnostic

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Per-app static policy engine.
+ *
+ * The load-bearing invariant: joining every per-app policy over the
+ * full registry reproduces the global Table 1 window derivation —
+ * the per-app tables are a refinement of the device-wide policy, not
+ * a different (weaker) one. The implicit-risk flag must single out
+ * exactly the two Section 4.2 implicit-flow apps, and the policy
+ * cross-check must confirm that the joined window covers the dynamic
+ * sweep's optimum.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/crosscheck.hh"
+#include "droidbench/static_oracle.hh"
+#include "static/policy.hh"
+#include "static/window.hh"
+
+using namespace pift;
+using namespace pift::static_analysis;
+
+namespace
+{
+
+const std::vector<StaticPolicy> &
+suitePolicies()
+{
+    static const auto policies = [] {
+        auto all = droidbench::derivePolicies(
+            droidbench::droidBenchApps());
+        auto malware =
+            droidbench::derivePolicies(droidbench::malwareApps());
+        all.insert(all.end(), malware.begin(), malware.end());
+        return all;
+    }();
+    return policies;
+}
+
+const WindowDerivation &
+derivation()
+{
+    static const WindowDerivation d = deriveWindowBounds();
+    return d;
+}
+
+} // namespace
+
+TEST(StaticPolicy, JoinReproducesGlobalDerivation)
+{
+    StaticPolicy joined = joinPolicies(suitePolicies());
+    EXPECT_EQ(joined.ni, derivation().derived_ni);
+    EXPECT_EQ(joined.nt, derivation().derived_nt);
+}
+
+TEST(StaticPolicy, ImplicitRiskIsExactlyTheImplicitFlowApps)
+{
+    std::map<std::string, bool> risk;
+    for (const StaticPolicy &p : suitePolicies())
+        risk[p.app] = p.implicit_risk;
+    for (const auto &[app, risky] : risk) {
+        bool expected = app == "ImplicitFlow1_Sms" ||
+                        app == "ImplicitFlow2_Http";
+        EXPECT_EQ(risky, expected) << app;
+    }
+}
+
+TEST(StaticPolicy, RiskyAppsGetTheFullImplicitChainWindow)
+{
+    const WindowDerivation &d = derivation();
+    int chain = d.branch_tail_max + d.min_interposed +
+                d.max_const_prefix;
+    for (const StaticPolicy &p : suitePolicies()) {
+        if (!p.implicit_risk)
+            continue;
+        EXPECT_GE(p.ni, chain) << p.app;
+        EXPECT_EQ(p.nt, 1 + d.interposed_stores) << p.app;
+    }
+}
+
+TEST(StaticPolicy, NonRiskyAppsNeedNoImplicitTerms)
+{
+    const WindowDerivation &d = derivation();
+    for (const StaticPolicy &p : suitePolicies()) {
+        if (p.implicit_risk)
+            continue;
+        EXPECT_LE(p.ni, d.intra_max) << p.app;
+        EXPECT_EQ(p.nt, 1) << p.app;
+    }
+}
+
+TEST(StaticPolicy, UntaintModeFollowsRisk)
+{
+    for (const StaticPolicy &p : suitePolicies())
+        EXPECT_EQ(p.untaint_mode == UntaintMode::Keep,
+                  p.implicit_risk)
+            << p.app;
+}
+
+TEST(StaticPolicy, UsageWalkSeesBranchesAndOpcodes)
+{
+    // Sanity on the call-graph walk itself: every registry app
+    // reaches at least one opcode, and implicit-risk derivation
+    // demands a conditional branch somewhere in its code.
+    for (const auto &entry : droidbench::droidBenchApps()) {
+        droidbench::AppContext ctx;
+        dalvik::MethodId main = entry.declare(ctx);
+        PolicyInputs in = analyzeUsage(ctx.dex, main);
+        EXPECT_FALSE(in.used_opcodes.empty()) << entry.name;
+        if (entry.name == "ImplicitFlow1_Sms" ||
+            entry.name == "ImplicitFlow2_Http") {
+            EXPECT_TRUE(in.has_cond_branch) << entry.name;
+        }
+    }
+}
+
+TEST(StaticPolicy, CrossCheckCoversDynamicOptimum)
+{
+    // The replay sweep's true optimum for this suite is (17, 2)
+    // (EXPERIMENTS.md); the joined static policy may only be wider.
+    analysis::WindowBound optimum;
+    optimum.ni = 17;
+    optimum.nt = 2;
+    auto pc = analysis::policyCrossCheck(suitePolicies(), optimum);
+    EXPECT_TRUE(pc.covers);
+    EXPECT_EQ(pc.risky_apps, 2u);
+    EXPECT_EQ(pc.joined.ni, derivation().derived_ni);
+}
+
+TEST(StaticPolicy, FormatTableListsEveryApp)
+{
+    std::string table = formatPolicyTable(suitePolicies());
+    for (const StaticPolicy &p : suitePolicies())
+        EXPECT_NE(table.find(p.app), std::string::npos) << p.app;
+}

@@ -195,6 +195,70 @@ TEST(StaticVerifier, NoUseBeforeDefOnArgsOrDominatingDefs)
     EXPECT_FALSE(hasWarning(r, Check::UseBeforeDef));
 }
 
+TEST(StaticVerifier, WarnsDegenerateBranchOnEffectFreeRegion)
+{
+    // The governed arm only jumps back to the join: the branch
+    // decides nothing.
+    auto m = std::move(MethodBuilder("warn_degenerate", 2, 1)
+                           .ifEqz(1, "join")
+                           .gotoLabel("join")
+                           .label("join")
+                           .returnVoid())
+                 .finish();
+    auto r = verifyMethod(m);
+    EXPECT_TRUE(r.ok()); // warning only
+    EXPECT_TRUE(hasWarning(r, Check::DegenerateBranch));
+}
+
+TEST(StaticVerifier, NoDegenerateBranchWhenRegionDefines)
+{
+    auto m = std::move(MethodBuilder("clean_degenerate", 2, 1)
+                           .const4(0, 1)
+                           .ifEqz(1, "join")
+                           .const4(0, 2) // the branch selects a value
+                           .label("join")
+                           .returnValue(0))
+                 .finish();
+    auto r = verifyMethod(m);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(hasWarning(r, Check::DegenerateBranch));
+}
+
+TEST(StaticVerifier, NoDegenerateBranchOnEarlyReturn)
+{
+    // An early return is an effect: the branch decides whether the
+    // rest of the method runs at all.
+    auto m = std::move(MethodBuilder("clean_early_return", 2, 1)
+                           .ifEqz(1, "rest")
+                           .returnVoid()
+                           .label("rest")
+                           .const4(0, 1)
+                           .returnValue(0))
+                 .finish();
+    auto r = verifyMethod(m);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(hasWarning(r, Check::DegenerateBranch));
+}
+
+TEST(StaticVerifier, RegistryHasNoDegenerateBranches)
+{
+    auto checkSuite = [](const std::vector<droidbench::AppEntry> &apps) {
+        for (const auto &entry : apps) {
+            droidbench::AppContext ctx;
+            entry.declare(ctx);
+            for (size_t id = 0; id < ctx.dex.methodCount(); ++id) {
+                const auto &m =
+                    ctx.dex.method(static_cast<dalvik::MethodId>(id));
+                auto r = verifyMethod(m, &ctx.dex);
+                EXPECT_FALSE(hasWarning(r, Check::DegenerateBranch))
+                    << entry.name << " / " << m.name;
+            }
+        }
+    };
+    checkSuite(droidbench::droidBenchApps());
+    checkSuite(droidbench::malwareApps());
+}
+
 TEST(StaticVerifier, AcceptsEveryRegistryMethod)
 {
     auto checkSuite = [](const std::vector<droidbench::AppEntry> &apps) {

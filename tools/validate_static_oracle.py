@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a static-oracle cross-check bench report against its schema.
+
+Usage: validate_static_oracle.py <report.json> [schema.json]
+
+Schema checking lives in schema_check.py (stdlib-only draft-07
+subset, shared with the other bench validators). The semantic checks
+are the acceptance criteria of the implicit-flow analysis — the whole
+pipeline is deterministic (no execution feeds the static side, and
+the replays are exact), so CI gates on the exact counts:
+
+ - explicit.fp == 0 and implicit.fp == 0: neither oracle mode ever
+   flags a benign app (precision is the non-negotiable half);
+ - explicit.fn == 2: the explicit-only mode misses exactly the two
+   implicit-flow apps, no more, no fewer — the known blind spot
+   implicit mode exists to close;
+ - implicit.fn == 0: implicit mode closes both misses;
+ - per_app implicit verdicts are a superset of the explicit ones
+   (joining control taint can only add reachable sink reports);
+ - malware.implicit_detected == malware.apps: all analogs flagged;
+ - policy.covers_optimum and joined_{ni,nt} >= optimum_{ni,nt}: the
+   joined per-app policy is at least as wide as the dynamic sweep's
+   Figure 11 optimum;
+ - policy.risky_apps equals the per_app rows with implicit_risk, and
+   every risky row carries untaint == "keep".
+
+Wall-clock fields are informational only: timing gates are flaky on
+shared CI runners, so the JSON carries the numbers and humans watch
+the trajectory.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from schema_check import run_validator  # noqa: E402
+
+
+def semantic_checks(report, errors):
+    explicit = report.get("explicit", {})
+    implicit = report.get("implicit", {})
+    if explicit.get("fp", -1) != 0:
+        errors.append(f"explicit.fp: {explicit.get('fp')} != 0 "
+                      f"(explicit oracle flagged a benign app)")
+    if explicit.get("fn", -1) != 2:
+        errors.append(f"explicit.fn: {explicit.get('fn')} != 2 "
+                      f"(expected exactly the two implicit-flow "
+                      f"misses)")
+    if implicit.get("fp", -1) != 0:
+        errors.append(f"implicit.fp: {implicit.get('fp')} != 0 "
+                      f"(control taint introduced a false positive)")
+    if implicit.get("fn", -1) != 0:
+        errors.append(f"implicit.fn: {implicit.get('fn')} != 0 "
+                      f"(implicit mode left a leak undetected)")
+
+    rows = [r for r in report.get("per_app", []) if isinstance(r, dict)]
+    if len(rows) != report.get("apps"):
+        errors.append(f"per_app: {len(rows)} rows != apps "
+                      f"{report.get('apps')}")
+    for row in rows:
+        if row.get("explicit") and not row.get("implicit"):
+            errors.append(f"per_app[{row.get('name')}]: explicit "
+                          f"leak not reported by implicit mode "
+                          f"(implicit must be a superset)")
+        if row.get("implicit_risk") and row.get("untaint") != "keep":
+            errors.append(f"per_app[{row.get('name')}]: implicit "
+                          f"risk without untaint=keep")
+
+    malware = report.get("malware", {})
+    if malware.get("implicit_detected") != malware.get("apps"):
+        errors.append(f"malware: implicit_detected "
+                      f"{malware.get('implicit_detected')} != apps "
+                      f"{malware.get('apps')}")
+
+    policy = report.get("policy", {})
+    if not policy.get("covers_optimum"):
+        errors.append("policy.covers_optimum: false (joined static "
+                      "policy narrower than the dynamic optimum)")
+    if (policy.get("joined_ni", 0) < policy.get("optimum_ni", 0)
+            or policy.get("joined_nt", 0) < policy.get("optimum_nt",
+                                                       0)):
+        errors.append(f"policy: joined ({policy.get('joined_ni')}, "
+                      f"{policy.get('joined_nt')}) narrower than "
+                      f"optimum ({policy.get('optimum_ni')}, "
+                      f"{policy.get('optimum_nt')})")
+    risky_rows = sum(1 for r in rows if r.get("implicit_risk"))
+    if policy.get("risky_apps") != risky_rows:
+        errors.append(f"policy.risky_apps: "
+                      f"{policy.get('risky_apps')} != {risky_rows} "
+                      f"per_app rows with implicit_risk")
+
+
+def summarize(report):
+    explicit = report.get("explicit", {})
+    implicit = report.get("implicit", {})
+    policy = report.get("policy", {})
+    return (f"{report.get('apps')} apps, explicit "
+            f"fn={explicit.get('fn')}, implicit "
+            f"fn={implicit.get('fn')} fp={implicit.get('fp')}, "
+            f"joined policy ({policy.get('joined_ni')}, "
+            f"{policy.get('joined_nt')}) covers optimum "
+            f"({policy.get('optimum_ni')}, "
+            f"{policy.get('optimum_nt')})")
+
+
+def main(argv):
+    return run_validator(
+        argv, "schemas/bench_static_oracle.schema.json",
+        semantic_checks, summarize,
+        "Usage: validate_static_oracle.py <report.json> "
+        "[schema.json]")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
