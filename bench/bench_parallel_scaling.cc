@@ -14,7 +14,6 @@
  * Run: ./build/bench/bench_parallel_scaling [--out FILE]
  */
 
-#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -40,15 +39,14 @@ struct ScalingRun
     double efficiency = 0.0;
 };
 
-double
-gridWallMs(const std::vector<analysis::LabelledTrace> &set,
-           unsigned jobs, std::vector<analysis::Accuracy> &grid)
+benchx::Timed
+timedGrid(const std::vector<analysis::LabelledTrace> &set,
+          uint64_t events, unsigned jobs,
+          std::vector<analysis::Accuracy> &grid)
 {
-    auto t0 = std::chrono::steady_clock::now();
-    grid = analysis::accuracyGrid(set, kNiHi, kNtHi, true, jobs);
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - t0)
-        .count();
+    return benchx::timedRun(events, [&] {
+        grid = analysis::accuracyGrid(set, kNiHi, kNtHi, true, jobs);
+    });
 }
 
 bool
@@ -100,7 +98,7 @@ main(int argc, char **argv)
     // Warm-up run: pulls trace capture and allocator state off the
     // timed path, and seeds the reference grid.
     std::vector<analysis::Accuracy> reference;
-    gridWallMs(set, 1, reference);
+    timedGrid(set, events, 1, reference);
 
     bool deterministic = true;
     std::vector<ScalingRun> runs;
@@ -110,10 +108,9 @@ main(int argc, char **argv)
         std::vector<analysis::Accuracy> grid;
         ScalingRun run;
         run.jobs = jobs;
-        run.wall_ms = gridWallMs(set, jobs, grid);
-        run.events_per_sec = run.wall_ms > 0.0
-            ? 1000.0 * static_cast<double>(events) / run.wall_ms
-            : 0.0;
+        benchx::Timed t = timedGrid(set, events, jobs, grid);
+        run.wall_ms = t.wall_ms;
+        run.events_per_sec = t.events_per_sec;
         if (runs.empty())
             run.speedup = 1.0;
         else if (run.wall_ms > 0.0)

@@ -13,6 +13,8 @@
 #ifndef PIFT_BENCH_COMMON_HH
 #define PIFT_BENCH_COMMON_HH
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <initializer_list>
 #include <string>
@@ -77,6 +79,34 @@ registryTraces()
         return out;
     }();
     return set;
+}
+
+/** Wall-clock measurement of one timed region (see timedRun). */
+struct Timed
+{
+    double wall_ms = 0.0;
+    double events_per_sec = 0.0;
+};
+
+/**
+ * Run @p fn once, measuring wall time and deriving a throughput over
+ * @p events — the shared events/sec arithmetic of the throughput and
+ * parallel-scaling benches (keep the two reporting identically).
+ */
+template <typename Fn>
+Timed
+timedRun(uint64_t events, Fn &&fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    Timed t;
+    t.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    t.events_per_sec = t.wall_ms > 0.0
+        ? 1000.0 * static_cast<double>(events) / t.wall_ms
+        : 0.0;
+    return t;
 }
 
 /** Standard bench banner. */

@@ -35,7 +35,18 @@ piftDetectsLeak(const sim::Trace &trace, const core::PiftParams &params)
     etel().replays.inc();
     core::IdealRangeStore store;
     core::PiftTracker tracker(params, store);
-    sim::replay(trace, tracker);
+    sim::replayBatched(trace, tracker);
+    return tracker.anyLeak();
+}
+
+bool
+piftDetectsLeak(const sim::PackedTrace &packed,
+                const core::PiftParams &params)
+{
+    etel().replays.inc();
+    core::IdealRangeStore store;
+    core::PiftTracker tracker(params, store);
+    sim::replayBatched(packed, tracker);
     return tracker.anyLeak();
 }
 
@@ -109,6 +120,13 @@ accuracyGrid(const std::vector<LabelledTrace> &set, int ni_hi,
         static_cast<size_t>(ni_hi) * static_cast<size_t>(nt_hi);
     const size_t apps = set.size();
 
+    // Pack every trace once up front: the SoA image is immutable and
+    // shared read-only by all (cells) replays of the same app.
+    std::vector<sim::PackedTrace> packed;
+    packed.reserve(apps);
+    for (const auto &item : set)
+        packed.emplace_back(item.trace);
+
     // One task per (cell, app) replay; every replay owns its tracker
     // and store, so tasks share nothing mutable. Results land in the
     // task's own slot — scheduling order cannot affect them.
@@ -122,8 +140,7 @@ accuracyGrid(const std::vector<LabelledTrace> &set, int ni_hi,
             params.nt = static_cast<unsigned>(cell / ni_hi) + 1;
             params.ni = static_cast<unsigned>(cell % ni_hi) + 1;
             params.untaint = untaint;
-            detected[task] =
-                piftDetectsLeak(set[ai].trace, params) ? 1 : 0;
+            detected[task] = piftDetectsLeak(packed[ai], params) ? 1 : 0;
         },
         jobs);
 
@@ -179,8 +196,12 @@ windowBoundSearch(const std::vector<LabelledTrace> &set, int ni_hi,
     return {};
 }
 
+namespace
+{
+
 OverheadResult
-measureOverhead(const sim::Trace &trace, const core::PiftParams &params)
+measureOverheadImpl(const sim::PackedTrace &packed,
+                    const core::PiftParams &params)
 {
     etel().replays.inc();
     OverheadResult result;
@@ -195,13 +216,29 @@ measureOverhead(const sim::Trace &trace, const core::PiftParams &params)
                 records, static_cast<double>(stats.taint_ops +
                                              stats.untaint_ops));
         });
-    sim::replay(trace, tracker);
+    sim::replayBatched(packed, tracker);
     result.max_tainted_bytes = tracker.stats().max_tainted_bytes;
     result.max_ranges = tracker.stats().max_ranges;
     result.taint_ops = tracker.stats().taint_ops;
     result.untaint_ops = tracker.stats().untaint_ops;
-    result.horizon = trace.records.size();
+    result.horizon = packed.trace().records.size();
     return result;
+}
+
+} // anonymous namespace
+
+OverheadResult
+measureOverhead(const sim::Trace &trace, const core::PiftParams &params)
+{
+    sim::PackedTrace packed(trace);
+    return measureOverheadImpl(packed, params);
+}
+
+OverheadResult
+measureOverhead(const sim::PackedTrace &packed,
+                const core::PiftParams &params)
+{
+    return measureOverheadImpl(packed, params);
 }
 
 } // namespace pift::analysis

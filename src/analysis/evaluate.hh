@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/pift_tracker.hh"
+#include "sim/batch.hh"
 #include "sim/trace.hh"
 #include "stats/heatmap.hh"
 #include "stats/timeseries.hh"
@@ -23,8 +24,19 @@
 namespace pift::analysis
 {
 
-/** Replay @p trace under @p params; true when any sink saw taint. */
+/**
+ * Replay @p trace under @p params; true when any sink saw taint.
+ * Runs the batched pipeline (sim/batch.hh), which is verdict- and
+ * stats-identical to per-event replay (tests/test_batch.cc).
+ */
 bool piftDetectsLeak(const sim::Trace &trace,
+                     const core::PiftParams &params);
+
+/**
+ * piftDetectsLeak() over a pre-packed trace — callers replaying the
+ * same capture many times (grids, sweeps) pack once and reuse.
+ */
+bool piftDetectsLeak(const sim::PackedTrace &packed,
                      const core::PiftParams &params);
 
 /** Replay under the full register-level DIFT baseline. */
@@ -123,6 +135,10 @@ struct OverheadResult
  * metrics. Sink checks still run but are ignored.
  */
 OverheadResult measureOverhead(const sim::Trace &trace,
+                               const core::PiftParams &params);
+
+/** measureOverhead() over a pre-packed trace. */
+OverheadResult measureOverhead(const sim::PackedTrace &packed,
                                const core::PiftParams &params);
 
 } // namespace pift::analysis

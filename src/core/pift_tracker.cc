@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/batch.hh"
 #include "support/logging.hh"
 #include "telemetry/registry.hh"
 
@@ -30,6 +31,8 @@ struct TrackerTel
         telemetry::counter("core.tracker.sinks_tainted");
     telemetry::Counter &sinks_maybe =
         telemetry::counter("core.tracker.sinks_maybe");
+    telemetry::Counter &batch_flushes =
+        telemetry::counter("core.tracker.batch_flushes");
 };
 
 TrackerTel &
@@ -61,6 +64,8 @@ PiftTracker::~PiftTracker()
         tel().stores_tainted.inc(tel_stores_tainted);
     if (tel_stores_untainted)
         tel().stores_untainted.inc(tel_stores_untainted);
+    if (tel_batch_flushes)
+        tel().batch_flushes.inc(tel_batch_flushes);
 }
 
 void
@@ -83,21 +88,18 @@ PiftTracker::afterOp(SeqNum records)
 }
 
 void
-PiftTracker::onRecord(const sim::TraceRecord &rec)
+PiftTracker::handleMem(ProcId pid, SeqNum local_seq,
+                       sim::MemKind kind, Addr start, Addr end)
 {
-    ++records_seen;
-    if (rec.mem_kind == sim::MemKind::None)
-        return;
+    taint::AddrRange range(start, end);
 
-    taint::AddrRange range(rec.mem_start, rec.mem_end);
-
-    if (rec.mem_kind == sim::MemKind::Load) {
+    if (kind == sim::MemKind::Load) {
         ++stat.loads;
         // [Algorithm 1, lines 10-15] A load overlapping a tainted
         // range starts (or restarts) the tainting window.
-        if (store.query(rec.pid, range)) {
-            Window &w = windows[rec.pid];
-            bool open = w.active && rec.local_seq <= w.ltlt + cfg.ni;
+        if (store.query(pid, range)) {
+            Window &w = windowFor(pid);
+            bool open = w.active && local_seq <= w.ltlt + cfg.ni;
             if (w.active && !open) {
                 // Lazily retire the stale window so expiry is
                 // countable; semantics are unchanged (an inactive and
@@ -111,7 +113,7 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
                     ++(open ? tel_windows_renewed
                             : tel_windows_opened);
                 w.active = true;
-                w.ltlt = rec.local_seq;
+                w.ltlt = local_seq;
                 w.used = 0;
             }
             ++stat.tainted_loads;
@@ -120,7 +122,7 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
                 // (restart=false): replaying the hit's query refreshes
                 // the storage LRU state exactly like the original.
                 journalEvent({JournalKind::TaintedLoad,
-                              SinkVerdict::Clean, rec.pid, range.start,
+                              SinkVerdict::Clean, pid, range.start,
                               range.end, 0, w.ltlt, w.used, 0, 0});
             }
         }
@@ -129,8 +131,8 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
 
     // Store.
     ++stat.stores;
-    Window &w = windows[rec.pid];
-    bool in_window = w.active && rec.local_seq <= w.ltlt + cfg.ni;
+    Window &w = windowFor(pid);
+    bool in_window = w.active && local_seq <= w.ltlt + cfg.ni;
     if (w.active && !in_window) {
         w.active = false;
         if constexpr (telemetry::compiledIn())
@@ -139,7 +141,7 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
     if (in_window && w.used < cfg.nt) {
         // [Lines 17-19] Taint the target range.
         ++w.used;
-        if (store.insert(rec.pid, range)) {
+        if (store.insert(pid, range)) {
             ++stat.taint_ops;
             if constexpr (telemetry::compiledIn())
                 ++tel_stores_tainted;
@@ -150,24 +152,54 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
             // budget (used) advanced either way, and even a no-new-
             // bytes insert restructures entries and the LRU clock.
             journalEvent({JournalKind::StoreTaint, SinkVerdict::Clean,
-                          rec.pid, range.start, range.end, 0, w.ltlt,
+                          pid, range.start, range.end, 0, w.ltlt,
                           w.used, 0, 0});
         }
     } else if (cfg.untaint) {
         // [Lines 20-22] Outside the window (or budget exhausted):
         // the target is likely overwritten with non-sensitive data.
-        if (store.remove(rec.pid, range)) {
+        if (store.remove(pid, range)) {
             ++stat.untaint_ops;
             if constexpr (telemetry::compiledIn())
                 ++tel_stores_untainted;
             afterOp(records_seen);
             if (journal_) {
                 journalEvent({JournalKind::StoreUntaint,
-                              SinkVerdict::Clean, rec.pid, range.start,
+                              SinkVerdict::Clean, pid, range.start,
                               range.end, 0, 0, 0, 0, 0});
             }
         }
     }
+}
+
+void
+PiftTracker::onRecord(const sim::TraceRecord &rec)
+{
+    ++records_seen;
+    if (rec.mem_kind == sim::MemKind::None)
+        return;
+    handleMem(rec.pid, rec.local_seq, rec.mem_kind, rec.mem_start,
+              rec.mem_end);
+}
+
+void
+PiftTracker::onBatch(const sim::EventBatch &batch)
+{
+    // Tight SoA loop over only the memory events. records_seen is
+    // advanced to each event's per-event value (count of records up
+    // to and including it) before handling, so journal stamps and
+    // observer callbacks match the unbatched path byte for byte.
+    const SeqNum base = records_seen;
+    for (uint32_t k = 0; k < batch.mem_count; ++k) {
+        records_seen =
+            base + (batch.mem_index[k] - batch.index_base) + 1;
+        handleMem(batch.pid[k], batch.local_seq[k],
+                  static_cast<sim::MemKind>(batch.kind[k]),
+                  batch.start[k], batch.end[k]);
+    }
+    records_seen = base + batch.count;
+    if constexpr (telemetry::compiledIn())
+        ++tel_batch_flushes;
 }
 
 void
@@ -218,6 +250,7 @@ PiftTracker::onControl(const sim::ControlEvent &ev)
       case sim::ControlKind::ClearAll:
         store.clear();
         windows.clear();
+        memo_w = nullptr;
         // All lost state is gone with the rest; stop degrading.
         lossy_pids.clear();
         all_lossy = false;
@@ -298,6 +331,7 @@ void
 PiftTracker::restoreState(const TrackerState &state)
 {
     windows.clear();
+    memo_w = nullptr;
     for (const auto &w : state.windows)
         windows[w.pid] = {w.active, w.ltlt, w.used};
     lossy_pids.clear();
@@ -316,12 +350,14 @@ PiftTracker::setParams(const PiftParams &params)
     pift_assert(params.nt >= 1, "NT must be at least 1");
     cfg = params;
     windows.clear();
+    memo_w = nullptr;
 }
 
 void
 PiftTracker::reset()
 {
     windows.clear();
+    memo_w = nullptr;
     lossy_pids.clear();
     all_lossy = false;
     stat = TrackerStats{};

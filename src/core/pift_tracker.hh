@@ -135,6 +135,16 @@ class PiftTracker : public sim::TraceSink
     void onRecord(const sim::TraceRecord &rec) override;
     void onControl(const sim::ControlEvent &ev) override;
 
+    /**
+     * Batched fast path (DESIGN.md §12): iterate the chunk's memory-
+     * event SoA arrays directly, skipping non-memory records without
+     * touching them. Byte-identical to count onRecord calls — the
+     * records_seen cursor (and so journal stamps and observer
+     * callbacks) is advanced per event exactly as the per-event path
+     * would.
+     */
+    void onBatch(const sim::EventBatch &batch) override;
+
     const TrackerStats &stats() const { return stat; }
     const std::vector<SinkResult> &sinkResults() const { return sinks; }
 
@@ -219,9 +229,34 @@ class PiftTracker : public sim::TraceSink
     /** Emit a journal record stamped with the current cursor. */
     void journalEvent(JournalRecord rec);
 
+    /**
+     * Algorithm 1 for one memory event; the shared core of onRecord
+     * and onBatch. records_seen must already account for this event.
+     */
+    void handleMem(ProcId pid, SeqNum local_seq, sim::MemKind kind,
+                   Addr start, Addr end);
+
+    /**
+     * windows[pid] behind a one-entry memo: batches are dominated by
+     * same-pid runs, so most lookups skip the hash probe. Relies on
+     * unordered_map reference stability; invalidated whenever the map
+     * is cleared.
+     */
+    Window &
+    windowFor(ProcId pid)
+    {
+        if (memo_w && memo_pid == pid)
+            return *memo_w;
+        memo_w = &windows[pid];
+        memo_pid = pid;
+        return *memo_w;
+    }
+
     PiftParams cfg;
     TaintStore &store;
     std::unordered_map<ProcId, Window> windows;
+    Window *memo_w = nullptr; //!< windowFor() memo (see above)
+    ProcId memo_pid = 0;
     std::unordered_set<ProcId> lossy_pids;
     bool all_lossy = false;
     TrackerStats stat;
@@ -239,6 +274,7 @@ class PiftTracker : public sim::TraceSink
     uint64_t tel_windows_expired = 0;
     uint64_t tel_stores_tainted = 0;
     uint64_t tel_stores_untainted = 0;
+    uint64_t tel_batch_flushes = 0;
 };
 
 } // namespace pift::core

@@ -30,6 +30,8 @@ struct StorageTel
         telemetry::counter("core.storage.drops");
     telemetry::Counter &coalesces =
         telemetry::counter("core.storage.coalesces");
+    telemetry::Counter &hot_probe_hits =
+        telemetry::counter("core.storage.hot_probe_hits");
 };
 
 StorageTel &
@@ -147,6 +149,7 @@ TaintStorage::restoreState(const TaintStorageState &state)
     saturated_pids.insert(state.saturated.begin(),
                           state.saturated.end());
     clock = state.clock;
+    ++probe_epoch;
 }
 
 size_t
@@ -173,6 +176,17 @@ TaintStorage::query(ProcId pid, const taint::AddrRange &r)
 {
     ++stat.lookups;
     stel().lookups.inc();
+
+    // Probe the negative memo first: a remembered miss skips the CAM
+    // scan entirely. Exact by construction — see ProbeSlot.
+    ProbeSlot &ps = probe[probeIndex(pid, r)];
+    if (ps.epoch == probe_epoch && ps.pid == pid &&
+        ps.start == r.start && ps.end == r.end) {
+        ++stat.hot_probe_hits;
+        stel().hot_probe_hits.inc();
+        return false;
+    }
+
     stat.entry_compares += entries.size();
     bool hit = false;
     for (auto &e : entries) {
@@ -198,6 +212,7 @@ TaintStorage::query(ProcId pid, const taint::AddrRange &r)
             return true;
         }
     }
+    ps = {pid, r.start, r.end, probe_epoch};
     return false;
 }
 
@@ -266,6 +281,7 @@ TaintStorage::insert(ProcId pid, const taint::AddrRange &r)
         return false;
     ++stat.inserts;
     stel().inserts.inc();
+    ++probe_epoch; // cached misses may now be stale
 
     taint::AddrRange merged = r;
     uint64_t absorbed = 0;
@@ -352,6 +368,9 @@ TaintStorage::remove(ProcId pid, const taint::AddrRange &r)
         return false;
     ++stat.removes;
     stel().removes.inc();
+    ++probe_epoch; // a removal can only widen the set of misses, but
+                   // the memo maps (pid, range) → miss exactly, so
+                   // drop it wholesale rather than reason per slot
     stat.entry_compares += entries.size();
 
     bool changed = false;
@@ -397,6 +416,7 @@ TaintStorage::remove(ProcId pid, const taint::AddrRange &r)
 void
 TaintStorage::clear()
 {
+    ++probe_epoch;
     for (auto &e : entries)
         e.valid = false;
     spill_sets.clear();

@@ -21,6 +21,7 @@
 #ifndef PIFT_CORE_TAINT_STORAGE_HH
 #define PIFT_CORE_TAINT_STORAGE_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <unordered_set>
@@ -56,6 +57,7 @@ struct StorageStats
     uint64_t coalesces = 0;        //!< entries merged on insert
     size_t max_entries_used = 0;   //!< peak valid-entry count
     uint64_t entry_compares = 0;   //!< CAM comparisons (cost proxy)
+    uint64_t hot_probe_hits = 0;   //!< misses served by the probe cache
 };
 
 /** Configuration of the range-entry cache. */
@@ -174,6 +176,35 @@ class TaintStorage : public TaintStore
 
     static constexpr size_t npos = ~size_t(0);
 
+    /**
+     * Hot-probe cache (DESIGN.md §12): a small direct-mapped memo of
+     * recent *negative* queries, checked before the CAM scan. Only
+     * misses are cached because a negative query mutates nothing (no
+     * LRU touch, no clock tick), so serving it from the memo is
+     * state-exact — exported state is identical whether the memo is
+     * warm or cold, which the crash-recovery differentials depend on.
+     * A positive query always runs the real scan so every hitting
+     * entry gets its LRU touch. Any mutation bumps probe_epoch,
+     * invalidating the whole memo in O(1).
+     */
+    struct ProbeSlot
+    {
+        ProcId pid = 0;
+        Addr start = 0;
+        Addr end = 0;
+        uint64_t epoch = 0; //!< matches probe_epoch when live
+    };
+
+    static constexpr size_t probe_slots = 256; //!< power of two
+
+    size_t
+    probeIndex(ProcId pid, const taint::AddrRange &r) const
+    {
+        uint32_t h = pid * 0x9e3779b9u ^ r.start * 0x85ebca6bu ^
+            r.end * 0xc2b2ae35u;
+        return (h >> 4) & (probe_slots - 1);
+    }
+
     TaintStorageParams params;
     std::vector<Entry> entries;
     // Secondary storage in "main memory" (LruSpill policy only).
@@ -181,6 +212,8 @@ class TaintStorage : public TaintStore
     std::unordered_set<ProcId> saturated_pids;
     StorageStats stat;
     uint64_t clock = 0;
+    std::array<ProbeSlot, probe_slots> probe{};
+    uint64_t probe_epoch = 1;
 };
 
 /** Fixed-granularity (2^r-byte block) tag store. */

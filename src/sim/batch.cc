@@ -1,0 +1,184 @@
+#include "sim/batch.hh"
+
+#include <algorithm>
+
+namespace pift::sim
+{
+
+PackedTrace::PackedTrace(const Trace &trace) : src(&trace)
+{
+    const auto &recs = trace.records;
+    size_t nmem = 0;
+    for (const auto &rec : recs)
+        nmem += rec.mem_kind != MemKind::None;
+    mem_index_.reserve(nmem);
+    pid_.reserve(nmem);
+    local_seq_.reserve(nmem);
+    pc_.reserve(nmem);
+    start_.reserve(nmem);
+    end_.reserve(nmem);
+    kind_.reserve(nmem);
+    for (size_t i = 0; i < recs.size(); ++i) {
+        const TraceRecord &rec = recs[i];
+        if (rec.mem_kind == MemKind::None)
+            continue;
+        mem_index_.push_back(static_cast<uint32_t>(i));
+        pid_.push_back(rec.pid);
+        local_seq_.push_back(rec.local_seq);
+        pc_.push_back(rec.pc);
+        start_.push_back(rec.mem_start);
+        end_.push_back(rec.mem_end);
+        kind_.push_back(static_cast<uint8_t>(rec.mem_kind));
+    }
+}
+
+uint32_t
+PackedTrace::memCursor(uint32_t first) const
+{
+    auto it = std::lower_bound(mem_index_.begin(), mem_index_.end(),
+                               first);
+    return static_cast<uint32_t>(it - mem_index_.begin());
+}
+
+EventBatch
+PackedTrace::slice(uint32_t first, uint32_t count,
+                   uint32_t mem_cursor) const
+{
+    EventBatch b;
+    b.count = count;
+    b.index_base = first;
+    if (count == 0)
+        return b;
+    b.records = src->records.data() + first;
+    // Advance past the memory events inside [first, first + count);
+    // linear, but bounded by the events the consumer is about to
+    // process anyway.
+    const uint32_t limit = first + count;
+    uint32_t e = mem_cursor;
+    while (e < mem_index_.size() && mem_index_[e] < limit)
+        ++e;
+    b.mem_count = e - mem_cursor;
+    b.mem_index = mem_index_.data() + mem_cursor;
+    b.pid = pid_.data() + mem_cursor;
+    b.local_seq = local_seq_.data() + mem_cursor;
+    b.pc = pc_.data() + mem_cursor;
+    b.start = start_.data() + mem_cursor;
+    b.end = end_.data() + mem_cursor;
+    b.kind = kind_.data() + mem_cursor;
+    return b;
+}
+
+EventBatch
+PackedTrace::sliceAt(uint32_t first, uint32_t count) const
+{
+    return slice(first, count, memCursor(first));
+}
+
+BatchPacker::BatchPacker(uint32_t capacity)
+    : cap(capacity ? capacity : 1)
+{
+    records_.reserve(cap);
+    mem_index_.reserve(cap);
+    pid_.reserve(cap);
+    local_seq_.reserve(cap);
+    pc_.reserve(cap);
+    start_.reserve(cap);
+    end_.reserve(cap);
+    kind_.reserve(cap);
+}
+
+void
+BatchPacker::append(const TraceRecord &rec)
+{
+    const uint32_t pos = static_cast<uint32_t>(records_.size());
+    records_.push_back(rec);
+    if (rec.mem_kind == MemKind::None)
+        return;
+    mem_index_.push_back(pos);
+    pid_.push_back(rec.pid);
+    local_seq_.push_back(rec.local_seq);
+    pc_.push_back(rec.pc);
+    start_.push_back(rec.mem_start);
+    end_.push_back(rec.mem_end);
+    kind_.push_back(static_cast<uint8_t>(rec.mem_kind));
+}
+
+EventBatch
+BatchPacker::seal() const
+{
+    EventBatch b;
+    b.records = records_.data();
+    b.count = static_cast<uint32_t>(records_.size());
+    b.mem_count = static_cast<uint32_t>(mem_index_.size());
+    b.index_base = 0;
+    b.mem_index = mem_index_.data();
+    b.pid = pid_.data();
+    b.local_seq = local_seq_.data();
+    b.pc = pc_.data();
+    b.start = start_.data();
+    b.end = end_.data();
+    b.kind = kind_.data();
+    return b;
+}
+
+void
+BatchPacker::clear()
+{
+    records_.clear();
+    mem_index_.clear();
+    pid_.clear();
+    local_seq_.clear();
+    pc_.clear();
+    start_.clear();
+    end_.clear();
+    kind_.clear();
+}
+
+void
+replayBatched(const PackedTrace &packed, TraceSink &sink,
+              uint32_t batch_records)
+{
+    const Trace &trace = packed.trace();
+    if (batch_records == 0) {
+        replay(trace, sink);
+        return;
+    }
+    const size_t n = trace.records.size();
+    const size_t nc = trace.controls.size();
+    size_t ci = 0;
+    size_t ri = 0;
+    uint32_t cursor = 0;
+    while (ri < n) {
+        // Controls published before record ri come first, exactly as
+        // in replayFrom().
+        while (ci < nc && trace.controls[ci].seq <= ri)
+            sink.onControl(trace.controls[ci++]);
+        // The batch may not straddle the next control's position.
+        size_t end = std::min(ri + batch_records, n);
+        if (ci < nc)
+            end = std::min(
+                end, static_cast<size_t>(trace.controls[ci].seq));
+        EventBatch b =
+            packed.slice(static_cast<uint32_t>(ri),
+                         static_cast<uint32_t>(end - ri), cursor);
+        cursor += b.mem_count;
+        sink.onBatch(b);
+        ri = end;
+    }
+    while (ci < nc)
+        sink.onControl(trace.controls[ci++]);
+}
+
+void
+replayBatched(const Trace &trace, TraceSink &sink,
+              uint32_t batch_records)
+{
+    if (batch_records == 0) {
+        replay(trace, sink);
+        return;
+    }
+    PackedTrace packed(trace);
+    replayBatched(packed, sink, batch_records);
+}
+
+} // namespace pift::sim

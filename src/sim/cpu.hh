@@ -22,10 +22,12 @@
 #include <functional>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/assembler.hh"
 #include "isa/inst.hh"
 #include "mem/memory.hh"
+#include "sim/batch.hh"
 #include "sim/trace.hh"
 #include "support/types.hh"
 
@@ -52,9 +54,34 @@ class Cpu
      * @param hub event stream the CPU publishes to
      */
     Cpu(mem::Memory &memory, EventHub &hub);
+    ~Cpu();
 
     /** Map a program into the code space; regions must not overlap. */
     void loadProgram(isa::Program prog);
+
+    /**
+     * Resize the decoded-instruction cache (DESIGN.md §12): a direct-
+     * mapped pc-tagged table in front of the program-map walk, so the
+     * fetch of a hot pc is one array probe instead of a tree descent.
+     * @p slots is rounded up to a power of two; 0 disables the cache
+     * (every fetch resolves through the program map — the reference
+     * behaviour the decode-cache differential test compares against).
+     * The cache is flushed by this call and by every loadProgram().
+     */
+    void setDecodeCache(size_t slots);
+
+    /** Decoded-instruction cache capacity in slots (0 = disabled). */
+    size_t decodeCacheSlots() const { return dcache.size(); }
+
+    /**
+     * Publish retired records in chunks of @p records through
+     * EventHub::publishBatch (0 = per-event publish). Any pending
+     * chunk is flushed first. The stream every sink observes is
+     * identical either way: batches are flushed before each Svc trap
+     * handler runs (so software-issued control events interleave
+     * exactly as unbatched) and when run() returns.
+     */
+    void setBatching(uint32_t records);
 
     /** Current value of register @p r (reading pc gives pc+4). */
     uint32_t reg(RegIndex r) const;
@@ -109,6 +136,15 @@ class Cpu
     void setNZ(uint32_t result);
     void execute(const isa::Inst &inst, TraceRecord &rec);
     void publish(TraceRecord &rec);
+    const isa::Inst *fetch(Addr addr);
+    void flushBatch();
+
+    /** One decoded-instruction cache slot (inst == nullptr: empty). */
+    struct DecodeSlot
+    {
+        Addr pc = 0;
+        const isa::Inst *inst = nullptr;
+    };
 
     mem::Memory &mem_ref;
     EventHub &hub;
@@ -124,6 +160,22 @@ class Cpu
     SeqNum nretired = 0;
     std::unordered_map<ProcId, SeqNum> local_counts;
     bool halted = false;
+
+    // Decoded-instruction cache. Program regions are never unloaded
+    // or overlapped (loadProgram rejects overlap) and map nodes are
+    // stable, so cached Inst pointers cannot dangle; the flush on
+    // loadProgram guards the pc→instruction mapping itself.
+    std::vector<DecodeSlot> dcache;
+    Addr dcache_mask = 0; //!< slot index mask (slots - 1)
+
+    // Live event batching (0 = off; droidbench::AppContext turns it
+    // on). The packer owns the chunk storage reused across flushes.
+    uint32_t batch_cap = 0;
+    BatchPacker packer;
+
+    // Hot-path telemetry tallies, published at destruction.
+    uint64_t tel_decode_hits = 0;
+    uint64_t tel_decode_misses = 0;
 };
 
 } // namespace pift::sim

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "sim/batch.hh"
 #include "support/logging.hh"
 
 namespace pift::sim
 {
+
+void
+TraceSink::onBatch(const EventBatch &batch)
+{
+    // Batch-transparency shim: per-event sinks observe the exact
+    // stream they would have seen unbatched.
+    for (uint32_t i = 0; i < batch.count; ++i)
+        onRecord(batch.records[i]);
+}
 
 void
 EventHub::removeSink(TraceSink *sink)
@@ -15,9 +25,24 @@ EventHub::removeSink(TraceSink *sink)
 }
 
 void
+EventHub::publishBatch(const EventBatch &batch)
+{
+    nrecords += batch.count;
+    for (auto *s : sinks)
+        s->onBatch(batch);
+}
+
+void
 TraceBuffer::onRecord(const TraceRecord &rec)
 {
     data.records.push_back(rec);
+}
+
+void
+TraceBuffer::onBatch(const EventBatch &batch)
+{
+    data.records.insert(data.records.end(), batch.records,
+                        batch.records + batch.count);
 }
 
 void

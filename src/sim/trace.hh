@@ -25,6 +25,8 @@
 namespace pift::sim
 {
 
+struct EventBatch; // sim/batch.hh: SoA chunk of consecutive records
+
 /** Memory behaviour of one retired instruction. */
 enum class MemKind : uint8_t { None = 0, Load, Store };
 
@@ -94,6 +96,16 @@ class TraceSink
     /** Called for every retired instruction, in order. */
     virtual void onRecord(const TraceRecord &rec) = 0;
 
+    /**
+     * Called with a chunk of consecutive records when the producer
+     * runs batched (sim/batch.hh). The default unrolls the chunk
+     * through onRecord, so per-event sinks are batch-transparent;
+     * hot consumers override it with a tight SoA loop. A sink sees
+     * each record exactly once — via onRecord or via one onBatch,
+     * never both.
+     */
+    virtual void onBatch(const EventBatch &batch);
+
     /** Called for every software command, in stream order. */
     virtual void onControl(const ControlEvent &ev) { (void)ev; }
 };
@@ -126,6 +138,13 @@ class EventHub
             s->onControl(ev);
     }
 
+    /**
+     * Publish a chunk of @p batch.count records in one fan-out.
+     * Advances recordCount() by the whole chunk up front, exactly as
+     * count publish() calls would have.
+     */
+    void publishBatch(const EventBatch &batch);
+
   private:
     std::vector<TraceSink *> sinks;
     SeqNum nrecords = 0;
@@ -136,6 +155,7 @@ class TraceBuffer : public TraceSink
 {
   public:
     void onRecord(const TraceRecord &rec) override;
+    void onBatch(const EventBatch &batch) override;
     void onControl(const ControlEvent &ev) override;
 
     const Trace &trace() const { return data; }

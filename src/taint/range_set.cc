@@ -1,26 +1,12 @@
 #include "taint/range_set.hh"
 
+#include <algorithm>
+#include <cstddef>
+
 #include "support/logging.hh"
 
 namespace pift::taint
 {
-
-bool
-RangeSet::overlaps(const AddrRange &r) const
-{
-    if (!r.valid() || ranges_.empty())
-        return false;
-    // First range starting after r.start; its predecessor is the only
-    // candidate that could contain r.start.
-    auto it = ranges_.upper_bound(r.start);
-    if (it != ranges_.begin()) {
-        auto prev = std::prev(it);
-        if (prev->second >= r.start)
-            return true;
-    }
-    // Otherwise a range starting inside (r.start, r.end] overlaps.
-    return it != ranges_.end() && it->first <= r.end;
-}
 
 bool
 RangeSet::insert(const AddrRange &r)
@@ -35,28 +21,45 @@ RangeSet::insert(const AddrRange &r)
     // Find the first range that could merge: the predecessor of the
     // insertion point if it overlaps or is adjacent, else the
     // insertion point itself.
-    auto it = ranges_.upper_bound(new_start);
-    if (it != ranges_.begin()) {
-        auto prev = std::prev(it);
-        Addr prev_end = prev->second;
+    size_t i = firstAbove(new_start);
+    if (i > 0) {
+        Addr prev_end = ends_[i - 1];
         if (prev_end >= new_start ||
             (new_start > 0 && prev_end == new_start - 1)) {
-            it = prev;
+            --i;
         }
     }
 
     // Absorb every range that overlaps or touches [new_start,new_end].
-    while (it != ranges_.end()) {
-        AddrRange cur(it->first, it->second);
+    // They are consecutive: ranges are sorted and the merged range
+    // only ever grows to the right past absorbed members.
+    size_t j = i;
+    while (j < starts_.size()) {
+        AddrRange cur(starts_[j], ends_[j]);
         if (!cur.touches(AddrRange(new_start, new_end)))
             break;
         new_start = std::min(new_start, cur.start);
         new_end = std::max(new_end, cur.end);
         absorbed += cur.bytes();
-        it = ranges_.erase(it);
+        ++j;
     }
 
-    ranges_.emplace(new_start, new_end);
+    if (j == i) {
+        // Nothing absorbed: open a slot at the insertion point.
+        starts_.insert(starts_.begin() + static_cast<std::ptrdiff_t>(i),
+                       new_start);
+        ends_.insert(ends_.begin() + static_cast<std::ptrdiff_t>(i),
+                     new_end);
+    } else {
+        // Reuse the first absorbed slot, drop the rest of the run.
+        starts_[i] = new_start;
+        ends_[i] = new_end;
+        starts_.erase(starts_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                      starts_.begin() + static_cast<std::ptrdiff_t>(j));
+        ends_.erase(ends_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                    ends_.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+
     uint64_t merged_bytes = AddrRange(new_start, new_end).bytes();
     nbytes += merged_bytes - absorbed;
     // Ranges are disjoint and non-adjacent, so a no-new-bytes insert
@@ -68,49 +71,76 @@ RangeSet::insert(const AddrRange &r)
 bool
 RangeSet::remove(const AddrRange &r)
 {
-    if (!r.valid() || ranges_.empty())
+    if (!r.valid() || starts_.empty())
         return false;
 
-    bool changed = false;
+    // First range that could overlap r: the predecessor of the upper
+    // bound when it reaches r.start, else the upper bound itself.
+    size_t i = firstAbove(r.start);
+    if (i > 0 && ends_[i - 1] >= r.start)
+        --i;
 
-    auto it = ranges_.upper_bound(r.start);
-    if (it != ranges_.begin()) {
-        auto prev = std::prev(it);
-        if (prev->second >= r.start)
-            it = prev;
-    }
-
-    while (it != ranges_.end() && it->first <= r.end) {
-        AddrRange cur(it->first, it->second);
-        if (!cur.overlaps(r)) {
-            ++it;
-            continue;
-        }
-        changed = true;
-        it = ranges_.erase(it);
+    // Collect the overlapped run [i, j). Every member with
+    // start <= r.end from i on overlaps: the first by construction,
+    // later ones because their starts lie in (r.start, r.end].
+    size_t j = i;
+    AddrRange left, right; // remainders (invalid = none)
+    while (j < starts_.size() && starts_[j] <= r.end) {
+        AddrRange cur(starts_[j], ends_[j]);
+        if (!cur.overlaps(r))
+            break; // i's candidate missed: nothing past it can hit
         nbytes -= cur.bytes();
-        // Keep the left remainder, if any.
-        if (cur.start < r.start) {
-            AddrRange left(cur.start, r.start - 1);
-            ranges_.emplace(left.start, left.end);
-            nbytes += left.bytes();
-        }
-        // Keep the right remainder, if any, and stop (nothing after
-        // cur can overlap r if cur extended past r.end).
-        if (cur.end > r.end) {
-            AddrRange right(r.end + 1, cur.end);
-            it = ranges_.emplace(right.start, right.end).first;
-            nbytes += right.bytes();
-            break;
-        }
+        if (cur.start < r.start)
+            left = AddrRange(cur.start, r.start - 1);
+        if (cur.end > r.end)
+            right = AddrRange(r.end + 1, cur.end);
+        ++j;
     }
-    return changed;
+    if (j == i)
+        return false;
+
+    // Replace the run with the (at most two) remainders in place.
+    Addr keep_s[2], keep_e[2];
+    size_t kept = 0;
+    if (left.valid()) {
+        keep_s[kept] = left.start;
+        keep_e[kept] = left.end;
+        nbytes += left.bytes();
+        ++kept;
+    }
+    if (right.valid()) {
+        keep_s[kept] = right.start;
+        keep_e[kept] = right.end;
+        nbytes += right.bytes();
+        ++kept;
+    }
+    const size_t run = j - i;
+    size_t t = 0;
+    for (; t < kept && t < run; ++t) {
+        starts_[i + t] = keep_s[t];
+        ends_[i + t] = keep_e[t];
+    }
+    if (t < kept) {
+        // Split of a single range into two: one extra slot.
+        starts_.insert(starts_.begin() + static_cast<std::ptrdiff_t>(i + t),
+                       keep_s[t]);
+        ends_.insert(ends_.begin() + static_cast<std::ptrdiff_t>(i + t),
+                     keep_e[t]);
+    } else if (run > kept) {
+        starts_.erase(
+            starts_.begin() + static_cast<std::ptrdiff_t>(i + kept),
+            starts_.begin() + static_cast<std::ptrdiff_t>(j));
+        ends_.erase(ends_.begin() + static_cast<std::ptrdiff_t>(i + kept),
+                    ends_.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+    return true;
 }
 
 void
 RangeSet::clear()
 {
-    ranges_.clear();
+    starts_.clear();
+    ends_.clear();
     nbytes = 0;
 }
 
@@ -118,9 +148,9 @@ std::vector<AddrRange>
 RangeSet::ranges() const
 {
     std::vector<AddrRange> out;
-    out.reserve(ranges_.size());
-    for (const auto &[s, e] : ranges_)
-        out.emplace_back(s, e);
+    out.reserve(starts_.size());
+    for (size_t i = 0; i < starts_.size(); ++i)
+        out.emplace_back(starts_[i], ends_[i]);
     return out;
 }
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a throughput bench report against its JSON schema.
+
+Usage: validate_throughput.py <report.json> [schema.json]
+
+Schema checking lives in schema_check.py (stdlib-only draft-07
+subset, shared with the other bench validators). The semantic checks
+here are the ones a type system cannot express, and deliberately gate
+only machine-independent facts — absolute events/sec depends on the
+CI box and is recorded, not judged:
+
+ - `verdicts_identical` must be true: the batched SoA pipeline must
+   report exactly the per-event leak verdicts on every registry app
+   (correctness contract of the whole optimisation);
+ - the seven expected sections are all present, each with nonzero
+   wall time;
+ - `replay_batched_vs_per_event` must be >= 1.0: batching is allowed
+   to be a wash on a bad scheduler day, never a regression;
+ - the reported speedups must equal the section events/sec ratios
+   (1% tolerance), so a hand-edited report cannot pass.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from schema_check import run_validator  # noqa: E402
+
+EXPECTED_SECTIONS = [
+    "replay_per_event",
+    "replay_batched",
+    "capture_baseline",
+    "capture_decode",
+    "capture_fast",
+    "lookup_range_set",
+    "lookup_storage_probe",
+]
+
+SPEEDUP_RATIOS = {
+    "replay_batched_vs_per_event": ("replay_batched",
+                                    "replay_per_event"),
+    "capture_decode_vs_baseline": ("capture_decode",
+                                   "capture_baseline"),
+    "capture_fast_vs_baseline": ("capture_fast", "capture_baseline"),
+}
+
+
+def semantic_checks(report, errors):
+    if report.get("verdicts_identical") is not True:
+        errors.append("verdicts_identical: batched replay diverged "
+                      "from per-event verdicts")
+
+    sections = {s.get("name"): s for s in report.get("sections", [])
+                if isinstance(s, dict)}
+    names = [s.get("name") for s in report.get("sections", [])
+             if isinstance(s, dict)]
+    if names != EXPECTED_SECTIONS:
+        errors.append(f"sections: expected {EXPECTED_SECTIONS}, "
+                      f"got {names}")
+        return
+    for name, s in sections.items():
+        if s.get("wall_ms", 0.0) <= 0.0:
+            errors.append(f"sections[{name}]: wall_ms must be > 0")
+
+    speedups = report.get("speedups", {})
+    for key, (num, den) in SPEEDUP_RATIOS.items():
+        den_rate = sections[den].get("events_per_sec", 0.0)
+        num_rate = sections[num].get("events_per_sec", 0.0)
+        if den_rate <= 0.0:
+            errors.append(f"sections[{den}]: zero events_per_sec")
+            continue
+        expected = num_rate / den_rate
+        got = speedups.get(key, 0.0)
+        if abs(got - expected) > 0.01 * max(expected, 1e-9):
+            errors.append(f"speedups.{key}: {got} != section ratio "
+                          f"{expected}")
+
+    batched = speedups.get("replay_batched_vs_per_event", 0.0)
+    if batched < 1.0:
+        errors.append(f"speedups.replay_batched_vs_per_event: "
+                      f"{batched} < 1.0 — batched replay regressed "
+                      f"below the per-event pipeline")
+
+
+def summarize(report):
+    speedups = report.get("speedups", {})
+    batched = speedups.get("replay_batched_vs_per_event", 0.0)
+    sections = {s.get("name"): s for s in report.get("sections", [])
+                if isinstance(s, dict)}
+    rate = sections.get("replay_batched", {}).get("events_per_sec", 0)
+    return (f"{len(sections)} sections, batched replay "
+            f"{batched:.2f}x at {rate:,.0f} events/sec")
+
+
+def main(argv):
+    return run_validator(
+        argv, "schemas/bench_throughput.schema.json", semantic_checks,
+        summarize,
+        "Usage: validate_throughput.py <report.json> [schema.json]")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
