@@ -15,6 +15,11 @@
  *   telemetry [options]          replay the registry under telemetry,
  *                                print a metrics snapshot, write
  *                                BENCH_telemetry.json (+ trace files)
+ *   explain <app> [--pid P]      replay one app under the provenance
+ *                                flight recorder and print the causal
+ *                                chain (or degradation cause) behind
+ *                                every sink verdict; --dot/--jsonl
+ *                                export the flow graph
  *   snapshot <app> <dir>         run an app through the durable stack,
  *                                leaving snapshot.pift + wal.pift
  *   recover <dir>                reconstruct state from a durable dir
@@ -36,6 +41,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "analysis/evaluate.hh"
@@ -48,6 +54,8 @@
 #include "faults/fault_injector.hh"
 #include "persist/durable.hh"
 #include "persist/recovery.hh"
+#include "provenance/provenance.hh"
+#include "sim/batch.hh"
 #include "sim/trace_io.hh"
 #include "static/oracle.hh"
 #include "static/policy.hh"
@@ -392,10 +400,12 @@ cmdTelemetry(int argc, char **argv)
                         static_cast<long long>(s.gauge_peak));
             break;
         case telemetry::Kind::Histogram:
-            std::printf("%-44s %-10s count=%llu sum=%llu\n",
+            std::printf("%-44s %-10s count=%llu sum=%llu "
+                        "p50=%.1f p95=%.1f p99=%.1f\n",
                         s.name.c_str(), "histogram",
                         static_cast<unsigned long long>(s.count),
-                        static_cast<unsigned long long>(s.sum));
+                        static_cast<unsigned long long>(s.sum),
+                        s.p50, s.p95, s.p99);
             break;
         }
     }
@@ -582,6 +592,112 @@ cmdFleet(int argc, char **argv)
     return 0;
 }
 
+int
+cmdExplain(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: pift_cli explain <app> [--pid P] "
+                     "[--dot FILE] [--jsonl FILE] [NI NT]\n");
+        return 2;
+    }
+    const auto *entry = findApp(argv[2]);
+    if (!entry) {
+        std::fprintf(stderr, "unknown app '%s' (try 'list')\n",
+                     argv[2]);
+        return 2;
+    }
+    bool pid_given = false;
+    ProcId pid = 0;
+    std::string dot_path, jsonl_path;
+    unsigned ni = 13, nt = 3;
+    int pos = 0;
+    for (int i = 3; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--pid") && i + 1 < argc) {
+            pid_given = true;
+            pid = static_cast<ProcId>(atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--dot") && i + 1 < argc) {
+            dot_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--jsonl") &&
+                   i + 1 < argc) {
+            jsonl_path = argv[++i];
+        } else if (pos == 0) {
+            ni = static_cast<unsigned>(atoi(argv[i]));
+            ++pos;
+        } else if (pos == 1) {
+            nt = static_cast<unsigned>(atoi(argv[i]));
+            ++pos;
+        } else {
+            std::fprintf(stderr, "unexpected argument '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (!provenance::compiledIn()) {
+        std::printf("note: provenance compiled out "
+                    "(-DPIFT_PROVENANCE=OFF); nothing to explain\n");
+        return 0;
+    }
+
+    auto run = droidbench::runApp(*entry);
+    core::TaintStorage storage(core::TaintStorageParams{});
+    // Sized past the largest registry trace so no evidence is ever
+    // ring-evicted in an interactive explanation.
+    provenance::RecorderParams rp;
+    rp.ring_capacity = 1u << 19;
+    provenance::Recorder rec(rp);
+    core::PiftTracker tracker(core::PiftParams{ni, nt, true},
+                              storage);
+    storage.setRecorder(&rec);
+    tracker.setRecorder(&rec);
+    sim::replayBatched(run.trace, tracker);
+
+    std::printf("app: %s (%s, ground truth: %s)\n",
+                entry->name.c_str(), entry->category.c_str(),
+                entry->leaks ? "leaks" : "benign");
+    std::printf("recorder: %llu records (%llu ring-evicted), "
+                "NI=%u NT=%u\n\n",
+                static_cast<unsigned long long>(rec.totalRecorded()),
+                static_cast<unsigned long long>(rec.totalEvicted()),
+                ni, nt);
+
+    auto exps = pid_given ? provenance::explainPid(rec, pid)
+                          : provenance::explainAll(rec);
+    if (exps.empty()) {
+        std::printf("no sink checks recorded%s\n",
+                    pid_given ? " for that pid" : "");
+    }
+    for (const auto &e : exps)
+        std::printf("%s\n",
+                    provenance::formatExplanation(e).c_str());
+
+    if (!dot_path.empty()) {
+        std::ofstream os(dot_path,
+                         std::ios::binary | std::ios::trunc);
+        if (!os) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         dot_path.c_str());
+            return 2;
+        }
+        provenance::writeFlowGraphDot(os, exps,
+                                      entry->name.c_str());
+        std::printf("wrote %s (dot -Tsvg to render)\n",
+                    dot_path.c_str());
+    }
+    if (!jsonl_path.empty()) {
+        std::ofstream os(jsonl_path,
+                         std::ios::binary | std::ios::trunc);
+        if (!os) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         jsonl_path.c_str());
+            return 2;
+        }
+        provenance::writeExplanationsJsonl(os, exps);
+        std::printf("wrote %s\n", jsonl_path.c_str());
+    }
+    return 0;
+}
+
 void
 usage()
 {
@@ -596,6 +712,8 @@ usage()
                  "       pift_cli policy [app]\n"
                  "       pift_cli telemetry [--registry] [--out FILE]"
                  " [--trace FILE] [--jsonl FILE]\n"
+                 "       pift_cli explain <app> [--pid P]"
+                 " [--dot FILE] [--jsonl FILE] [NI NT]\n"
                  "       pift_cli snapshot <app> <dir> [--every N]"
                  " [NI NT]\n"
                  "       pift_cli recover <dir> [--resume <app>]\n"
@@ -637,6 +755,8 @@ main(int argc, char **argv)
         return cmdPolicy(argc >= 3 ? argv[2] : "");
     if (cmd == "telemetry")
         return cmdTelemetry(argc, argv);
+    if (cmd == "explain")
+        return cmdExplain(argc, argv);
     if (cmd == "snapshot")
         return cmdSnapshot(argc, argv);
     if (cmd == "recover")

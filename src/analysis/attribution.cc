@@ -1,0 +1,282 @@
+#include "analysis/attribution.hh"
+
+#include <cstdio>
+
+#include "analysis/degradation.hh"
+#include "core/taint_storage.hh"
+#include "exec/thread_pool.hh"
+#include "faults/fault_injector.hh"
+#include "sim/batch.hh"
+
+namespace pift::analysis
+{
+
+namespace
+{
+
+/** Tally one app's explanations into its row. */
+void
+tallyExplanations(const std::vector<provenance::Explanation> &exps,
+                  AttributionRow &row)
+{
+    for (const auto &e : exps) {
+        ++row.explained;
+        switch (e.verdict) {
+          case 1:
+            ++row.tainted;
+            // "Complete" must mean rooted at a real source, not just
+            // a walk that stopped: check the root kind explicitly.
+            if (e.complete && !e.chain.empty() &&
+                e.chain.front().kind ==
+                    provenance::ProvKind::SourceRead) {
+                ++row.complete_chains;
+            }
+            row.longest_chain = std::max(
+                row.longest_chain,
+                static_cast<unsigned>(e.chain.size()));
+            break;
+          case 2:
+            ++row.maybe;
+            if (e.has_cause)
+                ++row.cited_causes;
+            break;
+          default:
+            ++row.clean;
+            if (!e.chain.empty())
+                ++row.clean_with_chain;
+            break;
+        }
+    }
+}
+
+provenance::ProvCause
+injectedCauseOf(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::Drop:
+        return provenance::ProvCause::InjectedDrop;
+      case FaultClass::InsertFail:
+        return provenance::ProvCause::InjectedInsertFail;
+      case FaultClass::ForcedEvict:
+        return provenance::ProvCause::InjectedForcedEvict;
+    }
+    return provenance::ProvCause::Unknown;
+}
+
+} // anonymous namespace
+
+const char *
+faultClassName(FaultClass c)
+{
+    switch (c) {
+      case FaultClass::Drop:        return "drop";
+      case FaultClass::InsertFail:  return "insert-fail";
+      case FaultClass::ForcedEvict: return "forced-evict";
+    }
+    return "?";
+}
+
+std::vector<AttributionRow>
+attributionDifferential(const std::vector<LabelledTrace> &set,
+                        const AttributionConfig &config)
+{
+    std::vector<AttributionRow> rows(set.size());
+    exec::parallelFor(
+        set.size(),
+        [&](size_t ai) {
+            core::TaintStorage backend(core::TaintStorageParams{});
+            provenance::Recorder rec(config.recorder);
+            core::PiftTracker tracker(config.params, backend);
+            backend.setRecorder(&rec);
+            tracker.setRecorder(&rec);
+
+            sim::replayBatched(set[ai].trace, tracker);
+
+            AttributionRow &row = rows[ai];
+            row.app = set[ai].name;
+            row.sinks = static_cast<unsigned>(
+                tracker.sinkResults().size());
+            row.records = rec.totalRecorded();
+            row.evicted = rec.totalEvicted();
+            tallyExplanations(provenance::explainAll(rec), row);
+
+            // The contract: every Tainted chain complete, every
+            // MaybeTainted cause cited, no Clean chain — and, with no
+            // ring pressure, one explanation per sink check. When the
+            // recorder is compiled out the differential is vacuous.
+            row.ok = !provenance::compiledIn() ||
+                (row.tainted == row.complete_chains &&
+                 row.maybe == row.cited_causes &&
+                 row.clean_with_chain == 0 &&
+                 (row.evicted > 0 || row.explained == row.sinks));
+        },
+        config.jobs);
+    return rows;
+}
+
+bool
+attributionHolds(const std::vector<AttributionRow> &rows)
+{
+    for (const auto &row : rows)
+        if (!row.ok)
+            return false;
+    return true;
+}
+
+std::vector<FaultAttributionRow>
+faultAttributionSweep(const std::vector<LabelledTrace> &set,
+                      const FaultAttributionConfig &config)
+{
+    const FaultClass classes[] = {FaultClass::Drop,
+                                  FaultClass::InsertFail,
+                                  FaultClass::ForcedEvict};
+    const size_t nclasses = std::size(classes);
+    const size_t apps = set.size();
+
+    struct TaskResult
+    {
+        unsigned maybe = 0;
+        unsigned cited = 0;
+        unsigned matches = 0;
+        uint64_t faults = 0;
+    };
+    std::vector<TaskResult> results(nclasses * apps);
+
+    exec::parallelFor(
+        nclasses * apps,
+        [&](size_t task) {
+            size_t ci = task / apps;
+            size_t ai = task % apps;
+
+            faults::FaultConfig fc;
+            fc.seed = deriveFaultSeed(config.seed, ci, ai);
+            switch (classes[ci]) {
+              case FaultClass::Drop:
+                fc.drop_num = config.rate_num;
+                break;
+              case FaultClass::InsertFail:
+                fc.insert_fail_num = config.rate_num;
+                break;
+              case FaultClass::ForcedEvict:
+                fc.forced_evict_num = config.rate_num;
+                break;
+            }
+
+            // Default (exact LruSpill) backend: the only degradation
+            // that can exist in this replay is the injected class.
+            core::TaintStorage backend(core::TaintStorageParams{});
+            provenance::Recorder rec(config.recorder);
+            faults::FaultInjector injector(fc);
+            faults::FaultyTaintStore store(injector, backend);
+            core::PiftTracker tracker(config.params, store);
+            faults::FaultyStream stream(injector, tracker);
+            backend.setRecorder(&rec);
+            tracker.setRecorder(&rec);
+            injector.setRecorder(&rec);
+
+            sim::replay(set[ai].trace, stream);
+            stream.flush();
+
+            TaskResult &res = results[task];
+            res.faults = injector.stats().lossFaults();
+            const provenance::ProvCause want =
+                injectedCauseOf(classes[ci]);
+            for (const auto &e : provenance::explainAll(rec)) {
+                if (e.verdict != 2)
+                    continue;
+                ++res.maybe;
+                if (!e.has_cause)
+                    continue;
+                ++res.cited;
+                if (e.cause.cause == want)
+                    ++res.matches;
+            }
+        },
+        config.jobs);
+
+    // Fixed-order reduction into one row per fault class.
+    std::vector<FaultAttributionRow> rows(nclasses);
+    for (size_t ci = 0; ci < nclasses; ++ci) {
+        FaultAttributionRow &row = rows[ci];
+        row.fault_class = classes[ci];
+        row.apps = static_cast<unsigned>(apps);
+        for (size_t ai = 0; ai < apps; ++ai) {
+            const TaskResult &res = results[ci * apps + ai];
+            if (res.maybe)
+                ++row.affected;
+            row.maybe += res.maybe;
+            row.cited += res.cited;
+            row.cause_matches += res.matches;
+            row.faults += res.faults;
+        }
+        row.ok = !provenance::compiledIn() ||
+            (row.cited == row.maybe &&
+             row.cause_matches == row.maybe);
+    }
+    return rows;
+}
+
+bool
+faultAttributionHolds(const std::vector<FaultAttributionRow> &rows)
+{
+    for (const auto &row : rows)
+        if (!row.ok)
+            return false;
+    return true;
+}
+
+std::string
+formatAttributionTable(const std::vector<AttributionRow> &rows)
+{
+    std::string out;
+    char line[220];
+    std::snprintf(line, sizeof(line),
+                  "%-34s %5s %5s | %7s %8s | %5s %5s | %5s %7s | "
+                  "%8s %7s %5s | %s\n",
+                  "app", "sinks", "expl", "tainted", "complete",
+                  "maybe", "cited", "clean", "w/chain", "records",
+                  "evicted", "chain", "contract");
+    out += line;
+    out += std::string(132, '-') + "\n";
+    for (const auto &row : rows) {
+        std::snprintf(
+            line, sizeof(line),
+            "%-34s %5u %5u | %7u %8u | %5u %5u | %5u %7u | "
+            "%8llu %7llu %5u | %s\n",
+            row.app.c_str(), row.sinks, row.explained, row.tainted,
+            row.complete_chains, row.maybe, row.cited_causes,
+            row.clean, row.clean_with_chain,
+            static_cast<unsigned long long>(row.records),
+            static_cast<unsigned long long>(row.evicted),
+            row.longest_chain, row.ok ? "ok" : "VIOLATED");
+        out += line;
+    }
+    return out;
+}
+
+std::string
+formatFaultAttributionTable(
+    const std::vector<FaultAttributionRow> &rows)
+{
+    std::string out;
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "%-14s %5s %9s | %6s %6s %8s | %8s | %s\n",
+                  "fault class", "apps", "affected", "maybe", "cited",
+                  "matched", "injected", "contract");
+    out += line;
+    out += std::string(88, '-') + "\n";
+    for (const auto &row : rows) {
+        std::snprintf(
+            line, sizeof(line),
+            "%-14s %5u %9u | %6u %6u %8u | %8llu | %s\n",
+            faultClassName(row.fault_class), row.apps, row.affected,
+            row.maybe, row.cited, row.cause_matches,
+            static_cast<unsigned long long>(row.faults),
+            row.ok ? "ok" : "VIOLATED");
+        out += line;
+    }
+    return out;
+}
+
+} // namespace pift::analysis

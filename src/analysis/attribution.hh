@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Provenance attribution differentials (DESIGN.md §13).
+ *
+ * Two registry-wide proofs that the flight recorder explains every
+ * sink verdict:
+ *
+ *  - attributionDifferential(): replay every labelled app with a
+ *    recorder attached to the tracker and storage, run
+ *    provenance::explainAll(), and check the attribution contract —
+ *    every Tainted verdict resolves to a complete chain rooted at a
+ *    real SourceRead, every MaybeTainted cites a concrete degradation
+ *    cause, and no Clean verdict carries a chain. Fault-free, so the
+ *    checks are exact (no ring pressure unless the capacity is forced
+ *    low, in which case incompleteness must be *reported* as
+ *    ring-evicted, never silent).
+ *
+ *  - faultAttributionSweep(): replay the registry once per loss-fault
+ *    class (event drop, insert failure, forced eviction) through the
+ *    faults interposers with the recorder attached to the injector as
+ *    well. Every MaybeTainted explanation must then cite a cause of
+ *    the injected family — proving the recorder attributes
+ *    degradation to the event that actually caused it, not merely to
+ *    *some* plausible record.
+ *
+ * Both are deterministic at any jobs width: each (task) owns a full
+ * stack + recorder, fault seeds derive from (base, class, app) via
+ * deriveFaultSeed(), and rows reduce in fixed registry order.
+ */
+
+#ifndef PIFT_ANALYSIS_ATTRIBUTION_HH
+#define PIFT_ANALYSIS_ATTRIBUTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/evaluate.hh"
+#include "provenance/provenance.hh"
+
+namespace pift::analysis
+{
+
+/** Per-app result of the fault-free attribution differential. */
+struct AttributionRow
+{
+    std::string app;
+    unsigned sinks = 0;            //!< sink checks the tracker ran
+    unsigned explained = 0;        //!< explanations reconstructed
+    unsigned tainted = 0;          //!< Tainted verdicts
+    unsigned complete_chains = 0;  //!< ... with a complete chain
+    unsigned maybe = 0;            //!< MaybeTainted verdicts
+    unsigned cited_causes = 0;     //!< ... with a concrete cause
+    unsigned clean = 0;            //!< Clean verdicts
+    unsigned clean_with_chain = 0; //!< ... carrying a chain (must be 0)
+    uint64_t records = 0;          //!< records the recorder captured
+    uint64_t evicted = 0;          //!< records the ring overwrote
+    bool ok = false;               //!< the contract held for this app
+
+    /** Longest reconstructed source→sink chain (links). */
+    unsigned longest_chain = 0;
+};
+
+/** Configuration of the fault-free differential. */
+struct AttributionConfig
+{
+    core::PiftParams params;
+    provenance::RecorderParams recorder;
+    /** Replay parallelism (0 = exec::defaultJobs(), 1 = serial). */
+    unsigned jobs = 0;
+};
+
+/**
+ * Replay every app in @p set with a flight recorder attached and
+ * check the attribution contract per app (see file header). In
+ * PIFT_PROVENANCE=OFF builds every row is vacuously ok with zero
+ * counts. Deterministic at every config.jobs.
+ */
+std::vector<AttributionRow>
+attributionDifferential(const std::vector<LabelledTrace> &set,
+                        const AttributionConfig &config);
+
+/** True when every row of @p rows satisfied the contract. */
+bool attributionHolds(const std::vector<AttributionRow> &rows);
+
+/** The loss-fault classes the attribution sweep injects. */
+enum class FaultClass : uint8_t
+{
+    Drop,        //!< event-stream records dropped
+    InsertFail,  //!< storage inserts refused
+    ForcedEvict  //!< held ranges forcibly removed
+};
+
+const char *faultClassName(FaultClass c);
+
+/** Aggregated result of one fault class over the whole set. */
+struct FaultAttributionRow
+{
+    FaultClass fault_class = FaultClass::Drop;
+    unsigned apps = 0;          //!< apps replayed
+    unsigned affected = 0;      //!< apps with at least one Maybe
+    unsigned maybe = 0;         //!< MaybeTainted verdicts, all apps
+    unsigned cited = 0;         //!< ... citing a concrete cause
+    unsigned cause_matches = 0; //!< ... of the injected family
+    uint64_t faults = 0;        //!< loss faults actually injected
+    bool ok = false;            //!< cited == maybe == cause_matches
+};
+
+/** Configuration of the single-class fault sweeps. */
+struct FaultAttributionConfig
+{
+    core::PiftParams params;
+    provenance::RecorderParams recorder;
+    uint64_t seed = 1;       //!< base seed (class/app-unique offsets)
+    uint32_t rate_num = 20'000; //!< fault rate per million draws
+    unsigned jobs = 0;
+};
+
+/**
+ * One registry replay per fault class, recorder attached to tracker,
+ * storage, and injector; every MaybeTainted must cite a cause of the
+ * injected class's family. The backend uses the default (exact
+ * LruSpill) storage so no organic degradation can masquerade as the
+ * injected fault. Deterministic at every config.jobs.
+ */
+std::vector<FaultAttributionRow>
+faultAttributionSweep(const std::vector<LabelledTrace> &set,
+                      const FaultAttributionConfig &config);
+
+/** True when every fault class attributed cleanly. */
+bool
+faultAttributionHolds(const std::vector<FaultAttributionRow> &rows);
+
+/** Fixed-width tables the bench and CLI print. */
+std::string
+formatAttributionTable(const std::vector<AttributionRow> &rows);
+std::string formatFaultAttributionTable(
+    const std::vector<FaultAttributionRow> &rows);
+
+} // namespace pift::analysis
+
+#endif // PIFT_ANALYSIS_ATTRIBUTION_HH

@@ -76,6 +76,12 @@ PiftModule::checkRange(const taint::AddrRange &range, uint32_t id)
         uint32_t res = hw_module->readPort(core::hw_ports::result);
         if (res == core::hw_cmd_error) {
             atel().cmd_retries.inc();
+            PIFT_PROV(recorder_,
+                      recordAt(hub_ref.recordCount(),
+                               provenance::ProvKind::CmdRetry,
+                               provenance::ProvCause::InjectedCmdError,
+                               cpu_ref.pid(), range.start, range.end,
+                               id));
             pift_warn_limited(4,
                               "PIFT command port fault on sink check "
                               "%u (attempt %u), re-issuing", id,
@@ -91,6 +97,13 @@ PiftModule::checkRange(const taint::AddrRange &range, uint32_t id)
                       "PIFT command port failed %u times on sink "
                       "check %u; reporting maybe-tainted",
                       max_cmd_retries, id);
+    PIFT_PROV(recorder_,
+              recordAt(hub_ref.recordCount(),
+                       provenance::ProvKind::CmdDegraded,
+                       provenance::ProvCause::InjectedCmdError,
+                       cpu_ref.pid(), range.start, range.end, id, 0, 0,
+                       static_cast<uint8_t>(
+                           core::SinkVerdict::MaybeTainted)));
     return core::SinkVerdict::MaybeTainted;
 }
 

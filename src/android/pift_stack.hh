@@ -25,6 +25,7 @@
 #include <functional>
 
 #include "core/hw_module.hh"
+#include "provenance/recorder.hh"
 #include "runtime/heap.hh"
 #include "sim/cpu.hh"
 #include "sim/trace.hh"
@@ -131,6 +132,22 @@ class PiftModule
     /** Drop all taint state (app teardown). */
     void clearAll();
 
+    /**
+     * Attach a provenance flight recorder (may be null). The kernel
+     * module emits CmdRetry per transient port fault and CmdDegraded
+     * when the port never latches, stamped with the hub's live record
+     * count. No-op in PIFT_PROVENANCE=OFF builds.
+     */
+    void
+    setRecorder(provenance::Recorder *rec)
+    {
+#if defined(PIFT_PROVENANCE_ENABLED)
+        recorder_ = rec;
+#else
+        (void)rec;
+#endif
+    }
+
   private:
     sim::ControlEvent makeEvent(const taint::AddrRange &range,
                                 uint32_t id) const;
@@ -139,6 +156,9 @@ class PiftModule
     sim::Cpu &cpu_ref;
     core::HwModule *hw_module = nullptr;
     LeakAlert on_leak;
+#if defined(PIFT_PROVENANCE_ENABLED)
+    provenance::Recorder *recorder_ = nullptr;
+#endif
 };
 
 /** Framework-level source/sink instrumentation. */

@@ -107,6 +107,11 @@ PiftTracker::handleMem(ProcId pid, SeqNum local_seq,
                 w.active = false;
                 if constexpr (telemetry::compiledIn())
                     ++tel_windows_expired;
+                PIFT_PROV(recorder_,
+                          record(provenance::ProvKind::WindowExpire,
+                                 provenance::ProvCause::WindowClosed,
+                                 pid, range.start, range.end, 0,
+                                 w.ltlt, w.used));
             }
             if (cfg.restart || !open) {
                 if constexpr (telemetry::compiledIn())
@@ -115,6 +120,21 @@ PiftTracker::handleMem(ProcId pid, SeqNum local_seq,
                 w.active = true;
                 w.ltlt = local_seq;
                 w.used = 0;
+                PIFT_PROV(
+                    recorder_,
+                    record(open ? provenance::ProvKind::WindowRenew
+                                : provenance::ProvKind::WindowOpen,
+                           provenance::ProvCause::TaintHit, pid,
+                           range.start, range.end, 0, w.ltlt, w.used));
+            } else {
+                // restart=false hit inside an open window: still a
+                // tainted load — the explainer needs it as the causal
+                // parent of the stores that follow.
+                PIFT_PROV(recorder_,
+                          record(provenance::ProvKind::WindowRenew,
+                                 provenance::ProvCause::TaintHit, pid,
+                                 range.start, range.end, 0, w.ltlt,
+                                 w.used));
             }
             ++stat.tainted_loads;
             if (journal_) {
@@ -137,16 +157,26 @@ PiftTracker::handleMem(ProcId pid, SeqNum local_seq,
         w.active = false;
         if constexpr (telemetry::compiledIn())
             ++tel_windows_expired;
+        PIFT_PROV(recorder_,
+                  record(provenance::ProvKind::WindowExpire,
+                         provenance::ProvCause::WindowClosed, pid,
+                         range.start, range.end, 0, w.ltlt, w.used));
     }
     if (in_window && w.used < cfg.nt) {
         // [Lines 17-19] Taint the target range.
         ++w.used;
-        if (store.insert(pid, range)) {
+        bool grew = store.insert(pid, range);
+        if (grew) {
             ++stat.taint_ops;
             if constexpr (telemetry::compiledIn())
                 ++tel_stores_tainted;
             afterOp(records_seen);
         }
+        PIFT_PROV(recorder_,
+                  record(grew ? provenance::ProvKind::TaintWrite
+                              : provenance::ProvKind::TaintMerge,
+                         provenance::ProvCause::TaintHit, pid,
+                         range.start, range.end, 0, w.ltlt, w.used));
         if (journal_) {
             // Journaled regardless of the insert's outcome: the
             // budget (used) advanced either way, and even a no-new-
@@ -163,6 +193,14 @@ PiftTracker::handleMem(ProcId pid, SeqNum local_seq,
             if constexpr (telemetry::compiledIn())
                 ++tel_stores_untainted;
             afterOp(records_seen);
+            PIFT_PROV(
+                recorder_,
+                record(provenance::ProvKind::Untaint,
+                       in_window
+                           ? provenance::ProvCause::BudgetExhausted
+                           : provenance::ProvCause::WindowClosed,
+                       pid, range.start, range.end, 0, w.ltlt,
+                       w.used));
             if (journal_) {
                 journalEvent({JournalKind::StoreUntaint,
                               SinkVerdict::Clean, pid, range.start,
@@ -178,6 +216,7 @@ PiftTracker::onRecord(const sim::TraceRecord &rec)
     ++records_seen;
     if (rec.mem_kind == sim::MemKind::None)
         return;
+    PIFT_PROV(recorder_, setCursor(records_seen));
     handleMem(rec.pid, rec.local_seq, rec.mem_kind, rec.mem_start,
               rec.mem_end);
 }
@@ -193,6 +232,7 @@ PiftTracker::onBatch(const sim::EventBatch &batch)
     for (uint32_t k = 0; k < batch.mem_count; ++k) {
         records_seen =
             base + (batch.mem_index[k] - batch.index_base) + 1;
+        PIFT_PROV(recorder_, setCursor(records_seen));
         handleMem(batch.pid[k], batch.local_seq[k],
                   static_cast<sim::MemKind>(batch.kind[k]),
                   batch.start[k], batch.end[k]);
@@ -207,12 +247,17 @@ PiftTracker::onControl(const sim::ControlEvent &ev)
 {
     ++controls_seen;
     taint::AddrRange range(ev.start, ev.end);
+    PIFT_PROV(recorder_, setCursor(records_seen));
     switch (ev.kind) {
       case sim::ControlKind::RegisterSource:
         if (store.insert(ev.pid, range)) {
             ++stat.taint_ops;
             afterOp(records_seen);
         }
+        PIFT_PROV(recorder_,
+                  record(provenance::ProvKind::SourceRead,
+                         provenance::ProvCause::None, ev.pid,
+                         range.start, range.end, ev.id));
         if (journal_) {
             journalEvent({JournalKind::SourceTaint, SinkVerdict::Clean,
                           ev.pid, range.start, range.end, ev.id, 0, 0,
@@ -241,6 +286,25 @@ PiftTracker::onControl(const sim::ControlEvent &ev)
             break;
         }
         sinks.push_back(res);
+#if defined(PIFT_PROVENANCE_ENABLED)
+        if (recorder_) {
+            // Informational proximate cause; explain() resolves the
+            // concrete degradation record behind a MaybeTainted.
+            provenance::ProvCause why = provenance::ProvCause::None;
+            if (res.verdict == SinkVerdict::Tainted) {
+                why = provenance::ProvCause::TaintHit;
+            } else if (res.verdict == SinkVerdict::MaybeTainted) {
+                why = all_lossy
+                    ? provenance::ProvCause::StateLossDeclared
+                    : lossy_pids.count(ev.pid)
+                    ? provenance::ProvCause::FrontEndLoss
+                    : provenance::ProvCause::StorageSaturated;
+            }
+            recorder_->record(provenance::ProvKind::SinkCheck, why,
+                              ev.pid, range.start, range.end, ev.id, 0,
+                              0, static_cast<uint8_t>(res.verdict));
+        }
+#endif
         if (journal_) {
             journalEvent({JournalKind::SinkCheck, res.verdict, ev.pid,
                           range.start, range.end, ev.id, 0, 0, 0, 0});
@@ -254,6 +318,9 @@ PiftTracker::onControl(const sim::ControlEvent &ev)
         // All lost state is gone with the rest; stop degrading.
         lossy_pids.clear();
         all_lossy = false;
+        PIFT_PROV(recorder_,
+                  recordGlobal(provenance::ProvKind::ClearAll,
+                               provenance::ProvCause::None));
         if (journal_) {
             journalEvent({JournalKind::ClearAll, SinkVerdict::Clean, 0,
                           0, 0, 0, 0, 0, 0, 0});
@@ -283,6 +350,9 @@ PiftTracker::noteStreamLoss(ProcId pid)
 {
     ++stat.stream_loss_events;
     lossy_pids.insert(pid);
+    PIFT_PROV(recorder_,
+              record(provenance::ProvKind::StreamLoss,
+                     provenance::ProvCause::FrontEndLoss, pid));
     if (journal_) {
         journalEvent({JournalKind::StreamLoss, SinkVerdict::Clean, pid,
                       0, 0, 0, 0, 0, 0, 0});
@@ -294,6 +364,9 @@ PiftTracker::noteStateLoss()
 {
     ++stat.stream_loss_events;
     all_lossy = true;
+    PIFT_PROV(recorder_,
+              recordGlobal(provenance::ProvKind::StateLoss,
+                           provenance::ProvCause::StateLossDeclared));
     if (journal_) {
         journalEvent({JournalKind::StateLoss, SinkVerdict::Clean, 0, 0,
                       0, 0, 0, 0, 0, 0});

@@ -33,6 +33,7 @@
 
 #include "core/journal.hh"
 #include "core/taint_store.hh"
+#include "provenance/recorder.hh"
 #include "sim/trace.hh"
 #include "support/types.hh"
 #include "taint/addr_range.hh"
@@ -189,6 +190,23 @@ class PiftTracker : public sim::TraceSink
     void setJournal(MutationJournal *journal) { journal_ = journal; }
 
     /**
+     * Attach a provenance flight recorder (may be null to detach).
+     * The tracker stamps every record with its records_seen cursor —
+     * it advances the recorder's cursor as it consumes events, so
+     * records emitted by the storage underneath carry the same
+     * journal-compatible stamp. No-op in PIFT_PROVENANCE=OFF builds.
+     */
+    void
+    setRecorder(provenance::Recorder *rec)
+    {
+#if defined(PIFT_PROVENANCE_ENABLED)
+        recorder_ = rec;
+#else
+        (void)rec;
+#endif
+    }
+
+    /**
      * Export window machines, loss flags, sink results and the event
      * cursor in canonical order (see TrackerState).
      */
@@ -265,6 +283,11 @@ class PiftTracker : public sim::TraceSink
     uint64_t controls_seen = 0;
     OpObserver observer;
     MutationJournal *journal_ = nullptr;
+#if defined(PIFT_PROVENANCE_ENABLED)
+    // Guarded so the member itself vanishes in OFF builds: the
+    // recorder costs zero bytes in the tracker when compiled out.
+    provenance::Recorder *recorder_ = nullptr;
+#endif
 
     // Per-record telemetry tallies, batched as plain members (this is
     // the hottest loop in the repo) and published to the

@@ -236,8 +236,11 @@ TaintStorage::clearSaturation()
 }
 
 size_t
-TaintStorage::allocEntry(ProcId pid)
+TaintStorage::allocEntry(ProcId pid, const taint::AddrRange &want,
+                         provenance::ProvCause drop_cause)
 {
+    (void)want;
+    (void)drop_cause;
     size_t victim = npos;
     uint64_t oldest = ~0ull;
     for (size_t i = 0; i < entries.size(); ++i) {
@@ -253,6 +256,13 @@ TaintStorage::allocEntry(ProcId pid)
         ++stat.evictions;
         stel().evictions.inc();
         spill_sets[entries[victim].pid].insert(entries[victim].range);
+        // Exact move to secondary storage — informational, no loss.
+        PIFT_PROV(recorder_,
+                  record(provenance::ProvKind::Spill,
+                         provenance::ProvCause::SpillEviction,
+                         entries[victim].pid,
+                         entries[victim].range.start,
+                         entries[victim].range.end));
         entries[victim].valid = false;
         return victim;
       case EvictPolicy::LruDrop:
@@ -262,6 +272,12 @@ TaintStorage::allocEntry(ProcId pid)
         stel().drops.inc();
         // The evicted process silently loses this range.
         markSaturated(entries[victim].pid);
+        PIFT_PROV(recorder_,
+                  record(provenance::ProvKind::StorageLoss,
+                         provenance::ProvCause::LruDropEviction,
+                         entries[victim].pid,
+                         entries[victim].range.start,
+                         entries[victim].range.end));
         entries[victim].valid = false;
         return victim;
       case EvictPolicy::DropNew:
@@ -269,6 +285,9 @@ TaintStorage::allocEntry(ProcId pid)
         stel().drops.inc();
         // The inserting process never gets its range stored.
         markSaturated(pid);
+        PIFT_PROV(recorder_,
+                  record(provenance::ProvKind::StorageLoss, drop_cause,
+                         pid, want.start, want.end));
         return npos;
     }
     return npos;
@@ -330,7 +349,8 @@ TaintStorage::insert(ProcId pid, const taint::AddrRange &r)
     }
 
     if (slot == npos)
-        slot = allocEntry(pid);
+        slot = allocEntry(pid, merged,
+                          provenance::ProvCause::DropNewRefusal);
     if (slot == npos) {
         // DropNew with a full cache: the taint is lost.
         return false;
@@ -386,11 +406,11 @@ TaintStorage::remove(ProcId pid, const taint::AddrRange &r)
             // Split: shrink in place to the left part, allocate a new
             // entry for the right part.
             e.range = taint::AddrRange(cur.start, r.start - 1);
-            size_t extra = allocEntry(pid);
+            taint::AddrRange right(r.end + 1, cur.end);
+            size_t extra = allocEntry(
+                pid, right, provenance::ProvCause::SplitAllocFail);
             if (extra != npos) {
-                entries[extra] = {pid,
-                                  taint::AddrRange(r.end + 1, cur.end),
-                                  true, ++clock};
+                entries[extra] = {pid, right, true, ++clock};
                 stat.max_entries_used = std::max(stat.max_entries_used,
                                                  validEntries());
             }

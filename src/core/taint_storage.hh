@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/taint_store.hh"
+#include "provenance/recorder.hh"
 #include "support/types.hh"
 #include "taint/range_set.hh"
 
@@ -139,6 +140,22 @@ class TaintStorage : public TaintStore
     const StorageStats &stats() const { return stat; }
 
     /**
+     * Attach a provenance flight recorder (may be null to detach).
+     * The storage emits Spill/StorageLoss records for every eviction
+     * and refusal, stamped with the cursor the tracker above advances.
+     * No-op in PIFT_PROVENANCE=OFF builds.
+     */
+    void
+    setRecorder(provenance::Recorder *rec)
+    {
+#if defined(PIFT_PROVENANCE_ENABLED)
+        recorder_ = rec;
+#else
+        (void)rec;
+#endif
+    }
+
+    /**
      * Export the complete semantic state in canonical order (see
      * TaintStorageState). Used by the persist layer's snapshots and
      * by the crash-recovery differential's equality checks.
@@ -168,8 +185,16 @@ class TaintStorage : public TaintStore
         uint64_t last_use = 0; //!< LRU clock
     };
 
-    /** Claim a slot, evicting per policy. Returns npos if DropNew. */
-    size_t allocEntry(ProcId pid);
+    /**
+     * Claim a slot, evicting per policy. Returns npos if DropNew.
+     * @param want the range the caller is trying to store — the range
+     *             lost when the policy refuses the allocation
+     * @param drop_cause the provenance cause of such a refusal
+     *                   (DropNewRefusal from insert, SplitAllocFail
+     *                   from a remove split)
+     */
+    size_t allocEntry(ProcId pid, const taint::AddrRange &want,
+                      provenance::ProvCause drop_cause);
 
     /** Record that @p pid lost a range (sets the saturation flag). */
     void markSaturated(ProcId pid);
@@ -211,6 +236,10 @@ class TaintStorage : public TaintStore
     std::map<ProcId, taint::RangeSet> spill_sets;
     std::unordered_set<ProcId> saturated_pids;
     StorageStats stat;
+#if defined(PIFT_PROVENANCE_ENABLED)
+    // Guarded: zero bytes in the storage model when compiled out.
+    provenance::Recorder *recorder_ = nullptr;
+#endif
     uint64_t clock = 0;
     std::array<ProbeSlot, probe_slots> probe{};
     uint64_t probe_epoch = 1;

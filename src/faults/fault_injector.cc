@@ -75,6 +75,12 @@ FaultyStream::onRecord(const sim::TraceRecord &rec)
         ftel().drops.inc();
         pift_warn_limited(3, "fault: dropped event for pid %u",
                           rec.pid);
+        // Recorded before the loss announcement so the injected fault
+        // is the earliest degradation record explain() can resolve.
+        PIFT_PROV(inj.recorder(),
+                  record(provenance::ProvKind::FaultInjected,
+                         provenance::ProvCause::InjectedDrop, rec.pid,
+                         rec.mem_start, rec.mem_end));
         if (loss_cb)
             loss_cb(rec.pid);
         drainDue();
@@ -157,6 +163,10 @@ FaultyTaintStore::insert(ProcId pid, const taint::AddrRange &r)
         // is marked saturated so later negatives degrade.
         ++stat.insert_fails;
         ftel().insert_fails.inc();
+        PIFT_PROV(inj.recorder(),
+                  record(provenance::ProvKind::FaultInjected,
+                         provenance::ProvCause::InjectedInsertFail,
+                         pid, r.start, r.end));
         fault_saturated.insert(pid);
         pift_warn_limited(3, "fault: taint insert failed for pid %u",
                           pid);
@@ -180,6 +190,10 @@ FaultyTaintStore::insert(ProcId pid, const taint::AddrRange &r)
         ftel().forced_evicts.inc();
         const auto &[vpid, vrange] =
             history[inj.draw(history.size())];
+        PIFT_PROV(inj.recorder(),
+                  record(provenance::ProvKind::FaultInjected,
+                         provenance::ProvCause::InjectedForcedEvict,
+                         vpid, vrange.start, vrange.end));
         store.remove(vpid, vrange);
         fault_saturated.insert(vpid);
         pift_warn_limited(3, "fault: forced eviction for pid %u",

@@ -47,6 +47,7 @@
 
 #include "core/pift_tracker.hh"
 #include "core/taint_store.hh"
+#include "provenance/recorder.hh"
 #include "sim/trace.hh"
 #include "support/rng.hh"
 #include "support/types.hh"
@@ -157,6 +158,10 @@ class FaultInjector
             if (!roll(cfg.cmd_error_num))
                 return false;
             ++stat.cmd_errors;
+            PIFT_PROV(recorder(),
+                      recordGlobal(
+                          provenance::ProvKind::FaultInjected,
+                          provenance::ProvCause::InjectedCmdError));
             return true;
         };
     }
@@ -164,10 +169,36 @@ class FaultInjector
     /** Counters are exposed mutable to the interposers below. */
     FaultStats &mutableStats() { return stat; }
 
+    /**
+     * Attach a provenance flight recorder (may be null). Every
+     * interposer drawing from this injector emits a FaultInjected
+     * record *before* announcing the loss, so the earliest degradation
+     * record a MaybeTainted explanation resolves to is the injected
+     * fault itself. No-op in PIFT_PROVENANCE=OFF builds.
+     */
+    void
+    setRecorder(provenance::Recorder *rec)
+    {
+#if defined(PIFT_PROVENANCE_ENABLED)
+        recorder_ = rec;
+#else
+        (void)rec;
+#endif
+    }
+
+#if defined(PIFT_PROVENANCE_ENABLED)
+    provenance::Recorder *recorder() const { return recorder_; }
+#else
+    provenance::Recorder *recorder() const { return nullptr; }
+#endif
+
   private:
     FaultConfig cfg;
     Rng rng;
     FaultStats stat;
+#if defined(PIFT_PROVENANCE_ENABLED)
+    provenance::Recorder *recorder_ = nullptr;
+#endif
 };
 
 /**

@@ -130,6 +130,10 @@ DurableSession::snapshotNow()
     ++snapshots_taken;
     tel().snapshots.inc();
     records_since_snapshot = 0;
+    PIFT_PROV(recorder_,
+              recordGlobal(provenance::ProvKind::SnapshotEpoch,
+                           provenance::ProvCause::None,
+                           static_cast<uint32_t>(epoch_)));
 
     // Rotate: the published snapshot covers everything the old WAL
     // held, so restart the log at the new epoch. A crash before this
@@ -146,6 +150,10 @@ DurableSession::snapshotNow()
         healthy_ = false;
         return s;
     }
+    PIFT_PROV(recorder_,
+              recordGlobal(provenance::ProvKind::WalEpoch,
+                           provenance::ProvCause::None,
+                           static_cast<uint32_t>(epoch_)));
     return Status();
 }
 

@@ -121,6 +121,23 @@ class DurableSession : public core::MutationJournal
 
     const DurableOptions &options() const { return opts; }
 
+    /**
+     * Attach a provenance flight recorder (may be null). The session
+     * emits a SnapshotEpoch + WalEpoch global record per successful
+     * snapshot publication, so explanations can be correlated with the
+     * durable epoch they would recover into. No-op when
+     * PIFT_PROVENANCE=OFF.
+     */
+    void
+    setRecorder(provenance::Recorder *rec)
+    {
+#if defined(PIFT_PROVENANCE_ENABLED)
+        recorder_ = rec;
+#else
+        (void)rec;
+#endif
+    }
+
   private:
     core::TaintStorage &storage;
     core::PiftTracker &tracker;
@@ -131,6 +148,9 @@ class DurableSession : public core::MutationJournal
     uint64_t records_logged = 0;
     uint64_t snapshots_taken = 0;
     bool healthy_ = true;
+#if defined(PIFT_PROVENANCE_ENABLED)
+    provenance::Recorder *recorder_ = nullptr;
+#endif
 };
 
 } // namespace pift::persist

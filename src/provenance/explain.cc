@@ -1,0 +1,310 @@
+#include "provenance/explain.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace pift::provenance
+{
+
+namespace
+{
+
+/** Interval-map payload: where the bytes' taint last came from. */
+struct Origin
+{
+    Addr end = 0;    //!< inclusive range end
+    size_t node = 0; //!< index of the tainting record
+};
+
+using TaintMap = std::map<Addr, Origin>;
+
+/** Remove coverage of [s, e] (splitting partially-covered entries). */
+void
+removeRange(TaintMap &m, Addr s, Addr e)
+{
+    auto it = m.lower_bound(s);
+    if (it != m.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end >= s)
+            it = prev;
+    }
+    while (it != m.end() && it->first <= e) {
+        Addr cs = it->first;
+        Addr ce = it->second.end;
+        size_t cn = it->second.node;
+        it = m.erase(it);
+        if (cs < s)
+            m[cs] = {s - 1, cn};
+        if (ce > e) {
+            m[e + 1] = {ce, cn};
+            break; // nothing past a straddling entry can overlap
+        }
+    }
+}
+
+/** Make @p node the origin of [s, e]. */
+void
+insertRange(TaintMap &m, Addr s, Addr e, size_t node)
+{
+    removeRange(m, s, e);
+    m[s] = {e, node};
+}
+
+/** Origin nodes overlapping [s, e], ascending and deduplicated. */
+std::vector<size_t>
+overlappingOrigins(const TaintMap &m, Addr s, Addr e)
+{
+    std::vector<size_t> out;
+    auto it = m.lower_bound(s);
+    if (it != m.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end >= s)
+            it = prev;
+    }
+    for (; it != m.end() && it->first <= e; ++it)
+        out.push_back(it->second.node);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+const char *
+verdictName(uint8_t verdict)
+{
+    switch (verdict) {
+      case 0: return "CLEAN";
+      case 1: return "TAINTED";
+      case 2: return "MAYBE-TAINTED";
+    }
+    return "?";
+}
+
+/** Synthetic cause record for evidence the bounded ring overwrote. */
+ProvRecord
+ringEvictedCause(const ProvRecord &sink)
+{
+    ProvRecord r;
+    r.index = sink.index;
+    r.seq = sink.seq;
+    r.pid = sink.pid;
+    r.kind = ProvKind::StorageLoss;
+    r.cause = ProvCause::RingEvicted;
+    return r;
+}
+
+} // anonymous namespace
+
+std::vector<Explanation>
+explainPid(const Recorder &rec, ProcId pid)
+{
+    const std::vector<ProvRecord> records = rec.recordsFor(pid);
+    const bool evicted = rec.evictedFor(pid) > 0;
+    const size_t n = records.size();
+
+    TaintMap taint;
+    // Causal links discovered by the forward pass. write_parent maps
+    // a TaintWrite/TaintMerge node to the tainted load governing its
+    // window; load_origins maps a WindowOpen/WindowRenew node to the
+    // origins its load range overlapped at that moment.
+    std::vector<ptrdiff_t> write_parent(n, -1);
+    std::vector<std::vector<size_t>> load_origins(n);
+    ptrdiff_t last_load = -1;
+    size_t scan_start = 0; //!< first node after the last ClearAll
+
+    std::vector<Explanation> out;
+    for (size_t i = 0; i < n; ++i) {
+        const ProvRecord &r = records[i];
+        switch (r.kind) {
+          case ProvKind::SourceRead:
+            insertRange(taint, r.start, r.end, i);
+            break;
+          case ProvKind::WindowOpen:
+          case ProvKind::WindowRenew:
+            load_origins[i] =
+                overlappingOrigins(taint, r.start, r.end);
+            last_load = static_cast<ptrdiff_t>(i);
+            break;
+          case ProvKind::TaintWrite:
+          case ProvKind::TaintMerge:
+            write_parent[i] = last_load;
+            insertRange(taint, r.start, r.end, i);
+            break;
+          case ProvKind::Untaint:
+            removeRange(taint, r.start, r.end);
+            break;
+          case ProvKind::ClearAll:
+            taint.clear();
+            last_load = -1;
+            scan_start = i + 1;
+            break;
+          case ProvKind::SinkCheck: {
+            Explanation e;
+            e.sink = r;
+            e.verdict = r.verdict;
+            if (r.verdict == 1) {
+                // Tainted: walk origin → window load → prior origin …
+                // until a SourceRead root. Ties resolve to the oldest
+                // record, so the chain is deterministic.
+                auto origins =
+                    overlappingOrigins(taint, r.start, r.end);
+                std::vector<size_t> path;
+                path.push_back(i);
+                if (!origins.empty()) {
+                    std::vector<char> seen(n, 0);
+                    size_t cur = origins.front();
+                    while (!seen[cur]) {
+                        seen[cur] = 1;
+                        path.push_back(cur);
+                        const ProvRecord &c = records[cur];
+                        if (c.kind == ProvKind::SourceRead) {
+                            e.complete = true;
+                            break;
+                        }
+                        if (c.kind == ProvKind::TaintWrite ||
+                            c.kind == ProvKind::TaintMerge) {
+                            if (write_parent[cur] < 0)
+                                break;
+                            cur = static_cast<size_t>(
+                                write_parent[cur]);
+                        } else if (c.kind == ProvKind::WindowOpen ||
+                                   c.kind == ProvKind::WindowRenew) {
+                            if (load_origins[cur].empty())
+                                break;
+                            cur = load_origins[cur].front();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                std::reverse(path.begin(), path.end());
+                e.chain.reserve(path.size());
+                for (size_t node : path)
+                    e.chain.push_back(records[node]);
+                if (!e.complete && evicted) {
+                    // The evidence existed but the bounded ring
+                    // overwrote it; say so rather than guessing.
+                    e.has_cause = true;
+                    e.cause = ringEvictedCause(r);
+                }
+            } else if (r.verdict == 2) {
+                // MaybeTainted: the earliest concrete degradation
+                // since the last ClearAll is the event that forced
+                // the tri-state down.
+                for (size_t k = scan_start; k < i; ++k) {
+                    if (isDegradation(records[k].kind,
+                                      records[k].cause)) {
+                        e.has_cause = true;
+                        e.cause = records[k];
+                        break;
+                    }
+                }
+                if (!e.has_cause && evicted) {
+                    e.has_cause = true;
+                    e.cause = ringEvictedCause(r);
+                }
+            } else {
+                // Clean: the interval map must agree there is no
+                // surviving taint under the checked buffer. A
+                // non-empty chain here is an attribution bug (or a
+                // silent-FN path) — expose it to the differential.
+                auto origins =
+                    overlappingOrigins(taint, r.start, r.end);
+                for (size_t node : origins)
+                    e.chain.push_back(records[node]);
+            }
+            out.push_back(std::move(e));
+            break;
+          }
+          default:
+            // Spill keeps the bytes tainted (exact move); loss and
+            // epoch records don't alter coverage — the map stays a
+            // superset of the real store, which is what makes
+            // Tainted chains complete under degradation.
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<Explanation>
+explainAll(const Recorder &rec)
+{
+    std::vector<Explanation> out;
+    for (ProcId pid : rec.pids()) {
+        auto per = explainPid(rec, pid);
+        out.insert(out.end(), per.begin(), per.end());
+    }
+    return out;
+}
+
+std::string
+formatRecord(const ProvRecord &r)
+{
+    char buf[160];
+    int len = std::snprintf(
+        buf, sizeof(buf), "%-14s pid=%u [0x%x,0x%x]", kindName(r.kind),
+        r.pid, r.start, r.end);
+    std::string out(buf, static_cast<size_t>(std::max(len, 0)));
+    if (r.id) {
+        std::snprintf(buf, sizeof(buf), " id=%u", r.id);
+        out += buf;
+    }
+    if (r.kind == ProvKind::WindowOpen ||
+        r.kind == ProvKind::WindowRenew ||
+        r.kind == ProvKind::TaintWrite ||
+        r.kind == ProvKind::TaintMerge) {
+        std::snprintf(buf, sizeof(buf), " ltlt=%llu used=%u",
+                      static_cast<unsigned long long>(r.ltlt), r.used);
+        out += buf;
+    }
+    if (r.cause != ProvCause::None &&
+        r.cause != ProvCause::TaintHit) {
+        out += " cause=";
+        out += causeName(r.cause);
+    }
+    std::snprintf(buf, sizeof(buf), " @%llu",
+                  static_cast<unsigned long long>(r.seq));
+    out += buf;
+    return out;
+}
+
+std::string
+formatExplanation(const Explanation &e)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "sink %u pid %u [0x%x,0x%x] @%llu: %s", e.sink.id,
+                  e.sink.pid, e.sink.start, e.sink.end,
+                  static_cast<unsigned long long>(e.sink.seq),
+                  verdictName(e.verdict));
+    std::string out = buf;
+    if (e.verdict == 1) {
+        std::snprintf(buf, sizeof(buf), " (%s chain, %zu links)\n",
+                      e.complete ? "complete" : "INCOMPLETE",
+                      e.chain.size());
+        out += buf;
+        for (const ProvRecord &r : e.chain)
+            out += "    " + formatRecord(r) + "\n";
+        if (!e.complete && e.has_cause)
+            out += "    evidence lost: " + formatRecord(e.cause) +
+                "\n";
+    } else if (e.verdict == 2) {
+        out += "\n";
+        if (e.has_cause)
+            out += "    cause: " + formatRecord(e.cause) + "\n";
+        else
+            out += "    cause: NOT RECORDED\n";
+    } else {
+        if (e.chain.empty()) {
+            out += " (no taint chain)\n";
+        } else {
+            out += " (UNEXPECTED residual taint)\n";
+            for (const ProvRecord &r : e.chain)
+                out += "    " + formatRecord(r) + "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace pift::provenance

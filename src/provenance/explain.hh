@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The provenance query engine (DESIGN.md §13).
+ *
+ * explainPid() replays a process's surviving flight-recorder records
+ * forward, maintaining an interval map from tainted address ranges to
+ * the record that last tainted them, and links every record to its
+ * causal parent:
+ *
+ *  - a SourceRead is a chain root;
+ *  - a WindowOpen/WindowRenew (tainted load) links to the records
+ *    whose taint its load range overlapped at that moment;
+ *  - a TaintWrite/TaintMerge links to the tainted load governing its
+ *    window and becomes the origin of the bytes it wrote;
+ *  - Untaint removes coverage, ClearAll resets everything.
+ *
+ * For each SinkCheck record this yields:
+ *  - Tainted: the full source→sink chain (complete iff it reaches a
+ *    SourceRead root — always, unless the bounded ring overwrote the
+ *    evidence, which is reported as cause ring-evicted);
+ *  - MaybeTainted: the earliest concrete degradation record since the
+ *    last ClearAll (an injected fault, a storage loss, a stream/state
+ *    loss, a command-port degradation) — the event that forced the
+ *    tri-state down;
+ *  - Clean: no chain (the interval map proves no recorded taint
+ *    overlapped the checked buffer).
+ *
+ * Everything is a pure function of the ring contents, so
+ * explanations are byte-deterministic for a given replay.
+ */
+
+#ifndef PIFT_PROVENANCE_EXPLAIN_HH
+#define PIFT_PROVENANCE_EXPLAIN_HH
+
+#include <string>
+#include <vector>
+
+#include "provenance/record.hh"
+#include "provenance/recorder.hh"
+#include "support/types.hh"
+
+namespace pift::provenance
+{
+
+/** Everything explain() derives for one sink check. */
+struct Explanation
+{
+    ProvRecord sink;            //!< the SinkCheck record itself
+    uint8_t verdict = 0;        //!< raw core::SinkVerdict
+
+    /**
+     * Tainted: the causal chain, source-first and sink-last.
+     * Clean: empty (and must stay empty — the differential checks).
+     */
+    std::vector<ProvRecord> chain;
+    /** Tainted only: the chain reaches a SourceRead root. */
+    bool complete = false;
+
+    /** MaybeTainted only: a concrete degradation record was found. */
+    bool has_cause = false;
+    ProvRecord cause;
+};
+
+/**
+ * Explain every surviving sink check of @p pid, oldest first.
+ * Deterministic: ties (a sink range overlapping several origins)
+ * resolve to the oldest record.
+ */
+std::vector<Explanation> explainPid(const Recorder &rec, ProcId pid);
+
+/** explainPid() over every tracked pid, ascending pid. */
+std::vector<Explanation> explainAll(const Recorder &rec);
+
+/** One-line rendering of a record (tables, chain lines). */
+std::string formatRecord(const ProvRecord &r);
+
+/** Multi-line rendering of one explanation (CLI `explain`). */
+std::string formatExplanation(const Explanation &e);
+
+} // namespace pift::provenance
+
+#endif // PIFT_PROVENANCE_EXPLAIN_HH

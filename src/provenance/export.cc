@@ -1,0 +1,132 @@
+#include "provenance/export.hh"
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace pift::provenance
+{
+
+namespace
+{
+
+void
+writeRecordJson(std::ostream &os, const ProvRecord &r)
+{
+    os << "{\"index\":" << r.index << ",\"seq\":" << r.seq
+       << ",\"pid\":" << r.pid << ",\"kind\":\"" << kindName(r.kind)
+       << "\",\"cause\":\"" << causeName(r.cause) << "\",\"start\":"
+       << r.start << ",\"end\":" << r.end << ",\"id\":" << r.id
+       << ",\"ltlt\":" << r.ltlt << ",\"used\":" << r.used
+       << ",\"verdict\":" << static_cast<unsigned>(r.verdict) << "}";
+}
+
+std::string
+nodeLabel(const ProvRecord &r)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s\\n[0x%x,0x%x] @%llu",
+                  kindName(r.kind), r.start, r.end,
+                  static_cast<unsigned long long>(r.seq));
+    return buf;
+}
+
+const char *
+sinkColor(uint8_t verdict)
+{
+    switch (verdict) {
+      case 1: return "firebrick1";
+      case 2: return "orange";
+    }
+    return "palegreen";
+}
+
+} // anonymous namespace
+
+void
+writeRecordsJsonl(std::ostream &os,
+                  const std::vector<ProvRecord> &records)
+{
+    for (const ProvRecord &r : records) {
+        writeRecordJson(os, r);
+        os << "\n";
+    }
+}
+
+void
+writeExplanationsJsonl(std::ostream &os,
+                       const std::vector<Explanation> &exps)
+{
+    for (const Explanation &e : exps) {
+        os << "{\"sink\":";
+        writeRecordJson(os, e.sink);
+        os << ",\"verdict\":" << static_cast<unsigned>(e.verdict)
+           << ",\"complete\":" << (e.complete ? "true" : "false")
+           << ",\"chain\":[";
+        for (size_t i = 0; i < e.chain.size(); ++i) {
+            if (i)
+                os << ",";
+            writeRecordJson(os, e.chain[i]);
+        }
+        os << "]";
+        if (e.has_cause) {
+            os << ",\"cause\":";
+            writeRecordJson(os, e.cause);
+        }
+        os << "}\n";
+    }
+}
+
+void
+writeFlowGraphDot(std::ostream &os,
+                  const std::vector<Explanation> &exps,
+                  const char *title)
+{
+    os << "digraph \"" << title << "\" {\n"
+       << "  rankdir=TB;\n"
+       << "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+
+    // Deduplicate shared prefixes: a record is one node keyed by its
+    // global emission index, no matter how many chains traverse it.
+    std::map<uint64_t, std::string> styled;
+    auto emitNode = [&](const ProvRecord &r, const char *fill) {
+        std::string style = "label=\"" + nodeLabel(r) + "\"";
+        if (fill) {
+            style += ", style=filled, fillcolor=";
+            style += fill;
+        } else if (r.kind == ProvKind::SourceRead) {
+            style += ", style=filled, fillcolor=lightblue";
+        }
+        auto it = styled.find(r.index);
+        if (it != styled.end() && it->second.size() >= style.size())
+            return;
+        styled[r.index] = std::move(style);
+    };
+
+    for (const Explanation &e : exps) {
+        emitNode(e.sink, sinkColor(e.verdict));
+        for (const ProvRecord &r : e.chain)
+            if (r.index != e.sink.index)
+                emitNode(r, nullptr);
+        if (e.has_cause) {
+            // Synthetic causes reuse the sink's index; suffix them.
+            os << "  cause" << e.sink.index << " [label=\""
+               << causeName(e.cause.cause)
+               << "\", shape=ellipse, style=dashed];\n";
+        }
+    }
+    for (const auto &[index, style] : styled)
+        os << "  r" << index << " [" << style << "];\n";
+
+    for (const Explanation &e : exps) {
+        for (size_t i = 0; i + 1 < e.chain.size(); ++i)
+            os << "  r" << e.chain[i].index << " -> r"
+               << e.chain[i + 1].index << ";\n";
+        if (e.has_cause)
+            os << "  cause" << e.sink.index << " -> r" << e.sink.index
+               << " [style=dashed];\n";
+    }
+    os << "}\n";
+}
+
+} // namespace pift::provenance

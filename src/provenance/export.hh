@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Flow-graph exporters for provenance explanations (DESIGN.md §13).
+ *
+ * Two formats, both derived purely from Explanation values so they are
+ * byte-deterministic for a given replay:
+ *
+ *  - JSONL: one JSON object per line. writeRecordsJsonl() dumps raw
+ *    flight-recorder records (debugging, offline tooling);
+ *    writeExplanationsJsonl() dumps one object per sink check with its
+ *    verdict, chain, and cause — the machine-readable counterpart of
+ *    `pift_cli explain`.
+ *  - DOT: writeFlowGraphDot() renders the union of all chains as a
+ *    directed graph — records are nodes (deduplicated by emission
+ *    index), causal links are edges, sinks are coloured by verdict and
+ *    MaybeTainted causes are attached with a dashed edge. Feed it to
+ *    `dot -Tsvg` to look at a leak.
+ */
+
+#ifndef PIFT_PROVENANCE_EXPORT_HH
+#define PIFT_PROVENANCE_EXPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "provenance/explain.hh"
+#include "provenance/record.hh"
+
+namespace pift::provenance
+{
+
+/** One JSON object per record, in the given order. */
+void writeRecordsJsonl(std::ostream &os,
+                       const std::vector<ProvRecord> &records);
+
+/** One JSON object per explanation: verdict, chain, cause. */
+void writeExplanationsJsonl(std::ostream &os,
+                            const std::vector<Explanation> &exps);
+
+/** GraphViz flow graph over every chain in @p exps. */
+void writeFlowGraphDot(std::ostream &os,
+                       const std::vector<Explanation> &exps,
+                       const char *title = "pift_provenance");
+
+} // namespace pift::provenance
+
+#endif // PIFT_PROVENANCE_EXPORT_HH

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header for the provenance flight recorder (DESIGN.md §13).
+ * Emit sites only need recorder.hh; consumers that query or export
+ * (analysis, CLI, benches) include this.
+ */
+
+#ifndef PIFT_PROVENANCE_PROVENANCE_HH
+#define PIFT_PROVENANCE_PROVENANCE_HH
+
+#include "provenance/explain.hh"
+#include "provenance/export.hh"
+#include "provenance/record.hh"
+#include "provenance/recorder.hh"
+
+#endif // PIFT_PROVENANCE_PROVENANCE_HH

@@ -1,0 +1,58 @@
+#include "provenance/record.hh"
+
+namespace pift::provenance
+{
+
+const char *
+kindName(ProvKind kind)
+{
+    switch (kind) {
+      case ProvKind::SourceRead:    return "source-read";
+      case ProvKind::WindowOpen:    return "window-open";
+      case ProvKind::WindowRenew:   return "window-renew";
+      case ProvKind::WindowExpire:  return "window-expire";
+      case ProvKind::TaintWrite:    return "taint-write";
+      case ProvKind::TaintMerge:    return "taint-merge";
+      case ProvKind::Untaint:       return "untaint";
+      case ProvKind::Spill:         return "spill";
+      case ProvKind::StorageLoss:   return "storage-loss";
+      case ProvKind::StreamLoss:    return "stream-loss";
+      case ProvKind::StateLoss:     return "state-loss";
+      case ProvKind::FaultInjected: return "fault-injected";
+      case ProvKind::CmdRetry:      return "cmd-retry";
+      case ProvKind::CmdDegraded:   return "cmd-degraded";
+      case ProvKind::SinkCheck:     return "sink-check";
+      case ProvKind::ClearAll:      return "clear-all";
+      case ProvKind::SnapshotEpoch: return "snapshot-epoch";
+      case ProvKind::WalEpoch:      return "wal-epoch";
+    }
+    return "?";
+}
+
+const char *
+causeName(ProvCause cause)
+{
+    switch (cause) {
+      case ProvCause::None:                return "none";
+      case ProvCause::TaintHit:            return "taint-hit";
+      case ProvCause::WindowClosed:        return "window-closed";
+      case ProvCause::BudgetExhausted:     return "budget-exhausted";
+      case ProvCause::LruDropEviction:     return "lru-drop-eviction";
+      case ProvCause::DropNewRefusal:      return "drop-new-refusal";
+      case ProvCause::SplitAllocFail:      return "split-alloc-fail";
+      case ProvCause::SpillEviction:       return "spill-eviction";
+      case ProvCause::InjectedDrop:        return "injected-drop";
+      case ProvCause::InjectedInsertFail:  return "injected-insert-fail";
+      case ProvCause::InjectedForcedEvict:
+        return "injected-forced-evict";
+      case ProvCause::InjectedCmdError:    return "injected-cmd-error";
+      case ProvCause::FrontEndLoss:        return "front-end-loss";
+      case ProvCause::StateLossDeclared:   return "state-loss-declared";
+      case ProvCause::StorageSaturated:    return "storage-saturated";
+      case ProvCause::RingEvicted:         return "ring-evicted";
+      case ProvCause::Unknown:             return "unknown";
+    }
+    return "?";
+}
+
+} // namespace pift::provenance

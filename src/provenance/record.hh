@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The provenance record format (DESIGN.md §13).
+ *
+ * Every causal taint decision the stack makes — a source registration,
+ * a tainting-window transition, a taint write/merge/untaint, a storage
+ * spill or loss, a fault injection, a command-port degradation, a sink
+ * check — is captured as one fixed-size ProvRecord in a per-PID
+ * bounded ring (provenance/recorder.hh). Records carry the tracker's
+ * records_seen cursor (`seq`, the same stamp the mutation journal
+ * uses) plus a global emission index (`index`) that totally orders
+ * records across the per-PID and global rings, and a cause tag saying
+ * *why* the event happened (window budget exhausted vs window closed,
+ * LRU drop vs injected insert failure, ...).
+ *
+ * The record set is designed so provenance::explain can reconstruct a
+ * full source→sink chain from the ring alone: taint writes name the
+ * governing window, window openings are emitted with the load range
+ * (whose origin the explainer resolves against its replayed interval
+ * map), and sink checks are themselves records.
+ */
+
+#ifndef PIFT_PROVENANCE_RECORD_HH
+#define PIFT_PROVENANCE_RECORD_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace pift::provenance
+{
+
+/** What happened. */
+enum class ProvKind : uint8_t
+{
+    SourceRead,    //!< source registration tainted [start,end]; id=src
+    WindowOpen,    //!< tainted load opened a fresh tainting window
+    WindowRenew,   //!< tainted load hit while a window was open
+    WindowExpire,  //!< window lazily retired (NI exceeded)
+    TaintWrite,    //!< in-window store tainted new bytes
+    TaintMerge,    //!< in-window store re-covered tainted bytes
+    Untaint,       //!< store outside every window removed taint
+    Spill,         //!< storage moved a range to secondary (exact)
+    StorageLoss,   //!< storage lost a range (cause says how)
+    StreamLoss,    //!< front-end lost events for this process
+    StateLoss,     //!< whole-state loss declared (recovery)
+    FaultInjected, //!< fault injector fired (cause names the class)
+    CmdRetry,      //!< command-port transient; command re-issued
+    CmdDegraded,   //!< command port never latched; MaybeTainted
+    SinkCheck,     //!< sink query; verdict field holds the tri-state
+    ClearAll,      //!< all taint state dropped
+    SnapshotEpoch, //!< durable snapshot published; id = epoch
+    WalEpoch       //!< WAL rotated to a new epoch; id = epoch
+};
+
+/** Why it happened (the cause tag). */
+enum class ProvCause : uint8_t
+{
+    None,
+    TaintHit,            //!< plain data flow through a window
+    WindowClosed,        //!< the store fell outside every window
+    BudgetExhausted,     //!< NT propagations already used
+    LruDropEviction,     //!< LruDrop victim lost its range
+    DropNewRefusal,      //!< DropNew refused the insertion
+    SplitAllocFail,      //!< remove-split found no free entry
+    SpillEviction,       //!< LruSpill moved the range (no loss)
+    InjectedDrop,        //!< faults: event-stream record dropped
+    InjectedInsertFail,  //!< faults: storage insert refused
+    InjectedForcedEvict, //!< faults: held range forcibly removed
+    InjectedCmdError,    //!< faults: command-port transient
+    FrontEndLoss,        //!< tracker notified of upstream loss
+    StateLossDeclared,   //!< tracker notified of whole-state loss
+    StorageSaturated,    //!< sink degraded: backend saturated(pid)
+    RingEvicted,         //!< ring overwrote the evidence (bounded)
+    Unknown
+};
+
+/**
+ * One flight-recorder record. Fixed-size POD so a ring slot is one
+ * cache-line-ish write; ranges are inclusive [start, end] like
+ * taint::AddrRange.
+ */
+struct ProvRecord
+{
+    uint64_t index = 0;  //!< global emission index (total order)
+    SeqNum seq = 0;      //!< records_seen cursor at emission
+    SeqNum ltlt = 0;     //!< window anchor (window/store records)
+    ProcId pid = 0;
+    Addr start = 0;
+    Addr end = 0;
+    uint32_t id = 0;     //!< source/sink id, epoch, or fault detail
+    uint32_t used = 0;   //!< window budget consumed so far
+    ProvKind kind = ProvKind::SourceRead;
+    ProvCause cause = ProvCause::None;
+    uint8_t verdict = 0; //!< raw core::SinkVerdict (SinkCheck only)
+};
+
+/** Stable lowercase-dashed name of @p kind (exporters, tables). */
+const char *kindName(ProvKind kind);
+
+/** Stable lowercase-dashed name of @p cause. */
+const char *causeName(ProvCause cause);
+
+/** True for the record kinds that announce possible taint loss. */
+inline bool
+isDegradation(ProvKind kind, ProvCause cause)
+{
+    switch (kind) {
+      case ProvKind::StorageLoss:
+      case ProvKind::StreamLoss:
+      case ProvKind::StateLoss:
+      case ProvKind::CmdDegraded:
+        return true;
+      case ProvKind::FaultInjected:
+        // Loss-class injections only; integrity faults (dup, reorder,
+        // corrupt) do not remove taint and never force MaybeTainted.
+        return cause == ProvCause::InjectedDrop ||
+            cause == ProvCause::InjectedInsertFail ||
+            cause == ProvCause::InjectedForcedEvict ||
+            cause == ProvCause::InjectedCmdError;
+      default:
+        return false;
+    }
+}
+
+} // namespace pift::provenance
+
+#endif // PIFT_PROVENANCE_RECORD_HH

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * The provenance flight recorder (DESIGN.md §13).
+ *
+ * A Recorder owns one bounded ring of ProvRecords per tracked process
+ * plus one global ring for process-less events (ClearAll, state loss,
+ * snapshot/WAL epochs). Emit sites (core::PiftTracker,
+ * core::TaintStorage, the fault interposers, android::PiftModule,
+ * persist::DurableSession) hold a `Recorder *` and emit through the
+ * PIFT_PROV() macro below; the tracker advances the shared
+ * records_seen cursor so every record is stamped exactly like a
+ * journal record.
+ *
+ * Ring semantics: each ring holds the newest `ring_capacity` records
+ * for its process; older records are overwritten (counted in
+ * evictedFor()). Storage grows lazily to the capacity, so an
+ * unattached or lightly-taxed recorder costs almost nothing.
+ *
+ * Compile-out mirrors src/telemetry/: building with
+ * `-DPIFT_PROVENANCE=OFF` swaps this header's real classes for inline
+ * no-op stubs with the same API, the `Recorder *` members in the
+ * hot-path structs disappear (they are guarded by
+ * PIFT_PROVENANCE_ENABLED), and PIFT_PROV() expands to nothing — zero
+ * bytes and zero branches on the hot paths.
+ */
+
+#ifndef PIFT_PROVENANCE_RECORDER_HH
+#define PIFT_PROVENANCE_RECORDER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "provenance/record.hh"
+#include "support/types.hh"
+
+#if defined(PIFT_PROVENANCE_ENABLED)
+#include <algorithm>
+#include <map>
+#endif
+
+/**
+ * Emit through a possibly-null `Recorder *` without costing anything
+ * when the subsystem is compiled out: the arguments are not even
+ * evaluated, so guarded members may not exist in OFF builds.
+ */
+#if defined(PIFT_PROVENANCE_ENABLED)
+#define PIFT_PROV(rec, call)                                          \
+    do {                                                              \
+        if (rec)                                                      \
+            (rec)->call;                                              \
+    } while (0)
+#else
+#define PIFT_PROV(rec, call)                                          \
+    do {                                                              \
+    } while (0)
+#endif
+
+namespace pift::provenance
+{
+
+/** Recorder tuning. */
+struct RecorderParams
+{
+    /** Newest records kept per process (and in the global ring). */
+    size_t ring_capacity = 16384;
+};
+
+#if defined(PIFT_PROVENANCE_ENABLED)
+
+/** True when the subsystem is compiled in (PIFT_PROVENANCE=ON). */
+inline constexpr bool
+compiledIn()
+{
+    return true;
+}
+
+/** Per-PID bounded flight recorder of causal taint records. */
+class Recorder
+{
+  public:
+    explicit Recorder(const RecorderParams &params = {})
+        : cap(params.ring_capacity ? params.ring_capacity : 1)
+    {}
+
+    /**
+     * Advance the records_seen cursor; the tracker calls this as it
+     * consumes events so records from every emit site (including the
+     * storage underneath) carry the journal-compatible stamp.
+     */
+    void setCursor(SeqNum records_seen) { cur = records_seen; }
+    SeqNum cursor() const { return cur; }
+
+    /** Emit one record stamped with the current cursor. */
+    void
+    record(ProvKind kind, ProvCause cause, ProcId pid, Addr start = 0,
+           Addr end = 0, uint32_t id = 0, SeqNum ltlt = 0,
+           uint32_t used = 0, uint8_t verdict = 0)
+    {
+        recordAt(cur, kind, cause, pid, start, end, id, ltlt, used,
+                 verdict);
+    }
+
+    /** Emit one record with an explicit seq stamp (live emit sites). */
+    void
+    recordAt(SeqNum seq, ProvKind kind, ProvCause cause, ProcId pid,
+             Addr start = 0, Addr end = 0, uint32_t id = 0,
+             SeqNum ltlt = 0, uint32_t used = 0, uint8_t verdict = 0)
+    {
+        ProvRecord r;
+        r.index = next_index++;
+        r.seq = seq;
+        r.ltlt = ltlt;
+        r.pid = pid;
+        r.start = start;
+        r.end = end;
+        r.id = id;
+        r.used = used;
+        r.kind = kind;
+        r.cause = cause;
+        r.verdict = verdict;
+        ++total_;
+        rings[pid].push(r, cap);
+    }
+
+    /** Emit a process-less record into the global ring. */
+    void
+    recordGlobal(ProvKind kind, ProvCause cause, uint32_t id = 0)
+    {
+        ProvRecord r;
+        r.index = next_index++;
+        r.seq = cur;
+        r.id = id;
+        r.kind = kind;
+        r.cause = cause;
+        ++total_;
+        global.push(r, cap);
+    }
+
+    /** Tracked process ids, ascending. */
+    std::vector<ProcId>
+    pids() const
+    {
+        std::vector<ProcId> out;
+        out.reserve(rings.size());
+        for (const auto &[pid, ring] : rings)
+            out.push_back(pid);
+        return out;
+    }
+
+    /**
+     * All surviving records relevant to @p pid — its own ring merged
+     * with the global ring — oldest first (ascending index).
+     */
+    std::vector<ProvRecord>
+    recordsFor(ProcId pid) const
+    {
+        std::vector<ProvRecord> out;
+        auto it = rings.find(pid);
+        if (it != rings.end())
+            it->second.collect(out);
+        global.collect(out);
+        std::sort(out.begin(), out.end(),
+                  [](const ProvRecord &a, const ProvRecord &b) {
+                      return a.index < b.index;
+                  });
+        return out;
+    }
+
+    /** Surviving global-ring records, oldest first. */
+    std::vector<ProvRecord>
+    globalRecords() const
+    {
+        std::vector<ProvRecord> out;
+        global.collect(out);
+        return out;
+    }
+
+    /** Records emitted across every ring since construction. */
+    uint64_t totalRecorded() const { return total_; }
+
+    /** Records overwritten by ring wrap-around, all rings. */
+    uint64_t
+    totalEvicted() const
+    {
+        uint64_t n = global.evicted(cap);
+        for (const auto &[pid, ring] : rings)
+            n += ring.evicted(cap);
+        return n;
+    }
+
+    /** Records overwritten in @p pid's ring (plus the global ring). */
+    uint64_t
+    evictedFor(ProcId pid) const
+    {
+        uint64_t n = global.evicted(cap);
+        auto it = rings.find(pid);
+        if (it != rings.end())
+            n += it->second.evicted(cap);
+        return n;
+    }
+
+    size_t ringCapacity() const { return cap; }
+
+    /** Drop every record (rings stay allocated). */
+    void
+    clear()
+    {
+        rings.clear();
+        global = Ring{};
+        total_ = 0;
+        next_index = 0;
+    }
+
+  private:
+    /**
+     * Lazily-grown ring: plain append until the capacity is reached,
+     * then overwrite oldest-first. `head` is the next write slot once
+     * wrapped; `pushed` counts lifetime pushes (evictions follow).
+     */
+    struct Ring
+    {
+        std::vector<ProvRecord> buf;
+        size_t head = 0;
+        uint64_t pushed = 0;
+
+        void
+        push(const ProvRecord &r, size_t cap)
+        {
+            ++pushed;
+            if (buf.size() < cap) {
+                buf.push_back(r);
+                return;
+            }
+            buf[head] = r;
+            head = (head + 1) % cap;
+        }
+
+        uint64_t
+        evicted(size_t cap) const
+        {
+            return pushed > cap ? pushed - cap : 0;
+        }
+
+        /** Append the survivors oldest-first to @p out. */
+        void
+        collect(std::vector<ProvRecord> &out) const
+        {
+            out.reserve(out.size() + buf.size());
+            for (size_t i = 0; i < buf.size(); ++i)
+                out.push_back(buf[(head + i) % buf.size()]);
+        }
+    };
+
+    size_t cap;
+    SeqNum cur = 0;
+    uint64_t next_index = 0;
+    uint64_t total_ = 0;
+    // std::map keeps pids() deterministic for free.
+    std::map<ProcId, Ring> rings;
+    Ring global;
+};
+
+#else // !PIFT_PROVENANCE_ENABLED — inline no-op stubs, same API.
+
+inline constexpr bool
+compiledIn()
+{
+    return false;
+}
+
+class Recorder
+{
+  public:
+    explicit Recorder(const RecorderParams & = {}) {}
+
+    void setCursor(SeqNum) {}
+    SeqNum cursor() const { return 0; }
+
+    void record(ProvKind, ProvCause, ProcId, Addr = 0, Addr = 0,
+                uint32_t = 0, SeqNum = 0, uint32_t = 0, uint8_t = 0)
+    {}
+    void recordAt(SeqNum, ProvKind, ProvCause, ProcId, Addr = 0,
+                  Addr = 0, uint32_t = 0, SeqNum = 0, uint32_t = 0,
+                  uint8_t = 0)
+    {}
+    void recordGlobal(ProvKind, ProvCause, uint32_t = 0) {}
+
+    std::vector<ProcId> pids() const { return {}; }
+    std::vector<ProvRecord> recordsFor(ProcId) const { return {}; }
+    std::vector<ProvRecord> globalRecords() const { return {}; }
+
+    uint64_t totalRecorded() const { return 0; }
+    uint64_t totalEvicted() const { return 0; }
+    uint64_t evictedFor(ProcId) const { return 0; }
+    size_t ringCapacity() const { return 0; }
+    void clear() {}
+};
+
+#endif // PIFT_PROVENANCE_ENABLED
+
+} // namespace pift::provenance
+
+#endif // PIFT_PROVENANCE_RECORDER_HH

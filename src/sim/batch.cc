@@ -2,11 +2,47 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hh"
+
 namespace pift::sim
 {
 
+namespace
+{
+
+/** Batch-pipeline instruments, resolved once (see DESIGN.md §9). */
+struct BatchTel
+{
+    telemetry::Counter &packed_traces =
+        telemetry::counter("sim.batch.packed_traces");
+    telemetry::Counter &packed_records =
+        telemetry::counter("sim.batch.packed_records");
+    telemetry::Counter &packed_mem_events =
+        telemetry::counter("sim.batch.packed_mem_events");
+    telemetry::Counter &sealed_batches =
+        telemetry::counter("sim.batch.sealed_batches");
+    telemetry::Counter &sealed_records =
+        telemetry::counter("sim.batch.sealed_records");
+    telemetry::Counter &replays =
+        telemetry::counter("sim.batch.replays");
+    telemetry::Counter &batches =
+        telemetry::counter("sim.batch.batches");
+    telemetry::Counter &records_replayed =
+        telemetry::counter("sim.batch.records_replayed");
+};
+
+BatchTel &
+btel()
+{
+    static BatchTel t;
+    return t;
+}
+
+} // anonymous namespace
+
 PackedTrace::PackedTrace(const Trace &trace) : src(&trace)
 {
+    telemetry::Span span("sim:pack_trace", "sim");
     const auto &recs = trace.records;
     size_t nmem = 0;
     for (const auto &rec : recs)
@@ -30,6 +66,9 @@ PackedTrace::PackedTrace(const Trace &trace) : src(&trace)
         end_.push_back(rec.mem_end);
         kind_.push_back(static_cast<uint8_t>(rec.mem_kind));
     }
+    btel().packed_traces.inc();
+    btel().packed_records.inc(recs.size());
+    btel().packed_mem_events.inc(mem_index_.size());
 }
 
 uint32_t
@@ -106,6 +145,8 @@ BatchPacker::append(const TraceRecord &rec)
 EventBatch
 BatchPacker::seal() const
 {
+    btel().sealed_batches.inc();
+    btel().sealed_records.inc(records_.size());
     EventBatch b;
     b.records = records_.data();
     b.count = static_cast<uint32_t>(records_.size());
@@ -143,11 +184,15 @@ replayBatched(const PackedTrace &packed, TraceSink &sink,
         replay(trace, sink);
         return;
     }
+    telemetry::Span span("sim:replay_batched", "sim");
     const size_t n = trace.records.size();
     const size_t nc = trace.controls.size();
     size_t ci = 0;
     size_t ri = 0;
     uint32_t cursor = 0;
+    // Tally batches/records locally; one registry update per replay
+    // keeps the hot loop free of atomics.
+    uint64_t nbatches = 0;
     while (ri < n) {
         // Controls published before record ri come first, exactly as
         // in replayFrom().
@@ -163,10 +208,14 @@ replayBatched(const PackedTrace &packed, TraceSink &sink,
                          static_cast<uint32_t>(end - ri), cursor);
         cursor += b.mem_count;
         sink.onBatch(b);
+        ++nbatches;
         ri = end;
     }
     while (ci < nc)
         sink.onControl(trace.controls[ci++]);
+    btel().replays.inc();
+    btel().batches.inc(nbatches);
+    btel().records_replayed.inc(n);
 }
 
 void

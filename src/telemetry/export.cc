@@ -162,7 +162,8 @@ writeMetricsJson(std::ostream &os,
                     os << snap.buckets[i].le;
                 os << ",\"count\":" << snap.buckets[i].count << "}";
             }
-            os << "]";
+            os << "],\"p50\":" << snap.p50 << ",\"p95\":" << snap.p95
+               << ",\"p99\":" << snap.p99;
             break;
         }
         os << "}";

@@ -24,6 +24,40 @@ exponentialBounds(uint64_t first, double factor, size_t n)
     return bounds;
 }
 
+double
+histogramQuantile(const std::vector<BucketSnap> &buckets,
+                  uint64_t count, double q)
+{
+    if (count == 0 || buckets.empty())
+        return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    const double rank = q * static_cast<double>(count);
+    uint64_t cum = 0;
+    uint64_t lo = 0; // lower edge of the current bucket
+    for (const BucketSnap &b : buckets) {
+        const uint64_t prev = cum;
+        cum += b.count;
+        if (static_cast<double>(cum) < rank) {
+            if (b.le != bucket_overflow)
+                lo = b.le;
+            continue;
+        }
+        if (b.le == bucket_overflow) {
+            // No upper edge to interpolate toward: clamp to the last
+            // finite bound (== this bucket's lower edge).
+            return static_cast<double>(lo);
+        }
+        if (b.count == 0)
+            return static_cast<double>(b.le);
+        const double frac =
+            (rank - static_cast<double>(prev)) /
+            static_cast<double>(b.count);
+        return static_cast<double>(lo) +
+            frac * static_cast<double>(b.le - lo);
+    }
+    return static_cast<double>(lo);
+}
+
 } // namespace pift::telemetry
 
 #if defined(PIFT_TELEMETRY_ENABLED)
@@ -187,6 +221,12 @@ snapshot()
                     {h.bounds()[i], h.bucketCount(i)});
             snap.buckets.push_back(
                 {bucket_overflow, h.bucketCount(h.bounds().size())});
+            snap.p50 = histogramQuantile(snap.buckets, snap.count,
+                                         0.50);
+            snap.p95 = histogramQuantile(snap.buckets, snap.count,
+                                         0.95);
+            snap.p99 = histogramQuantile(snap.buckets, snap.count,
+                                         0.99);
             break;
           }
         }

@@ -60,6 +60,15 @@ struct InstrumentSnap
     uint64_t count = 0;      //!< histogram observation count
     uint64_t sum = 0;        //!< histogram sum of observations
     std::vector<BucketSnap> buckets;
+
+    /**
+     * Histogram quantiles interpolated from the fixed bucket bounds
+     * (see histogramQuantile()); 0 for non-histograms and empty
+     * histograms.
+     */
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
 };
 
 /** Sentinel `le` of the histogram overflow bucket. */
@@ -72,6 +81,19 @@ inline constexpr uint64_t bucket_overflow = ~uint64_t(0);
  */
 std::vector<uint64_t> exponentialBounds(uint64_t first, double factor,
                                         size_t n);
+
+/**
+ * Estimate quantile @p q (in [0,1]) from snapshot @p buckets holding
+ * @p count observations total: find the bucket containing the target
+ * rank and interpolate linearly between its bounds (the classic
+ * fixed-bucket estimator — exact at bucket edges, linear inside).
+ * Ranks landing in the overflow bucket clamp to the last finite
+ * bound, since the bucket has no upper edge to interpolate toward.
+ * Returns 0 when the histogram is empty. Pure snapshot arithmetic,
+ * so it works identically in PIFT_TELEMETRY=OFF builds.
+ */
+double histogramQuantile(const std::vector<BucketSnap> &buckets,
+                         uint64_t count, double q);
 
 #if defined(PIFT_TELEMETRY_ENABLED)
 

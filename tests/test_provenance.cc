@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Provenance flight-recorder tests: ring semantics (bounded
+ * overwrite, eviction counts, global-ring merge), the explain engine
+ * on hand-built record scenarios (complete chains, untaint, clean,
+ * degradation causes), exporter output shape, determinism of the
+ * registry attribution differential across --jobs widths, and the
+ * PIFT_PROVENANCE=OFF stub contract.
+ *
+ * The file compiles and passes in both PIFT_PROVENANCE modes: with
+ * OFF, the Recorder is an inline stub that records nothing, and the
+ * assertions that require real collection branch on compiledIn().
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/attribution.hh"
+#include "core/pift_tracker.hh"
+#include "core/taint_storage.hh"
+#include "droidbench/app.hh"
+#include "provenance/provenance.hh"
+#include "sim/batch.hh"
+
+using namespace pift;
+namespace prov = pift::provenance;
+
+namespace
+{
+
+/** A small labelled slice of the registry (kept fast for ctest). */
+std::vector<analysis::LabelledTrace>
+smallSuite(size_t napps)
+{
+    std::vector<analysis::LabelledTrace> out;
+    const auto &apps = droidbench::droidBenchApps();
+    for (size_t i = 0; i < apps.size() && out.size() < napps; ++i) {
+        auto run = droidbench::runApp(apps[i]);
+        out.push_back({apps[i].name, apps[i].leaks,
+                       std::move(run.trace)});
+    }
+    return out;
+}
+
+size_t
+countLines(const std::string &s)
+{
+    size_t n = 0;
+    for (char c : s)
+        n += c == '\n';
+    return n;
+}
+
+} // namespace
+
+TEST(ProvenanceRing, BoundedOverwriteOldestFirst)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    prov::RecorderParams p;
+    p.ring_capacity = 4;
+    prov::Recorder rec(p);
+    for (uint32_t i = 0; i < 10; ++i) {
+        rec.setCursor(i);
+        rec.record(prov::ProvKind::TaintWrite,
+                   prov::ProvCause::TaintHit, 7, i, i);
+    }
+    EXPECT_EQ(rec.totalRecorded(), 10u);
+    EXPECT_EQ(rec.totalEvicted(), 6u);
+    EXPECT_EQ(rec.evictedFor(7), 6u);
+    auto recs = rec.recordsFor(7);
+    ASSERT_EQ(recs.size(), 4u);
+    // Newest four survive, oldest first.
+    for (size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(recs[i].start, 6u + i);
+        EXPECT_EQ(recs[i].seq, 6u + i);
+    }
+}
+
+TEST(ProvenanceRing, GlobalRecordsMergeInOrder)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    prov::Recorder rec;
+    rec.setCursor(1);
+    rec.record(prov::ProvKind::SourceRead, prov::ProvCause::None, 1,
+               0x10, 0x1f, 2);
+    rec.recordGlobal(prov::ProvKind::ClearAll,
+                     prov::ProvCause::None);
+    rec.setCursor(5);
+    rec.record(prov::ProvKind::TaintWrite,
+               prov::ProvCause::TaintHit, 1, 0x20, 0x21);
+    auto recs = rec.recordsFor(1);
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[0].kind, prov::ProvKind::SourceRead);
+    EXPECT_EQ(recs[1].kind, prov::ProvKind::ClearAll);
+    EXPECT_EQ(recs[2].kind, prov::ProvKind::TaintWrite);
+    // Global records visible to every pid's view.
+    ASSERT_EQ(rec.globalRecords().size(), 1u);
+    // Another pid only sees the global ring.
+    EXPECT_EQ(rec.recordsFor(42).size(), 1u);
+    EXPECT_EQ(rec.pids(), (std::vector<ProcId>{1}));
+}
+
+namespace
+{
+
+/** Tracker-shaped leak scenario: source → load → write → sink. */
+void
+emitLeak(prov::Recorder &rec, ProcId pid)
+{
+    rec.setCursor(4);
+    rec.record(prov::ProvKind::SourceRead, prov::ProvCause::None,
+               pid, 0x100, 0x10f, 2);
+    rec.setCursor(10);
+    rec.record(prov::ProvKind::WindowOpen,
+               prov::ProvCause::TaintHit, pid, 0x100, 0x101, 0, 9, 0);
+    rec.setCursor(11);
+    rec.record(prov::ProvKind::TaintWrite,
+               prov::ProvCause::TaintHit, pid, 0x200, 0x201, 0, 9, 1);
+}
+
+} // namespace
+
+TEST(ProvenanceExplain, TaintedSinkYieldsCompleteChain)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    prov::Recorder rec;
+    emitLeak(rec, 1);
+    rec.setCursor(20);
+    rec.record(prov::ProvKind::SinkCheck, prov::ProvCause::TaintHit,
+               1, 0x1f0, 0x20f, 1, 0, 0, 1);
+    auto exps = prov::explainPid(rec, 1);
+    ASSERT_EQ(exps.size(), 1u);
+    const auto &e = exps[0];
+    EXPECT_EQ(e.verdict, 1u);
+    EXPECT_TRUE(e.complete);
+    ASSERT_EQ(e.chain.size(), 4u);
+    EXPECT_EQ(e.chain.front().kind, prov::ProvKind::SourceRead);
+    EXPECT_EQ(e.chain[1].kind, prov::ProvKind::WindowOpen);
+    EXPECT_EQ(e.chain[2].kind, prov::ProvKind::TaintWrite);
+    EXPECT_EQ(e.chain.back().kind, prov::ProvKind::SinkCheck);
+}
+
+TEST(ProvenanceExplain, UntaintClearsCoverage)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    prov::Recorder rec;
+    emitLeak(rec, 1);
+    rec.setCursor(15);
+    rec.record(prov::ProvKind::Untaint,
+               prov::ProvCause::WindowClosed, 1, 0x200, 0x201);
+    rec.setCursor(20);
+    rec.record(prov::ProvKind::SinkCheck, prov::ProvCause::None, 1,
+               0x1f0, 0x20f, 1, 0, 0, 0);
+    auto exps = prov::explainPid(rec, 1);
+    ASSERT_EQ(exps.size(), 1u);
+    EXPECT_EQ(exps[0].verdict, 0u);
+    // Clean and provably so: no residual coverage at the sink.
+    EXPECT_TRUE(exps[0].chain.empty());
+}
+
+TEST(ProvenanceExplain, PartialUntaintSplitsCoverage)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    prov::Recorder rec;
+    rec.setCursor(4);
+    rec.record(prov::ProvKind::SourceRead, prov::ProvCause::None, 1,
+               0x100, 0x10f, 2);
+    // Untaint a hole in the middle of the source range.
+    rec.setCursor(6);
+    rec.record(prov::ProvKind::Untaint,
+               prov::ProvCause::WindowClosed, 1, 0x104, 0x107);
+    // A sink over the hole is clean; over the remainder, tainted.
+    rec.setCursor(8);
+    rec.record(prov::ProvKind::SinkCheck, prov::ProvCause::None, 1,
+               0x104, 0x107, 1, 0, 0, 0);
+    rec.setCursor(9);
+    rec.record(prov::ProvKind::SinkCheck, prov::ProvCause::TaintHit,
+               1, 0x108, 0x10b, 1, 0, 0, 1);
+    auto exps = prov::explainPid(rec, 1);
+    ASSERT_EQ(exps.size(), 2u);
+    EXPECT_TRUE(exps[0].chain.empty());
+    EXPECT_TRUE(exps[1].complete);
+    ASSERT_EQ(exps[1].chain.size(), 2u);
+    EXPECT_EQ(exps[1].chain.front().kind,
+              prov::ProvKind::SourceRead);
+}
+
+TEST(ProvenanceExplain, MaybeTaintedCitesEarliestDegradation)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    prov::Recorder rec;
+    emitLeak(rec, 1);
+    rec.setCursor(12);
+    rec.record(prov::ProvKind::StorageLoss,
+               prov::ProvCause::LruDropEviction, 1, 0x300, 0x30f);
+    rec.setCursor(14);
+    rec.record(prov::ProvKind::FaultInjected,
+               prov::ProvCause::InjectedDrop, 1, 0x400, 0x40f);
+    rec.setCursor(20);
+    rec.record(prov::ProvKind::SinkCheck,
+               prov::ProvCause::StorageSaturated, 1, 0x500, 0x50f, 1,
+               0, 0, 2);
+    auto exps = prov::explainPid(rec, 1);
+    ASSERT_EQ(exps.size(), 1u);
+    EXPECT_EQ(exps[0].verdict, 2u);
+    ASSERT_TRUE(exps[0].has_cause);
+    // The *earliest* degradation record wins.
+    EXPECT_EQ(exps[0].cause.kind, prov::ProvKind::StorageLoss);
+    EXPECT_EQ(exps[0].cause.cause,
+              prov::ProvCause::LruDropEviction);
+}
+
+TEST(ProvenanceExplain, ClearAllResetsChainAndCauseScan)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    prov::Recorder rec;
+    emitLeak(rec, 1);
+    rec.setCursor(12);
+    rec.record(prov::ProvKind::StreamLoss,
+               prov::ProvCause::FrontEndLoss, 1);
+    rec.setCursor(13);
+    rec.recordGlobal(prov::ProvKind::ClearAll,
+                     prov::ProvCause::None);
+    // After the wipe: the old taint and the old degradation are both
+    // out of scope.
+    rec.setCursor(20);
+    rec.record(prov::ProvKind::SinkCheck, prov::ProvCause::None, 1,
+               0x1f0, 0x20f, 1, 0, 0, 0);
+    auto exps = prov::explainPid(rec, 1);
+    ASSERT_EQ(exps.size(), 1u);
+    EXPECT_TRUE(exps[0].chain.empty());
+    EXPECT_FALSE(exps[0].has_cause);
+}
+
+TEST(ProvenanceExplain, TrackerIntegrationExplainsRealReplay)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    const auto &apps = droidbench::malwareApps();
+    auto run = droidbench::runApp(apps.front()); // malware_lgroot
+    core::TaintStorage storage(core::TaintStorageParams{});
+    prov::RecorderParams rp;
+    rp.ring_capacity = 1u << 19;
+    prov::Recorder rec(rp);
+    core::PiftTracker tracker(core::PiftParams{}, storage);
+    storage.setRecorder(&rec);
+    tracker.setRecorder(&rec);
+    sim::replayBatched(run.trace, tracker);
+
+    EXPECT_EQ(rec.totalEvicted(), 0u);
+    auto exps = prov::explainAll(rec);
+    ASSERT_EQ(exps.size(), tracker.sinkResults().size());
+    for (const auto &e : exps) {
+        if (e.verdict == 1) {
+            EXPECT_TRUE(e.complete);
+            ASSERT_FALSE(e.chain.empty());
+            EXPECT_EQ(e.chain.front().kind,
+                      prov::ProvKind::SourceRead);
+        } else if (e.verdict == 0) {
+            EXPECT_TRUE(e.chain.empty());
+        }
+    }
+}
+
+TEST(ProvenanceExport, JsonlOneLinePerObject)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    prov::Recorder rec;
+    emitLeak(rec, 1);
+    rec.setCursor(20);
+    rec.record(prov::ProvKind::SinkCheck, prov::ProvCause::TaintHit,
+               1, 0x1f0, 0x20f, 1, 0, 0, 1);
+    auto recs = rec.recordsFor(1);
+    std::ostringstream ros;
+    prov::writeRecordsJsonl(ros, recs);
+    EXPECT_EQ(countLines(ros.str()), recs.size());
+
+    auto exps = prov::explainPid(rec, 1);
+    std::ostringstream eos;
+    prov::writeExplanationsJsonl(eos, exps);
+    EXPECT_EQ(countLines(eos.str()), exps.size());
+    EXPECT_NE(eos.str().find("\"complete\":true"),
+              std::string::npos);
+}
+
+TEST(ProvenanceExport, DotGraphShape)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    prov::Recorder rec;
+    emitLeak(rec, 1);
+    rec.setCursor(20);
+    rec.record(prov::ProvKind::SinkCheck, prov::ProvCause::TaintHit,
+               1, 0x1f0, 0x20f, 1, 0, 0, 1);
+    std::ostringstream os;
+    prov::writeFlowGraphDot(os, prov::explainPid(rec, 1), "t");
+    const std::string dot = os.str();
+    EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+    EXPECT_NE(dot.find("source-read"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(ProvenanceDeterminism, DifferentialIdenticalAcrossJobs)
+{
+    auto set = smallSuite(8);
+    analysis::AttributionConfig one;
+    one.jobs = 1;
+    analysis::AttributionConfig four;
+    four.jobs = 4;
+    auto a = analysis::attributionDifferential(set, one);
+    auto b = analysis::attributionDifferential(set, four);
+    EXPECT_EQ(analysis::formatAttributionTable(a),
+              analysis::formatAttributionTable(b));
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].records, b[i].records);
+        EXPECT_EQ(a[i].ok, b[i].ok);
+        EXPECT_TRUE(a[i].ok);
+    }
+}
+
+TEST(ProvenanceDeterminism, FaultSweepIdenticalAcrossJobs)
+{
+    auto set = smallSuite(6);
+    analysis::FaultAttributionConfig one;
+    one.jobs = 1;
+    analysis::FaultAttributionConfig two;
+    two.jobs = 4;
+    auto a = analysis::faultAttributionSweep(set, one);
+    auto b = analysis::faultAttributionSweep(set, two);
+    EXPECT_EQ(analysis::formatFaultAttributionTable(a),
+              analysis::formatFaultAttributionTable(b));
+    EXPECT_TRUE(analysis::faultAttributionHolds(a));
+    EXPECT_TRUE(analysis::faultAttributionHolds(b));
+}
+
+TEST(ProvenanceCompileOut, StubOrRealMatchesCompiledIn)
+{
+    prov::Recorder rec;
+    rec.setCursor(3);
+    rec.record(prov::ProvKind::SourceRead, prov::ProvCause::None, 1,
+               0x10, 0x1f, 2);
+    if (prov::compiledIn()) {
+        EXPECT_EQ(rec.totalRecorded(), 1u);
+        EXPECT_EQ(rec.cursor(), 3u);
+    } else {
+        // The stub has the full API but records nothing.
+        EXPECT_EQ(rec.totalRecorded(), 0u);
+        EXPECT_EQ(rec.cursor(), 0u);
+        EXPECT_TRUE(rec.pids().empty());
+        EXPECT_TRUE(rec.recordsFor(1).empty());
+        EXPECT_TRUE(prov::explainAll(rec).empty());
+    }
+    // PIFT_PROV through a null pointer must be a no-op either way
+    // (arguments unevaluated in OFF builds).
+    prov::Recorder *null_rec = nullptr;
+    PIFT_PROV(null_rec, record(prov::ProvKind::Untaint,
+                               prov::ProvCause::WindowClosed, 1));
+    SUCCEED();
+}
+
+TEST(ProvenanceFormat, RendersVerdictAndChain)
+{
+    if (!prov::compiledIn())
+        GTEST_SKIP() << "PIFT_PROVENANCE=OFF";
+    prov::Recorder rec;
+    emitLeak(rec, 1);
+    rec.setCursor(20);
+    rec.record(prov::ProvKind::SinkCheck, prov::ProvCause::TaintHit,
+               1, 0x1f0, 0x20f, 1, 0, 0, 1);
+    auto exps = prov::explainPid(rec, 1);
+    ASSERT_EQ(exps.size(), 1u);
+    const std::string text = prov::formatExplanation(exps[0]);
+    EXPECT_NE(text.find("TAINTED"), std::string::npos);
+    EXPECT_NE(text.find("complete chain"), std::string::npos);
+    EXPECT_NE(text.find("source-read"), std::string::npos);
+}

@@ -148,6 +148,52 @@ TEST_F(TelemetryTest, HistogramSnapshotMarksOverflow)
     FAIL() << "instrument missing from snapshot";
 }
 
+TEST_F(TelemetryTest, HistogramQuantileInterpolatesWithinBuckets)
+{
+    // Pure snapshot arithmetic — runs in both telemetry modes.
+    std::vector<tel::BucketSnap> buckets = {
+        {10, 10}, {20, 10}, {tel::bucket_overflow, 0}};
+    // Rank q*20 inside [0,10]: interpolate from lower edge 0.
+    EXPECT_DOUBLE_EQ(tel::histogramQuantile(buckets, 20, 0.25), 5.0);
+    // Bucket edge is exact.
+    EXPECT_DOUBLE_EQ(tel::histogramQuantile(buckets, 20, 0.5), 10.0);
+    // Rank 15 of 20 is halfway through (10,20].
+    EXPECT_DOUBLE_EQ(tel::histogramQuantile(buckets, 20, 0.75),
+                     15.0);
+    EXPECT_DOUBLE_EQ(tel::histogramQuantile(buckets, 20, 1.0), 20.0);
+}
+
+TEST_F(TelemetryTest, HistogramQuantileClampsOverflowAndEmpty)
+{
+    std::vector<tel::BucketSnap> buckets = {
+        {10, 1}, {tel::bucket_overflow, 9}};
+    // Ranks landing in the overflow bucket clamp to the last finite
+    // bound: there is no upper edge to interpolate toward.
+    EXPECT_DOUBLE_EQ(tel::histogramQuantile(buckets, 10, 0.99),
+                     10.0);
+    EXPECT_DOUBLE_EQ(tel::histogramQuantile({}, 0, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(tel::histogramQuantile(buckets, 0, 0.5), 0.0);
+}
+
+TEST_F(TelemetryTest, SnapshotCarriesQuantiles)
+{
+    if (!tel::compiledIn())
+        GTEST_SKIP() << "PIFT_TELEMETRY=OFF";
+    auto &h = tel::histogram("test.hist.quant", {10, 100});
+    for (int i = 0; i < 10; ++i)
+        h.observe(5);
+    for (const auto &s : tel::snapshot()) {
+        if (s.name != "test.hist.quant")
+            continue;
+        // Everything in (0,10]: quantiles interpolate inside it.
+        EXPECT_DOUBLE_EQ(s.p50, 5.0);
+        EXPECT_DOUBLE_EQ(s.p95, 9.5);
+        EXPECT_DOUBLE_EQ(s.p99, 9.9);
+        return;
+    }
+    FAIL() << "instrument missing from snapshot";
+}
+
 TEST_F(TelemetryTest, SnapshotIsSortedAndDeterministic)
 {
     tel::counter("test.z.last").inc();

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate a provenance flight-recorder bench report.
+
+Usage: validate_provenance.py <report.json> [schema.json]
+
+Schema checking lives in schema_check.py (stdlib-only draft-07
+subset, shared with the other bench validators). The semantic checks
+are the attribution contract the differential proves — deterministic,
+so CI gates on them hard:
+
+ - differential.ok and every fault_sweep row ok;
+ - tainted == complete_chains: every Tainted verdict resolved to a
+   complete source→sink chain;
+ - maybe == cited_causes: every MaybeTainted cited a concrete
+   degradation cause;
+ - clean_with_chain == 0: no Clean verdict carried residual taint;
+ - per fault class, cited == maybe == cause_matches: every cause
+   matched the injected fault family;
+ - ring_sweep capacities strictly ascending, with the largest ring
+   satisfying the contract at zero evictions.
+
+All of the above are vacuous when compiled_in is false (the
+PIFT_PROVENANCE=OFF leg still emits a valid artifact). Overhead
+fields (recorder_on/off_ms, overhead_pct) are informational:
+wall-clock gates are flaky on shared CI runners, so the JSON carries
+the numbers and humans watch the trajectory.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from schema_check import run_validator  # noqa: E402
+
+
+def semantic_checks(report, errors):
+    compiled_in = report.get("compiled_in", False)
+    diff = report.get("differential", {})
+
+    if compiled_in:
+        if not diff.get("ok", False):
+            errors.append("differential.ok is false (attribution "
+                          "contract violated for some app)")
+        tainted = diff.get("tainted", 0)
+        complete = diff.get("complete_chains", -1)
+        if tainted != complete:
+            errors.append(f"differential: tainted {tainted} != "
+                          f"complete_chains {complete} (a Tainted "
+                          f"verdict has no complete chain)")
+        maybe = diff.get("maybe", 0)
+        cited = diff.get("cited_causes", -1)
+        if maybe != cited:
+            errors.append(f"differential: maybe {maybe} != "
+                          f"cited_causes {cited} (a MaybeTainted "
+                          f"verdict has no concrete cause)")
+        if diff.get("clean_with_chain", -1) != 0:
+            errors.append(f"differential.clean_with_chain: "
+                          f"{diff.get('clean_with_chain')} != 0 (a "
+                          f"Clean verdict carried residual taint)")
+        if diff.get("sinks", 0) != diff.get("explained", -1):
+            errors.append(f"differential: explained "
+                          f"{diff.get('explained')} != sinks "
+                          f"{diff.get('sinks')} (a sink check left "
+                          f"no explanation)")
+        for row in report.get("fault_sweep", []):
+            name = row.get("fault_class", "?")
+            if not row.get("ok", False):
+                errors.append(f"fault_sweep[{name}].ok is false")
+            if row.get("cited") != row.get("maybe") or \
+                    row.get("cause_matches") != row.get("maybe"):
+                errors.append(
+                    f"fault_sweep[{name}]: maybe "
+                    f"{row.get('maybe')} cited {row.get('cited')} "
+                    f"matched {row.get('cause_matches')} (cause "
+                    f"did not match the injected class)")
+    else:
+        # Compiled-out leg: the differential must be vacuous, not
+        # half-populated.
+        if diff.get("records", 0) != 0:
+            errors.append(f"compiled_in false but differential "
+                          f"recorded {diff.get('records')} records")
+
+    caps = [r.get("capacity", 0) for r in report.get("ring_sweep", [])
+            if isinstance(r, dict)]
+    if caps != sorted(caps) or len(set(caps)) != len(caps):
+        errors.append(f"ring_sweep: capacities not strictly "
+                      f"ascending: {caps}")
+    if compiled_in and report.get("ring_sweep"):
+        top = report["ring_sweep"][-1]
+        if not top.get("contract", False):
+            errors.append(f"ring_sweep: largest ring "
+                          f"{top.get('capacity')} still violates "
+                          f"the contract")
+        if top.get("evicted", -1) != 0:
+            errors.append(f"ring_sweep: largest ring "
+                          f"{top.get('capacity')} still evicted "
+                          f"{top.get('evicted')} records")
+
+    over = report.get("overhead", {})
+    if over.get("measured", False) and over.get("reps", 0) < 1:
+        errors.append("overhead.measured true but reps < 1")
+
+
+def summarize(report):
+    diff = report.get("differential", {})
+    over = report.get("overhead", {})
+    pct = (f"{over.get('overhead_pct')}%" if over.get("measured")
+           else "not measured")
+    return (f"{diff.get('apps')} apps: {diff.get('tainted')} tainted "
+            f"({diff.get('complete_chains')} complete), "
+            f"{diff.get('maybe')} maybe "
+            f"({diff.get('cited_causes')} cited), "
+            f"{diff.get('clean')} clean; overhead {pct}")
+
+
+def main(argv):
+    return run_validator(
+        argv, "schemas/bench_provenance.schema.json",
+        semantic_checks, summarize,
+        "Usage: validate_provenance.py <report.json> [schema.json]")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
