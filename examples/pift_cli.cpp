@@ -19,7 +19,11 @@
  *                                flight recorder and print the causal
  *                                chain (or degradation cause) behind
  *                                every sink verdict; --dot/--jsonl
- *                                export the flow graph
+ *                                export the flow graph;
+ *                                --service-queue N replays through a
+ *                                bounded-queue tracking service so
+ *                                backpressure-induced MaybeTainted
+ *                                verdicts are attributed too
  *   snapshot <app> <dir>         run an app through the durable stack,
  *                                leaving snapshot.pift + wal.pift
  *   recover <dir>                reconstruct state from a durable dir
@@ -55,6 +59,7 @@
 #include "persist/durable.hh"
 #include "persist/recovery.hh"
 #include "provenance/provenance.hh"
+#include "service/service.hh"
 #include "sim/batch.hh"
 #include "sim/trace_io.hh"
 #include "static/oracle.hh"
@@ -598,6 +603,7 @@ cmdExplain(int argc, char **argv)
     if (argc < 3) {
         std::fprintf(stderr,
                      "usage: pift_cli explain <app> [--pid P] "
+                     "[--service-queue N] "
                      "[--dot FILE] [--jsonl FILE] [NI NT]\n");
         return 2;
     }
@@ -611,20 +617,24 @@ cmdExplain(int argc, char **argv)
     ProcId pid = 0;
     std::string dot_path, jsonl_path;
     unsigned ni = 13, nt = 3;
+    size_t service_queue = 0;
     int pos = 0;
     for (int i = 3; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--pid") && i + 1 < argc) {
             pid_given = true;
             pid = static_cast<ProcId>(atoi(argv[++i]));
+        } else if (!std::strcmp(argv[i], "--service-queue") &&
+                   i + 1 < argc) {
+            service_queue = static_cast<size_t>(atoll(argv[++i]));
         } else if (!std::strcmp(argv[i], "--dot") && i + 1 < argc) {
             dot_path = argv[++i];
         } else if (!std::strcmp(argv[i], "--jsonl") &&
                    i + 1 < argc) {
             jsonl_path = argv[++i];
-        } else if (pos == 0) {
+        } else if (pos == 0 && atoi(argv[i]) >= 1) {
             ni = static_cast<unsigned>(atoi(argv[i]));
             ++pos;
-        } else if (pos == 1) {
+        } else if (pos == 1 && atoi(argv[i]) >= 1) {
             nt = static_cast<unsigned>(atoi(argv[i]));
             ++pos;
         } else {
@@ -640,29 +650,77 @@ cmdExplain(int argc, char **argv)
     }
 
     auto run = droidbench::runApp(*entry);
-    core::TaintStorage storage(core::TaintStorageParams{});
-    // Sized past the largest registry trace so no evidence is ever
-    // ring-evicted in an interactive explanation.
-    provenance::RecorderParams rp;
-    rp.ring_capacity = 1u << 19;
-    provenance::Recorder rec(rp);
-    core::PiftTracker tracker(core::PiftParams{ni, nt, true},
-                              storage);
-    storage.setRecorder(&rec);
-    tracker.setRecorder(&rec);
-    sim::replayBatched(run.trace, tracker);
-
     std::printf("app: %s (%s, ground truth: %s)\n",
                 entry->name.c_str(), entry->category.c_str(),
                 entry->leaks ? "leaks" : "benign");
-    std::printf("recorder: %llu records (%llu ring-evicted), "
-                "NI=%u NT=%u\n\n",
-                static_cast<unsigned long long>(rec.totalRecorded()),
-                static_cast<unsigned long long>(rec.totalEvicted()),
-                ni, nt);
 
-    auto exps = pid_given ? provenance::explainPid(rec, pid)
-                          : provenance::explainAll(rec);
+    std::vector<provenance::Explanation> exps;
+    if (service_queue > 0) {
+        // Deployment-shaped replay: the app's events go through a
+        // single-shard bounded-queue TrackingService with no pump
+        // between submissions, so a small queue genuinely refuses
+        // events. Every refusal degrades the pid and leaves a
+        // StreamLoss record; sinks are held back and re-checked
+        // after the drain so each verdict reflects the loss, and
+        // the explanations below attribute it.
+        service::ServiceConfig cfg;
+        cfg.shards = 1;
+        cfg.queue_capacity = service_queue;
+        cfg.session.params = core::PiftParams{ni, nt, true};
+        cfg.session.provenance = true;
+        cfg.session.ring_capacity = 1u << 19;
+        service::TrackingService svc(cfg);
+        ProcId spid = pid_given ? pid : 7;
+        auto evs = service::eventsFromTrace(run.trace, spid);
+        std::vector<service::ServiceEvent> feed;
+        feed.reserve(evs.size());
+        for (const auto &ev : evs)
+            if (ev.kind != service::EventKind::Sink)
+                feed.push_back(ev);
+        svc.submitMany(feed.data(), feed.size());
+        svc.pump();
+        auto st = svc.stats();
+        std::printf("service: queue=%zu submitted=%llu refused=%llu"
+                    " (each refusal -> MaybeTainted + StreamLoss)\n",
+                    service_queue,
+                    static_cast<unsigned long long>(st.submitted),
+                    static_cast<unsigned long long>(st.overflowed));
+        for (const auto &ev : evs)
+            if (ev.kind == service::EventKind::Sink)
+                svc.checkSinkNow(spid, ev.start, ev.end, ev.id);
+        const provenance::Recorder *rec = svc.recorderFor(spid);
+        if (rec) {
+            std::printf("recorder: %llu records (%llu ring-evicted),"
+                        " NI=%u NT=%u\n\n",
+                        static_cast<unsigned long long>(
+                            rec->totalRecorded()),
+                        static_cast<unsigned long long>(
+                            rec->totalEvicted()),
+                        ni, nt);
+            exps = provenance::explainPid(*rec, spid);
+        }
+    } else {
+        core::TaintStorage storage(core::TaintStorageParams{});
+        // Sized past the largest registry trace so no evidence is
+        // ever ring-evicted in an interactive explanation.
+        provenance::RecorderParams rp;
+        rp.ring_capacity = 1u << 19;
+        provenance::Recorder rec(rp);
+        core::PiftTracker tracker(core::PiftParams{ni, nt, true},
+                                  storage);
+        storage.setRecorder(&rec);
+        tracker.setRecorder(&rec);
+        sim::replayBatched(run.trace, tracker);
+        std::printf("recorder: %llu records (%llu ring-evicted), "
+                    "NI=%u NT=%u\n\n",
+                    static_cast<unsigned long long>(
+                        rec.totalRecorded()),
+                    static_cast<unsigned long long>(
+                        rec.totalEvicted()),
+                    ni, nt);
+        exps = pid_given ? provenance::explainPid(rec, pid)
+                         : provenance::explainAll(rec);
+    }
     if (exps.empty()) {
         std::printf("no sink checks recorded%s\n",
                     pid_given ? " for that pid" : "");
@@ -713,6 +771,7 @@ usage()
                  "       pift_cli telemetry [--registry] [--out FILE]"
                  " [--trace FILE] [--jsonl FILE]\n"
                  "       pift_cli explain <app> [--pid P]"
+                 " [--service-queue N]"
                  " [--dot FILE] [--jsonl FILE] [NI NT]\n"
                  "       pift_cli snapshot <app> <dir> [--every N]"
                  " [NI NT]\n"

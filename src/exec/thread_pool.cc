@@ -1,9 +1,11 @@
 #include "exec/thread_pool.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <limits>
 
 namespace pift::exec
 {
@@ -17,17 +19,30 @@ std::atomic<unsigned> g_jobs_override{0};
 /** Set while the current thread is running pool tasks (see forEach). */
 thread_local bool t_in_worker = false;
 
+/**
+ * Parse a job count that round-trips through unsigned. @return 0 for
+ * malformed, non-positive, or out-of-range values — a narrowing cast
+ * of e.g. 2^32 would silently yield 0 and *clear* the override.
+ */
 unsigned
-envJobs()
+parseJobs(const char *s)
 {
-    const char *s = std::getenv("PIFT_JOBS");
     if (!s || !*s)
         return 0;
     char *end = nullptr;
-    long v = std::strtol(s, &end, 10);
-    if (*end || v < 1)
-        return 0; // malformed values fall back to hardware detection
+    errno = 0;
+    long long v = std::strtoll(s, &end, 10);
+    if (*end || errno == ERANGE || v < 1 ||
+        v > static_cast<long long>(std::numeric_limits<unsigned>::max()))
+        return 0;
     return static_cast<unsigned>(v);
+}
+
+unsigned
+envJobs()
+{
+    // Malformed values fall back to hardware detection.
+    return parseJobs(std::getenv("PIFT_JOBS"));
 }
 
 } // anonymous namespace
@@ -71,11 +86,10 @@ stripJobsFlag(int argc, char **argv)
             argv[out++] = argv[i];
             continue;
         }
-        char *end = nullptr;
-        long v = std::strtol(value, &end, 10);
-        if (!*value || *end || v < 1)
+        unsigned v = parseJobs(value);
+        if (!v)
             return -1;
-        setDefaultJobs(static_cast<unsigned>(v));
+        setDefaultJobs(v);
     }
     return out;
 }
@@ -197,11 +211,40 @@ ThreadPool::forEach(size_t n, const std::function<void(size_t)> &fn,
         std::rethrow_exception(b.error);
 }
 
+namespace
+{
+
+/**
+ * Hand out the shared pool, rebuilding it when @p want exceeds the
+ * live pool's width — a setDefaultJobs / --jobs override applied
+ * after first use was previously capped forever at the original
+ * size because forEach clamps jobs to nthreads. Retired pools are
+ * parked (idle, workers blocked on their condvar) so ThreadPool
+ * references returned by globalPool() before a rebuild stay valid;
+ * rebuilds only ever widen, so the parked list stays tiny.
+ */
+std::shared_ptr<ThreadPool>
+acquireGlobalPool(unsigned want)
+{
+    static std::mutex m;
+    static std::vector<std::shared_ptr<ThreadPool>> retired;
+    static std::shared_ptr<ThreadPool> pool;
+    std::lock_guard<std::mutex> lock(m);
+    if (!pool) {
+        pool = std::make_shared<ThreadPool>(want ? want : 1);
+    } else if (want > pool->threads()) {
+        retired.push_back(pool);
+        pool = std::make_shared<ThreadPool>(want);
+    }
+    return pool;
+}
+
+} // anonymous namespace
+
 ThreadPool &
 globalPool()
 {
-    static ThreadPool pool(defaultJobs());
-    return pool;
+    return *acquireGlobalPool(defaultJobs());
 }
 
 void
@@ -214,7 +257,7 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
             fn(i);
         return;
     }
-    globalPool().forEach(n, fn, resolved);
+    acquireGlobalPool(resolved)->forEach(n, fn, resolved);
 }
 
 } // namespace pift::exec

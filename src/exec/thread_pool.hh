@@ -34,6 +34,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -55,8 +56,10 @@ unsigned defaultJobs();
 
 /**
  * Override defaultJobs() process-wide (the --jobs flag). @p n == 0
- * clears the override. Call before the first parallelFor — the
- * shared pool is sized on first use.
+ * clears the override. Takes effect immediately: a wider override
+ * than the live shared pool rebuilds it on the next parallelFor /
+ * globalPool call (see globalPool), so a late --jobs is honored
+ * instead of being silently capped at the original pool size.
  */
 void setDefaultJobs(unsigned n);
 
@@ -116,7 +119,12 @@ class ThreadPool
     std::mutex submit_mutex; //!< serializes concurrent forEach calls
 };
 
-/** The process-wide pool, created on first use with defaultJobs(). */
+/**
+ * The process-wide pool. Created on first use with defaultJobs() and
+ * rebuilt wider when a later setDefaultJobs (or an explicit per-call
+ * jobs count) exceeds its size; the previous pool is kept alive for
+ * the process lifetime so references handed out earlier stay valid.
+ */
 ThreadPool &globalPool();
 
 /**
@@ -129,23 +137,27 @@ void parallelFor(size_t n, const std::function<void(size_t)> &fn,
 /**
  * Map @p fn over @p items with @p jobs-way parallelism. Result i is
  * fn(items[i]) — ordering is deterministic regardless of scheduling.
- * The result type must be default-constructible.
+ * Only fn's results are ever constructed, so the result type need
+ * not be default-constructible.
  */
 template <typename T, typename Fn>
 auto
 parallelMap(const std::vector<T> &items, Fn fn, unsigned jobs = 0)
 {
     using R = std::decay_t<decltype(fn(items[size_t(0)]))>;
-    // A raw array, not std::vector<R>: vector<bool> packs bits and
-    // concurrent writes to neighbouring indices would race.
-    std::unique_ptr<R[]> slots(new R[items.size()]());
+    // One std::optional per slot, in a raw array rather than a
+    // std::vector: vector<bool>-style proxies would let neighbouring
+    // writes race, and the optionals mean each slot is constructed
+    // exactly once, from fn's return value.
+    std::unique_ptr<std::optional<R>[]> slots(
+        new std::optional<R>[items.size()]);
     parallelFor(
-        items.size(), [&](size_t i) { slots[i] = fn(items[i]); },
-        jobs);
+        items.size(),
+        [&](size_t i) { slots[i].emplace(fn(items[i])); }, jobs);
     std::vector<R> out;
     out.reserve(items.size());
     for (size_t i = 0; i < items.size(); ++i)
-        out.push_back(std::move(slots[i]));
+        out.push_back(std::move(*slots[i]));
     return out;
 }
 

@@ -1,0 +1,529 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+
+#include "exec/thread_pool.hh"
+#include "telemetry/registry.hh"
+
+namespace pift::service
+{
+
+namespace
+{
+
+/** Service-wide instruments, resolved once (DESIGN.md §9). */
+struct ServiceTel
+{
+    telemetry::Counter &submitted =
+        telemetry::counter("service.events.submitted");
+    telemetry::Counter &accepted =
+        telemetry::counter("service.events.accepted");
+    telemetry::Counter &overflowed =
+        telemetry::counter("service.events.overflowed");
+    telemetry::Counter &drained =
+        telemetry::counter("service.events.drained");
+    telemetry::Counter &loss_marks =
+        telemetry::counter("service.loss_marks");
+    telemetry::Counter &attached =
+        telemetry::counter("service.sessions.attached");
+    telemetry::Counter &detached =
+        telemetry::counter("service.sessions.detached");
+    telemetry::Counter &expired =
+        telemetry::counter("service.sessions.expired");
+    telemetry::Counter &evicted =
+        telemetry::counter("service.sessions.evicted");
+    telemetry::Gauge &active =
+        telemetry::gauge("service.sessions.active");
+    telemetry::Gauge &bytes =
+        telemetry::gauge("service.storage.bytes");
+    telemetry::Histogram &sink_latency = telemetry::histogram(
+        "service.sink.latency_us",
+        telemetry::exponentialBounds(1, 2.0, 16));
+};
+
+ServiceTel &
+tel()
+{
+    static ServiceTel t;
+    return t;
+}
+
+} // anonymous namespace
+
+/**
+ * One striped-lock ingestion shard: a bounded event queue plus the
+ * sessions of every pid that hashes here (pid % shards). The mutex
+ * guards everything in the struct; per-shard load metrics live here
+ * so a hot shard is visible in a telemetry snapshot.
+ */
+struct TrackingService::Shard
+{
+    struct Queued
+    {
+        ServiceEvent ev;
+        uint64_t tick = 0; //!< logical ingest clock at acceptance
+    };
+
+    explicit Shard(unsigned idx)
+        : g_depth(telemetry::gauge("service.shard." +
+                                   std::to_string(idx) +
+                                   ".queue_depth")),
+          g_sessions(telemetry::gauge("service.shard." +
+                                      std::to_string(idx) +
+                                      ".sessions")),
+          c_drained(telemetry::counter("service.shard." +
+                                       std::to_string(idx) +
+                                       ".drained")),
+          c_overflow(telemetry::counter("service.shard." +
+                                        std::to_string(idx) +
+                                        ".overflows"))
+    {
+    }
+
+    mutable std::mutex m;
+    std::condition_variable cv; //!< threaded mode: work or stop
+
+    std::deque<Queued> queue;
+    std::map<ProcId, std::unique_ptr<Session>> sessions; //!< asc pid
+    std::set<ProcId> tombstones; //!< shed pids: re-admit = state loss
+
+    // Tallies, guarded by m; stats() sums them across shards.
+    uint64_t submitted = 0;
+    uint64_t accepted = 0;
+    uint64_t overflows = 0;
+    uint64_t drained = 0;
+    uint64_t loss_marks = 0;
+    uint64_t attached = 0;
+    uint64_t detached = 0;
+    uint64_t expired = 0;
+    uint64_t evicted = 0;
+
+    telemetry::Gauge &g_depth;
+    telemetry::Gauge &g_sessions;
+    telemetry::Counter &c_drained;
+    telemetry::Counter &c_overflow;
+};
+
+TrackingService::TrackingService(const ServiceConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.shards < 1)
+        cfg_.shards = 1;
+    if (cfg_.queue_capacity < 1)
+        cfg_.queue_capacity = 1;
+    shards_.reserve(cfg_.shards);
+    for (unsigned i = 0; i < cfg_.shards; ++i)
+        shards_.push_back(std::make_unique<Shard>(i));
+}
+
+TrackingService::~TrackingService() = default;
+
+TrackingService::Shard &
+TrackingService::shardFor(ProcId pid)
+{
+    return *shards_[pid % shards_.size()];
+}
+
+const TrackingService::Shard &
+TrackingService::shardFor(ProcId pid) const
+{
+    return *shards_[pid % shards_.size()];
+}
+
+Session &
+TrackingService::sessionLocked(Shard &sh, ProcId pid)
+{
+    auto it = sh.sessions.find(pid);
+    if (it != sh.sessions.end())
+        return *it->second;
+    // Re-admission of a shed pid: its taint history is gone, so the
+    // fresh session declares state loss up front (MaybeTainted at
+    // sinks) — eviction is never a silent false negative.
+    bool lost = sh.tombstones.erase(pid) > 0;
+    auto ses = std::make_unique<Session>(pid, cfg_.session, lost);
+    Session &ref = *ses;
+    sh.sessions.emplace(pid, std::move(ses));
+    ++sh.attached;
+    tel().attached.inc();
+    sh.g_sessions.set(sh.sessions.size());
+    return ref;
+}
+
+bool
+TrackingService::attach(ProcId pid)
+{
+    Shard &sh = shardFor(pid);
+    std::lock_guard<std::mutex> lock(sh.m);
+    if (sh.sessions.count(pid))
+        return false;
+    sessionLocked(sh, pid);
+    return true;
+}
+
+bool
+TrackingService::detach(ProcId pid)
+{
+    Shard &sh = shardFor(pid);
+    std::lock_guard<std::mutex> lock(sh.m);
+    // Apply what is already queued first so a final sink check's
+    // result is not lost with the session.
+    drainLocked(sh);
+    auto it = sh.sessions.find(pid);
+    if (it == sh.sessions.end())
+        return false;
+    sh.sessions.erase(it);
+    ++sh.detached;
+    tel().detached.inc();
+    sh.g_sessions.set(sh.sessions.size());
+    return true;
+}
+
+bool
+TrackingService::submit(const ServiceEvent &ev)
+{
+    return submitMany(&ev, 1) == 1;
+}
+
+size_t
+TrackingService::submitMany(const ServiceEvent *evs, size_t n)
+{
+    size_t done = 0;
+    size_t accepted_total = 0;
+    const bool threaded = threaded_.load(std::memory_order_relaxed);
+    while (done < n) {
+        Shard &sh = shardFor(evs[done].pid);
+        // Extend the run while consecutive events hash to this shard
+        // so a per-app burst pays for one lock acquisition.
+        size_t run_end = done + 1;
+        while (run_end < n && &shardFor(evs[run_end].pid) == &sh)
+            ++run_end;
+        bool wake = false;
+        {
+            std::lock_guard<std::mutex> lock(sh.m);
+            for (size_t i = done; i < run_end; ++i) {
+                ++sh.submitted;
+                if (sh.queue.size() >= cfg_.queue_capacity) {
+                    // Backpressure: refuse the event, and degrade the
+                    // pid *now* — the loss mark must precede any
+                    // event accepted later, so a subsequent sink
+                    // check can never answer a silent Clean.
+                    ++sh.overflows;
+                    sh.c_overflow.inc();
+                    sessionLocked(sh, evs[i].pid).noteStreamLoss();
+                    ++sh.loss_marks;
+                    tel().loss_marks.inc();
+                    continue;
+                }
+                uint64_t tick =
+                    clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+                sh.queue.push_back(Shard::Queued{evs[i], tick});
+                ++sh.accepted;
+                ++accepted_total;
+                wake = true;
+            }
+            sh.g_depth.set(sh.queue.size());
+        }
+        if (threaded && wake)
+            sh.cv.notify_one();
+        done = run_end;
+    }
+    tel().submitted.inc(n);
+    tel().accepted.inc(accepted_total);
+    tel().overflowed.inc(n - accepted_total);
+    return accepted_total;
+}
+
+void
+TrackingService::drainLocked(Shard &sh)
+{
+    size_t batch = sh.queue.size();
+    while (!sh.queue.empty()) {
+        Shard::Queued q = sh.queue.front();
+        sh.queue.pop_front();
+        Session &ses = sessionLocked(sh, q.ev.pid);
+        ses.apply(q.ev);
+        ses.touch(q.tick);
+        ++sh.drained;
+    }
+    if (batch) {
+        sh.c_drained.inc(batch);
+        tel().drained.inc(batch);
+        sh.g_depth.set(0);
+    }
+}
+
+void
+TrackingService::pump(unsigned jobs)
+{
+    exec::parallelFor(
+        shards_.size(),
+        [&](size_t i) {
+            Shard &sh = *shards_[i];
+            std::lock_guard<std::mutex> lock(sh.m);
+            drainLocked(sh);
+        },
+        jobs);
+}
+
+void
+TrackingService::maintain()
+{
+    // Idle expiry first: a session beyond the idle horizon leaves
+    // cleanly when it holds no taint and is not degraded; otherwise
+    // its removal is a state loss and the pid is tombstoned.
+    const uint64_t now = clock();
+    if (cfg_.expire_idle_ticks) {
+        for (auto &shp : shards_) {
+            Shard &sh = *shp;
+            std::lock_guard<std::mutex> lock(sh.m);
+            for (auto it = sh.sessions.begin();
+                 it != sh.sessions.end();) {
+                Session &ses = *it->second;
+                if (now - ses.lastActive() <= cfg_.expire_idle_ticks) {
+                    ++it;
+                    continue;
+                }
+                if (ses.storageBytes() != 0 || ses.degraded())
+                    sh.tombstones.insert(it->first);
+                it = sh.sessions.erase(it);
+                ++sh.expired;
+                tel().expired.inc();
+            }
+            sh.g_sessions.set(sh.sessions.size());
+        }
+    }
+
+    // Byte-ceiling eviction: shed least-recently-active sessions
+    // (total order on (last_active, pid) — the logical clock, so the
+    // choice is deterministic) until aggregate storage fits again.
+    struct Victim
+    {
+        uint64_t last_active;
+        ProcId pid;
+        unsigned shard;
+        uint64_t bytes;
+    };
+    uint64_t total = 0;
+    std::vector<Victim> victims;
+    for (unsigned si = 0; si < shards_.size(); ++si) {
+        Shard &sh = *shards_[si];
+        std::lock_guard<std::mutex> lock(sh.m);
+        for (const auto &kv : sh.sessions) {
+            uint64_t b = kv.second->storageBytes();
+            total += b;
+            if (b)
+                victims.push_back(
+                    Victim{kv.second->lastActive(), kv.first, si, b});
+        }
+    }
+    tel().bytes.set(total);
+    if (!cfg_.memory_ceiling || total <= cfg_.memory_ceiling)
+        return;
+    std::sort(victims.begin(), victims.end(),
+              [](const Victim &a, const Victim &b) {
+                  return a.last_active != b.last_active
+                             ? a.last_active < b.last_active
+                             : a.pid < b.pid;
+              });
+    for (const Victim &v : victims) {
+        if (total <= cfg_.memory_ceiling)
+            break;
+        Shard &sh = *shards_[v.shard];
+        std::lock_guard<std::mutex> lock(sh.m);
+        auto it = sh.sessions.find(v.pid);
+        if (it == sh.sessions.end())
+            continue;
+        sh.tombstones.insert(v.pid);
+        sh.sessions.erase(it);
+        total -= v.bytes;
+        ++sh.evicted;
+        tel().evicted.inc();
+        sh.g_sessions.set(sh.sessions.size());
+    }
+    tel().bytes.set(total);
+}
+
+core::SinkVerdict
+TrackingService::checkSinkNow(ProcId pid, Addr start, Addr end,
+                              uint32_t id)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    Shard &sh = shardFor(pid);
+    core::SinkVerdict v;
+    {
+        std::lock_guard<std::mutex> lock(sh.m);
+        // The check must observe every event accepted before it.
+        drainLocked(sh);
+        Session &ses = sessionLocked(sh, pid);
+        v = ses.checkSink(taint::AddrRange(start, end), id);
+        ses.touch(clock_.fetch_add(1, std::memory_order_relaxed) + 1);
+    }
+    auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    tel().sink_latency.observe(static_cast<uint64_t>(dt));
+    return v;
+}
+
+void
+TrackingService::workerLoop(Shard &sh)
+{
+    std::unique_lock<std::mutex> lock(sh.m);
+    for (;;) {
+        sh.cv.wait(lock, [&] {
+            return stopping_.load(std::memory_order_acquire) ||
+                   !sh.queue.empty();
+        });
+        drainLocked(sh);
+        if (stopping_.load(std::memory_order_acquire) &&
+            sh.queue.empty())
+            return;
+    }
+}
+
+void
+TrackingService::runWorkers(exec::ThreadPool &pool)
+{
+    stopping_.store(false, std::memory_order_release);
+    threaded_.store(true, std::memory_order_release);
+    pool.forEach(shards_.size(),
+                 [this](size_t i) { workerLoop(*shards_[i]); });
+    threaded_.store(false, std::memory_order_release);
+    stopping_.store(false, std::memory_order_release);
+}
+
+void
+TrackingService::stop()
+{
+    stopping_.store(true, std::memory_order_release);
+    for (auto &shp : shards_)
+        shp->cv.notify_all();
+}
+
+PidState
+TrackingService::pidState(ProcId pid) const
+{
+    const Shard &sh = shardFor(pid);
+    std::lock_guard<std::mutex> lock(sh.m);
+    if (sh.sessions.count(pid))
+        return PidState::Active;
+    if (sh.tombstones.count(pid))
+        return PidState::Shed;
+    return PidState::Unknown;
+}
+
+std::vector<core::SinkResult>
+TrackingService::sinkResultsFor(ProcId pid) const
+{
+    const Shard &sh = shardFor(pid);
+    std::lock_guard<std::mutex> lock(sh.m);
+    auto it = sh.sessions.find(pid);
+    if (it == sh.sessions.end())
+        return {};
+    return it->second->sinkResults();
+}
+
+const provenance::Recorder *
+TrackingService::recorderFor(ProcId pid) const
+{
+    const Shard &sh = shardFor(pid);
+    std::lock_guard<std::mutex> lock(sh.m);
+    auto it = sh.sessions.find(pid);
+    return it == sh.sessions.end() ? nullptr
+                                   : it->second->recorder();
+}
+
+ServiceStats
+TrackingService::stats() const
+{
+    ServiceStats s;
+    for (const auto &shp : shards_) {
+        const Shard &sh = *shp;
+        std::lock_guard<std::mutex> lock(sh.m);
+        s.submitted += sh.submitted;
+        s.accepted += sh.accepted;
+        s.overflowed += sh.overflows;
+        s.drained += sh.drained;
+        s.loss_marks += sh.loss_marks;
+        s.attached += sh.attached;
+        s.detached += sh.detached;
+        s.expired += sh.expired;
+        s.evicted += sh.evicted;
+        s.active_sessions += sh.sessions.size();
+        for (const auto &kv : sh.sessions)
+            s.storage_bytes += kv.second->storageBytes();
+    }
+    return s;
+}
+
+std::vector<SessionInfo>
+TrackingService::sessions() const
+{
+    std::vector<SessionInfo> out;
+    for (const auto &shp : shards_) {
+        const Shard &sh = *shp;
+        std::lock_guard<std::mutex> lock(sh.m);
+        for (const auto &kv : sh.sessions) {
+            SessionInfo info;
+            info.pid = kv.first;
+            info.storage_bytes = kv.second->storageBytes();
+            info.last_active = kv.second->lastActive();
+            info.events = kv.second->eventsApplied();
+            info.degraded = kv.second->degraded();
+            out.push_back(info);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SessionInfo &a, const SessionInfo &b) {
+                  return a.pid < b.pid;
+              });
+    return out;
+}
+
+std::vector<ServiceEvent>
+eventsFromTrace(const sim::Trace &trace, ProcId pid)
+{
+    std::vector<ServiceEvent> out;
+    out.reserve(trace.records.size() + trace.controls.size());
+    auto pushControl = [&](const sim::ControlEvent &c) {
+        ServiceEvent ev;
+        ev.pid = pid;
+        ev.kind = c.kind == sim::ControlKind::RegisterSource
+                      ? EventKind::Source
+                      : c.kind == sim::ControlKind::CheckSink
+                            ? EventKind::Sink
+                            : EventKind::Clear;
+        ev.start = c.start;
+        ev.end = c.end;
+        ev.id = c.id;
+        out.push_back(ev);
+    };
+    size_t ci = 0;
+    for (size_t ri = 0; ri < trace.records.size(); ++ri) {
+        // Same merge rule as sim::replay — a control fires once seq
+        // records precede it.
+        while (ci < trace.controls.size() &&
+               trace.controls[ci].seq <= ri)
+            pushControl(trace.controls[ci++]);
+        const sim::TraceRecord &r = trace.records[ri];
+        if (r.mem_kind == sim::MemKind::None)
+            continue;
+        ServiceEvent ev;
+        ev.pid = pid;
+        ev.kind = r.mem_kind == sim::MemKind::Load ? EventKind::Load
+                                                   : EventKind::Store;
+        ev.start = r.mem_start;
+        ev.end = r.mem_end;
+        ev.local_seq = r.local_seq;
+        out.push_back(ev);
+    }
+    while (ci < trace.controls.size())
+        pushControl(trace.controls[ci++]);
+    return out;
+}
+
+} // namespace pift::service

@@ -12,7 +12,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -172,6 +175,110 @@ TEST(JobsOverride, StripJobsFlagRejectsMalformedValues)
     char c0[] = "prog", c1[] = "--jobs";
     char *argv3[] = {c0, c1};
     EXPECT_EQ(exec::stripJobsFlag(2, argv3), -1);
+    exec::setDefaultJobs(0);
+}
+
+namespace
+{
+
+/** Move-only-ish result type with no default constructor. */
+struct NoDefault
+{
+    explicit NoDefault(int v) : value(v) { ++constructions; }
+    NoDefault(const NoDefault &o) : value(o.value) {}
+    NoDefault(NoDefault &&o) noexcept : value(o.value) {}
+    NoDefault &operator=(const NoDefault &) = default;
+    NoDefault &operator=(NoDefault &&) noexcept = default;
+
+    int value;
+    static std::atomic<int> constructions; //!< value ctors only
+};
+
+std::atomic<int> NoDefault::constructions{0};
+
+} // namespace
+
+TEST(ThreadPool, ParallelMapNonDefaultConstructibleResult)
+{
+    // Regression: slot storage used to be a value-initialized raw
+    // R[], which required a default constructor and built every slot
+    // twice. Now only fn's results are constructed.
+    std::vector<int> items(64);
+    for (int i = 0; i < 64; ++i)
+        items[i] = i;
+    NoDefault::constructions.store(0);
+    auto out = exec::parallelMap(
+        items, [](const int &v) { return NoDefault(v * 3); }, 4);
+    ASSERT_EQ(out.size(), items.size());
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(out[i].value, i * 3);
+    // Exactly one value construction per item — no default-slot
+    // construction, no rebuild on assignment.
+    EXPECT_EQ(NoDefault::constructions.load(), 64);
+}
+
+TEST(JobsOverride, StripJobsFlagRejectsOutOfRangeValues)
+{
+    exec::setDefaultJobs(0);
+    // 2^32 used to narrow to 0 through the unsigned cast — which
+    // *cleared* the override instead of failing.
+    char a0[] = "prog", a1[] = "--jobs=4294967296";
+    char *argv1[] = {a0, a1};
+    EXPECT_EQ(exec::stripJobsFlag(2, argv1), -1);
+
+    // Past even long long: strtoll saturates with ERANGE.
+    char b0[] = "prog", b1[] = "--jobs=99999999999999999999999";
+    char *argv2[] = {b0, b1};
+    EXPECT_EQ(exec::stripJobsFlag(2, argv2), -1);
+
+    char c0[] = "prog", c1[] = "--jobs=-4";
+    char *argv3[] = {c0, c1};
+    EXPECT_EQ(exec::stripJobsFlag(2, argv3), -1);
+
+    // The largest value that round-trips through unsigned is fine.
+    char d0[] = "prog", d1[] = "--jobs=4294967295";
+    char *argv4[] = {d0, d1};
+    EXPECT_EQ(exec::stripJobsFlag(2, argv4), 1);
+    EXPECT_EQ(exec::defaultJobs(), 4294967295u);
+    exec::setDefaultJobs(0);
+}
+
+TEST(JobsOverride, WiderLateOverrideRebuildsGlobalPool)
+{
+    // Regression: a --jobs override applied after the shared pool's
+    // first use was silently capped at the original width forever
+    // (forEach clamps to nthreads).
+    exec::setDefaultJobs(2);
+    exec::ThreadPool &old_pool = exec::globalPool();
+    unsigned before = old_pool.threads();
+    ASSERT_GE(before, 2u);
+
+    unsigned want = before + 3;
+    exec::setDefaultJobs(want);
+    EXPECT_EQ(exec::globalPool().threads(), want);
+
+    // The widened parallelism is real: want tasks can all be in
+    // flight simultaneously (each blocks until every one arrived,
+    // which is only possible with want-way parallelism).
+    std::mutex m;
+    std::condition_variable cv;
+    unsigned arrived = 0;
+    bool all_concurrent = true;
+    exec::parallelFor(want, [&](size_t) {
+        std::unique_lock<std::mutex> lock(m);
+        ++arrived;
+        cv.notify_all();
+        if (!cv.wait_for(lock, std::chrono::seconds(30),
+                         [&] { return arrived >= want; }))
+            all_concurrent = false;
+    });
+    EXPECT_TRUE(all_concurrent);
+
+    // References handed out before the rebuild stay usable: the
+    // retired pool is parked, not destroyed.
+    std::atomic<int> count{0};
+    old_pool.forEach(16, [&](size_t) { ++count; });
+    EXPECT_EQ(count.load(), 16);
     exec::setDefaultJobs(0);
 }
 

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate a multi-tenant service bench report against its schema.
+
+Usage: validate_service.py <report.json> [schema.json]
+
+Schema checking lives in schema_check.py (stdlib-only draft-07
+subset, shared with the other bench validators). The semantic checks
+here are the ones a type system cannot express:
+
+ - `differential.identical` must be true with zero mismatches: every
+   registry app multiplexed through the service reproduced its serial
+   per-app replay verdict-for-verdict at zero faults;
+ - `deterministic` must be true: pump widths 1 and 4 produced
+   identical verdict streams (CI additionally cmp's whole reports);
+ - scaling rows cover 1/16/256/4096 sessions in ascending order with
+   zero overflow (the paced feed must never hit backpressure) and
+   accepted == events;
+ - the pressure phase evicted at least one session and ended at or
+   under the byte ceiling with FP = 0 and no silent FN — evicted
+   tenants answer MaybeTainted, never a bare Clean;
+ - the backpressure phase actually overflowed, surfaced the loss as
+   MaybeTainted, and (when provenance is compiled in) cited a
+   StreamLoss record for it;
+ - `gates_passed` must be true.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from schema_check import run_validator  # noqa: E402
+
+
+def semantic_checks(report, errors):
+    diff = report.get("differential", {})
+    if diff.get("identical") is not True or diff.get("mismatches", 1):
+        errors.append("differential: multiplexed verdicts diverged "
+                      "from serial per-app replay")
+
+    if report.get("deterministic") is not True:
+        errors.append("deterministic: verdict streams differ across "
+                      "pump widths")
+
+    runs = report.get("scaling", [])
+    sessions = [r.get("sessions") for r in runs if isinstance(r, dict)]
+    if sessions != [1, 16, 256, 4096]:
+        errors.append(f"scaling: expected sessions [1, 16, 256, 4096],"
+                      f" got {sessions}")
+        return
+    for i, run in enumerate(runs):
+        if run.get("overflowed", 0) != 0:
+            errors.append(f"scaling[{i}]: paced feed overflowed "
+                          f"{run.get('overflowed')} events")
+        if run.get("accepted") != run.get("events"):
+            errors.append(f"scaling[{i}]: accepted "
+                          f"{run.get('accepted')} != events "
+                          f"{run.get('events')}")
+        if run.get("sink_checks", 0) < 1:
+            errors.append(f"scaling[{i}]: no sink checks probed")
+
+    pressure = report.get("pressure", {})
+    if pressure.get("evicted", 0) < 1:
+        errors.append("pressure: ceiling never engaged eviction")
+    if pressure.get("final_bytes", 0) > pressure.get(
+            "ceiling_bytes", 0):
+        errors.append(f"pressure: final_bytes "
+                      f"{pressure.get('final_bytes')} above ceiling "
+                      f"{pressure.get('ceiling_bytes')}")
+    if pressure.get("fp", 1) != 0:
+        errors.append(f"pressure: {pressure.get('fp')} false "
+                      f"positives (FP=0 is the paper's invariant)")
+    if pressure.get("silent_fn", 1) != 0:
+        errors.append(f"pressure: {pressure.get('silent_fn')} leaky "
+                      f"tenants answered bare Clean after eviction")
+    if pressure.get("ok") is not True:
+        errors.append("pressure: gate reported failure")
+
+    bp = report.get("backpressure", {})
+    if bp.get("overflowed", 0) < 1:
+        errors.append("backpressure: tiny queue never overflowed")
+    if bp.get("surfaced_maybe") is not True:
+        errors.append("backpressure: refused events were not "
+                      "surfaced as MaybeTainted")
+    if bp.get("provenance_cited") is not True:
+        errors.append("backpressure: no StreamLoss provenance record "
+                      "behind the MaybeTainted verdict")
+    if bp.get("ok") is not True:
+        errors.append("backpressure: gate reported failure")
+
+    if report.get("gates_passed") is not True:
+        errors.append("gates_passed: bench reported gate failure")
+
+
+def summarize(report):
+    runs = report.get("scaling", [])
+    peak = max((r.get("events_per_sec", 0.0) for r in runs),
+               default=0.0)
+    pressure = report.get("pressure", {})
+    return (f"{len(runs)} session counts, peak "
+            f"{peak:.0f} events/sec, "
+            f"evicted={pressure.get('evicted')}, "
+            f"deterministic={report.get('deterministic')}")
+
+
+def main(argv):
+    return run_validator(
+        argv, "schemas/bench_service.schema.json", semantic_checks,
+        summarize,
+        "Usage: validate_service.py <report.json> [schema.json]")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
