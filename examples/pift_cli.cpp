@@ -41,11 +41,13 @@
  *   ./build/examples/pift_cli replay /tmp/lg.trace 3 2
  */
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "analysis/evaluate.hh"
@@ -72,6 +74,27 @@ using namespace pift;
 
 namespace
 {
+
+/**
+ * Parse a positive count that round-trips through size_t — the same
+ * hardening parseJobs applies to --jobs. @return 0 for malformed,
+ * non-positive, or out-of-range values (0 is never a valid count).
+ */
+size_t
+parseCount(const char *s)
+{
+    if (!s || !*s)
+        return 0;
+    if (std::strchr(s, '-')) // strtoull wraps negatives silently
+        return 0;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (*end || errno == ERANGE || v < 1 ||
+        v > std::numeric_limits<size_t>::max())
+        return 0;
+    return static_cast<size_t>(v);
+}
 
 const droidbench::AppEntry *
 findApp(const std::string &name)
@@ -625,7 +648,14 @@ cmdExplain(int argc, char **argv)
             pid = static_cast<ProcId>(atoi(argv[++i]));
         } else if (!std::strcmp(argv[i], "--service-queue") &&
                    i + 1 < argc) {
-            service_queue = static_cast<size_t>(atoll(argv[++i]));
+            service_queue = parseCount(argv[++i]);
+            if (!service_queue) {
+                std::fprintf(stderr,
+                             "--service-queue needs a positive "
+                             "integer, got '%s'\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (!std::strcmp(argv[i], "--dot") && i + 1 < argc) {
             dot_path = argv[++i];
         } else if (!std::strcmp(argv[i], "--jsonl") &&

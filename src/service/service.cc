@@ -8,6 +8,7 @@
 #include <string>
 
 #include "exec/thread_pool.hh"
+#include "support/logging.hh"
 #include "telemetry/registry.hh"
 
 namespace pift::service
@@ -91,6 +92,17 @@ struct TrackingService::Shard
     std::deque<Queued> queue;
     std::map<ProcId, std::unique_ptr<Session>> sessions; //!< asc pid
     std::set<ProcId> tombstones; //!< shed pids: re-admit = state loss
+
+    /**
+     * Logical tick of each pid's latest overflow loss. An overflow
+     * postdates everything queued at that moment, so a queued-earlier
+     * ClearAll must not erase the mark when it drains (the dropped
+     * event is not covered by the clear) — drainLocked consults this
+     * map to restore the mark, and drops the entry once a Clear from
+     * after the loss makes it moot. Survives session eviction on
+     * purpose: the ordering outlives any one session incarnation.
+     */
+    std::map<ProcId, uint64_t> loss_ticks;
 
     // Tallies, guarded by m; stats() sums them across shards.
     uint64_t submitted = 0;
@@ -176,6 +188,9 @@ TrackingService::detach(ProcId pid)
     if (it == sh.sessions.end())
         return false;
     sh.sessions.erase(it);
+    // Process exit: any pending loss ordering died with the
+    // incarnation (the queue was just drained above).
+    sh.loss_ticks.erase(pid);
     ++sh.detached;
     tel().detached.inc();
     sh.g_sessions.set(sh.sessions.size());
@@ -195,7 +210,8 @@ TrackingService::submitMany(const ServiceEvent *evs, size_t n)
     size_t accepted_total = 0;
     const bool threaded = threaded_.load(std::memory_order_relaxed);
     while (done < n) {
-        Shard &sh = shardFor(evs[done].pid);
+        const size_t si = evs[done].pid % shards_.size();
+        Shard &sh = *shards_[si];
         // Extend the run while consecutive events hash to this shard
         // so a per-app burst pays for one lock acquisition.
         size_t run_end = done + 1;
@@ -210,10 +226,22 @@ TrackingService::submitMany(const ServiceEvent *evs, size_t n)
                     // Backpressure: refuse the event, and degrade the
                     // pid *now* — the loss mark must precede any
                     // event accepted later, so a subsequent sink
-                    // check can never answer a silent Clean.
+                    // check can never answer a silent Clean. The
+                    // loss draws its own tick: it sits *after* every
+                    // event queued right now, and drainLocked uses
+                    // that ordering so a queued-earlier ClearAll
+                    // cannot silently erase the mark.
                     ++sh.overflows;
                     sh.c_overflow.inc();
-                    sessionLocked(sh, evs[i].pid).noteStreamLoss();
+                    uint64_t tick =
+                        clock_.fetch_add(1, std::memory_order_relaxed) +
+                        1;
+                    uint64_t &lt = sh.loss_ticks[evs[i].pid];
+                    if (tick > lt)
+                        lt = tick;
+                    Session &ses = sessionLocked(sh, evs[i].pid);
+                    ses.noteStreamLoss();
+                    ses.touch(tick);
                     ++sh.loss_marks;
                     tel().loss_marks.inc();
                     continue;
@@ -227,8 +255,19 @@ TrackingService::submitMany(const ServiceEvent *evs, size_t n)
             }
             sh.g_depth.set(sh.queue.size());
         }
-        if (threaded && wake)
-            sh.cv.notify_one();
+        if (threaded && wake) {
+            // Wake the worker that owns this shard. With a pool at
+            // least as wide as the shard count that is the shard's
+            // own condvar; a narrower pool multiplexes shards over
+            // workers (stride nworkers_), each parked on the condvar
+            // of its primary shard. A notify that races the worker's
+            // block on a *secondary* shard's behalf may be lost —
+            // the multiplexed wait is timed, bounding the latency.
+            size_t nw = nworkers_.load(std::memory_order_acquire);
+            Shard &owner =
+                (nw && nw < shards_.size()) ? *shards_[si % nw] : sh;
+            owner.cv.notify_one();
+        }
         done = run_end;
     }
     tel().submitted.inc(n);
@@ -246,6 +285,23 @@ TrackingService::drainLocked(Shard &sh)
         sh.queue.pop_front();
         Session &ses = sessionLocked(sh, q.ev.pid);
         ses.apply(q.ev);
+        if (q.ev.kind == EventKind::Clear) {
+            // The ClearAll just wiped the tracker's loss marks. An
+            // overflow from *after* this Clear was queued dropped an
+            // event the clear does not cover — restore the mark so
+            // the pid stays MaybeTainted. A loss from before the
+            // clear is moot (the cleared state subsumed it): drop it.
+            auto it = sh.loss_ticks.find(q.ev.pid);
+            if (it != sh.loss_ticks.end()) {
+                if (it->second > q.tick) {
+                    ses.noteStreamLoss();
+                    ++sh.loss_marks;
+                    tel().loss_marks.inc();
+                } else {
+                    sh.loss_ticks.erase(it);
+                }
+            }
+        }
         ses.touch(q.tick);
         ++sh.drained;
     }
@@ -283,7 +339,12 @@ TrackingService::maintain()
             for (auto it = sh.sessions.begin();
                  it != sh.sessions.end();) {
                 Session &ses = *it->second;
-                if (now - ses.lastActive() <= cfg_.expire_idle_ticks) {
+                // A session touched by a concurrent drain/sink check
+                // after the `now` snapshot has lastActive > now; it
+                // is maximally active, not idle — without the first
+                // test the subtraction would wrap and expire it.
+                if (ses.lastActive() >= now ||
+                    now - ses.lastActive() <= cfg_.expire_idle_ticks) {
                     ++it;
                     continue;
                 }
@@ -370,17 +431,43 @@ TrackingService::checkSinkNow(ProcId pid, Addr start, Addr end,
 }
 
 void
-TrackingService::workerLoop(Shard &sh)
+TrackingService::workerLoop(size_t first, size_t stride)
 {
-    std::unique_lock<std::mutex> lock(sh.m);
+    Shard &primary = *shards_[first];
+    // With a pool at least as wide as the shard count each worker
+    // owns exactly one shard and parks event-driven on its condvar.
+    // A narrower pool multiplexes: this worker also serves shards
+    // first+stride, first+2*stride, ... — their submits notify the
+    // primary's condvar, but that notify is not ordered with this
+    // wait (different mutexes), so the wait is timed to bound the
+    // latency of a lost secondary wakeup.
+    const bool multiplexed = first + stride < shards_.size();
     for (;;) {
-        sh.cv.wait(lock, [&] {
-            return stopping_.load(std::memory_order_acquire) ||
-                   !sh.queue.empty();
-        });
-        drainLocked(sh);
-        if (stopping_.load(std::memory_order_acquire) &&
-            sh.queue.empty())
+        bool stop_seen;
+        {
+            std::unique_lock<std::mutex> lock(primary.m);
+            auto ready = [&] {
+                return stopping_.load(std::memory_order_acquire) ||
+                       !primary.queue.empty();
+            };
+            if (multiplexed)
+                primary.cv.wait_for(
+                    lock, std::chrono::milliseconds(2), ready);
+            else
+                primary.cv.wait(lock, ready);
+            drainLocked(primary);
+            stop_seen = stopping_.load(std::memory_order_acquire);
+        }
+        for (size_t i = first + stride; i < shards_.size();
+             i += stride) {
+            Shard &sh = *shards_[i];
+            std::lock_guard<std::mutex> l(sh.m);
+            drainLocked(sh);
+        }
+        // Every owned shard was drained after stopping_ was observed
+        // (stop() orders its store before our predicate via the
+        // shard mutex), so nothing submitted before stop() is left.
+        if (stop_seen)
             return;
     }
 }
@@ -388,11 +475,23 @@ TrackingService::workerLoop(Shard &sh)
 void
 TrackingService::runWorkers(exec::ThreadPool &pool)
 {
+    size_t nworkers =
+        std::min<size_t>(pool.threads() ? pool.threads() : 1,
+                         shards_.size());
+    if (nworkers < shards_.size())
+        pift_warn_limited(
+            4,
+            "service: pool narrower than shard count (%u < %zu); "
+            "workers multiplex shards with timed waits",
+            pool.threads(), shards_.size());
     stopping_.store(false, std::memory_order_release);
+    nworkers_.store(nworkers, std::memory_order_release);
     threaded_.store(true, std::memory_order_release);
-    pool.forEach(shards_.size(),
-                 [this](size_t i) { workerLoop(*shards_[i]); });
+    pool.forEach(nworkers, [this, nworkers](size_t i) {
+        workerLoop(i, nworkers);
+    });
     threaded_.store(false, std::memory_order_release);
+    nworkers_.store(0, std::memory_order_release);
     stopping_.store(false, std::memory_order_release);
 }
 
@@ -400,8 +499,14 @@ void
 TrackingService::stop()
 {
     stopping_.store(true, std::memory_order_release);
-    for (auto &shp : shards_)
+    for (auto &shp : shards_) {
+        // The empty critical section orders the stopping_ store with
+        // a worker's predicate evaluation: without it a worker that
+        // read stopping_ == false could block *after* the notify
+        // fired and sleep forever (a lost wakeup TSan cannot see).
+        { std::lock_guard<std::mutex> lock(shp->m); }
         shp->cv.notify_all();
+    }
 }
 
 PidState

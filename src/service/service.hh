@@ -11,11 +11,16 @@
  * forces the overflow question that real decoupling hardware faces.
  *
  * The backpressure contract — never a silent drop: when a shard
- * queue is full, submit() refuses the event and marks the PID lost;
- * the next drain routes that mark through
- * PiftTracker::noteStreamLoss, so every later negative sink check
- * for the PID answers MaybeTainted with a StreamLoss provenance
- * record behind it (FP=0, no silent FN — the repo-wide invariant).
+ * queue is full, submit() refuses the event and marks the PID lost
+ * through PiftTracker::noteStreamLoss, so every later negative sink
+ * check for the PID answers MaybeTainted with a StreamLoss
+ * provenance record behind it (FP=0, no silent FN — the repo-wide
+ * invariant). The mark is ordered: an overflow postdates everything
+ * queued at that moment, so a Clear accepted *earlier* cannot erase
+ * it when it drains (the shard remembers the loss tick and restores
+ * the mark), while a Clear accepted *after* the overflow legitimately
+ * clears it — the dropped event could only have touched state the
+ * clear wiped anyway.
  *
  * Admission/eviction: when aggregate TaintStorage bytes cross the
  * configured ceiling, maintain() sheds least-recently-active
@@ -183,7 +188,10 @@ class TrackingService
     /**
      * Threaded mode: park one worker per shard on @p pool (the call
      * blocks inside pool.forEach until stop()). Producers call
-     * submit()/submitMany() concurrently from other threads.
+     * submit()/submitMany() concurrently from other threads. A pool
+     * narrower than the shard count is served too (with a warning):
+     * each worker multiplexes shards [i, i+n, i+2n, ...] using timed
+     * waits, trading some wakeup latency for full coverage.
      */
     void runWorkers(exec::ThreadPool &pool);
 
@@ -211,7 +219,10 @@ class TrackingService
 
     const ServiceConfig &config() const { return cfg_; }
 
-    /** Logical ingest clock (ticks = accepted events + sink checks). */
+    /**
+     * Logical ingest clock (ticks = accepted events, sink checks and
+     * overflow loss marks).
+     */
     uint64_t clock() const
     {
         return clock_.load(std::memory_order_relaxed);
@@ -229,13 +240,15 @@ class TrackingService
     /** Find-or-create the session; caller holds the lock. */
     Session &sessionLocked(Shard &sh, ProcId pid);
 
-    void workerLoop(Shard &sh);
+    /** Serve shards first, first+stride, ... until stop(). */
+    void workerLoop(size_t first, size_t stride);
 
     ServiceConfig cfg_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::atomic<uint64_t> clock_{0};
     std::atomic<bool> stopping_{false};
     std::atomic<bool> threaded_{false};
+    std::atomic<size_t> nworkers_{0}; //!< threaded mode: worker count
 };
 
 /**

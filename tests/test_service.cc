@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -238,6 +239,96 @@ TEST(ServiceBackpressure, OverflowDegradesToMaybeTaintedNeverSilent)
                 e.has_cause)
                 maybe_with_cause = true;
         EXPECT_TRUE(maybe_with_cause);
+    }
+}
+
+TEST(ServiceBackpressure, QueuedClearCannotEraseLaterLoss)
+{
+    // Ordering regression: a ClearAll accepted *before* an overflow
+    // drains *after* the loss mark was applied to the tracker. The
+    // drop postdates the clear, so the clear must not launder it —
+    // the shard restores the mark when the Clear drains.
+    service::ServiceConfig cfg;
+    cfg.shards = 1;
+    cfg.queue_capacity = 2;
+    service::TrackingService svc(cfg);
+
+    ASSERT_TRUE(svc.submit(
+        ctlEv(5, EventKind::Source, 0x1000, 0x103f, 1)));
+    ASSERT_TRUE(svc.submit(ctlEv(5, EventKind::Clear, 0, 0, 0)));
+    // Queue full: this drop happens after the queued Clear.
+    ASSERT_FALSE(svc.submit(
+        memEv(5, EventKind::Load, 0x1000, 0x1003, 1)));
+    svc.pump();
+
+    // The dropped event could have moved taint in post-Clear state;
+    // a negative check answering Clean would be a silent FN.
+    EXPECT_EQ(svc.checkSinkNow(5, 0x9000, 0x9003, 7),
+              core::SinkVerdict::MaybeTainted);
+}
+
+TEST(ServiceBackpressure, ClearAcceptedAfterLossRetiresIt)
+{
+    // The converse ordering: a Clear accepted *after* the overflow
+    // wipes every byte the dropped event could have touched, so the
+    // loss is moot and Clean answers are trustworthy again.
+    service::ServiceConfig cfg;
+    cfg.shards = 1;
+    cfg.queue_capacity = 2;
+    service::TrackingService svc(cfg);
+
+    ASSERT_TRUE(svc.submit(
+        memEv(5, EventKind::Load, 0x1000, 0x1003, 1)));
+    ASSERT_TRUE(svc.submit(
+        memEv(5, EventKind::Load, 0x1004, 0x1007, 2)));
+    ASSERT_FALSE(svc.submit(
+        memEv(5, EventKind::Load, 0x1008, 0x100b, 3)));
+    svc.pump();
+    EXPECT_EQ(svc.checkSinkNow(5, 0x9000, 0x9003, 7),
+              core::SinkVerdict::MaybeTainted);
+
+    ASSERT_TRUE(svc.submit(ctlEv(5, EventKind::Clear, 0, 0, 0)));
+    svc.pump();
+    EXPECT_EQ(svc.checkSinkNow(5, 0x9000, 0x9003, 8),
+              core::SinkVerdict::Clean);
+}
+
+TEST(ServiceThreaded, NarrowPoolMultiplexesAllShards)
+{
+    // A pool narrower than the shard count must still serve every
+    // shard: workers multiplex shards [i, i+n, ...] with timed
+    // waits, so no queue is orphaned until shutdown.
+    service::ServiceConfig cfg;
+    cfg.shards = 4;
+    service::TrackingService svc(cfg);
+
+    exec::ThreadPool pool(2); // 2 participants < 4 shards
+    std::thread workers([&] { svc.runWorkers(pool); });
+
+    size_t expect = 0;
+    for (ProcId pid = 1; pid <= 8; ++pid) {
+        for (const auto &ev : leakyWorkload(pid)) {
+            ASSERT_TRUE(svc.submit(ev));
+            ++expect;
+        }
+    }
+    // Workers (not this thread) must drain all four shards.
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (svc.stats().drained < expect &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(svc.stats().drained, expect)
+        << "unclaimed shards never drained";
+
+    svc.stop();
+    workers.join();
+
+    for (ProcId pid = 1; pid <= 8; ++pid) {
+        Addr base = 0x10000u + pid * 0x10000u;
+        EXPECT_EQ(svc.checkSinkNow(pid, base + 4096, base + 4099,
+                                   300 + pid),
+                  core::SinkVerdict::Tainted);
     }
 }
 
